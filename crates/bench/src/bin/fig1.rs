@@ -1,0 +1,38 @@
+//! Figure 1: the 3-node, depth-2 MIG of a full adder.
+//!
+//! Prints the structure and its DOT rendering, asserting the paper's
+//! size/depth.
+
+use mig::Mig;
+
+fn main() {
+    let mut m = Mig::new(3);
+    let (a, b, cin) = (m.input(0), m.input(1), m.input(2));
+    let (s, cout) = m.full_adder(a, b, cin);
+    m.add_output(s);
+    m.add_output(cout);
+
+    println!("Figure 1: MIG for a full adder (x1=a, x2=b, x3=cin)");
+    println!("  size  = {} (paper: 3)", m.num_gates());
+    println!("  depth = {} (paper: 2)", m.depth());
+    assert_eq!(m.num_gates(), 3);
+    assert_eq!(m.depth(), 2);
+
+    for g in m.gates() {
+        let f = m.fanins(g);
+        println!("  n{g} = <{} {} {}>", f[0], f[1], f[2]);
+    }
+    for (i, o) in m.outputs().iter().enumerate() {
+        let name = if i == 0 { "s" } else { "cout" };
+        println!("  {name} = {o}");
+    }
+    // Verify the arithmetic.
+    for j in 0..8u32 {
+        let bits = [(j & 1) == 1, (j >> 1 & 1) == 1, (j >> 2 & 1) == 1];
+        let out = m.evaluate(&bits);
+        let total = bits.iter().filter(|&&x| x).count() as u32;
+        assert_eq!(u32::from(out[0]) + 2 * u32::from(out[1]), total);
+    }
+    println!("  functional check: a + b + cin = 2*cout + s  OK");
+    println!("\n{}", m.to_dot());
+}

@@ -1,0 +1,38 @@
+//! Figure 2: the optimal 7-gate MIG for S_{0,2}(x1..x4), the single
+//! hardest 4-variable NPN class (Table I's size-7 row).
+
+use truth::TruthTable;
+
+fn main() {
+    let db = npndb::Database::embedded();
+    let hardest: Vec<&npndb::DbEntry> = db.iter().filter(|e| e.size == 7).collect();
+    assert_eq!(hardest.len(), 1, "exactly one size-7 class (paper Table I)");
+    let entry = hardest[0];
+
+    // S_{0,2}: true iff exactly 0 or 2 inputs are set.
+    let mut s02 = TruthTable::zeros(4);
+    for j in 0..16usize {
+        if j.count_ones() == 0 || j.count_ones() == 2 {
+            s02.set_bit(j, true);
+        }
+    }
+    let canon = truth::Npn4Canonizer::new();
+    let (rep, _) = canon.canonize(s02.as_u16());
+    assert_eq!(
+        rep, entry.representative,
+        "the 7-gate class is S_0,2's class"
+    );
+
+    println!("Figure 2: optimal MIG for S_0,2(x1,x2,x3,x4)");
+    println!("  class representative: 0x{:04x}", entry.representative);
+    println!("  size  = {} (paper: 7)", entry.size);
+    println!("  depth = {}", entry.depth);
+    let m = entry.network.to_mig();
+    assert_eq!(m.output_truth_tables()[0].as_u16(), entry.representative);
+    for g in m.gates() {
+        let f = m.fanins(g);
+        println!("  n{g} = <{} {} {}>", f[0], f[1], f[2]);
+    }
+    println!("  y = {}", m.outputs()[0]);
+    println!("\n{}", m.to_dot());
+}

@@ -1,0 +1,56 @@
+//! Theorem 2: the upper bound C(n) <= 10 * (2^(n-4) - 1) + 7, checked
+//! constructively — the Shannon/database construction of `npndb` realizes
+//! random functions within the bound (and verifies them functionally).
+
+use npndb::{shannon_mig, theorem2_bound, Database};
+use truth::TruthTable;
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn main() {
+    let db = Database::embedded();
+    println!("Theorem 2: C(n) <= 10*(2^(n-4)-1) + 7");
+    println!(
+        "{:>3} {:>8} {:>12} {:>12} {:>10}",
+        "n", "bound", "max built", "avg built", "samples"
+    );
+    let mut seed = 0xD1CEu64;
+    for n in 4..=9usize {
+        let bound = theorem2_bound(n as u32);
+        let samples = if n <= 6 { 50 } else { 20 };
+        let mut max_size = 0usize;
+        let mut sum = 0usize;
+        for _ in 0..samples {
+            let mut f = TruthTable::zeros(n);
+            for j in 0..1usize << n {
+                if splitmix(&mut seed) & 1 == 1 {
+                    f.set_bit(j, true);
+                }
+            }
+            let m = shannon_mig(&f, &db);
+            // Functional verification.
+            assert_eq!(m.output_truth_tables()[0], f, "construction is exact");
+            let g = m.cleanup().num_gates();
+            assert!(
+                (g as u64) <= bound,
+                "n={n}: built {g} gates > bound {bound}"
+            );
+            max_size = max_size.max(g);
+            sum += g;
+        }
+        println!(
+            "{n:>3} {bound:>8} {max_size:>12} {:>12.1} {samples:>10}",
+            sum as f64 / samples as f64
+        );
+    }
+    // The base case is tight: the hardest 4-input class needs exactly 7.
+    assert_eq!(db.max_size(), 7);
+    println!("\nbase case tight: max 4-variable class size = 7 = bound(4).");
+    println!("all sampled constructions verified functionally and within the bound.");
+}

@@ -1,0 +1,158 @@
+//! Shared pipeline for the table/figure harnesses.
+//!
+//! Every binary in `src/bin` regenerates one table or figure of the paper
+//! (see DESIGN.md §4 for the index). This library hosts the common
+//! benchmark pipeline: generate → algebraically optimize (starting point)
+//! → functional hashing per variant → optionally technology-map, with
+//! equivalence validation at every step.
+
+use benchgen::EpflBenchmark;
+use fhash::{FhConfig, FunctionalHashing, Variant};
+use mig::Mig;
+use std::time::Instant;
+
+/// The variant columns of Tables III and IV, in paper order.
+pub const PAPER_VARIANTS: [Variant; 5] = [
+    Variant::TopDownFfr,
+    Variant::TopDown,
+    Variant::TopDownFfrDepth,
+    Variant::TopDownDepth,
+    Variant::BottomUpFfr,
+];
+
+/// Result of one functional-hashing run on one benchmark.
+#[derive(Debug, Clone)]
+pub struct VariantResult {
+    /// The variant that produced it.
+    pub variant: Variant,
+    /// The optimized MIG.
+    pub mig: Mig,
+    /// Gate count.
+    pub size: usize,
+    /// Depth.
+    pub depth: u32,
+    /// Wall-clock runtime of the optimization in seconds.
+    pub runtime: f64,
+}
+
+/// One row of the Table III pipeline.
+#[derive(Debug, Clone)]
+pub struct BenchRow {
+    /// The benchmark instance.
+    pub bench: EpflBenchmark,
+    /// I/O signature of the generated instance.
+    pub io: (usize, usize),
+    /// The optimized starting point (stand-in for the suite's "best
+    /// results"; see DESIGN.md).
+    pub base: Mig,
+    /// Starting-point gate count.
+    pub base_size: usize,
+    /// Starting-point depth.
+    pub base_depth: u32,
+    /// One result per entry of [`PAPER_VARIANTS`].
+    pub variants: Vec<VariantResult>,
+}
+
+/// Builds the starting point for a benchmark: generate, clean up
+/// algebraically, then run the depth-oriented rewriting of refs \[3\], \[4\]
+/// to a fixpoint. The paper's starting points ("best results" of the EPFL
+/// suite) were likewise "obtained using the depth reduction proposed in
+/// \[3\] and \[4\]" — depth-optimized MIGs that carry size slack for
+/// functional hashing to recover.
+pub fn starting_point(bench: EpflBenchmark, scale: Option<u32>) -> Mig {
+    let raw = match scale {
+        None => bench.generate(),
+        Some(s) => bench.generate_scaled(s),
+    };
+    let (mut cur, _) = migalg::size_rewrite(&raw);
+    for _ in 0..300 {
+        let (next, _) = migalg::depth_rewrite(&cur);
+        if next.depth() >= cur.depth() {
+            break;
+        }
+        cur = next;
+    }
+    cur
+}
+
+/// Runs the full Table III pipeline for one benchmark.
+///
+/// When `validate` is set, every optimized MIG is checked against the
+/// starting point with 512 random word-parallel patterns (and the
+/// harness panics on a mismatch — the tables must never report wrong
+/// circuits).
+pub fn run_benchmark(bench: EpflBenchmark, scale: Option<u32>, validate: bool) -> BenchRow {
+    let base = starting_point(bench, scale);
+    let engine = FunctionalHashing::new(npndb::Database::embedded(), FhConfig::default());
+    let mut variants = Vec::new();
+    for v in PAPER_VARIANTS {
+        let t0 = Instant::now();
+        let opt = engine.run(&base, v);
+        let runtime = t0.elapsed().as_secs_f64();
+        if validate {
+            assert!(
+                cec::equivalent_random(&base, &opt, 8, 0xC0FFEE),
+                "{bench}/{v}: functional mismatch"
+            );
+        }
+        variants.push(VariantResult {
+            variant: v,
+            size: opt.num_gates(),
+            depth: opt.depth(),
+            runtime,
+            mig: opt,
+        });
+    }
+    BenchRow {
+        io: (base.num_inputs(), base.num_outputs()),
+        base_size: base.num_gates(),
+        base_depth: base.depth(),
+        base,
+        bench,
+        variants,
+    }
+}
+
+/// Geometric mean of ratios (the paper's "average improvement
+/// (new/old)"), ignoring zero denominators.
+pub fn geomean_ratio(pairs: &[(f64, f64)]) -> f64 {
+    let mut acc = 0.0;
+    let mut n = 0;
+    for &(new, old) in pairs {
+        if old > 0.0 && new > 0.0 {
+            acc += (new / old).ln();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        1.0
+    } else {
+        (acc / n as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_identity_is_one() {
+        assert!((geomean_ratio(&[(2.0, 2.0), (5.0, 5.0)]) - 1.0).abs() < 1e-12);
+        assert!((geomean_ratio(&[(1.0, 2.0), (4.0, 2.0)]) - 1.0).abs() < 1e-12);
+        assert!(geomean_ratio(&[(1.0, 2.0)]) < 1.0);
+        assert_eq!(geomean_ratio(&[]), 1.0);
+    }
+
+    #[test]
+    fn small_pipeline_runs_and_validates() {
+        let row = run_benchmark(EpflBenchmark::Adder, Some(1), true);
+        assert_eq!(row.variants.len(), PAPER_VARIANTS.len());
+        for v in &row.variants {
+            assert!(v.size > 0);
+            // Functional hashing must never grow the top-down results.
+            if v.variant != fhash::Variant::BottomUpFfr {
+                assert!(v.size <= row.base_size, "{}", v.variant);
+            }
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! The eight arithmetic instances of the EPFL benchmark suite at the
+//! paper's I/O signatures (Table III's "I/O" column), plus scaled-down
+//! versions for fast tests and CI-scale experiments.
+
+use crate::gens;
+use mig::Mig;
+
+/// The arithmetic EPFL benchmarks evaluated in the paper's Tables III/IV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EpflBenchmark {
+    /// 128-bit adder (I/O 256/129).
+    Adder,
+    /// 64-bit restoring divider (I/O 128/128).
+    Divisor,
+    /// 32-bit fixed-point base-2 logarithm (I/O 32/32).
+    Log2,
+    /// Maximum of four 128-bit words (I/O 512/130).
+    Max,
+    /// 64x64 array multiplier (I/O 128/128).
+    Multiplier,
+    /// 24-bit CORDIC sine (I/O 24/25).
+    Sine,
+    /// 128-bit square root (I/O 128/64).
+    SquareRoot,
+    /// 64-bit squarer (I/O 64/128).
+    Square,
+}
+
+impl EpflBenchmark {
+    /// All eight instances in the paper's row order.
+    pub const ALL: [EpflBenchmark; 8] = [
+        EpflBenchmark::Adder,
+        EpflBenchmark::Divisor,
+        EpflBenchmark::Log2,
+        EpflBenchmark::Max,
+        EpflBenchmark::Multiplier,
+        EpflBenchmark::Sine,
+        EpflBenchmark::SquareRoot,
+        EpflBenchmark::Square,
+    ];
+
+    /// The benchmark's name as printed in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            EpflBenchmark::Adder => "Adder",
+            EpflBenchmark::Divisor => "Divisor",
+            EpflBenchmark::Log2 => "Log2",
+            EpflBenchmark::Max => "Max",
+            EpflBenchmark::Multiplier => "Multiplier",
+            EpflBenchmark::Sine => "Sine",
+            EpflBenchmark::SquareRoot => "Square-root",
+            EpflBenchmark::Square => "Square",
+        }
+    }
+
+    /// The paper's I/O signature for the instance.
+    pub fn paper_io(self) -> (usize, usize) {
+        match self {
+            EpflBenchmark::Adder => (256, 129),
+            EpflBenchmark::Divisor => (128, 128),
+            EpflBenchmark::Log2 => (32, 32),
+            EpflBenchmark::Max => (512, 130),
+            EpflBenchmark::Multiplier => (128, 128),
+            EpflBenchmark::Sine => (24, 25),
+            EpflBenchmark::SquareRoot => (128, 64),
+            EpflBenchmark::Square => (64, 128),
+        }
+    }
+
+    /// Generates the instance at the paper's width.
+    pub fn generate(self) -> Mig {
+        match self {
+            EpflBenchmark::Adder => gens::adder(128),
+            EpflBenchmark::Divisor => gens::divisor(64),
+            EpflBenchmark::Log2 => gens::log2(32, 5, 27, 12),
+            EpflBenchmark::Max => gens::max4(128),
+            EpflBenchmark::Multiplier => gens::multiplier(64),
+            EpflBenchmark::Sine => gens::sine(24, 25, 20),
+            EpflBenchmark::SquareRoot => gens::square_root(128),
+            EpflBenchmark::Square => gens::square(64),
+        }
+    }
+
+    /// Generates a reduced-width version (`scale` in 1..=4, where 4 is
+    /// paper scale) for fast experiments; the structure family is
+    /// identical, only the word width shrinks.
+    pub fn generate_scaled(self, scale: u32) -> Mig {
+        let s = scale.clamp(1, 4);
+        let div = 1usize << (2 * (4 - s)); // scale 4 -> 1x, 3 -> 4x, ...
+        match self {
+            EpflBenchmark::Adder => gens::adder((128 / div).max(2)),
+            EpflBenchmark::Divisor => gens::divisor((64 / div).max(2)),
+            EpflBenchmark::Log2 => {
+                let w = (32 / div).max(8);
+                let f = (27 / div).max(4);
+                gens::log2(w, 5, f, (12 / (5 - s as usize)).max(6))
+            }
+            EpflBenchmark::Max => gens::max4((128 / div).max(2)),
+            EpflBenchmark::Multiplier => gens::multiplier((64 / div).max(2)),
+            EpflBenchmark::Sine => {
+                let a = (24 / div).max(8);
+                gens::sine(a, a + 1, (20 / div).max(6))
+            }
+            EpflBenchmark::SquareRoot => {
+                let w = (128 / div).max(4);
+                gens::square_root(w + (w % 2))
+            }
+            EpflBenchmark::Square => gens::square((64 / div).max(2)),
+        }
+    }
+}
+
+impl std::fmt::Display for EpflBenchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_io_signatures_match() {
+        for b in EpflBenchmark::ALL {
+            let m = b.generate();
+            let (i, o) = b.paper_io();
+            assert_eq!(m.num_inputs(), i, "{b} inputs");
+            assert_eq!(m.num_outputs(), o, "{b} outputs");
+            assert!(m.num_gates() > 100, "{b} is non-trivial");
+        }
+    }
+
+    #[test]
+    fn scaled_instances_shrink() {
+        for b in EpflBenchmark::ALL {
+            let small = b.generate_scaled(1);
+            let big = b.generate_scaled(3);
+            assert!(
+                small.num_gates() <= big.num_gates(),
+                "{b}: {} > {}",
+                small.num_gates(),
+                big.num_gates()
+            );
+        }
+    }
+
+    #[test]
+    fn names_are_paper_rows() {
+        let names: Vec<&str> = EpflBenchmark::ALL.iter().map(|b| b.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "Adder",
+                "Divisor",
+                "Log2",
+                "Max",
+                "Multiplier",
+                "Sine",
+                "Square-root",
+                "Square"
+            ]
+        );
+    }
+}

@@ -1,0 +1,320 @@
+//! Word-level construction helpers: multi-bit buses of MIG signals and the
+//! standard arithmetic blocks (ripple adders, subtractors, comparators,
+//! multiplexers, shifters, array multipliers) the benchmark generators are
+//! assembled from. All buses are little-endian (`word[0]` = LSB).
+
+use mig::{Mig, Signal};
+
+/// A little-endian bus of signals.
+pub type Word = Vec<Signal>;
+
+/// The all-zero word of a given width.
+pub fn zero_word(width: usize) -> Word {
+    vec![Signal::ZERO; width]
+}
+
+/// A constant word holding `value`.
+pub fn const_word(width: usize, value: u128) -> Word {
+    (0..width)
+        .map(|i| {
+            if i < 128 && (value >> i) & 1 == 1 {
+                Signal::ONE
+            } else {
+                Signal::ZERO
+            }
+        })
+        .collect()
+}
+
+/// Ripple-carry addition `a + b + cin`; returns `(sum, carry_out)`.
+///
+/// # Panics
+///
+/// Panics if the widths differ.
+pub fn add(m: &mut Mig, a: &[Signal], b: &[Signal], cin: Signal) -> (Word, Signal) {
+    assert_eq!(a.len(), b.len(), "adder width mismatch");
+    let mut carry = cin;
+    let mut sum = Vec::with_capacity(a.len());
+    for (&x, &y) in a.iter().zip(b) {
+        let (s, c) = m.full_adder(x, y, carry);
+        sum.push(s);
+        carry = c;
+    }
+    (sum, carry)
+}
+
+/// Two's-complement subtraction `a - b`; returns `(difference, borrow)`
+/// with `borrow = 1` when `a < b`.
+pub fn sub(m: &mut Mig, a: &[Signal], b: &[Signal]) -> (Word, Signal) {
+    let nb: Word = b.iter().map(|&s| !s).collect();
+    let (diff, carry) = add(m, a, &nb, Signal::ONE);
+    (diff, !carry)
+}
+
+/// Controlled add/subtract: `sel ? a - b : a + b` (used by CORDIC).
+pub fn add_sub(m: &mut Mig, a: &[Signal], b: &[Signal], sel: Signal) -> Word {
+    let xb: Word = b.iter().map(|&s| m.xor(s, sel)).collect();
+    add(m, a, &xb, sel).0
+}
+
+/// Bitwise word multiplexer `sel ? t : e`.
+pub fn mux_word(m: &mut Mig, sel: Signal, t: &[Signal], e: &[Signal]) -> Word {
+    assert_eq!(t.len(), e.len(), "mux width mismatch");
+    t.iter()
+        .zip(e)
+        .map(|(&x, &y)| m.mux(sel, x, y))
+        .collect()
+}
+
+/// Unsigned comparison `a < b`.
+pub fn less_than(m: &mut Mig, a: &[Signal], b: &[Signal]) -> Signal {
+    sub(m, a, b).1
+}
+
+/// Logical right shift by a constant (zero fill).
+pub fn shr_const(a: &[Signal], by: usize) -> Word {
+    let mut w: Word = a[by.min(a.len())..].to_vec();
+    w.resize(a.len(), Signal::ZERO);
+    w
+}
+
+/// Arithmetic right shift by a constant (sign fill).
+pub fn sar_const(a: &[Signal], by: usize) -> Word {
+    let sign = *a.last().expect("non-empty word");
+    let mut w: Word = a[by.min(a.len())..].to_vec();
+    w.resize(a.len(), sign);
+    w
+}
+
+/// Logical left shift by a constant (zero fill, width preserved).
+pub fn shl_const(a: &[Signal], by: usize) -> Word {
+    let by = by.min(a.len());
+    let mut w = vec![Signal::ZERO; by];
+    w.extend_from_slice(&a[..a.len() - by]);
+    w
+}
+
+/// Barrel shifter: left shift of `a` by the binary amount `amount`
+/// (logarithmic mux stages; width preserved, zero fill).
+pub fn shl_barrel(m: &mut Mig, a: &[Signal], amount: &[Signal]) -> Word {
+    let mut cur: Word = a.to_vec();
+    for (stage, &sel) in amount.iter().enumerate() {
+        let shifted = shl_const(&cur, 1 << stage);
+        cur = mux_word(m, sel, &shifted, &cur);
+    }
+    cur
+}
+
+/// Array multiplication `a * b` producing a `a.len() + b.len()` wide
+/// product (ANDed partial products, ripple accumulation).
+#[allow(clippy::needless_range_loop)] // carry ripple reads clearer indexed
+pub fn mul(m: &mut Mig, a: &[Signal], b: &[Signal]) -> Word {
+    let (wa, wb) = (a.len(), b.len());
+    let mut acc = zero_word(wa + wb);
+    for (i, &bi) in b.iter().enumerate() {
+        let row: Word = a.iter().map(|&aj| m.and(aj, bi)).collect();
+        // acc[i .. i+wa] += row
+        let slice: Word = acc[i..i + wa].to_vec();
+        let (sum, mut carry) = add(m, &slice, &row, Signal::ZERO);
+        acc[i..i + wa].copy_from_slice(&sum);
+        for k in i + wa..wa + wb {
+            let (s, c) = m.full_adder(acc[k], carry, Signal::ZERO);
+            acc[k] = s;
+            carry = c;
+        }
+    }
+    acc
+}
+
+/// Reduction OR over a word.
+pub fn or_reduce(m: &mut Mig, a: &[Signal]) -> Signal {
+    let mut acc = Signal::ZERO;
+    for &s in a {
+        acc = m.or(acc, s);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Evaluates an MIG whose inputs are split into equal-width operand
+    /// words, interpreting each output word as an integer.
+    fn eval(m: &Mig, assignment: &[bool]) -> Vec<bool> {
+        m.evaluate(assignment)
+    }
+
+    fn bits_of(v: u64, w: usize) -> Vec<bool> {
+        (0..w).map(|i| (v >> i) & 1 == 1).collect()
+    }
+
+    fn to_u64(bits: &[bool]) -> u64 {
+        bits.iter()
+            .enumerate()
+            .map(|(i, &b)| if b { 1 << i } else { 0 })
+            .sum()
+    }
+
+    #[test]
+    fn add_matches_integer_addition() {
+        let w = 4;
+        let mut m = Mig::new(2 * w);
+        let a: Word = (0..w).map(|i| m.input(i)).collect();
+        let b: Word = (0..w).map(|i| m.input(w + i)).collect();
+        let (sum, carry) = add(&mut m, &a, &b, Signal::ZERO);
+        for s in sum {
+            m.add_output(s);
+        }
+        m.add_output(carry);
+        for x in 0..16u64 {
+            for y in 0..16u64 {
+                let mut asn = bits_of(x, w);
+                asn.extend(bits_of(y, w));
+                let out = eval(&m, &asn);
+                assert_eq!(to_u64(&out), x + y, "{x} + {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn sub_matches_integer_subtraction() {
+        let w = 4;
+        let mut m = Mig::new(2 * w);
+        let a: Word = (0..w).map(|i| m.input(i)).collect();
+        let b: Word = (0..w).map(|i| m.input(w + i)).collect();
+        let (diff, borrow) = sub(&mut m, &a, &b);
+        for s in diff {
+            m.add_output(s);
+        }
+        m.add_output(borrow);
+        for x in 0..16u64 {
+            for y in 0..16u64 {
+                let mut asn = bits_of(x, w);
+                asn.extend(bits_of(y, w));
+                let out = eval(&m, &asn);
+                let diff_bits = to_u64(&out[..w]);
+                let borrow_bit = out[w];
+                assert_eq!(diff_bits, x.wrapping_sub(y) & 0xF, "{x} - {y}");
+                assert_eq!(borrow_bit, x < y, "borrow of {x} - {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn mul_matches_integer_multiplication() {
+        let w = 3;
+        let mut m = Mig::new(2 * w);
+        let a: Word = (0..w).map(|i| m.input(i)).collect();
+        let b: Word = (0..w).map(|i| m.input(w + i)).collect();
+        let prod = mul(&mut m, &a, &b);
+        assert_eq!(prod.len(), 2 * w);
+        for s in prod {
+            m.add_output(s);
+        }
+        for x in 0..8u64 {
+            for y in 0..8u64 {
+                let mut asn = bits_of(x, w);
+                asn.extend(bits_of(y, w));
+                let out = eval(&m, &asn);
+                assert_eq!(to_u64(&out), x * y, "{x} * {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn comparisons_and_mux() {
+        let w = 4;
+        let mut m = Mig::new(2 * w);
+        let a: Word = (0..w).map(|i| m.input(i)).collect();
+        let b: Word = (0..w).map(|i| m.input(w + i)).collect();
+        let lt = less_than(&mut m, &a, &b);
+        let mx = mux_word(&mut m, lt, &b, &a); // max(a, b)
+        for s in mx {
+            m.add_output(s);
+        }
+        m.add_output(lt);
+        for x in 0..16u64 {
+            for y in 0..16u64 {
+                let mut asn = bits_of(x, w);
+                asn.extend(bits_of(y, w));
+                let out = eval(&m, &asn);
+                assert_eq!(to_u64(&out[..w]), x.max(y), "max({x},{y})");
+                assert_eq!(out[w], x < y);
+            }
+        }
+    }
+
+    #[test]
+    fn constant_shifts() {
+        let a = [Signal::ONE, Signal::ZERO, Signal::ONE, Signal::ONE];
+        assert_eq!(shr_const(&a, 1), vec![Signal::ZERO, Signal::ONE, Signal::ONE, Signal::ZERO]);
+        assert_eq!(shl_const(&a, 2), vec![Signal::ZERO, Signal::ZERO, Signal::ONE, Signal::ZERO]);
+        assert_eq!(sar_const(&a, 2)[3], Signal::ONE);
+        assert_eq!(shr_const(&a, 10).len(), 4);
+    }
+
+    #[test]
+    fn barrel_shifter_matches_variable_shift() {
+        let w = 8;
+        let mut m = Mig::new(w + 3);
+        let a: Word = (0..w).map(|i| m.input(i)).collect();
+        let amt: Word = (0..3).map(|i| m.input(w + i)).collect();
+        let out = shl_barrel(&mut m, &a, &amt);
+        for s in out {
+            m.add_output(s);
+        }
+        for x in 0..256u64 {
+            for sh in 0..8u64 {
+                let mut asn = bits_of(x, w);
+                asn.extend(bits_of(sh, 3));
+                let got = to_u64(&eval(&m, &asn));
+                assert_eq!(got, (x << sh) & 0xFF, "{x} << {sh}");
+            }
+        }
+    }
+
+    #[test]
+    fn add_sub_is_controlled() {
+        let w = 4;
+        let mut m = Mig::new(2 * w + 1);
+        let a: Word = (0..w).map(|i| m.input(i)).collect();
+        let b: Word = (0..w).map(|i| m.input(w + i)).collect();
+        let sel = m.input(2 * w);
+        let r = add_sub(&mut m, &a, &b, sel);
+        for s in r {
+            m.add_output(s);
+        }
+        for x in 0..16u64 {
+            for y in 0..16u64 {
+                for s in [0u64, 1] {
+                    let mut asn = bits_of(x, w);
+                    asn.extend(bits_of(y, w));
+                    asn.push(s == 1);
+                    let got = to_u64(&eval(&m, &asn));
+                    let want = if s == 1 {
+                        x.wrapping_sub(y) & 0xF
+                    } else {
+                        (x + y) & 0xF
+                    };
+                    assert_eq!(got, want, "{x} ± {y} (sel {s})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn or_reduce_and_const_words() {
+        let mut m = Mig::new(3);
+        let a: Word = (0..3).map(|i| m.input(i)).collect();
+        let r = or_reduce(&mut m, &a);
+        m.add_output(r);
+        for x in 0..8u64 {
+            let out = eval(&m, &bits_of(x, 3));
+            assert_eq!(out[0], x != 0);
+        }
+        assert_eq!(const_word(4, 0b1010)[1], Signal::ONE);
+        assert_eq!(const_word(4, 0b1010)[0], Signal::ZERO);
+        assert_eq!(zero_word(3), vec![Signal::ZERO; 3]);
+    }
+}

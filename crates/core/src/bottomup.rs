@@ -1,0 +1,266 @@
+//! The bottom-up functional-hashing approach (paper §IV-B, Algorithm 2).
+//!
+//! Nodes are visited in topological order from the inputs. For every node
+//! a bounded list of *candidates* is kept — alternative implementations in
+//! the rebuilt MIG together with their estimated size and depth. Each
+//! 4-feasible cut contributes candidates obtained by instantiating the
+//! cut's minimum network over combinations of the leaves' candidates; the
+//! paper's `insert` keeps only "a predetermined number of best candidates"
+//! (like priority cuts), which is the `max_candidates` knob here.
+//!
+//! Size is estimated with *area flow* (amortized node count over fanout),
+//! the standard sharing-aware cost for DP over DAGs; the true size is the
+//! rebuilt MIG's gate count after dead-node cleanup.
+
+use crate::common::{cut_is_region_legal, internal_nodes, is_trivial, Replacement};
+use crate::{FhStats, FunctionalHashing};
+use cuts::{enumerate_cuts, Cut, CutSet};
+use mig::{FfrPartition, Mig, NodeId, Signal};
+
+/// One candidate implementation of an old node.
+#[derive(Debug, Clone, Copy)]
+struct Candidate {
+    /// Signal in the rebuilt MIG (plain polarity of the old node).
+    sig: Signal,
+    /// Area-flow estimate (amortized gates).
+    af: f64,
+    /// Estimated level.
+    depth: u32,
+}
+
+pub(crate) struct BottomUp<'a> {
+    engine: &'a FunctionalHashing,
+    old: &'a Mig,
+    cuts: CutSet,
+    refs: Vec<f64>,
+    ffr: Option<FfrPartition>,
+    new: Mig,
+    cand: Vec<Vec<Candidate>>,
+    stats: FhStats,
+}
+
+impl<'a> BottomUp<'a> {
+    pub(crate) fn run(
+        engine: &'a FunctionalHashing,
+        old: &'a Mig,
+        use_ffr: bool,
+    ) -> (Mig, FhStats) {
+        let cuts = enumerate_cuts(old, &engine.config().cut_config);
+        let refs: Vec<f64> = old
+            .fanout_counts()
+            .iter()
+            .map(|&c| f64::from(c.max(1)))
+            .collect();
+        let mut bu = BottomUp {
+            engine,
+            old,
+            cuts,
+            refs,
+            ffr: use_ffr.then(|| FfrPartition::compute(old)),
+            new: Mig::new(old.num_inputs()),
+            cand: vec![Vec::new(); old.num_nodes()],
+            stats: FhStats::default(),
+        };
+        // Terminals: a single zero-cost candidate (Algorithm 2, line 3).
+        bu.cand[0].push(Candidate {
+            sig: Signal::ZERO,
+            af: 0.0,
+            depth: 0,
+        });
+        for i in 0..old.num_inputs() {
+            bu.cand[i + 1].push(Candidate {
+                sig: bu.new.input(i),
+                af: 0.0,
+                depth: 0,
+            });
+        }
+        for v in old.gates() {
+            bu.process_gate(v);
+        }
+        // Line 14: take the best candidate for each output.
+        for out in old.outputs().to_vec() {
+            let best = bu.cand[out.node() as usize][0];
+            bu.new
+                .add_output(best.sig.complement_if(out.is_complemented()));
+        }
+        let cleaned = bu.new.cleanup();
+        (cleaned, bu.stats)
+    }
+
+    fn process_gate(&mut self, v: NodeId) {
+        let max_cand = self.engine.config().max_candidates.max(1);
+        let mut list: Vec<Candidate> = Vec::with_capacity(max_cand + 1);
+
+        // Baseline candidate: rebuild the gate over the children's best
+        // candidates.
+        let [a, b, c] = self.old.fanins(v);
+        let pick = |bu: &Self, s: Signal| {
+            let cand = bu.cand[s.node() as usize][0];
+            (
+                cand.sig.complement_if(s.is_complemented()),
+                cand.af / bu.refs[s.node() as usize],
+                cand.depth,
+            )
+        };
+        let (sa, afa, da) = pick(self, a);
+        let (sb, afb, db_) = pick(self, b);
+        let (sc, afc, dc) = pick(self, c);
+        let sig = self.new.maj(sa, sb, sc);
+        insert_candidate(
+            &mut list,
+            Candidate {
+                sig,
+                af: 1.0 + afa + afb + afc,
+                depth: 1 + da.max(db_).max(dc),
+            },
+            max_cand,
+        );
+
+        // Cut-based candidates (Algorithm 2, lines 5-10).
+        let cuts: Vec<Cut> = self.cuts.of(v).to_vec();
+        for cut in cuts {
+            if is_trivial(&cut, v) || cut.len() > 4 {
+                continue;
+            }
+            if let Some(ffr) = self.ffr.as_ref() {
+                let internal = internal_nodes(self.old, v, &cut);
+                if !cut_is_region_legal(ffr, v, &internal) {
+                    continue;
+                }
+            }
+            let Some(repl) =
+                Replacement::prepare(&cut, self.engine.database(), self.engine.canonizer())
+            else {
+                continue;
+            };
+            // Enumerate combinations of leaf candidates, capped (the
+            // paper notes the cross product "may lead to a tremendous
+            // number of candidates").
+            let leaf_lists: Vec<&[Candidate]> = cut
+                .leaves()
+                .iter()
+                .map(|&l| self.cand[l as usize].as_slice())
+                .collect();
+            let combos = bounded_combinations(
+                &leaf_lists.iter().map(|l| l.len()).collect::<Vec<_>>(),
+                self.engine.config().max_combinations.max(1),
+            );
+            for combo in combos {
+                let chosen: Vec<Candidate> = combo
+                    .iter()
+                    .zip(&leaf_lists)
+                    .map(|(&i, l)| l[i])
+                    .collect();
+                let af = f64::from(repl.db_size)
+                    + cut
+                        .leaves()
+                        .iter()
+                        .zip(&chosen)
+                        .map(|(&l, c)| c.af / self.refs[l as usize])
+                        .sum::<f64>();
+                let depth = repl.estimated_level(&cut, |pos| chosen[pos].depth);
+                // Only instantiate candidates that can enter the list
+                // (bounds the rebuilt graph's growth).
+                if !would_enter(&list, af, depth, max_cand) {
+                    continue;
+                }
+                let sig = repl.instantiate(&mut self.new, &cut, self.engine.database(), |pos| {
+                    chosen[pos].sig
+                });
+                self.stats.replacements += 1;
+                insert_candidate(&mut list, Candidate { sig, af, depth }, max_cand);
+            }
+        }
+        self.cand[v as usize] = list;
+    }
+}
+
+/// Whether a candidate with this cost would make it into the bounded list.
+fn would_enter(list: &[Candidate], af: f64, depth: u32, max_cand: usize) -> bool {
+    if list.len() < max_cand {
+        return true;
+    }
+    let worst = list.last().expect("non-empty");
+    (af, depth) < (worst.af, worst.depth)
+}
+
+/// The paper's `insert`: keep the list sorted by the optimization criteria
+/// (area flow, then depth) and bounded.
+fn insert_candidate(list: &mut Vec<Candidate>, c: Candidate, max_cand: usize) {
+    // Deduplicate by signal: keep the better bookkeeping.
+    if let Some(existing) = list.iter_mut().find(|e| e.sig == c.sig) {
+        if (c.af, c.depth) < (existing.af, existing.depth) {
+            *existing = c;
+        }
+    } else {
+        list.push(c);
+    }
+    list.sort_by(|x, y| {
+        (x.af, x.depth)
+            .partial_cmp(&(y.af, y.depth))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    list.truncate(max_cand);
+}
+
+/// Index combinations over `lens` lists, in lexicographic order starting
+/// from all-zeros (lists are sorted best-first, so early combinations pair
+/// good candidates), capped at `cap`.
+fn bounded_combinations(lens: &[usize], cap: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::with_capacity(cap);
+    let mut idx = vec![0usize; lens.len()];
+    'outer: loop {
+        out.push(idx.clone());
+        if out.len() >= cap {
+            break;
+        }
+        // Odometer increment.
+        for i in (0..lens.len()).rev() {
+            idx[i] += 1;
+            if idx[i] < lens[i] {
+                continue 'outer;
+            }
+            idx[i] = 0;
+        }
+        break;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_combinations_enumerate_lexicographically() {
+        let combos = bounded_combinations(&[2, 3], 100);
+        assert_eq!(combos.len(), 6);
+        assert_eq!(combos[0], vec![0, 0]);
+        assert_eq!(combos[1], vec![0, 1]);
+        assert_eq!(combos[5], vec![1, 2]);
+        let capped = bounded_combinations(&[2, 3], 4);
+        assert_eq!(capped.len(), 4);
+        let single = bounded_combinations(&[1, 1, 1, 1], 8);
+        assert_eq!(single, vec![vec![0, 0, 0, 0]]);
+    }
+
+    #[test]
+    fn insert_keeps_list_sorted_and_bounded() {
+        let mk = |sig: usize, af: f64, depth: u32| Candidate {
+            sig: Signal::from_code(sig),
+            af,
+            depth,
+        };
+        let mut list = Vec::new();
+        insert_candidate(&mut list, mk(2, 5.0, 3), 2);
+        insert_candidate(&mut list, mk(4, 2.0, 7), 2);
+        insert_candidate(&mut list, mk(6, 3.0, 1), 2);
+        assert_eq!(list.len(), 2);
+        assert_eq!(list[0].sig, Signal::from_code(4));
+        assert_eq!(list[1].sig, Signal::from_code(6));
+        // Same signal with better cost replaces in place.
+        insert_candidate(&mut list, mk(6, 1.0, 1), 2);
+        assert_eq!(list[0].sig, Signal::from_code(6));
+        assert_eq!(list.len(), 2);
+    }
+}

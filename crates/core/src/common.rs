@@ -1,0 +1,157 @@
+//! Shared machinery of the functional-hashing variants: cut-function
+//! canonization, database lookup, legality checks and template
+//! instantiation.
+
+use cuts::{cut_internal_nodes, Cut};
+use mig::{FfrPartition, Mig, NodeId, Signal};
+use npndb::Database;
+use truth::Npn4Canonizer;
+
+/// A prepared cut replacement: everything needed to decide on and perform
+/// the substitution of a cut by its minimum representation.
+#[derive(Debug, Clone)]
+pub(crate) struct Replacement {
+    /// NPN representative of the (padded) cut function.
+    pub rep: u16,
+    /// Gates in the minimum network.
+    pub db_size: u32,
+    /// Depth of the minimum network.
+    pub db_depth: u32,
+    /// For template input `i`: the cut-leaf position feeding it (positions
+    /// `>= cut.len()` are vacuous padding) and its polarity.
+    pub input_map: [(usize, bool); 4],
+    /// Whether the template output is complemented.
+    pub out_neg: bool,
+    /// Longest gate-path from the template output to each template input
+    /// (`None` = input unused).
+    pub input_depths: [Option<u32>; 4],
+}
+
+impl Replacement {
+    /// Prepares the replacement for a cut: pads the cut function to 4
+    /// variables, canonizes it, and looks up the minimum network.
+    ///
+    /// Returns `None` for trivial cuts (single leaf = the root itself is
+    /// handled by the caller; the lookup itself always succeeds with a
+    /// complete database).
+    pub fn prepare(cut: &Cut, db: &Database, canon: &Npn4Canonizer) -> Option<Replacement> {
+        let m = cut.len();
+        if m > 4 {
+            return None;
+        }
+        // Pad the cut function to 4 variables (extra variables vacuous).
+        let tt4 = cut
+            .truth_table_full()
+            .expand(4, &(0..m).collect::<Vec<_>>())
+            .as_u16();
+        let (rep, t) = canon.canonize(tt4);
+        let entry = db.get(rep)?;
+        let inv = t.inverse();
+        let mut input_map = [(0usize, false); 4];
+        for (i, im) in input_map.iter_mut().enumerate() {
+            *im = (inv.perm(i), inv.input_negated(i));
+        }
+        let depths = entry.network.input_depths();
+        let mut input_depths = [None; 4];
+        for (i, d) in depths.iter().enumerate() {
+            input_depths[i] = *d;
+        }
+        Some(Replacement {
+            rep,
+            db_size: entry.size,
+            db_depth: entry.depth,
+            input_map,
+            out_neg: inv.output_negated(),
+            input_depths,
+        })
+    }
+
+    /// Estimates the level of the replacement root from per-leaf levels
+    /// (`leaf_level(pos)` for cut-leaf position `pos`).
+    pub fn estimated_level(&self, cut: &Cut, leaf_level: impl Fn(usize) -> u32) -> u32 {
+        let mut level = 0;
+        for (i, d) in self.input_depths.iter().enumerate() {
+            if let Some(d) = d {
+                let (pos, _) = self.input_map[i];
+                if pos < cut.len() {
+                    level = level.max(leaf_level(pos) + d);
+                }
+            }
+        }
+        level
+    }
+
+    /// Estimates the depth of each candidate... instantiates the minimum
+    /// network in `mig`, wiring cut-leaf signals (`leaf_sig(pos)`) through
+    /// the NPN transform. Vacuous template inputs receive constant 0.
+    pub fn instantiate(
+        &self,
+        mig: &mut Mig,
+        cut: &Cut,
+        db: &Database,
+        leaf_sig: impl Fn(usize) -> Signal,
+    ) -> Signal {
+        let entry = db.get(self.rep).expect("prepared from this database");
+        let leaves: Vec<Signal> = self
+            .input_map
+            .iter()
+            .map(|&(pos, neg)| {
+                if pos < cut.len() {
+                    leaf_sig(pos).complement_if(neg)
+                } else {
+                    Signal::ZERO
+                }
+            })
+            .collect();
+        entry
+            .network
+            .instantiate(mig, &leaves)
+            .complement_if(self.out_neg)
+    }
+}
+
+/// Checks that no internal node of the cut (other than the root) has
+/// fanout escaping the cut cone (paper §IV-C, first option). `fanout` are
+/// whole-graph fanout counts including outputs.
+pub(crate) fn cut_is_fanout_legal(
+    mig: &Mig,
+    root: NodeId,
+    internal: &[NodeId],
+    fanout: &[u32],
+) -> bool {
+    for &n in internal {
+        if n == root {
+            continue;
+        }
+        // Count references to n from within the cut cone.
+        let inside = internal
+            .iter()
+            .filter(|&&m| m != n && mig.fanins(m).iter().any(|s| s.node() == n))
+            .count() as u32;
+        if fanout[n as usize] != inside {
+            return false;
+        }
+    }
+    true
+}
+
+/// Checks that all internal nodes belong to the fanout-free region of
+/// `root`'s region root (paper §IV-C, second option).
+pub(crate) fn cut_is_region_legal(
+    ffr: &FfrPartition,
+    root: NodeId,
+    internal: &[NodeId],
+) -> bool {
+    let region = ffr.root_of(root);
+    internal.iter().all(|&n| ffr.root_of(n) == region)
+}
+
+/// Convenience: the internal nodes of a cut.
+pub(crate) fn internal_nodes(mig: &Mig, root: NodeId, cut: &Cut) -> Vec<NodeId> {
+    cut_internal_nodes(mig, root, cut.leaves())
+}
+
+/// Whether a cut is the trivial cut of `root`.
+pub(crate) fn is_trivial(cut: &Cut, root: NodeId) -> bool {
+    cut.len() == 1 && cut.leaves()[0] == root
+}

@@ -1,0 +1,361 @@
+//! Functional-hashing size optimization for MIGs — the primary
+//! contribution of *Optimizing Majority-Inverter Graphs with Functional
+//! Hashing* (Soeken et al., DATE 2016, §IV).
+//!
+//! The optimizer enumerates all 4-feasible cuts of an MIG, canonizes each
+//! cut function under NPN equivalence, and replaces cuts with precomputed
+//! minimum-size MIGs from the [`npndb::Database`] when that reduces the
+//! node count. The paper's variants are all available as [`Variant`]s:
+//!
+//! | Acronym | Variant | Meaning |
+//! |---------|---------|---------|
+//! | `T`   | [`Variant::TopDown`]          | Algorithm 1, whole graph |
+//! | `TD`  | [`Variant::TopDownDepth`]     | + depth-preserving heuristic |
+//! | `TF`  | [`Variant::TopDownFfr`]       | Algorithm 1 per fanout-free region |
+//! | `TFD` | [`Variant::TopDownFfrDepth`]  | + depth-preserving heuristic |
+//! | `B`   | [`Variant::BottomUp`]         | Algorithm 2, whole graph |
+//! | `BF`  | [`Variant::BottomUpFfr`]      | Algorithm 2 per fanout-free region |
+//!
+//! # Examples
+//!
+//! ```
+//! use fhash::{FunctionalHashing, Variant};
+//! use mig::Mig;
+//!
+//! // A naively built xor3 takes 6 gates; its minimum MIG takes 3.
+//! let mut m = Mig::new(3);
+//! let (a, b, c) = (m.input(0), m.input(1), m.input(2));
+//! let x = m.xor(a, b);
+//! let y = m.xor(x, c);
+//! m.add_output(y);
+//! assert_eq!(m.num_gates(), 6);
+//!
+//! let engine = FunctionalHashing::with_default_database();
+//! let opt = engine.run(&m, Variant::TopDown);
+//! assert_eq!(opt.num_gates(), 3);
+//! assert_eq!(opt.output_truth_tables(), m.output_truth_tables());
+//! ```
+
+mod bottomup;
+mod common;
+mod topdown;
+
+use cuts::CutConfig;
+use mig::Mig;
+use npndb::Database;
+use truth::Npn4Canonizer;
+
+/// The six algorithm variants of paper §IV / Table III.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// `T`: top-down over the whole MIG (Algorithm 1).
+    TopDown,
+    /// `TD`: top-down with the depth-preserving heuristic.
+    TopDownDepth,
+    /// `TF`: top-down within each fanout-free region.
+    TopDownFfr,
+    /// `TFD`: top-down within each fanout-free region, depth-preserving.
+    TopDownFfrDepth,
+    /// `B`: bottom-up over the whole MIG (Algorithm 2).
+    BottomUp,
+    /// `BF`: bottom-up within each fanout-free region.
+    BottomUpFfr,
+}
+
+impl Variant {
+    /// All variants, in the column order of the paper's Table III
+    /// (TF, T, TFD, TD, BF) plus `B`.
+    pub const ALL: [Variant; 6] = [
+        Variant::TopDownFfr,
+        Variant::TopDown,
+        Variant::TopDownFfrDepth,
+        Variant::TopDownDepth,
+        Variant::BottomUpFfr,
+        Variant::BottomUp,
+    ];
+
+    /// The paper's acronym for the variant.
+    pub fn acronym(self) -> &'static str {
+        match self {
+            Variant::TopDown => "T",
+            Variant::TopDownDepth => "TD",
+            Variant::TopDownFfr => "TF",
+            Variant::TopDownFfrDepth => "TFD",
+            Variant::BottomUp => "B",
+            Variant::BottomUpFfr => "BF",
+        }
+    }
+}
+
+impl std::fmt::Display for Variant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.acronym())
+    }
+}
+
+/// Tuning knobs for the functional-hashing engine.
+#[derive(Debug, Clone, Copy)]
+pub struct FhConfig {
+    /// Cut enumeration parameters (the paper uses 4-feasible cuts).
+    pub cut_config: CutConfig,
+    /// Bound on candidates kept per node in the bottom-up approach (the
+    /// paper's priority-cut-like `insert` bound).
+    pub max_candidates: usize,
+    /// Bound on leaf-candidate combinations evaluated per cut in the
+    /// bottom-up approach.
+    pub max_combinations: usize,
+    /// Slack allowed by the depth-preserving heuristic (0 = strictly
+    /// depth-preserving locally).
+    pub allowed_depth_increase: u32,
+}
+
+impl Default for FhConfig {
+    fn default() -> Self {
+        FhConfig {
+            cut_config: CutConfig::default(),
+            max_candidates: 3,
+            max_combinations: 4,
+            allowed_depth_increase: 0,
+        }
+    }
+}
+
+/// Statistics reported by a functional-hashing run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FhStats {
+    /// Number of cut replacements performed.
+    pub replacements: u64,
+    /// Sum of estimated gains of the performed replacements (top-down
+    /// only; the real gain is visible in the returned MIG's size).
+    pub estimated_gain: i64,
+}
+
+/// The functional-hashing optimizer (paper §IV).
+///
+/// Owns the NPN database and canonizer so repeated [`FunctionalHashing::run`]
+/// calls share the precomputed state.
+#[derive(Debug)]
+pub struct FunctionalHashing {
+    db: Database,
+    canon: Npn4Canonizer,
+    config: FhConfig,
+}
+
+impl FunctionalHashing {
+    /// Creates an engine from a database and configuration.
+    pub fn new(db: Database, config: FhConfig) -> Self {
+        FunctionalHashing {
+            db,
+            canon: Npn4Canonizer::new(),
+            config,
+        }
+    }
+
+    /// Creates an engine with the embedded pregenerated database and
+    /// default configuration.
+    pub fn with_default_database() -> Self {
+        Self::new(Database::embedded(), FhConfig::default())
+    }
+
+    /// The engine's database.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The engine's NPN canonizer.
+    pub fn canonizer(&self) -> &Npn4Canonizer {
+        &self.canon
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &FhConfig {
+        &self.config
+    }
+
+    /// Optimizes `mig` with the chosen variant; the result is cleaned up
+    /// (no dangling gates) and functionally equivalent to the input.
+    pub fn run(&self, mig: &Mig, variant: Variant) -> Mig {
+        self.run_with_stats(mig, variant).0
+    }
+
+    /// Like [`FunctionalHashing::run`], also returning run statistics.
+    pub fn run_with_stats(&self, mig: &Mig, variant: Variant) -> (Mig, FhStats) {
+        match variant {
+            Variant::TopDown => topdown::TopDown::run(self, mig, false, false),
+            Variant::TopDownDepth => topdown::TopDown::run(self, mig, true, false),
+            Variant::TopDownFfr => topdown::TopDown::run(self, mig, false, true),
+            Variant::TopDownFfrDepth => topdown::TopDown::run(self, mig, true, true),
+            Variant::BottomUp => bottomup::BottomUp::run(self, mig, false),
+            Variant::BottomUpFfr => bottomup::BottomUp::run(self, mig, true),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mig::Signal;
+
+    fn engine() -> FunctionalHashing {
+        FunctionalHashing::with_default_database()
+    }
+
+    /// A naively-constructed 4-input parity (9 gates; minimum is 6).
+    fn naive_xor4() -> Mig {
+        let mut m = Mig::new(4);
+        let (a, b, c, d) = (m.input(0), m.input(1), m.input(2), m.input(3));
+        let x = m.xor(a, b);
+        let y = m.xor(c, d);
+        let z = m.xor(x, y);
+        m.add_output(z);
+        m
+    }
+
+    #[test]
+    fn variant_acronyms_match_paper() {
+        let names: Vec<&str> = Variant::ALL.iter().map(|v| v.acronym()).collect();
+        assert_eq!(names, vec!["TF", "T", "TFD", "TD", "BF", "B"]);
+    }
+
+    #[test]
+    fn all_variants_preserve_functionality() {
+        let m = naive_xor4();
+        let e = engine();
+        let want = m.output_truth_tables();
+        for v in Variant::ALL {
+            let opt = e.run(&m, v);
+            assert_eq!(opt.output_truth_tables(), want, "variant {v}");
+            assert_eq!(opt.num_inputs(), 4);
+            assert_eq!(opt.num_outputs(), 1);
+        }
+    }
+
+    #[test]
+    fn topdown_reaches_minimum_for_xor4() {
+        let m = naive_xor4();
+        let opt = engine().run(&m, Variant::TopDown);
+        // The parity class needs 6 gates (embedded database, Table I).
+        assert_eq!(opt.num_gates(), 6);
+    }
+
+    #[test]
+    fn topdown_never_increases_size() {
+        // Rebuilding with strash plus gain>=1 replacements can only shrink.
+        let e = engine();
+        let mut m = Mig::new(5);
+        let ins: Vec<Signal> = m.inputs();
+        let g1 = m.maj(ins[0], ins[1], ins[2]);
+        let g2 = m.xor(g1, ins[3]);
+        let g3 = m.mux(ins[4], g2, g1);
+        let g4 = m.maj(g3, g1, ins[0]);
+        m.add_output(g4);
+        m.add_output(g2);
+        for v in [
+            Variant::TopDown,
+            Variant::TopDownDepth,
+            Variant::TopDownFfr,
+            Variant::TopDownFfrDepth,
+        ] {
+            let opt = e.run(&m, v);
+            assert!(
+                opt.num_gates() <= m.num_gates(),
+                "variant {v}: {} > {}",
+                opt.num_gates(),
+                m.num_gates()
+            );
+            assert_eq!(opt.output_truth_tables(), m.output_truth_tables());
+        }
+    }
+
+    #[test]
+    fn depth_preserving_respects_local_levels() {
+        let m = naive_xor4();
+        let e = engine();
+        let (opt_t, stats_t) = e.run_with_stats(&m, Variant::TopDown);
+        let (opt_td, _) = e.run_with_stats(&m, Variant::TopDownDepth);
+        assert!(stats_t.replacements > 0);
+        // TD is allowed to do less, never more, than T in size.
+        assert!(opt_td.num_gates() >= opt_t.num_gates());
+        assert!(opt_td.depth() <= m.depth());
+        assert_eq!(opt_td.output_truth_tables(), m.output_truth_tables());
+    }
+
+    #[test]
+    fn bottomup_shrinks_redundant_logic() {
+        let m = naive_xor4();
+        let e = engine();
+        let opt = e.run(&m, Variant::BottomUp);
+        assert!(opt.num_gates() <= m.num_gates());
+        assert_eq!(opt.output_truth_tables(), m.output_truth_tables());
+        let opt_ffr = e.run(&m, Variant::BottomUpFfr);
+        assert_eq!(opt_ffr.output_truth_tables(), m.output_truth_tables());
+    }
+
+    #[test]
+    fn shared_logic_is_not_duplicated_by_ffr_variants() {
+        // g1 is shared by two regions; TF must keep it shared.
+        let mut m = Mig::new(4);
+        let (a, b, c, d) = (m.input(0), m.input(1), m.input(2), m.input(3));
+        let g1 = m.xor(a, b);
+        let o1 = m.maj(g1, c, d);
+        let o2 = m.maj(g1, !c, d);
+        m.add_output(o1);
+        m.add_output(o2);
+        let e = engine();
+        let opt = e.run(&m, Variant::TopDownFfr);
+        assert_eq!(opt.output_truth_tables(), m.output_truth_tables());
+        assert!(opt.num_gates() <= m.num_gates());
+    }
+
+    #[test]
+    fn multi_output_polarities_preserved() {
+        let mut m = Mig::new(3);
+        let (a, b, c) = (m.input(0), m.input(1), m.input(2));
+        let (s, co) = m.full_adder(a, b, c);
+        m.add_output(!s);
+        m.add_output(co);
+        m.add_output(s);
+        let e = engine();
+        for v in Variant::ALL {
+            let opt = e.run(&m, v);
+            assert_eq!(opt.output_truth_tables(), m.output_truth_tables(), "{v}");
+        }
+    }
+
+    #[test]
+    fn constant_and_passthrough_outputs() {
+        let mut m = Mig::new(2);
+        let (a, b) = (m.input(0), m.input(1));
+        let g = m.and(a, b);
+        m.add_output(Signal::ZERO);
+        m.add_output(Signal::ONE);
+        m.add_output(a);
+        m.add_output(!g);
+        let e = engine();
+        for v in Variant::ALL {
+            let opt = e.run(&m, v);
+            assert_eq!(opt.output_truth_tables(), m.output_truth_tables(), "{v}");
+        }
+    }
+
+    #[test]
+    fn stats_report_replacements() {
+        let m = naive_xor4();
+        let e = engine();
+        let (_, stats) = e.run_with_stats(&m, Variant::TopDown);
+        assert!(stats.replacements >= 1);
+        assert!(stats.estimated_gain >= 1);
+    }
+
+    #[test]
+    fn empty_and_gateless_migs_pass_through() {
+        let mut m = Mig::new(2);
+        let a = m.input(1);
+        m.add_output(a);
+        for v in Variant::ALL {
+            let opt = engine().run(&m, v);
+            assert_eq!(opt.num_gates(), 0);
+            assert_eq!(opt.output_truth_tables(), m.output_truth_tables());
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! The top-down functional-hashing approach (paper §IV-A, Algorithm 1).
+//!
+//! Starting from each output, find the cut whose replacement by its
+//! precomputed minimum MIG yields the largest size reduction; if one
+//! exists, instantiate the minimum network and recur on the cut leaves
+//! (skipping the cut's internal nodes entirely), otherwise recur on the
+//! node's fanins. The optimized MIG is rebuilt from scratch with
+//! structural hashing.
+//!
+//! The depth-preserving variant (paper: TD/TFD) discards cuts whose
+//! replacement would locally raise the root's level above its original
+//! level; as the paper notes, the global depth may still increase when an
+//! individual path through a leaf is lengthened.
+
+use crate::common::{
+    cut_is_fanout_legal, cut_is_region_legal, internal_nodes, is_trivial, Replacement,
+};
+use crate::{FhStats, FunctionalHashing};
+use cuts::{enumerate_cuts, CutSet};
+use mig::{FfrPartition, Mig, NodeId, Signal};
+
+pub(crate) struct TopDown<'a> {
+    engine: &'a FunctionalHashing,
+    old: &'a Mig,
+    cuts: CutSet,
+    fanout: Vec<u32>,
+    levels: Vec<u32>,
+    ffr: Option<FfrPartition>,
+    depth_preserving: bool,
+    new: Mig,
+    memo: Vec<Option<Signal>>,
+    stats: FhStats,
+}
+
+impl<'a> TopDown<'a> {
+    pub(crate) fn run(
+        engine: &'a FunctionalHashing,
+        old: &'a Mig,
+        depth_preserving: bool,
+        use_ffr: bool,
+    ) -> (Mig, FhStats) {
+        let cuts = enumerate_cuts(old, &engine.config().cut_config);
+        let mut td = TopDown {
+            engine,
+            old,
+            cuts,
+            fanout: old.fanout_counts(),
+            levels: old.levels(),
+            ffr: use_ffr.then(|| FfrPartition::compute(old)),
+            depth_preserving,
+            new: Mig::new(old.num_inputs()),
+            memo: vec![None; old.num_nodes()],
+            stats: FhStats::default(),
+        };
+        td.memo[0] = Some(Signal::ZERO);
+        for i in 0..old.num_inputs() {
+            td.memo[i + 1] = Some(td.new.input(i));
+        }
+        if let Some(ffr) = td.ffr.as_ref() {
+            // Region roots in topological order: every region's inputs are
+            // terminals or previously optimized roots.
+            for root in ffr.roots().to_vec() {
+                td.opt(root);
+            }
+        }
+        for out in old.outputs().to_vec() {
+            let s = td.opt(out.node()).complement_if(out.is_complemented());
+            td.new.add_output(s);
+        }
+        let cleaned = td.new.cleanup();
+        (cleaned, td.stats)
+    }
+
+    /// Algorithm 1's `opt`: returns the optimized signal for the *plain*
+    /// polarity of old node `v`.
+    fn opt(&mut self, v: NodeId) -> Signal {
+        if let Some(s) = self.memo[v as usize] {
+            return s;
+        }
+        debug_assert!(self.old.is_gate(v));
+
+        let sig = match self.select_cut(v) {
+            Some((cut, repl)) => {
+                // Recur on the leaves, then instantiate the minimum MIG.
+                let leaf_sigs: Vec<Signal> =
+                    cut.leaves().iter().map(|&l| self.opt(l)).collect();
+                self.stats.replacements += 1;
+                self.stats.estimated_gain += i64::from(repl.gain);
+                repl.repl
+                    .instantiate(&mut self.new, &cut, self.engine.database(), |pos| {
+                        leaf_sigs[pos]
+                    })
+            }
+            None => {
+                // Line 9-10: rebuild the node from its optimized fanins.
+                let [a, b, c] = self.old.fanins(v);
+                let (sa, sb, sc) = (
+                    self.opt(a.node()).complement_if(a.is_complemented()),
+                    self.opt(b.node()).complement_if(b.is_complemented()),
+                    self.opt(c.node()).complement_if(c.is_complemented()),
+                );
+                self.new.maj(sa, sb, sc)
+            }
+        };
+        self.memo[v as usize] = Some(sig);
+        sig
+    }
+
+    /// Line 3 of Algorithm 1: the legal cut with the best size reduction.
+    fn select_cut(&self, v: NodeId) -> Option<(cuts::Cut, ScoredReplacement)> {
+        let mut best: Option<(cuts::Cut, ScoredReplacement)> = None;
+        for cut in self.cuts.of(v) {
+            if is_trivial(cut, v) {
+                continue;
+            }
+            let internal = internal_nodes(self.old, v, cut);
+            let legal = match self.ffr.as_ref() {
+                Some(ffr) => cut_is_region_legal(ffr, v, &internal),
+                None => cut_is_fanout_legal(self.old, v, &internal, &self.fanout),
+            };
+            if !legal {
+                continue;
+            }
+            let Some(repl) =
+                Replacement::prepare(cut, self.engine.database(), self.engine.canonizer())
+            else {
+                continue;
+            };
+            let gain = internal.len() as i32 - repl.db_size as i32;
+            if gain < 1 {
+                continue;
+            }
+            if self.depth_preserving {
+                let est =
+                    repl.estimated_level(cut, |pos| self.levels[cut.leaves()[pos] as usize]);
+                if est > self.levels[v as usize] + self.engine.config().allowed_depth_increase {
+                    continue;
+                }
+            }
+            let est_level =
+                repl.estimated_level(cut, |pos| self.levels[cut.leaves()[pos] as usize]);
+            // Prefer larger gain, then lower resulting level, then a
+            // shallower database template.
+            let better = match &best {
+                None => true,
+                Some((_, b)) => (
+                    gain,
+                    std::cmp::Reverse(est_level),
+                    std::cmp::Reverse(repl.db_depth),
+                )
+                    .cmp(&(
+                        b.gain,
+                        std::cmp::Reverse(b.est_level),
+                        std::cmp::Reverse(b.repl.db_depth),
+                    ))
+                    .is_gt(),
+            };
+            if better {
+                best = Some((
+                    *cut,
+                    ScoredReplacement {
+                        repl,
+                        gain,
+                        est_level,
+                    },
+                ));
+            }
+        }
+        best
+    }
+}
+
+pub(crate) struct ScoredReplacement {
+    pub repl: Replacement,
+    pub gain: i32,
+    pub est_level: u32,
+}

@@ -1,0 +1,100 @@
+//! Property tests: every functional-hashing variant must preserve the
+//! functionality of arbitrary MIGs, and the top-down variants must never
+//! increase size.
+
+use fhash::{FunctionalHashing, Variant};
+use mig::{Mig, Signal};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn engine() -> &'static FunctionalHashing {
+    static ENGINE: OnceLock<FunctionalHashing> = OnceLock::new();
+    ENGINE.get_or_init(FunctionalHashing::with_default_database)
+}
+
+#[derive(Debug, Clone)]
+struct Step {
+    idx: [usize; 3],
+    neg: [bool; 3],
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    ([0usize..64, 0usize..64, 0usize..64], any::<[bool; 3]>())
+        .prop_map(|(idx, neg)| Step { idx, neg })
+}
+
+fn build(num_inputs: usize, steps: &[Step], outs: usize) -> Mig {
+    let mut m = Mig::new(num_inputs);
+    let mut sigs: Vec<Signal> = vec![Signal::ZERO];
+    for i in 0..num_inputs {
+        sigs.push(m.input(i));
+    }
+    for s in steps {
+        let g = m.maj(
+            sigs[s.idx[0] % sigs.len()].complement_if(s.neg[0]),
+            sigs[s.idx[1] % sigs.len()].complement_if(s.neg[1]),
+            sigs[s.idx[2] % sigs.len()].complement_if(s.neg[2]),
+        );
+        sigs.push(g);
+    }
+    for k in 0..outs {
+        let s = sigs[sigs.len() - 1 - (k % sigs.len())];
+        m.add_output(s.complement_if(k % 2 == 1));
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn variants_preserve_functionality(
+        num_inputs in 1usize..=6,
+        steps in prop::collection::vec(step_strategy(), 1..60),
+        outs in 1usize..4,
+    ) {
+        let m = build(num_inputs, &steps, outs);
+        let want = m.output_truth_tables();
+        for v in Variant::ALL {
+            let opt = engine().run(&m, v);
+            prop_assert_eq!(
+                opt.output_truth_tables(),
+                want.clone(),
+                "variant {} changed the function",
+                v
+            );
+        }
+    }
+
+    #[test]
+    fn topdown_is_monotone_in_size(
+        num_inputs in 1usize..=6,
+        steps in prop::collection::vec(step_strategy(), 1..60),
+    ) {
+        let m = build(num_inputs, &steps, 2).cleanup();
+        for v in [Variant::TopDown, Variant::TopDownDepth, Variant::TopDownFfr,
+                  Variant::TopDownFfrDepth] {
+            let opt = engine().run(&m, v);
+            prop_assert!(
+                opt.num_gates() <= m.num_gates(),
+                "variant {} grew the MIG: {} -> {}",
+                v, m.num_gates(), opt.num_gates()
+            );
+        }
+    }
+
+    #[test]
+    fn optimization_is_idempotent_in_function(
+        num_inputs in 1usize..=5,
+        steps in prop::collection::vec(step_strategy(), 1..40),
+    ) {
+        // Running a second pass must keep the function and never undo the
+        // size gains of the first pass by more than it helps.
+        let m = build(num_inputs, &steps, 1);
+        let e = engine();
+        let once = e.run(&m, Variant::TopDown);
+        let twice = e.run(&once, Variant::TopDown);
+        prop_assert_eq!(twice.output_truth_tables(), m.output_truth_tables());
+        prop_assert!(twice.num_gates() <= once.num_gates());
+    }
+}

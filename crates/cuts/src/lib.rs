@@ -1,0 +1,541 @@
+//! k-feasible cut enumeration for MIGs (paper §II-C).
+//!
+//! A cut `(v, L)` of an MIG is a root node `v` plus a set of leaves `L`
+//! such that every path from `v` to a terminal passes through a leaf
+//! (paths to the constant node are exempt). Cuts are enumerated bottom-up
+//! with the saturating merge operator `⊗_k`:
+//!
+//! ```text
+//! cuts_k(0) = {{}}        cuts_k(x) = {{x}}
+//! cuts_k(g) = cuts_k(g1) ⊗_k cuts_k(g2) ⊗_k cuts_k(g3)   (plus {{g}})
+//! ```
+//!
+//! Each cut carries the truth table of the root expressed over its leaves,
+//! which is what the functional-hashing engine canonizes and looks up in
+//! the NPN database. Per-node cut lists are bounded (priority cuts, see
+//! paper ref \[11\]) and dominated cuts are filtered.
+
+use mig::{Mig, NodeId, Signal};
+
+/// Maximum supported cut width.
+pub const MAX_CUT_SIZE: usize = 6;
+
+/// A single cut: up to [`MAX_CUT_SIZE`] leaves plus the root function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cut {
+    leaves: [NodeId; MAX_CUT_SIZE],
+    len: u8,
+    /// Truth table of the root over the leaves (leaf `i` = variable `i`),
+    /// valid in the low `2^len` bits.
+    tt: u64,
+    /// Bloom signature for fast dominance tests.
+    sign: u64,
+}
+
+impl Cut {
+    /// Creates the trivial cut `{n}` (function: projection).
+    pub fn trivial(n: NodeId) -> Self {
+        let mut leaves = [0; MAX_CUT_SIZE];
+        leaves[0] = n;
+        Cut {
+            leaves,
+            len: 1,
+            tt: 0b10, // x0 over one variable
+            sign: 1 << (n % 64),
+        }
+    }
+
+    /// Creates the constant cut `{}` (function: constant 0).
+    pub fn constant() -> Self {
+        Cut {
+            leaves: [0; MAX_CUT_SIZE],
+            len: 0,
+            tt: 0,
+            sign: 0,
+        }
+    }
+
+    /// The leaves, sorted ascending.
+    pub fn leaves(&self) -> &[NodeId] {
+        &self.leaves[..self.len as usize]
+    }
+
+    /// Number of leaves.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether this is the constant cut (no leaves).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The root function over the leaves, packed in the low `2^len` bits.
+    pub fn truth_table(&self) -> u64 {
+        self.tt
+    }
+
+    /// The root function as a [`truth::TruthTable`] over `len` variables.
+    pub fn truth_table_full(&self) -> truth::TruthTable {
+        truth::TruthTable::from_bits(self.len(), self.tt)
+    }
+
+    /// Whether `self`'s leaves are a subset of `other`'s (then `other` is
+    /// dominated and can be dropped).
+    pub fn dominates(&self, other: &Cut) -> bool {
+        if self.len > other.len || (self.sign & !other.sign) != 0 {
+            return false;
+        }
+        self.leaves().iter().all(|l| other.leaves().contains(l))
+    }
+
+    /// Merges the leaf sets of three cuts if the union stays within `k`;
+    /// the truth table is filled in by the enumerator.
+    fn merge_leaves(a: &Cut, b: &Cut, c: &Cut, k: usize) -> Option<Cut> {
+        let mut leaves = [0 as NodeId; MAX_CUT_SIZE];
+        let mut len = 0usize;
+        {
+            let mut push = |n: NodeId| -> bool {
+                match leaves[..len].binary_search(&n) {
+                    Ok(_) => true,
+                    Err(pos) => {
+                        if len == k {
+                            return false;
+                        }
+                        leaves.copy_within(pos..len, pos + 1);
+                        leaves[pos] = n;
+                        len += 1;
+                        true
+                    }
+                }
+            };
+            for cut in [a, b, c] {
+                for &l in cut.leaves() {
+                    if !push(l) {
+                        return None;
+                    }
+                }
+            }
+        }
+        Some(Cut {
+            leaves,
+            len: len as u8,
+            tt: 0,
+            sign: a.sign | b.sign | c.sign,
+        })
+    }
+
+    /// Position of leaf `n` within this cut.
+    fn leaf_pos(&self, n: NodeId) -> usize {
+        self.leaves[..self.len as usize]
+            .binary_search(&n)
+            .expect("leaf present")
+    }
+}
+
+/// Expands `tt` over `sub_vars` variables onto a larger variable space
+/// using a position map (`map[i]` = variable index in the target space).
+fn expand_tt(tt: u64, sub_vars: usize, map: &[usize], target_vars: usize) -> u64 {
+    let mut out = 0u64;
+    for j in 0..1usize << target_vars {
+        let mut src = 0usize;
+        for (i, &m) in map.iter().take(sub_vars).enumerate() {
+            if (j >> m) & 1 == 1 {
+                src |= 1 << i;
+            }
+        }
+        if (tt >> src) & 1 == 1 {
+            out |= 1 << j;
+        }
+    }
+    out
+}
+
+/// Configuration for cut enumeration.
+#[derive(Debug, Clone, Copy)]
+pub struct CutConfig {
+    /// Maximum cut width `k` (2..=6). The paper uses 4.
+    pub cut_size: usize,
+    /// Maximum number of cuts stored per node (priority cuts).
+    pub max_cuts: usize,
+}
+
+impl Default for CutConfig {
+    fn default() -> Self {
+        CutConfig {
+            cut_size: 4,
+            max_cuts: 12,
+        }
+    }
+}
+
+/// All cuts of every node of an MIG.
+#[derive(Debug)]
+pub struct CutSet {
+    cuts: Vec<Vec<Cut>>,
+}
+
+impl CutSet {
+    /// The cuts enumerated for node `n` (trivial cut first for gates).
+    pub fn of(&self, n: NodeId) -> &[Cut] {
+        &self.cuts[n as usize]
+    }
+}
+
+/// Enumerates all k-feasible cuts of `mig` under `config`.
+///
+/// # Panics
+///
+/// Panics if `config.cut_size` is outside `2..=MAX_CUT_SIZE`.
+///
+/// # Examples
+///
+/// ```
+/// use cuts::{enumerate_cuts, CutConfig};
+/// use mig::Mig;
+///
+/// let mut m = Mig::new(3);
+/// let (a, b, c) = (m.input(0), m.input(1), m.input(2));
+/// let g = m.maj(a, b, c);
+/// m.add_output(g);
+/// let cuts = enumerate_cuts(&m, &CutConfig::default());
+/// // The non-trivial cut {a, b, c} computes 3-input majority (0xe8).
+/// let best = cuts.of(g.node()).iter().find(|c| c.len() == 3).unwrap();
+/// assert_eq!(best.truth_table(), 0xe8);
+/// ```
+pub fn enumerate_cuts(mig: &Mig, config: &CutConfig) -> CutSet {
+    assert!(
+        (2..=MAX_CUT_SIZE).contains(&config.cut_size),
+        "cut size {} out of range",
+        config.cut_size
+    );
+    let k = config.cut_size;
+    let mut all: Vec<Vec<Cut>> = Vec::with_capacity(mig.num_nodes());
+    // Constant node: the empty cut.
+    all.push(vec![Cut::constant()]);
+    for i in 0..mig.num_inputs() {
+        all.push(vec![Cut::trivial(mig.input(i).node())]);
+    }
+    for g in mig.gates() {
+        let [fa, fb, fc] = mig.fanins(g);
+        let mut res: Vec<Cut> = Vec::new();
+        for ca in &all[fa.node() as usize] {
+            for cb in &all[fb.node() as usize] {
+                'next: for cc in &all[fc.node() as usize] {
+                    let Some(mut merged) = Cut::merge_leaves(ca, cb, cc, k) else {
+                        continue;
+                    };
+                    // Truth table: expand each child's function onto the
+                    // merged leaf space, apply fanin polarities, majority.
+                    let tv = merged.len();
+                    let mut words = [0u64; 3];
+                    let children: [(&Cut, Signal); 3] = [(ca, fa), (cb, fb), (cc, fc)];
+                    for (w, (cut, sig)) in words.iter_mut().zip(children) {
+                        let map: Vec<usize> = cut
+                            .leaves()
+                            .iter()
+                            .map(|&l| merged.leaf_pos(l))
+                            .collect();
+                        let mut t = expand_tt(cut.tt, cut.len(), &map, tv);
+                        if sig.is_complemented() {
+                            t = !t;
+                        }
+                        *w = t & mask(tv);
+                    }
+                    merged.tt =
+                        ((words[0] & words[1]) | (words[0] & words[2]) | (words[1] & words[2]))
+                            & mask(tv);
+                    // Dominance filtering.
+                    for existing in &res {
+                        if existing.dominates(&merged) {
+                            continue 'next;
+                        }
+                    }
+                    res.retain(|e| !merged.dominates(e));
+                    res.push(merged);
+                }
+            }
+        }
+        // Priority: fewer leaves first; stable beyond that.
+        res.sort_by_key(|c| c.len);
+        res.truncate(config.max_cuts.saturating_sub(1));
+        // The trivial cut is always available (needed by parents).
+        res.insert(0, Cut::trivial(g));
+        all.push(res);
+    }
+    CutSet { cuts: all }
+}
+
+fn mask(vars: usize) -> u64 {
+    if vars >= 6 {
+        u64::MAX
+    } else {
+        (1u64 << (1 << vars)) - 1
+    }
+}
+
+/// Returns the internal nodes of cut `(root, leaves)`: every gate on a path
+/// from `root` down to the leaves, including `root`, excluding leaves and
+/// terminals. Result is in descending id order (reverse topological).
+pub fn cut_internal_nodes(mig: &Mig, root: NodeId, leaves: &[NodeId]) -> Vec<NodeId> {
+    let mut internal = Vec::new();
+    let mut stack = vec![root];
+    let mut seen = std::collections::HashSet::new();
+    while let Some(n) = stack.pop() {
+        if leaves.contains(&n) || mig.is_terminal(n) || !seen.insert(n) {
+            continue;
+        }
+        internal.push(n);
+        for s in mig.fanins(n) {
+            stack.push(s.node());
+        }
+    }
+    internal.sort_unstable_by(|a, b| b.cmp(a));
+    internal
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn maj3_mig() -> (Mig, Signal) {
+        let mut m = Mig::new(3);
+        let (a, b, c) = (m.input(0), m.input(1), m.input(2));
+        let g = m.maj(a, b, c);
+        m.add_output(g);
+        (m, g)
+    }
+
+    #[test]
+    fn trivial_cut_is_projection() {
+        let c = Cut::trivial(5);
+        assert_eq!(c.leaves(), &[5]);
+        assert_eq!(c.truth_table(), 0b10);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn single_gate_cuts() {
+        let (m, g) = maj3_mig();
+        let cs = enumerate_cuts(&m, &CutConfig::default());
+        let cuts = cs.of(g.node());
+        assert_eq!(cuts[0].leaves(), &[g.node()]);
+        let wide = cuts.iter().find(|c| c.len() == 3).expect("3-leaf cut");
+        assert_eq!(wide.truth_table(), 0xe8);
+    }
+
+    #[test]
+    fn full_adder_cut_functions() {
+        let mut m = Mig::new(3);
+        let (a, b, cin) = (m.input(0), m.input(1), m.input(2));
+        let (sum, carry) = m.full_adder(a, b, cin);
+        m.add_output(sum);
+        m.add_output(carry);
+        let cs = enumerate_cuts(&m, &CutConfig::default());
+        let sum_cuts = cs.of(sum.node());
+        // Some cut over {a,b,cin} computes xor3 (0x96), modulo the output
+        // polarity carried by the signal.
+        let found = sum_cuts.iter().any(|c| {
+            c.leaves() == [a.node(), b.node(), cin.node()]
+                && (c.truth_table() == 0x96 || c.truth_table() == 0x69)
+        });
+        assert!(found, "cuts: {sum_cuts:?}");
+    }
+
+    #[test]
+    fn cut_width_is_respected() {
+        // A chain over 8 inputs: all cuts must stay within k leaves.
+        let mut m = Mig::new(8);
+        let mut acc = m.input(0);
+        for i in 1..8 {
+            let x = m.input(i);
+            acc = m.maj(acc, x, Signal::ZERO);
+        }
+        m.add_output(acc);
+        for k in 2..=6 {
+            let cfg = CutConfig {
+                cut_size: k,
+                max_cuts: 20,
+            };
+            let cs = enumerate_cuts(&m, &cfg);
+            for g in m.gates() {
+                for c in cs.of(g) {
+                    assert!(c.len() <= k);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn constant_fanins_are_exempt_from_leaves() {
+        // g = <0 a b>: the constant never appears as a leaf (paper: paths
+        // to the constant node are exempt).
+        let mut m = Mig::new(2);
+        let (a, b) = (m.input(0), m.input(1));
+        let g = m.and(a, b);
+        m.add_output(g);
+        let cs = enumerate_cuts(&m, &CutConfig::default());
+        for c in cs.of(g.node()) {
+            assert!(!c.leaves().contains(&0));
+        }
+        let and_cut = cs
+            .of(g.node())
+            .iter()
+            .find(|c| c.len() == 2)
+            .expect("2-leaf cut");
+        assert_eq!(and_cut.truth_table(), 0x8);
+    }
+
+    #[test]
+    fn input_leaf_cut_functions_match_simulation() {
+        let mut m = Mig::new(4);
+        let (a, b, c, d) = (m.input(0), m.input(1), m.input(2), m.input(3));
+        let g1 = m.maj(a, b, !c);
+        let g2 = m.maj(g1, c, d);
+        let g3 = m.xor(g2, a);
+        let g4 = m.maj(g1, !g3, b);
+        m.add_output(g4);
+        let cs = enumerate_cuts(
+            &m,
+            &CutConfig {
+                cut_size: 4,
+                max_cuts: 50,
+            },
+        );
+        let node_tts = m.simulate_tables(
+            &(0..4)
+                .map(|i| truth::TruthTable::var(4, i))
+                .collect::<Vec<_>>(),
+        );
+        let mut checked = 0;
+        for g in m.gates() {
+            for cut in cs.of(g) {
+                if cut.leaves().iter().any(|&l| m.is_gate(l)) {
+                    continue;
+                }
+                // All leaves are inputs: the cut function, re-expressed
+                // over the primary inputs, must equal the node's global
+                // function (leaves cut all paths).
+                let full = cut.truth_table_full().expand(
+                    4,
+                    &cut.leaves()
+                        .iter()
+                        .map(|&l| m.input_index(l))
+                        .collect::<Vec<_>>(),
+                );
+                assert_eq!(full, node_tts[g as usize], "cut {cut:?} of gate {g}");
+                checked += 1;
+            }
+        }
+        assert!(checked > 5, "exercised {checked} cuts");
+    }
+
+    #[test]
+    fn gate_leaf_cut_functions_compose() {
+        // For cuts with gate leaves: composing the cut function with the
+        // leaves' global functions must give the root's global function.
+        let mut m = Mig::new(4);
+        let (a, b, c, d) = (m.input(0), m.input(1), m.input(2), m.input(3));
+        let g1 = m.maj(a, b, c);
+        let g2 = m.maj(!g1, c, d);
+        let g3 = m.maj(g2, g1, !a);
+        m.add_output(g3);
+        let cs = enumerate_cuts(
+            &m,
+            &CutConfig {
+                cut_size: 4,
+                max_cuts: 50,
+            },
+        );
+        let node_tts = m.simulate_tables(
+            &(0..4)
+                .map(|i| truth::TruthTable::var(4, i))
+                .collect::<Vec<_>>(),
+        );
+        for cut in cs.of(g3.node()) {
+            if cut.len() == 1 && cut.leaves()[0] == g3.node() {
+                continue;
+            }
+            // Compose: substitute each leaf variable by its global table.
+            let mut composed = truth::TruthTable::zeros(4);
+            for j in 0..16usize {
+                let mut idx = 0usize;
+                for (pos, &leaf) in cut.leaves().iter().enumerate() {
+                    if node_tts[leaf as usize].bit(j) {
+                        idx |= 1 << pos;
+                    }
+                }
+                if (cut.truth_table() >> idx) & 1 == 1 {
+                    composed.set_bit(j, true);
+                }
+            }
+            assert_eq!(composed, node_tts[g3.node() as usize], "cut {cut:?}");
+        }
+    }
+
+    #[test]
+    fn dominated_cuts_are_filtered() {
+        let (m, g) = maj3_mig();
+        let cs = enumerate_cuts(
+            &m,
+            &CutConfig {
+                cut_size: 4,
+                max_cuts: 50,
+            },
+        );
+        let cuts = cs.of(g.node());
+        for i in 0..cuts.len() {
+            for j in 0..cuts.len() {
+                if i != j {
+                    assert!(
+                        !cuts[i].dominates(&cuts[j]) || cuts[i].leaves() == cuts[j].leaves(),
+                        "cut {i} dominates cut {j}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn internal_nodes_of_cut() {
+        let mut m = Mig::new(4);
+        let (a, b, c, d) = (m.input(0), m.input(1), m.input(2), m.input(3));
+        let g1 = m.maj(a, b, c);
+        let g2 = m.maj(g1, c, d);
+        let g3 = m.maj(g2, g1, a);
+        m.add_output(g3);
+        let internal = cut_internal_nodes(&m, g3.node(), &[g1.node(), d.node()]);
+        assert_eq!(internal, vec![g3.node(), g2.node()]);
+        let all = cut_internal_nodes(&m, g3.node(), &[a.node(), b.node(), c.node(), d.node()]);
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn max_cuts_bounds_list_length() {
+        let mut m = Mig::new(6);
+        let mut layer: Vec<Signal> = (0..6).map(|i| m.input(i)).collect();
+        while layer.len() >= 3 {
+            let g = m.maj(layer[0], layer[1], layer[2]);
+            layer = layer[3..].to_vec();
+            layer.push(g);
+        }
+        m.add_output(layer[0]);
+        let cfg = CutConfig {
+            cut_size: 4,
+            max_cuts: 3,
+        };
+        let cs = enumerate_cuts(&m, &cfg);
+        for g in m.gates() {
+            assert!(cs.of(g).len() <= 3);
+        }
+    }
+
+    #[test]
+    fn expand_tt_scatters_variables() {
+        // x0 & x1 over 2 vars, mapped to positions {2, 0} of 3 vars.
+        let and2 = 0b1000u64;
+        let out = expand_tt(and2, 2, &[2, 0], 3);
+        // Result should be x2 & x0 over 3 vars: minterms 5, 7.
+        assert_eq!(out, 0b1010_0000);
+    }
+}

@@ -1,0 +1,32 @@
+//! Exact synthesis of minimum networks (paper §III).
+//!
+//! Finds minimum-size, minimum-depth and minimum-expression-length
+//! majority-inverter networks (and, for the baseline, AND-inverter
+//! networks) for a given Boolean function by iteratively solving SAT
+//! decision problems with the workspace's CDCL solver — the stand-in for
+//! the paper's Z3-based SMT formulation. See [`minimum_size`],
+//! [`minimum_depth`], [`minimum_length`] and the lower-level
+//! [`synthesize_with_gates`].
+//!
+//! # Examples
+//!
+//! ```
+//! use exact::{minimum_size, SynthesisConfig};
+//! use truth::TruthTable;
+//!
+//! // xor2 needs 3 majority gates.
+//! let xor2 = TruthTable::from_hex(2, "6")?;
+//! let net = minimum_size(&xor2, &SynthesisConfig::default()).unwrap();
+//! assert_eq!(net.size(), 3);
+//! assert_eq!(net.truth_table(), xor2);
+//! # Ok::<(), truth::ParseTableError>(())
+//! ```
+
+mod network;
+mod synth;
+
+pub use network::{GateOp, NetGate, NetRef, Network};
+pub use synth::{
+    minimum_depth, minimum_length, minimum_size, synthesize_with_gates, SynthOutcome,
+    SynthesisConfig, SynthesisError,
+};

@@ -1,0 +1,682 @@
+//! Exact synthesis via SAT (paper §III).
+//!
+//! The paper formulates exact synthesis as an SMT decision problem: does a
+//! network of `k` majority gates realizing `f` exist? We translate the same
+//! constraint system — selection variables with topological-order domains
+//! (5), operand semantics (6)–(8), gate functionality (4), output semantics
+//! (9) and operand-ordering symmetry breaking (10) — into CNF and solve it
+//! with the workspace's CDCL solver. Truth-table rows are added lazily
+//! (CEGAR): the solver sees only the rows a previous candidate got wrong,
+//! which keeps formulas tiny for easy functions.
+//!
+//! Additional symmetry breaking beyond the paper's (10):
+//! * every non-root gate must be referenced (sound when `k` is searched in
+//!   increasing order);
+//! * for majority gates below the root, the first operand polarity is
+//!   fixed plain (self-duality `<āb̄c̄> = ¬<abc>`; consumers absorb the
+//!   complement);
+//! * for the root, the output polarity is fixed plain (same argument, the
+//!   paper makes this observation below Eq. (9)).
+//!
+//! The same encoder also yields the two Table II variants: minimum
+//! expression *length* L(f) (each non-root gate referenced exactly once —
+//! a formula/tree) and minimum *depth* D(f) (one-hot level variables with
+//! a depth bound).
+
+use crate::{GateOp, NetGate, Network};
+use sat::{Lit, SatResult, Solver};
+use truth::TruthTable;
+
+/// Configuration for exact synthesis.
+#[derive(Debug, Clone, Copy)]
+pub struct SynthesisConfig {
+    /// Gate operator ([`GateOp::Maj3`] for the paper's MIGs).
+    pub op: GateOp,
+    /// Upper bound on the number of gates to try.
+    pub max_gates: usize,
+    /// Optional conflict budget per SAT call (`None` = unlimited).
+    pub conflict_budget: Option<u64>,
+    /// Require a tree (every non-root gate referenced exactly once):
+    /// computes the paper's expression length L(f).
+    pub tree_only: bool,
+    /// Bound the depth: computes depth-constrained realizability for the
+    /// paper's D(f).
+    pub max_depth: Option<u32>,
+}
+
+impl Default for SynthesisConfig {
+    fn default() -> Self {
+        SynthesisConfig {
+            op: GateOp::Maj3,
+            max_gates: 12,
+            conflict_budget: None,
+            tree_only: false,
+            max_depth: None,
+        }
+    }
+}
+
+/// Why exact synthesis failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SynthesisError {
+    /// No network within `max_gates` gates realizes the function (under
+    /// the configured constraints).
+    GateLimitReached,
+    /// A SAT call exhausted its conflict budget.
+    BudgetExhausted,
+}
+
+impl std::fmt::Display for SynthesisError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SynthesisError::GateLimitReached => write!(f, "gate limit reached without a solution"),
+            SynthesisError::BudgetExhausted => write!(f, "conflict budget exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for SynthesisError {}
+
+/// Outcome of a fixed-size realizability query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SynthOutcome {
+    /// A network with exactly the queried gate count exists.
+    Realizable(Network),
+    /// No such network exists.
+    Unrealizable,
+    /// The conflict budget ran out before a verdict.
+    Budget,
+}
+
+/// Answers the paper's decision problem: does a network with `k` gates
+/// realizing `f` exist (under `config`'s operator and constraints)?
+///
+/// # Panics
+///
+/// Panics if `f` has more than 8 variables (the encoding would still be
+/// correct but the CEGAR simulation becomes pointless beyond that).
+pub fn synthesize_with_gates(f: &TruthTable, k: usize, config: &SynthesisConfig) -> SynthOutcome {
+    assert!(f.num_vars() <= 8, "exact synthesis supports up to 8 inputs");
+    if k == 0 {
+        return match trivial_network(f, config.op) {
+            Some(net) => SynthOutcome::Realizable(net),
+            None => SynthOutcome::Unrealizable,
+        };
+    }
+    let mut enc = Encoding::new(f, k, config);
+    loop {
+        match enc.solve() {
+            SatResult::Unsat => return SynthOutcome::Unrealizable,
+            SatResult::Unknown => return SynthOutcome::Budget,
+            SatResult::Sat => {
+                let net = enc.decode();
+                match first_mismatch(f, &net) {
+                    None => return SynthOutcome::Realizable(net),
+                    Some(j) => enc.add_row(j),
+                }
+            }
+        }
+    }
+}
+
+/// Finds a minimum-size network for `f` by solving the decision problem
+/// for `k = 0, 1, 2, ...` (paper §III). For [`GateOp::Maj3`] the result's
+/// size is the combinational complexity C(f) restricted to
+/// majority-and-inversion.
+///
+/// # Errors
+///
+/// [`SynthesisError::GateLimitReached`] if `config.max_gates` is hit, or
+/// [`SynthesisError::BudgetExhausted`] if a SAT call ran out of budget.
+///
+/// # Examples
+///
+/// ```
+/// use exact::{minimum_size, SynthesisConfig};
+/// use truth::TruthTable;
+///
+/// // <x1 x2 x3> needs exactly one majority gate.
+/// let maj = TruthTable::from_hex(3, "e8")?;
+/// let net = minimum_size(&maj, &SynthesisConfig::default()).unwrap();
+/// assert_eq!(net.size(), 1);
+/// # Ok::<(), truth::ParseTableError>(())
+/// ```
+pub fn minimum_size(f: &TruthTable, config: &SynthesisConfig) -> Result<Network, SynthesisError> {
+    for k in 0..=config.max_gates {
+        match synthesize_with_gates(f, k, config) {
+            SynthOutcome::Realizable(net) => return Ok(net),
+            SynthOutcome::Unrealizable => continue,
+            SynthOutcome::Budget => return Err(SynthesisError::BudgetExhausted),
+        }
+    }
+    Err(SynthesisError::GateLimitReached)
+}
+
+/// Finds a minimum-*length* network: a formula (fanout-free tree) with the
+/// fewest operators, the paper's L(f) (Table II).
+///
+/// # Errors
+///
+/// Same conditions as [`minimum_size`].
+pub fn minimum_length(f: &TruthTable, config: &SynthesisConfig) -> Result<Network, SynthesisError> {
+    let cfg = SynthesisConfig {
+        tree_only: true,
+        ..*config
+    };
+    minimum_size(f, &cfg)
+}
+
+/// Finds a minimum-*depth* network, the paper's D(f) (Table II): the
+/// smallest `d` such that some network of depth `<= d` (with at most
+/// `config.max_gates` gates) realizes `f`, together with a witness.
+///
+/// # Errors
+///
+/// Same conditions as [`minimum_size`]. The returned depth is exact as
+/// long as `max_gates` does not clip the depth-optimal size; the Table II
+/// harness cross-checks the resulting histogram against the paper.
+pub fn minimum_depth(
+    f: &TruthTable,
+    config: &SynthesisConfig,
+) -> Result<(u32, Network), SynthesisError> {
+    // Depth 0: trivial functions.
+    if let Some(net) = trivial_network(f, config.op) {
+        return Ok((0, net));
+    }
+    // Cheap lower bound: a depth-d tree of `arity`-ary gates depends on at
+    // most arity^d variables.
+    let support = f.support().count_ones();
+    let arity = config.op.arity() as u32;
+    let mut lb = 1;
+    while arity.pow(lb) < support {
+        lb += 1;
+    }
+    for d in lb..=16 {
+        let cfg = SynthesisConfig {
+            max_depth: Some(d),
+            ..*config
+        };
+        for k in 1..=config.max_gates {
+            match synthesize_with_gates(f, k, &cfg) {
+                SynthOutcome::Realizable(net) => {
+                    debug_assert!(net.depth() <= d);
+                    return Ok((d, net));
+                }
+                SynthOutcome::Unrealizable => continue,
+                SynthOutcome::Budget => return Err(SynthesisError::BudgetExhausted),
+            }
+        }
+    }
+    Err(SynthesisError::GateLimitReached)
+}
+
+/// Returns the 0-gate network when `f` is constant or a (possibly
+/// complemented) projection.
+fn trivial_network(f: &TruthTable, op: GateOp) -> Option<Network> {
+    let n = f.num_vars();
+    if f.is_zero() {
+        return Some(Network::trivial(op, n, (0, false)));
+    }
+    if f.is_ones() {
+        return Some(Network::trivial(op, n, (0, true)));
+    }
+    for i in 0..n {
+        let v = TruthTable::var(n, i);
+        if *f == v {
+            return Some(Network::trivial(op, n, (i as u32 + 1, false)));
+        }
+        if *f == !&v {
+            return Some(Network::trivial(op, n, (i as u32 + 1, true)));
+        }
+    }
+    None
+}
+
+fn first_mismatch(f: &TruthTable, net: &Network) -> Option<usize> {
+    (0..1usize << f.num_vars()).find(|&j| net.evaluate(j) != f.bit(j))
+}
+
+/// The incremental CNF encoding for one `(f, k)` decision problem.
+struct Encoding<'a> {
+    solver: Solver,
+    f: &'a TruthTable,
+    n: usize,
+    k: usize,
+    op: GateOp,
+    /// `sel[l][c][d]`: operand `c` of gate `l` connects to node `d`
+    /// (0 = constant, `1..=n` = inputs, `n+1+i` = gate `i`).
+    sel: Vec<Vec<Vec<Lit>>>,
+    /// `pol[l][c]`: operand `c` of gate `l` is complemented.
+    pol: Vec<Vec<Lit>>,
+    /// Output polarity (only needed for non-self-dual operators).
+    out_pol: Option<Lit>,
+    /// Gate output values per added row: `b[l]` maps row -> literal.
+    b: Vec<std::collections::HashMap<usize, Lit>>,
+    rows: Vec<usize>,
+}
+
+impl<'a> Encoding<'a> {
+    // Index-based loops are kept deliberately: they mirror the paper's
+    // subscripted constraint formulas (4)-(10).
+    #[allow(clippy::needless_range_loop)]
+    fn new(f: &'a TruthTable, k: usize, config: &SynthesisConfig) -> Self {
+        let n = f.num_vars();
+        let arity = config.op.arity();
+        let mut solver = Solver::new();
+        solver.set_conflict_budget(config.conflict_budget);
+
+        let sel: Vec<Vec<Vec<Lit>>> = (0..k)
+            .map(|l| {
+                (0..arity)
+                    .map(|_| {
+                        (0..n + 1 + l)
+                            .map(|_| solver.new_var().positive())
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        let pol: Vec<Vec<Lit>> = (0..k)
+            .map(|_| (0..arity).map(|_| solver.new_var().positive()).collect())
+            .collect();
+        let out_pol = match config.op {
+            GateOp::Maj3 => None, // self-dual: plain output is WLOG
+            GateOp::And2 => Some(solver.new_var().positive()),
+        };
+
+        // Exactly-one select per operand.
+        for l in 0..k {
+            for c in 0..arity {
+                let dom = &sel[l][c];
+                solver.add_clause(dom);
+                for i in 0..dom.len() {
+                    for j in i + 1..dom.len() {
+                        solver.add_clause(&[!dom[i], !dom[j]]);
+                    }
+                }
+            }
+            // Symmetry breaking (paper Eq. (10)): strictly increasing
+            // operand selects.
+            for c in 0..arity - 1 {
+                for d1 in 0..sel[l][c].len() {
+                    for d2 in 0..=d1.min(sel[l][c + 1].len() - 1) {
+                        solver.add_clause(&[!sel[l][c][d1], !sel[l][c + 1][d2]]);
+                    }
+                }
+            }
+            // Self-duality polarity normalization for non-root gates.
+            if config.op == GateOp::Maj3 && l + 1 < k {
+                solver.add_clause(&[!pol[l][0]]);
+            }
+        }
+
+        // Every non-root gate must be referenced by a later gate.
+        for l in 0..k.saturating_sub(1) {
+            let d = n + 1 + l;
+            let mut refs = Vec::new();
+            for l2 in l + 1..k {
+                for c in 0..arity {
+                    refs.push(sel[l2][c][d]);
+                }
+            }
+            solver.add_clause(&refs);
+            if config.tree_only {
+                // Exactly once: a formula.
+                for i in 0..refs.len() {
+                    for j in i + 1..refs.len() {
+                        solver.add_clause(&[!refs[i], !refs[j]]);
+                    }
+                }
+            }
+        }
+
+        // Tree symmetry breaking: canonical reverse-BFS labeling makes the
+        // (unique) parent index non-decreasing in the child index, i.e.
+        // forbid parent(l1) > parent(l2) for gates l1 < l2. This prunes
+        // the huge sibling-subtree permutation space of formulas.
+        if config.tree_only {
+            for l1 in 0..k.saturating_sub(1) {
+                for l2 in l1 + 1..k - 1 {
+                    let (d1, d2) = (n + 1 + l1, n + 1 + l2);
+                    for p1 in 0..k {
+                        if d1 >= sel[p1][0].len() {
+                            continue;
+                        }
+                        for p2 in 0..p1 {
+                            if d2 >= sel[p2][0].len() {
+                                continue;
+                            }
+                            for c1 in 0..arity {
+                                for c2 in 0..arity {
+                                    solver.add_clause(&[
+                                        !sel[p1][c1][d1],
+                                        !sel[p2][c2][d2],
+                                    ]);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Depth bound via one-hot level variables.
+        if let Some(dmax) = config.max_depth {
+            let dmax = dmax.max(1) as usize;
+            let lev: Vec<Vec<Lit>> = (0..k)
+                .map(|_| (0..dmax).map(|_| solver.new_var().positive()).collect())
+                .collect();
+            for l in 0..k {
+                solver.add_clause(&lev[l]);
+                for i in 0..dmax {
+                    for j in i + 1..dmax {
+                        solver.add_clause(&[!lev[l][i], !lev[l][j]]);
+                    }
+                }
+            }
+            // A gate referencing gate i must sit at a strictly higher level.
+            for l in 0..k {
+                for c in 0..arity {
+                    for i in 0..l {
+                        let d = n + 1 + i;
+                        if d < sel[l][c].len() {
+                            for di in 0..dmax {
+                                for dl in 0..=di {
+                                    solver.add_clause(&[
+                                        !sel[l][c][d],
+                                        !lev[i][di],
+                                        !lev[l][dl],
+                                    ]);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        Encoding {
+            solver,
+            f,
+            n,
+            k,
+            op: config.op,
+            sel,
+            pol,
+            out_pol,
+            b: vec![std::collections::HashMap::new(); k],
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds the constraints for truth-table row `j` (paper Eqs. (4)–(9)).
+    fn add_row(&mut self, j: usize) {
+        debug_assert!(!self.rows.contains(&j));
+        self.rows.push(j);
+        let arity = self.op.arity();
+        let mut a_lits: Vec<Vec<Lit>> = Vec::with_capacity(self.k);
+        for l in 0..self.k {
+            let bl = self.solver.new_var().positive();
+            self.b[l].insert(j, bl);
+            let mut row_ops = Vec::with_capacity(arity);
+            for c in 0..arity {
+                let alc = self.solver.new_var().positive();
+                row_ops.push(alc);
+                let p = self.pol[l][c];
+                for d in 0..self.sel[l][c].len() {
+                    let s = self.sel[l][c][d];
+                    if d == 0 || d <= self.n {
+                        // Constant (value 0) or input (value = bit of j):
+                        // a = value ^ p.
+                        let value = d > 0 && (j >> (d - 1)) & 1 == 1;
+                        if value {
+                            self.solver.add_clause(&[!s, alc, p]);
+                            self.solver.add_clause(&[!s, !alc, !p]);
+                        } else {
+                            self.solver.add_clause(&[!s, alc, !p]);
+                            self.solver.add_clause(&[!s, !alc, p]);
+                        }
+                    } else {
+                        // Gate i: a = b_i ^ p (paper Eq. (8)).
+                        let bi = self.b[d - self.n - 1][&j];
+                        self.solver.add_clause(&[!s, !alc, !bi, !p]);
+                        self.solver.add_clause(&[!s, !alc, bi, p]);
+                        self.solver.add_clause(&[!s, alc, !bi, p]);
+                        self.solver.add_clause(&[!s, alc, bi, !p]);
+                    }
+                }
+            }
+            // Gate functionality (paper Eq. (4)).
+            match self.op {
+                GateOp::Maj3 => {
+                    let (a1, a2, a3) = (row_ops[0], row_ops[1], row_ops[2]);
+                    self.solver.add_clause(&[!a1, !a2, bl]);
+                    self.solver.add_clause(&[!a1, !a3, bl]);
+                    self.solver.add_clause(&[!a2, !a3, bl]);
+                    self.solver.add_clause(&[a1, a2, !bl]);
+                    self.solver.add_clause(&[a1, a3, !bl]);
+                    self.solver.add_clause(&[a2, a3, !bl]);
+                }
+                GateOp::And2 => {
+                    let (a1, a2) = (row_ops[0], row_ops[1]);
+                    self.solver.add_clause(&[!a1, !a2, bl]);
+                    self.solver.add_clause(&[a1, !bl]);
+                    self.solver.add_clause(&[a2, !bl]);
+                }
+            }
+            a_lits.push(row_ops);
+        }
+        // Output semantics (paper Eq. (9)).
+        let root = self.b[self.k - 1][&j];
+        let fj = self.f.bit(j);
+        match self.out_pol {
+            None => {
+                self.solver.add_clause(&[root.var().lit(fj)]);
+            }
+            Some(op) => {
+                // root ^ out_pol = f(j)
+                if fj {
+                    self.solver.add_clause(&[root, op]);
+                    self.solver.add_clause(&[!root, !op]);
+                } else {
+                    self.solver.add_clause(&[root, !op]);
+                    self.solver.add_clause(&[!root, op]);
+                }
+            }
+        }
+    }
+
+    fn solve(&mut self) -> SatResult {
+        self.solver.solve()
+    }
+
+    /// Reconstructs the network from the current model.
+    fn decode(&self) -> Network {
+        let arity = self.op.arity();
+        let mut gates = Vec::with_capacity(self.k);
+        for l in 0..self.k {
+            let mut fanins = Vec::with_capacity(arity);
+            for c in 0..arity {
+                let d = self.sel[l][c]
+                    .iter()
+                    .position(|&s| self.solver.model_lit(s) == Some(true))
+                    .expect("exactly-one select satisfied");
+                let p = self.solver.model_lit(self.pol[l][c]) == Some(true);
+                fanins.push((d as u32, p));
+            }
+            gates.push(NetGate { fanins });
+        }
+        let out_neg = self
+            .out_pol
+            .map(|p| self.solver.model_lit(p) == Some(true))
+            .unwrap_or(false);
+        Network::new(self.op, self.n, gates, ((self.n + self.k) as u32, out_neg))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tt(vars: usize, hex: &str) -> TruthTable {
+        TruthTable::from_hex(vars, hex).unwrap()
+    }
+
+    fn min_size_of(f: &TruthTable) -> Network {
+        minimum_size(f, &SynthesisConfig::default()).expect("synthesizable")
+    }
+
+    #[test]
+    fn trivial_functions_need_no_gates() {
+        for f in [
+            TruthTable::zeros(3),
+            TruthTable::ones(3),
+            TruthTable::var(3, 1),
+            !TruthTable::var(3, 2),
+        ] {
+            let net = min_size_of(&f);
+            assert_eq!(net.size(), 0);
+            assert_eq!(net.truth_table(), f);
+        }
+    }
+
+    #[test]
+    fn and_or_maj_take_one_gate() {
+        // maj3, and2 (x0&x1), or2 (x0|x1), nand2: all single-gate classes.
+        for hex in ["e8", "88", "ee", "77"] {
+            let f = tt(3, hex);
+            let net = min_size_of(&f);
+            assert_eq!(net.size(), 1, "{hex}");
+            assert_eq!(net.truth_table(), f, "{hex}");
+        }
+    }
+
+    #[test]
+    fn and3_and_or3_take_two_gates() {
+        for hex in ["80", "fe"] {
+            let f = tt(3, hex);
+            let net = min_size_of(&f);
+            assert_eq!(net.size(), 2, "{hex}");
+            assert_eq!(net.truth_table(), f, "{hex}");
+        }
+    }
+
+    #[test]
+    fn xor2_needs_three_majority_gates() {
+        let f = tt(2, "6");
+        let net = min_size_of(&f);
+        assert_eq!(net.size(), 3);
+        assert_eq!(net.truth_table(), f);
+    }
+
+    #[test]
+    fn xor3_needs_three_majority_gates() {
+        let f = tt(3, "96");
+        let net = min_size_of(&f);
+        assert_eq!(net.size(), 3);
+        assert_eq!(net.truth_table(), f);
+    }
+
+    #[test]
+    fn unrealizable_at_fixed_size() {
+        let f = tt(2, "6"); // xor2 needs 3 gates
+        assert_eq!(
+            synthesize_with_gates(&f, 1, &SynthesisConfig::default()),
+            SynthOutcome::Unrealizable
+        );
+        assert_eq!(
+            synthesize_with_gates(&f, 2, &SynthesisConfig::default()),
+            SynthOutcome::Unrealizable
+        );
+    }
+
+    #[test]
+    fn and2_synthesis_for_aig_baseline() {
+        let cfg = SynthesisConfig {
+            op: GateOp::And2,
+            ..SynthesisConfig::default()
+        };
+        // or2 = 1 AND gate with complemented edges; xor2 takes 3.
+        let or2 = tt(2, "e");
+        let net = minimum_size(&or2, &cfg).unwrap();
+        assert_eq!(net.size(), 1);
+        assert_eq!(net.truth_table(), or2);
+        let xor2 = tt(2, "6");
+        let net = minimum_size(&xor2, &cfg).unwrap();
+        assert_eq!(net.size(), 3);
+        assert_eq!(net.truth_table(), xor2);
+    }
+
+    #[test]
+    fn all_two_var_functions_synthesize() {
+        for bits in 0..16u64 {
+            let f = TruthTable::from_bits(2, bits);
+            let net = min_size_of(&f);
+            assert_eq!(net.truth_table(), f, "function {bits:04b}");
+            assert!(net.size() <= 3);
+        }
+    }
+
+    #[test]
+    fn minimum_length_is_at_least_minimum_size() {
+        // On a function with sharing potential the tree can be longer.
+        let f = tt(3, "96");
+        let size_net = min_size_of(&f);
+        let len_net = minimum_length(&f, &SynthesisConfig::default()).unwrap();
+        assert_eq!(len_net.truth_table(), f);
+        assert!(len_net.size() >= size_net.size());
+    }
+
+    #[test]
+    fn minimum_depth_of_simple_functions() {
+        let cfg = SynthesisConfig::default();
+        let (d, net) = minimum_depth(&tt(3, "e8"), &cfg).unwrap();
+        assert_eq!(d, 1);
+        assert_eq!(net.truth_table(), tt(3, "e8"));
+        // xor2 has depth 2 in MIGs.
+        let (d, net) = minimum_depth(&tt(2, "6"), &cfg).unwrap();
+        assert_eq!(d, 2);
+        assert_eq!(net.truth_table(), tt(2, "6"));
+        // Trivial: depth 0.
+        let (d, _) = minimum_depth(&TruthTable::var(2, 0), &cfg).unwrap();
+        assert_eq!(d, 0);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let cfg = SynthesisConfig {
+            conflict_budget: Some(0),
+            ..SynthesisConfig::default()
+        };
+        // A function needing search (not trivially satisfied at k=1).
+        let f = tt(4, "6996");
+        match minimum_size(&f, &cfg) {
+            Err(SynthesisError::BudgetExhausted) | Ok(_) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gate_limit_is_reported() {
+        let cfg = SynthesisConfig {
+            max_gates: 1,
+            ..SynthesisConfig::default()
+        };
+        assert_eq!(
+            minimum_size(&tt(2, "6"), &cfg),
+            Err(SynthesisError::GateLimitReached)
+        );
+    }
+
+    #[test]
+    fn synthesized_networks_respect_symmetry_breaking() {
+        let f = tt(4, "8000"); // and4
+        let net = min_size_of(&f);
+        assert_eq!(net.truth_table(), f);
+        assert_eq!(net.size(), 3);
+        for g in net.gates() {
+            let refs: Vec<u32> = g.fanins.iter().map(|&(r, _)| r).collect();
+            assert!(refs.windows(2).all(|w| w[0] < w[1]), "ordered operands");
+        }
+    }
+}

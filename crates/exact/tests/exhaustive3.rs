@@ -1,0 +1,63 @@
+//! Exhaustive validation of exact synthesis over every 3-variable
+//! function (256 functions): results are correct, minimal (monotone under
+//! the decision procedure), and NPN-invariant in size.
+
+use exact::{minimum_size, synthesize_with_gates, SynthOutcome, SynthesisConfig};
+use truth::TruthTable;
+
+#[test]
+fn all_three_variable_functions_synthesize_correctly() {
+    let cfg = SynthesisConfig::default();
+    let mut sizes = Vec::with_capacity(256);
+    for bits in 0..256u64 {
+        let f = TruthTable::from_bits(3, bits);
+        let net = minimum_size(&f, &cfg).expect("3-var functions are easy");
+        assert_eq!(net.truth_table(), f, "function {bits:02x}");
+        // Minimality: one fewer gate must be unrealizable.
+        if net.size() > 0 {
+            assert_eq!(
+                synthesize_with_gates(&f, net.size() - 1, &cfg),
+                SynthOutcome::Unrealizable,
+                "function {bits:02x} at {} gates",
+                net.size() - 1
+            );
+        }
+        sizes.push(net.size());
+    }
+    // Known anchors: constants/projections 0; maj/and/or 1; xor2 3.
+    assert_eq!(sizes[0x00], 0);
+    assert_eq!(sizes[0xE8], 1);
+    assert_eq!(sizes[0x88], 1);
+    assert_eq!(sizes[0x66], 3);
+    // The maximum over all 3-variable functions.
+    let max = sizes.iter().max().copied().unwrap();
+    assert!(max <= 4, "3-var functions need at most 4 majority gates");
+}
+
+#[test]
+fn sizes_are_npn_invariant_for_three_vars() {
+    let cfg = SynthesisConfig::default();
+    // Sample orbit pairs: f and a transformed copy must have equal size.
+    for bits in (0..256u64).step_by(11) {
+        let f = TruthTable::from_bits(3, bits);
+        let canon = truth::npn_canonize(&f);
+        let sf = minimum_size(&f, &cfg).unwrap().size();
+        let sr = minimum_size(&canon.representative, &cfg).unwrap().size();
+        assert_eq!(sf, sr, "function {bits:02x} vs its representative");
+    }
+}
+
+#[test]
+fn depth_and_length_exhaustive_for_two_vars() {
+    let cfg = SynthesisConfig::default();
+    for bits in 0..16u64 {
+        let f = TruthTable::from_bits(2, bits);
+        let size = minimum_size(&f, &cfg).unwrap().size();
+        let length = exact::minimum_length(&f, &cfg).unwrap().size();
+        let (depth, net) = exact::minimum_depth(&f, &cfg).unwrap();
+        assert_eq!(net.truth_table(), f);
+        assert!(length >= size, "{bits:x}: L < C");
+        // For 2 variables: everything fits in depth <= 2.
+        assert!(depth <= 2, "{bits:x}: depth {depth}");
+    }
+}

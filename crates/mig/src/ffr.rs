@@ -1,0 +1,153 @@
+//! Fanout-free region (FFR) partitioning (paper §IV-C).
+//!
+//! Fanout in the logic representation typically results from structural
+//! hashing; rewriting across fanout boundaries can undo sharing. The
+//! functional-hashing variants TF/TFD/BF therefore partition the MIG into
+//! fanout-free regions first and optimize each region independently: within
+//! a region, every internal node has exactly one fanout, so no replacement
+//! can strand a shared node.
+
+use crate::{Mig, NodeId};
+
+/// A partition of an MIG's gates into fanout-free regions.
+#[derive(Debug, Clone)]
+pub struct FfrPartition {
+    /// For each node id: the root of its region. Terminals and dangling
+    /// gates map to themselves.
+    region_root: Vec<NodeId>,
+    /// Region roots in topological order.
+    roots: Vec<NodeId>,
+}
+
+impl FfrPartition {
+    /// Computes the partition for `mig`.
+    ///
+    /// A gate is a region *root* when it drives a primary output, has no
+    /// fanout at all, or has two or more fanout references; every other
+    /// gate (exactly one gate fanout, no output fanout) belongs to the
+    /// region of its unique parent.
+    pub fn compute(mig: &Mig) -> Self {
+        let n = mig.num_nodes();
+        let mut gate_refs = vec![0u32; n];
+        let mut out_ref = vec![false; n];
+        // The unique gate parent of single-fanout nodes (valid only when
+        // gate_refs == 1).
+        let mut parent = vec![0 as NodeId; n];
+        for g in mig.gates() {
+            for s in mig.fanins(g) {
+                // A normalized gate never references the same node twice,
+                // so this counts distinct parent edges.
+                gate_refs[s.node() as usize] += 1;
+                parent[s.node() as usize] = g;
+            }
+        }
+        for o in mig.outputs() {
+            out_ref[o.node() as usize] = true;
+        }
+
+        let mut region_root: Vec<NodeId> = (0..n as u32).collect();
+        let mut roots = Vec::new();
+        // Reverse topological order: parents are visited before children,
+        // so a child can inherit its parent's region root directly.
+        for g in mig.gates().collect::<Vec<_>>().into_iter().rev() {
+            let gi = g as usize;
+            let is_root = out_ref[gi] || gate_refs[gi] != 1;
+            if is_root {
+                region_root[gi] = g;
+            } else {
+                region_root[gi] = region_root[parent[gi] as usize];
+            }
+        }
+        for g in mig.gates() {
+            if region_root[g as usize] == g {
+                roots.push(g);
+            }
+        }
+        FfrPartition { region_root, roots }
+    }
+
+    /// The root of the region containing `n`.
+    pub fn root_of(&self, n: NodeId) -> NodeId {
+        self.region_root[n as usize]
+    }
+
+    /// Whether `n` is a region root.
+    pub fn is_root(&self, n: NodeId) -> bool {
+        self.region_root[n as usize] == n
+    }
+
+    /// All region roots in topological order.
+    pub fn roots(&self) -> &[NodeId] {
+        &self.roots
+    }
+
+    /// The gates of the region rooted at `root` (including the root), in
+    /// topological order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root` is not a region root.
+    pub fn members(&self, root: NodeId) -> Vec<NodeId> {
+        assert!(self.is_root(root), "node {root} is not a region root");
+        (0..self.region_root.len() as u32)
+            .filter(|&n| self.region_root[n as usize] == root)
+            .filter(|&n| n == root || self.region_root[n as usize] != n)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Mig, Signal};
+
+    #[test]
+    fn shared_node_becomes_root() {
+        let mut m = Mig::new(4);
+        let (a, b, c, d) = (m.input(0), m.input(1), m.input(2), m.input(3));
+        let shared = m.maj(a, b, c); // feeds two parents -> root
+        let p1 = m.maj(shared, c, d);
+        let p2 = m.maj(shared, a, d);
+        let top = m.maj(p1, p2, b);
+        m.add_output(top);
+
+        let p = FfrPartition::compute(&m);
+        assert!(p.is_root(shared.node()));
+        assert!(p.is_root(top.node()));
+        assert!(!p.is_root(p1.node()));
+        assert!(!p.is_root(p2.node()));
+        assert_eq!(p.root_of(p1.node()), top.node());
+        assert_eq!(p.root_of(p2.node()), top.node());
+        let mut members = p.members(top.node());
+        members.sort_unstable();
+        assert_eq!(members, vec![p1.node(), p2.node(), top.node()]);
+    }
+
+    #[test]
+    fn output_driver_is_root_even_with_single_fanout() {
+        let mut m = Mig::new(3);
+        let (a, b, c) = (m.input(0), m.input(1), m.input(2));
+        let g1 = m.maj(a, b, c);
+        let g2 = m.maj(g1, a, b);
+        m.add_output(g1); // g1 drives an output and g2
+        m.add_output(g2);
+        let p = FfrPartition::compute(&m);
+        assert!(p.is_root(g1.node()));
+        assert!(p.is_root(g2.node()));
+    }
+
+    #[test]
+    fn chain_forms_single_region() {
+        let mut m = Mig::new(5);
+        let mut acc = m.input(0);
+        for i in 1..5 {
+            let x = m.input(i);
+            acc = m.maj(acc, x, Signal::ZERO);
+        }
+        m.add_output(acc);
+        let p = FfrPartition::compute(&m);
+        assert_eq!(p.roots().len(), 1);
+        assert_eq!(p.roots()[0], acc.node());
+        assert_eq!(p.members(acc.node()).len(), 4);
+    }
+}

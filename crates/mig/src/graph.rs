@@ -1,0 +1,685 @@
+//! The Majority-Inverter Graph.
+//!
+//! Follows the formal definition of paper §II-B: a DAG whose terminals are
+//! the primary inputs and the constant 0, whose internal nodes are ternary
+//! majority operations, and whose edges and outputs carry polarity bits.
+//!
+//! Construction is append-only with structural hashing: [`Mig::maj`]
+//! normalizes its operands (majority axiom `<aab> = a`, `<aab̄> = b`,
+//! operand sorting, and self-duality `<āb̄c̄> = ¬<abc>` so at most one
+//! operand of a hashed node is complemented) and reuses existing nodes.
+//! Because fanins always refer to existing nodes, node index order is a
+//! topological order — algorithms rely on this invariant.
+
+use crate::{NodeId, Signal};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Result of normalizing a majority operand triple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Normalized {
+    /// The majority simplifies to an existing signal (no node needed).
+    Copy(Signal),
+    /// A structural node with the given canonical fanins is needed; the
+    /// flag records whether the *output* of that node must be complemented
+    /// to realize the requested function.
+    Node([Signal; 3], bool),
+}
+
+/// Normalizes a majority operand triple without touching any graph.
+///
+/// Rules applied (in order): operand sorting by signal code;
+/// `<aab> -> a`; `<aāb> -> b`; polarity canonicalization via self-duality
+/// so that at most one operand of the structural node is complemented.
+pub fn normalize_maj(mut ops: [Signal; 3]) -> Normalized {
+    ops.sort_unstable();
+    let [a, b, c] = ops;
+    // Identical or complementary operand pairs (sorted, so equal nodes are
+    // adjacent; complementary pairs share a node).
+    if a == b {
+        return Normalized::Copy(a);
+    }
+    if b == c {
+        return Normalized::Copy(b);
+    }
+    if a.node() == b.node() {
+        // a == !b
+        return Normalized::Copy(c);
+    }
+    if b.node() == c.node() {
+        // b == !c
+        return Normalized::Copy(a);
+    }
+    // Self-duality: if two or more operands are complemented, flip all
+    // three and complement the output.
+    let ncompl = usize::from(a.is_complemented())
+        + usize::from(b.is_complemented())
+        + usize::from(c.is_complemented());
+    if ncompl >= 2 {
+        Normalized::Node([!a, !b, !c], true)
+    } else {
+        Normalized::Node([a, b, c], false)
+    }
+}
+
+/// A Majority-Inverter Graph.
+///
+/// # Examples
+///
+/// Build the full adder of the paper's Fig. 1 (3 nodes, depth 2):
+///
+/// ```
+/// use mig::Mig;
+///
+/// let mut m = Mig::new(3);
+/// let (a, b, cin) = (m.input(0), m.input(1), m.input(2));
+/// let cout = m.maj(a, b, cin);
+/// let u = m.maj(a, b, !cin);
+/// let sum = m.maj(!cout, u, cin);
+/// m.add_output(sum);
+/// m.add_output(cout);
+/// assert_eq!(m.num_gates(), 3);
+/// assert_eq!(m.depth(), 2);
+/// ```
+#[derive(Clone)]
+pub struct Mig {
+    /// Fanins per node; terminals (constant + inputs) hold dummy entries.
+    fanins: Vec<[Signal; 3]>,
+    num_inputs: usize,
+    outputs: Vec<Signal>,
+    strash: HashMap<[Signal; 3], NodeId>,
+}
+
+impl Mig {
+    /// Creates an MIG with `num_inputs` primary inputs and no gates.
+    pub fn new(num_inputs: usize) -> Self {
+        let mut fanins = Vec::with_capacity(num_inputs + 1);
+        for _ in 0..=num_inputs {
+            fanins.push([Signal::ZERO; 3]);
+        }
+        Mig {
+            fanins,
+            num_inputs,
+            outputs: Vec::new(),
+            strash: HashMap::new(),
+        }
+    }
+
+    /// Number of primary inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Number of primary outputs.
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Number of majority gates (the paper's *size*). Includes any gates
+    /// left dangling by output rewiring; call [`Mig::cleanup`] for an exact
+    /// live count.
+    pub fn num_gates(&self) -> usize {
+        self.fanins.len() - 1 - self.num_inputs
+    }
+
+    /// Total number of nodes (constant + inputs + gates).
+    pub fn num_nodes(&self) -> usize {
+        self.fanins.len()
+    }
+
+    /// The signal of primary input `i` (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= num_inputs`.
+    pub fn input(&self, i: usize) -> Signal {
+        assert!(i < self.num_inputs, "input {i} out of range");
+        Signal::new((i + 1) as NodeId, false)
+    }
+
+    /// All primary input signals.
+    pub fn inputs(&self) -> Vec<Signal> {
+        (0..self.num_inputs).map(|i| self.input(i)).collect()
+    }
+
+    /// The primary output signals.
+    pub fn outputs(&self) -> &[Signal] {
+        &self.outputs
+    }
+
+    /// Appends a primary output.
+    pub fn add_output(&mut self, s: Signal) {
+        debug_assert!((s.node() as usize) < self.fanins.len());
+        self.outputs.push(s);
+    }
+
+    /// Replaces output `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn set_output(&mut self, i: usize, s: Signal) {
+        self.outputs[i] = s;
+    }
+
+    /// Whether `n` is a terminal (constant or primary input).
+    pub fn is_terminal(&self, n: NodeId) -> bool {
+        (n as usize) <= self.num_inputs
+    }
+
+    /// Whether `n` is a majority gate.
+    pub fn is_gate(&self, n: NodeId) -> bool {
+        (n as usize) > self.num_inputs && (n as usize) < self.fanins.len()
+    }
+
+    /// Whether `n` is a primary input.
+    pub fn is_input(&self, n: NodeId) -> bool {
+        n >= 1 && (n as usize) <= self.num_inputs
+    }
+
+    /// The index (0-based) of primary input node `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not an input node.
+    pub fn input_index(&self, n: NodeId) -> usize {
+        assert!(self.is_input(n), "node {n} is not an input");
+        n as usize - 1
+    }
+
+    /// The fanins of gate `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a gate.
+    pub fn fanins(&self, n: NodeId) -> [Signal; 3] {
+        assert!(self.is_gate(n), "node {n} is not a gate");
+        self.fanins[n as usize]
+    }
+
+    /// Iterates over all gate node ids in topological (= index) order.
+    pub fn gates(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (self.num_inputs as u32 + 1..self.fanins.len() as u32).map(|n| n as NodeId)
+    }
+
+    /// Creates (or reuses) a majority gate `<abc>` and returns its signal.
+    pub fn maj(&mut self, a: Signal, b: Signal, c: Signal) -> Signal {
+        match normalize_maj([a, b, c]) {
+            Normalized::Copy(s) => s,
+            Normalized::Node(key, compl) => {
+                let n = self.node_for_key(key);
+                Signal::new(n, compl)
+            }
+        }
+    }
+
+    fn node_for_key(&mut self, key: [Signal; 3]) -> NodeId {
+        if let Some(&n) = self.strash.get(&key) {
+            return n;
+        }
+        debug_assert!(key.iter().all(|s| (s.node() as usize) < self.fanins.len()));
+        let n = self.fanins.len() as NodeId;
+        self.fanins.push(key);
+        self.strash.insert(key, n);
+        n
+    }
+
+    /// Conjunction via `<0ab>`.
+    pub fn and(&mut self, a: Signal, b: Signal) -> Signal {
+        self.maj(Signal::ZERO, a, b)
+    }
+
+    /// Disjunction via `<1ab>`.
+    pub fn or(&mut self, a: Signal, b: Signal) -> Signal {
+        self.maj(Signal::ONE, a, b)
+    }
+
+    /// Exclusive-or (3 gates).
+    pub fn xor(&mut self, a: Signal, b: Signal) -> Signal {
+        let con = self.and(a, b);
+        let dis = self.or(a, b);
+        self.and(dis, !con)
+    }
+
+    /// Multiplexer `s ? t : e` (3 gates).
+    pub fn mux(&mut self, s: Signal, t: Signal, e: Signal) -> Signal {
+        let at = self.and(s, t);
+        let ae = self.and(!s, e);
+        self.or(at, ae)
+    }
+
+    /// Three-input exclusive-or sharing the majority `<abc>`: returns
+    /// `(a ^ b ^ c, <abc>)` in 3 gates total — the paper's Fig. 1 full
+    /// adder (`sum = <m̄ <abc̄> c>` with `m = <abc>`).
+    pub fn xor3_with_maj(&mut self, a: Signal, b: Signal, c: Signal) -> (Signal, Signal) {
+        let m = self.maj(a, b, c);
+        let u = self.maj(a, b, !c);
+        let sum = self.maj(!m, u, c);
+        (sum, m)
+    }
+
+    /// Full adder: returns `(sum, carry)` in 3 gates.
+    pub fn full_adder(&mut self, a: Signal, b: Signal, cin: Signal) -> (Signal, Signal) {
+        self.xor3_with_maj(a, b, cin)
+    }
+
+    /// The level of each node (terminals 0, gates 1 + max fanin level),
+    /// indexed by node id.
+    pub fn levels(&self) -> Vec<u32> {
+        let mut lv = vec![0u32; self.fanins.len()];
+        for n in self.gates() {
+            let f = self.fanins[n as usize];
+            lv[n as usize] = 1 + f.iter().map(|s| lv[s.node() as usize]).max().unwrap_or(0);
+        }
+        lv
+    }
+
+    /// The depth of the MIG: the maximum level over all outputs.
+    pub fn depth(&self) -> u32 {
+        let lv = self.levels();
+        self.outputs
+            .iter()
+            .map(|s| lv[s.node() as usize])
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Fanout count per node: number of gate fanin references plus output
+    /// references.
+    pub fn fanout_counts(&self) -> Vec<u32> {
+        let mut fc = vec![0u32; self.fanins.len()];
+        for n in self.gates() {
+            for s in self.fanins[n as usize] {
+                fc[s.node() as usize] += 1;
+            }
+        }
+        for s in &self.outputs {
+            fc[s.node() as usize] += 1;
+        }
+        fc
+    }
+
+    /// Word-parallel simulation: given one word per input, returns one word
+    /// per node (bit `k` of node `n`'s word is `n`'s value under input
+    /// pattern `k`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != num_inputs`.
+    pub fn simulate_words(&self, inputs: &[u64]) -> Vec<u64> {
+        assert_eq!(inputs.len(), self.num_inputs, "one word per input");
+        let mut val = vec![0u64; self.fanins.len()];
+        for (i, &w) in inputs.iter().enumerate() {
+            val[i + 1] = w;
+        }
+        for n in self.gates() {
+            let [a, b, c] = self.fanins[n as usize];
+            let va = val[a.node() as usize] ^ if a.is_complemented() { u64::MAX } else { 0 };
+            let vb = val[b.node() as usize] ^ if b.is_complemented() { u64::MAX } else { 0 };
+            let vc = val[c.node() as usize] ^ if c.is_complemented() { u64::MAX } else { 0 };
+            val[n as usize] = (va & vb) | (va & vc) | (vb & vc);
+        }
+        val
+    }
+
+    /// Evaluates every output under a single input assignment.
+    pub fn evaluate(&self, assignment: &[bool]) -> Vec<bool> {
+        let words: Vec<u64> = assignment.iter().map(|&b| if b { 1 } else { 0 }).collect();
+        let val = self.simulate_words(&words);
+        self.outputs
+            .iter()
+            .map(|s| (val[s.node() as usize] & 1 == 1) ^ s.is_complemented())
+            .collect()
+    }
+
+    /// Complete truth tables for every output (exhaustive simulation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the MIG has more than [`truth::MAX_VARS`] inputs.
+    pub fn output_truth_tables(&self) -> Vec<truth::TruthTable> {
+        let n = self.num_inputs;
+        let ins: Vec<truth::TruthTable> = (0..n).map(|i| truth::TruthTable::var(n, i)).collect();
+        let tts = self.simulate_tables(&ins);
+        self.outputs
+            .iter()
+            .map(|s| {
+                let t = tts[s.node() as usize].clone();
+                if s.is_complemented() {
+                    !t
+                } else {
+                    t
+                }
+            })
+            .collect()
+    }
+
+    /// Simulation with arbitrary truth tables on the inputs; returns one
+    /// (plain-polarity) table per node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != num_inputs` or tables disagree on
+    /// variable count.
+    pub fn simulate_tables(&self, inputs: &[truth::TruthTable]) -> Vec<truth::TruthTable> {
+        assert_eq!(inputs.len(), self.num_inputs, "one table per input");
+        let vars = inputs.first().map_or(0, |t| t.num_vars());
+        let mut val = vec![truth::TruthTable::zeros(vars); self.fanins.len()];
+        for (i, t) in inputs.iter().enumerate() {
+            val[i + 1] = t.clone();
+        }
+        for n in self.gates() {
+            let [a, b, c] = self.fanins[n as usize];
+            let get = |s: Signal| {
+                let t = &val[s.node() as usize];
+                if s.is_complemented() {
+                    !t
+                } else {
+                    t.clone()
+                }
+            };
+            val[n as usize] = truth::TruthTable::maj(&get(a), &get(b), &get(c));
+        }
+        val
+    }
+
+    /// Rebuilds the MIG keeping only the cone reachable from the outputs
+    /// (dangling gates are dropped; inputs are preserved). Returns the
+    /// cleaned MIG; sizes reported afterwards are exact live counts.
+    pub fn cleanup(&self) -> Mig {
+        let mut out = Mig::new(self.num_inputs);
+        let mut map: Vec<Option<Signal>> = vec![None; self.fanins.len()];
+        map[0] = Some(Signal::ZERO);
+        for i in 0..self.num_inputs {
+            map[i + 1] = Some(out.input(i));
+        }
+        // Mark live cone.
+        let mut live = vec![false; self.fanins.len()];
+        let mut stack: Vec<NodeId> = self.outputs.iter().map(|s| s.node()).collect();
+        while let Some(n) = stack.pop() {
+            if live[n as usize] || self.is_terminal(n) {
+                continue;
+            }
+            live[n as usize] = true;
+            for s in self.fanins[n as usize] {
+                stack.push(s.node());
+            }
+        }
+        // Copy in topological (index) order.
+        for n in self.gates() {
+            if !live[n as usize] {
+                continue;
+            }
+            let [a, b, c] = self.fanins[n as usize];
+            let m = |s: Signal, out_map: &Vec<Option<Signal>>| {
+                out_map[s.node() as usize]
+                    .expect("fanin precedes node in topo order")
+                    .complement_if(s.is_complemented())
+            };
+            let (sa, sb, sc) = (m(a, &map), m(b, &map), m(c, &map));
+            map[n as usize] = Some(out.maj(sa, sb, sc));
+        }
+        for s in &self.outputs {
+            let t = map[s.node() as usize]
+                .expect("output cone mapped")
+                .complement_if(s.is_complemented());
+            out.add_output(t);
+        }
+        out
+    }
+
+    /// Emits the graph in Graphviz DOT format (complemented edges dashed,
+    /// as in the paper's figures).
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::from("digraph mig {\n  rankdir=BT;\n");
+        s.push_str("  n0 [label=\"0\", shape=box];\n");
+        for i in 0..self.num_inputs {
+            let _ = writeln!(s, "  n{} [label=\"x{}\", shape=box];", i + 1, i + 1);
+        }
+        for n in self.gates() {
+            let _ = writeln!(s, "  n{n} [label=\"MAJ\", shape=circle];");
+            for f in self.fanins[n as usize] {
+                let style = if f.is_complemented() {
+                    " [style=dashed]"
+                } else {
+                    ""
+                };
+                let _ = writeln!(s, "  n{} -> n{}{};", f.node(), n, style);
+            }
+        }
+        for (i, o) in self.outputs.iter().enumerate() {
+            let _ = writeln!(s, "  y{i} [label=\"y{i}\", shape=plaintext];");
+            let style = if o.is_complemented() {
+                " [style=dashed]"
+            } else {
+                ""
+            };
+            let _ = writeln!(s, "  n{} -> y{i}{};", o.node(), style);
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+impl fmt::Debug for Mig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Mig {{ inputs: {}, gates: {}, outputs: {} }}",
+            self.num_inputs,
+            self.num_gates(),
+            self.outputs.len()
+        )
+    }
+}
+
+impl fmt::Display for Mig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "mig: i/o = {}/{}  gates = {}  depth = {}",
+            self.num_inputs,
+            self.outputs.len(),
+            self.num_gates(),
+            self.depth()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_majority_axiom() {
+        let a = Signal::new(1, false);
+        let b = Signal::new(2, false);
+        let c = Signal::new(3, false);
+        assert_eq!(normalize_maj([a, a, b]), Normalized::Copy(a));
+        assert_eq!(normalize_maj([a, !a, b]), Normalized::Copy(b));
+        assert_eq!(normalize_maj([b, a, a]), Normalized::Copy(a));
+        assert_eq!(normalize_maj([!c, c, a]), Normalized::Copy(a));
+        // <0 0̄ c> = c (constant pair is complementary).
+        assert_eq!(
+            normalize_maj([Signal::ZERO, Signal::ONE, c]),
+            Normalized::Copy(c)
+        );
+    }
+
+    #[test]
+    fn normalization_sorts_and_bounds_complements() {
+        let a = Signal::new(1, false);
+        let b = Signal::new(2, false);
+        let c = Signal::new(3, false);
+        match normalize_maj([c, a, b]) {
+            Normalized::Node(key, compl) => {
+                assert_eq!(key, [a, b, c]);
+                assert!(!compl);
+            }
+            other => panic!("expected node, got {other:?}"),
+        }
+        // Two complemented operands trigger the self-duality flip.
+        match normalize_maj([!a, !b, c]) {
+            Normalized::Node(key, compl) => {
+                assert_eq!(key, [a, b, !c]);
+                assert!(compl);
+                assert!(key.iter().filter(|s| s.is_complemented()).count() <= 1);
+            }
+            other => panic!("expected node, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn strash_reuses_nodes() {
+        let mut m = Mig::new(3);
+        let (a, b, c) = (m.input(0), m.input(1), m.input(2));
+        let f1 = m.maj(a, b, c);
+        let f2 = m.maj(c, a, b);
+        let f3 = m.maj(!a, !b, !c);
+        assert_eq!(f1, f2);
+        assert_eq!(f3, !f1);
+        assert_eq!(m.num_gates(), 1);
+    }
+
+    #[test]
+    fn and_or_are_constant_majorities() {
+        let mut m = Mig::new(2);
+        let (a, b) = (m.input(0), m.input(1));
+        let and = m.and(a, b);
+        let or = m.or(a, b);
+        m.add_output(and);
+        m.add_output(or);
+        let tts = m.output_truth_tables();
+        assert_eq!(tts[0].to_hex(), "8");
+        assert_eq!(tts[1].to_hex(), "e");
+    }
+
+    #[test]
+    fn xor_and_mux_truth_tables() {
+        let mut m = Mig::new(3);
+        let (a, b, s) = (m.input(0), m.input(1), m.input(2));
+        let x = m.xor(a, b);
+        let mx = m.mux(s, a, b);
+        m.add_output(x);
+        m.add_output(mx);
+        let tts = m.output_truth_tables();
+        // xor(a,b) independent of s: 0b01100110 = 0x66.
+        assert_eq!(tts[0].to_hex(), "66");
+        // mux(s,a,b): s ? a : b = 0xac with (a,b,s) = (x0,x1,x2).
+        assert_eq!(tts[1].to_hex(), "ac");
+    }
+
+    #[test]
+    fn full_adder_matches_paper_fig1() {
+        let mut m = Mig::new(3);
+        let (a, b, cin) = (m.input(0), m.input(1), m.input(2));
+        let (sum, cout) = m.full_adder(a, b, cin);
+        m.add_output(sum);
+        m.add_output(cout);
+        assert_eq!(m.num_gates(), 3, "paper Fig. 1: size 3");
+        assert_eq!(m.depth(), 2, "paper Fig. 1: depth 2");
+        for j in 0..8u32 {
+            let bits = [(j & 1) == 1, (j >> 1 & 1) == 1, (j >> 2 & 1) == 1];
+            let out = m.evaluate(&bits);
+            let total = bits.iter().filter(|&&x| x).count() as u32;
+            assert_eq!(out[0], total & 1 == 1, "sum for {j:03b}");
+            assert_eq!(out[1], total >= 2, "carry for {j:03b}");
+        }
+    }
+
+    #[test]
+    fn constant_children_allowed_and_simulated() {
+        let mut m = Mig::new(2);
+        let (a, b) = (m.input(0), m.input(1));
+        let g = m.maj(Signal::ZERO, a, b);
+        m.add_output(!g);
+        let tts = m.output_truth_tables();
+        assert_eq!(tts[0].to_hex(), "7"); // NAND
+    }
+
+    #[test]
+    fn levels_and_depth() {
+        let mut m = Mig::new(4);
+        let (a, b, c, d) = (m.input(0), m.input(1), m.input(2), m.input(3));
+        let g1 = m.maj(a, b, c);
+        let g2 = m.maj(g1, c, d);
+        let g3 = m.maj(g2, g1, a);
+        m.add_output(g3);
+        let lv = m.levels();
+        assert_eq!(lv[g1.node() as usize], 1);
+        assert_eq!(lv[g2.node() as usize], 2);
+        assert_eq!(lv[g3.node() as usize], 3);
+        assert_eq!(m.depth(), 3);
+        assert_eq!(m.fanout_counts()[g1.node() as usize], 2);
+    }
+
+    #[test]
+    fn cleanup_drops_dangling_gates() {
+        let mut m = Mig::new(3);
+        let (a, b, c) = (m.input(0), m.input(1), m.input(2));
+        let keep = m.maj(a, b, c);
+        let _dangling = m.maj(a, !b, c);
+        m.add_output(keep);
+        assert_eq!(m.num_gates(), 2);
+        let clean = m.cleanup();
+        assert_eq!(clean.num_gates(), 1);
+        assert_eq!(clean.num_inputs(), 3);
+        assert_eq!(m.output_truth_tables(), clean.output_truth_tables());
+    }
+
+    #[test]
+    fn cleanup_preserves_output_order_and_polarity() {
+        let mut m = Mig::new(2);
+        let (a, b) = (m.input(0), m.input(1));
+        let g = m.and(a, b);
+        m.add_output(!g);
+        m.add_output(g);
+        m.add_output(a);
+        let clean = m.cleanup();
+        assert_eq!(clean.num_outputs(), 3);
+        assert_eq!(m.output_truth_tables(), clean.output_truth_tables());
+    }
+
+    #[test]
+    fn simulate_words_matches_tables() {
+        let mut m = Mig::new(3);
+        let (a, b, c) = (m.input(0), m.input(1), m.input(2));
+        let g1 = m.maj(a, !b, c);
+        let g2 = m.xor(g1, a);
+        m.add_output(g2);
+        // Exhaustive 3-input patterns in one word.
+        let ins: Vec<u64> = (0..3)
+            .map(|i| truth::TruthTable::var(3, i).as_u64())
+            .collect();
+        let vals = m.simulate_words(&ins);
+        let tts = m.output_truth_tables();
+        let out = m.outputs()[0];
+        let word = vals[out.node() as usize] ^ if out.is_complemented() { u64::MAX } else { 0 };
+        assert_eq!(word & 0xFF, tts[0].as_u64());
+    }
+
+    #[test]
+    fn dot_export_mentions_all_parts() {
+        let mut m = Mig::new(2);
+        let (a, b) = (m.input(0), m.input(1));
+        let g = m.and(a, !b);
+        m.add_output(g);
+        let dot = m.to_dot();
+        assert!(dot.contains("digraph mig"));
+        assert!(dot.contains("style=dashed"), "complemented edge rendered");
+        assert!(dot.contains("x1") && dot.contains("x2"));
+        assert!(dot.contains("y0"));
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let mut m = Mig::new(2);
+        let (a, b) = (m.input(0), m.input(1));
+        let g = m.or(a, b);
+        m.add_output(g);
+        let s = format!("{m}");
+        assert!(s.contains("i/o = 2/1"));
+        assert!(s.contains("gates = 1"));
+    }
+}

@@ -1,0 +1,35 @@
+//! Majority-Inverter Graphs (MIGs).
+//!
+//! The data structure of the paper *Optimizing Majority-Inverter Graphs
+//! with Functional Hashing* (Soeken et al., DATE 2016, §II-B): a DAG of
+//! ternary majority gates with complemented edges, primary inputs and the
+//! constant 0 as terminals, and (possibly complemented) output pointers.
+//!
+//! * [`Mig`] — append-only construction with structural hashing and
+//!   majority-axiom normalization, word-parallel and truth-table
+//!   simulation, levels/depth, fanout counts, dangling-node cleanup, DOT
+//!   export;
+//! * [`Signal`] — complement-edge node references;
+//! * [`FfrPartition`] — fanout-free-region partitioning (paper §IV-C).
+//!
+//! # Examples
+//!
+//! ```
+//! use mig::Mig;
+//!
+//! // <x1 x2 x3> and its DeMorgan dual hash to the same node.
+//! let mut m = Mig::new(3);
+//! let (a, b, c) = (m.input(0), m.input(1), m.input(2));
+//! let f = m.maj(a, b, c);
+//! let g = m.maj(!a, !b, !c);
+//! assert_eq!(f, !g);
+//! assert_eq!(m.num_gates(), 1);
+//! ```
+
+mod ffr;
+mod graph;
+mod signal;
+
+pub use ffr::FfrPartition;
+pub use graph::{normalize_maj, Mig, Normalized};
+pub use signal::{NodeId, Signal};

@@ -1,0 +1,122 @@
+//! Signals: complement-edge references to MIG nodes.
+
+use std::fmt;
+use std::ops::Not;
+
+/// Index of an MIG node. Node 0 is always the constant-0 terminal.
+pub type NodeId = u32;
+
+/// A reference to a node together with an edge polarity (paper §II-B:
+/// edges carry a polarity bit; complemented edges realize inversion).
+///
+/// Encoded as `node << 1 | complemented`, so signals are cheap to copy,
+/// hash and order.
+///
+/// # Examples
+///
+/// ```
+/// use mig::Signal;
+///
+/// let s = Signal::new(3, false);
+/// assert_eq!(s.node(), 3);
+/// assert!(!s.is_complemented());
+/// assert_eq!((!s).node(), 3);
+/// assert!((!s).is_complemented());
+/// assert_eq!(!!s, s);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Signal(u32);
+
+impl Signal {
+    /// The constant-0 signal (node 0, plain polarity).
+    pub const ZERO: Signal = Signal(0);
+    /// The constant-1 signal (node 0, complemented).
+    pub const ONE: Signal = Signal(1);
+
+    /// Creates a signal from a node index and polarity.
+    pub fn new(node: NodeId, complemented: bool) -> Self {
+        Signal(node << 1 | u32::from(complemented))
+    }
+
+    /// The referenced node.
+    pub fn node(self) -> NodeId {
+        self.0 >> 1
+    }
+
+    /// Whether the edge is complemented.
+    pub fn is_complemented(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// This signal with polarity forced to plain.
+    pub fn plain(self) -> Signal {
+        Signal(self.0 & !1)
+    }
+
+    /// This signal XOR-ed with an extra complementation.
+    pub fn complement_if(self, c: bool) -> Signal {
+        Signal(self.0 ^ u32::from(c))
+    }
+
+    /// Whether this is one of the two constant signals.
+    pub fn is_constant(self) -> bool {
+        self.node() == 0
+    }
+
+    /// Dense code (`node << 1 | complemented`), usable as an array index.
+    pub fn code(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Rebuilds a signal from [`Signal::code`].
+    pub fn from_code(code: usize) -> Self {
+        Signal(code as u32)
+    }
+}
+
+impl Not for Signal {
+    type Output = Signal;
+    fn not(self) -> Signal {
+        Signal(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for Signal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_complemented() {
+            write!(f, "!n{}", self.node())
+        } else {
+            write!(f, "n{}", self.node())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encoding_roundtrip() {
+        let s = Signal::new(41, true);
+        assert_eq!(s.node(), 41);
+        assert!(s.is_complemented());
+        assert_eq!(Signal::from_code(s.code()), s);
+        assert_eq!(s.plain(), Signal::new(41, false));
+        assert_eq!(s.complement_if(true), !s);
+        assert_eq!(s.complement_if(false), s);
+    }
+
+    #[test]
+    fn constants() {
+        assert!(Signal::ZERO.is_constant());
+        assert!(Signal::ONE.is_constant());
+        assert_eq!(!Signal::ZERO, Signal::ONE);
+        assert!(!Signal::new(1, false).is_constant());
+    }
+
+    #[test]
+    fn ordering_groups_polarities() {
+        assert!(Signal::new(1, false) < Signal::new(1, true));
+        assert!(Signal::new(1, true) < Signal::new(2, false));
+    }
+}

@@ -1,0 +1,155 @@
+//! Property tests for the MIG data structure: random construction recipes
+//! must simulate identically to a reference evaluator, survive cleanup, and
+//! keep structural-hashing invariants.
+
+use mig::{normalize_maj, Mig, Normalized, Signal};
+use proptest::prelude::*;
+
+/// A random construction step: combine three previously-built signals
+/// (indices are taken modulo the number built so far) with polarities.
+#[derive(Debug, Clone)]
+struct Step {
+    idx: [usize; 3],
+    neg: [bool; 3],
+    out_neg: bool,
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    (
+        [0usize..64, 0usize..64, 0usize..64],
+        any::<[bool; 3]>(),
+        any::<bool>(),
+    )
+        .prop_map(|(idx, neg, out_neg)| Step { idx, neg, out_neg })
+}
+
+/// Builds an MIG from a recipe and, in parallel, reference truth tables.
+fn build(num_inputs: usize, steps: &[Step]) -> (Mig, Vec<truth::TruthTable>) {
+    let mut m = Mig::new(num_inputs);
+    let mut sigs: Vec<Signal> = vec![Signal::ZERO];
+    let mut tts: Vec<truth::TruthTable> = vec![truth::TruthTable::zeros(num_inputs)];
+    for i in 0..num_inputs {
+        sigs.push(m.input(i));
+        tts.push(truth::TruthTable::var(num_inputs, i));
+    }
+    for s in steps {
+        let pick = |k: usize| {
+            let j = s.idx[k] % sigs.len();
+            let sig = sigs[j].complement_if(s.neg[k]);
+            let tt = if s.neg[k] { !&tts[j] } else { tts[j].clone() };
+            (sig, tt)
+        };
+        let (sa, ta) = pick(0);
+        let (sb, tb) = pick(1);
+        let (sc, tc) = pick(2);
+        let g = m.maj(sa, sb, sc).complement_if(s.out_neg);
+        let mut t = truth::TruthTable::maj(&ta, &tb, &tc);
+        if s.out_neg {
+            t = !t;
+        }
+        sigs.push(g);
+        tts.push(t);
+    }
+    // Expose the last few signals as outputs.
+    for s in sigs.iter().rev().take(3) {
+        m.add_output(*s);
+    }
+    let outs: Vec<truth::TruthTable> = sigs
+        .iter()
+        .rev()
+        .take(3)
+        .enumerate()
+        .map(|(k, _)| {
+            let j = sigs.len() - 1 - k;
+            tts[j].clone()
+        })
+        .collect();
+    (m, outs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn simulation_matches_reference(
+        num_inputs in 1usize..=6,
+        steps in prop::collection::vec(step_strategy(), 1..40),
+    ) {
+        let (m, expected) = build(num_inputs, &steps);
+        let got = m.output_truth_tables();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn cleanup_preserves_functionality(
+        num_inputs in 1usize..=5,
+        steps in prop::collection::vec(step_strategy(), 1..40),
+    ) {
+        let (m, _) = build(num_inputs, &steps);
+        let clean = m.cleanup();
+        prop_assert!(clean.num_gates() <= m.num_gates());
+        prop_assert_eq!(m.output_truth_tables(), clean.output_truth_tables());
+        // Cleanup is idempotent on sizes.
+        let again = clean.cleanup();
+        prop_assert_eq!(again.num_gates(), clean.num_gates());
+    }
+
+    #[test]
+    fn strash_invariants_hold(
+        num_inputs in 1usize..=5,
+        steps in prop::collection::vec(step_strategy(), 1..40),
+    ) {
+        let (m, _) = build(num_inputs, &steps);
+        for g in m.gates() {
+            let f = m.fanins(g);
+            // Fanins precede the gate (topological index order).
+            for s in f {
+                prop_assert!(s.node() < g);
+            }
+            // Stored keys are in normal form: sorted, distinct nodes,
+            // at most one complemented operand.
+            prop_assert!(f[0] < f[1] && f[1] < f[2]);
+            prop_assert!(f[0].node() != f[1].node() && f[1].node() != f[2].node());
+            let ncompl = f.iter().filter(|s| s.is_complemented()).count();
+            prop_assert!(ncompl <= 1, "gate {g} has {ncompl} complemented fanins");
+        }
+    }
+
+    #[test]
+    fn normalize_maj_preserves_function(
+        codes in [0u32..64, 0u32..64, 0u32..64],
+    ) {
+        // Interpret codes as signals over nodes 0..31 where node k has the
+        // abstract truth value "bit k of a random world"; check semantic
+        // equality of normalize_maj against direct majority on 64 random
+        // worlds.
+        let sigs = codes.map(|c| Signal::from_code(c as usize));
+        let mut worlds = [0u64; 32];
+        let mut seed = 0x9e3779b97f4a7c15u64;
+        for w in worlds.iter_mut().skip(1) {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *w = seed;
+        }
+        let value = |s: Signal| -> u64 {
+            let v = worlds[s.node() as usize % 32];
+            if s.is_complemented() { !v } else { v }
+        };
+        let direct = (value(sigs[0]) & value(sigs[1]))
+            | (value(sigs[0]) & value(sigs[2]))
+            | (value(sigs[1]) & value(sigs[2]));
+        let normalized = match normalize_maj([
+            Signal::from_code(sigs[0].code() % 64),
+            Signal::from_code(sigs[1].code() % 64),
+            Signal::from_code(sigs[2].code() % 64),
+        ]) {
+            Normalized::Copy(s) => value(s),
+            Normalized::Node(k, compl) => {
+                let m = (value(k[0]) & value(k[1]))
+                    | (value(k[0]) & value(k[2]))
+                    | (value(k[1]) & value(k[2]));
+                if compl { !m } else { m }
+            }
+        };
+        prop_assert_eq!(direct, normalized);
+    }
+}

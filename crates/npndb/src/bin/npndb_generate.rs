@@ -1,0 +1,33 @@
+//! Regenerates the embedded minimum-MIG database
+//! (`crates/npndb/data/mig4.db`) by running exact synthesis on all 222
+//! 4-variable NPN class representatives, and prints Table I-style progress.
+//!
+//! Usage: `cargo run --release -p npndb --bin npndb_generate [out-path]`
+
+use npndb::Database;
+use std::time::Instant;
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "crates/npndb/data/mig4.db".to_string());
+    let start = Instant::now();
+    let mut last = Instant::now();
+    let mut progress = |done: usize, total: usize, rep: u16, size: u32| {
+        let dt = last.elapsed();
+        last = Instant::now();
+        eprintln!(
+            "[{done:>3}/{total}] rep {rep:04x}  size {size}  ({:.2}s)",
+            dt.as_secs_f64()
+        );
+    };
+    let db = Database::generate(Some(&mut progress));
+    eprintln!(
+        "generated {} classes in {:.1}s; size histogram: {:?}",
+        db.len(),
+        start.elapsed().as_secs_f64(),
+        db.size_histogram()
+    );
+    std::fs::write(&out, db.to_text()).expect("write database file");
+    eprintln!("wrote {out}");
+}

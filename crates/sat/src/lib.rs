@@ -1,0 +1,31 @@
+//! A from-scratch CDCL SAT solver.
+//!
+//! This crate replaces the Z3 SMT solver used by the paper (*Optimizing
+//! Majority-Inverter Graphs with Functional Hashing*, DATE 2016, §III) for
+//! exact synthesis: the finite-domain SMT formulation is translated to CNF
+//! by the `exact` crate and solved here.
+//!
+//! Architecture: two-watched-literal propagation with blockers, first-UIP
+//! clause learning with minimization, VSIDS decision heuristic with phase
+//! saving, Luby restarts, and LBD/activity-based learned-clause deletion.
+//! Clauses can be added incrementally between [`Solver::solve`] calls, and
+//! [`Solver::solve_assuming`] supports assumption literals.
+//!
+//! # Examples
+//!
+//! ```
+//! use sat::{SatResult, Solver};
+//!
+//! let mut solver = Solver::new();
+//! let x = solver.new_var();
+//! let y = solver.new_var();
+//! solver.add_clause(&[x.positive(), y.positive()]);
+//! solver.add_clause(&[x.negative(), y.negative()]);
+//! assert_eq!(solver.solve(), SatResult::Sat);
+//! ```
+
+mod lit;
+mod solver;
+
+pub use lit::{LBool, Lit, Var};
+pub use solver::{SatResult, Solver, SolverStats};

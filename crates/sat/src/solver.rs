@@ -1,0 +1,904 @@
+//! A CDCL SAT solver in the MiniSat lineage.
+//!
+//! Implements the standard architecture: two-literal watching with
+//! blockers, first-UIP conflict analysis with clause minimization, VSIDS
+//! variable activities with phase saving, Luby restarts, and
+//! activity/LBD-guided learned-clause database reduction. Clauses may be
+//! added between `solve` calls (the incremental interface used by the
+//! CEGAR loop of the exact-synthesis engine).
+
+use crate::{LBool, Lit, Var};
+
+/// Outcome of a [`Solver::solve`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SatResult {
+    /// A satisfying assignment was found (query [`Solver::model_value`]).
+    Sat,
+    /// The formula (under the given assumptions) is unsatisfiable.
+    Unsat,
+    /// The conflict budget was exhausted before a verdict.
+    Unknown,
+}
+
+/// Solver statistics, useful for benchmarking and regression tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Number of conflicts encountered.
+    pub conflicts: u64,
+    /// Number of decisions taken.
+    pub decisions: u64,
+    /// Number of literals propagated.
+    pub propagations: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Number of learned clauses deleted by database reduction.
+    pub deleted_clauses: u64,
+}
+
+const CLAUSE_NONE: u32 = u32::MAX;
+
+struct Clause {
+    lits: Vec<Lit>,
+    activity: f32,
+    lbd: u32,
+    learnt: bool,
+    deleted: bool,
+}
+
+#[derive(Clone, Copy)]
+struct Watcher {
+    cref: u32,
+    blocker: Lit,
+}
+
+/// A CDCL SAT solver.
+///
+/// # Examples
+///
+/// ```
+/// use sat::{SatResult, Solver};
+///
+/// let mut s = Solver::new();
+/// let a = s.new_var().positive();
+/// let b = s.new_var().positive();
+/// s.add_clause(&[a, b]);
+/// s.add_clause(&[!a, b]);
+/// assert_eq!(s.solve(), SatResult::Sat);
+/// assert_eq!(s.model_value(b.var()), Some(true));
+/// s.add_clause(&[!b]);
+/// assert_eq!(s.solve(), SatResult::Unsat);
+/// ```
+pub struct Solver {
+    clauses: Vec<Clause>,
+    learnt_refs: Vec<u32>,
+    watches: Vec<Vec<Watcher>>,
+    values: Vec<LBool>,
+    level: Vec<u32>,
+    reason: Vec<u32>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    // VSIDS
+    activity: Vec<f64>,
+    var_inc: f64,
+    heap: Vec<Var>,
+    heap_pos: Vec<i32>,
+    saved_phase: Vec<bool>,
+    // Clause activity
+    cla_inc: f32,
+    // Conflict analysis scratch
+    seen: Vec<bool>,
+    // State
+    ok: bool,
+    model: Vec<bool>,
+    max_learnts: f64,
+    stats: SolverStats,
+    conflict_budget: Option<u64>,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Self {
+        Solver {
+            clauses: Vec::new(),
+            learnt_refs: Vec::new(),
+            watches: Vec::new(),
+            values: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            heap: Vec::new(),
+            heap_pos: Vec::new(),
+            saved_phase: Vec::new(),
+            cla_inc: 1.0,
+            seen: Vec::new(),
+            ok: true,
+            model: Vec::new(),
+            max_learnts: 0.0,
+            stats: SolverStats::default(),
+            conflict_budget: None,
+        }
+    }
+
+    /// Adds a fresh variable and returns it.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var::from_index(self.values.len());
+        self.values.push(LBool::Undef);
+        self.level.push(0);
+        self.reason.push(CLAUSE_NONE);
+        self.activity.push(0.0);
+        self.heap_pos.push(-1);
+        self.saved_phase.push(false);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.heap_insert(v);
+        v
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Number of problem (non-learned) clauses added so far.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.iter().filter(|c| !c.learnt && !c.deleted).count()
+    }
+
+    /// Solver statistics accumulated so far.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Limits the next [`Solver::solve`] call to roughly `conflicts`
+    /// conflicts; `None` removes the limit.
+    pub fn set_conflict_budget(&mut self, conflicts: Option<u64>) {
+        self.conflict_budget = conflicts;
+    }
+
+    /// Adds a clause. Returns `false` if the solver is already in an
+    /// unsatisfiable state (then the clause is ignored).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called while the solver holds a partial assignment (i.e.
+    /// mid-solve); clauses may only be added between `solve` calls.
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        assert!(
+            self.trail_lim.is_empty(),
+            "clauses may only be added at decision level 0"
+        );
+        if !self.ok {
+            return false;
+        }
+        // Normalize: sort, drop duplicates/false literals, detect tautology.
+        let mut c: Vec<Lit> = lits.to_vec();
+        c.sort_unstable();
+        c.dedup();
+        let mut filtered = Vec::with_capacity(c.len());
+        for &l in &c {
+            if c.binary_search(&!l).is_ok() {
+                return true; // tautology
+            }
+            match self.value_lit(l) {
+                LBool::True => return true, // already satisfied at level 0
+                LBool::False => {}          // drop falsified literal
+                LBool::Undef => filtered.push(l),
+            }
+        }
+        match filtered.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.enqueue(filtered[0], CLAUSE_NONE);
+                self.ok = self.propagate() == CLAUSE_NONE;
+                self.ok
+            }
+            _ => {
+                self.attach_new(filtered, false);
+                true
+            }
+        }
+    }
+
+    /// Solves the formula without assumptions.
+    pub fn solve(&mut self) -> SatResult {
+        self.solve_assuming(&[])
+    }
+
+    /// Solves under the given assumption literals.
+    pub fn solve_assuming(&mut self, assumptions: &[Lit]) -> SatResult {
+        if !self.ok {
+            return SatResult::Unsat;
+        }
+        self.max_learnts = (self.clauses.len() as f64 / 3.0).max(1000.0);
+        let budget_start = self.stats.conflicts;
+        let mut restart_idx = 0u64;
+        let result = loop {
+            let within =
+                luby(2.0, restart_idx) * 100.0 + (self.stats.conflicts - budget_start) as f64;
+            restart_idx += 1;
+            match self.search(within as u64, assumptions, budget_start) {
+                Some(r) => break r,
+                None => {
+                    self.stats.restarts += 1;
+                    self.backtrack(0);
+                }
+            }
+        };
+        self.backtrack(0);
+        result
+    }
+
+    /// The value of `v` in the most recent satisfying assignment.
+    ///
+    /// Returns `None` before the first successful solve or for variables
+    /// created afterwards.
+    pub fn model_value(&self, v: Var) -> Option<bool> {
+        self.model.get(v.index()).copied()
+    }
+
+    /// The value of a literal in the most recent satisfying assignment.
+    pub fn model_lit(&self, l: Lit) -> Option<bool> {
+        self.model_value(l.var()).map(|b| b == l.sign())
+    }
+
+    // ---- internals ------------------------------------------------------
+
+    fn value_lit(&self, l: Lit) -> LBool {
+        let v = self.values[l.var().index()];
+        if l.sign() {
+            v
+        } else {
+            v.negate()
+        }
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: u32) {
+        debug_assert_eq!(self.value_lit(l), LBool::Undef);
+        let v = l.var().index();
+        self.values[v] = LBool::from_bool(l.sign());
+        self.level[v] = self.decision_level();
+        self.reason[v] = reason;
+        self.trail.push(l);
+    }
+
+    fn attach_new(&mut self, lits: Vec<Lit>, learnt: bool) -> u32 {
+        debug_assert!(lits.len() >= 2);
+        let cref = self.clauses.len() as u32;
+        let (w0, w1) = (lits[0], lits[1]);
+        self.clauses.push(Clause {
+            lits,
+            activity: 0.0,
+            lbd: 0,
+            learnt,
+            deleted: false,
+        });
+        if learnt {
+            self.learnt_refs.push(cref);
+        }
+        self.watches[w0.code()].push(Watcher { cref, blocker: w1 });
+        self.watches[w1.code()].push(Watcher { cref, blocker: w0 });
+        cref
+    }
+
+    /// Propagates all enqueued facts. Returns the conflicting clause
+    /// reference or `CLAUSE_NONE`.
+    fn propagate(&mut self) -> u32 {
+        let mut confl = CLAUSE_NONE;
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let falsified = !p;
+            let mut ws = std::mem::take(&mut self.watches[falsified.code()]);
+            let mut i = 0;
+            let mut j = 0;
+            'watchers: while i < ws.len() {
+                let w = ws[i];
+                i += 1;
+                if self.value_lit(w.blocker) == LBool::True {
+                    ws[j] = w;
+                    j += 1;
+                    continue;
+                }
+                let cref = w.cref;
+                if self.clauses[cref as usize].deleted {
+                    continue; // drop watcher of deleted clause
+                }
+                // Make sure the falsified literal is at position 1.
+                {
+                    let lits = &mut self.clauses[cref as usize].lits;
+                    if lits[0] == falsified {
+                        lits.swap(0, 1);
+                    }
+                }
+                let first = self.clauses[cref as usize].lits[0];
+                if first != w.blocker && self.value_lit(first) == LBool::True {
+                    ws[j] = Watcher {
+                        cref,
+                        blocker: first,
+                    };
+                    j += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let len = self.clauses[cref as usize].lits.len();
+                for k in 2..len {
+                    let lk = self.clauses[cref as usize].lits[k];
+                    if self.value_lit(lk) != LBool::False {
+                        let lits = &mut self.clauses[cref as usize].lits;
+                        lits.swap(1, k);
+                        self.watches[lk.code()].push(Watcher {
+                            cref,
+                            blocker: first,
+                        });
+                        continue 'watchers;
+                    }
+                }
+                // Clause is unit or conflicting; keep the watcher.
+                ws[j] = Watcher {
+                    cref,
+                    blocker: first,
+                };
+                j += 1;
+                if self.value_lit(first) == LBool::False {
+                    // Conflict: copy the remaining watchers back verbatim.
+                    while i < ws.len() {
+                        ws[j] = ws[i];
+                        j += 1;
+                        i += 1;
+                    }
+                    confl = cref;
+                    self.qhead = self.trail.len();
+                } else {
+                    self.enqueue(first, cref);
+                }
+            }
+            ws.truncate(j);
+            self.watches[falsified.code()] = ws;
+            if confl != CLAUSE_NONE {
+                break;
+            }
+        }
+        confl
+    }
+
+    fn backtrack(&mut self, target: u32) {
+        if self.decision_level() <= target {
+            return;
+        }
+        let bound = self.trail_lim[target as usize];
+        for k in (bound..self.trail.len()).rev() {
+            let v = self.trail[k].var().index();
+            self.saved_phase[v] = self.values[v] == LBool::True;
+            self.values[v] = LBool::Undef;
+            self.reason[v] = CLAUSE_NONE;
+            let var = self.trail[k].var();
+            if self.heap_pos[v] < 0 {
+                self.heap_insert(var);
+            }
+        }
+        self.trail.truncate(bound);
+        self.trail_lim.truncate(target as usize);
+        self.qhead = self.trail.len();
+    }
+
+    /// First-UIP conflict analysis; returns the learned clause (asserting
+    /// literal first) and the backtrack level.
+    fn analyze(&mut self, mut confl: u32) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit::from_code(0)]; // placeholder
+        let mut path_count = 0u32;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        loop {
+            debug_assert_ne!(confl, CLAUSE_NONE);
+            if self.clauses[confl as usize].learnt {
+                self.bump_clause(confl);
+            }
+            let start = usize::from(p.is_some());
+            for k in start..self.clauses[confl as usize].lits.len() {
+                let q = self.clauses[confl as usize].lits[k];
+                let v = q.var().index();
+                if !self.seen[v] && self.level[v] > 0 {
+                    self.seen[v] = true;
+                    self.bump_var(q.var());
+                    if self.level[v] >= self.decision_level() {
+                        path_count += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Select next literal to resolve on.
+            while !self.seen[self.trail[index - 1].var().index()] {
+                index -= 1;
+            }
+            index -= 1;
+            let pl = self.trail[index];
+            p = Some(pl);
+            confl = self.reason[pl.var().index()];
+            self.seen[pl.var().index()] = false;
+            path_count -= 1;
+            if path_count == 0 {
+                break;
+            }
+        }
+        learnt[0] = !p.expect("resolved at least one literal");
+
+        // Clause minimization: drop literals implied by the rest.
+        let keep: Vec<Lit> = learnt[1..]
+            .iter()
+            .copied()
+            .filter(|&l| !self.literal_redundant(l))
+            .collect();
+        // Clear seen flags for everything collected, including literals
+        // removed by minimization (stale flags would corrupt later calls).
+        for &l in &learnt {
+            self.seen[l.var().index()] = false;
+        }
+        learnt.truncate(1);
+        learnt.extend(keep);
+
+        // Find the backtrack level (highest level among learnt[1..]).
+        let bt = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for k in 2..learnt.len() {
+                if self.level[learnt[k].var().index()] > self.level[learnt[max_i].var().index()] {
+                    max_i = k;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.level[learnt[1].var().index()]
+        };
+        (learnt, bt)
+    }
+
+    /// Local redundancy check: `l` is redundant if its reason clause's
+    /// other literals are all seen (or at level 0).
+    fn literal_redundant(&self, l: Lit) -> bool {
+        let r = self.reason[l.var().index()];
+        if r == CLAUSE_NONE {
+            return false;
+        }
+        self.clauses[r as usize].lits.iter().all(|&q| {
+            q.var() == l.var() || self.seen[q.var().index()] || self.level[q.var().index()] == 0
+        })
+    }
+
+    fn compute_lbd(&self, lits: &[Lit]) -> u32 {
+        let mut levels: Vec<u32> = lits.iter().map(|l| self.level[l.var().index()]).collect();
+        levels.sort_unstable();
+        levels.dedup();
+        levels.len() as u32
+    }
+
+    fn search(
+        &mut self,
+        conflict_ceiling: u64,
+        assumptions: &[Lit],
+        budget_start: u64,
+    ) -> Option<SatResult> {
+        loop {
+            let confl = self.propagate();
+            if confl != CLAUSE_NONE {
+                self.stats.conflicts += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return Some(SatResult::Unsat);
+                }
+                if self.decision_level() <= assumptions.len() as u32 {
+                    // Conflict within the assumption prefix.
+                    return Some(SatResult::Unsat);
+                }
+                let (learnt, bt) = self.analyze(confl);
+                self.backtrack(bt.max(assumptions.len() as u32).min(self.decision_level() - 1));
+                // After backtracking past assumptions the asserting literal
+                // may already be assigned; re-check.
+                if self.value_lit(learnt[0]) != LBool::Undef {
+                    // Can only happen when clamped by assumptions; restart.
+                    if learnt.len() >= 2 {
+                        let lbd = self.compute_lbd(&learnt);
+                        let cref = self.attach_new(learnt, true);
+                        self.clauses[cref as usize].lbd = lbd;
+                    }
+                    return None;
+                }
+                if learnt.len() == 1 {
+                    let l0 = learnt[0];
+                    self.backtrack(0);
+                    if self.value_lit(l0) == LBool::Undef {
+                        self.enqueue(l0, CLAUSE_NONE);
+                    }
+                } else {
+                    let lbd = self.compute_lbd(&learnt);
+                    let l0 = learnt[0];
+                    let cref = self.attach_new(learnt, true);
+                    self.clauses[cref as usize].lbd = lbd;
+                    self.bump_clause(cref);
+                    self.enqueue(l0, cref);
+                }
+                self.decay_var_activity();
+                self.decay_clause_activity();
+                if let Some(budget) = self.conflict_budget {
+                    if self.stats.conflicts - budget_start >= budget {
+                        return Some(SatResult::Unknown);
+                    }
+                }
+                if self.stats.conflicts - budget_start >= conflict_ceiling {
+                    return None; // restart
+                }
+            } else {
+                if self.learnt_refs.len() as f64 >= self.max_learnts {
+                    self.reduce_db();
+                    self.max_learnts *= 1.3;
+                }
+                // Decide: first satisfy assumptions, then free choice.
+                let dl = self.decision_level() as usize;
+                if dl < assumptions.len() {
+                    let a = assumptions[dl];
+                    match self.value_lit(a) {
+                        LBool::True => {
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        LBool::False => return Some(SatResult::Unsat),
+                        LBool::Undef => {
+                            self.trail_lim.push(self.trail.len());
+                            self.enqueue(a, CLAUSE_NONE);
+                        }
+                    }
+                    continue;
+                }
+                match self.pick_branch_var() {
+                    None => {
+                        // Complete assignment: record the model.
+                        self.model = self
+                            .values
+                            .iter()
+                            .map(|v| *v == LBool::True)
+                            .collect();
+                        return Some(SatResult::Sat);
+                    }
+                    Some(v) => {
+                        self.stats.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        let phase = self.saved_phase[v.index()];
+                        self.enqueue(v.lit(phase), CLAUSE_NONE);
+                    }
+                }
+            }
+        }
+    }
+
+    fn pick_branch_var(&mut self) -> Option<Var> {
+        while let Some(v) = self.heap_pop() {
+            if self.values[v.index()] == LBool::Undef {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    fn reduce_db(&mut self) {
+        // Keep the better half of learned clauses (low LBD, high activity).
+        let mut refs = std::mem::take(&mut self.learnt_refs);
+        refs.retain(|&r| !self.clauses[r as usize].deleted);
+        refs.sort_by(|&a, &b| {
+            let ca = &self.clauses[a as usize];
+            let cb = &self.clauses[b as usize];
+            ca.lbd
+                .cmp(&cb.lbd)
+                .then(cb.activity.partial_cmp(&ca.activity).unwrap_or(std::cmp::Ordering::Equal))
+        });
+        let keep = refs.len() / 2;
+        for &r in &refs[keep..] {
+            if self.is_locked(r) || self.clauses[r as usize].lbd <= 2 {
+                continue;
+            }
+            self.clauses[r as usize].deleted = true;
+            self.clauses[r as usize].lits = Vec::new();
+            self.stats.deleted_clauses += 1;
+        }
+        refs.retain(|&r| !self.clauses[r as usize].deleted);
+        self.learnt_refs = refs;
+    }
+
+    fn is_locked(&self, cref: u32) -> bool {
+        let c = &self.clauses[cref as usize];
+        if c.deleted || c.lits.is_empty() {
+            return false;
+        }
+        let v = c.lits[0].var().index();
+        self.reason[v] == cref && self.value_lit(c.lits[0]) == LBool::True
+    }
+
+    // ---- activities ------------------------------------------------------
+
+    fn bump_var(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        if self.heap_pos[v.index()] >= 0 {
+            self.heap_up(self.heap_pos[v.index()] as usize);
+        }
+    }
+
+    fn decay_var_activity(&mut self) {
+        self.var_inc /= 0.95;
+    }
+
+    fn bump_clause(&mut self, cref: u32) {
+        let c = &mut self.clauses[cref as usize];
+        c.activity += self.cla_inc;
+        if c.activity > 1e20 {
+            for cl in &mut self.clauses {
+                cl.activity *= 1e-20;
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    fn decay_clause_activity(&mut self) {
+        self.cla_inc /= 0.999;
+    }
+
+    // ---- indexed binary max-heap on activity -----------------------------
+
+    fn heap_insert(&mut self, v: Var) {
+        self.heap_pos[v.index()] = self.heap.len() as i32;
+        self.heap.push(v);
+        self.heap_up(self.heap.len() - 1);
+    }
+
+    fn heap_pop(&mut self) -> Option<Var> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        self.heap_pos[top.index()] = -1;
+        let last = self.heap.pop().expect("non-empty");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.heap_pos[last.index()] = 0;
+            self.heap_down(0);
+        }
+        Some(top)
+    }
+
+    fn heap_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.activity[self.heap[i].index()] <= self.activity[self.heap[parent].index()] {
+                break;
+            }
+            self.heap_swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn heap_down(&mut self, mut i: usize) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut largest = i;
+            if l < self.heap.len()
+                && self.activity[self.heap[l].index()] > self.activity[self.heap[largest].index()]
+            {
+                largest = l;
+            }
+            if r < self.heap.len()
+                && self.activity[self.heap[r].index()] > self.activity[self.heap[largest].index()]
+            {
+                largest = r;
+            }
+            if largest == i {
+                break;
+            }
+            self.heap_swap(i, largest);
+            i = largest;
+        }
+    }
+
+    fn heap_swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.heap_pos[self.heap[i].index()] = i as i32;
+        self.heap_pos[self.heap[j].index()] = j as i32;
+    }
+}
+
+/// The Luby restart sequence scaled by `y`: 1, 1, 2, 1, 1, 2, 4, ...
+fn luby(y: f64, mut x: u64) -> f64 {
+    let mut size = 1u64;
+    let mut seq = 0u32;
+    while size < x + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    while size - 1 != x {
+        size = (size - 1) >> 1;
+        seq -= 1;
+        x %= size;
+    }
+    y.powi(seq as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lits(s: &mut Solver, n: usize) -> Vec<Lit> {
+        (0..n).map(|_| s.new_var().positive()).collect()
+    }
+
+    #[test]
+    fn trivial_sat_and_unsat() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 2);
+        assert!(s.add_clause(&[v[0]]));
+        assert!(s.add_clause(&[!v[0], v[1]]));
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert_eq!(s.model_lit(v[0]), Some(true));
+        assert_eq!(s.model_lit(v[1]), Some(true));
+        s.add_clause(&[!v[1]]);
+        assert_eq!(s.solve(), SatResult::Unsat);
+        // Stays unsat.
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let mut s = Solver::new();
+        assert_eq!(s.solve(), SatResult::Sat);
+        let _ = s.new_var();
+        assert_eq!(s.solve(), SatResult::Sat);
+    }
+
+    #[test]
+    fn tautologies_are_ignored() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 1);
+        assert!(s.add_clause(&[v[0], !v[0]]));
+        assert_eq!(s.num_clauses(), 0);
+        assert_eq!(s.solve(), SatResult::Sat);
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_is_unsat() {
+        // p[i][j]: pigeon i in hole j.
+        let mut s = Solver::new();
+        let p: Vec<Vec<Lit>> = (0..3)
+            .map(|_| (0..2).map(|_| s.new_var().positive()).collect())
+            .collect();
+        for row in &p {
+            s.add_clause(row);
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in i1 + 1..3 {
+                    s.add_clause(&[!p[i1][j], !p[i2][j]]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_5_into_4_is_unsat() {
+        let n = 5;
+        let mut s = Solver::new();
+        let p: Vec<Vec<Lit>> = (0..n)
+            .map(|_| (0..n - 1).map(|_| s.new_var().positive()).collect())
+            .collect();
+        for row in &p {
+            s.add_clause(row);
+        }
+        for j in 0..n - 1 {
+            for i1 in 0..n {
+                for i2 in i1 + 1..n {
+                    s.add_clause(&[!p[i1][j], !p[i2][j]]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SatResult::Unsat);
+        assert!(s.stats().conflicts > 0);
+    }
+
+    #[test]
+    fn assumptions_work_and_do_not_persist() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 3);
+        s.add_clause(&[v[0], v[1]]);
+        s.add_clause(&[!v[0], v[2]]);
+        assert_eq!(s.solve_assuming(&[!v[2]]), SatResult::Sat);
+        assert_eq!(s.model_lit(v[0]), Some(false));
+        assert_eq!(s.model_lit(v[1]), Some(true));
+        // Contradictory assumptions are Unsat but the formula stays Sat.
+        assert_eq!(s.solve_assuming(&[v[0], !v[2]]), SatResult::Unsat);
+        assert_eq!(s.solve(), SatResult::Sat);
+    }
+
+    #[test]
+    fn conflict_budget_returns_unknown() {
+        // A pigeonhole instance large enough to not be solved in 1 conflict.
+        let n = 7;
+        let mut s = Solver::new();
+        let p: Vec<Vec<Lit>> = (0..n)
+            .map(|_| (0..n - 1).map(|_| s.new_var().positive()).collect())
+            .collect();
+        for row in &p {
+            s.add_clause(row);
+        }
+        for j in 0..n - 1 {
+            for i1 in 0..n {
+                for i2 in i1 + 1..n {
+                    s.add_clause(&[!p[i1][j], !p[i2][j]]);
+                }
+            }
+        }
+        s.set_conflict_budget(Some(1));
+        assert_eq!(s.solve(), SatResult::Unknown);
+        s.set_conflict_budget(None);
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn incremental_clause_addition() {
+        // Graph-coloring-flavored growth: add constraints one at a time.
+        let mut s = Solver::new();
+        let v = lits(&mut s, 4);
+        s.add_clause(&[v[0], v[1], v[2], v[3]]);
+        assert_eq!(s.solve(), SatResult::Sat);
+        s.add_clause(&[!v[0]]);
+        assert_eq!(s.solve(), SatResult::Sat);
+        s.add_clause(&[!v[1]]);
+        s.add_clause(&[!v[2]]);
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert_eq!(s.model_lit(v[3]), Some(true));
+        s.add_clause(&[!v[3]]);
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn unit_propagation_chain() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 20);
+        s.add_clause(&[v[0]]);
+        for i in 0..19 {
+            s.add_clause(&[!v[i], v[i + 1]]);
+        }
+        assert_eq!(s.solve(), SatResult::Sat);
+        for l in &v {
+            assert_eq!(s.model_lit(*l), Some(true));
+        }
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let expect = [1.0, 1.0, 2.0, 1.0, 1.0, 2.0, 4.0, 1.0, 1.0];
+        for (i, &e) in expect.iter().enumerate() {
+            assert_eq!(luby(2.0, i as u64), e, "index {i}");
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Differential testing of the CDCL solver against brute-force enumeration
+//! on random small CNF formulas.
+
+use proptest::prelude::*;
+use sat::{Lit, SatResult, Solver, Var};
+
+/// Evaluates a CNF under a complete assignment given as a bit mask.
+fn eval_cnf(num_vars: usize, cnf: &[Vec<(usize, bool)>], assignment: u32) -> bool {
+    cnf.iter().all(|clause| {
+        clause
+            .iter()
+            .any(|&(v, sign)| ((assignment >> v) & 1 == 1) == sign)
+    }) && num_vars <= 32
+}
+
+fn brute_force_sat(num_vars: usize, cnf: &[Vec<(usize, bool)>]) -> bool {
+    (0u32..1 << num_vars).any(|a| eval_cnf(num_vars, cnf, a))
+}
+
+fn clause_strategy(num_vars: usize) -> impl Strategy<Value = Vec<(usize, bool)>> {
+    prop::collection::vec((0..num_vars, any::<bool>()), 1..=3)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn cdcl_agrees_with_brute_force(
+        num_vars in 1usize..=10,
+        seed_clauses in prop::collection::vec(clause_strategy(10), 1..60),
+    ) {
+        // Clamp variables into range for the sampled var count.
+        let cnf: Vec<Vec<(usize, bool)>> = seed_clauses
+            .into_iter()
+            .map(|c| c.into_iter().map(|(v, s)| (v % num_vars, s)).collect())
+            .collect();
+
+        let mut solver = Solver::new();
+        let vars: Vec<Var> = (0..num_vars).map(|_| solver.new_var()).collect();
+        for clause in &cnf {
+            let lits: Vec<Lit> = clause.iter().map(|&(v, s)| vars[v].lit(s)).collect();
+            solver.add_clause(&lits);
+        }
+        let expected = brute_force_sat(num_vars, &cnf);
+        let got = solver.solve();
+        prop_assert_eq!(got, if expected { SatResult::Sat } else { SatResult::Unsat });
+
+        if got == SatResult::Sat {
+            // The reported model must actually satisfy the formula.
+            let mut assignment = 0u32;
+            for (i, v) in vars.iter().enumerate() {
+                if solver.model_value(*v) == Some(true) {
+                    assignment |= 1 << i;
+                }
+            }
+            prop_assert!(eval_cnf(num_vars, &cnf, assignment));
+        }
+    }
+
+    #[test]
+    fn assumptions_match_added_units(
+        num_vars in 2usize..=8,
+        seed_clauses in prop::collection::vec(clause_strategy(8), 1..40),
+        assume_var in 0usize..8,
+        assume_sign in any::<bool>(),
+    ) {
+        let cnf: Vec<Vec<(usize, bool)>> = seed_clauses
+            .into_iter()
+            .map(|c| c.into_iter().map(|(v, s)| (v % num_vars, s)).collect())
+            .collect();
+        let av = assume_var % num_vars;
+
+        // Solver A: assumption; Solver B: unit clause. Verdicts must agree.
+        let mut sa = Solver::new();
+        let mut sb = Solver::new();
+        let va: Vec<Var> = (0..num_vars).map(|_| sa.new_var()).collect();
+        let vb: Vec<Var> = (0..num_vars).map(|_| sb.new_var()).collect();
+        for clause in &cnf {
+            let la: Vec<Lit> = clause.iter().map(|&(v, s)| va[v].lit(s)).collect();
+            let lb: Vec<Lit> = clause.iter().map(|&(v, s)| vb[v].lit(s)).collect();
+            sa.add_clause(&la);
+            sb.add_clause(&lb);
+        }
+        sb.add_clause(&[vb[av].lit(assume_sign)]);
+        let ra = sa.solve_assuming(&[va[av].lit(assume_sign)]);
+        let rb = sb.solve();
+        prop_assert_eq!(ra, rb);
+    }
+}

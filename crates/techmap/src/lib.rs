@@ -1,0 +1,433 @@
+//! Cut-based k-LUT technology mapping.
+//!
+//! Stands in for the ABC standard-cell mapping used in the paper's
+//! Table IV (see DESIGN.md for the substitution rationale): a classic
+//! two-pass mapper in the style of ABC's `if` command — a depth-oriented
+//! pass computing arrival times over priority cuts, followed by area-flow
+//! recovery under required-time constraints, and cover extraction.
+//!
+//! *Area* is the number of LUTs in the cover and *depth* the number of LUT
+//! levels, the usual technology-mapping quality metrics.
+
+use cuts::{enumerate_cuts, CutConfig, CutSet};
+use mig::{Mig, NodeId};
+
+/// Mapper configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct MapConfig {
+    /// LUT input count `k` (2..=6).
+    pub lut_size: usize,
+    /// Priority-cut bound per node.
+    pub max_cuts: usize,
+    /// Number of area-recovery rounds after the depth-oriented pass.
+    pub area_rounds: usize,
+}
+
+impl Default for MapConfig {
+    fn default() -> Self {
+        MapConfig {
+            lut_size: 6,
+            max_cuts: 8,
+            area_rounds: 2,
+        }
+    }
+}
+
+/// One LUT of a mapping: a root node covered by a cut.
+#[derive(Debug, Clone)]
+pub struct Lut {
+    /// The MIG node whose function this LUT computes (plain polarity).
+    pub root: NodeId,
+    /// Leaf nodes (LUT inputs), ascending.
+    pub leaves: Vec<NodeId>,
+    /// The LUT function over the leaves.
+    pub tt: u64,
+}
+
+/// A complete LUT cover of an MIG.
+#[derive(Debug, Clone)]
+pub struct Mapping {
+    /// Chosen LUTs in topological order of their roots.
+    pub luts: Vec<Lut>,
+    /// Number of LUTs (the paper's mapped *area* analogue).
+    pub area: usize,
+    /// LUT levels on the longest output path (the mapped *depth*).
+    pub depth: u32,
+}
+
+impl Mapping {
+    /// Evaluates the mapped network on one input assignment and returns
+    /// the output values (for equivalence checks against the MIG).
+    pub fn evaluate(&self, mig: &Mig, assignment: &[bool]) -> Vec<bool> {
+        let mut val = vec![false; mig.num_nodes()];
+        for (i, &b) in assignment.iter().enumerate() {
+            val[i + 1] = b;
+        }
+        for lut in &self.luts {
+            let mut idx = 0usize;
+            for (pos, &l) in lut.leaves.iter().enumerate() {
+                if val[l as usize] {
+                    idx |= 1 << pos;
+                }
+            }
+            val[lut.root as usize] = (lut.tt >> idx) & 1 == 1;
+        }
+        mig.outputs()
+            .iter()
+            .map(|o| val[o.node() as usize] ^ o.is_complemented())
+            .collect()
+    }
+}
+
+/// Maps `mig` onto `k`-input LUTs.
+///
+/// # Panics
+///
+/// Panics if `config.lut_size` is outside `2..=6`.
+///
+/// # Examples
+///
+/// ```
+/// use mig::Mig;
+/// use techmap::{map_luts, MapConfig};
+///
+/// let mut m = Mig::new(3);
+/// let (a, b, c) = (m.input(0), m.input(1), m.input(2));
+/// let (s, co) = m.full_adder(a, b, c);
+/// m.add_output(s);
+/// m.add_output(co);
+/// let mapping = map_luts(&m, &MapConfig::default());
+/// // A full adder fits in two 3-input LUTs, one level deep.
+/// assert_eq!(mapping.area, 2);
+/// assert_eq!(mapping.depth, 1);
+/// ```
+pub fn map_luts(mig: &Mig, config: &MapConfig) -> Mapping {
+    assert!(
+        (2..=6).contains(&config.lut_size),
+        "LUT size {} out of range",
+        config.lut_size
+    );
+    let cuts = enumerate_cuts(
+        mig,
+        &CutConfig {
+            cut_size: config.lut_size,
+            max_cuts: config.max_cuts,
+        },
+    );
+    let n = mig.num_nodes();
+    let refs: Vec<f64> = mig
+        .fanout_counts()
+        .iter()
+        .map(|&c| f64::from(c.max(1)))
+        .collect();
+
+    // Pass 1: depth-oriented.
+    let mut arrival = vec![0u32; n];
+    let mut flow = vec![0.0f64; n];
+    let mut choice: Vec<Option<usize>> = vec![None; n];
+    depth_pass(mig, &cuts, &refs, &mut arrival, &mut flow, &mut choice);
+
+    // Passes 2..: area recovery under required times.
+    for _ in 0..config.area_rounds {
+        let required = required_times(mig, &arrival);
+        area_pass(
+            mig, &cuts, &refs, &required, &mut arrival, &mut flow, &mut choice,
+        );
+    }
+
+    extract_cover(mig, &cuts, &choice, &arrival)
+}
+
+fn depth_pass(
+    mig: &Mig,
+    cuts: &CutSet,
+    refs: &[f64],
+    arrival: &mut [u32],
+    flow: &mut [f64],
+    choice: &mut [Option<usize>],
+) {
+    for g in mig.gates() {
+        let mut best: Option<(u32, f64, usize)> = None;
+        for (ci, cut) in cuts.of(g).iter().enumerate() {
+            if cut.len() == 1 && cut.leaves()[0] == g {
+                continue; // trivial cut cannot implement the node
+            }
+            let depth = 1 + cut
+                .leaves()
+                .iter()
+                .map(|&l| arrival[l as usize])
+                .max()
+                .unwrap_or(0);
+            let af = 1.0
+                + cut
+                    .leaves()
+                    .iter()
+                    .map(|&l| flow[l as usize] / refs[l as usize])
+                    .sum::<f64>();
+            if best.is_none_or(|(bd, bf, _)| (depth, af) < (bd, bf)) {
+                best = Some((depth, af, ci));
+            }
+        }
+        let (d, f, ci) = best.expect("every gate has a non-trivial cut");
+        arrival[g as usize] = d;
+        flow[g as usize] = f;
+        choice[g as usize] = Some(ci);
+    }
+}
+
+fn required_times(mig: &Mig, arrival: &[u32]) -> Vec<u32> {
+    let target = mig
+        .outputs()
+        .iter()
+        .map(|o| arrival[o.node() as usize])
+        .max()
+        .unwrap_or(0);
+    let mut req = vec![u32::MAX; arrival.len()];
+    for o in mig.outputs() {
+        req[o.node() as usize] = target;
+    }
+    // Conservative reverse propagation along structural edges.
+    for g in mig.gates().collect::<Vec<_>>().into_iter().rev() {
+        let r = req[g as usize];
+        if r == u32::MAX {
+            continue;
+        }
+        for s in mig.fanins(g) {
+            let nr = r.saturating_sub(1);
+            if req[s.node() as usize] > nr {
+                req[s.node() as usize] = nr;
+            }
+        }
+    }
+    req
+}
+
+#[allow(clippy::too_many_arguments)]
+fn area_pass(
+    mig: &Mig,
+    cuts: &CutSet,
+    refs: &[f64],
+    required: &[u32],
+    arrival: &mut [u32],
+    flow: &mut [f64],
+    choice: &mut [Option<usize>],
+) {
+    for g in mig.gates() {
+        let mut best: Option<(f64, u32, usize)> = None;
+        for (ci, cut) in cuts.of(g).iter().enumerate() {
+            if cut.len() == 1 && cut.leaves()[0] == g {
+                continue;
+            }
+            let depth = 1 + cut
+                .leaves()
+                .iter()
+                .map(|&l| arrival[l as usize])
+                .max()
+                .unwrap_or(0);
+            if required[g as usize] != u32::MAX && depth > required[g as usize] {
+                continue;
+            }
+            let af = 1.0
+                + cut
+                    .leaves()
+                    .iter()
+                    .map(|&l| flow[l as usize] / refs[l as usize])
+                    .sum::<f64>();
+            if best.is_none_or(|(bf, bd, _)| (af, depth) < (bf, bd)) {
+                best = Some((af, depth, ci));
+            }
+        }
+        if let Some((f, d, ci)) = best {
+            arrival[g as usize] = d;
+            flow[g as usize] = f;
+            choice[g as usize] = Some(ci);
+        }
+    }
+}
+
+fn extract_cover(mig: &Mig, cuts: &CutSet, choice: &[Option<usize>], arrival: &[u32]) -> Mapping {
+    let mut needed = vec![false; mig.num_nodes()];
+    let mut stack: Vec<NodeId> = mig
+        .outputs()
+        .iter()
+        .map(|o| o.node())
+        .filter(|&n| mig.is_gate(n))
+        .collect();
+    let mut luts = Vec::new();
+    while let Some(r) = stack.pop() {
+        if needed[r as usize] {
+            continue;
+        }
+        needed[r as usize] = true;
+        let ci = choice[r as usize].expect("gate was mapped");
+        let cut = &cuts.of(r)[ci];
+        for &l in cut.leaves() {
+            if mig.is_gate(l) {
+                stack.push(l);
+            }
+        }
+        luts.push(Lut {
+            root: r,
+            leaves: cut.leaves().to_vec(),
+            tt: cut.truth_table(),
+        });
+    }
+    luts.sort_by_key(|l| l.root);
+    let depth = mig
+        .outputs()
+        .iter()
+        .map(|o| arrival[o.node() as usize])
+        .max()
+        .unwrap_or(0);
+    Mapping {
+        area: luts.len(),
+        depth,
+        luts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mig::Signal;
+
+    fn verify_mapping(m: &Mig, mapping: &Mapping) {
+        // Exhaustive check for small input counts.
+        let n = m.num_inputs();
+        assert!(n <= 10, "test helper limit");
+        for j in 0..1usize << n {
+            let bits: Vec<bool> = (0..n).map(|i| (j >> i) & 1 == 1).collect();
+            assert_eq!(
+                mapping.evaluate(m, &bits),
+                m.evaluate(&bits),
+                "pattern {j:b}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_gate_maps_to_single_lut() {
+        let mut m = Mig::new(3);
+        let (a, b, c) = (m.input(0), m.input(1), m.input(2));
+        let g = m.maj(a, b, c);
+        m.add_output(g);
+        let mapping = map_luts(&m, &MapConfig::default());
+        assert_eq!(mapping.area, 1);
+        assert_eq!(mapping.depth, 1);
+        verify_mapping(&m, &mapping);
+    }
+
+    #[test]
+    fn full_adder_maps_into_two_luts() {
+        let mut m = Mig::new(3);
+        let (a, b, c) = (m.input(0), m.input(1), m.input(2));
+        let (s, co) = m.full_adder(a, b, c);
+        m.add_output(s);
+        m.add_output(co);
+        let mapping = map_luts(&m, &MapConfig::default());
+        assert_eq!(mapping.area, 2);
+        assert_eq!(mapping.depth, 1);
+        verify_mapping(&m, &mapping);
+    }
+
+    #[test]
+    fn lut_size_trades_area_for_depth() {
+        // An 8-input AND chain: 6-LUTs need fewer levels than 2-LUTs.
+        let mut m = Mig::new(8);
+        let mut acc = m.input(0);
+        for i in 1..8 {
+            let x = m.input(i);
+            acc = m.and(acc, x);
+        }
+        m.add_output(acc);
+        let m6 = map_luts(
+            &m,
+            &MapConfig {
+                lut_size: 6,
+                ..Default::default()
+            },
+        );
+        let m2 = map_luts(
+            &m,
+            &MapConfig {
+                lut_size: 2,
+                ..Default::default()
+            },
+        );
+        assert!(m6.area <= m2.area);
+        assert!(m6.depth <= m2.depth);
+        verify_mapping(&m, &m6);
+        verify_mapping(&m, &m2);
+        assert_eq!(m2.area, 7, "2-LUT cover of a 7-gate AND chain");
+    }
+
+    #[test]
+    fn shared_logic_counted_once() {
+        let mut m = Mig::new(4);
+        let (a, b, c, d) = (m.input(0), m.input(1), m.input(2), m.input(3));
+        let shared = m.xor(a, b);
+        let o1 = m.maj(shared, c, d);
+        let o2 = m.maj(shared, !c, !d);
+        m.add_output(o1);
+        m.add_output(o2);
+        let mapping = map_luts(&m, &MapConfig::default());
+        verify_mapping(&m, &mapping);
+        // 4-input functions: both outputs fit in one LUT each.
+        assert!(mapping.area <= 2, "area {}", mapping.area);
+    }
+
+    #[test]
+    fn constant_and_input_outputs_need_no_luts() {
+        let mut m = Mig::new(2);
+        let a = m.input(0);
+        m.add_output(Signal::ONE);
+        m.add_output(!a);
+        let mapping = map_luts(&m, &MapConfig::default());
+        assert_eq!(mapping.area, 0);
+        assert_eq!(mapping.depth, 0);
+        verify_mapping(&m, &mapping);
+    }
+
+    #[test]
+    fn area_recovery_never_worsens_depth() {
+        let mut m = Mig::new(6);
+        let ins: Vec<Signal> = m.inputs();
+        let x1 = m.xor(ins[0], ins[1]);
+        let x2 = m.xor(x1, ins[2]);
+        let x3 = m.xor(x2, ins[3]);
+        let g = m.maj(x3, ins[4], ins[5]);
+        m.add_output(g);
+        m.add_output(x2);
+        let no_recovery = map_luts(
+            &m,
+            &MapConfig {
+                area_rounds: 0,
+                ..Default::default()
+            },
+        );
+        let with_recovery = map_luts(&m, &MapConfig::default());
+        assert!(with_recovery.depth <= no_recovery.depth);
+        verify_mapping(&m, &with_recovery);
+    }
+
+    #[test]
+    fn mapping_covers_multi_level_adder() {
+        // A 4-bit ripple-carry adder: verify functional equivalence of the
+        // cover exhaustively over all 256 input patterns.
+        let mut m = Mig::new(8);
+        let mut carry = Signal::ZERO;
+        for i in 0..4 {
+            let (s, c) = {
+                let a = m.input(i);
+                let b = m.input(i + 4);
+                m.full_adder(a, b, carry)
+            };
+            m.add_output(s);
+            carry = c;
+        }
+        m.add_output(carry);
+        let mapping = map_luts(&m, &MapConfig::default());
+        verify_mapping(&m, &mapping);
+        assert!(mapping.area >= 4);
+    }
+}

@@ -1,0 +1,452 @@
+//! NPN classification (paper Section II-D).
+//!
+//! Two functions are NPN-equivalent when one can be obtained from the other
+//! by Negating inputs, Permuting inputs, and/or Negating the output. This
+//! module provides an exact (exhaustive) canonizer for up to 5 variables —
+//! the paper only needs 4 — together with a composable, invertible
+//! [`NpnTransform`] so that rewriting engines can map database structures
+//! back onto concrete cut leaves.
+
+use crate::TruthTable;
+
+/// Maximum variable count supported by the exhaustive canonizer.
+pub const MAX_NPN_VARS: usize = 5;
+
+/// An input permutation/negation plus output negation.
+///
+/// The transform `t` acts on a function `f` as
+///
+/// ```text
+/// (t . f)(x_1, .., x_n) = f(y_1, .., y_n) ^ output_negated
+///     where y_i = x_{perm[i]} ^ negated(i)
+/// ```
+///
+/// i.e. input `i` of `f` is driven by (possibly negated) input `perm[i]` of
+/// the transformed function. Transforms compose ([`NpnTransform::then`])
+/// and invert ([`NpnTransform::inverse`]), with
+/// `t.inverse().apply(&t.apply(&f)) == f`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NpnTransform {
+    vars: u8,
+    perm: [u8; MAX_NPN_VARS],
+    /// Bit `i` set: input `i` of the original function is negated.
+    input_neg: u8,
+    output_neg: bool,
+}
+
+impl NpnTransform {
+    /// The identity transform over `vars` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vars > MAX_NPN_VARS`.
+    pub fn identity(vars: usize) -> Self {
+        assert!(vars <= MAX_NPN_VARS, "at most {MAX_NPN_VARS} variables");
+        let mut perm = [0u8; MAX_NPN_VARS];
+        for (i, p) in perm.iter_mut().enumerate() {
+            *p = i as u8;
+        }
+        NpnTransform {
+            vars: vars as u8,
+            perm,
+            input_neg: 0,
+            output_neg: false,
+        }
+    }
+
+    /// Builds a transform from its parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..vars`.
+    pub fn new(vars: usize, perm: &[u8], input_neg: u8, output_neg: bool) -> Self {
+        assert!(vars <= MAX_NPN_VARS && perm.len() == vars);
+        let mut seen = 0u8;
+        let mut t = Self::identity(vars);
+        for (i, &p) in perm.iter().enumerate() {
+            assert!((p as usize) < vars, "permutation target out of range");
+            assert!(seen & (1 << p) == 0, "duplicate permutation target");
+            seen |= 1 << p;
+            t.perm[i] = p;
+        }
+        t.input_neg = input_neg & ((1u8 << vars) - 1);
+        t.output_neg = output_neg;
+        t
+    }
+
+    /// Number of variables the transform acts on.
+    pub fn num_vars(&self) -> usize {
+        self.vars as usize
+    }
+
+    /// Where input `i` of the original function is taken from.
+    pub fn perm(&self, i: usize) -> usize {
+        self.perm[i] as usize
+    }
+
+    /// Whether input `i` of the original function is negated.
+    pub fn input_negated(&self, i: usize) -> bool {
+        (self.input_neg >> i) & 1 == 1
+    }
+
+    /// Whether the output is negated.
+    pub fn output_negated(&self) -> bool {
+        self.output_neg
+    }
+
+    /// Applies the transform to a truth table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table's variable count differs from the transform's.
+    pub fn apply(&self, f: &TruthTable) -> TruthTable {
+        assert_eq!(f.num_vars(), self.num_vars(), "variable count mismatch");
+        let n = self.num_vars();
+        let mut g = TruthTable::zeros(n);
+        for j in 0..1usize << n {
+            // y_i = x_{perm[i]} ^ neg_i; f index is assembled from y.
+            let mut src = 0usize;
+            for i in 0..n {
+                let xi = (j >> self.perm[i]) & 1;
+                if xi ^ usize::from(self.input_negated(i)) == 1 {
+                    src |= 1 << i;
+                }
+            }
+            if f.bit(src) ^ self.output_neg {
+                g.set_bit(j, true);
+            }
+        }
+        g
+    }
+
+    /// The transform that applies `self` first and `next` second:
+    /// `self.then(&next).apply(&f) == next.apply(&self.apply(&f))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable counts differ.
+    pub fn then(&self, next: &NpnTransform) -> NpnTransform {
+        assert_eq!(self.vars, next.vars, "variable count mismatch");
+        let n = self.num_vars();
+        let mut r = NpnTransform::identity(n);
+        // (next . (self . f))(x) = (self.f)(z) ^ o2 with z_i = x_{p2[i]} ^ n2_i
+        //                        = f(y) ^ o1 ^ o2 with y_i = z_{p1[i]} ^ n1_i
+        //  y_i = x_{p2[p1[i]]} ^ n2_{p1[i]} ^ n1_i.
+        for i in 0..n {
+            r.perm[i] = next.perm[self.perm[i] as usize];
+            let neg = self.input_negated(i) ^ next.input_negated(self.perm[i] as usize);
+            if neg {
+                r.input_neg |= 1 << i;
+            }
+        }
+        r.output_neg = self.output_neg ^ next.output_neg;
+        r
+    }
+
+    /// The inverse transform: `t.inverse().apply(&t.apply(&f)) == f`.
+    pub fn inverse(&self) -> NpnTransform {
+        let n = self.num_vars();
+        let mut r = NpnTransform::identity(n);
+        for i in 0..n {
+            r.perm[self.perm[i] as usize] = i as u8;
+            if self.input_negated(i) {
+                r.input_neg |= 1 << self.perm[i];
+            }
+        }
+        r.output_neg = self.output_neg;
+        r
+    }
+}
+
+/// All permutations of `0..n` in lexicographic order (n <= 5).
+fn permutations(n: usize) -> Vec<[u8; MAX_NPN_VARS]> {
+    let mut base = [0u8; MAX_NPN_VARS];
+    for (i, b) in base.iter_mut().enumerate() {
+        *b = i as u8;
+    }
+    let mut out = Vec::new();
+    let mut idx: Vec<u8> = (0..n as u8).collect();
+    permute_rec(&mut idx, 0, &mut |p| {
+        let mut a = base;
+        a[..n].copy_from_slice(p);
+        out.push(a);
+    });
+    out
+}
+
+fn permute_rec(idx: &mut [u8], k: usize, f: &mut impl FnMut(&[u8])) {
+    if k == idx.len() {
+        f(idx);
+        return;
+    }
+    for i in k..idx.len() {
+        idx.swap(k, i);
+        permute_rec(idx, k + 1, f);
+        idx.swap(k, i);
+    }
+}
+
+/// Result of NPN canonization: the class representative and the transform
+/// that produced it (`transform.apply(&f) == representative`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NpnCanon {
+    /// The smallest truth table in the NPN class (numeric order).
+    pub representative: TruthTable,
+    /// Transform with `transform.apply(&original) == representative`.
+    pub transform: NpnTransform,
+}
+
+/// Computes the exact NPN representative of `f` by exhaustive enumeration
+/// of all `2 * 2^n * n!` transforms (paper §II-D: the representative is the
+/// class function with the smallest truth table read as a binary number).
+///
+/// # Panics
+///
+/// Panics if `f` has more than [`MAX_NPN_VARS`] variables.
+///
+/// # Examples
+///
+/// ```
+/// use truth::{npn_canonize, TruthTable};
+///
+/// // AND and NOR are in the same NPN class.
+/// let and2 = TruthTable::from_hex(2, "8").unwrap();
+/// let nor2 = TruthTable::from_hex(2, "1").unwrap();
+/// let a = npn_canonize(&and2);
+/// let b = npn_canonize(&nor2);
+/// assert_eq!(a.representative, b.representative);
+/// assert_eq!(a.transform.apply(&and2), a.representative);
+/// ```
+pub fn npn_canonize(f: &TruthTable) -> NpnCanon {
+    let n = f.num_vars();
+    assert!(n <= MAX_NPN_VARS, "npn_canonize supports up to 5 variables");
+    let mut best: Option<(TruthTable, NpnTransform)> = None;
+    for perm in permutations(n) {
+        for input_neg in 0..1u8 << n {
+            for output_neg in [false, true] {
+                let t = NpnTransform {
+                    vars: n as u8,
+                    perm,
+                    input_neg,
+                    output_neg,
+                };
+                let g = t.apply(f);
+                if best.as_ref().is_none_or(|(b, _)| g < *b) {
+                    best = Some((g, t));
+                }
+            }
+        }
+    }
+    let (representative, transform) = best.expect("at least the identity transform");
+    NpnCanon {
+        representative,
+        transform,
+    }
+}
+
+/// Fast exact NPN canonizer specialized for 4-variable functions stored as
+/// `u16` truth tables. Semantically identical to [`npn_canonize`] on the
+/// same function; roughly an order of magnitude faster thanks to
+/// precomputed index tables.
+#[derive(Debug)]
+pub struct Npn4Canonizer {
+    /// For each of the 384 (perm, input_neg) combinations: the minterm
+    /// index map and the corresponding transform (output_neg = false).
+    maps: Vec<([u16; 16], NpnTransform)>,
+}
+
+impl Default for Npn4Canonizer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Npn4Canonizer {
+    /// Builds the canonizer (precomputes all index maps; ~6 KiB).
+    pub fn new() -> Self {
+        let mut maps = Vec::with_capacity(384);
+        for perm in permutations(4) {
+            for input_neg in 0..16u8 {
+                let t = NpnTransform {
+                    vars: 4,
+                    perm,
+                    input_neg,
+                    output_neg: false,
+                };
+                let mut map = [0u16; 16];
+                for (j, m) in map.iter_mut().enumerate() {
+                    let mut src = 0u16;
+                    for i in 0..4 {
+                        let xi = (j >> t.perm[i]) & 1;
+                        if xi ^ usize::from(t.input_negated(i)) == 1 {
+                            src |= 1 << i;
+                        }
+                    }
+                    *m = src;
+                }
+                maps.push((map, t));
+            }
+        }
+        Npn4Canonizer { maps }
+    }
+
+    /// Canonizes a 16-bit truth table, returning the representative and the
+    /// transform with `transform.apply(f) == representative`.
+    pub fn canonize(&self, f: u16) -> (u16, NpnTransform) {
+        let mut best = u16::MAX;
+        let mut best_t = NpnTransform::identity(4);
+        for (map, t) in &self.maps {
+            let mut g: u16 = 0;
+            for (j, &src) in map.iter().enumerate() {
+                g |= ((f >> src) & 1) << j;
+            }
+            if g < best {
+                best = g;
+                best_t = *t;
+            }
+            let gneg = !g;
+            if gneg < best {
+                best = gneg;
+                best_t = *t;
+                best_t.output_neg = true;
+            }
+        }
+        (best, best_t)
+    }
+}
+
+/// Enumerates the representatives of all 4-variable NPN classes, in
+/// ascending truth-table order. The paper (§II-D) reports exactly 222
+/// classes; a unit test pins this count.
+pub fn npn4_class_representatives() -> Vec<u16> {
+    let canon = Npn4Canonizer::new();
+    let mut seen = vec![false; 1 << 16];
+    let mut reps = Vec::new();
+    for f in 0..=u16::MAX {
+        if seen[f as usize] {
+            continue;
+        }
+        let (rep, _) = canon.canonize(f);
+        if !seen[rep as usize] {
+            seen[rep as usize] = true;
+            reps.push(rep);
+        }
+        // Mark the whole orbit lazily: marking f itself is enough to skip
+        // revisiting it; other members are handled by their own canonize
+        // call. (Simple and still fast.)
+        seen[f as usize] = true;
+    }
+    reps.sort_unstable();
+    reps
+}
+
+/// Sizes of each 4-variable NPN class keyed by representative: the number
+/// of distinct functions NPN-equivalent to it (used to reproduce the
+/// "Functions" columns of Tables I and II).
+pub fn npn4_class_sizes() -> std::collections::HashMap<u16, u32> {
+    let canon = Npn4Canonizer::new();
+    let mut sizes = std::collections::HashMap::new();
+    for f in 0..=u16::MAX {
+        let (rep, _) = canon.canonize(f);
+        *sizes.entry(rep).or_insert(0) += 1;
+    }
+    sizes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tt(hex: &str) -> TruthTable {
+        TruthTable::from_hex(4, hex).unwrap()
+    }
+
+    #[test]
+    fn identity_applies_trivially() {
+        let f = tt("cafe");
+        let id = NpnTransform::identity(4);
+        assert_eq!(id.apply(&f), f);
+        assert_eq!(id.inverse(), id);
+    }
+
+    #[test]
+    fn apply_then_compose_agree() {
+        let f = tt("1ee1");
+        let t1 = NpnTransform::new(4, &[2, 0, 3, 1], 0b0101, true);
+        let t2 = NpnTransform::new(4, &[1, 3, 0, 2], 0b1010, false);
+        let seq = t2.apply(&t1.apply(&f));
+        let composed = t1.then(&t2).apply(&f);
+        assert_eq!(seq, composed);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let f = tt("8001");
+        let t = NpnTransform::new(4, &[3, 1, 0, 2], 0b0110, true);
+        assert_eq!(t.inverse().apply(&t.apply(&f)), f);
+        assert_eq!(t.apply(&t.inverse().apply(&f)), f);
+    }
+
+    #[test]
+    fn canonize_is_class_invariant() {
+        let f = tt("6996"); // 4-input parity
+        let base = npn_canonize(&f);
+        // Any transformed version must canonize to the same representative.
+        let t = NpnTransform::new(4, &[1, 2, 3, 0], 0b0011, true);
+        let g = t.apply(&f);
+        let other = npn_canonize(&g);
+        assert_eq!(base.representative, other.representative);
+        assert_eq!(base.transform.apply(&f), base.representative);
+        assert_eq!(other.transform.apply(&g), other.representative);
+    }
+
+    #[test]
+    fn fast4_matches_generic() {
+        let canon = Npn4Canonizer::new();
+        for f in [0x0000u16, 0xffff, 0x8000, 0x6996, 0xcafe, 0x1234, 0xaaaa] {
+            let (rep, t) = canon.canonize(f);
+            let slow = npn_canonize(&TruthTable::from_u16(f));
+            assert_eq!(rep, slow.representative.as_u16(), "f = {f:04x}");
+            assert_eq!(t.apply(&TruthTable::from_u16(f)).as_u16(), rep);
+        }
+    }
+
+    #[test]
+    fn class_counts_match_paper() {
+        // Paper §II-D: 2, 4, 14, 222 classes for n = 1, 2, 3, 4.
+        let reps = npn4_class_representatives();
+        assert_eq!(reps.len(), 222);
+        let sizes = npn4_class_sizes();
+        assert_eq!(sizes.len(), 222);
+        assert_eq!(sizes.values().sum::<u32>(), 65536);
+    }
+
+    #[test]
+    fn small_var_class_counts_match_paper() {
+        for (n, expect) in [(1usize, 2usize), (2, 4), (3, 14)] {
+            let mut reps = std::collections::HashSet::new();
+            for f in 0..1u64 << (1 << n) {
+                let t = TruthTable::from_bits(n, f);
+                reps.insert(npn_canonize(&t).representative);
+            }
+            assert_eq!(reps.len(), expect, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn representative_is_minimal() {
+        let canon = Npn4Canonizer::new();
+        let (rep, _) = canon.canonize(0x6996);
+        // The representative must be <= every transformed table we can build.
+        let f = TruthTable::from_u16(0x6996);
+        for perm in permutations(4) {
+            let t = NpnTransform {
+                vars: 4,
+                perm,
+                input_neg: 0b0101,
+                output_neg: false,
+            };
+            assert!(rep <= t.apply(&f).as_u16());
+        }
+    }
+}

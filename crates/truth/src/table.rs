@@ -1,0 +1,655 @@
+//! Dynamic truth tables over up to 16 variables.
+//!
+//! A [`TruthTable`] stores the function values of a Boolean function
+//! `f : B^n -> B` as a bit vector of `2^n` bits packed into `u64` words.
+//! Bit `j` holds `f(j)` where the binary expansion of `j` assigns variable
+//! `x_i` (0-indexed) the `i`-th bit of `j`, matching the `bv` convention of
+//! Section III of the paper.
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr, BitXor, Not};
+
+/// Maximum number of variables supported by [`TruthTable`].
+///
+/// 16 variables = 65 536 bits = 1 024 words; enough for every use in this
+/// workspace (cut functions have at most 6 inputs, exact synthesis at most 8).
+pub const MAX_VARS: usize = 16;
+
+/// Errors returned by fallible [`TruthTable`] constructors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseTableError {
+    /// The variable count is larger than [`MAX_VARS`].
+    TooManyVars(usize),
+    /// A hex string had the wrong length for the announced variable count.
+    BadLength { expected: usize, got: usize },
+    /// A character was not a hexadecimal digit.
+    BadDigit(char),
+}
+
+impl fmt::Display for ParseTableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseTableError::TooManyVars(n) => {
+                write!(f, "truth table over {n} variables exceeds {MAX_VARS}")
+            }
+            ParseTableError::BadLength { expected, got } => {
+                write!(f, "expected {expected} hex digits, got {got}")
+            }
+            ParseTableError::BadDigit(c) => write!(f, "invalid hex digit {c:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseTableError {}
+
+/// A complete truth table of a Boolean function over `n <= 16` variables.
+///
+/// # Examples
+///
+/// ```
+/// use truth::TruthTable;
+///
+/// let a = TruthTable::var(3, 0);
+/// let b = TruthTable::var(3, 1);
+/// let c = TruthTable::var(3, 2);
+/// let maj = TruthTable::maj(&a, &b, &c);
+/// assert_eq!(maj.count_ones(), 4);
+/// assert!(maj.bit(0b011));
+/// assert!(!maj.bit(0b100));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct TruthTable {
+    vars: usize,
+    words: Vec<u64>,
+}
+
+impl PartialOrd for TruthTable {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TruthTable {
+    /// Numeric order of the truth table read as a `2^n`-bit binary number
+    /// (the paper's tie-break for NPN representatives), with the variable
+    /// count as the primary key.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.vars
+            .cmp(&other.vars)
+            .then_with(|| self.words.iter().rev().cmp(other.words.iter().rev()))
+    }
+}
+
+fn word_count(vars: usize) -> usize {
+    if vars >= 6 {
+        1 << (vars - 6)
+    } else {
+        1
+    }
+}
+
+/// Mask selecting the valid bits of the (single) word of a table with
+/// `vars < 6` variables.
+fn tail_mask(vars: usize) -> u64 {
+    if vars >= 6 {
+        u64::MAX
+    } else {
+        (1u64 << (1 << vars)) - 1
+    }
+}
+
+impl TruthTable {
+    /// The constant-0 function over `vars` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vars > MAX_VARS`.
+    pub fn zeros(vars: usize) -> Self {
+        assert!(vars <= MAX_VARS, "truth table over {vars} variables");
+        TruthTable {
+            vars,
+            words: vec![0; word_count(vars)],
+        }
+    }
+
+    /// The constant-1 function over `vars` variables.
+    pub fn ones(vars: usize) -> Self {
+        let mut t = Self::zeros(vars);
+        for w in &mut t.words {
+            *w = u64::MAX;
+        }
+        t.mask_tail();
+        t
+    }
+
+    /// The projection function `x_i` over `vars` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= vars` or `vars > MAX_VARS`.
+    pub fn var(vars: usize, i: usize) -> Self {
+        assert!(i < vars, "projection variable {i} out of range {vars}");
+        let mut t = Self::zeros(vars);
+        if i >= 6 {
+            let stride = 1 << (i - 6);
+            let mut w = 0;
+            while w < t.words.len() {
+                for k in 0..stride {
+                    t.words[w + stride + k] = u64::MAX;
+                }
+                w += 2 * stride;
+            }
+        } else {
+            // Repeating pattern within a word, e.g. 0xAAAA.. for x_0.
+            let pat = match i {
+                0 => 0xAAAA_AAAA_AAAA_AAAA,
+                1 => 0xCCCC_CCCC_CCCC_CCCC,
+                2 => 0xF0F0_F0F0_F0F0_F0F0,
+                3 => 0xFF00_FF00_FF00_FF00,
+                4 => 0xFFFF_0000_FFFF_0000,
+                _ => 0xFFFF_FFFF_0000_0000,
+            };
+            for w in &mut t.words {
+                *w = pat;
+            }
+        }
+        t.mask_tail();
+        t
+    }
+
+    /// Builds a table over `vars` variables from the low `2^vars` bits of
+    /// `bits` (requires `vars <= 6`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vars > 6`.
+    pub fn from_bits(vars: usize, bits: u64) -> Self {
+        assert!(vars <= 6, "from_bits supports at most 6 variables");
+        let mut t = Self::zeros(vars);
+        t.words[0] = bits & tail_mask(vars);
+        t
+    }
+
+    /// Builds a 4-variable table from its 16-bit truth table value.
+    pub fn from_u16(bits: u16) -> Self {
+        Self::from_bits(4, u64::from(bits))
+    }
+
+    /// Parses a table from a hexadecimal string, most significant digit
+    /// first (the usual textual truth-table format, e.g. `"e8"` for
+    /// 3-input majority).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the digit count does not match `vars` (tables
+    /// with fewer than 2 variables still use one digit) or on non-hex
+    /// characters.
+    pub fn from_hex(vars: usize, s: &str) -> Result<Self, ParseTableError> {
+        if vars > MAX_VARS {
+            return Err(ParseTableError::TooManyVars(vars));
+        }
+        let digits = if vars < 2 { 1 } else { 1 << (vars - 2) };
+        if s.len() != digits {
+            return Err(ParseTableError::BadLength {
+                expected: digits,
+                got: s.len(),
+            });
+        }
+        let mut t = Self::zeros(vars);
+        for (pos, c) in s.chars().rev().enumerate() {
+            let v = c.to_digit(16).ok_or(ParseTableError::BadDigit(c))? as u64;
+            t.words[pos / 16] |= v << (4 * (pos % 16));
+        }
+        t.mask_tail();
+        Ok(t)
+    }
+
+    /// Renders the table as a hexadecimal string, most significant digit
+    /// first.
+    pub fn to_hex(&self) -> String {
+        let digits = if self.vars < 2 { 1 } else { 1 << (self.vars - 2) };
+        let mut s = String::with_capacity(digits);
+        for pos in (0..digits).rev() {
+            let v = (self.words[pos / 16] >> (4 * (pos % 16))) & 0xF;
+            s.push(char::from_digit(v as u32, 16).expect("nibble"));
+        }
+        s
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars
+    }
+
+    /// Number of function values (`2^n`).
+    pub fn num_bits(&self) -> usize {
+        1 << self.vars
+    }
+
+    /// The packed function-value words.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// The value `f(j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= 2^n`.
+    pub fn bit(&self, j: usize) -> bool {
+        assert!(j < self.num_bits(), "minterm {j} out of range");
+        (self.words[j >> 6] >> (j & 63)) & 1 == 1
+    }
+
+    /// Sets the value `f(j) := v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= 2^n`.
+    pub fn set_bit(&mut self, j: usize, v: bool) {
+        assert!(j < self.num_bits(), "minterm {j} out of range");
+        if v {
+            self.words[j >> 6] |= 1 << (j & 63);
+        } else {
+            self.words[j >> 6] &= !(1 << (j & 63));
+        }
+    }
+
+    /// For tables with at most 6 variables, the function values packed in a
+    /// single word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table has more than 6 variables.
+    pub fn as_u64(&self) -> u64 {
+        assert!(self.vars <= 6, "as_u64 requires at most 6 variables");
+        self.words[0]
+    }
+
+    /// For 4-variable tables, the 16-bit truth table value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table does not have exactly 4 variables.
+    pub fn as_u16(&self) -> u16 {
+        assert_eq!(self.vars, 4, "as_u16 requires exactly 4 variables");
+        self.words[0] as u16
+    }
+
+    fn mask_tail(&mut self) {
+        let m = tail_mask(self.vars);
+        if let Some(w) = self.words.first_mut() {
+            *w &= m;
+        }
+    }
+
+    /// Whether the function is constant 0.
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Whether the function is constant 1.
+    pub fn is_ones(&self) -> bool {
+        let m = tail_mask(self.vars);
+        if self.words.len() == 1 {
+            self.words[0] == m
+        } else {
+            self.words.iter().all(|&w| w == u64::MAX)
+        }
+    }
+
+    /// Number of satisfying assignments.
+    pub fn count_ones(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Ternary majority `<abc>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable counts differ.
+    pub fn maj(a: &Self, b: &Self, c: &Self) -> Self {
+        assert!(
+            a.vars == b.vars && b.vars == c.vars,
+            "majority of tables over different variable counts"
+        );
+        let mut t = Self::zeros(a.vars);
+        for (i, w) in t.words.iter_mut().enumerate() {
+            let (x, y, z) = (a.words[i], b.words[i], c.words[i]);
+            *w = (x & y) | (x & z) | (y & z);
+        }
+        t
+    }
+
+    /// If-then-else `sel ? t1 : t0`.
+    pub fn mux(sel: &Self, t1: &Self, t0: &Self) -> Self {
+        assert!(
+            sel.vars == t1.vars && t1.vars == t0.vars,
+            "mux of tables over different variable counts"
+        );
+        let mut t = Self::zeros(sel.vars);
+        for (i, w) in t.words.iter_mut().enumerate() {
+            *w = (sel.words[i] & t1.words[i]) | (!sel.words[i] & t0.words[i]);
+        }
+        t.mask_tail();
+        t
+    }
+
+    /// The negative cofactor `f(.., x_i = 0, ..)`, still over `n` variables
+    /// (the result no longer depends on `x_i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n`.
+    pub fn cofactor0(&self, i: usize) -> Self {
+        assert!(i < self.vars, "cofactor variable out of range");
+        let mut t = self.clone();
+        if i >= 6 {
+            let stride = 1 << (i - 6);
+            let mut w = 0;
+            while w < t.words.len() {
+                for k in 0..stride {
+                    t.words[w + stride + k] = t.words[w + k];
+                }
+                w += 2 * stride;
+            }
+        } else {
+            let shift = 1 << i;
+            let keep = !TruthTable::var(6.min(self.vars), i).words[0];
+            for w in &mut t.words {
+                let low = *w & keep;
+                *w = low | (low << shift);
+            }
+            t.mask_tail();
+        }
+        t
+    }
+
+    /// The positive cofactor `f(.., x_i = 1, ..)`, still over `n` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n`.
+    pub fn cofactor1(&self, i: usize) -> Self {
+        assert!(i < self.vars, "cofactor variable out of range");
+        let mut t = self.clone();
+        if i >= 6 {
+            let stride = 1 << (i - 6);
+            let mut w = 0;
+            while w < t.words.len() {
+                for k in 0..stride {
+                    t.words[w + k] = t.words[w + stride + k];
+                }
+                w += 2 * stride;
+            }
+        } else {
+            let shift = 1 << i;
+            let keep = TruthTable::var(6.min(self.vars), i).words[0];
+            for w in &mut t.words {
+                let high = *w & keep;
+                *w = high | (high >> shift);
+            }
+            t.mask_tail();
+        }
+        t
+    }
+
+    /// Whether the function depends on variable `x_i`.
+    pub fn depends_on(&self, i: usize) -> bool {
+        self.cofactor0(i) != self.cofactor1(i)
+    }
+
+    /// The set of variables the function depends on, as a bit mask.
+    pub fn support(&self) -> u32 {
+        let mut mask = 0;
+        for i in 0..self.vars {
+            if self.depends_on(i) {
+                mask |= 1 << i;
+            }
+        }
+        mask
+    }
+
+    /// Re-expresses the function over a larger variable set: variable `i`
+    /// of `self` becomes variable `map[i]` of the result, which ranges over
+    /// `new_vars` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `map.len() != n`, any target is out of range, or targets
+    /// collide.
+    pub fn expand(&self, new_vars: usize, map: &[usize]) -> Self {
+        assert_eq!(map.len(), self.vars, "map must cover every variable");
+        let mut seen = 0u32;
+        for &m in map {
+            assert!(m < new_vars, "target variable {m} out of range");
+            assert!(seen & (1 << m) == 0, "duplicate target variable {m}");
+            seen |= 1 << m;
+        }
+        let mut t = Self::zeros(new_vars);
+        for j in 0..t.num_bits() {
+            let mut src = 0usize;
+            for (i, &m) in map.iter().enumerate() {
+                if (j >> m) & 1 == 1 {
+                    src |= 1 << i;
+                }
+            }
+            if self.bit(src) {
+                t.set_bit(j, true);
+            }
+        }
+        t
+    }
+
+    /// Restricts the function to the variables it actually depends on,
+    /// returning the shrunk table and the original indices of the kept
+    /// variables (in ascending order).
+    pub fn shrink_to_support(&self) -> (Self, Vec<usize>) {
+        let kept: Vec<usize> = (0..self.vars).filter(|&i| self.depends_on(i)).collect();
+        let mut t = Self::zeros(kept.len());
+        for j in 0..t.num_bits() {
+            // Scatter the compact index j onto the original variables; the
+            // dropped variables are irrelevant, so fix them at 0.
+            let mut src = 0usize;
+            for (pos, &orig) in kept.iter().enumerate() {
+                if (j >> pos) & 1 == 1 {
+                    src |= 1 << orig;
+                }
+            }
+            if self.bit(src) {
+                t.set_bit(j, true);
+            }
+        }
+        (t, kept)
+    }
+}
+
+impl fmt::Debug for TruthTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TruthTable({}v, 0x{})", self.vars, self.to_hex())
+    }
+}
+
+impl fmt::Display for TruthTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{}", self.to_hex())
+    }
+}
+
+macro_rules! impl_binop {
+    ($trait:ident, $method:ident, $op:tt) => {
+        impl $trait for &TruthTable {
+            type Output = TruthTable;
+            fn $method(self, rhs: &TruthTable) -> TruthTable {
+                assert_eq!(self.vars, rhs.vars, "operands over different variable counts");
+                let mut t = TruthTable::zeros(self.vars);
+                for (i, w) in t.words.iter_mut().enumerate() {
+                    *w = self.words[i] $op rhs.words[i];
+                }
+                t
+            }
+        }
+        impl $trait for TruthTable {
+            type Output = TruthTable;
+            fn $method(self, rhs: TruthTable) -> TruthTable {
+                (&self).$method(&rhs)
+            }
+        }
+    };
+}
+
+impl_binop!(BitAnd, bitand, &);
+impl_binop!(BitOr, bitor, |);
+impl_binop!(BitXor, bitxor, ^);
+
+impl Not for &TruthTable {
+    type Output = TruthTable;
+    fn not(self) -> TruthTable {
+        let mut t = TruthTable {
+            vars: self.vars,
+            words: self.words.iter().map(|w| !w).collect(),
+        };
+        t.mask_tail();
+        t
+    }
+}
+
+impl Not for TruthTable {
+    type Output = TruthTable;
+    fn not(self) -> TruthTable {
+        !&self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn projections_have_half_density() {
+        for n in 1..=8 {
+            for i in 0..n {
+                let v = TruthTable::var(n, i);
+                assert_eq!(v.count_ones() as usize, 1 << (n - 1), "x{i} over {n}");
+                for j in 0..v.num_bits() {
+                    assert_eq!(v.bit(j), (j >> i) & 1 == 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn maj_matches_definition() {
+        for n in [3, 4, 7] {
+            let a = TruthTable::var(n, 0);
+            let b = TruthTable::var(n, 1);
+            let c = TruthTable::var(n, 2);
+            let m = TruthTable::maj(&a, &b, &c);
+            for j in 0..m.num_bits() {
+                let cnt = (j & 1) + ((j >> 1) & 1) + ((j >> 2) & 1);
+                assert_eq!(m.bit(j), cnt >= 2);
+            }
+        }
+    }
+
+    #[test]
+    fn maj_with_constants_gives_and_or() {
+        let a = TruthTable::var(2, 0);
+        let b = TruthTable::var(2, 1);
+        let zero = TruthTable::zeros(2);
+        let one = TruthTable::ones(2);
+        assert_eq!(TruthTable::maj(&zero, &a, &b), &a & &b);
+        assert_eq!(TruthTable::maj(&one, &a, &b), &a | &b);
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let t = TruthTable::from_hex(4, "cafe").unwrap();
+        assert_eq!(t.to_hex(), "cafe");
+        assert_eq!(t.as_u16(), 0xcafe);
+        let t = TruthTable::from_hex(7, "0123456789abcdef0123456789abcdef").unwrap();
+        assert_eq!(t.to_hex(), "0123456789abcdef0123456789abcdef");
+        let t = TruthTable::from_hex(0, "1").unwrap();
+        assert!(t.bit(0));
+        assert_eq!(t.to_hex(), "1");
+    }
+
+    #[test]
+    fn hex_errors() {
+        assert_eq!(
+            TruthTable::from_hex(4, "caf"),
+            Err(ParseTableError::BadLength {
+                expected: 4,
+                got: 3
+            })
+        );
+        assert_eq!(
+            TruthTable::from_hex(2, "g"),
+            Err(ParseTableError::BadDigit('g'))
+        );
+        assert!(TruthTable::from_hex(17, "0").is_err());
+    }
+
+    #[test]
+    fn cofactors_small_and_large_vars() {
+        for n in [3, 5, 7, 8] {
+            // f = x_i XOR x_0 has cofactors !x_0 and x_0 (for i > 0).
+            for i in 1..n {
+                let f = &TruthTable::var(n, i) ^ &TruthTable::var(n, 0);
+                assert_eq!(f.cofactor0(i), TruthTable::var(n, 0));
+                assert_eq!(f.cofactor1(i), !TruthTable::var(n, 0));
+                assert!(f.depends_on(i));
+                assert!(f.depends_on(0));
+                assert_eq!(f.support(), 1 | (1 << i));
+            }
+        }
+    }
+
+    #[test]
+    fn mux_selects() {
+        let n = 5;
+        let s = TruthTable::var(n, 4);
+        let a = TruthTable::var(n, 0);
+        let b = TruthTable::var(n, 1);
+        let m = TruthTable::mux(&s, &a, &b);
+        assert_eq!(m.cofactor1(4), a.cofactor1(4));
+        assert_eq!(m.cofactor0(4), b.cofactor0(4));
+    }
+
+    #[test]
+    fn expand_moves_variables() {
+        // f(a, b) = a & !b expanded to 4 vars with a -> x3, b -> x1.
+        let f = &TruthTable::var(2, 0) & &!TruthTable::var(2, 1);
+        let g = f.expand(4, &[3, 1]);
+        assert_eq!(g, &TruthTable::var(4, 3) & &!TruthTable::var(4, 1));
+    }
+
+    #[test]
+    fn shrink_to_support_drops_dead_vars() {
+        let f = &TruthTable::var(5, 3) ^ &TruthTable::var(5, 1);
+        let (s, kept) = f.shrink_to_support();
+        assert_eq!(kept, vec![1, 3]);
+        assert_eq!(s, &TruthTable::var(2, 0) ^ &TruthTable::var(2, 1));
+        let back = s.expand(5, &kept);
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn constants() {
+        for n in 0..=8 {
+            let z = TruthTable::zeros(n);
+            let o = TruthTable::ones(n);
+            assert!(z.is_zero() && !z.is_ones());
+            assert!(o.is_ones() && !o.is_zero());
+            assert_eq!(o.count_ones() as usize, 1 << n);
+            assert_eq!(!&z, o);
+        }
+    }
+
+    #[test]
+    fn ordering_is_numeric_on_small_tables() {
+        let a = TruthTable::from_u16(0x0001);
+        let b = TruthTable::from_u16(0x8000);
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,64 @@
+//! Exact synthesis walkthrough (paper §III): find minimum-size,
+//! minimum-depth and minimum-length MIGs for chosen functions with the
+//! SAT-based engine, and print the resulting structures.
+//!
+//! Run with: `cargo run --release --example exact_synthesis [hex4]`
+//! where `hex4` is an optional 4-digit truth table (default: a tour of
+//! interesting functions).
+
+use mig_fh::exact::{minimum_depth, minimum_length, minimum_size, SynthesisConfig};
+use mig_fh::truth::TruthTable;
+
+fn describe(name: &str, f: &TruthTable) {
+    let cfg = SynthesisConfig::default();
+    let size_net = minimum_size(f, &cfg).expect("within gate limit");
+    let len_net = minimum_length(f, &cfg).expect("within gate limit");
+    let (depth, _) = minimum_depth(f, &cfg).expect("within gate limit");
+    println!(
+        "{name:<28} tt=0x{:<6} C(f)={:<2} L(f)={:<2} D(f)={depth}",
+        f.to_hex(),
+        size_net.size(),
+        len_net.size(),
+    );
+    for (i, g) in size_net.gates().iter().enumerate() {
+        let pin = |r: (u32, bool)| {
+            let s = match r.0 {
+                0 => "0".to_string(),
+                k if (k as usize) <= f.num_vars() => format!("x{k}"),
+                k => format!("g{}", k as usize - f.num_vars() - 1),
+            };
+            if r.1 {
+                format!("!{s}")
+            } else {
+                s
+            }
+        };
+        println!(
+            "    g{i} = <{} {} {}>",
+            pin(g.fanins[0]),
+            pin(g.fanins[1]),
+            pin(g.fanins[2])
+        );
+    }
+}
+
+fn main() {
+    if let Some(hex) = std::env::args().nth(1) {
+        let f = TruthTable::from_hex(4, &hex).expect("4 hex digits");
+        describe("user function", &f);
+        return;
+    }
+    describe("maj3", &TruthTable::from_hex(3, "e8").unwrap());
+    describe("xor2", &TruthTable::from_hex(2, "6").unwrap());
+    describe("full-adder sum (xor3)", &TruthTable::from_hex(3, "96").unwrap());
+    describe("and4", &TruthTable::from_hex(4, "8000").unwrap());
+    describe("4-input parity", &TruthTable::from_hex(4, "6996").unwrap());
+    // The paper's hardest class, S_{0,2} (Fig. 2): 7 gates.
+    let mut s02 = TruthTable::zeros(4);
+    for j in 0..16usize {
+        if j.count_ones() == 0 || j.count_ones() == 2 {
+            s02.set_bit(j, true);
+        }
+    }
+    describe("S_{0,2} (paper Fig. 2)", &s02);
+}

@@ -1,0 +1,48 @@
+//! Explore the minimum-MIG database (paper §V-A): look functions up by
+//! NPN class, print Table I's histogram, and instantiate a database
+//! template onto concrete leaves.
+//!
+//! Run with: `cargo run --release --example npn_database [hex4]`
+
+use mig_fh::mig::Mig;
+use mig_fh::npndb::{instantiate_via_npn, Database};
+use mig_fh::truth::{Npn4Canonizer, TruthTable};
+
+fn main() {
+    let db = Database::embedded();
+    println!(
+        "embedded database: {} NPN classes, max minimum size {} (paper Table I)",
+        db.len(),
+        db.max_size()
+    );
+    println!("size histogram (classes per gate count): {:?}", db.size_histogram());
+
+    let f: u16 = std::env::args()
+        .nth(1)
+        .map(|h| u16::from_str_radix(&h, 16).expect("4 hex digits"))
+        .unwrap_or(0xcafe);
+    let canon = Npn4Canonizer::new();
+    let (rep, transform) = canon.canonize(f);
+    println!("\nfunction 0x{f:04x}:");
+    println!("  NPN representative: 0x{rep:04x}");
+    println!(
+        "  transform: perm={:?} flips={:#06b} out_neg={}",
+        (0..4).map(|i| transform.perm(i)).collect::<Vec<_>>(),
+        (0..4).fold(0u8, |m, i| m | (u8::from(transform.input_negated(i)) << i)),
+        transform.output_negated()
+    );
+    let entry = db.get(rep).expect("database is complete");
+    println!(
+        "  minimum MIG: {} gates, depth {}",
+        entry.size, entry.depth
+    );
+
+    // Instantiate onto fresh inputs and verify.
+    let mut m = Mig::new(4);
+    let leaves = m.inputs();
+    let out = instantiate_via_npn(f, &db, &mut m, &leaves);
+    m.add_output(out);
+    assert_eq!(m.output_truth_tables()[0], TruthTable::from_u16(f));
+    println!("  instantiated and verified: {m}");
+    println!("\n{}", m.to_dot());
+}

@@ -1,0 +1,17 @@
+#!/bin/sh
+# CI gate: build, tests, formatting, lints. Run from the repo root.
+set -eu
+
+echo "== cargo build --release"
+cargo build --release --workspace
+
+echo "== cargo test -q"
+cargo test -q --workspace
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI OK"

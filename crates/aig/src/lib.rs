@@ -266,6 +266,35 @@ pub fn from_mig(mig: &Mig) -> Aig {
     aig
 }
 
+/// Converts an AIG into an MIG (each AND becomes `<0ab>`; structural
+/// hashing may merge nodes, the function is preserved). This is the
+/// ingestion path for AIGER files read by the `io` crate.
+pub fn to_mig(aig: &Aig) -> Mig {
+    let mut mig = Mig::new(aig.num_inputs());
+    let mut map: Vec<Option<Signal>> = vec![None; aig.fanins.len()];
+    map[0] = Some(Signal::ZERO);
+    for i in 0..aig.num_inputs() {
+        map[i + 1] = Some(mig.input(i));
+    }
+    for g in aig.gates() {
+        let [a, b] = aig.fanins(g);
+        let sa = map[a.node() as usize]
+            .expect("topo")
+            .complement_if(a.is_complemented());
+        let sb = map[b.node() as usize]
+            .expect("topo")
+            .complement_if(b.is_complemented());
+        map[g as usize] = Some(mig.and(sa, sb));
+    }
+    for o in aig.outputs() {
+        let s = map[o.node() as usize]
+            .expect("output cone mapped")
+            .complement_if(o.is_complemented());
+        mig.add_output(s);
+    }
+    mig
+}
+
 /// Algebraic balancing (tree-height reduction, paper ref \[7\]): collects
 /// maximal single-polarity AND trees and rebuilds them as balanced trees
 /// ordered by arrival time.
@@ -674,6 +703,20 @@ mod tests {
         let rw = AigRewriter::default().rewrite(&a);
         assert_eq!(rw.output_truth_tables(), a.output_truth_tables());
         assert!(rw.num_gates() <= a.num_gates());
+    }
+
+    #[test]
+    fn mig_aig_mig_roundtrip_preserves_function() {
+        let mut m = Mig::new(4);
+        let ins = m.inputs();
+        let (s1, c1) = m.full_adder(ins[0], ins[1], ins[2]);
+        let g = m.maj(s1, c1, ins[3]);
+        m.add_output(g);
+        m.add_output(!s1);
+        let back = to_mig(&from_mig(&m));
+        assert_eq!(back.output_truth_tables(), m.output_truth_tables());
+        assert_eq!(back.num_inputs(), m.num_inputs());
+        assert_eq!(back.num_outputs(), m.num_outputs());
     }
 
     #[test]

@@ -67,13 +67,7 @@ pub fn size_rewrite(mig: &Mig) -> (Mig, AlgStats) {
 
 /// Creates `<a b c>` in `out`, first trying the size-saving `Ω.D` R→L
 /// pattern on any pair of gate operands sharing two operands.
-fn maj_distrib_rl(
-    out: &mut Mig,
-    a: Signal,
-    b: Signal,
-    c: Signal,
-    stats: &mut AlgStats,
-) -> Signal {
+fn maj_distrib_rl(out: &mut Mig, a: Signal, b: Signal, c: Signal, stats: &mut AlgStats) -> Signal {
     // Look for <G1 G2 z> with G1 = <x y u>, G2 = <x y v> (plain-polarity
     // gates sharing exactly two operands): rewrite to <x y <u v z>>.
     let ops = [a, b, c];
@@ -154,8 +148,10 @@ pub fn depth_rewrite(mig: &Mig) -> (Mig, AlgStats) {
             let z = inner_ops[zi];
             let rest: Vec<Signal> = (0..3).filter(|&i| i != zi).map(|i| inner_ops[i]).collect();
             let z_lvl = new_level[z.node() as usize];
-            let outer_lvls: Vec<u32> =
-                outer.iter().map(|&s| new_level[s.node() as usize]).collect();
+            let outer_lvls: Vec<u32> = outer
+                .iter()
+                .map(|&s| new_level[s.node() as usize])
+                .collect();
 
             // Ω.A: if the inner gate (plain polarity) shares an operand u
             // with the outer gate, swap z with the other outer operand x

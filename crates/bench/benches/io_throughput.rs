@@ -1,0 +1,58 @@
+//! I/O throughput micro-benchmarks: binary/ASCII AIGER parsing, MIG
+//! conversion, and BLIF emission on a generated 64-bit adder, so
+//! interchange regressions show up in `BENCH_io.json`.
+//!
+//! Run with `cargo bench -p bench_harness --bench io_throughput`.
+
+use bench_harness::microbench::{bench, write_json};
+use io::aiger::Aiger;
+use io::blif::Blif;
+use std::hint::black_box;
+
+fn main() {
+    let adder = benchgen::adder(64);
+    let doc = Aiger::from_mig(&adder);
+    let ascii = doc.to_ascii();
+    let binary = doc.to_binary().expect("canonical document");
+    let blif_text = Blif::from_mig(&adder, "adder64").to_text();
+    println!(
+        "adder64: {} AND gates, {} bytes binary, {} bytes ascii, {} bytes blif\n",
+        doc.num_ands(),
+        binary.len(),
+        ascii.len(),
+        blif_text.len()
+    );
+
+    let mut ms = Vec::new();
+    ms.push(bench("io/parse_binary_adder64", || {
+        Aiger::parse_binary(black_box(&binary)).unwrap().num_ands()
+    }));
+    ms.push(bench("io/parse_ascii_adder64", || {
+        Aiger::parse_ascii(black_box(&ascii)).unwrap().num_ands()
+    }));
+    ms.push(bench("io/binary_to_mig_adder64", || {
+        Aiger::parse_binary(black_box(&binary))
+            .unwrap()
+            .to_mig()
+            .unwrap()
+            .num_gates()
+    }));
+    ms.push(bench("io/write_binary_adder64", || {
+        black_box(&doc).to_binary().unwrap().len()
+    }));
+    ms.push(bench("io/parse_blif_adder64", || {
+        Blif::parse(black_box(&blif_text)).unwrap().gates.len()
+    }));
+    ms.push(bench("io/blif_to_mig_adder64", || {
+        Blif::parse(black_box(&blif_text))
+            .unwrap()
+            .to_mig()
+            .unwrap()
+            .num_gates()
+    }));
+    ms.push(bench("io/mig_to_aiger_adder64", || {
+        Aiger::from_mig(black_box(&adder)).num_ands()
+    }));
+
+    write_json("io", &ms);
+}

@@ -75,17 +75,17 @@ fn main() {
 
     println!("TABLE I. OPTIMAL MIGS FOR ALL 4-VARIABLE NPN CLASSES");
     println!("(times are for this repository's CDCL solver; the paper reports Z3 runtimes)");
-    println!("{:>14} {:>8} {:>10} {:>10} {:>10}", "Majority nodes", "Classes", "Functions", "Time", "Avg. time");
+    println!(
+        "{:>14} {:>8} {:>10} {:>10} {:>10}",
+        "Majority nodes", "Classes", "Functions", "Time", "Avg. time"
+    );
     let mut tot_c = 0;
     let mut tot_f = 0;
     let mut tot_t = 0.0;
     for (&k, &c) in &classes {
         let f = functions[&k];
         let t = time_sum[&k];
-        println!(
-            "{k:>14} {c:>8} {f:>10} {t:>10.2} {:>10.2}",
-            t / c as f64
-        );
+        println!("{k:>14} {c:>8} {f:>10} {t:>10.2} {:>10.2}", t / c as f64);
         tot_c += c;
         tot_f += f;
         tot_t += t;

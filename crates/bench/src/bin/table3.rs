@@ -3,7 +3,9 @@
 //! and BF, against the algebraically optimized starting points.
 //!
 //! `--small` runs reduced bit-widths (seconds instead of minutes);
-//! `--no-validate` skips the random-simulation equivalence checks.
+//! `--no-validate` skips the random-simulation equivalence checks;
+//! `--from <file>` (repeatable) runs on external `.aag`/`.aig`/`.blif`
+//! circuits instead of the generated EPFL instances.
 //!
 //! Absolute sizes differ from the paper (our starting points are our own
 //! generators plus the reimplemented algebraic flow, not the EPFL "best
@@ -11,17 +13,24 @@
 //! size against depth, and the relative ordering — is the reproduction
 //! target, summarized by the average-ratio row exactly like the paper.
 
-use bench_harness::{geomean_ratio, run_benchmark, PAPER_VARIANTS};
+use bench_harness::{
+    geomean_ratio, load_external_benchmarks, run_benchmark, run_benchmark_mig, PAPER_VARIANTS,
+};
 use benchgen::EpflBenchmark;
 
 fn main() {
-    let small = std::env::args().any(|a| a == "--small");
-    let validate = !std::env::args().any(|a| a == "--no-validate");
+    let args: Vec<String> = std::env::args().collect();
+    let small = args.iter().any(|a| a == "--small");
+    let validate = !args.iter().any(|a| a == "--no-validate");
     let scale = if small { Some(2) } else { None };
+    let external = load_external_benchmarks(&args);
 
     println!("TABLE III. FUNCTIONAL HASHING (MIG SIZE AND DEPTH)");
     if small {
         println!("(--small: reduced bit-widths)");
+    }
+    if !external.is_empty() {
+        println!("(--from: external circuits instead of generated EPFL instances)");
     }
     print!("{:<12} {:>9} {:>7} {:>5}", "Benchmark", "I/O", "S", "D");
     for v in PAPER_VARIANTS {
@@ -31,11 +40,21 @@ fn main() {
 
     let mut size_ratios: Vec<Vec<(f64, f64)>> = vec![Vec::new(); PAPER_VARIANTS.len()];
     let mut depth_ratios: Vec<Vec<(f64, f64)>> = vec![Vec::new(); PAPER_VARIANTS.len()];
-    for b in EpflBenchmark::ALL {
-        let row = run_benchmark(b, scale, validate);
+    let rows: Vec<bench_harness::BenchRow> = if external.is_empty() {
+        EpflBenchmark::ALL
+            .into_iter()
+            .map(|b| run_benchmark(b, scale, validate))
+            .collect()
+    } else {
+        external
+            .iter()
+            .map(|(name, base)| run_benchmark_mig(name, base, validate))
+            .collect()
+    };
+    for row in &rows {
         print!(
             "{:<12} {:>9} {:>7} {:>5}",
-            row.bench.name(),
+            row.name,
             format!("{}/{}", row.io.0, row.io.1),
             row.base_size,
             row.base_depth
@@ -61,11 +80,8 @@ fn main() {
     println!(
         "\n(paper Table III average size ratios: TF 0.96, T 1.02*, TFD 1.00, TD 0.99, BF 0.92;"
     );
-    println!(
-        " paper depth ratios: TF 1.09, T 1.12, TFD 1.00, TD 1.02, BF 1.14. *paper's T column");
-    println!(
-        " trades size on some instances; exact values depend on the starting points.)"
-    );
+    println!(" paper depth ratios: TF 1.09, T 1.12, TFD 1.00, TD 1.02, BF 1.14. *paper's T column");
+    println!(" trades size on some instances; exact values depend on the starting points.)");
     if validate {
         println!("all optimized MIGs validated against the starting points (random simulation).");
     }

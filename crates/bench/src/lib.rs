@@ -11,6 +11,8 @@ use fhash::{FhConfig, FunctionalHashing, Variant};
 use mig::Mig;
 use std::time::Instant;
 
+pub mod microbench;
+
 /// The variant columns of Tables III and IV, in paper order.
 pub const PAPER_VARIANTS: [Variant; 5] = [
     Variant::TopDownFfr,
@@ -38,9 +40,10 @@ pub struct VariantResult {
 /// One row of the Table III pipeline.
 #[derive(Debug, Clone)]
 pub struct BenchRow {
-    /// The benchmark instance.
-    pub bench: EpflBenchmark,
-    /// I/O signature of the generated instance.
+    /// Display name: the EPFL instance name, or the file stem for
+    /// external circuits loaded with `--from`.
+    pub name: String,
+    /// I/O signature of the instance.
     pub io: (usize, usize),
     /// The optimized starting point (stand-in for the suite's "best
     /// results"; see DESIGN.md).
@@ -64,7 +67,13 @@ pub fn starting_point(bench: EpflBenchmark, scale: Option<u32>) -> Mig {
         None => bench.generate(),
         Some(s) => bench.generate_scaled(s),
     };
-    let (mut cur, _) = migalg::size_rewrite(&raw);
+    starting_point_from(&raw)
+}
+
+/// The algebraic starting-point script applied to an arbitrary circuit
+/// (used both for generated instances and `--from` files).
+pub fn starting_point_from(raw: &Mig) -> Mig {
+    let (mut cur, _) = migalg::size_rewrite(raw);
     for _ in 0..300 {
         let (next, _) = migalg::depth_rewrite(&cur);
         if next.depth() >= cur.depth() {
@@ -75,14 +84,21 @@ pub fn starting_point(bench: EpflBenchmark, scale: Option<u32>) -> Mig {
     cur
 }
 
-/// Runs the full Table III pipeline for one benchmark.
+/// Runs the full Table III pipeline for one generated EPFL benchmark.
 ///
 /// When `validate` is set, every optimized MIG is checked against the
 /// starting point with 512 random word-parallel patterns (and the
 /// harness panics on a mismatch — the tables must never report wrong
 /// circuits).
 pub fn run_benchmark(bench: EpflBenchmark, scale: Option<u32>, validate: bool) -> BenchRow {
-    let base = starting_point(bench, scale);
+    run_benchmark_mig(bench.name(), &starting_point(bench, scale), validate)
+}
+
+/// Runs the Table III pipeline on an already-prepared starting point.
+/// External circuits (AIGER/BLIF files) enter here via
+/// [`load_external_benchmarks`].
+pub fn run_benchmark_mig(name: &str, base: &Mig, validate: bool) -> BenchRow {
+    let base = base.clone();
     let engine = FunctionalHashing::new(npndb::Database::embedded(), FhConfig::default());
     let mut variants = Vec::new();
     for v in PAPER_VARIANTS {
@@ -92,7 +108,7 @@ pub fn run_benchmark(bench: EpflBenchmark, scale: Option<u32>, validate: bool) -
         if validate {
             assert!(
                 cec::equivalent_random(&base, &opt, 8, 0xC0FFEE),
-                "{bench}/{v}: functional mismatch"
+                "{name}/{v}: functional mismatch"
             );
         }
         variants.push(VariantResult {
@@ -104,13 +120,48 @@ pub fn run_benchmark(bench: EpflBenchmark, scale: Option<u32>, validate: bool) -
         });
     }
     BenchRow {
+        name: name.to_string(),
         io: (base.num_inputs(), base.num_outputs()),
         base_size: base.num_gates(),
         base_depth: base.depth(),
         base,
-        bench,
         variants,
     }
+}
+
+/// Collects the `--from <file>` arguments of a table binary and loads
+/// each circuit (`.aag`, `.aig` or `.blif`) with its file stem as the
+/// display name. The algebraic starting-point script is applied so
+/// external rows go through the same pipeline as generated ones.
+///
+/// Exits the process with a message on unreadable or malformed files —
+/// these binaries are batch tools, not a library surface.
+pub fn load_external_benchmarks(args: &[String]) -> Vec<(String, Mig)> {
+    let mut out = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a != "--from" {
+            continue;
+        }
+        let Some(path) = it.next() else {
+            eprintln!("error: --from needs a file argument");
+            std::process::exit(1);
+        };
+        let raw = match io::read_mig_path(path) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let name = std::path::Path::new(path)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or(path)
+            .to_string();
+        out.push((name, starting_point_from(&raw)));
+    }
+    out
 }
 
 /// Geometric mean of ratios (the paper's "average improvement

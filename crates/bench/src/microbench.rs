@@ -1,0 +1,89 @@
+//! A minimal self-contained micro-benchmark harness.
+//!
+//! The container this workspace builds in has no network access, so the
+//! `benches/` targets use this instead of Criterion: adaptive iteration
+//! counts, mean/min timings, a table on stdout, and a `BENCH_<name>.json`
+//! file at the workspace root so regressions are diffable across runs.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One benchmark's timings.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark id, e.g. `"io/parse_binary_adder64"`.
+    pub name: String,
+    /// Number of timed iterations.
+    pub iters: u32,
+    /// Mean wall-clock time per iteration, nanoseconds.
+    pub mean_ns: f64,
+    /// Fastest iteration, nanoseconds.
+    pub min_ns: f64,
+}
+
+/// Times `f`, choosing an iteration count that targets roughly 300 ms of
+/// total measurement (at least 3, at most 1000 iterations). The closure's
+/// result is passed through [`black_box`] so the work is not optimized
+/// away.
+pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) -> Measurement {
+    // Warm-up + calibration run.
+    let t0 = Instant::now();
+    black_box(f());
+    let once = t0.elapsed().as_secs_f64().max(1e-9);
+    let iters = (0.3 / once).clamp(3.0, 1000.0) as u32;
+    let mut total = 0.0f64;
+    let mut min = f64::INFINITY;
+    for _ in 0..iters {
+        let t = Instant::now();
+        black_box(f());
+        let dt = t.elapsed().as_secs_f64();
+        total += dt;
+        min = min.min(dt);
+    }
+    let m = Measurement {
+        name: name.to_string(),
+        iters,
+        mean_ns: total / f64::from(iters) * 1e9,
+        min_ns: min * 1e9,
+    };
+    println!(
+        "{:<44} {:>10} {:>12}   ({} iters)",
+        m.name,
+        format_ns(m.mean_ns),
+        format!("min {}", format_ns(m.min_ns)),
+        m.iters
+    );
+    m
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Writes `BENCH_<stem>.json` at the workspace root with all
+/// measurements, so CI runs can be diffed. Failure to write is reported
+/// but not fatal (benches still print to stdout).
+pub fn write_json(stem: &str, measurements: &[Measurement]) {
+    let mut s = String::from("{\n");
+    for (i, m) in measurements.iter().enumerate() {
+        let comma = if i + 1 == measurements.len() { "" } else { "," };
+        s.push_str(&format!(
+            "  \"{}\": {{\"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"iters\": {}}}{}\n",
+            m.name, m.mean_ns, m.min_ns, m.iters, comma
+        ));
+    }
+    s.push_str("}\n");
+    let path = format!("{}/../../BENCH_{stem}.json", env!("CARGO_MANIFEST_DIR"));
+    match std::fs::write(&path, &s) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("\nwarning: could not write {path}: {e}"),
+    }
+}

@@ -6,8 +6,7 @@
 //! (see `epfl` module) instantiate the paper's I/O signatures.
 
 use crate::words::{
-    add, add_sub, const_word, less_than, mul, mux_word, shl_barrel, shl_const, sub, zero_word,
-    Word,
+    add, add_sub, const_word, less_than, mul, mux_word, shl_barrel, shl_const, sub, zero_word, Word,
 };
 use mig::{Mig, Signal};
 
@@ -448,12 +447,7 @@ mod tests {
         assert_eq!(m.num_inputs(), 4 * w);
         assert_eq!(m.num_outputs(), w + 2);
         for pat in 0..(1u128 << (4 * w)) {
-            let vals = [
-                pat & 3,
-                (pat >> 2) & 3,
-                (pat >> 4) & 3,
-                (pat >> 6) & 3,
-            ];
+            let vals = [pat & 3, (pat >> 2) & 3, (pat >> 4) & 3, (pat >> 6) & 3];
             let out = m.evaluate(&bits_of(pat, 4 * w));
             let got_max = to_u128(&out[..w]);
             let got_idx = to_u128(&out[w..]) as u32;
@@ -475,9 +469,9 @@ mod tests {
                 let (q, r) = model_divisor(n, d, w);
                 assert_eq!(to_u128(&out[..w]), q, "{n}/{d} quotient");
                 assert_eq!(to_u128(&out[w..]), r, "{n}/{d} remainder");
-                if d != 0 {
-                    assert_eq!(q, n / d);
-                    assert_eq!(r, n % d);
+                if let (Some(eq), Some(er)) = (n.checked_div(d), n.checked_rem(d)) {
+                    assert_eq!(q, eq);
+                    assert_eq!(r, er);
                 }
             }
         }
@@ -520,17 +514,15 @@ mod tests {
         assert_eq!(m.num_outputs(), o);
         for theta in 0..256u128 {
             let out = m.evaluate(&bits_of(theta, a));
-            assert_eq!(
-                to_u128(&out),
-                model_sine(theta, a, o, it),
-                "sine({theta})"
-            );
+            assert_eq!(to_u128(&out), model_sine(theta, a, o, it), "sine({theta})");
         }
         // Semantics: sin(pi/2 - epsilon) should be near full scale.
         let hi = model_sine(255, a, o, it);
         let full = 1u128 << (o - 1);
-        assert!(hi > full * 9 / 10 && hi < full * 11 / 10,
-            "sin(~pi/2) = {hi} vs {full}");
+        assert!(
+            hi > full * 9 / 10 && hi < full * 11 / 10,
+            "sin(~pi/2) = {hi} vs {full}"
+        );
         // Monotone on a coarse grid.
         assert!(model_sine(32, a, o, it) < model_sine(128, a, o, it));
     }

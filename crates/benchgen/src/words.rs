@@ -60,10 +60,7 @@ pub fn add_sub(m: &mut Mig, a: &[Signal], b: &[Signal], sel: Signal) -> Word {
 /// Bitwise word multiplexer `sel ? t : e`.
 pub fn mux_word(m: &mut Mig, sel: Signal, t: &[Signal], e: &[Signal]) -> Word {
     assert_eq!(t.len(), e.len(), "mux width mismatch");
-    t.iter()
-        .zip(e)
-        .map(|(&x, &y)| m.mux(sel, x, y))
-        .collect()
+    t.iter().zip(e).map(|(&x, &y)| m.mux(sel, x, y)).collect()
 }
 
 /// Unsigned comparison `a < b`.
@@ -248,8 +245,14 @@ mod tests {
     #[test]
     fn constant_shifts() {
         let a = [Signal::ONE, Signal::ZERO, Signal::ONE, Signal::ONE];
-        assert_eq!(shr_const(&a, 1), vec![Signal::ZERO, Signal::ONE, Signal::ONE, Signal::ZERO]);
-        assert_eq!(shl_const(&a, 2), vec![Signal::ZERO, Signal::ZERO, Signal::ONE, Signal::ZERO]);
+        assert_eq!(
+            shr_const(&a, 1),
+            vec![Signal::ZERO, Signal::ONE, Signal::ONE, Signal::ZERO]
+        );
+        assert_eq!(
+            shl_const(&a, 2),
+            vec![Signal::ZERO, Signal::ZERO, Signal::ONE, Signal::ZERO]
+        );
         assert_eq!(sar_const(&a, 2)[3], Signal::ONE);
         assert_eq!(shr_const(&a, 10).len(), 4);
     }

@@ -32,7 +32,10 @@ pub enum CecResult {
 pub fn equivalent_exhaustive(a: &Mig, b: &Mig) -> bool {
     assert_eq!(a.num_inputs(), b.num_inputs(), "input counts differ");
     assert_eq!(a.num_outputs(), b.num_outputs(), "output counts differ");
-    assert!(a.num_inputs() <= 16, "exhaustive check limited to 16 inputs");
+    assert!(
+        a.num_inputs() <= 16,
+        "exhaustive check limited to 16 inputs"
+    );
     a.output_truth_tables() == b.output_truth_tables()
 }
 

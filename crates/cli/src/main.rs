@@ -1,0 +1,166 @@
+//! `migopt` — read a circuit (`.aag`, `.aig`, `.blif`), run an ABC-style
+//! pass pipeline, write the result.
+//!
+//! ```text
+//! migopt -i adder.aig -p "strash; algebraic; fhash:TFD; fhash:B; cec" -o adder_opt.blif
+//! ```
+//!
+//! Exit codes: 0 success, 1 usage/parse/file errors, 2 equivalence
+//! failure (the `cec` pass found a counterexample).
+
+use cli::{parse_pipeline, run_pipeline, PassReport};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+migopt: MIG optimization pipeline driver
+
+USAGE:
+    migopt -i <input> [-p <pipeline>] [-o <output>] [--quiet]
+
+OPTIONS:
+    -i, --input <file>     circuit to read (.aag, .aig or .blif)
+    -o, --output <file>    write the final circuit (.aag, .aig or .blif)
+    -p, --passes <spec>    ';'-separated pipeline, e.g.
+                           \"strash; algebraic; fhash:TFD; fhash:B; cec\"
+                           (default: \"stats\")
+    -q, --quiet            suppress per-pass reporting
+    -h, --help             show this help
+
+PASSES:
+    strash  algebraic[:N]  size  depth  fhash:{T,TD,TF,TFD,B,BF}
+    balance  rewrite  cec[:budget]  map[:k]  stats
+";
+
+struct Args {
+    input: String,
+    output: Option<String>,
+    passes: String,
+    quiet: bool,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut input = None;
+    let mut output = None;
+    let mut passes = None;
+    let mut quiet = false;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-i" | "--input" => {
+                input = Some(
+                    it.next()
+                        .ok_or_else(|| format!("{arg} needs a file argument"))?
+                        .clone(),
+                );
+            }
+            "-o" | "--output" => {
+                output = Some(
+                    it.next()
+                        .ok_or_else(|| format!("{arg} needs a file argument"))?
+                        .clone(),
+                );
+            }
+            "-p" | "--passes" => {
+                passes = Some(
+                    it.next()
+                        .ok_or_else(|| format!("{arg} needs a pipeline argument"))?
+                        .clone(),
+                );
+            }
+            "-q" | "--quiet" => quiet = true,
+            "-h" | "--help" => return Err(String::new()),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(Args {
+        input: input.ok_or("missing required -i <input>")?,
+        output,
+        passes: passes.unwrap_or_else(|| "stats".to_string()),
+        quiet,
+    })
+}
+
+fn print_report(r: &PassReport) {
+    let note = if r.note.is_empty() {
+        String::new()
+    } else {
+        format!("  [{}]", r.note)
+    };
+    println!(
+        "{:<14} size {:>6} -> {:<6} depth {:>4} -> {:<4} {:>9.2} ms{}",
+        r.pass,
+        r.size_before,
+        r.size_after,
+        r.depth_before,
+        r.depth_after,
+        r.runtime * 1e3,
+        note
+    );
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {msg}");
+            eprint!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let passes = match parse_pipeline(&args.passes) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: bad pipeline: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let input = match io::read_mig_path(&args.input) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {}: {e}", args.input);
+            return ExitCode::FAILURE;
+        }
+    };
+    if !args.quiet {
+        println!(
+            "read {:<22} i/o = {}/{}  size = {}  depth = {}",
+            args.input,
+            input.num_inputs(),
+            input.num_outputs(),
+            input.num_gates(),
+            input.depth()
+        );
+    }
+    let (result, reports) = match run_pipeline(&input, &passes) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if !args.quiet {
+        for r in &reports {
+            print_report(r);
+        }
+    }
+    if let Some(out) = &args.output {
+        if let Err(e) = io::write_mig_path(out, &result) {
+            eprintln!("error: {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        if !args.quiet {
+            println!(
+                "wrote {:<21} size = {}  depth = {}",
+                out,
+                result.num_gates(),
+                result.depth()
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}

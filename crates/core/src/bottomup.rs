@@ -146,11 +146,8 @@ impl<'a> BottomUp<'a> {
                 self.engine.config().max_combinations.max(1),
             );
             for combo in combos {
-                let chosen: Vec<Candidate> = combo
-                    .iter()
-                    .zip(&leaf_lists)
-                    .map(|(&i, l)| l[i])
-                    .collect();
+                let chosen: Vec<Candidate> =
+                    combo.iter().zip(&leaf_lists).map(|(&i, l)| l[i]).collect();
                 let af = f64::from(repl.db_size)
                     + cut
                         .leaves()

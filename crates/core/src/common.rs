@@ -137,11 +137,7 @@ pub(crate) fn cut_is_fanout_legal(
 
 /// Checks that all internal nodes belong to the fanout-free region of
 /// `root`'s region root (paper §IV-C, second option).
-pub(crate) fn cut_is_region_legal(
-    ffr: &FfrPartition,
-    root: NodeId,
-    internal: &[NodeId],
-) -> bool {
+pub(crate) fn cut_is_region_legal(ffr: &FfrPartition, root: NodeId, internal: &[NodeId]) -> bool {
     let region = ffr.root_of(root);
     internal.iter().all(|&n| ffr.root_of(n) == region)
 }

@@ -74,6 +74,15 @@ impl Variant {
         Variant::BottomUp,
     ];
 
+    /// Parses a paper acronym (`T`, `TD`, `TF`, `TFD`, `B`, `BF`,
+    /// case-insensitive) back into a variant. Used by the `migopt`
+    /// pipeline grammar (`fhash:TFD`).
+    pub fn from_acronym(s: &str) -> Option<Variant> {
+        Variant::ALL
+            .into_iter()
+            .find(|v| v.acronym().eq_ignore_ascii_case(s))
+    }
+
     /// The paper's acronym for the variant.
     pub fn acronym(self) -> &'static str {
         match self {

@@ -82,8 +82,7 @@ impl<'a> TopDown<'a> {
         let sig = match self.select_cut(v) {
             Some((cut, repl)) => {
                 // Recur on the leaves, then instantiate the minimum MIG.
-                let leaf_sigs: Vec<Signal> =
-                    cut.leaves().iter().map(|&l| self.opt(l)).collect();
+                let leaf_sigs: Vec<Signal> = cut.leaves().iter().map(|&l| self.opt(l)).collect();
                 self.stats.replacements += 1;
                 self.stats.estimated_gain += i64::from(repl.gain);
                 repl.repl
@@ -131,8 +130,7 @@ impl<'a> TopDown<'a> {
                 continue;
             }
             if self.depth_preserving {
-                let est =
-                    repl.estimated_level(cut, |pos| self.levels[cut.leaves()[pos] as usize]);
+                let est = repl.estimated_level(cut, |pos| self.levels[cut.leaves()[pos] as usize]);
                 if est > self.levels[v as usize] + self.engine.config().allowed_depth_increase {
                     continue;
                 }

@@ -1,40 +1,32 @@
 //! Property tests: every functional-hashing variant must preserve the
 //! functionality of arbitrary MIGs, and the top-down variants must never
 //! increase size.
+//!
+//! (Randomized with the workspace's deterministic `testrand` generator —
+//! the container has no network access for a `proptest` dependency.)
 
 use fhash::{FunctionalHashing, Variant};
 use mig::{Mig, Signal};
-use proptest::prelude::*;
 use std::sync::OnceLock;
+use testrand::Rng;
 
 fn engine() -> &'static FunctionalHashing {
     static ENGINE: OnceLock<FunctionalHashing> = OnceLock::new();
     ENGINE.get_or_init(FunctionalHashing::with_default_database)
 }
 
-#[derive(Debug, Clone)]
-struct Step {
-    idx: [usize; 3],
-    neg: [bool; 3],
-}
-
-fn step_strategy() -> impl Strategy<Value = Step> {
-    ([0usize..64, 0usize..64, 0usize..64], any::<[bool; 3]>())
-        .prop_map(|(idx, neg)| Step { idx, neg })
-}
-
-fn build(num_inputs: usize, steps: &[Step], outs: usize) -> Mig {
+fn random_build(rng: &mut Rng, num_inputs: usize, num_steps: usize, outs: usize) -> Mig {
     let mut m = Mig::new(num_inputs);
     let mut sigs: Vec<Signal> = vec![Signal::ZERO];
     for i in 0..num_inputs {
         sigs.push(m.input(i));
     }
-    for s in steps {
-        let g = m.maj(
-            sigs[s.idx[0] % sigs.len()].complement_if(s.neg[0]),
-            sigs[s.idx[1] % sigs.len()].complement_if(s.neg[1]),
-            sigs[s.idx[2] % sigs.len()].complement_if(s.neg[2]),
-        );
+    for _ in 0..num_steps {
+        let pick = |sigs: &[Signal], rng: &mut Rng| {
+            sigs[rng.usize_below(sigs.len())].complement_if(rng.bool())
+        };
+        let (a, b, c) = (pick(&sigs, rng), pick(&sigs, rng), pick(&sigs, rng));
+        let g = m.maj(a, b, c);
         sigs.push(g);
     }
     for k in 0..outs {
@@ -44,57 +36,67 @@ fn build(num_inputs: usize, steps: &[Step], outs: usize) -> Mig {
     m
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn variants_preserve_functionality(
-        num_inputs in 1usize..=6,
-        steps in prop::collection::vec(step_strategy(), 1..60),
-        outs in 1usize..4,
-    ) {
-        let m = build(num_inputs, &steps, outs);
+#[test]
+fn variants_preserve_functionality() {
+    let mut rng = Rng::new(0xF4A5_0001);
+    for case in 0..24 {
+        let num_inputs = rng.range(1, 7);
+        let steps = rng.range(1, 60);
+        let outs = rng.range(1, 4);
+        let m = random_build(&mut rng, num_inputs, steps, outs);
         let want = m.output_truth_tables();
         for v in Variant::ALL {
             let opt = engine().run(&m, v);
-            prop_assert_eq!(
+            assert_eq!(
                 opt.output_truth_tables(),
-                want.clone(),
-                "variant {} changed the function",
-                v
+                want,
+                "case {case}: variant {v} changed the function"
             );
         }
     }
+}
 
-    #[test]
-    fn topdown_is_monotone_in_size(
-        num_inputs in 1usize..=6,
-        steps in prop::collection::vec(step_strategy(), 1..60),
-    ) {
-        let m = build(num_inputs, &steps, 2).cleanup();
-        for v in [Variant::TopDown, Variant::TopDownDepth, Variant::TopDownFfr,
-                  Variant::TopDownFfrDepth] {
+#[test]
+fn topdown_is_monotone_in_size() {
+    let mut rng = Rng::new(0xF4A5_0002);
+    for case in 0..24 {
+        let num_inputs = rng.range(1, 7);
+        let steps = rng.range(1, 60);
+        let m = random_build(&mut rng, num_inputs, steps, 2).cleanup();
+        for v in [
+            Variant::TopDown,
+            Variant::TopDownDepth,
+            Variant::TopDownFfr,
+            Variant::TopDownFfrDepth,
+        ] {
             let opt = engine().run(&m, v);
-            prop_assert!(
+            assert!(
                 opt.num_gates() <= m.num_gates(),
-                "variant {} grew the MIG: {} -> {}",
-                v, m.num_gates(), opt.num_gates()
+                "case {case}: variant {v} grew the MIG: {} -> {}",
+                m.num_gates(),
+                opt.num_gates()
             );
         }
     }
+}
 
-    #[test]
-    fn optimization_is_idempotent_in_function(
-        num_inputs in 1usize..=5,
-        steps in prop::collection::vec(step_strategy(), 1..40),
-    ) {
+#[test]
+fn optimization_is_idempotent_in_function() {
+    let mut rng = Rng::new(0xF4A5_0003);
+    for case in 0..24 {
+        let num_inputs = rng.range(1, 6);
+        let steps = rng.range(1, 40);
         // Running a second pass must keep the function and never undo the
         // size gains of the first pass by more than it helps.
-        let m = build(num_inputs, &steps, 1);
+        let m = random_build(&mut rng, num_inputs, steps, 1);
         let e = engine();
         let once = e.run(&m, Variant::TopDown);
         let twice = e.run(&once, Variant::TopDown);
-        prop_assert_eq!(twice.output_truth_tables(), m.output_truth_tables());
-        prop_assert!(twice.num_gates() <= once.num_gates());
+        assert_eq!(
+            twice.output_truth_tables(),
+            m.output_truth_tables(),
+            "case {case}"
+        );
+        assert!(twice.num_gates() <= once.num_gates(), "case {case}");
     }
 }

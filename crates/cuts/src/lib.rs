@@ -231,11 +231,8 @@ pub fn enumerate_cuts(mig: &Mig, config: &CutConfig) -> CutSet {
                     let mut words = [0u64; 3];
                     let children: [(&Cut, Signal); 3] = [(ca, fa), (cb, fb), (cc, fc)];
                     for (w, (cut, sig)) in words.iter_mut().zip(children) {
-                        let map: Vec<usize> = cut
-                            .leaves()
-                            .iter()
-                            .map(|&l| merged.leaf_pos(l))
-                            .collect();
+                        let map: Vec<usize> =
+                            cut.leaves().iter().map(|&l| merged.leaf_pos(l)).collect();
                         let mut t = expand_tt(cut.tt, cut.len(), &map, tv);
                         if sig.is_complemented() {
                             t = !t;

@@ -127,11 +127,7 @@ impl Network {
             val[i + 1] = (j >> i) & 1 == 1;
         }
         for (i, g) in self.gates.iter().enumerate() {
-            let v: Vec<bool> = g
-                .fanins
-                .iter()
-                .map(|&(r, c)| val[r as usize] ^ c)
-                .collect();
+            let v: Vec<bool> = g.fanins.iter().map(|&(r, c)| val[r as usize] ^ c).collect();
             val[self.num_inputs + 1 + i] = match self.op {
                 GateOp::Maj3 => (v[0] & v[1]) | (v[0] & v[2]) | (v[1] & v[2]),
                 GateOp::And2 => v[0] & v[1],
@@ -328,9 +324,15 @@ mod input_depth_tests {
             GateOp::Maj3,
             3,
             vec![
-                NetGate { fanins: vec![(1, false), (2, false), (3, false)] },
-                NetGate { fanins: vec![(1, false), (2, false), (3, true)] },
-                NetGate { fanins: vec![(3, false), (4, true), (5, false)] },
+                NetGate {
+                    fanins: vec![(1, false), (2, false), (3, false)],
+                },
+                NetGate {
+                    fanins: vec![(1, false), (2, false), (3, true)],
+                },
+                NetGate {
+                    fanins: vec![(3, false), (4, true), (5, false)],
+                },
             ],
             (6, false),
         );
@@ -346,7 +348,9 @@ mod input_depth_tests {
         let net = Network::new(
             GateOp::Maj3,
             3,
-            vec![NetGate { fanins: vec![(0, false), (1, false), (2, false)] }],
+            vec![NetGate {
+                fanins: vec![(0, false), (1, false), (2, false)],
+            }],
             (4, false),
         );
         assert_eq!(net.input_depths(), vec![Some(1), Some(1), None]);

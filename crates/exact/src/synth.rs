@@ -348,10 +348,7 @@ impl<'a> Encoding<'a> {
                             }
                             for c1 in 0..arity {
                                 for c2 in 0..arity {
-                                    solver.add_clause(&[
-                                        !sel[p1][c1][d1],
-                                        !sel[p2][c2][d2],
-                                    ]);
+                                    solver.add_clause(&[!sel[p1][c1][d1], !sel[p2][c2][d2]]);
                                 }
                             }
                         }
@@ -382,11 +379,7 @@ impl<'a> Encoding<'a> {
                         if d < sel[l][c].len() {
                             for di in 0..dmax {
                                 for dl in 0..=di {
-                                    solver.add_clause(&[
-                                        !sel[l][c][d],
-                                        !lev[i][di],
-                                        !lev[l][dl],
-                                    ]);
+                                    solver.add_clause(&[!sel[l][c][d], !lev[i][di], !lev[l][dl]]);
                                 }
                             }
                         }

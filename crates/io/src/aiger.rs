@@ -1,0 +1,922 @@
+//! AIGER reader/writer (ASCII `.aag` and binary `.aig`, format version
+//! 1.9 combinational subset).
+//!
+//! The [`Aiger`] struct is a lossless in-memory image of an AIGER file:
+//! literals, gate order, symbol table and comments are preserved exactly,
+//! so `parse → write` is byte-identical for files produced by this
+//! writer. Conversion to the workspace's [`aig::Aig`] (structurally
+//! hashed) and [`mig::Mig`] is provided on top.
+//!
+//! Latches are not supported (the workspace is purely combinational);
+//! files declaring `L > 0` produce a positioned [`ParseError`] instead of
+//! being silently misread.
+
+use crate::error::{ErrorKind, ParseError, Position};
+use aig::Aig;
+use mig::{Mig, Signal};
+use std::collections::{HashMap, HashSet};
+
+/// One AND gate definition: `lhs = rhs0 & rhs1` over AIGER literals
+/// (`lit = 2 * var + complement`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AigerAnd {
+    /// Defined (even) literal.
+    pub lhs: u32,
+    /// First operand literal.
+    pub rhs0: u32,
+    /// Second operand literal.
+    pub rhs1: u32,
+}
+
+/// A symbol-table entry: `kind` is `'i'` or `'o'`, `index` the 0-based
+/// input/output position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Symbol {
+    /// `'i'` for inputs, `'o'` for outputs.
+    pub kind: char,
+    /// Input/output position the name applies to.
+    pub index: usize,
+    /// The name.
+    pub name: String,
+}
+
+/// A parsed AIGER file (combinational: no latches).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Aiger {
+    /// Maximum variable index (the header's `M`).
+    pub max_var: u32,
+    /// Input literals, in declaration order (always even).
+    pub inputs: Vec<u32>,
+    /// Output literals, in declaration order.
+    pub outputs: Vec<u32>,
+    /// AND gates, in definition order.
+    pub ands: Vec<AigerAnd>,
+    /// Symbol table entries, in file order.
+    pub symbols: Vec<Symbol>,
+    /// Comment lines (without the leading `c` marker line).
+    pub comments: Vec<String>,
+}
+
+fn tokens_with_cols(line: &str) -> Vec<(usize, &str)> {
+    let mut out = Vec::new();
+    let mut start = None;
+    for (i, ch) in line.char_indices() {
+        if ch.is_whitespace() {
+            if let Some(s) = start.take() {
+                out.push((s, &line[s..i]));
+            }
+        } else if start.is_none() {
+            start = Some(i);
+        }
+    }
+    if let Some(s) = start {
+        out.push((s, &line[s..]));
+    }
+    out
+}
+
+fn parse_u32(tok: &str, line: usize, col: usize, what: &str) -> Result<u32, ParseError> {
+    tok.parse::<u32>().map_err(|_| {
+        ParseError::at_line(
+            ErrorKind::BadToken,
+            line,
+            col + 1,
+            format!("expected {what}, found {tok:?}"),
+        )
+    })
+}
+
+/// Largest supported variable index. Bounds every literal below
+/// `2^27`, so literal arithmetic (`2 * M + 1`, delta sums) cannot
+/// overflow `u32` and a malformed header cannot demand a multi-gigabyte
+/// allocation before any content is read.
+pub const MAX_VAR: u32 = (1 << 26) - 1;
+
+/// Validated header counts (`L` is checked to be zero and dropped).
+struct HeaderCounts {
+    m: u32,
+    i: u32,
+    o: u32,
+    a: u32,
+}
+
+fn parse_header(line: &str, line_no: usize, magic: &str) -> Result<HeaderCounts, ParseError> {
+    let toks = tokens_with_cols(line);
+    if toks.is_empty() || toks[0].1 != magic {
+        return Err(ParseError::at_line(
+            ErrorKind::BadHeader,
+            line_no,
+            1,
+            format!("expected {magic:?} magic"),
+        ));
+    }
+    if toks.len() != 6 {
+        return Err(ParseError::at_line(
+            ErrorKind::BadHeader,
+            line_no,
+            1,
+            format!(
+                "header needs 5 counts (M I L O A), found {}",
+                toks.len() - 1
+            ),
+        ));
+    }
+    let mut vals = [0u32; 5];
+    for (k, (col, tok)) in toks[1..].iter().enumerate() {
+        vals[k] = parse_u32(tok, line_no, *col, "header count")?;
+    }
+    let [m, i, l, o, a] = vals;
+    if l != 0 {
+        return Err(ParseError::at_line(
+            ErrorKind::Unsupported,
+            line_no,
+            1,
+            format!("{l} latches declared; this reader is combinational-only"),
+        ));
+    }
+    if m > MAX_VAR {
+        return Err(ParseError::at_line(
+            ErrorKind::BadHeader,
+            line_no,
+            1,
+            format!("M = {m} exceeds the supported maximum of {MAX_VAR} variables"),
+        ));
+    }
+    if u64::from(i) + u64::from(l) + u64::from(a) > u64::from(m) {
+        return Err(ParseError::at_line(
+            ErrorKind::BadHeader,
+            line_no,
+            1,
+            format!(
+                "I + L + A = {} exceeds M = {m}",
+                u64::from(i) + u64::from(l) + u64::from(a)
+            ),
+        ));
+    }
+    Ok(HeaderCounts { m, i, o, a })
+}
+
+impl Aiger {
+    /// Number of inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of outputs.
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Number of AND gates.
+    pub fn num_ands(&self) -> usize {
+        self.ands.len()
+    }
+
+    /// Parses the ASCII (`aag`) format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a positioned [`ParseError`] on malformed input; never
+    /// panics.
+    pub fn parse_ascii(text: &str) -> Result<Aiger, ParseError> {
+        let mut lines = text.lines().enumerate();
+        let (hline_no, hline) = lines.next().ok_or_else(|| {
+            ParseError::new(ErrorKind::UnexpectedEof, Position::Eof, "empty file")
+        })?;
+        let h = parse_header(hline, hline_no + 1, "aag")?;
+        let mut doc = Aiger {
+            max_var: h.m,
+            ..Aiger::default()
+        };
+        let mut next_data_line = |what: &str| -> Result<(usize, &str), ParseError> {
+            lines.next().map(|(n, l)| (n + 1, l)).ok_or_else(|| {
+                ParseError::new(
+                    ErrorKind::UnexpectedEof,
+                    Position::Eof,
+                    format!("file ended before {what}"),
+                )
+            })
+        };
+        let mut seen_vars: HashSet<u32> = HashSet::new();
+        for k in 0..h.i {
+            let (ln, line) = next_data_line("all declared inputs")?;
+            let toks = tokens_with_cols(line);
+            if toks.len() != 1 {
+                return Err(ParseError::at_line(
+                    ErrorKind::BadToken,
+                    ln,
+                    1,
+                    format!("input {k}: expected a single literal"),
+                ));
+            }
+            let (col, tok) = toks[0];
+            let lit = parse_u32(tok, ln, col, "input literal")?;
+            check_lit(lit, h.m, ln, col)?;
+            if lit & 1 == 1 || lit == 0 {
+                return Err(ParseError::at_line(
+                    ErrorKind::BadLiteral,
+                    ln,
+                    col + 1,
+                    format!("input literal {lit} must be even and nonzero"),
+                ));
+            }
+            if !seen_vars.insert(lit >> 1) {
+                return Err(ParseError::at_line(
+                    ErrorKind::BadLiteral,
+                    ln,
+                    col + 1,
+                    format!("variable {} declared twice", lit >> 1),
+                ));
+            }
+            doc.inputs.push(lit);
+        }
+        for k in 0..h.o {
+            let (ln, line) = next_data_line("all declared outputs")?;
+            let toks = tokens_with_cols(line);
+            if toks.len() != 1 {
+                return Err(ParseError::at_line(
+                    ErrorKind::BadToken,
+                    ln,
+                    1,
+                    format!("output {k}: expected a single literal"),
+                ));
+            }
+            let (col, tok) = toks[0];
+            let lit = parse_u32(tok, ln, col, "output literal")?;
+            check_lit(lit, h.m, ln, col)?;
+            doc.outputs.push(lit);
+        }
+        for k in 0..h.a {
+            let (ln, line) = next_data_line("all declared AND gates")?;
+            let toks = tokens_with_cols(line);
+            if toks.len() != 3 {
+                return Err(ParseError::at_line(
+                    ErrorKind::BadToken,
+                    ln,
+                    1,
+                    format!("AND gate {k}: expected `lhs rhs0 rhs1`"),
+                ));
+            }
+            let mut lits = [0u32; 3];
+            for (j, (col, tok)) in toks.iter().enumerate() {
+                lits[j] = parse_u32(tok, ln, *col, "AND literal")?;
+                check_lit(lits[j], h.m, ln, *col)?;
+            }
+            let (col0, _) = toks[0];
+            if lits[0] & 1 == 1 || lits[0] == 0 {
+                return Err(ParseError::at_line(
+                    ErrorKind::BadLiteral,
+                    ln,
+                    col0 + 1,
+                    format!("AND lhs {} must be even and nonzero", lits[0]),
+                ));
+            }
+            if !seen_vars.insert(lits[0] >> 1) {
+                return Err(ParseError::at_line(
+                    ErrorKind::BadLiteral,
+                    ln,
+                    col0 + 1,
+                    format!("variable {} defined twice", lits[0] >> 1),
+                ));
+            }
+            doc.ands.push(AigerAnd {
+                lhs: lits[0],
+                rhs0: lits[1],
+                rhs1: lits[2],
+            });
+        }
+        parse_trailer(
+            &mut doc,
+            lines.map(|(n, l)| {
+                (
+                    Position::LineCol {
+                        line: n + 1,
+                        col: 1,
+                    },
+                    l,
+                )
+            }),
+        )?;
+        Ok(doc)
+    }
+
+    /// Parses the binary (`aig`) format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a positioned [`ParseError`] (byte offsets) on malformed
+    /// input; never panics.
+    pub fn parse_binary(bytes: &[u8]) -> Result<Aiger, ParseError> {
+        let header_end = bytes
+            .iter()
+            .position(|&b| b == b'\n')
+            .ok_or_else(|| ParseError::at_byte(ErrorKind::BadHeader, 0, "missing header line"))?;
+        let header = std::str::from_utf8(&bytes[..header_end]).map_err(|e| {
+            ParseError::at_byte(ErrorKind::BadHeader, e.valid_up_to(), "header is not UTF-8")
+        })?;
+        let h = parse_header(header, 1, "aig")?;
+        if h.i + h.a != h.m {
+            return Err(ParseError::at_byte(
+                ErrorKind::BadHeader,
+                0,
+                format!(
+                    "binary AIGER requires M = I + L + A, got M = {} vs {}",
+                    h.m,
+                    h.i + h.a
+                ),
+            ));
+        }
+        // Plausibility before allocating: every output line and every
+        // delta-coded gate occupies at least 2 bytes of the remainder.
+        let remainder = (bytes.len() - header_end - 1) as u64;
+        if (u64::from(h.o) + u64::from(h.a)) * 2 > remainder {
+            return Err(ParseError::at_byte(
+                ErrorKind::UnexpectedEof,
+                bytes.len(),
+                format!(
+                    "header declares {} outputs and {} gates but only {remainder} bytes follow",
+                    h.o, h.a
+                ),
+            ));
+        }
+        let mut doc = Aiger {
+            max_var: h.m,
+            inputs: (1..=h.i).map(|v| 2 * v).collect(),
+            ..Aiger::default()
+        };
+        let mut pos = header_end + 1;
+        for k in 0..h.o {
+            let line_end = bytes[pos..]
+                .iter()
+                .position(|&b| b == b'\n')
+                .map(|d| pos + d)
+                .ok_or_else(|| {
+                    ParseError::at_byte(
+                        ErrorKind::UnexpectedEof,
+                        bytes.len(),
+                        format!("file ended inside output {k}"),
+                    )
+                })?;
+            let line = std::str::from_utf8(&bytes[pos..line_end]).map_err(|_| {
+                ParseError::at_byte(ErrorKind::BadToken, pos, "output line is not UTF-8")
+            })?;
+            let lit = line.trim().parse::<u32>().map_err(|_| {
+                ParseError::at_byte(
+                    ErrorKind::BadToken,
+                    pos,
+                    format!("expected output literal, found {line:?}"),
+                )
+            })?;
+            if lit > 2 * h.m + 1 {
+                return Err(ParseError::at_byte(
+                    ErrorKind::BadLiteral,
+                    pos,
+                    format!("output literal {lit} exceeds 2 * M + 1 = {}", 2 * h.m + 1),
+                ));
+            }
+            doc.outputs.push(lit);
+            pos = line_end + 1;
+        }
+        for k in 0..h.a {
+            let lhs = 2 * (h.i + k + 1);
+            let (d0, p1) = read_delta(bytes, pos, k)?;
+            let (d1, p2) = read_delta(bytes, p1, k)?;
+            let rhs0 = lhs.checked_sub(d0).ok_or_else(|| {
+                ParseError::at_byte(
+                    ErrorKind::BadLiteral,
+                    pos,
+                    format!("gate {k}: delta0 {d0} underflows lhs {lhs}"),
+                )
+            })?;
+            let rhs1 = rhs0.checked_sub(d1).ok_or_else(|| {
+                ParseError::at_byte(
+                    ErrorKind::BadLiteral,
+                    p1,
+                    format!("gate {k}: delta1 {d1} underflows rhs0 {rhs0}"),
+                )
+            })?;
+            if d0 == 0 {
+                return Err(ParseError::at_byte(
+                    ErrorKind::BadLiteral,
+                    pos,
+                    format!("gate {k}: rhs0 must be strictly below lhs {lhs}"),
+                ));
+            }
+            doc.ands.push(AigerAnd { lhs, rhs0, rhs1 });
+            pos = p2;
+        }
+        let rest = std::str::from_utf8(&bytes[pos..])
+            .map_err(|_| ParseError::at_byte(ErrorKind::BadToken, pos, "trailer is not UTF-8"))?;
+        // Report trailer errors at their absolute byte offset.
+        let mut line_start = pos;
+        parse_trailer(
+            &mut doc,
+            rest.lines().map(|l| {
+                let p = Position::Byte(line_start);
+                line_start += l.len() + 1;
+                (p, l)
+            }),
+        )?;
+        Ok(doc)
+    }
+
+    /// Serializes to the ASCII (`aag`) format.
+    pub fn to_ascii(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "aag {} {} 0 {} {}",
+            self.max_var,
+            self.inputs.len(),
+            self.outputs.len(),
+            self.ands.len()
+        );
+        for &lit in &self.inputs {
+            let _ = writeln!(s, "{lit}");
+        }
+        for &lit in &self.outputs {
+            let _ = writeln!(s, "{lit}");
+        }
+        for a in &self.ands {
+            let _ = writeln!(s, "{} {} {}", a.lhs, a.rhs0, a.rhs1);
+        }
+        self.write_trailer(&mut s);
+        s
+    }
+
+    /// Serializes to the binary (`aig`) format.
+    ///
+    /// # Errors
+    ///
+    /// The binary format requires canonical numbering: inputs `2..=2I`
+    /// and gates defining consecutive variables `I+1..=M` with
+    /// `lhs > rhs0 >= rhs1`. Documents converted from [`Aig`]/[`Mig`]
+    /// always satisfy this; hand-written ASCII files may not, in which
+    /// case an [`ErrorKind::Unsupported`] error is returned (convert
+    /// through [`Aiger::to_aig`] + [`Aiger::from_aig`] to renumber).
+    pub fn to_binary(&self) -> Result<Vec<u8>, ParseError> {
+        let not_canonical =
+            |msg: String| ParseError::new(ErrorKind::Unsupported, Position::Eof, msg);
+        if u64::from(self.max_var) != self.inputs.len() as u64 + self.ands.len() as u64 {
+            return Err(not_canonical(format!(
+                "M = {} but binary form requires M = I + A = {}",
+                self.max_var,
+                self.inputs.len() + self.ands.len()
+            )));
+        }
+        for (i, &lit) in self.inputs.iter().enumerate() {
+            if lit != 2 * (i as u32 + 1) {
+                return Err(not_canonical(format!(
+                    "input {i} has literal {lit}, binary form requires {}",
+                    2 * (i as u32 + 1)
+                )));
+            }
+        }
+        let i = self.inputs.len() as u32;
+        for (k, a) in self.ands.iter().enumerate() {
+            let want = 2 * (i + k as u32 + 1);
+            if a.lhs != want {
+                return Err(not_canonical(format!(
+                    "gate {k} defines literal {}, binary form requires {want}",
+                    a.lhs
+                )));
+            }
+            if !(a.lhs > a.rhs0 && a.rhs0 >= a.rhs1) {
+                return Err(not_canonical(format!(
+                    "gate {k} operands not ordered: lhs {} rhs0 {} rhs1 {}",
+                    a.lhs, a.rhs0, a.rhs1
+                )));
+            }
+        }
+        let mut out = Vec::new();
+        out.extend_from_slice(
+            format!(
+                "aig {} {} 0 {} {}\n",
+                self.max_var,
+                self.inputs.len(),
+                self.outputs.len(),
+                self.ands.len()
+            )
+            .as_bytes(),
+        );
+        for &lit in &self.outputs {
+            out.extend_from_slice(format!("{lit}\n").as_bytes());
+        }
+        for a in &self.ands {
+            write_delta(&mut out, a.lhs - a.rhs0);
+            write_delta(&mut out, a.rhs0 - a.rhs1);
+        }
+        let mut trailer = String::new();
+        self.write_trailer(&mut trailer);
+        out.extend_from_slice(trailer.as_bytes());
+        Ok(out)
+    }
+
+    fn write_trailer(&self, s: &mut String) {
+        use std::fmt::Write;
+        for sym in &self.symbols {
+            let _ = writeln!(s, "{}{} {}", sym.kind, sym.index, sym.name);
+        }
+        if !self.comments.is_empty() {
+            s.push_str("c\n");
+            for c in &self.comments {
+                let _ = writeln!(s, "{c}");
+            }
+        }
+    }
+
+    /// Converts into a structurally hashed [`Aig`]. Gate definitions may
+    /// appear in any order; references are resolved transitively.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorKind::Undefined`] if a gate references a variable that is
+    /// neither an input nor defined by any gate, or definitions are
+    /// cyclic.
+    pub fn to_aig(&self) -> Result<Aig, ParseError> {
+        let mut aig = Aig::new(self.inputs.len());
+        // var -> resolved signal
+        let mut map: HashMap<u32, Signal> = HashMap::new();
+        map.insert(0, Signal::ZERO);
+        for (i, &lit) in self.inputs.iter().enumerate() {
+            map.insert(lit >> 1, aig.input(i));
+        }
+        let def_of: HashMap<u32, usize> = self
+            .ands
+            .iter()
+            .enumerate()
+            .map(|(k, a)| (a.lhs >> 1, k))
+            .collect();
+        // Iterative DFS over gate definitions; `visiting` detects cycles.
+        let mut visiting = vec![false; self.ands.len()];
+        for start in 0..self.ands.len() {
+            let mut stack = vec![start];
+            while let Some(&k) = stack.last() {
+                let a = self.ands[k];
+                if map.contains_key(&(a.lhs >> 1)) {
+                    visiting[k] = false;
+                    stack.pop();
+                    continue;
+                }
+                visiting[k] = true;
+                let mut ready = true;
+                for rhs in [a.rhs0, a.rhs1] {
+                    let var = rhs >> 1;
+                    if map.contains_key(&var) {
+                        continue;
+                    }
+                    let Some(&dep) = def_of.get(&var) else {
+                        return Err(ParseError::new(
+                            ErrorKind::Undefined,
+                            Position::Eof,
+                            format!("gate literal {} references undefined variable {var}", a.lhs),
+                        ));
+                    };
+                    if visiting[dep] {
+                        return Err(ParseError::new(
+                            ErrorKind::Undefined,
+                            Position::Eof,
+                            format!("cyclic definition through variable {var}"),
+                        ));
+                    }
+                    ready = false;
+                    stack.push(dep);
+                }
+                if ready {
+                    let s0 = lit_signal(&map, a.rhs0);
+                    let s1 = lit_signal(&map, a.rhs1);
+                    let g = aig.and(s0, s1);
+                    map.insert(a.lhs >> 1, g);
+                    visiting[k] = false;
+                    stack.pop();
+                }
+            }
+        }
+        for &lit in &self.outputs {
+            let var = lit >> 1;
+            let Some(&s) = map.get(&var) else {
+                return Err(ParseError::new(
+                    ErrorKind::Undefined,
+                    Position::Eof,
+                    format!("output literal {lit} references undefined variable {var}"),
+                ));
+            };
+            aig.add_output(s.complement_if(lit & 1 == 1));
+        }
+        Ok(aig)
+    }
+
+    /// Converts into an [`Mig`] (each AND becomes `<0 a b>`).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Aiger::to_aig`].
+    pub fn to_mig(&self) -> Result<Mig, ParseError> {
+        Ok(aig::to_mig(&self.to_aig()?))
+    }
+
+    /// Builds a canonical AIGER document from an [`Aig`]: inputs are
+    /// literals `2..=2I`, gates define consecutive variables, operands
+    /// are ordered `rhs0 >= rhs1`. The result round-trips byte-
+    /// identically through both writers.
+    pub fn from_aig(aig: &Aig) -> Aiger {
+        let i = aig.num_inputs() as u32;
+        let mut doc = Aiger {
+            inputs: (1..=i).map(|v| 2 * v).collect(),
+            ..Aiger::default()
+        };
+        for g in aig.gates() {
+            let [a, b] = aig.fanins(g);
+            let la = sig_lit(a);
+            let lb = sig_lit(b);
+            let (rhs0, rhs1) = if la >= lb { (la, lb) } else { (lb, la) };
+            doc.ands.push(AigerAnd {
+                lhs: 2 * g,
+                rhs0,
+                rhs1,
+            });
+        }
+        doc.max_var = i + doc.ands.len() as u32;
+        for o in aig.outputs() {
+            doc.outputs.push(sig_lit(*o));
+        }
+        doc
+    }
+
+    /// Builds an AIGER document from an [`Mig`] via AND/OR decomposition
+    /// of each majority gate ([`aig::from_mig`]).
+    pub fn from_mig(mig: &Mig) -> Aiger {
+        Aiger::from_aig(&aig::from_mig(mig))
+    }
+}
+
+fn check_lit(lit: u32, m: u32, line: usize, col: usize) -> Result<(), ParseError> {
+    if lit > 2 * m + 1 {
+        return Err(ParseError::at_line(
+            ErrorKind::BadLiteral,
+            line,
+            col + 1,
+            format!("literal {lit} exceeds 2 * M + 1 = {}", 2 * m + 1),
+        ));
+    }
+    Ok(())
+}
+
+fn lit_signal(map: &HashMap<u32, Signal>, lit: u32) -> Signal {
+    map[&(lit >> 1)].complement_if(lit & 1 == 1)
+}
+
+fn sig_lit(s: Signal) -> u32 {
+    s.node() * 2 + u32::from(s.is_complemented())
+}
+
+fn read_delta(bytes: &[u8], mut pos: usize, gate: u32) -> Result<(u32, usize), ParseError> {
+    let mut value: u32 = 0;
+    let mut shift = 0u32;
+    loop {
+        let Some(&b) = bytes.get(pos) else {
+            return Err(ParseError::at_byte(
+                ErrorKind::UnexpectedEof,
+                bytes.len(),
+                format!("file ended inside delta encoding of gate {gate}"),
+            ));
+        };
+        if shift >= 32 || (shift == 28 && (b & 0x7f) > 0x0f) {
+            return Err(ParseError::at_byte(
+                ErrorKind::BadToken,
+                pos,
+                format!("delta encoding of gate {gate} overflows 32 bits"),
+            ));
+        }
+        value |= u32::from(b & 0x7f) << shift;
+        pos += 1;
+        if b & 0x80 == 0 {
+            return Ok((value, pos));
+        }
+        shift += 7;
+    }
+}
+
+fn write_delta(out: &mut Vec<u8>, mut delta: u32) {
+    loop {
+        let mut b = (delta & 0x7f) as u8;
+        delta >>= 7;
+        if delta != 0 {
+            b |= 0x80;
+        }
+        out.push(b);
+        if delta == 0 {
+            return;
+        }
+    }
+}
+
+fn parse_trailer<'a>(
+    doc: &mut Aiger,
+    lines: impl Iterator<Item = (Position, &'a str)>,
+) -> Result<(), ParseError> {
+    let mut in_comments = false;
+    for (position, line) in lines {
+        if in_comments {
+            doc.comments.push(line.to_string());
+            continue;
+        }
+        if line == "c" {
+            in_comments = true;
+            continue;
+        }
+        let mut chars = line.chars();
+        let kind = chars.next().unwrap_or(' ');
+        let rest = chars.as_str();
+        let valid = (kind == 'i' || kind == 'o')
+            && rest
+                .split_once(' ')
+                .and_then(|(idx, _)| idx.parse::<usize>().ok())
+                .is_some();
+        if !valid {
+            return Err(ParseError::new(
+                ErrorKind::BadToken,
+                position,
+                format!("expected symbol entry (`i<N> name` / `o<N> name`) or `c`, found {line:?}"),
+            ));
+        }
+        let (idx, name) = rest.split_once(' ').expect("validated above");
+        doc.symbols.push(Symbol {
+            kind,
+            index: idx.parse().expect("validated above"),
+            name: name.to_string(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Full adder over a=2, b=4, cin=6: x = a^b (gates 8..12), sum =
+    /// x^cin (14..18), carry = (a&b) | (cin&x) = !gate 20.
+    const FULL_ADDER_AAG: &str = "aag 10 3 0 2 7\n2\n4\n6\n21\n18\n8 4 2\n10 5 3\n12 11 9\n14 12 6\n16 13 7\n18 17 15\n20 15 9\ni0 a\ni1 b\ni2 cin\no0 carry\no1 sum\nc\nfull adder\n";
+
+    #[test]
+    fn ascii_roundtrip_is_byte_identical() {
+        let doc = Aiger::parse_ascii(FULL_ADDER_AAG).unwrap();
+        assert_eq!(doc.num_inputs(), 3);
+        assert_eq!(doc.num_outputs(), 2);
+        assert_eq!(doc.num_ands(), 7);
+        assert_eq!(doc.symbols.len(), 5);
+        assert_eq!(doc.comments, vec!["full adder"]);
+        assert_eq!(doc.to_ascii(), FULL_ADDER_AAG);
+    }
+
+    #[test]
+    fn binary_roundtrip_is_byte_identical() {
+        let doc = Aiger::parse_ascii(FULL_ADDER_AAG).unwrap();
+        let bin = doc.to_binary().unwrap();
+        let doc2 = Aiger::parse_binary(&bin).unwrap();
+        assert_eq!(doc, doc2);
+        assert_eq!(doc2.to_binary().unwrap(), bin);
+    }
+
+    #[test]
+    fn ascii_and_binary_agree_functionally() {
+        let doc = Aiger::parse_ascii(FULL_ADDER_AAG).unwrap();
+        let bin = doc.to_binary().unwrap();
+        let doc2 = Aiger::parse_binary(&bin).unwrap();
+        let m1 = doc.to_mig().unwrap();
+        let m2 = doc2.to_mig().unwrap();
+        assert_eq!(m1.output_truth_tables(), m2.output_truth_tables());
+    }
+
+    #[test]
+    fn carry_function_is_majority() {
+        let doc = Aiger::parse_ascii(FULL_ADDER_AAG).unwrap();
+        let m = doc.to_mig().unwrap();
+        let tts = m.output_truth_tables();
+        assert_eq!(tts[0].to_hex(), "e8", "carry = maj(a, b, cin)");
+        assert_eq!(tts[1].to_hex(), "96", "sum = a ^ b ^ cin");
+    }
+
+    #[test]
+    fn latches_are_rejected_with_position() {
+        let err = Aiger::parse_ascii("aag 1 0 1 0 0\n2 3\n").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Unsupported);
+        assert_eq!(err.position, Position::LineCol { line: 1, col: 1 });
+    }
+
+    #[test]
+    fn bad_tokens_are_positioned() {
+        let err = Aiger::parse_ascii("aag 1 1 0 0 0\nxyz\n").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::BadToken);
+        assert_eq!(err.position, Position::LineCol { line: 2, col: 1 });
+    }
+
+    #[test]
+    fn out_of_range_literal_is_positioned() {
+        let err = Aiger::parse_ascii("aag 1 1 0 1 0\n2\n99\n").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::BadLiteral);
+        assert_eq!(err.position, Position::LineCol { line: 3, col: 1 });
+    }
+
+    #[test]
+    fn truncated_file_reports_eof() {
+        let err = Aiger::parse_ascii("aag 3 3 0 1 0\n2\n4\n").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn truncated_binary_reports_byte_offset() {
+        let doc = Aiger::parse_ascii(FULL_ADDER_AAG).unwrap();
+        let bin = doc.to_binary().unwrap();
+        // Cut inside the delta stream.
+        let cut = &bin[..bin.len().min(20)];
+        let err = Aiger::parse_binary(cut).unwrap_err();
+        assert!(matches!(err.position, Position::Byte(_)));
+    }
+
+    #[test]
+    fn oversized_header_counts_rejected_without_panic() {
+        // M near u32::MAX must not overflow literal-bound arithmetic.
+        let err = Aiger::parse_ascii("aag 4294967295 1 0 0 0\n2\n").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::BadHeader);
+        assert!(err.message.contains("supported maximum"));
+        // I + A sum near u32::MAX must not overflow while formatting.
+        let err = Aiger::parse_ascii("aag 1 4294967295 0 0 1\n").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::BadHeader);
+    }
+
+    #[test]
+    fn binary_header_larger_than_file_rejected_before_allocating() {
+        // A tiny file declaring millions of gates must fail fast instead
+        // of allocating per the header.
+        let err = Aiger::parse_binary(b"aig 67000000 33000000 0 0 34000000\n").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::UnexpectedEof);
+        assert!(err.message.contains("bytes follow"));
+        let err = Aiger::parse_binary(b"aig 4294967295 4294967295 0 0 0\n").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::BadHeader);
+    }
+
+    #[test]
+    fn binary_trailer_errors_use_byte_offsets() {
+        let doc = Aiger::parse_ascii("aag 3 2 0 1 1\n2\n4\n6\n6 4 2\n").unwrap();
+        let mut bin = doc.to_binary().unwrap();
+        let garbage_at = bin.len();
+        bin.extend_from_slice(b"zz not a symbol\n");
+        let err = Aiger::parse_binary(&bin).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::BadToken);
+        assert_eq!(err.position, Position::Byte(garbage_at));
+    }
+
+    #[test]
+    fn to_binary_rejects_m_mismatch() {
+        // Legal ASCII (M may exceed I + A for unused variables) but not
+        // expressible in the binary format.
+        let doc = Aiger::parse_ascii("aag 5 2 0 1 2\n2\n4\n6\n6 4 2\n8 6 2\n").unwrap();
+        let err = doc.to_binary().unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Unsupported);
+        assert!(err.message.contains("M = I + A"));
+        // Renumbering through the Aig makes it binary-expressible.
+        let renumbered = Aiger::from_aig(&doc.to_aig().unwrap());
+        assert!(renumbered.to_binary().is_ok());
+    }
+
+    #[test]
+    fn odd_input_literal_rejected() {
+        let err = Aiger::parse_ascii("aag 1 1 0 0 0\n3\n").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::BadLiteral);
+    }
+
+    #[test]
+    fn undefined_reference_rejected() {
+        // Gate 8 references variable 3 (literal 6) which is never defined.
+        let doc = Aiger::parse_ascii("aag 4 1 0 1 1\n2\n8\n8 6 2\n").unwrap();
+        let err = doc.to_aig().unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Undefined);
+    }
+
+    #[test]
+    fn out_of_order_ascii_definitions_resolve() {
+        // Gate 6 uses gate 8 before its definition line.
+        let doc = Aiger::parse_ascii("aag 4 2 0 1 2\n2\n4\n6\n6 8 2\n8 4 2\n").unwrap();
+        let aig = doc.to_aig().unwrap();
+        let mut want = Aig::new(2);
+        let (a, b) = (want.input(0), want.input(1));
+        let g8 = want.and(b, a);
+        let g6 = want.and(g8, a);
+        want.add_output(g6);
+        assert_eq!(aig.output_truth_tables(), want.output_truth_tables());
+    }
+
+    #[test]
+    fn mig_aiger_mig_preserves_function() {
+        let mut m = Mig::new(3);
+        let (a, b, c) = (m.input(0), m.input(1), m.input(2));
+        let (s, co) = m.full_adder(a, b, c);
+        m.add_output(s);
+        m.add_output(!co);
+        let doc = Aiger::from_mig(&m);
+        let back = doc.to_mig().unwrap();
+        assert_eq!(back.output_truth_tables(), m.output_truth_tables());
+    }
+}

@@ -1,0 +1,159 @@
+//! Structured, positioned errors for the interchange parsers.
+//!
+//! Every parse failure carries a [`Position`] — a 1-based line/column for
+//! the text formats (ASCII AIGER, BLIF) or a byte offset for binary
+//! AIGER — so tools can point at the offending input instead of
+//! panicking.
+
+use std::fmt;
+
+/// Where in the input a parse error occurred.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Position {
+    /// 1-based line and column in a text format.
+    LineCol { line: usize, col: usize },
+    /// Byte offset in a binary format.
+    Byte(usize),
+    /// The error is not tied to a specific location (e.g. a missing
+    /// section discovered at end of input).
+    Eof,
+}
+
+impl fmt::Display for Position {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Position::LineCol { line, col } => write!(f, "line {line}, column {col}"),
+            Position::Byte(off) => write!(f, "byte {off}"),
+            Position::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// What went wrong.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The header is malformed or has the wrong magic.
+    BadHeader,
+    /// A literal, number or token failed to parse.
+    BadToken,
+    /// A literal exceeds the declared maximum variable index, an input
+    /// literal is complemented, or a gate redefines a variable.
+    BadLiteral,
+    /// The input ended before the declared contents were complete.
+    UnexpectedEof,
+    /// The file uses a feature this reader does not support (latches,
+    /// `.subckt`, …).
+    Unsupported,
+    /// A gate references a signal that is never defined, or definitions
+    /// are cyclic.
+    Undefined,
+    /// A signal is driven by more than one definition (duplicate `.names`
+    /// output, or a table driving a primary input).
+    Conflict,
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ErrorKind::BadHeader => "malformed header",
+            ErrorKind::BadToken => "malformed token",
+            ErrorKind::BadLiteral => "invalid literal",
+            ErrorKind::UnexpectedEof => "unexpected end of input",
+            ErrorKind::Unsupported => "unsupported feature",
+            ErrorKind::Undefined => "undefined or cyclic reference",
+            ErrorKind::Conflict => "conflicting definition",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A positioned parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Category of the failure.
+    pub kind: ErrorKind,
+    /// Location in the input.
+    pub position: Position,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ParseError {
+    pub(crate) fn new(kind: ErrorKind, position: Position, message: impl Into<String>) -> Self {
+        ParseError {
+            kind,
+            position,
+            message: message.into(),
+        }
+    }
+
+    pub(crate) fn at_line(
+        kind: ErrorKind,
+        line: usize,
+        col: usize,
+        msg: impl Into<String>,
+    ) -> Self {
+        Self::new(kind, Position::LineCol { line, col }, msg)
+    }
+
+    pub(crate) fn at_byte(kind: ErrorKind, off: usize, msg: impl Into<String>) -> Self {
+        Self::new(kind, Position::Byte(off), msg)
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}: {}", self.kind, self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Top-level error for the path-based helpers: either the file could not
+/// be read/written, or its contents failed to parse.
+#[derive(Debug)]
+pub enum IoError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Parse failure with position.
+    Parse(ParseError),
+    /// The path has no recognized extension (`.aag`, `.aig`, `.blif`).
+    UnknownFormat(String),
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::Parse(e) => write!(f, "parse error: {e}"),
+            IoError::UnknownFormat(p) => {
+                write!(
+                    f,
+                    "unknown circuit format for {p:?} (expected .aag, .aig or .blif)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for IoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IoError::Io(e) => Some(e),
+            IoError::Parse(e) => Some(e),
+            IoError::UnknownFormat(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+impl From<ParseError> for IoError {
+    fn from(e: ParseError) -> Self {
+        IoError::Parse(e)
+    }
+}

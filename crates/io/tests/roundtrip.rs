@@ -1,0 +1,151 @@
+//! Round-trip properties over random and generated circuits, for all
+//! three formats:
+//!
+//! * write → parse → write is a **fixed point** (the second write is
+//!   byte-identical to the first);
+//! * write → parse → convert is **CEC-equivalent** to the original
+//!   circuit (SAT-proved on the small instances, random-sim on larger).
+
+use io::aiger::Aiger;
+use io::blif::Blif;
+use mig::{Mig, Signal};
+use testrand::Rng;
+
+/// A random MIG in the style of the workspace's property tests.
+fn random_mig(rng: &mut Rng) -> Mig {
+    let num_inputs = rng.range(1, 7);
+    let num_steps = rng.range(1, 40);
+    let mut m = Mig::new(num_inputs);
+    let mut sigs: Vec<Signal> = vec![Signal::ZERO];
+    for i in 0..num_inputs {
+        sigs.push(m.input(i));
+    }
+    for _ in 0..num_steps {
+        let a = sigs[rng.usize_below(sigs.len())].complement_if(rng.bool());
+        let b = sigs[rng.usize_below(sigs.len())].complement_if(rng.bool());
+        let c = sigs[rng.usize_below(sigs.len())].complement_if(rng.bool());
+        let g = m.maj(a, b, c);
+        sigs.push(g);
+    }
+    for k in 0..rng.range(1, 4) {
+        let s = sigs[sigs.len() - 1 - (k % sigs.len())];
+        m.add_output(s.complement_if(k % 2 == 1));
+    }
+    m
+}
+
+fn assert_equivalent(original: &Mig, back: &Mig, what: &str) {
+    assert_eq!(back.num_inputs(), original.num_inputs(), "{what}: inputs");
+    assert_eq!(
+        back.num_outputs(),
+        original.num_outputs(),
+        "{what}: outputs"
+    );
+    assert!(
+        cec::equivalent_random(original, back, 4, 0xDEAD),
+        "{what}: random simulation mismatch"
+    );
+    assert_eq!(
+        cec::prove_equivalent(original, back, Some(200_000)),
+        cec::CecResult::Equivalent,
+        "{what}: SAT proof failed"
+    );
+}
+
+#[test]
+fn random_circuits_roundtrip_all_formats() {
+    let mut rng = Rng::new(0x10_CAFE);
+    for case in 0..24 {
+        let m = random_mig(&mut rng);
+
+        // ASCII AIGER.
+        let doc = Aiger::from_mig(&m);
+        let text = doc.to_ascii();
+        let parsed = Aiger::parse_ascii(&text).unwrap_or_else(|e| panic!("case {case}: {e}"));
+        assert_eq!(
+            parsed.to_ascii(),
+            text,
+            "case {case}: aag not a fixed point"
+        );
+        assert_equivalent(&m, &parsed.to_mig().unwrap(), &format!("case {case} aag"));
+
+        // Binary AIGER.
+        let bytes = doc
+            .to_binary()
+            .unwrap_or_else(|e| panic!("case {case}: {e}"));
+        let parsed = Aiger::parse_binary(&bytes).unwrap_or_else(|e| panic!("case {case}: {e}"));
+        assert_eq!(
+            parsed.to_binary().unwrap(),
+            bytes,
+            "case {case}: aig not a fixed point"
+        );
+        assert_equivalent(&m, &parsed.to_mig().unwrap(), &format!("case {case} aig"));
+
+        // BLIF.
+        let blif = Blif::from_mig(&m, "rt");
+        let text = blif.to_text();
+        let parsed = Blif::parse(&text).unwrap_or_else(|e| panic!("case {case}: {e}"));
+        assert_eq!(
+            parsed.to_text(),
+            text,
+            "case {case}: blif not a fixed point"
+        );
+        assert_equivalent(&m, &parsed.to_mig().unwrap(), &format!("case {case} blif"));
+    }
+}
+
+#[test]
+fn benchgen_circuits_roundtrip_all_formats() {
+    // Real arithmetic structure (wide, multi-output), random-sim checked.
+    for (name, m) in [
+        ("adder8", benchgen::adder(8)),
+        ("mult4", benchgen::multiplier(4)),
+        ("square5", benchgen::square(5)),
+        ("max4w3", benchgen::max4(3)),
+    ] {
+        let doc = Aiger::from_mig(&m);
+        let text = doc.to_ascii();
+        let parsed = Aiger::parse_ascii(&text).unwrap();
+        assert_eq!(parsed.to_ascii(), text, "{name}: aag fixed point");
+        let back = parsed.to_mig().unwrap();
+        assert!(
+            cec::equivalent_random(&m, &back, 8, 1),
+            "{name}: aag equivalence"
+        );
+
+        let bytes = doc.to_binary().unwrap();
+        let parsed = Aiger::parse_binary(&bytes).unwrap();
+        assert_eq!(
+            parsed.to_binary().unwrap(),
+            bytes,
+            "{name}: aig fixed point"
+        );
+        let back = parsed.to_mig().unwrap();
+        assert!(
+            cec::equivalent_random(&m, &back, 8, 2),
+            "{name}: aig equivalence"
+        );
+
+        let blif = Blif::from_mig(&m, name);
+        let text = blif.to_text();
+        let parsed = Blif::parse(&text).unwrap();
+        assert_eq!(parsed.to_text(), text, "{name}: blif fixed point");
+        let back = parsed.to_mig().unwrap();
+        assert!(
+            cec::equivalent_random(&m, &back, 8, 3),
+            "{name}: blif equivalence"
+        );
+    }
+}
+
+#[test]
+fn ascii_and_binary_encode_the_same_document() {
+    let mut rng = Rng::new(0x20_CAFE);
+    for _ in 0..16 {
+        let m = random_mig(&mut rng);
+        let doc = Aiger::from_mig(&m);
+        let via_ascii = Aiger::parse_ascii(&doc.to_ascii()).unwrap();
+        let via_binary = Aiger::parse_binary(&doc.to_binary().unwrap()).unwrap();
+        assert_eq!(via_ascii, via_binary);
+    }
+}

@@ -1,9 +1,12 @@
 //! Property tests for the MIG data structure: random construction recipes
 //! must simulate identically to a reference evaluator, survive cleanup, and
 //! keep structural-hashing invariants.
+//!
+//! (Randomized with the workspace's deterministic `testrand` generator —
+//! the container has no network access for a `proptest` dependency.)
 
 use mig::{normalize_maj, Mig, Normalized, Signal};
-use proptest::prelude::*;
+use testrand::Rng;
 
 /// A random construction step: combine three previously-built signals
 /// (indices are taken modulo the number built so far) with polarities.
@@ -14,13 +17,18 @@ struct Step {
     out_neg: bool,
 }
 
-fn step_strategy() -> impl Strategy<Value = Step> {
-    (
-        [0usize..64, 0usize..64, 0usize..64],
-        any::<[bool; 3]>(),
-        any::<bool>(),
-    )
-        .prop_map(|(idx, neg, out_neg)| Step { idx, neg, out_neg })
+fn random_steps(rng: &mut Rng, n: usize) -> Vec<Step> {
+    (0..n)
+        .map(|_| Step {
+            idx: [
+                rng.usize_below(64),
+                rng.usize_below(64),
+                rng.usize_below(64),
+            ],
+            neg: [rng.bool(), rng.bool(), rng.bool()],
+            out_neg: rng.bool(),
+        })
+        .collect()
 }
 
 /// Builds an MIG from a recipe and, in parallel, reference truth tables.
@@ -67,89 +75,116 @@ fn build(num_inputs: usize, steps: &[Step]) -> (Mig, Vec<truth::TruthTable>) {
     (m, outs)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn simulation_matches_reference(
-        num_inputs in 1usize..=6,
-        steps in prop::collection::vec(step_strategy(), 1..40),
-    ) {
+#[test]
+fn simulation_matches_reference() {
+    let mut rng = Rng::new(0x51_AE01);
+    for case in 0..64 {
+        let num_inputs = rng.range(1, 7);
+        let n_steps = rng.range(1, 40);
+        let steps = random_steps(&mut rng, n_steps);
         let (m, expected) = build(num_inputs, &steps);
         let got = m.output_truth_tables();
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected, "case {case} ({num_inputs} inputs)");
     }
+}
 
-    #[test]
-    fn cleanup_preserves_functionality(
-        num_inputs in 1usize..=5,
-        steps in prop::collection::vec(step_strategy(), 1..40),
-    ) {
+#[test]
+fn cleanup_preserves_functionality() {
+    let mut rng = Rng::new(0x51_AE02);
+    for case in 0..64 {
+        let num_inputs = rng.range(1, 6);
+        let n_steps = rng.range(1, 40);
+        let steps = random_steps(&mut rng, n_steps);
         let (m, _) = build(num_inputs, &steps);
         let clean = m.cleanup();
-        prop_assert!(clean.num_gates() <= m.num_gates());
-        prop_assert_eq!(m.output_truth_tables(), clean.output_truth_tables());
+        assert!(clean.num_gates() <= m.num_gates(), "case {case}");
+        assert_eq!(
+            m.output_truth_tables(),
+            clean.output_truth_tables(),
+            "case {case}"
+        );
         // Cleanup is idempotent on sizes.
         let again = clean.cleanup();
-        prop_assert_eq!(again.num_gates(), clean.num_gates());
+        assert_eq!(again.num_gates(), clean.num_gates(), "case {case}");
     }
+}
 
-    #[test]
-    fn strash_invariants_hold(
-        num_inputs in 1usize..=5,
-        steps in prop::collection::vec(step_strategy(), 1..40),
-    ) {
+#[test]
+fn strash_invariants_hold() {
+    let mut rng = Rng::new(0x51_AE03);
+    for case in 0..64 {
+        let num_inputs = rng.range(1, 6);
+        let n_steps = rng.range(1, 40);
+        let steps = random_steps(&mut rng, n_steps);
         let (m, _) = build(num_inputs, &steps);
         for g in m.gates() {
             let f = m.fanins(g);
             // Fanins precede the gate (topological index order).
             for s in f {
-                prop_assert!(s.node() < g);
+                assert!(s.node() < g, "case {case}");
             }
             // Stored keys are in normal form: sorted, distinct nodes,
             // at most one complemented operand.
-            prop_assert!(f[0] < f[1] && f[1] < f[2]);
-            prop_assert!(f[0].node() != f[1].node() && f[1].node() != f[2].node());
+            assert!(f[0] < f[1] && f[1] < f[2], "case {case}");
+            assert!(
+                f[0].node() != f[1].node() && f[1].node() != f[2].node(),
+                "case {case}"
+            );
             let ncompl = f.iter().filter(|s| s.is_complemented()).count();
-            prop_assert!(ncompl <= 1, "gate {g} has {ncompl} complemented fanins");
+            assert!(
+                ncompl <= 1,
+                "case {case}: gate {g} has {ncompl} complemented fanins"
+            );
         }
     }
+}
 
-    #[test]
-    fn normalize_maj_preserves_function(
-        codes in [0u32..64, 0u32..64, 0u32..64],
-    ) {
+#[test]
+fn normalize_maj_preserves_function() {
+    let mut rng = Rng::new(0x51_AE04);
+    for _ in 0..256 {
+        let codes = [
+            rng.usize_below(64),
+            rng.usize_below(64),
+            rng.usize_below(64),
+        ];
         // Interpret codes as signals over nodes 0..31 where node k has the
         // abstract truth value "bit k of a random world"; check semantic
         // equality of normalize_maj against direct majority on 64 random
         // worlds.
-        let sigs = codes.map(|c| Signal::from_code(c as usize));
+        let sigs = codes.map(Signal::from_code);
         let mut worlds = [0u64; 32];
         let mut seed = 0x9e3779b97f4a7c15u64;
         for w in worlds.iter_mut().skip(1) {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             *w = seed;
         }
         let value = |s: Signal| -> u64 {
             let v = worlds[s.node() as usize % 32];
-            if s.is_complemented() { !v } else { v }
+            if s.is_complemented() {
+                !v
+            } else {
+                v
+            }
         };
         let direct = (value(sigs[0]) & value(sigs[1]))
             | (value(sigs[0]) & value(sigs[2]))
             | (value(sigs[1]) & value(sigs[2]));
-        let normalized = match normalize_maj([
-            Signal::from_code(sigs[0].code() % 64),
-            Signal::from_code(sigs[1].code() % 64),
-            Signal::from_code(sigs[2].code() % 64),
-        ]) {
+        let normalized = match normalize_maj(sigs) {
             Normalized::Copy(s) => value(s),
             Normalized::Node(k, compl) => {
                 let m = (value(k[0]) & value(k[1]))
                     | (value(k[0]) & value(k[2]))
                     | (value(k[1]) & value(k[2]));
-                if compl { !m } else { m }
+                if compl {
+                    !m
+                } else {
+                    m
+                }
             }
         };
-        prop_assert_eq!(direct, normalized);
+        assert_eq!(direct, normalized, "codes {codes:?}");
     }
 }

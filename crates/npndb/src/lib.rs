@@ -450,7 +450,16 @@ mod embedded_tests {
         assert_eq!(db.len(), 222);
         // Paper Table I: classes per node count.
         let hist = db.size_histogram();
-        let expect = [(0, 2), (1, 2), (2, 5), (3, 18), (4, 42), (5, 117), (6, 35), (7, 1)];
+        let expect = [
+            (0, 2),
+            (1, 2),
+            (2, 5),
+            (3, 18),
+            (4, 42),
+            (5, 117),
+            (6, 35),
+            (7, 1),
+        ];
         for (size, classes) in expect {
             assert_eq!(hist.get(&size), Some(&classes), "size {size}");
         }

@@ -153,7 +153,10 @@ impl Solver {
 
     /// Number of problem (non-learned) clauses added so far.
     pub fn num_clauses(&self) -> usize {
-        self.clauses.iter().filter(|c| !c.learnt && !c.deleted).count()
+        self.clauses
+            .iter()
+            .filter(|c| !c.learnt && !c.deleted)
+            .count()
     }
 
     /// Solver statistics accumulated so far.
@@ -511,7 +514,10 @@ impl Solver {
                     return Some(SatResult::Unsat);
                 }
                 let (learnt, bt) = self.analyze(confl);
-                self.backtrack(bt.max(assumptions.len() as u32).min(self.decision_level() - 1));
+                self.backtrack(
+                    bt.max(assumptions.len() as u32)
+                        .min(self.decision_level() - 1),
+                );
                 // After backtracking past assumptions the asserting literal
                 // may already be assigned; re-check.
                 if self.value_lit(learnt[0]) != LBool::Undef {
@@ -571,11 +577,7 @@ impl Solver {
                 match self.pick_branch_var() {
                     None => {
                         // Complete assignment: record the model.
-                        self.model = self
-                            .values
-                            .iter()
-                            .map(|v| *v == LBool::True)
-                            .collect();
+                        self.model = self.values.iter().map(|v| *v == LBool::True).collect();
                         return Some(SatResult::Sat);
                     }
                     Some(v) => {
@@ -605,9 +607,11 @@ impl Solver {
         refs.sort_by(|&a, &b| {
             let ca = &self.clauses[a as usize];
             let cb = &self.clauses[b as usize];
-            ca.lbd
-                .cmp(&cb.lbd)
-                .then(cb.activity.partial_cmp(&ca.activity).unwrap_or(std::cmp::Ordering::Equal))
+            ca.lbd.cmp(&cb.lbd).then(
+                cb.activity
+                    .partial_cmp(&ca.activity)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
         });
         let keep = refs.len() / 2;
         for &r in &refs[keep..] {
@@ -794,10 +798,10 @@ mod tests {
         for row in &p {
             s.add_clause(row);
         }
-        for j in 0..2 {
-            for i1 in 0..3 {
-                for i2 in i1 + 1..3 {
-                    s.add_clause(&[!p[i1][j], !p[i2][j]]);
+        for i1 in 0..3 {
+            for i2 in i1 + 1..3 {
+                for (a, b) in p[i1].iter().zip(&p[i2]) {
+                    s.add_clause(&[!*a, !*b]);
                 }
             }
         }
@@ -814,10 +818,10 @@ mod tests {
         for row in &p {
             s.add_clause(row);
         }
-        for j in 0..n - 1 {
-            for i1 in 0..n {
-                for i2 in i1 + 1..n {
-                    s.add_clause(&[!p[i1][j], !p[i2][j]]);
+        for i1 in 0..n {
+            for i2 in i1 + 1..n {
+                for (a, b) in p[i1].iter().zip(&p[i2]) {
+                    s.add_clause(&[!*a, !*b]);
                 }
             }
         }
@@ -850,10 +854,10 @@ mod tests {
         for row in &p {
             s.add_clause(row);
         }
-        for j in 0..n - 1 {
-            for i1 in 0..n {
-                for i2 in i1 + 1..n {
-                    s.add_clause(&[!p[i1][j], !p[i2][j]]);
+        for i1 in 0..n {
+            for i2 in i1 + 1..n {
+                for (a, b) in p[i1].iter().zip(&p[i2]) {
+                    s.add_clause(&[!*a, !*b]);
                 }
             }
         }

@@ -1,8 +1,11 @@
 //! Differential testing of the CDCL solver against brute-force enumeration
 //! on random small CNF formulas.
+//!
+//! (Randomized with the workspace's deterministic `testrand` generator —
+//! the container has no network access for a `proptest` dependency.)
 
-use proptest::prelude::*;
 use sat::{Lit, SatResult, Solver, Var};
+use testrand::Rng;
 
 /// Evaluates a CNF under a complete assignment given as a bit mask.
 fn eval_cnf(num_vars: usize, cnf: &[Vec<(usize, bool)>], assignment: u32) -> bool {
@@ -17,23 +20,23 @@ fn brute_force_sat(num_vars: usize, cnf: &[Vec<(usize, bool)>]) -> bool {
     (0u32..1 << num_vars).any(|a| eval_cnf(num_vars, cnf, a))
 }
 
-fn clause_strategy(num_vars: usize) -> impl Strategy<Value = Vec<(usize, bool)>> {
-    prop::collection::vec((0..num_vars, any::<bool>()), 1..=3)
+fn random_cnf(rng: &mut Rng, num_vars: usize, num_clauses: usize) -> Vec<Vec<(usize, bool)>> {
+    (0..num_clauses)
+        .map(|_| {
+            (0..rng.range(1, 4))
+                .map(|_| (rng.usize_below(num_vars), rng.bool()))
+                .collect()
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(200))]
-
-    #[test]
-    fn cdcl_agrees_with_brute_force(
-        num_vars in 1usize..=10,
-        seed_clauses in prop::collection::vec(clause_strategy(10), 1..60),
-    ) {
-        // Clamp variables into range for the sampled var count.
-        let cnf: Vec<Vec<(usize, bool)>> = seed_clauses
-            .into_iter()
-            .map(|c| c.into_iter().map(|(v, s)| (v % num_vars, s)).collect())
-            .collect();
+#[test]
+fn cdcl_agrees_with_brute_force() {
+    let mut rng = Rng::new(0xC4F_0001);
+    for case in 0..200 {
+        let num_vars = rng.range(1, 11);
+        let num_clauses = rng.range(1, 60);
+        let cnf = random_cnf(&mut rng, num_vars, num_clauses);
 
         let mut solver = Solver::new();
         let vars: Vec<Var> = (0..num_vars).map(|_| solver.new_var()).collect();
@@ -43,7 +46,15 @@ proptest! {
         }
         let expected = brute_force_sat(num_vars, &cnf);
         let got = solver.solve();
-        prop_assert_eq!(got, if expected { SatResult::Sat } else { SatResult::Unsat });
+        assert_eq!(
+            got,
+            if expected {
+                SatResult::Sat
+            } else {
+                SatResult::Unsat
+            },
+            "case {case}"
+        );
 
         if got == SatResult::Sat {
             // The reported model must actually satisfy the formula.
@@ -53,22 +64,20 @@ proptest! {
                     assignment |= 1 << i;
                 }
             }
-            prop_assert!(eval_cnf(num_vars, &cnf, assignment));
+            assert!(eval_cnf(num_vars, &cnf, assignment), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn assumptions_match_added_units(
-        num_vars in 2usize..=8,
-        seed_clauses in prop::collection::vec(clause_strategy(8), 1..40),
-        assume_var in 0usize..8,
-        assume_sign in any::<bool>(),
-    ) {
-        let cnf: Vec<Vec<(usize, bool)>> = seed_clauses
-            .into_iter()
-            .map(|c| c.into_iter().map(|(v, s)| (v % num_vars, s)).collect())
-            .collect();
-        let av = assume_var % num_vars;
+#[test]
+fn assumptions_match_added_units() {
+    let mut rng = Rng::new(0xC4F_0002);
+    for case in 0..120 {
+        let num_vars = rng.range(2, 9);
+        let num_clauses = rng.range(1, 40);
+        let cnf = random_cnf(&mut rng, num_vars, num_clauses);
+        let av = rng.usize_below(num_vars);
+        let assume_sign = rng.bool();
 
         // Solver A: assumption; Solver B: unit clause. Verdicts must agree.
         let mut sa = Solver::new();
@@ -84,6 +93,6 @@ proptest! {
         sb.add_clause(&[vb[av].lit(assume_sign)]);
         let ra = sa.solve_assuming(&[va[av].lit(assume_sign)]);
         let rb = sb.solve();
-        prop_assert_eq!(ra, rb);
+        assert_eq!(ra, rb, "case {case}");
     }
 }

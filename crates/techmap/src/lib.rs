@@ -131,7 +131,13 @@ pub fn map_luts(mig: &Mig, config: &MapConfig) -> Mapping {
     for _ in 0..config.area_rounds {
         let required = required_times(mig, &arrival);
         area_pass(
-            mig, &cuts, &refs, &required, &mut arrival, &mut flow, &mut choice,
+            mig,
+            &cuts,
+            &refs,
+            &required,
+            &mut arrival,
+            &mut flow,
+            &mut choice,
         );
     }
 

@@ -207,7 +207,11 @@ impl TruthTable {
     /// Renders the table as a hexadecimal string, most significant digit
     /// first.
     pub fn to_hex(&self) -> String {
-        let digits = if self.vars < 2 { 1 } else { 1 << (self.vars - 2) };
+        let digits = if self.vars < 2 {
+            1
+        } else {
+            1 << (self.vars - 2)
+        };
         let mut s = String::with_capacity(digits);
         for pos in (0..digits).rev() {
             let v = (self.words[pos / 16] >> (4 * (pos % 16))) & 0xF;

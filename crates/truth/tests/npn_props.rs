@@ -1,19 +1,12 @@
 //! Property tests for the NPN transform algebra: composition, inversion,
 //! canonization invariance, and agreement between the generic and the
 //! specialized 4-variable canonizers.
+//!
+//! (Randomized with the workspace's deterministic `testrand` generator —
+//! the container has no network access for a `proptest` dependency.)
 
-use proptest::prelude::*;
+use testrand::Rng;
 use truth::{npn_canonize, Npn4Canonizer, NpnTransform, TruthTable};
-
-fn transform_strategy(n: usize) -> impl Strategy<Value = NpnTransform> {
-    (
-        Just(n),
-        prop::sample::select(perms(n)),
-        0u8..(1 << n),
-        any::<bool>(),
-    )
-        .prop_map(|(n, perm, neg, out)| NpnTransform::new(n, &perm, neg, out))
-}
 
 fn perms(n: usize) -> Vec<Vec<u8>> {
     fn rec(acc: &mut Vec<Vec<u8>>, cur: &mut Vec<u8>, rest: &mut Vec<u8>) {
@@ -34,86 +27,7 @@ fn perms(n: usize) -> Vec<Vec<u8>> {
     acc
 }
 
-fn table_strategy(n: usize) -> impl Strategy<Value = TruthTable> {
-    (0u64..(1u64 << (1 << n).min(63))).prop_map(move |bits| TruthTable::from_bits(n, bits))
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn inverse_roundtrips(
-        n in 2usize..=4,
-        seed in any::<prop::sample::Index>(),
-        bits in any::<u64>(),
-    ) {
-        let all = perm_transforms(n);
-        let t = seed.get(&all);
-        let f = TruthTable::from_bits(n, bits & ((1 << (1 << n)) - 1));
-        prop_assert_eq!(t.inverse().apply(&t.apply(&f)), f.clone());
-        prop_assert_eq!(t.apply(&t.inverse().apply(&f)), f);
-        prop_assert_eq!(t.inverse().inverse(), *t);
-    }
-
-    #[test]
-    fn composition_is_application_order(
-        bits in any::<u64>(),
-        i1 in any::<prop::sample::Index>(),
-        i2 in any::<prop::sample::Index>(),
-    ) {
-        let n = 4;
-        let all = perm_transforms(n);
-        let (t1, t2) = (i1.get(&all), i2.get(&all));
-        let f = TruthTable::from_bits(n, bits & 0xFFFF);
-        prop_assert_eq!(
-            t1.then(t2).apply(&f),
-            t2.apply(&t1.apply(&f))
-        );
-    }
-
-    #[test]
-    fn canonization_is_orbit_invariant(
-        bits in any::<u64>(),
-        idx in any::<prop::sample::Index>(),
-    ) {
-        let n = 4;
-        let f = TruthTable::from_bits(n, bits & 0xFFFF);
-        let all = perm_transforms(n);
-        let t = idx.get(&all);
-        let g = t.apply(&f);
-        prop_assert_eq!(
-            npn_canonize(&f).representative,
-            npn_canonize(&g).representative
-        );
-    }
-
-    #[test]
-    fn fast_and_generic_canonizers_agree(f in any::<u16>()) {
-        let canon = Npn4Canonizer::new();
-        let (rep, t) = canon.canonize(f);
-        let slow = npn_canonize(&TruthTable::from_u16(f));
-        prop_assert_eq!(rep, slow.representative.as_u16());
-        // The returned transform actually produces the representative.
-        prop_assert_eq!(t.apply(&TruthTable::from_u16(f)).as_u16(), rep);
-        // Representatives are fixpoints.
-        prop_assert_eq!(canon.canonize(rep).0, rep);
-    }
-
-    #[test]
-    fn transform_strategy_is_exercised(
-        t in transform_strategy(3),
-        bits in 0u64..256,
-    ) {
-        let f = TruthTable::from_bits(3, bits);
-        // Applying any transform preserves the weight or complements it.
-        let g = t.apply(&f);
-        let w = f.count_ones();
-        let complemented = 8 - w;
-        prop_assert!(g.count_ones() == w || g.count_ones() == complemented);
-    }
-}
-
-/// All (perm, flips, out) transforms for small n, used with Index sampling.
+/// All (perm, flips, out) transforms for small n, used with index sampling.
 fn perm_transforms(n: usize) -> Vec<NpnTransform> {
     let mut out = Vec::new();
     for p in perms(n) {
@@ -124,4 +38,94 @@ fn perm_transforms(n: usize) -> Vec<NpnTransform> {
         }
     }
     out
+}
+
+fn random_table(rng: &mut Rng, n: usize) -> TruthTable {
+    let mask = if (1 << n) >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << (1 << n)) - 1
+    };
+    TruthTable::from_bits(n, rng.next_u64() & mask)
+}
+
+#[test]
+fn inverse_roundtrips() {
+    let mut rng = Rng::new(0x0909_0001);
+    for n in 2usize..=4 {
+        let all = perm_transforms(n);
+        for _ in 0..64 {
+            let t = &all[rng.usize_below(all.len())];
+            let f = random_table(&mut rng, n);
+            assert_eq!(t.inverse().apply(&t.apply(&f)), f);
+            assert_eq!(t.apply(&t.inverse().apply(&f)), f);
+            assert_eq!(t.inverse().inverse(), *t);
+        }
+    }
+}
+
+#[test]
+fn composition_is_application_order() {
+    let mut rng = Rng::new(0x0909_0002);
+    let n = 4;
+    let all = perm_transforms(n);
+    for _ in 0..128 {
+        let t1 = &all[rng.usize_below(all.len())];
+        let t2 = &all[rng.usize_below(all.len())];
+        let f = random_table(&mut rng, n);
+        assert_eq!(t1.then(t2).apply(&f), t2.apply(&t1.apply(&f)));
+    }
+}
+
+#[test]
+fn canonization_is_orbit_invariant() {
+    let mut rng = Rng::new(0x0909_0003);
+    let n = 4;
+    let all = perm_transforms(n);
+    for _ in 0..128 {
+        let f = random_table(&mut rng, n);
+        let t = &all[rng.usize_below(all.len())];
+        let g = t.apply(&f);
+        assert_eq!(
+            npn_canonize(&f).representative,
+            npn_canonize(&g).representative
+        );
+    }
+}
+
+#[test]
+fn fast_and_generic_canonizers_agree() {
+    let canon = Npn4Canonizer::new();
+    let mut rng = Rng::new(0x0909_0004);
+    // 128 random functions plus structured edge cases.
+    let mut cases: Vec<u16> = (0..128).map(|_| rng.next_u64() as u16).collect();
+    cases.extend([0x0000, 0xFFFF, 0xAAAA, 0x6996, 0x8000, 0x0001, 0xE8E8]);
+    for f in cases {
+        let (rep, t) = canon.canonize(f);
+        let slow = npn_canonize(&TruthTable::from_u16(f));
+        assert_eq!(rep, slow.representative.as_u16(), "function {f:04x}");
+        // The returned transform actually produces the representative.
+        assert_eq!(
+            t.apply(&TruthTable::from_u16(f)).as_u16(),
+            rep,
+            "function {f:04x}"
+        );
+        // Representatives are fixpoints.
+        assert_eq!(canon.canonize(rep).0, rep, "function {f:04x}");
+    }
+}
+
+#[test]
+fn transforms_preserve_or_complement_weight() {
+    let mut rng = Rng::new(0x0909_0005);
+    let all = perm_transforms(3);
+    for _ in 0..128 {
+        let t = &all[rng.usize_below(all.len())];
+        let f = TruthTable::from_bits(3, rng.below(256));
+        // Applying any transform preserves the weight or complements it.
+        let g = t.apply(&f);
+        let w = f.count_ones();
+        let complemented = 8 - w;
+        assert!(g.count_ones() == w || g.count_ones() == complemented);
+    }
 }

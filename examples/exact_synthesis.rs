@@ -50,7 +50,10 @@ fn main() {
     }
     describe("maj3", &TruthTable::from_hex(3, "e8").unwrap());
     describe("xor2", &TruthTable::from_hex(2, "6").unwrap());
-    describe("full-adder sum (xor3)", &TruthTable::from_hex(3, "96").unwrap());
+    describe(
+        "full-adder sum (xor3)",
+        &TruthTable::from_hex(3, "96").unwrap(),
+    );
     describe("and4", &TruthTable::from_hex(4, "8000").unwrap());
     describe("4-input parity", &TruthTable::from_hex(4, "6996").unwrap());
     // The paper's hardest class, S_{0,2} (Fig. 2): 7 gates.

@@ -15,7 +15,10 @@ fn main() {
         db.len(),
         db.max_size()
     );
-    println!("size histogram (classes per gate count): {:?}", db.size_histogram());
+    println!(
+        "size histogram (classes per gate count): {:?}",
+        db.size_histogram()
+    );
 
     let f: u16 = std::env::args()
         .nth(1)
@@ -32,10 +35,7 @@ fn main() {
         transform.output_negated()
     );
     let entry = db.get(rep).expect("database is complete");
-    println!(
-        "  minimum MIG: {} gates, depth {}",
-        entry.size, entry.depth
-    );
+    println!("  minimum MIG: {} gates, depth {}", entry.size, entry.depth);
 
     // Instantiate onto fresh inputs and verify.
     let mut m = Mig::new(4);

@@ -49,7 +49,10 @@ fn main() {
     // Technology mapping (paper Table IV's flow).
     for (name, m) in [("baseline", &depth_opt), ("best fh ", &best)] {
         let mapped = map_luts(m, &MapConfig::default());
-        println!("map {name}:   {:>4} LUTs, {:>2} levels", mapped.area, mapped.depth);
+        println!(
+            "map {name}:   {:>4} LUTs, {:>2} levels",
+            mapped.area, mapped.depth
+        );
     }
 
     // Full SAT proof of the final result against the original adder.

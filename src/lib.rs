@@ -22,7 +22,12 @@
 //! * [`techmap`] — a cut-based k-LUT technology mapper (Table IV);
 //! * [`benchgen`] — EPFL-style arithmetic benchmark generators (§V-C);
 //! * [`cec`] — combinational equivalence checking used to validate every
-//!   optimization.
+//!   optimization;
+//! * [`io`] — circuit interchange: AIGER (`.aag`/`.aig`) and BLIF
+//!   readers/writers with positioned parse errors and lossless document
+//!   models, so the optimizer runs on real-world netlists (see also the
+//!   `migopt` binary in the `cli` crate, which chains passes over these
+//!   crates with an ABC-style pipeline grammar).
 //!
 //! # Quick start
 //!
@@ -48,6 +53,7 @@ pub use cec;
 pub use cuts;
 pub use exact;
 pub use fhash;
+pub use io;
 pub use mig;
 pub use migalg;
 pub use npndb;

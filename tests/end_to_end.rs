@@ -54,7 +54,9 @@ fn depth_script_plus_fh_plus_mapping_on_scaled_divisor() {
     let mapping = map_luts(&opt, &MapConfig::default());
     assert!(mapping.area > 0);
     for pattern in [0u64, 0xFFFF_FFFF_FFFF_FFFF, 0x1234_5678_9ABC_DEF0] {
-        let bits: Vec<bool> = (0..opt.num_inputs()).map(|i| (pattern >> (i % 64)) & 1 == 1).collect();
+        let bits: Vec<bool> = (0..opt.num_inputs())
+            .map(|i| (pattern >> (i % 64)) & 1 == 1)
+            .collect();
         assert_eq!(mapping.evaluate(&opt, &bits), opt.evaluate(&bits));
     }
 }

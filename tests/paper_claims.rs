@@ -13,9 +13,7 @@ fn npn_class_counts() {
     for (n, expect) in [(1usize, 2usize), (2, 4), (3, 14)] {
         let mut reps = std::collections::HashSet::new();
         for f in 0..1u64 << (1 << n) {
-            reps.insert(
-                mig_fh::truth::npn_canonize(&TruthTable::from_bits(n, f)).representative,
-            );
+            reps.insert(mig_fh::truth::npn_canonize(&TruthTable::from_bits(n, f)).representative);
         }
         assert_eq!(reps.len(), expect, "n = {n}");
     }

@@ -1,5 +1,6 @@
 #!/bin/sh
-# CI gate: build, tests, formatting, lints. Run from the repo root.
+# CI gate: build, tests, formatting, lints, pipeline smoke runs, benches.
+# Run from the repo root.
 set -eu
 
 echo "== cargo build --release"
@@ -13,5 +14,25 @@ cargo fmt --all -- --check
 
 echo "== cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== migopt smoke runs over benchmarks/ (exit code 2 = CEC failure)"
+# Every pipeline ends in `cec`: a counterexample makes migopt exit 2 and
+# fails CI here. Covers the in-place fhash variants and the fhash!
+# convergence pass on all checked-in circuits.
+MIGOPT=./target/release/migopt
+for f in benchmarks/full_adder.aag benchmarks/adder8.aag \
+         benchmarks/mult4.aig benchmarks/adder4.blif; do
+    for p in "strash; fhash:T; cec" \
+             "strash; fhash:TFD; fhash:B; cec" \
+             "strash; algebraic; fhash!:B; cec" \
+             "strash; fhash!:TF; fhash!:B; cec; stats"; do
+        echo "-- migopt -i $f -p \"$p\""
+        "$MIGOPT" -q -i "$f" -p "$p"
+    done
+done
+
+echo "== micro/io benches (refreshes BENCH_micro.json / BENCH_io.json)"
+cargo bench -p bench_harness --bench micro
+cargo bench -p bench_harness --bench io_throughput
 
 echo "CI OK"

@@ -244,7 +244,7 @@ pub fn from_mig(mig: &Mig) -> Aig {
     for i in 0..mig.num_inputs() {
         map[i + 1] = Some(aig.input(i));
     }
-    for g in mig.gates() {
+    for g in mig.topo_gates() {
         let [a, b, c] = mig.fanins(g);
         let m = |s: Signal, map: &Vec<Option<Signal>>| {
             map[s.node() as usize]
@@ -651,7 +651,7 @@ mod tests {
     #[test]
     fn mig_conversion_preserves_function() {
         let mut m = Mig::new(4);
-        let ins = m.inputs();
+        let ins: Vec<_> = m.inputs().collect();
         let g1 = m.maj(ins[0], ins[1], ins[2]);
         let g2 = m.xor(g1, ins[3]);
         m.add_output(g2);
@@ -694,7 +694,7 @@ mod tests {
     #[test]
     fn rewrite_preserves_multi_output_function() {
         let mut m = Mig::new(4);
-        let ins = m.inputs();
+        let ins: Vec<_> = m.inputs().collect();
         let (s1, c1) = m.full_adder(ins[0], ins[1], ins[2]);
         let (s2, c2) = m.full_adder(s1, ins[3], c1);
         m.add_output(s2);
@@ -708,7 +708,7 @@ mod tests {
     #[test]
     fn mig_aig_mig_roundtrip_preserves_function() {
         let mut m = Mig::new(4);
-        let ins = m.inputs();
+        let ins: Vec<_> = m.inputs().collect();
         let (s1, c1) = m.full_adder(ins[0], ins[1], ins[2]);
         let g = m.maj(s1, c1, ins[3]);
         m.add_output(g);

@@ -18,7 +18,7 @@
 //! [`optimize`] chains the passes into the "script" used by the benchmark
 //! harness to produce Table III starting points.
 
-use mig::{Mig, NodeId, Signal};
+use mig::{Mig, Signal};
 
 /// Statistics of an algebraic pass.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -45,7 +45,7 @@ pub fn size_rewrite(mig: &Mig) -> (Mig, AlgStats) {
     for i in 0..mig.num_inputs() {
         map[i + 1] = Some(out.input(i));
     }
-    for g in mig.gates() {
+    for g in mig.topo_gates() {
         let [a, b, c] = mig.fanins(g);
         let m = |s: Signal, map: &Vec<Option<Signal>>| {
             map[s.node() as usize]
@@ -108,12 +108,11 @@ pub fn depth_rewrite(mig: &Mig) -> (Mig, AlgStats) {
     let mut out = Mig::new(mig.num_inputs());
     let mut stats = AlgStats::default();
     let mut map: Vec<Option<Signal>> = vec![None; mig.num_nodes()];
-    let mut new_level: Vec<u32> = vec![0; mig.num_inputs() + 1];
     map[0] = Some(Signal::ZERO);
     for i in 0..mig.num_inputs() {
         map[i + 1] = Some(out.input(i));
     }
-    for g in mig.gates() {
+    for g in mig.topo_gates() {
         let [a, b, c] = mig.fanins(g);
         // Identify the unique critical operand in the *old* graph.
         let ops_old = [a, b, c];
@@ -141,17 +140,15 @@ pub fn depth_rewrite(mig: &Mig) -> (Mig, AlgStats) {
             let inner_f = mig.fanins(inner_old.node());
             let inner_ops: Vec<Signal> = inner_f.iter().map(|&s| m(s, &map)).collect();
             // Find the critical grandchild (deepest operand of the inner
-            // gate) in the rebuilt graph.
+            // gate) in the rebuilt graph, using the incrementally
+            // maintained levels of the graph under construction.
             let zi = (0..3)
-                .max_by_key(|&i| new_level[inner_ops[i].node() as usize])
+                .max_by_key(|&i| out.level(inner_ops[i].node()))
                 .expect("three operands");
             let z = inner_ops[zi];
             let rest: Vec<Signal> = (0..3).filter(|&i| i != zi).map(|i| inner_ops[i]).collect();
-            let z_lvl = new_level[z.node() as usize];
-            let outer_lvls: Vec<u32> = outer
-                .iter()
-                .map(|&s| new_level[s.node() as usize])
-                .collect();
+            let z_lvl = out.level(z.node());
+            let outer_lvls: Vec<u32> = outer.iter().map(|&s| out.level(s.node())).collect();
 
             // Ω.A: if the inner gate (plain polarity) shares an operand u
             // with the outer gate, swap z with the other outer operand x
@@ -161,10 +158,9 @@ pub fn depth_rewrite(mig: &Mig) -> (Mig, AlgStats) {
                     if rest.contains(&u) {
                         let x = outer[1 - ui];
                         let y = *rest.iter().find(|&&s| s != u).unwrap_or(&rest[0]);
-                        let x_lvl = new_level[x.node() as usize];
+                        let x_lvl = out.level(x.node());
                         if x_lvl + 1 < z_lvl {
                             let inner_new = out.maj(y, u, x);
-                            grow_levels(&mut new_level, &out);
                             result = Some(out.maj(z, u, inner_new));
                             stats.assoc_moves += 1;
                         }
@@ -176,14 +172,10 @@ pub fn depth_rewrite(mig: &Mig) -> (Mig, AlgStats) {
             // operands and both non-critical inner operands arrive early.
             if result.is_none() && !inner_old.is_complemented() {
                 let early = outer_lvls.iter().all(|&l| l + 1 < z_lvl)
-                    && rest
-                        .iter()
-                        .all(|&s| new_level[s.node() as usize] + 1 < z_lvl);
+                    && rest.iter().all(|&s| out.level(s.node()) + 1 < z_lvl);
                 if early {
                     let g1 = out.maj(outer[0], outer[1], rest[0]);
-                    grow_levels(&mut new_level, &out);
                     let g2 = out.maj(outer[0], outer[1], rest[1]);
-                    grow_levels(&mut new_level, &out);
                     result = Some(out.maj(g1, g2, z));
                     stats.distrib_moves += 1;
                 }
@@ -194,7 +186,6 @@ pub fn depth_rewrite(mig: &Mig) -> (Mig, AlgStats) {
             out.maj(sa, sb, sc)
         });
         map[g as usize] = Some(sig);
-        grow_levels(&mut new_level, &out);
     }
     for o in mig.outputs() {
         let s = map[o.node() as usize]
@@ -203,24 +194,6 @@ pub fn depth_rewrite(mig: &Mig) -> (Mig, AlgStats) {
         out.add_output(s);
     }
     (out.cleanup(), stats)
-}
-
-/// Extends the level cache to cover all nodes of `out`.
-fn grow_levels(levels: &mut Vec<u32>, out: &Mig) {
-    while levels.len() < out.num_nodes() {
-        let n = levels.len() as NodeId;
-        let l = if out.is_gate(n) {
-            1 + out
-                .fanins(n)
-                .iter()
-                .map(|s| levels[s.node() as usize])
-                .max()
-                .unwrap_or(0)
-        } else {
-            0
-        };
-        levels.push(l);
-    }
 }
 
 /// The optimization "script": alternating size and depth rounds until a

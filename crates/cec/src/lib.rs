@@ -75,13 +75,15 @@ pub fn equivalent_random(a: &Mig, b: &Mig, words: usize, seed: u64) -> bool {
 /// Tseitin-encodes an MIG into `solver`, sharing the given input
 /// literals; returns one literal per node (plain polarity).
 fn encode(mig: &Mig, solver: &mut Solver, inputs: &[Lit]) -> Vec<Lit> {
-    let mut lit = Vec::with_capacity(mig.num_nodes());
     // Constant 0: a fixed-false literal.
     let f = solver.new_var().positive();
     solver.add_clause(&[!f]);
-    lit.push(f);
-    lit.extend_from_slice(&inputs[..mig.num_inputs()]);
-    for g in mig.gates() {
+    // Indexed by node id (slot order is not topological after in-place
+    // rewriting, so literals are assigned in topological order but stored
+    // by slot; dead slots keep the constant-false literal).
+    let mut lit = vec![f; mig.num_nodes()];
+    lit[1..=mig.num_inputs()].copy_from_slice(&inputs[..mig.num_inputs()]);
+    for g in mig.topo_gates() {
         let [a, b, c] = mig.fanins(g);
         let la = lit_of(&lit, a);
         let lb = lit_of(&lit, b);
@@ -94,7 +96,7 @@ fn encode(mig: &Mig, solver: &mut Solver, inputs: &[Lit]) -> Vec<Lit> {
         solver.add_clause(&[la, lb, !o]);
         solver.add_clause(&[la, lc, !o]);
         solver.add_clause(&[lb, lc, !o]);
-        lit.push(o);
+        lit[g as usize] = o;
     }
     lit
 }
@@ -197,13 +199,13 @@ mod tests {
     #[test]
     fn subtle_mismatch_found_by_sat() {
         let mut a = Mig::new(4);
-        let ins = a.inputs();
+        let ins: Vec<_> = a.inputs().collect();
         let t1 = a.and(ins[0], ins[1]);
         let t2 = a.and(t1, ins[2]);
         let o = a.or(t2, ins[3]);
         a.add_output(o);
         let mut b = Mig::new(4);
-        let ins = b.inputs();
+        let ins: Vec<_> = b.inputs().collect();
         let t1 = b.and(ins[0], ins[1]);
         let t2 = b.and(t1, ins[3]); // swapped
         let o = b.or(t2, ins[2]);

@@ -20,7 +20,8 @@
 //! | `algebraic[:N]`   | algebraic size+depth script, at most N rounds (default 2) |
 //! | `size`            | one algebraic size-rewriting round (Ω.D right-to-left) |
 //! | `depth`           | one algebraic depth-rewriting round (Ω.A / Ω.D) |
-//! | `fhash:V`         | functional hashing, V ∈ {T, TD, TF, TFD, B, BF} |
+//! | `fhash:V`         | in-place functional hashing, V ∈ {T, TD, TF, TFD, B, BF} |
+//! | `fhash!:V`        | functional hashing repeated until no replacement fires |
 //! | `balance`         | AIG tree-height reduction round-trip |
 //! | `rewrite`         | DAG-aware AIG cut rewriting round-trip |
 //! | `cec[:budget]`    | SAT-prove equivalence against the *input* circuit |
@@ -42,8 +43,12 @@ pub enum Pass {
     SizeRewrite,
     /// A single depth-oriented algebraic rewriting round.
     DepthRewrite,
-    /// Functional hashing with the given paper variant.
+    /// In-place functional hashing with the given paper variant.
     Fhash(fhash::Variant),
+    /// Functional hashing repeated to convergence (no replacement fires
+    /// or the size stops shrinking). Affordable because each round is
+    /// in-place rewriting, not an O(n) rebuild per replacement.
+    FhashConverge(fhash::Variant),
     /// AIG balancing round-trip (tree-height reduction).
     Balance,
     /// AIG DAG-aware cut rewriting round-trip.
@@ -65,6 +70,7 @@ impl fmt::Display for Pass {
             Pass::SizeRewrite => write!(f, "size"),
             Pass::DepthRewrite => write!(f, "depth"),
             Pass::Fhash(v) => write!(f, "fhash:{}", v.acronym()),
+            Pass::FhashConverge(v) => write!(f, "fhash!:{}", v.acronym()),
             Pass::Balance => write!(f, "balance"),
             Pass::RewriteAig => write!(f, "rewrite"),
             Pass::Cec { budget: None } => write!(f, "cec"),
@@ -143,18 +149,22 @@ pub fn parse_pipeline(s: &str) -> Result<Vec<Pass>, PipelineParseError> {
                 };
                 Pass::Algebraic { rounds }
             }
-            "fhash" => {
+            "fhash" | "fhash!" => {
                 let Some(a) = arg else {
-                    return Err(err(
-                        "fhash needs a variant: one of T, TD, TF, TFD, B, BF".to_string()
-                    ));
+                    return Err(err(format!(
+                        "{name} needs a variant: one of T, TD, TF, TFD, B, BF"
+                    )));
                 };
                 let v = fhash::Variant::from_acronym(a).ok_or_else(|| {
                     err(format!(
                         "unknown variant {a:?}: expected T, TD, TF, TFD, B or BF"
                     ))
                 })?;
-                Pass::Fhash(v)
+                if name == "fhash!" {
+                    Pass::FhashConverge(v)
+                } else {
+                    Pass::Fhash(v)
+                }
             }
             "cec" => {
                 let budget = match arg {
@@ -261,7 +271,13 @@ pub fn run_pipeline(input: &Mig, passes: &[Pass]) -> Result<(Mig, Vec<PassReport
             }
             Pass::Fhash(v) => {
                 let e = engine.get_or_insert_with(fhash::FunctionalHashing::with_default_database);
-                cur = e.run(&cur, *v);
+                let stats = e.run_in_place(&mut cur, *v);
+                note = format!("{} replacements", stats.replacements);
+            }
+            Pass::FhashConverge(v) => {
+                let e = engine.get_or_insert_with(fhash::FunctionalHashing::with_default_database);
+                let (stats, rounds) = e.run_converge(&mut cur, *v, 50);
+                note = format!("{rounds} rounds, {} replacements", stats.replacements);
             }
             Pass::Balance => {
                 cur = aig::to_mig(&aig::balance(&aig::from_mig(&cur)));
@@ -340,6 +356,14 @@ mod tests {
             vec![Pass::Fhash(fhash::Variant::TopDownFfrDepth)]
         );
         assert_eq!(
+            parse_pipeline("fhash!:b").unwrap(),
+            vec![Pass::FhashConverge(fhash::Variant::BottomUp)]
+        );
+        assert_eq!(
+            parse_pipeline("fhash!:B").unwrap()[0].to_string(),
+            "fhash!:B"
+        );
+        assert_eq!(
             parse_pipeline("algebraic:5 ; map:4; cec:1000").unwrap(),
             vec![
                 Pass::Algebraic { rounds: 5 },
@@ -359,6 +383,10 @@ mod tests {
         let e = parse_pipeline("fhash").unwrap_err();
         assert!(e.message.contains("variant"));
         let e = parse_pipeline("fhash:X").unwrap_err();
+        assert!(e.message.contains("unknown variant"));
+        let e = parse_pipeline("fhash!").unwrap_err();
+        assert!(e.message.contains("variant"));
+        let e = parse_pipeline("fhash!:Q").unwrap_err();
         assert!(e.message.contains("unknown variant"));
         let e = parse_pipeline("map:9").unwrap_err();
         assert!(e.message.contains("between 2 and 6"));
@@ -382,6 +410,25 @@ mod tests {
         assert_eq!(reports.len(), 4);
         assert!(reports[2].note.contains("equivalent"));
         assert_eq!(reports[3].size_after, out.num_gates());
+    }
+
+    #[test]
+    fn converge_pass_runs_to_fixpoint() {
+        // The naive xor3 shrinks under fhash!:T and reports its rounds.
+        let mut m = Mig::new(3);
+        let (a, b, c) = (m.input(0), m.input(1), m.input(2));
+        let x = m.xor(a, b);
+        let y = m.xor(x, c);
+        m.add_output(y);
+        let passes = parse_pipeline("fhash!:T; cec").unwrap();
+        let (out, reports) = run_pipeline(&m, &passes).unwrap();
+        assert!(out.num_gates() < m.num_gates());
+        assert!(
+            reports[0].note.contains("rounds"),
+            "note: {}",
+            reports[0].note
+        );
+        assert!(reports[1].note.contains("equivalent"));
     }
 
     #[test]

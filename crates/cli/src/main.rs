@@ -28,6 +28,7 @@ OPTIONS:
 
 PASSES:
     strash  algebraic[:N]  size  depth  fhash:{T,TD,TF,TFD,B,BF}
+    fhash!:{T,TD,TF,TFD,B,BF} (repeat to convergence)
     balance  rewrite  cec[:budget]  map[:k]  stats
 ";
 

@@ -79,6 +79,43 @@ fn full_adder_optimizes_to_paper_fig1_size() {
 }
 
 #[test]
+fn inplace_fhash_acceptance_on_all_benchmarks() {
+    // ISSUE 2 acceptance: on every checked-in benchmark, every variant of
+    // the (now in-place) fhash engine produces CEC-equivalent output with
+    // gate counts no worse than the rebuild-based reference engine, and
+    // `fhash!:B` converges.
+    let engine = fhash::FunctionalHashing::with_default_database();
+    for name in ["full_adder.aag", "adder8.aag", "mult4.aig", "adder4.blif"] {
+        let m = io::read_mig_path(benchmarks_dir().join(name)).unwrap();
+        for v in fhash::Variant::ALL {
+            let rebuild = engine.run_rebuild(&m, v);
+            let mut inplace = m.clone();
+            engine.run_in_place(&mut inplace, v);
+            assert!(
+                inplace.num_gates() <= rebuild.num_gates(),
+                "{name}/{v}: in-place {} > rebuild {}",
+                inplace.num_gates(),
+                rebuild.num_gates()
+            );
+            assert_eq!(
+                cec::prove_equivalent(&m, &inplace, None),
+                cec::CecResult::Equivalent,
+                "{name}/{v}: in-place result not equivalent"
+            );
+        }
+        let mut conv = m.clone();
+        let (_, rounds) = engine.run_converge(&mut conv, fhash::Variant::BottomUp, 50);
+        assert!(rounds < 50, "{name}: fhash!:B did not converge");
+        assert!(conv.num_gates() <= m.cleanup().num_gates(), "{name}: grew");
+        assert_eq!(
+            cec::prove_equivalent(&m, &conv, None),
+            cec::CecResult::Equivalent,
+            "{name}: fhash!:B result not equivalent"
+        );
+    }
+}
+
+#[test]
 fn binary_runs_the_demo_pipeline() {
     let out = std::env::temp_dir().join(format!("migopt_e2e_{}.blif", std::process::id()));
     let status = Command::new(env!("CARGO_BIN_EXE_migopt"))

@@ -19,13 +19,125 @@ use mig::{FfrPartition, Mig, NodeId, Signal};
 
 /// One candidate implementation of an old node.
 #[derive(Debug, Clone, Copy)]
-struct Candidate {
+pub(crate) struct Candidate {
     /// Signal in the rebuilt MIG (plain polarity of the old node).
-    sig: Signal,
+    pub(crate) sig: Signal,
     /// Area-flow estimate (amortized gates).
-    af: f64,
+    pub(crate) af: f64,
     /// Estimated level.
-    depth: u32,
+    pub(crate) depth: u32,
+}
+
+/// A construction request issued by [`gate_candidates`]. The target graph
+/// is reached only through the caller's closure, so the same scoring loop
+/// serves the rebuild engine (fresh graph) and the in-place engine (the
+/// graph being optimized).
+pub(crate) enum Build<'a> {
+    /// The baseline candidate: the gate over its children's best
+    /// candidates.
+    Maj(Signal, Signal, Signal),
+    /// A cut candidate: instantiate the minimum network over the chosen
+    /// leaf candidates.
+    Template(&'a Replacement, &'a Cut, &'a [Candidate]),
+}
+
+/// Computes the bounded candidate list for one gate (Algorithm 2, lines
+/// 4-13): the baseline candidate plus, for every pre-filtered legal cut,
+/// combinations of the leaves' candidates scored by area flow and depth.
+/// Shared by the rebuild and in-place engines so the scoring math cannot
+/// drift between them.
+pub(crate) fn gate_candidates(
+    engine: &FunctionalHashing,
+    fanins: [Signal; 3],
+    cut_choices: &[(Cut, Replacement)],
+    cand: &[Vec<Candidate>],
+    refs: &[f64],
+    mut build: impl FnMut(Build<'_>) -> Signal,
+) -> Vec<Candidate> {
+    let max_cand = engine.config().max_candidates.max(1);
+    let mut list: Vec<Candidate> = Vec::with_capacity(max_cand + 1);
+
+    // Baseline candidate: rebuild the gate over the children's best
+    // candidates.
+    let pick = |s: Signal| {
+        let best = cand[s.node() as usize][0];
+        (
+            best.sig.complement_if(s.is_complemented()),
+            best.af / refs[s.node() as usize],
+            best.depth,
+        )
+    };
+    let [(sa, afa, da), (sb, afb, db_), (sc, afc, dc)] = fanins.map(pick);
+    let sig = build(Build::Maj(sa, sb, sc));
+    insert_candidate(
+        &mut list,
+        Candidate {
+            sig,
+            af: 1.0 + afa + afb + afc,
+            depth: 1 + da.max(db_).max(dc),
+        },
+        max_cand,
+    );
+
+    // Cut-based candidates (Algorithm 2, lines 5-10): enumerate
+    // combinations of leaf candidates, capped (the paper notes the cross
+    // product "may lead to a tremendous number of candidates").
+    for (cut, repl) in cut_choices {
+        let lens: Vec<usize> = cut
+            .leaves()
+            .iter()
+            .map(|&l| cand[l as usize].len())
+            .collect();
+        let combos = bounded_combinations(&lens, engine.config().max_combinations.max(1));
+        for combo in combos {
+            let chosen: Vec<Candidate> = combo
+                .iter()
+                .zip(cut.leaves())
+                .map(|(&i, &l)| cand[l as usize][i])
+                .collect();
+            let af = f64::from(repl.db_size)
+                + cut
+                    .leaves()
+                    .iter()
+                    .zip(&chosen)
+                    .map(|(&l, c)| c.af / refs[l as usize])
+                    .sum::<f64>();
+            let depth = repl.estimated_level(cut, |pos| chosen[pos].depth);
+            // Only instantiate candidates that can enter the list (bounds
+            // the graph's speculative growth).
+            if !would_enter(&list, af, depth, max_cand) {
+                continue;
+            }
+            let sig = build(Build::Template(repl, cut, &chosen));
+            insert_candidate(&mut list, Candidate { sig, af, depth }, max_cand);
+        }
+    }
+    list
+}
+
+/// The cuts of `v` eligible as candidate sources: non-trivial, at most 4
+/// leaves, region-legal when a partition is given, with their prepared
+/// replacements.
+pub(crate) fn candidate_cuts(
+    engine: &FunctionalHashing,
+    mig: &Mig,
+    cut_list: &[Cut],
+    ffr: Option<&FfrPartition>,
+    v: NodeId,
+) -> Vec<(Cut, Replacement)> {
+    cut_list
+        .iter()
+        .filter(|cut| !is_trivial(cut, v) && cut.len() <= 4)
+        .filter(|cut| {
+            ffr.is_none_or(|f| {
+                let internal = internal_nodes(mig, v, cut);
+                cut_is_region_legal(f, v, &internal)
+            })
+        })
+        .filter_map(|cut| {
+            Replacement::prepare(cut, engine.database(), engine.canonizer()).map(|r| (*cut, r))
+        })
+        .collect()
 }
 
 pub(crate) struct BottomUp<'a> {
@@ -74,7 +186,7 @@ impl<'a> BottomUp<'a> {
                 depth: 0,
             });
         }
-        for v in old.gates() {
+        for v in old.topo_gates() {
             bu.process_gate(v);
         }
         // Line 14: take the best candidate for each output.
@@ -88,92 +200,33 @@ impl<'a> BottomUp<'a> {
     }
 
     fn process_gate(&mut self, v: NodeId) {
-        let max_cand = self.engine.config().max_candidates.max(1);
-        let mut list: Vec<Candidate> = Vec::with_capacity(max_cand + 1);
-
-        // Baseline candidate: rebuild the gate over the children's best
-        // candidates.
-        let [a, b, c] = self.old.fanins(v);
-        let pick = |bu: &Self, s: Signal| {
-            let cand = bu.cand[s.node() as usize][0];
-            (
-                cand.sig.complement_if(s.is_complemented()),
-                cand.af / bu.refs[s.node() as usize],
-                cand.depth,
-            )
-        };
-        let (sa, afa, da) = pick(self, a);
-        let (sb, afb, db_) = pick(self, b);
-        let (sc, afc, dc) = pick(self, c);
-        let sig = self.new.maj(sa, sb, sc);
-        insert_candidate(
-            &mut list,
-            Candidate {
-                sig,
-                af: 1.0 + afa + afb + afc,
-                depth: 1 + da.max(db_).max(dc),
+        let cut_choices =
+            candidate_cuts(self.engine, self.old, self.cuts.of(v), self.ffr.as_ref(), v);
+        let db = self.engine.database();
+        let new = &mut self.new;
+        let stats = &mut self.stats;
+        let list = gate_candidates(
+            self.engine,
+            self.old.fanins(v),
+            &cut_choices,
+            &self.cand,
+            &self.refs,
+            |req| match req {
+                Build::Maj(a, b, c) => new.maj(a, b, c),
+                Build::Template(repl, cut, chosen) => {
+                    // Historical rebuild accounting: every speculative
+                    // instantiation counts.
+                    stats.replacements += 1;
+                    repl.instantiate(new, cut, db, |pos| chosen[pos].sig)
+                }
             },
-            max_cand,
         );
-
-        // Cut-based candidates (Algorithm 2, lines 5-10).
-        let cuts: Vec<Cut> = self.cuts.of(v).to_vec();
-        for cut in cuts {
-            if is_trivial(&cut, v) || cut.len() > 4 {
-                continue;
-            }
-            if let Some(ffr) = self.ffr.as_ref() {
-                let internal = internal_nodes(self.old, v, &cut);
-                if !cut_is_region_legal(ffr, v, &internal) {
-                    continue;
-                }
-            }
-            let Some(repl) =
-                Replacement::prepare(&cut, self.engine.database(), self.engine.canonizer())
-            else {
-                continue;
-            };
-            // Enumerate combinations of leaf candidates, capped (the
-            // paper notes the cross product "may lead to a tremendous
-            // number of candidates").
-            let leaf_lists: Vec<&[Candidate]> = cut
-                .leaves()
-                .iter()
-                .map(|&l| self.cand[l as usize].as_slice())
-                .collect();
-            let combos = bounded_combinations(
-                &leaf_lists.iter().map(|l| l.len()).collect::<Vec<_>>(),
-                self.engine.config().max_combinations.max(1),
-            );
-            for combo in combos {
-                let chosen: Vec<Candidate> =
-                    combo.iter().zip(&leaf_lists).map(|(&i, l)| l[i]).collect();
-                let af = f64::from(repl.db_size)
-                    + cut
-                        .leaves()
-                        .iter()
-                        .zip(&chosen)
-                        .map(|(&l, c)| c.af / self.refs[l as usize])
-                        .sum::<f64>();
-                let depth = repl.estimated_level(&cut, |pos| chosen[pos].depth);
-                // Only instantiate candidates that can enter the list
-                // (bounds the rebuilt graph's growth).
-                if !would_enter(&list, af, depth, max_cand) {
-                    continue;
-                }
-                let sig = repl.instantiate(&mut self.new, &cut, self.engine.database(), |pos| {
-                    chosen[pos].sig
-                });
-                self.stats.replacements += 1;
-                insert_candidate(&mut list, Candidate { sig, af, depth }, max_cand);
-            }
-        }
         self.cand[v as usize] = list;
     }
 }
 
 /// Whether a candidate with this cost would make it into the bounded list.
-fn would_enter(list: &[Candidate], af: f64, depth: u32, max_cand: usize) -> bool {
+pub(crate) fn would_enter(list: &[Candidate], af: f64, depth: u32, max_cand: usize) -> bool {
     if list.len() < max_cand {
         return true;
     }
@@ -183,7 +236,7 @@ fn would_enter(list: &[Candidate], af: f64, depth: u32, max_cand: usize) -> bool
 
 /// The paper's `insert`: keep the list sorted by the optimization criteria
 /// (area flow, then depth) and bounded.
-fn insert_candidate(list: &mut Vec<Candidate>, c: Candidate, max_cand: usize) {
+pub(crate) fn insert_candidate(list: &mut Vec<Candidate>, c: Candidate, max_cand: usize) {
     // Deduplicate by signal: keep the better bookkeeping.
     if let Some(existing) = list.iter_mut().find(|e| e.sig == c.sig) {
         if (c.af, c.depth) < (existing.af, existing.depth) {
@@ -203,7 +256,7 @@ fn insert_candidate(list: &mut Vec<Candidate>, c: Candidate, max_cand: usize) {
 /// Index combinations over `lens` lists, in lexicographic order starting
 /// from all-zeros (lists are sorted best-first, so early combinations pair
 /// good candidates), capped at `cap`.
-fn bounded_combinations(lens: &[usize], cap: usize) -> Vec<Vec<usize>> {
+pub(crate) fn bounded_combinations(lens: &[usize], cap: usize) -> Vec<Vec<usize>> {
     let mut out = Vec::with_capacity(cap);
     let mut idx = vec![0usize; lens.len()];
     'outer: loop {

@@ -110,15 +110,96 @@ impl Replacement {
     }
 }
 
-/// Checks that no internal node of the cut (other than the root) has
-/// fanout escaping the cut cone (paper §IV-C, first option). `fanout` are
-/// whole-graph fanout counts including outputs.
-pub(crate) fn cut_is_fanout_legal(
+/// A selected cut replacement: the cut, its prepared minimum network and
+/// the expected gate-count gain.
+#[derive(Debug, Clone)]
+pub(crate) struct ScoredCut {
+    pub cut: Cut,
+    pub repl: Replacement,
+    pub gain: i32,
+}
+
+/// Line 3 of Algorithm 1, shared by the rebuild and in-place top-down
+/// engines: the legal cut of `v` with the best size reduction — larger
+/// gain first, then lower resulting level, then a shallower database
+/// template. `level` abstracts the level source (a precomputed map for
+/// the rebuild engine, the live incremental levels for the in-place
+/// engine).
+pub(crate) fn select_best_cut(
+    engine: &crate::FunctionalHashing,
     mig: &Mig,
-    root: NodeId,
-    internal: &[NodeId],
-    fanout: &[u32],
-) -> bool {
+    v: NodeId,
+    cut_list: &[Cut],
+    ffr: Option<&FfrPartition>,
+    depth_preserving: bool,
+    level: impl Fn(NodeId) -> u32,
+) -> Option<ScoredCut> {
+    let mut best: Option<(ScoredCut, u32)> = None;
+    for cut in cut_list {
+        if is_trivial(cut, v) {
+            continue;
+        }
+        let internal = internal_nodes(mig, v, cut);
+        // Fanout legality is the safety condition (no internal node may
+        // be referenced from outside the cone); the region check is the
+        // additional §IV-C restriction. On a fresh partition region-legal
+        // implies fanout-legal, but the in-place engine's partition goes
+        // stale as replacements land, so the fanout check (against live
+        // refcounts) must always run — it is what keeps committed
+        // replacements net-shrinking.
+        if !cut_is_fanout_legal(mig, v, &internal) {
+            continue;
+        }
+        if let Some(f) = ffr {
+            if !cut_is_region_legal(f, v, &internal) {
+                continue;
+            }
+        }
+        let Some(repl) = Replacement::prepare(cut, engine.database(), engine.canonizer()) else {
+            continue;
+        };
+        let gain = internal.len() as i32 - repl.db_size as i32;
+        if gain < 1 {
+            continue;
+        }
+        let est_level = repl.estimated_level(cut, |pos| level(cut.leaves()[pos]));
+        if depth_preserving && est_level > level(v) + engine.config().allowed_depth_increase {
+            continue;
+        }
+        let better = match &best {
+            None => true,
+            Some((b, blevel)) => (
+                gain,
+                std::cmp::Reverse(est_level),
+                std::cmp::Reverse(repl.db_depth),
+            )
+                .cmp(&(
+                    b.gain,
+                    std::cmp::Reverse(*blevel),
+                    std::cmp::Reverse(b.repl.db_depth),
+                ))
+                .is_gt(),
+        };
+        if better {
+            best = Some((
+                ScoredCut {
+                    cut: *cut,
+                    repl,
+                    gain,
+                },
+                est_level,
+            ));
+        }
+    }
+    best.map(|(s, _)| s)
+}
+
+/// Checks that no internal node of the cut (other than the root) has
+/// fanout escaping the cut cone (paper §IV-C, first option). Whole-graph
+/// fanout counts (including outputs) come from the managed network's O(1)
+/// per-node reference counts, so this stays valid during in-place
+/// rewriting.
+pub(crate) fn cut_is_fanout_legal(mig: &Mig, root: NodeId, internal: &[NodeId]) -> bool {
     for &n in internal {
         if n == root {
             continue;
@@ -128,7 +209,7 @@ pub(crate) fn cut_is_fanout_legal(
             .iter()
             .filter(|&&m| m != n && mig.fanins(m).iter().any(|s| s.node() == n))
             .count() as u32;
-        if fanout[n as usize] != inside {
+        if mig.fanout_count(n) != inside {
             return false;
         }
     }

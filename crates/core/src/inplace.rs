@@ -1,0 +1,171 @@
+//! In-place functional hashing: the same cut-replacement algorithms as
+//! the rebuild engines (paper §IV, Algorithms 1 and 2), but executed as
+//! local mutations of the managed [`Mig`] network instead of whole-graph
+//! reconstruction.
+//!
+//! * Top-down (`T`/`TD`/`TF`/`TFD`): each selected cut is instantiated
+//!   over its *existing* leaf nodes and committed with
+//!   [`Mig::replace_node`], which patches fanouts, keeps the strash table
+//!   consistent and frees the replaced cone — one replacement costs
+//!   O(affected region), not O(n).
+//! * Bottom-up (`B`/`BF`): candidate implementations are built directly
+//!   in the same graph (structural hashing dedups against the existing
+//!   logic for free); at the end each output is rerouted to its best
+//!   candidate and dangling cones are reclaimed by [`Mig::sweep`].
+//!
+//! Cut lists are kept incrementally: after every mutation only the
+//! transitive fanout of the change is invalidated
+//! ([`cuts::CutSet::refresh`]) and stale lists are recomputed on demand.
+
+use crate::bottomup::{candidate_cuts, gate_candidates, Build, Candidate};
+use crate::common::select_best_cut;
+use crate::{FhStats, FunctionalHashing};
+use cuts::enumerate_cuts;
+use mig::{FfrPartition, Mig, NodeId, Signal};
+use std::collections::HashSet;
+
+/// Algorithm 1, in place: walk from the outputs, replace the best legal
+/// cut of each visited node by its minimum database network, recur on the
+/// cut leaves (or the fanins when no profitable cut exists).
+pub(crate) fn top_down(
+    engine: &FunctionalHashing,
+    mig: &mut Mig,
+    depth_preserving: bool,
+    use_ffr: bool,
+) -> FhStats {
+    let mut stats = FhStats::default();
+    let _ = mig.drain_dirty();
+    let mut cuts = enumerate_cuts(mig, &engine.config().cut_config);
+    let ffr = use_ffr.then(|| FfrPartition::compute(mig));
+    let mut visited: HashSet<NodeId> = HashSet::new();
+    // Traversal roots, mirroring the rebuild engine: FFR region roots in
+    // topological order first, then the outputs (pushed in reverse so the
+    // pop order matches).
+    let mut work: Vec<NodeId> = Vec::new();
+    for o in mig.outputs().iter().rev() {
+        work.push(o.node());
+    }
+    if let Some(f) = ffr.as_ref() {
+        for &r in f.roots().iter().rev() {
+            work.push(r);
+        }
+    }
+    while let Some(v) = work.pop() {
+        // `visited` and `work` key on slot ids. A slot freed by a later
+        // replacement can be recycled for a fresh template node before
+        // its pending entry is popped; the liveness check below keeps
+        // that sound (a live gate is always valid to visit, a dead one is
+        // skipped) — at worst a recycled, already-visited slot loses one
+        // optimization look, never correctness.
+        if !mig.is_gate(v) || !visited.insert(v) {
+            continue;
+        }
+        cuts.refresh(mig);
+        let list = cuts.of_updated(mig, v).to_vec();
+        let selected =
+            select_best_cut(engine, mig, v, &list, ffr.as_ref(), depth_preserving, |n| {
+                mig.level(n)
+            });
+        if let Some(sel) = selected {
+            let new_sig = sel
+                .repl
+                .instantiate(mig, &sel.cut, engine.database(), |pos| {
+                    Signal::new(sel.cut.leaves()[pos], false)
+                });
+            if new_sig.node() != v && mig.replace_node(v, new_sig) {
+                stats.replacements += 1;
+                stats.estimated_gain += i64::from(sel.gain);
+                // Skip the replaced cone entirely; continue below the cut.
+                for &l in sel.cut.leaves().iter().rev() {
+                    work.push(l);
+                }
+                continue;
+            }
+            // Refused: either the template reproduced `v`, or the
+            // substitution would close a cycle through shared logic.
+            // Retract the speculative cone right away so its fanout
+            // references cannot spoil legality checks for nodes visited
+            // later.
+            if new_sig.node() != v {
+                mig.reclaim(new_sig.node());
+            }
+        }
+        for s in mig.fanins(v) {
+            work.push(s.node());
+        }
+    }
+    mig.sweep();
+    stats
+}
+
+/// Algorithm 2, in place: candidates are instantiated directly into the
+/// graph being optimized (structural hashing shares them with the
+/// existing logic), outputs are rerouted to the best candidates, and the
+/// obsolete cones are swept.
+pub(crate) fn bottom_up(engine: &FunctionalHashing, mig: &mut Mig, use_ffr: bool) -> FhStats {
+    let mut stats = FhStats::default();
+    let _ = mig.drain_dirty();
+    let cuts = enumerate_cuts(mig, &engine.config().cut_config);
+    let ffr = use_ffr.then(|| FfrPartition::compute(mig));
+    let refs: Vec<f64> = mig
+        .fanout_counts()
+        .iter()
+        .map(|&c| f64::from(c.max(1)))
+        .collect();
+    let topo = mig.topo_gates();
+    let mut cand: Vec<Vec<Candidate>> = vec![Vec::new(); mig.num_nodes()];
+    // Terminals: a single zero-cost candidate (Algorithm 2, line 3).
+    cand[0].push(Candidate {
+        sig: Signal::ZERO,
+        af: 0.0,
+        depth: 0,
+    });
+    for i in 0..mig.num_inputs() {
+        cand[i + 1].push(Candidate {
+            sig: mig.input(i),
+            af: 0.0,
+            depth: 0,
+        });
+    }
+    for v in topo {
+        // Same scoring loop as the rebuild engine (`gate_candidates`);
+        // the only difference is that candidates are built directly in
+        // the graph being optimized, where structural hashing shares them
+        // with the existing logic (the baseline usually returns `v`
+        // itself when nothing below improved).
+        let cut_choices = candidate_cuts(engine, mig, cuts.of(v), ffr.as_ref(), v);
+        let fanins = mig.fanins(v);
+        let db = engine.database();
+        let list = gate_candidates(
+            engine,
+            fanins,
+            &cut_choices,
+            &cand,
+            &refs,
+            |req| match req {
+                Build::Maj(a, b, c) => mig.maj(a, b, c),
+                Build::Template(repl, cut, chosen) => {
+                    repl.instantiate(mig, cut, db, |pos| chosen[pos].sig)
+                }
+            },
+        );
+        cand[v as usize] = list;
+    }
+    // Line 14: reroute each output to its best candidate, then reclaim
+    // every cone that lost its last reference. Only committed reroutes
+    // count as replacements (speculative candidate instantiations are
+    // not observable in the result); a round with zero reroutes leaves
+    // the graph exactly as it was after the sweep, which is what
+    // `run_converge` keys its fixpoint test on.
+    for i in 0..mig.num_outputs() {
+        let o = mig.outputs()[i];
+        let best = cand[o.node() as usize][0];
+        let s = best.sig.complement_if(o.is_complemented());
+        if s != o {
+            mig.set_output(i, s);
+            stats.replacements += 1;
+        }
+    }
+    mig.sweep();
+    stats
+}

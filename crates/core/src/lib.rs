@@ -5,7 +5,15 @@
 //! The optimizer enumerates all 4-feasible cuts of an MIG, canonizes each
 //! cut function under NPN equivalence, and replaces cuts with precomputed
 //! minimum-size MIGs from the [`npndb::Database`] when that reduces the
-//! node count. The paper's variants are all available as [`Variant`]s:
+//! node count. Replacements are performed *in place* on the managed
+//! [`Mig`] network ([`FunctionalHashing::run_in_place`]): each commit is a
+//! local substitution with incremental cut invalidation, so pass cost
+//! scales with the rewritten region rather than the graph. The original
+//! rebuild-based engine remains available as
+//! [`FunctionalHashing::run_rebuild`] for differential testing, and
+//! [`FunctionalHashing::run_converge`] repeats a pass to a fixpoint
+//! (the `fhash!:V` pipeline pass). The paper's variants are all available
+//! as [`Variant`]s:
 //!
 //! | Acronym | Variant | Meaning |
 //! |---------|---------|---------|
@@ -38,6 +46,7 @@
 
 mod bottomup;
 mod common;
+mod inplace;
 mod topdown;
 
 use cuts::CutConfig;
@@ -132,7 +141,12 @@ impl Default for FhConfig {
 /// Statistics reported by a functional-hashing run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FhStats {
-    /// Number of cut replacements performed.
+    /// Number of replacements committed to the result: in-place top-down
+    /// counts [`Mig::replace_node`] substitutions, in-place bottom-up
+    /// counts outputs rerouted to a new candidate implementation (so 0
+    /// means the pass was a no-op — the convergence fixpoint test). The
+    /// rebuild reference engines keep their historical meaning
+    /// (speculative candidate instantiations for bottom-up).
     pub replacements: u64,
     /// Sum of estimated gains of the performed replacements (top-down
     /// only; the real gain is visible in the returned MIG's size).
@@ -181,14 +195,98 @@ impl FunctionalHashing {
         &self.config
     }
 
-    /// Optimizes `mig` with the chosen variant; the result is cleaned up
-    /// (no dangling gates) and functionally equivalent to the input.
+    /// Optimizes a copy of `mig` with the chosen variant; the result has
+    /// no dangling gates and is functionally equivalent to the input.
+    ///
+    /// This routes through the in-place engine ([`run_in_place`]) on a
+    /// clone — pass a `&mut Mig` to [`run_in_place`] directly to avoid
+    /// the copy.
+    ///
+    /// [`run_in_place`]: FunctionalHashing::run_in_place
     pub fn run(&self, mig: &Mig, variant: Variant) -> Mig {
         self.run_with_stats(mig, variant).0
     }
 
     /// Like [`FunctionalHashing::run`], also returning run statistics.
     pub fn run_with_stats(&self, mig: &Mig, variant: Variant) -> (Mig, FhStats) {
+        let mut m = mig.clone();
+        let stats = self.run_in_place(&mut m, variant);
+        (m, stats)
+    }
+
+    /// Optimizes `mig` in place with the chosen variant: cut replacements
+    /// are local substitutions on the managed network (fanout patching,
+    /// strash-consistent rehash, recursive dereference), so a single
+    /// replacement costs O(affected region) instead of an O(n) rebuild.
+    /// Dangling cones are swept before returning.
+    pub fn run_in_place(&self, mig: &mut Mig, variant: Variant) -> FhStats {
+        match variant {
+            Variant::TopDown => inplace::top_down(self, mig, false, false),
+            Variant::TopDownDepth => inplace::top_down(self, mig, true, false),
+            Variant::TopDownFfr => inplace::top_down(self, mig, false, true),
+            Variant::TopDownFfrDepth => inplace::top_down(self, mig, true, true),
+            Variant::BottomUp => inplace::bottom_up(self, mig, false),
+            Variant::BottomUpFfr => inplace::bottom_up(self, mig, true),
+        }
+    }
+
+    /// Runs [`FunctionalHashing::run_in_place`] to convergence: repeats
+    /// the pass until no replacement fires or the gate count stops
+    /// shrinking (whichever comes first), bounded by `max_rounds`. A
+    /// round that does not shrink the graph is rolled back (the bottom-up
+    /// variants carry no monotonicity guarantee), so the result is never
+    /// worse than any intermediate fixpoint. Returns the accumulated
+    /// statistics of the *kept* rounds and the number of rounds run.
+    /// This is the `fhash!:V` pipeline pass — affordable only because
+    /// each round costs local rewrites, not whole-graph rebuilds.
+    pub fn run_converge(
+        &self,
+        mig: &mut Mig,
+        variant: Variant,
+        max_rounds: usize,
+    ) -> (FhStats, usize) {
+        // Only the bottom-up variants can grow the graph (no per-commit
+        // gain bound), so only they need a rollback snapshot; top-down
+        // rounds strictly shrink or fire no replacement.
+        let monotone = matches!(
+            variant,
+            Variant::TopDown
+                | Variant::TopDownDepth
+                | Variant::TopDownFfr
+                | Variant::TopDownFfrDepth
+        );
+        let mut total = FhStats::default();
+        let mut rounds = 0;
+        while rounds < max_rounds {
+            let before_size = mig.num_gates();
+            let snapshot = (!monotone).then(|| mig.clone());
+            let stats = self.run_in_place(mig, variant);
+            rounds += 1;
+            if stats.replacements == 0 {
+                break;
+            }
+            if mig.num_gates() >= before_size {
+                if let Some(snap) = snapshot {
+                    *mig = snap;
+                }
+                break;
+            }
+            total.replacements += stats.replacements;
+            total.estimated_gain += stats.estimated_gain;
+        }
+        (total, rounds)
+    }
+
+    /// The original rebuild-based engine (reconstructs the optimized MIG
+    /// from scratch with structural hashing). Kept as the reference
+    /// implementation the in-place engine is differentially tested
+    /// against.
+    pub fn run_rebuild(&self, mig: &Mig, variant: Variant) -> Mig {
+        self.run_rebuild_with_stats(mig, variant).0
+    }
+
+    /// Like [`FunctionalHashing::run_rebuild`], also returning statistics.
+    pub fn run_rebuild_with_stats(&self, mig: &Mig, variant: Variant) -> (Mig, FhStats) {
         match variant {
             Variant::TopDown => topdown::TopDown::run(self, mig, false, false),
             Variant::TopDownDepth => topdown::TopDown::run(self, mig, true, false),
@@ -252,7 +350,7 @@ mod tests {
         // Rebuilding with strash plus gain>=1 replacements can only shrink.
         let e = engine();
         let mut m = Mig::new(5);
-        let ins: Vec<Signal> = m.inputs();
+        let ins: Vec<Signal> = m.inputs().collect();
         let g1 = m.maj(ins[0], ins[1], ins[2]);
         let g2 = m.xor(g1, ins[3]);
         let g3 = m.mux(ins[4], g2, g1);

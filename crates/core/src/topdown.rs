@@ -12,9 +12,7 @@
 //! level; as the paper notes, the global depth may still increase when an
 //! individual path through a leaf is lengthened.
 
-use crate::common::{
-    cut_is_fanout_legal, cut_is_region_legal, internal_nodes, is_trivial, Replacement,
-};
+use crate::common::{select_best_cut, ScoredCut};
 use crate::{FhStats, FunctionalHashing};
 use cuts::{enumerate_cuts, CutSet};
 use mig::{FfrPartition, Mig, NodeId, Signal};
@@ -23,7 +21,6 @@ pub(crate) struct TopDown<'a> {
     engine: &'a FunctionalHashing,
     old: &'a Mig,
     cuts: CutSet,
-    fanout: Vec<u32>,
     levels: Vec<u32>,
     ffr: Option<FfrPartition>,
     depth_preserving: bool,
@@ -44,7 +41,6 @@ impl<'a> TopDown<'a> {
             engine,
             old,
             cuts,
-            fanout: old.fanout_counts(),
             levels: old.levels(),
             ffr: use_ffr.then(|| FfrPartition::compute(old)),
             depth_preserving,
@@ -80,13 +76,14 @@ impl<'a> TopDown<'a> {
         debug_assert!(self.old.is_gate(v));
 
         let sig = match self.select_cut(v) {
-            Some((cut, repl)) => {
+            Some(sel) => {
                 // Recur on the leaves, then instantiate the minimum MIG.
-                let leaf_sigs: Vec<Signal> = cut.leaves().iter().map(|&l| self.opt(l)).collect();
+                let leaf_sigs: Vec<Signal> =
+                    sel.cut.leaves().iter().map(|&l| self.opt(l)).collect();
                 self.stats.replacements += 1;
-                self.stats.estimated_gain += i64::from(repl.gain);
-                repl.repl
-                    .instantiate(&mut self.new, &cut, self.engine.database(), |pos| {
+                self.stats.estimated_gain += i64::from(sel.gain);
+                sel.repl
+                    .instantiate(&mut self.new, &sel.cut, self.engine.database(), |pos| {
                         leaf_sigs[pos]
                     })
             }
@@ -105,71 +102,17 @@ impl<'a> TopDown<'a> {
         sig
     }
 
-    /// Line 3 of Algorithm 1: the legal cut with the best size reduction.
-    fn select_cut(&self, v: NodeId) -> Option<(cuts::Cut, ScoredReplacement)> {
-        let mut best: Option<(cuts::Cut, ScoredReplacement)> = None;
-        for cut in self.cuts.of(v) {
-            if is_trivial(cut, v) {
-                continue;
-            }
-            let internal = internal_nodes(self.old, v, cut);
-            let legal = match self.ffr.as_ref() {
-                Some(ffr) => cut_is_region_legal(ffr, v, &internal),
-                None => cut_is_fanout_legal(self.old, v, &internal, &self.fanout),
-            };
-            if !legal {
-                continue;
-            }
-            let Some(repl) =
-                Replacement::prepare(cut, self.engine.database(), self.engine.canonizer())
-            else {
-                continue;
-            };
-            let gain = internal.len() as i32 - repl.db_size as i32;
-            if gain < 1 {
-                continue;
-            }
-            if self.depth_preserving {
-                let est = repl.estimated_level(cut, |pos| self.levels[cut.leaves()[pos] as usize]);
-                if est > self.levels[v as usize] + self.engine.config().allowed_depth_increase {
-                    continue;
-                }
-            }
-            let est_level =
-                repl.estimated_level(cut, |pos| self.levels[cut.leaves()[pos] as usize]);
-            // Prefer larger gain, then lower resulting level, then a
-            // shallower database template.
-            let better = match &best {
-                None => true,
-                Some((_, b)) => (
-                    gain,
-                    std::cmp::Reverse(est_level),
-                    std::cmp::Reverse(repl.db_depth),
-                )
-                    .cmp(&(
-                        b.gain,
-                        std::cmp::Reverse(b.est_level),
-                        std::cmp::Reverse(b.repl.db_depth),
-                    ))
-                    .is_gt(),
-            };
-            if better {
-                best = Some((
-                    *cut,
-                    ScoredReplacement {
-                        repl,
-                        gain,
-                        est_level,
-                    },
-                ));
-            }
-        }
-        best
+    /// Line 3 of Algorithm 1: the legal cut with the best size reduction,
+    /// judged against the original graph's precomputed levels.
+    fn select_cut(&self, v: NodeId) -> Option<ScoredCut> {
+        select_best_cut(
+            self.engine,
+            self.old,
+            v,
+            self.cuts.of(v),
+            self.ffr.as_ref(),
+            self.depth_preserving,
+            |n| self.levels[n as usize],
+        )
     }
-}
-
-pub(crate) struct ScoredReplacement {
-    pub repl: Replacement,
-    pub gain: i32,
-    pub est_level: u32,
 }

@@ -1,0 +1,197 @@
+//! Differential property tests: the in-place engine must match the
+//! rebuild-based reference engine — identical output truth tables (both
+//! equal to the input's) and never more gates — over random MIGs, random
+//! pass sequences, and to-convergence runs, with SAT-proved CEC spot
+//! checks on instances too wide for exhaustive simulation.
+//!
+//! (Randomized with the workspace's deterministic `testrand` generator —
+//! the container has no network access for a `proptest` dependency.)
+
+use fhash::{FunctionalHashing, Variant};
+use mig::{Mig, Signal};
+use std::sync::OnceLock;
+use testrand::Rng;
+
+fn engine() -> &'static FunctionalHashing {
+    static ENGINE: OnceLock<FunctionalHashing> = OnceLock::new();
+    ENGINE.get_or_init(FunctionalHashing::with_default_database)
+}
+
+fn random_build(rng: &mut Rng, num_inputs: usize, num_steps: usize, outs: usize) -> Mig {
+    let mut m = Mig::new(num_inputs);
+    let mut sigs: Vec<Signal> = vec![Signal::ZERO];
+    for i in 0..num_inputs {
+        sigs.push(m.input(i));
+    }
+    for _ in 0..num_steps {
+        let pick = |sigs: &[Signal], rng: &mut Rng| {
+            sigs[rng.usize_below(sigs.len())].complement_if(rng.bool())
+        };
+        let (a, b, c) = (pick(&sigs, rng), pick(&sigs, rng), pick(&sigs, rng));
+        let g = m.maj(a, b, c);
+        sigs.push(g);
+    }
+    for k in 0..outs {
+        let s = sigs[sigs.len() - 1 - (k % sigs.len())];
+        m.add_output(s.complement_if(k % 2 == 1));
+    }
+    m
+}
+
+#[test]
+fn inplace_matches_rebuild_on_random_migs() {
+    let mut rng = Rng::new(0x1F_ACE0_0001);
+    for case in 0..24 {
+        let num_inputs = rng.range(1, 7);
+        let steps = rng.range(1, 60);
+        let outs = rng.range(1, 4);
+        let m = random_build(&mut rng, num_inputs, steps, outs);
+        let want = m.output_truth_tables();
+        for v in Variant::ALL {
+            let rebuild = engine().run_rebuild(&m, v);
+            let mut inplace = m.clone();
+            engine().run_in_place(&mut inplace, v);
+            assert_eq!(
+                inplace.output_truth_tables(),
+                want,
+                "case {case} variant {v}: in-place changed the function"
+            );
+            assert_eq!(
+                rebuild.output_truth_tables(),
+                want,
+                "case {case} variant {v}: rebuild changed the function"
+            );
+            assert!(
+                inplace.num_gates() <= rebuild.num_gates(),
+                "case {case} variant {v}: in-place larger than rebuild ({} > {})",
+                inplace.num_gates(),
+                rebuild.num_gates()
+            );
+        }
+    }
+}
+
+#[test]
+fn random_pass_sequences_match_rebuild_chains() {
+    // Apply the same random sequence of variants once as chained in-place
+    // mutations of one graph and once as chained rebuilds; both must keep
+    // the input function, and the in-place chain must not end up larger.
+    let mut rng = Rng::new(0x1F_ACE0_0002);
+    for case in 0..12 {
+        let num_inputs = rng.range(1, 7);
+        let steps = rng.range(5, 50);
+        let m = random_build(&mut rng, num_inputs, steps, 2);
+        let want = m.output_truth_tables();
+        let seq_len = rng.range(2, 5);
+        let seq: Vec<Variant> = (0..seq_len)
+            .map(|_| Variant::ALL[rng.usize_below(Variant::ALL.len())])
+            .collect();
+        let mut inplace = m.clone();
+        let mut rebuild = m.clone();
+        for &v in &seq {
+            engine().run_in_place(&mut inplace, v);
+            rebuild = engine().run_rebuild(&rebuild, v);
+        }
+        assert_eq!(
+            inplace.output_truth_tables(),
+            want,
+            "case {case} sequence {seq:?}: in-place chain changed the function"
+        );
+        assert!(
+            inplace.num_gates() <= rebuild.num_gates(),
+            "case {case} sequence {seq:?}: in-place chain larger ({} > {})",
+            inplace.num_gates(),
+            rebuild.num_gates()
+        );
+    }
+}
+
+#[test]
+fn convergence_never_worse_than_single_pass() {
+    let mut rng = Rng::new(0x1F_ACE0_0003);
+    for case in 0..12 {
+        let num_inputs = rng.range(2, 7);
+        let steps = rng.range(5, 60);
+        let m = random_build(&mut rng, num_inputs, steps, 2);
+        let want = m.output_truth_tables();
+        for v in [Variant::TopDown, Variant::BottomUp] {
+            let single = engine().run(&m, v);
+            let mut conv = m.clone();
+            let (_, rounds) = engine().run_converge(&mut conv, v, 50);
+            assert!((1..=50).contains(&rounds), "case {case}: {rounds} rounds");
+            assert_eq!(
+                conv.output_truth_tables(),
+                want,
+                "case {case} variant {v}: convergence changed the function"
+            );
+            assert!(
+                conv.num_gates() <= single.num_gates(),
+                "case {case} variant {v}: convergence worse than one pass ({} > {})",
+                conv.num_gates(),
+                single.num_gates()
+            );
+        }
+    }
+}
+
+#[test]
+fn wide_adder_proved_equivalent_by_sat() {
+    // 20 inputs — beyond exhaustive simulation, so the check is a SAT
+    // miter proof over the workspace CDCL solver.
+    let w = 10;
+    let mut m = Mig::new(2 * w);
+    let mut carry = Signal::ZERO;
+    for i in 0..w {
+        let a = m.input(i);
+        let b = m.input(w + i);
+        let (s, c) = m.full_adder(a, b, carry);
+        m.add_output(s);
+        carry = c;
+    }
+    m.add_output(carry);
+    for v in [Variant::TopDown, Variant::BottomUp, Variant::BottomUpFfr] {
+        let mut opt = m.clone();
+        engine().run_converge(&mut opt, v, 10);
+        assert_eq!(
+            cec::prove_equivalent(&m, &opt, None),
+            cec::CecResult::Equivalent,
+            "variant {v}: SAT miter refuted the in-place convergence result"
+        );
+    }
+}
+
+#[test]
+fn inplace_results_pass_managed_network_audit() {
+    // The replacement loop audits invariants after every substitution in
+    // debug builds; this re-audits the final graphs explicitly so the
+    // check also runs under `--release` test runs.
+    let mut rng = Rng::new(0x1F_ACE0_0004);
+    for _ in 0..8 {
+        let ni = rng.range(2, 7);
+        let steps = rng.range(5, 50);
+        let m = random_build(&mut rng, ni, steps, 2);
+        for v in Variant::ALL {
+            let mut opt = m.clone();
+            engine().run_in_place(&mut opt, v);
+            opt.debug_check();
+            // No dangling gates survive the pass's sweep: every gate is
+            // referenced, transitively, from some output.
+            let live: std::collections::HashSet<_> = {
+                let mut seen = std::collections::HashSet::new();
+                let mut stack: Vec<_> = opt.outputs().iter().map(|o| o.node()).collect();
+                while let Some(n) = stack.pop() {
+                    if opt.is_terminal(n) || !seen.insert(n) {
+                        continue;
+                    }
+                    for s in opt.fanins(n) {
+                        stack.push(s.node());
+                    }
+                }
+                seen
+            };
+            for g in opt.gates() {
+                assert!(live.contains(&g), "gate {g} dangling after sweep");
+            }
+        }
+    }
+}

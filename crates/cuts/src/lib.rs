@@ -14,6 +14,13 @@
 //! which is what the functional-hashing engine canonizes and looks up in
 //! the NPN database. Per-node cut lists are bounded (priority cuts, see
 //! paper ref \[11\]) and dominated cuts are filtered.
+//!
+//! The [`CutSet`] supports *incremental invalidation* for in-place
+//! rewriting: [`CutSet::refresh`] drains the graph's structural-change log
+//! and marks only the changed nodes and their transitive fanout stale;
+//! [`CutSet::of_updated`] recomputes stale lists on demand, so after a
+//! local rewrite only the affected region is re-enumerated instead of the
+//! whole graph.
 
 use mig::{Mig, NodeId, Signal};
 
@@ -169,59 +176,97 @@ impl Default for CutConfig {
     }
 }
 
-/// All cuts of every node of an MIG.
+/// All cuts of every node of an MIG, with per-node invalidation.
 #[derive(Debug)]
 pub struct CutSet {
     cuts: Vec<Vec<Cut>>,
+    /// Whether `cuts[n]` reflects the current graph structure.
+    valid: Vec<bool>,
+    config: CutConfig,
+    num_inputs: usize,
 }
 
 impl CutSet {
     /// The cuts enumerated for node `n` (trivial cut first for gates).
+    ///
+    /// Only meaningful while `n`'s list is up to date — after in-place
+    /// rewrites, use [`CutSet::refresh`] + [`CutSet::of_updated`].
     pub fn of(&self, n: NodeId) -> &[Cut] {
+        debug_assert!(self.valid[n as usize], "stale cut list for node {n}");
         &self.cuts[n as usize]
     }
-}
 
-/// Enumerates all k-feasible cuts of `mig` under `config`.
-///
-/// # Panics
-///
-/// Panics if `config.cut_size` is outside `2..=MAX_CUT_SIZE`.
-///
-/// # Examples
-///
-/// ```
-/// use cuts::{enumerate_cuts, CutConfig};
-/// use mig::Mig;
-///
-/// let mut m = Mig::new(3);
-/// let (a, b, c) = (m.input(0), m.input(1), m.input(2));
-/// let g = m.maj(a, b, c);
-/// m.add_output(g);
-/// let cuts = enumerate_cuts(&m, &CutConfig::default());
-/// // The non-trivial cut {a, b, c} computes 3-input majority (0xe8).
-/// let best = cuts.of(g.node()).iter().find(|c| c.len() == 3).unwrap();
-/// assert_eq!(best.truth_table(), 0xe8);
-/// ```
-pub fn enumerate_cuts(mig: &Mig, config: &CutConfig) -> CutSet {
-    assert!(
-        (2..=MAX_CUT_SIZE).contains(&config.cut_size),
-        "cut size {} out of range",
-        config.cut_size
-    );
-    let k = config.cut_size;
-    let mut all: Vec<Vec<Cut>> = Vec::with_capacity(mig.num_nodes());
-    // Constant node: the empty cut.
-    all.push(vec![Cut::constant()]);
-    for i in 0..mig.num_inputs() {
-        all.push(vec![Cut::trivial(mig.input(i).node())]);
+    /// Drains the graph's structural-change log and invalidates the cut
+    /// lists of every changed node and its transitive fanout. Cost is
+    /// proportional to the affected region, not the graph.
+    pub fn refresh(&mut self, mig: &mut Mig) {
+        let n = mig.num_nodes();
+        if self.cuts.len() < n {
+            self.cuts.resize(n, Vec::new());
+            self.valid.resize(n, false);
+        }
+        let dirty = mig.drain_dirty();
+        let mut stack: Vec<NodeId> = dirty;
+        while let Some(v) = stack.pop() {
+            if !self.valid[v as usize] {
+                continue; // this node's fanout was already invalidated
+            }
+            self.valid[v as usize] = false;
+            self.cuts[v as usize].clear();
+            for p in mig.fanout_gates(v) {
+                stack.push(p);
+            }
+        }
     }
-    for g in mig.gates() {
-        let [fa, fb, fc] = mig.fanins(g);
+
+    /// The cuts of `n`, recomputing the list (and, recursively, any stale
+    /// fanin lists) if a rewrite invalidated it.
+    pub fn of_updated(&mut self, mig: &Mig, n: NodeId) -> &[Cut] {
+        if !self.valid[n as usize] {
+            let mut stack = vec![n];
+            while let Some(&v) = stack.last() {
+                if self.valid[v as usize] {
+                    stack.pop();
+                    continue;
+                }
+                let mut ready = true;
+                if mig.is_gate(v) {
+                    for s in mig.fanins(v) {
+                        let m = s.node();
+                        if !self.valid[m as usize] {
+                            ready = false;
+                            stack.push(m);
+                        }
+                    }
+                }
+                if !ready {
+                    continue;
+                }
+                stack.pop();
+                self.cuts[v as usize] = self.compute_node(mig, v);
+                self.valid[v as usize] = true;
+            }
+        }
+        &self.cuts[n as usize]
+    }
+
+    /// Computes the cut list of one node from its (valid) fanin lists.
+    fn compute_node(&self, mig: &Mig, v: NodeId) -> Vec<Cut> {
+        if v == 0 {
+            return vec![Cut::constant()];
+        }
+        if (v as usize) <= self.num_inputs {
+            return vec![Cut::trivial(v)];
+        }
+        if !mig.is_gate(v) {
+            return Vec::new(); // dead slot
+        }
+        let k = self.config.cut_size;
+        let [fa, fb, fc] = mig.fanins(v);
         let mut res: Vec<Cut> = Vec::new();
-        for ca in &all[fa.node() as usize] {
-            for cb in &all[fb.node() as usize] {
-                'next: for cc in &all[fc.node() as usize] {
+        for ca in &self.cuts[fa.node() as usize] {
+            for cb in &self.cuts[fb.node() as usize] {
+                'next: for cc in &self.cuts[fc.node() as usize] {
                     let Some(mut merged) = Cut::merge_leaves(ca, cb, cc, k) else {
                         continue;
                     };
@@ -255,12 +300,56 @@ pub fn enumerate_cuts(mig: &Mig, config: &CutConfig) -> CutSet {
         }
         // Priority: fewer leaves first; stable beyond that.
         res.sort_by_key(|c| c.len);
-        res.truncate(config.max_cuts.saturating_sub(1));
+        res.truncate(self.config.max_cuts.saturating_sub(1));
         // The trivial cut is always available (needed by parents).
-        res.insert(0, Cut::trivial(g));
-        all.push(res);
+        res.insert(0, Cut::trivial(v));
+        res
     }
-    CutSet { cuts: all }
+}
+
+/// Enumerates all k-feasible cuts of `mig` under `config`.
+///
+/// # Panics
+///
+/// Panics if `config.cut_size` is outside `2..=MAX_CUT_SIZE`.
+///
+/// # Examples
+///
+/// ```
+/// use cuts::{enumerate_cuts, CutConfig};
+/// use mig::Mig;
+///
+/// let mut m = Mig::new(3);
+/// let (a, b, c) = (m.input(0), m.input(1), m.input(2));
+/// let g = m.maj(a, b, c);
+/// m.add_output(g);
+/// let cuts = enumerate_cuts(&m, &CutConfig::default());
+/// // The non-trivial cut {a, b, c} computes 3-input majority (0xe8).
+/// let best = cuts.of(g.node()).iter().find(|c| c.len() == 3).unwrap();
+/// assert_eq!(best.truth_table(), 0xe8);
+/// ```
+pub fn enumerate_cuts(mig: &Mig, config: &CutConfig) -> CutSet {
+    assert!(
+        (2..=MAX_CUT_SIZE).contains(&config.cut_size),
+        "cut size {} out of range",
+        config.cut_size
+    );
+    let n = mig.num_nodes();
+    let mut set = CutSet {
+        cuts: vec![Vec::new(); n],
+        valid: vec![true; n],
+        config: *config,
+        num_inputs: mig.num_inputs(),
+    };
+    set.cuts[0] = vec![Cut::constant()];
+    for i in 0..mig.num_inputs() {
+        let node = mig.input(i).node();
+        set.cuts[node as usize] = vec![Cut::trivial(node)];
+    }
+    for g in mig.topo_gates() {
+        set.cuts[g as usize] = set.compute_node(mig, g);
+    }
+    set
 }
 
 fn mask(vars: usize) -> u64 {
@@ -525,6 +614,51 @@ mod tests {
         for g in m.gates() {
             assert!(cs.of(g).len() <= 3);
         }
+    }
+
+    #[test]
+    fn incremental_refresh_matches_full_enumeration() {
+        // Build, enumerate, rewrite in place, refresh incrementally and
+        // compare against a from-scratch enumeration of the new graph.
+        let mut m = Mig::new(4);
+        let (a, b, c, d) = (m.input(0), m.input(1), m.input(2), m.input(3));
+        let g1 = m.xor(a, b);
+        let g2 = m.maj(g1, c, d);
+        let g3 = m.maj(g2, g1, !a);
+        m.add_output(g3);
+        let cfg = CutConfig::default();
+        let _ = m.drain_dirty();
+        let mut cs = enumerate_cuts(&m, &cfg);
+        // Replace g1 by a fresh equivalent-for-bookkeeping node.
+        let fresh = m.maj(a, !b, d);
+        assert!(m.replace_node(g1.node(), fresh));
+        cs.refresh(&mut m);
+        let full = enumerate_cuts(&m, &cfg);
+        for g in m.gates() {
+            let inc = cs.of_updated(&m, g).to_vec();
+            assert_eq!(inc, full.of(g).to_vec(), "cuts of gate {g} diverged");
+        }
+    }
+
+    #[test]
+    fn refresh_only_invalidates_affected_fanout() {
+        let mut m = Mig::new(5);
+        let ins: Vec<Signal> = m.inputs().collect();
+        let left = m.maj(ins[0], ins[1], ins[2]); // untouched region
+        let right = m.xor(ins[3], ins[4]);
+        let top = m.maj(left, right, ins[0]);
+        m.add_output(top);
+        let _ = m.drain_dirty();
+        let mut cs = enumerate_cuts(&m, &CutConfig::default());
+        let fresh = m.maj(ins[3], !ins[4], ins[0]);
+        assert!(m.replace_node(right.node(), fresh));
+        cs.refresh(&mut m);
+        // The untouched region's cuts are still valid and served as-is.
+        assert!(
+            cs.valid[left.node() as usize],
+            "left region not invalidated"
+        );
+        assert!(!cs.valid[top.node() as usize], "fanout of rewrite is stale");
     }
 
     #[test]

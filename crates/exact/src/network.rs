@@ -203,7 +203,7 @@ impl Network {
     /// Panics if the operator is not `Maj3`.
     pub fn to_mig(&self) -> Mig {
         let mut m = Mig::new(self.num_inputs);
-        let leaves: Vec<Signal> = m.inputs();
+        let leaves: Vec<Signal> = m.inputs().collect();
         let out = self.instantiate(&mut m, &leaves);
         m.add_output(out);
         m

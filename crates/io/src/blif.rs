@@ -411,7 +411,7 @@ impl Blif {
                 cover: Vec::new(),
             });
         }
-        for g in mig.gates() {
+        for g in mig.topo_gates() {
             let fanins = mig.fanins(g);
             // Majority cover {11-, 1-1, -11}, with a column flipped for
             // each complemented fanin.
@@ -565,7 +565,7 @@ mod tests {
         // so the round trip preserves the gate count, not just the
         // function.
         let mut m = Mig::new(4);
-        let ins = m.inputs();
+        let ins: Vec<_> = m.inputs().collect();
         let (s1, c1) = m.full_adder(ins[0], ins[1], ins[2]);
         let (s2, c2) = m.full_adder(s1, ins[3], !c1);
         m.add_output(s2);

@@ -28,12 +28,13 @@ impl FfrPartition {
     /// region of its unique parent.
     pub fn compute(mig: &Mig) -> Self {
         let n = mig.num_nodes();
+        let topo = mig.topo_gates();
         let mut gate_refs = vec![0u32; n];
         let mut out_ref = vec![false; n];
         // The unique gate parent of single-fanout nodes (valid only when
         // gate_refs == 1).
         let mut parent = vec![0 as NodeId; n];
-        for g in mig.gates() {
+        for &g in &topo {
             for s in mig.fanins(g) {
                 // A normalized gate never references the same node twice,
                 // so this counts distinct parent edges.
@@ -49,7 +50,7 @@ impl FfrPartition {
         let mut roots = Vec::new();
         // Reverse topological order: parents are visited before children,
         // so a child can inherit its parent's region root directly.
-        for g in mig.gates().collect::<Vec<_>>().into_iter().rev() {
+        for &g in topo.iter().rev() {
             let gi = g as usize;
             let is_root = out_ref[gi] || gate_refs[gi] != 1;
             if is_root {
@@ -58,7 +59,7 @@ impl FfrPartition {
                 region_root[gi] = region_root[parent[gi] as usize];
             }
         }
-        for g in mig.gates() {
+        for &g in &topo {
             if region_root[g as usize] == g {
                 roots.push(g);
             }
@@ -66,14 +67,16 @@ impl FfrPartition {
         FfrPartition { region_root, roots }
     }
 
-    /// The root of the region containing `n`.
+    /// The root of the region containing `n`. Nodes created after the
+    /// partition was computed map to themselves (their own region), so
+    /// region-legality checks treat them as foreign.
     pub fn root_of(&self, n: NodeId) -> NodeId {
-        self.region_root[n as usize]
+        self.region_root.get(n as usize).copied().unwrap_or(n)
     }
 
     /// Whether `n` is a region root.
     pub fn is_root(&self, n: NodeId) -> bool {
-        self.region_root[n as usize] == n
+        self.root_of(n) == n
     }
 
     /// All region roots in topological order.

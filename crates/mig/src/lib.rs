@@ -5,10 +5,13 @@
 //! ternary majority gates with complemented edges, primary inputs and the
 //! constant 0 as terminals, and (possibly complemented) output pointers.
 //!
-//! * [`Mig`] — append-only construction with structural hashing and
-//!   majority-axiom normalization, word-parallel and truth-table
-//!   simulation, levels/depth, fanout counts, dangling-node cleanup, DOT
-//!   export;
+//! * [`Mig`] — a *managed network*: structural hashing with
+//!   majority-axiom normalization, per-node fanout reference lists, a
+//!   dead-slot free list, in-place node substitution
+//!   ([`Mig::replace_node`]) with recursive dereference and
+//!   strash-consistent merging, incrementally maintained levels,
+//!   word-parallel and truth-table simulation, topological iteration
+//!   ([`Mig::topo_gates`]), sweep/cleanup, DOT export;
 //! * [`Signal`] — complement-edge node references;
 //! * [`FfrPartition`] — fanout-free-region partitioning (paper §IV-C).
 //!

@@ -119,7 +119,9 @@ fn strash_invariants_hold() {
         let (m, _) = build(num_inputs, &steps);
         for g in m.gates() {
             let f = m.fanins(g);
-            // Fanins precede the gate (topological index order).
+            // Fanins precede the gate during append-only construction
+            // (slot order is only guaranteed topological until the first
+            // in-place replacement).
             for s in f {
                 assert!(s.node() < g, "case {case}");
             }

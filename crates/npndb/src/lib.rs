@@ -255,7 +255,7 @@ pub fn shannon_mig(f: &TruthTable, db: &Database) -> Mig {
     let n = f.num_vars();
     assert!(n >= 4, "shannon_mig needs at least 4 variables");
     let mut m = Mig::new(n);
-    let leaves: Vec<Signal> = m.inputs();
+    let leaves: Vec<Signal> = m.inputs().collect();
     let canon = truth::Npn4Canonizer::new();
     let out = shannon_rec(f, db, &canon, &mut m, &leaves);
     m.add_output(out);
@@ -405,7 +405,7 @@ mod tests {
         // Functions in the orbits of the tiny database classes.
         for f in [0x8000u16, 0x0001, 0x7fff, 0xaaaa, 0x5555, 0x6996, 0x9669] {
             let mut m = Mig::new(4);
-            let leaves = m.inputs();
+            let leaves: Vec<_> = m.inputs().collect();
             let out = instantiate_via_npn(f, &db, &mut m, &leaves);
             m.add_output(out);
             assert_eq!(m.output_truth_tables()[0].as_u16(), f, "function {f:04x}");
@@ -525,7 +525,7 @@ mod embedded_tests {
         for _ in 0..200 {
             f = f.wrapping_mul(0x6487).wrapping_add(0x3619);
             let mut m = Mig::new(4);
-            let leaves = m.inputs();
+            let leaves: Vec<_> = m.inputs().collect();
             let out = instantiate_via_npn(f, &db, &mut m, &leaves);
             m.add_output(out);
             assert_eq!(m.output_truth_tables()[0].as_u16(), f, "f = {f:04x}");

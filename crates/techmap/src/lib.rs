@@ -115,6 +115,7 @@ pub fn map_luts(mig: &Mig, config: &MapConfig) -> Mapping {
         },
     );
     let n = mig.num_nodes();
+    let topo = mig.topo_gates();
     let refs: Vec<f64> = mig
         .fanout_counts()
         .iter()
@@ -125,13 +126,13 @@ pub fn map_luts(mig: &Mig, config: &MapConfig) -> Mapping {
     let mut arrival = vec![0u32; n];
     let mut flow = vec![0.0f64; n];
     let mut choice: Vec<Option<usize>> = vec![None; n];
-    depth_pass(mig, &cuts, &refs, &mut arrival, &mut flow, &mut choice);
+    depth_pass(&topo, &cuts, &refs, &mut arrival, &mut flow, &mut choice);
 
     // Passes 2..: area recovery under required times.
     for _ in 0..config.area_rounds {
-        let required = required_times(mig, &arrival);
+        let required = required_times(mig, &topo, &arrival);
         area_pass(
-            mig,
+            &topo,
             &cuts,
             &refs,
             &required,
@@ -141,18 +142,18 @@ pub fn map_luts(mig: &Mig, config: &MapConfig) -> Mapping {
         );
     }
 
-    extract_cover(mig, &cuts, &choice, &arrival)
+    extract_cover(mig, &topo, &cuts, &choice, &arrival)
 }
 
 fn depth_pass(
-    mig: &Mig,
+    topo: &[NodeId],
     cuts: &CutSet,
     refs: &[f64],
     arrival: &mut [u32],
     flow: &mut [f64],
     choice: &mut [Option<usize>],
 ) {
-    for g in mig.gates() {
+    for &g in topo {
         let mut best: Option<(u32, f64, usize)> = None;
         for (ci, cut) in cuts.of(g).iter().enumerate() {
             if cut.len() == 1 && cut.leaves()[0] == g {
@@ -181,7 +182,7 @@ fn depth_pass(
     }
 }
 
-fn required_times(mig: &Mig, arrival: &[u32]) -> Vec<u32> {
+fn required_times(mig: &Mig, topo: &[NodeId], arrival: &[u32]) -> Vec<u32> {
     let target = mig
         .outputs()
         .iter()
@@ -193,7 +194,7 @@ fn required_times(mig: &Mig, arrival: &[u32]) -> Vec<u32> {
         req[o.node() as usize] = target;
     }
     // Conservative reverse propagation along structural edges.
-    for g in mig.gates().collect::<Vec<_>>().into_iter().rev() {
+    for &g in topo.iter().rev() {
         let r = req[g as usize];
         if r == u32::MAX {
             continue;
@@ -210,7 +211,7 @@ fn required_times(mig: &Mig, arrival: &[u32]) -> Vec<u32> {
 
 #[allow(clippy::too_many_arguments)]
 fn area_pass(
-    mig: &Mig,
+    topo: &[NodeId],
     cuts: &CutSet,
     refs: &[f64],
     required: &[u32],
@@ -218,7 +219,7 @@ fn area_pass(
     flow: &mut [f64],
     choice: &mut [Option<usize>],
 ) {
-    for g in mig.gates() {
+    for &g in topo {
         let mut best: Option<(f64, u32, usize)> = None;
         for (ci, cut) in cuts.of(g).iter().enumerate() {
             if cut.len() == 1 && cut.leaves()[0] == g {
@@ -251,7 +252,13 @@ fn area_pass(
     }
 }
 
-fn extract_cover(mig: &Mig, cuts: &CutSet, choice: &[Option<usize>], arrival: &[u32]) -> Mapping {
+fn extract_cover(
+    mig: &Mig,
+    topo: &[NodeId],
+    cuts: &CutSet,
+    choice: &[Option<usize>],
+    arrival: &[u32],
+) -> Mapping {
     let mut needed = vec![false; mig.num_nodes()];
     let mut stack: Vec<NodeId> = mig
         .outputs()
@@ -278,7 +285,13 @@ fn extract_cover(mig: &Mig, cuts: &CutSet, choice: &[Option<usize>], arrival: &[
             tt: cut.truth_table(),
         });
     }
-    luts.sort_by_key(|l| l.root);
+    // Topological order of the roots (slot order is not topological after
+    // in-place rewriting).
+    let mut rank = vec![0usize; mig.num_nodes()];
+    for (i, &g) in topo.iter().enumerate() {
+        rank[g as usize] = i;
+    }
+    luts.sort_by_key(|l| rank[l.root as usize]);
     let depth = mig
         .outputs()
         .iter()
@@ -397,7 +410,7 @@ mod tests {
     #[test]
     fn area_recovery_never_worsens_depth() {
         let mut m = Mig::new(6);
-        let ins: Vec<Signal> = m.inputs();
+        let ins: Vec<Signal> = m.inputs().collect();
         let x1 = m.xor(ins[0], ins[1]);
         let x2 = m.xor(x1, ins[2]);
         let x3 = m.xor(x2, ins[3]);

@@ -39,7 +39,7 @@ fn main() {
 
     // Instantiate onto fresh inputs and verify.
     let mut m = Mig::new(4);
-    let leaves = m.inputs();
+    let leaves: Vec<_> = m.inputs().collect();
     let out = instantiate_via_npn(f, &db, &mut m, &leaves);
     m.add_output(out);
     assert_eq!(m.output_truth_tables()[0], TruthTable::from_u16(f));

@@ -17,18 +17,25 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== migopt smoke runs over benchmarks/ (exit code 2 = CEC failure)"
 # Every pipeline ends in `cec`: a counterexample makes migopt exit 2 and
-# fails CI here. Covers the in-place fhash variants and the fhash!
-# convergence pass on all checked-in circuits.
+# fails CI here. Covers the in-place fhash variants, the fhash!
+# convergence pass and the sharded @2 engine on all checked-in circuits.
 MIGOPT=./target/release/migopt
 for f in benchmarks/full_adder.aag benchmarks/adder8.aag \
          benchmarks/mult4.aig benchmarks/adder4.blif; do
     for p in "strash; fhash:T; cec" \
              "strash; fhash:TFD; fhash:B; cec" \
              "strash; algebraic; fhash!:B; cec" \
-             "strash; fhash!:TF; fhash!:B; cec; stats"; do
+             "strash; fhash!:TF; fhash!:B; cec; stats" \
+             "strash; fhash:T@2; fhash:TD@2; cec" \
+             "strash; fhash:TF@2; fhash:TFD@2; cec" \
+             "strash; fhash:BF@2; fhash:B@2; cec" \
+             "strash; fhash!:T@2; fhash!:B@2; cec; stats"; do
         echo "-- migopt -i $f -p \"$p\""
         "$MIGOPT" -q -i "$f" -p "$p"
     done
+    # The -j default applies to passes without an explicit @N suffix.
+    echo "-- migopt -j 2 -i $f (default-threads pipeline)"
+    "$MIGOPT" -q -j 2 -i "$f" -p "strash; fhash:TF; fhash:B; cec"
 done
 
 echo "== micro/io benches (refreshes BENCH_micro.json / BENCH_io.json)"

@@ -20,13 +20,20 @@
 //! | `algebraic[:N]`   | algebraic size+depth script, at most N rounds (default 2) |
 //! | `size`            | one algebraic size-rewriting round (Ω.D right-to-left) |
 //! | `depth`           | one algebraic depth-rewriting round (Ω.A / Ω.D) |
-//! | `fhash:V`         | in-place functional hashing, V ∈ {T, TD, TF, TFD, B, BF} |
-//! | `fhash!:V`        | functional hashing repeated until no replacement fires |
+//! | `fhash:V[@N]`     | in-place functional hashing, V ∈ {T, TD, TF, TFD, B, BF}, sharded over N worker threads |
+//! | `fhash!:V[@N]`    | functional hashing repeated until no replacement fires |
 //! | `balance`         | AIG tree-height reduction round-trip |
 //! | `rewrite`         | DAG-aware AIG cut rewriting round-trip |
 //! | `cec[:budget]`    | SAT-prove equivalence against the *input* circuit |
 //! | `map[:k]`         | k-LUT mapping report (does not change the MIG) |
 //! | `stats`           | print the current size/depth |
+//!
+//! An `fhash` pass without an explicit `@N` uses the pipeline's default
+//! thread count ([`run_pipeline_jobs`], the `migopt -j` flag); `@1`
+//! forces the serial in-place engine. Consecutive `fhash` passes share
+//! one incrementally maintained cut set (enumerated once, then only
+//! refreshed from the dirty log), which passes that rebuild the graph
+//! (`strash`, `balance`, `rewrite`, the algebraic passes) invalidate.
 
 use mig::Mig;
 use std::fmt;
@@ -43,12 +50,24 @@ pub enum Pass {
     SizeRewrite,
     /// A single depth-oriented algebraic rewriting round.
     DepthRewrite,
-    /// In-place functional hashing with the given paper variant.
-    Fhash(fhash::Variant),
+    /// In-place functional hashing with the given paper variant, sharded
+    /// over `threads` worker threads (`None`: the pipeline default; 1:
+    /// the serial engine).
+    Fhash {
+        /// The paper variant.
+        variant: fhash::Variant,
+        /// Worker threads (`@N` suffix); `None` uses the pipeline default.
+        threads: Option<usize>,
+    },
     /// Functional hashing repeated to convergence (no replacement fires
     /// or the size stops shrinking). Affordable because each round is
     /// in-place rewriting, not an O(n) rebuild per replacement.
-    FhashConverge(fhash::Variant),
+    FhashConverge {
+        /// The paper variant.
+        variant: fhash::Variant,
+        /// Worker threads (`@N` suffix); `None` uses the pipeline default.
+        threads: Option<usize>,
+    },
     /// AIG balancing round-trip (tree-height reduction).
     Balance,
     /// AIG DAG-aware cut rewriting round-trip.
@@ -69,8 +88,20 @@ impl fmt::Display for Pass {
             Pass::Algebraic { rounds } => write!(f, "algebraic:{rounds}"),
             Pass::SizeRewrite => write!(f, "size"),
             Pass::DepthRewrite => write!(f, "depth"),
-            Pass::Fhash(v) => write!(f, "fhash:{}", v.acronym()),
-            Pass::FhashConverge(v) => write!(f, "fhash!:{}", v.acronym()),
+            Pass::Fhash { variant, threads } => {
+                write!(f, "fhash:{}", variant.acronym())?;
+                if let Some(t) = threads {
+                    write!(f, "@{t}")?;
+                }
+                Ok(())
+            }
+            Pass::FhashConverge { variant, threads } => {
+                write!(f, "fhash!:{}", variant.acronym())?;
+                if let Some(t) = threads {
+                    write!(f, "@{t}")?;
+                }
+                Ok(())
+            }
             Pass::Balance => write!(f, "balance"),
             Pass::RewriteAig => write!(f, "rewrite"),
             Pass::Cec { budget: None } => write!(f, "cec"),
@@ -155,15 +186,34 @@ pub fn parse_pipeline(s: &str) -> Result<Vec<Pass>, PipelineParseError> {
                         "{name} needs a variant: one of T, TD, TF, TFD, B, BF"
                     )));
                 };
-                let v = fhash::Variant::from_acronym(a).ok_or_else(|| {
+                // `fhash:T@4`: optional worker-thread suffix.
+                let (vtext, threads) = match a.split_once('@') {
+                    None => (a, None),
+                    Some((v, t)) => {
+                        let t = t.trim().parse::<usize>().map_err(|_| {
+                            err(format!("thread count must be a number, got {t:?}"))
+                        })?;
+                        if t == 0 {
+                            return Err(err("thread count must be at least 1".to_string()));
+                        }
+                        (v.trim(), Some(t))
+                    }
+                };
+                let v = fhash::Variant::from_acronym(vtext).ok_or_else(|| {
                     err(format!(
-                        "unknown variant {a:?}: expected T, TD, TF, TFD, B or BF"
+                        "unknown variant {vtext:?}: expected T, TD, TF, TFD, B or BF"
                     ))
                 })?;
                 if name == "fhash!" {
-                    Pass::FhashConverge(v)
+                    Pass::FhashConverge {
+                        variant: v,
+                        threads,
+                    }
                 } else {
-                    Pass::Fhash(v)
+                    Pass::Fhash {
+                        variant: v,
+                        threads,
+                    }
                 }
             }
             "cec" => {
@@ -236,14 +286,40 @@ impl std::error::Error for PipelineError {}
 /// Runs a parsed pipeline on `input`, returning the final MIG and one
 /// report per executed pass. The `cec` pass always checks against the
 /// original `input`, regardless of how many passes ran before it.
+/// `fhash` passes without an `@N` suffix run single-threaded; see
+/// [`run_pipeline_jobs`] for a different default.
 ///
 /// # Errors
 ///
 /// [`PipelineError::NotEquivalent`] if a `cec` pass refutes equivalence.
 pub fn run_pipeline(input: &Mig, passes: &[Pass]) -> Result<(Mig, Vec<PassReport>), PipelineError> {
+    run_pipeline_jobs(input, passes, 1)
+}
+
+/// [`run_pipeline`] with a default worker-thread count for the `fhash`
+/// passes (the `migopt -j/--threads` flag). A pass's own `@N` suffix
+/// always wins over the default.
+///
+/// Consecutive serial `fhash` passes share one [`cuts::CutSet`]: it is
+/// enumerated on first use and afterwards only refreshed from the
+/// graph's dirty log on entry to each pass; passes that rebuild the
+/// graph wholesale drop it (node identities change).
+///
+/// # Errors
+///
+/// [`PipelineError::NotEquivalent`] if a `cec` pass refutes equivalence.
+pub fn run_pipeline_jobs(
+    input: &Mig,
+    passes: &[Pass],
+    default_threads: usize,
+) -> Result<(Mig, Vec<PassReport>), PipelineError> {
+    let default_threads = default_threads.max(1);
     let mut cur = input.clone();
     let mut reports = Vec::with_capacity(passes.len());
     let mut engine: Option<fhash::FunctionalHashing> = None;
+    // Cut lists carried across fhash passes; `None` whenever the current
+    // graph was rebuilt since the last enumeration.
+    let mut cut_cache: Option<cuts::CutSet> = None;
     for pass in passes {
         let size_before = cur.num_gates();
         let depth_before = cur.depth();
@@ -252,14 +328,17 @@ pub fn run_pipeline(input: &Mig, passes: &[Pass]) -> Result<(Mig, Vec<PassReport
         match pass {
             Pass::Strash => {
                 cur = cur.cleanup();
+                cut_cache = None;
             }
             Pass::Algebraic { rounds } => {
                 cur = migalg::optimize(&cur, *rounds);
+                cut_cache = None;
             }
             Pass::SizeRewrite => {
                 let (next, stats) = migalg::size_rewrite(&cur);
                 note = format!("{} merges", stats.merges);
                 cur = next;
+                cut_cache = None;
             }
             Pass::DepthRewrite => {
                 let (next, stats) = migalg::depth_rewrite(&cur);
@@ -268,23 +347,44 @@ pub fn run_pipeline(input: &Mig, passes: &[Pass]) -> Result<(Mig, Vec<PassReport
                     stats.assoc_moves, stats.distrib_moves
                 );
                 cur = next;
+                cut_cache = None;
             }
-            Pass::Fhash(v) => {
+            Pass::Fhash { variant, threads } => {
                 let e = engine.get_or_insert_with(fhash::FunctionalHashing::with_default_database);
-                let stats = e.run_in_place(&mut cur, *v);
+                let t = threads.unwrap_or(default_threads);
+                let stats = if t <= 1 {
+                    let mut cs = cut_cache.take().unwrap_or_else(|| {
+                        let _ = cur.drain_dirty();
+                        cuts::enumerate_cuts(&cur, &e.config().cut_config)
+                    });
+                    let stats = e.run_in_place_with_cuts(&mut cur, *variant, &mut cs);
+                    cut_cache = Some(cs);
+                    stats
+                } else {
+                    // The sharded engine drains the dirty log internally;
+                    // a carried cut set would go silently stale.
+                    cut_cache = None;
+                    e.run_sharded(&mut cur, *variant, t)
+                };
                 note = format!("{} replacements", stats.replacements);
             }
-            Pass::FhashConverge(v) => {
+            Pass::FhashConverge { variant, threads } => {
                 let e = engine.get_or_insert_with(fhash::FunctionalHashing::with_default_database);
-                let (stats, rounds) = e.run_converge(&mut cur, *v, 50);
+                let t = threads.unwrap_or(default_threads);
+                // The converge loop enumerates and drains the dirty log
+                // internally; a carried set would go silently stale.
+                cut_cache = None;
+                let (stats, rounds) = e.run_converge_threads(&mut cur, *variant, 50, t);
                 note = format!("{rounds} rounds, {} replacements", stats.replacements);
             }
             Pass::Balance => {
                 cur = aig::to_mig(&aig::balance(&aig::from_mig(&cur)));
+                cut_cache = None;
             }
             Pass::RewriteAig => {
                 let rewritten = aig::AigRewriter::default().rewrite(&aig::from_mig(&cur));
                 cur = aig::to_mig(&rewritten);
+                cut_cache = None;
             }
             Pass::Cec { budget } => {
                 // Fast necessary check first, then the SAT proof.
@@ -344,8 +444,20 @@ mod tests {
         assert_eq!(p.len(), 5);
         assert_eq!(p[0], Pass::Strash);
         assert_eq!(p[1], Pass::Algebraic { rounds: 2 });
-        assert_eq!(p[2], Pass::Fhash(fhash::Variant::TopDownFfrDepth));
-        assert_eq!(p[3], Pass::Fhash(fhash::Variant::BottomUp));
+        assert_eq!(
+            p[2],
+            Pass::Fhash {
+                variant: fhash::Variant::TopDownFfrDepth,
+                threads: None
+            }
+        );
+        assert_eq!(
+            p[3],
+            Pass::Fhash {
+                variant: fhash::Variant::BottomUp,
+                threads: None
+            }
+        );
         assert_eq!(p[4], Pass::Cec { budget: None });
     }
 
@@ -353,11 +465,17 @@ mod tests {
     fn grammar_args_and_case() {
         assert_eq!(
             parse_pipeline("fhash:tfd").unwrap(),
-            vec![Pass::Fhash(fhash::Variant::TopDownFfrDepth)]
+            vec![Pass::Fhash {
+                variant: fhash::Variant::TopDownFfrDepth,
+                threads: None
+            }]
         );
         assert_eq!(
             parse_pipeline("fhash!:b").unwrap(),
-            vec![Pass::FhashConverge(fhash::Variant::BottomUp)]
+            vec![Pass::FhashConverge {
+                variant: fhash::Variant::BottomUp,
+                threads: None
+            }]
         );
         assert_eq!(
             parse_pipeline("fhash!:B").unwrap()[0].to_string(),
@@ -373,6 +491,38 @@ mod tests {
         );
         // Empty segments are tolerated (trailing semicolons).
         assert_eq!(parse_pipeline("strash;;").unwrap(), vec![Pass::Strash]);
+    }
+
+    #[test]
+    fn grammar_thread_suffix() {
+        assert_eq!(
+            parse_pipeline("fhash:T@4").unwrap(),
+            vec![Pass::Fhash {
+                variant: fhash::Variant::TopDown,
+                threads: Some(4)
+            }]
+        );
+        assert_eq!(
+            parse_pipeline("fhash!:bf@2").unwrap(),
+            vec![Pass::FhashConverge {
+                variant: fhash::Variant::BottomUpFfr,
+                threads: Some(2)
+            }]
+        );
+        assert_eq!(
+            parse_pipeline("fhash:T@4").unwrap()[0].to_string(),
+            "fhash:T@4"
+        );
+        assert_eq!(
+            parse_pipeline("fhash!:B@8").unwrap()[0].to_string(),
+            "fhash!:B@8"
+        );
+        let e = parse_pipeline("fhash:T@x").unwrap_err();
+        assert!(e.message.contains("thread count"));
+        let e = parse_pipeline("fhash:T@0").unwrap_err();
+        assert!(e.message.contains("at least 1"));
+        let e = parse_pipeline("fhash:Q@2").unwrap_err();
+        assert!(e.message.contains("unknown variant"));
     }
 
     #[test]
@@ -429,6 +579,52 @@ mod tests {
             reports[0].note
         );
         assert!(reports[1].note.contains("equivalent"));
+    }
+
+    #[test]
+    fn pipeline_runs_sharded_fhash_passes() {
+        // A redundant xor chain; the sharded passes must shrink it and
+        // stay SAT-provably equivalent.
+        let mut m = Mig::new(4);
+        let (a, b, c, d) = (m.input(0), m.input(1), m.input(2), m.input(3));
+        let x = m.xor(a, b);
+        let y = m.xor(x, c);
+        let z = m.xor(y, d);
+        m.add_output(z);
+        let passes = parse_pipeline("fhash:T@4; fhash:B@2; cec; stats").unwrap();
+        let (out, reports) = run_pipeline_jobs(&m, &passes, 2).unwrap();
+        assert!(out.num_gates() < m.num_gates());
+        assert!(reports[2].note.contains("equivalent"));
+        // The default only applies where no @N was given.
+        assert_eq!(reports[0].pass, "fhash:T@4");
+        assert_eq!(reports[1].pass, "fhash:B@2");
+    }
+
+    #[test]
+    fn cut_cache_carried_across_passes_matches_fresh_enumeration() {
+        // The pipeline shares one cut set across consecutive serial
+        // fhash passes; the result must be identical to running each
+        // pass with a freshly enumerated set.
+        let mut m = Mig::new(4);
+        let (a, b, c, d) = (m.input(0), m.input(1), m.input(2), m.input(3));
+        let x = m.xor(a, b);
+        let y = m.xor(x, c);
+        let g = m.mux(d, y, x);
+        m.add_output(g);
+        m.add_output(y);
+        let passes = parse_pipeline("fhash:TF; fhash:T; fhash:B").unwrap();
+        let (cached, _) = run_pipeline(&m, &passes).unwrap();
+        let engine = fhash::FunctionalHashing::with_default_database();
+        let mut fresh = m.clone();
+        for v in [
+            fhash::Variant::TopDownFfr,
+            fhash::Variant::TopDown,
+            fhash::Variant::BottomUp,
+        ] {
+            engine.run_in_place(&mut fresh, v);
+        }
+        assert_eq!(cached.num_gates(), fresh.num_gates());
+        assert_eq!(cached.output_truth_tables(), fresh.output_truth_tables());
     }
 
     #[test]

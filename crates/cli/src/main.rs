@@ -8,14 +8,14 @@
 //! Exit codes: 0 success, 1 usage/parse/file errors, 2 equivalence
 //! failure (the `cec` pass found a counterexample).
 
-use cli::{parse_pipeline, run_pipeline, PassReport};
+use cli::{parse_pipeline, run_pipeline_jobs, PassReport};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
 migopt: MIG optimization pipeline driver
 
 USAGE:
-    migopt -i <input> [-p <pipeline>] [-o <output>] [--quiet]
+    migopt -i <input> [-p <pipeline>] [-o <output>] [-j <threads>] [--quiet]
 
 OPTIONS:
     -i, --input <file>     circuit to read (.aag, .aig or .blif)
@@ -23,12 +23,14 @@ OPTIONS:
     -p, --passes <spec>    ';'-separated pipeline, e.g.
                            \"strash; algebraic; fhash:TFD; fhash:B; cec\"
                            (default: \"stats\")
+    -j, --threads <N>      default worker threads for fhash passes
+                           without an explicit @N suffix (default: 1)
     -q, --quiet            suppress per-pass reporting
     -h, --help             show this help
 
 PASSES:
-    strash  algebraic[:N]  size  depth  fhash:{T,TD,TF,TFD,B,BF}
-    fhash!:{T,TD,TF,TFD,B,BF} (repeat to convergence)
+    strash  algebraic[:N]  size  depth  fhash:{T,TD,TF,TFD,B,BF}[@N]
+    fhash!:{T,TD,TF,TFD,B,BF}[@N] (repeat to convergence)
     balance  rewrite  cec[:budget]  map[:k]  stats
 ";
 
@@ -36,6 +38,7 @@ struct Args {
     input: String,
     output: Option<String>,
     passes: String,
+    threads: usize,
     quiet: bool,
 }
 
@@ -43,10 +46,20 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut input = None;
     let mut output = None;
     let mut passes = None;
+    let mut threads = 1usize;
     let mut quiet = false;
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "-j" | "--threads" => {
+                let t = it
+                    .next()
+                    .ok_or_else(|| format!("{arg} needs a thread count"))?;
+                threads =
+                    t.parse::<usize>().ok().filter(|&t| t >= 1).ok_or_else(|| {
+                        format!("thread count must be a positive number, got {t:?}")
+                    })?;
+            }
             "-i" | "--input" => {
                 input = Some(
                     it.next()
@@ -77,6 +90,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         input: input.ok_or("missing required -i <input>")?,
         output,
         passes: passes.unwrap_or_else(|| "stats".to_string()),
+        threads,
         quiet,
     })
 }
@@ -137,7 +151,7 @@ fn main() -> ExitCode {
             input.depth()
         );
     }
-    let (result, reports) = match run_pipeline(&input, &passes) {
+    let (result, reports) = match run_pipeline_jobs(&input, &passes, args.threads) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: {e}");

@@ -20,22 +20,26 @@
 use crate::bottomup::{candidate_cuts, gate_candidates, Build, Candidate};
 use crate::common::select_best_cut;
 use crate::{FhStats, FunctionalHashing};
-use cuts::enumerate_cuts;
+use cuts::CutSet;
 use mig::{FfrPartition, Mig, NodeId, Signal};
 use std::collections::HashSet;
 
 /// Algorithm 1, in place: walk from the outputs, replace the best legal
 /// cut of each visited node by its minimum database network, recur on the
 /// cut leaves (or the fanins when no profitable cut exists).
+///
+/// `cuts` may be carried over from a previous pass on the same graph
+/// (pipeline cut-cache persistence): the entry refresh drains the dirty
+/// log and re-enumerates only the invalidated lists.
 pub(crate) fn top_down(
     engine: &FunctionalHashing,
     mig: &mut Mig,
+    cuts: &mut CutSet,
     depth_preserving: bool,
     use_ffr: bool,
 ) -> FhStats {
     let mut stats = FhStats::default();
-    let _ = mig.drain_dirty();
-    let mut cuts = enumerate_cuts(mig, &engine.config().cut_config);
+    cuts.refresh(mig);
     let ffr = use_ffr.then(|| FfrPartition::compute(mig));
     let mut visited: HashSet<NodeId> = HashSet::new();
     // Traversal roots, mirroring the rebuild engine: FFR region roots in
@@ -102,10 +106,14 @@ pub(crate) fn top_down(
 /// graph being optimized (structural hashing shares them with the
 /// existing logic), outputs are rerouted to the best candidates, and the
 /// obsolete cones are swept.
-pub(crate) fn bottom_up(engine: &FunctionalHashing, mig: &mut Mig, use_ffr: bool) -> FhStats {
+pub(crate) fn bottom_up(
+    engine: &FunctionalHashing,
+    mig: &mut Mig,
+    cuts: &mut CutSet,
+    use_ffr: bool,
+) -> FhStats {
     let mut stats = FhStats::default();
-    let _ = mig.drain_dirty();
-    let cuts = enumerate_cuts(mig, &engine.config().cut_config);
+    cuts.refresh(mig);
     let ffr = use_ffr.then(|| FfrPartition::compute(mig));
     let refs: Vec<f64> = mig
         .fanout_counts()
@@ -132,8 +140,12 @@ pub(crate) fn bottom_up(engine: &FunctionalHashing, mig: &mut Mig, use_ffr: bool
         // the only difference is that candidates are built directly in
         // the graph being optimized, where structural hashing shares them
         // with the existing logic (the baseline usually returns `v`
-        // itself when nothing below improved).
-        let cut_choices = candidate_cuts(engine, mig, cuts.of(v), ffr.as_ref(), v);
+        // itself when nothing below improved). `of_updated` recomputes
+        // lists a carried-over cut set still holds as stale; the
+        // speculative nodes built along the way never need lists of
+        // their own (`topo` was captured on entry).
+        let list = cuts.of_updated(mig, v).to_vec();
+        let cut_choices = candidate_cuts(engine, mig, &list, ffr.as_ref(), v);
         let fanins = mig.fanins(v);
         let db = engine.database();
         let list = gate_candidates(

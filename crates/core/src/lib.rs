@@ -47,9 +47,10 @@
 mod bottomup;
 mod common;
 mod inplace;
+mod shard;
 mod topdown;
 
-use cuts::CutConfig;
+use cuts::{enumerate_cuts, CutConfig, CutSet};
 use mig::Mig;
 use npndb::Database;
 use truth::Npn4Canonizer;
@@ -220,14 +221,63 @@ impl FunctionalHashing {
     /// replacement costs O(affected region) instead of an O(n) rebuild.
     /// Dangling cones are swept before returning.
     pub fn run_in_place(&self, mig: &mut Mig, variant: Variant) -> FhStats {
+        let _ = mig.drain_dirty();
+        let mut cuts = enumerate_cuts(mig, &self.config.cut_config);
+        self.run_in_place_with_cuts(mig, variant, &mut cuts)
+    }
+
+    /// Like [`FunctionalHashing::run_in_place`], but reusing a caller-held
+    /// [`CutSet`] instead of enumerating from scratch. The cut set must
+    /// describe `mig` (same graph the set was enumerated over, possibly
+    /// mutated since — pending changes are consumed from the dirty log by
+    /// the entry refresh, which re-enumerates only the invalidated
+    /// lists). On return the set is consistent with the optimized graph
+    /// up to the final sweep (whose dirt the next refresh consumes), so a
+    /// pipeline can carry one cut set across consecutive passes.
+    pub fn run_in_place_with_cuts(
+        &self,
+        mig: &mut Mig,
+        variant: Variant,
+        cuts: &mut CutSet,
+    ) -> FhStats {
         match variant {
-            Variant::TopDown => inplace::top_down(self, mig, false, false),
-            Variant::TopDownDepth => inplace::top_down(self, mig, true, false),
-            Variant::TopDownFfr => inplace::top_down(self, mig, false, true),
-            Variant::TopDownFfrDepth => inplace::top_down(self, mig, true, true),
-            Variant::BottomUp => inplace::bottom_up(self, mig, false),
-            Variant::BottomUpFfr => inplace::bottom_up(self, mig, true),
+            Variant::TopDown => inplace::top_down(self, mig, cuts, false, false),
+            Variant::TopDownDepth => inplace::top_down(self, mig, cuts, true, false),
+            Variant::TopDownFfr => inplace::top_down(self, mig, cuts, false, true),
+            Variant::TopDownFfrDepth => inplace::top_down(self, mig, cuts, true, true),
+            Variant::BottomUp => inplace::bottom_up(self, mig, cuts, false),
+            Variant::BottomUpFfr => inplace::bottom_up(self, mig, cuts, true),
         }
+    }
+
+    /// Optimizes `mig` with the chosen variant on `threads` worker
+    /// threads (sharded propose/commit rewriting, see
+    /// [`FunctionalHashing::run_sharded`]). `threads <= 1` is the
+    /// degenerate case and routes through the single-threaded
+    /// [`FunctionalHashing::run_in_place`] engine.
+    pub fn run_threads(&self, mig: &mut Mig, variant: Variant, threads: usize) -> FhStats {
+        if threads <= 1 {
+            self.run_in_place(mig, variant)
+        } else {
+            self.run_sharded(mig, variant, threads)
+        }
+    }
+
+    /// Sharded in-place optimization: the graph is partitioned into
+    /// regions (FFR forest for the FFR-restricted variants, level bands
+    /// otherwise), worker threads *propose* replacements concurrently
+    /// over a frozen round snapshot (cut enumeration, NPN lookup and
+    /// candidate scoring are read-only), and a serial *commit* phase
+    /// applies non-conflicting proposals in stable region order through
+    /// the managed network's `replace_node`/strash path. Conflicted
+    /// proposals are regenerated the next round from the re-partitioned,
+    /// still-dirty regions; rounds repeat until no proposal commits.
+    ///
+    /// The result is deterministic for a fixed graph and thread count,
+    /// and functionally equivalent to the input (each commit is a
+    /// function-preserving local substitution).
+    pub fn run_sharded(&self, mig: &mut Mig, variant: Variant, threads: usize) -> FhStats {
+        shard::run_sharded(self, mig, variant, threads)
     }
 
     /// Runs [`FunctionalHashing::run_in_place`] to convergence: repeats
@@ -245,6 +295,20 @@ impl FunctionalHashing {
         variant: Variant,
         max_rounds: usize,
     ) -> (FhStats, usize) {
+        self.run_converge_threads(mig, variant, max_rounds, 1)
+    }
+
+    /// [`FunctionalHashing::run_converge`] over the sharded engine:
+    /// each round is a [`FunctionalHashing::run_threads`] pass with the
+    /// given worker count (`threads <= 1` reproduces `run_converge`
+    /// exactly). Useful for the `fhash!:V@N` pipeline pass.
+    pub fn run_converge_threads(
+        &self,
+        mig: &mut Mig,
+        variant: Variant,
+        max_rounds: usize,
+        threads: usize,
+    ) -> (FhStats, usize) {
         // Only the bottom-up variants can grow the graph (no per-commit
         // gain bound), so only they need a rollback snapshot; top-down
         // rounds strictly shrink or fire no replacement.
@@ -260,7 +324,7 @@ impl FunctionalHashing {
         while rounds < max_rounds {
             let before_size = mig.num_gates();
             let snapshot = (!monotone).then(|| mig.clone());
-            let stats = self.run_in_place(mig, variant);
+            let stats = self.run_threads(mig, variant, threads);
             rounds += 1;
             if stats.replacements == 0 {
                 break;

@@ -1,0 +1,665 @@
+//! Sharded in-place rewriting: parallel proposal, serial commit.
+//!
+//! The functional-hashing flow is local — a replacement touches a cut's
+//! cone and its fanout frontier — so the expensive part (cut enumeration,
+//! NPN canonization, database lookup, candidate scoring) can run
+//! concurrently over a *frozen* graph while only the cheap part (the
+//! actual `replace_node` substitutions) stays serial. Each round:
+//!
+//! 1. **Partition.** The live gates are carved into regions
+//!    ([`RegionPartition`]): whole fanout-free regions packed into
+//!    balanced shards for the FFR-restricted variants, horizontal level
+//!    bands for the whole-graph variants. The partition is recomputed
+//!    per round (a cheap linear pass), but only regions containing nodes
+//!    dirtied by the previous round's commits — or owning a conflicted
+//!    proposal — are re-proposed.
+//! 2. **Propose.** Worker threads (`std::thread::scope`, work-stealing
+//!    over the active region list) analyze their regions read-only.
+//!    Top-down variants select the best database replacement per gate
+//!    using shard-local cut lists ([`cuts::LocalCuts`]); bottom-up
+//!    variants extract the region into a standalone MIG, optimize it
+//!    with the rebuild engine and propose rerouting the region's
+//!    boundary gates onto the optimized implementation. Every proposal
+//!    records its *footprint*: the round-start nodes its analysis
+//!    depends on.
+//! 3. **Commit.** Proposals are applied in a stable region order
+//!    (regions descending — mirroring the serial top-down preference for
+//!    topmost replacements — then the worker's in-region order), so the
+//!    mutation sequence, and therefore the resulting netlist, is
+//!    bit-deterministic for a fixed input and thread count regardless of
+//!    worker scheduling. A proposal commits only if its footprint is
+//!    disjoint from everything dirtied earlier in the round (the
+//!    boundary-conflict resolution) and, for cut proposals, a live
+//!    re-check of fanout legality passes; otherwise its footprint is
+//!    marked stale and the owning region retries next round.
+//!
+//! Rounds repeat until no proposal commits. Every committed proposal
+//! carries an expected gain >= 1, so committing rounds strictly shrink
+//! the graph and the loop terminates; the non-monotone bottom-up
+//! variants additionally snapshot per round and roll back if a round
+//! fails to shrink (the same guard `run_converge` uses).
+
+use crate::common::{cut_is_fanout_legal, internal_nodes, select_best_cut, Replacement};
+use crate::{FhStats, FunctionalHashing, Variant};
+use cuts::{Cut, LocalCuts};
+use mig::{FfrPartition, Mig, NodeId, PartitionStrategy, RegionPartition, Signal};
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Regions per worker thread: over-partitioning smooths load imbalance
+/// between shards of unequal rewriting opportunity.
+const REGIONS_PER_THREAD: usize = 4;
+
+/// Minimum gates per region: small graphs are not fragmented below this
+/// (a sliver region sees too little context to find replacements, and
+/// the per-region overhead would dominate the work).
+const MIN_REGION_SIZE: usize = 24;
+
+/// Leaf horizon of the shard-local cut lists: nodes this many levels
+/// below a region's lowest member act as cut leaves. Bounds a worker's
+/// cut enumeration to its region's neighborhood instead of the whole
+/// transitive fanin cone; 4-feasible cuts rarely span more levels.
+const CUT_HORIZON: u32 = 8;
+
+/// Backstop on propose/commit rounds. Committing rounds strictly shrink
+/// the graph, so this is never the expected exit.
+const MAX_ROUNDS: usize = 64;
+
+enum ProposalKind {
+    /// Top-down: substitute `root` by the instantiation of the database
+    /// template `repl` over the leaves of `cut`.
+    Cut {
+        root: NodeId,
+        cut: Cut,
+        repl: Replacement,
+        /// The cut's internal cone (root first); re-checked for fanout
+        /// legality against the live graph at commit time.
+        internal: Vec<NodeId>,
+    },
+    /// Bottom-up: reroute each of the region's `boundary` gates to the
+    /// corresponding output of `sub`, an optimized standalone rebuild of
+    /// the region over the external `inputs` (boxed: a whole graph is
+    /// much larger than the cut-proposal payload).
+    Region {
+        sub: Box<Mig>,
+        inputs: Vec<NodeId>,
+        boundary: Vec<NodeId>,
+    },
+}
+
+struct Proposal {
+    kind: ProposalKind,
+    /// Expected gate-count gain (always >= 1).
+    gain: i32,
+    /// Round-start gates this proposal's analysis depends on. The commit
+    /// phase refuses the proposal if any of them was touched earlier in
+    /// the round.
+    footprint: Vec<NodeId>,
+}
+
+/// What happened to one round's proposals.
+#[derive(Debug, Default, PartialEq, Eq)]
+struct CommitOutcome {
+    /// Proposals applied (a region proposal counts once even when it
+    /// reroutes several boundary gates).
+    committed: usize,
+    /// Proposals refused by the footprint conflict check (their regions
+    /// retry next round).
+    conflicted: usize,
+    /// Individual substitutions performed.
+    replacements: u64,
+    /// Sum of expected gains of the committed proposals.
+    gain: i64,
+}
+
+pub(crate) fn run_sharded(
+    engine: &FunctionalHashing,
+    mig: &mut Mig,
+    variant: Variant,
+    threads: usize,
+) -> FhStats {
+    let threads = threads.max(1);
+    let bottom_up = matches!(variant, Variant::BottomUp | Variant::BottomUpFfr);
+    let depth_preserving = matches!(variant, Variant::TopDownDepth | Variant::TopDownFfrDepth);
+    let ffr_strategy = matches!(
+        variant,
+        Variant::TopDownFfr | Variant::TopDownFfrDepth | Variant::BottomUpFfr
+    );
+    let mut stats = FhStats::default();
+    if (threads * REGIONS_PER_THREAD).min(mig.num_gates() / MIN_REGION_SIZE) <= 1 {
+        // The graph is too small to shard: run the serial engine to its
+        // shrinking fixpoint instead (the single-shard degenerate case).
+        // Round one is exactly the serial pass, and later rounds are
+        // kept only when they shrink, so the result is never worse than
+        // the serial engine's.
+        serial_converge(engine, mig, variant, &mut stats);
+        return stats;
+    }
+    if bottom_up {
+        // The bottom-up candidate DP is global: candidate lists flow
+        // across every fanout boundary, which no disjoint partition can
+        // reproduce (regional runs come out a few gates short on
+        // structured arithmetic). So the quality baseline is one serial
+        // pass, and the parallel regional rounds below act as a
+        // refinement that is kept only when it shrinks the graph —
+        // making the sharded result never worse than the serial engine
+        // on any input.
+        let before = mig.num_gates();
+        let snapshot = mig.clone();
+        let serial_stats = engine.run_in_place(mig, variant);
+        if serial_stats.replacements > 0 && mig.num_gates() >= before {
+            *mig = snapshot;
+        } else {
+            stats.replacements += serial_stats.replacements;
+            stats.estimated_gain += serial_stats.estimated_gain;
+        }
+    }
+    // Sharded mode analyses regions in isolation: reclaim dangling cones
+    // first so they cannot pollute region membership, boundary sets and
+    // gain estimates, then consume the dirt so the per-round tracking
+    // starts clean.
+    mig.sweep();
+    let _ = mig.drain_dirty();
+    // Nodes whose regions must be re-proposed next round.
+    let mut stale: HashSet<NodeId> = HashSet::new();
+    let mut first_round = true;
+    for _ in 0..MAX_ROUNDS {
+        // Region count follows the *current* graph: as rewriting shrinks
+        // it, regions coalesce, so late rounds regain the context that a
+        // fine partition denies (a whole-graph region is the degenerate
+        // case, equal to the serial engine).
+        let max_regions = (threads * REGIONS_PER_THREAD)
+            .min(mig.num_gates() / MIN_REGION_SIZE)
+            .max(1);
+        // Re-partition (cheap linear pass over the live graph). The FFR
+        // view doubles as the §IV-C legality restriction for TF/TFD.
+        let (partition, ffr) = if ffr_strategy {
+            let f = FfrPartition::compute(mig);
+            let p = RegionPartition::from_ffr(mig, &f, max_regions);
+            (p, Some(f))
+        } else {
+            let p = RegionPartition::compute(mig, PartitionStrategy::LevelBands { max_regions });
+            (p, None)
+        };
+        let ffr_legal = if bottom_up { None } else { ffr.as_ref() };
+        // Active regions: everything on the first round, afterwards only
+        // the regions invalidated by commits or conflicts. Descending
+        // region order = topmost shards first, mirroring the serial
+        // top-down traversal; a `BTreeSet` makes the order independent
+        // of hash-set iteration.
+        let active: Vec<u32> = if first_round {
+            (0..partition.num_regions() as u32)
+                .filter(|&r| !partition.members(r).is_empty())
+                .rev()
+                .collect()
+        } else {
+            let set: BTreeSet<u32> = stale
+                .iter()
+                .filter_map(|&n| partition.region_of(n))
+                .collect();
+            set.into_iter().rev().collect()
+        };
+        first_round = false;
+        stale.clear();
+        if active.is_empty() {
+            break;
+        }
+
+        if bottom_up && partition.num_regions() <= 1 {
+            // Degenerate single-shard round: extraction would only
+            // relabel the whole graph (perturbing the candidate DP's
+            // tie-breaking for no benefit) — run the serial engine
+            // directly. This also makes small-graph sharded bottom-up
+            // bit-identical to the serial path.
+            let before = mig.num_gates();
+            let snapshot = mig.clone();
+            let round_stats = engine.run_in_place(mig, variant);
+            if round_stats.replacements == 0 {
+                break;
+            }
+            if mig.num_gates() >= before {
+                *mig = snapshot;
+                break;
+            }
+            stats.replacements += round_stats.replacements;
+            stats.estimated_gain += round_stats.estimated_gain;
+            for n in mig.drain_dirty() {
+                stale.insert(n);
+            }
+            continue;
+        }
+
+        // Propose phase: workers steal region indices off a shared
+        // counter; results land in per-region slots so the commit order
+        // is independent of scheduling.
+        let slots: Vec<Mutex<Vec<Proposal>>> =
+            active.iter().map(|_| Mutex::new(Vec::new())).collect();
+        let next = AtomicUsize::new(0);
+        let frozen: &Mig = mig;
+        let partition_ref = &partition;
+        let ffr_ref = ffr_legal;
+        std::thread::scope(|scope| {
+            for _ in 0..threads.min(active.len()) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= active.len() {
+                        break;
+                    }
+                    let r = active[i];
+                    let props = if bottom_up {
+                        propose_region_rewrite(engine, frozen, partition_ref, r, variant)
+                    } else {
+                        propose_top_down(
+                            engine,
+                            frozen,
+                            partition_ref,
+                            r,
+                            ffr_ref,
+                            depth_preserving,
+                        )
+                    };
+                    *slots[i].lock().unwrap() = props;
+                });
+            }
+        });
+        let proposals: Vec<Proposal> = slots
+            .into_iter()
+            .flat_map(|m| m.into_inner().unwrap())
+            .collect();
+
+        // Commit phase (serial, deterministic order).
+        let before = mig.num_gates();
+        let snapshot = bottom_up.then(|| mig.clone());
+        let outcome = commit_proposals(engine, mig, proposals, depth_preserving, &mut stale);
+        if outcome.committed == 0 {
+            break;
+        }
+        if bottom_up && mig.num_gates() >= before {
+            // Bottom-up gains are estimates (strash sharing and refused
+            // reroutes shift the real count); a round that failed to
+            // shrink is rolled back, like `run_converge` does.
+            if let Some(snap) = snapshot {
+                *mig = snap;
+            }
+            break;
+        }
+        stats.replacements += outcome.replacements;
+        stats.estimated_gain += outcome.gain;
+    }
+    if bottom_up {
+        // Regional candidate search cannot see combinations across its
+        // region boundaries; a serial polish pass over the (much
+        // smaller) quiescent graph recovers what the regional rounds
+        // exposed.
+        serial_converge(engine, mig, variant, &mut stats);
+    }
+    mig.sweep();
+    stats
+}
+
+/// Runs the serial in-place engine to its shrinking fixpoint: rounds
+/// that fail to shrink are rolled back (the bottom-up variants carry no
+/// monotonicity guarantee, monotone variants skip the snapshot), so the
+/// result is never worse than a single serial pass from the same graph.
+fn serial_converge(
+    engine: &FunctionalHashing,
+    mig: &mut Mig,
+    variant: Variant,
+    stats: &mut FhStats,
+) {
+    let (round_stats, _) = engine.run_converge_threads(mig, variant, MAX_ROUNDS, 1);
+    stats.replacements += round_stats.replacements;
+    stats.estimated_gain += round_stats.estimated_gain;
+}
+
+/// Top-down proposals for one region: best legal database replacement
+/// per member gate, topmost first, with the region's earlier proposals'
+/// cones excluded (a worker's own proposals never overlap).
+fn propose_top_down(
+    engine: &FunctionalHashing,
+    mig: &Mig,
+    partition: &RegionPartition,
+    region: u32,
+    ffr: Option<&FfrPartition>,
+    depth_preserving: bool,
+) -> Vec<Proposal> {
+    let members = partition.members(region);
+    let mut props = Vec::new();
+    if members.is_empty() {
+        return props;
+    }
+    let floor = members
+        .iter()
+        .map(|&g| mig.level(g))
+        .min()
+        .unwrap_or(0)
+        .saturating_sub(CUT_HORIZON);
+    let mut local = LocalCuts::new(mig, engine.config().cut_config, floor);
+    let mut claimed: HashSet<NodeId> = HashSet::new();
+    for &v in members.iter().rev() {
+        if claimed.contains(&v) || !mig.is_gate(v) {
+            continue;
+        }
+        let list = local.of(v).to_vec();
+        let Some(sel) = select_best_cut(engine, mig, v, &list, ffr, depth_preserving, |n| {
+            mig.level(n)
+        }) else {
+            continue;
+        };
+        let internal = internal_nodes(mig, v, &sel.cut);
+        claimed.extend(internal.iter().copied());
+        // The footprint adds the non-terminal leaves: the template is
+        // instantiated over them, so they must survive unchanged.
+        let mut footprint = internal.clone();
+        footprint.extend(
+            sel.cut
+                .leaves()
+                .iter()
+                .copied()
+                .filter(|&l| !mig.is_terminal(l)),
+        );
+        props.push(Proposal {
+            kind: ProposalKind::Cut {
+                root: v,
+                cut: sel.cut,
+                repl: sel.repl,
+                internal,
+            },
+            gain: sel.gain,
+            footprint,
+        });
+    }
+    props
+}
+
+/// Bottom-up proposal for one region: extract the region as a standalone
+/// MIG (external feeders become primary inputs, boundary members become
+/// outputs), optimize the copy with the serial in-place engine, and
+/// propose the boundary reroute when it shrinks the region.
+fn propose_region_rewrite(
+    engine: &FunctionalHashing,
+    mig: &Mig,
+    partition: &RegionPartition,
+    region: u32,
+    variant: Variant,
+) -> Vec<Proposal> {
+    let view = partition.view(mig, region);
+    if view.boundary.is_empty() || view.members.len() < 2 {
+        return Vec::new();
+    }
+    let mut sub = Mig::new(view.inputs.len());
+    let mut map: HashMap<NodeId, Signal> = HashMap::new();
+    map.insert(0, Signal::ZERO);
+    for (i, &n) in view.inputs.iter().enumerate() {
+        map.insert(n, sub.input(i));
+    }
+    for &m in &view.members {
+        let sig = {
+            let fan = mig
+                .fanins(m)
+                .map(|s| map[&s.node()].complement_if(s.is_complemented()));
+            sub.maj(fan[0], fan[1], fan[2])
+        };
+        map.insert(m, sig);
+    }
+    for &b in &view.boundary {
+        sub.add_output(map[&b]);
+    }
+    // Optimize the extracted region with the serial in-place engine (on
+    // the standalone copy — the shared graph stays frozen): it keeps
+    // whatever structure it cannot improve, so unchanged logic
+    // re-instantiates onto the original live nodes through structural
+    // hashing and the reroute degenerates to a no-op. With a single
+    // region this reproduces the serial engine's result exactly.
+    let mut opt = sub;
+    engine.run_in_place(&mut opt, variant);
+    let gain = view.members.len() as i32 - opt.num_gates() as i32;
+    if gain < 1 {
+        return Vec::new();
+    }
+    let mut footprint = view.members.clone();
+    footprint.extend(view.inputs.iter().copied().filter(|&n| !mig.is_terminal(n)));
+    vec![Proposal {
+        kind: ProposalKind::Region {
+            sub: Box::new(opt),
+            inputs: view.inputs,
+            boundary: view.boundary,
+        },
+        gain,
+        footprint,
+    }]
+}
+
+/// Applies the round's proposals in order. `stale` receives the nodes
+/// whose regions must be re-proposed next round: everything dirtied by a
+/// commit, plus the footprints of conflicted proposals.
+fn commit_proposals(
+    engine: &FunctionalHashing,
+    mig: &mut Mig,
+    proposals: Vec<Proposal>,
+    depth_preserving: bool,
+    stale: &mut HashSet<NodeId>,
+) -> CommitOutcome {
+    let mut outcome = CommitOutcome::default();
+    // Nodes touched earlier in this round; a proposal whose footprint
+    // intersects it was analyzed against a graph that no longer exists.
+    let mut round_dirty: HashSet<NodeId> = HashSet::new();
+    for prop in proposals {
+        if prop.footprint.iter().any(|n| round_dirty.contains(n)) {
+            outcome.conflicted += 1;
+            stale.extend(prop.footprint.iter().copied());
+            continue;
+        }
+        match prop.kind {
+            ProposalKind::Cut {
+                root,
+                cut,
+                repl,
+                internal,
+            } => {
+                // A clean footprint means the cone is structurally
+                // unchanged, but fanout counts of internal nodes can
+                // grow without a dirty entry (structural hashing inside
+                // an earlier commit can resurrect a shared node), so
+                // fanout legality is re-checked against live counts.
+                // Likewise, level cascades from earlier commits are not
+                // dirty-logged, so the depth-preserving bound must be
+                // re-evaluated against live levels too.
+                let depth_ok = !depth_preserving
+                    || repl.estimated_level(&cut, |pos| mig.level(cut.leaves()[pos]))
+                        <= mig.level(root) + engine.config().allowed_depth_increase;
+                if !mig.is_gate(root) || !cut_is_fanout_legal(mig, root, &internal) || !depth_ok {
+                    outcome.conflicted += 1;
+                    stale.extend(prop.footprint.iter().copied());
+                    continue;
+                }
+                let new_sig = repl.instantiate(mig, &cut, engine.database(), |pos| {
+                    Signal::new(cut.leaves()[pos], false)
+                });
+                if new_sig.node() == root {
+                    // The template reproduced the root; nothing to do
+                    // (stray template intermediates fall to the sweep).
+                    drain_into(mig, &mut round_dirty, stale);
+                    continue;
+                }
+                if mig.replace_node(root, new_sig) {
+                    outcome.committed += 1;
+                    outcome.replacements += 1;
+                    outcome.gain += i64::from(prop.gain);
+                } else {
+                    // Cycle through shared logic: retract the
+                    // speculative cone; retrying would refuse again, so
+                    // this is not a conflict.
+                    mig.reclaim(new_sig.node());
+                }
+                drain_into(mig, &mut round_dirty, stale);
+            }
+            ProposalKind::Region {
+                sub,
+                inputs,
+                boundary,
+            } => {
+                if boundary.iter().any(|&b| !mig.is_gate(b)) {
+                    outcome.conflicted += 1;
+                    stale.extend(prop.footprint.iter().copied());
+                    continue;
+                }
+                // Instantiate the optimized region over the original
+                // inputs (structural hashing shares whatever survived).
+                let mut imap: Vec<Option<Signal>> = vec![None; sub.num_nodes()];
+                imap[0] = Some(Signal::ZERO);
+                for (i, &n) in inputs.iter().enumerate() {
+                    imap[sub.input(i).node() as usize] = Some(Signal::new(n, false));
+                }
+                for g in sub.topo_gates() {
+                    let fan = sub.fanins(g).map(|s| {
+                        imap[s.node() as usize]
+                            .expect("fanin precedes gate in topo order")
+                            .complement_if(s.is_complemented())
+                    });
+                    imap[g as usize] = Some(mig.maj(fan[0], fan[1], fan[2]));
+                }
+                let new_outs: Vec<Signal> = sub
+                    .outputs()
+                    .iter()
+                    .map(|o| {
+                        imap[o.node() as usize]
+                            .expect("output cone mapped")
+                            .complement_if(o.is_complemented())
+                    })
+                    .collect();
+                let mut rerouted = 0u64;
+                for (&b, &s) in boundary.iter().zip(&new_outs) {
+                    // Earlier reroutes of this very proposal may have
+                    // merged `b` away or collapsed parts of the
+                    // speculative cone; skip what no longer applies.
+                    if !mig.is_gate(b) || s.node() == b || mig.is_dead(s.node()) {
+                        continue;
+                    }
+                    if mig.replace_node(b, s) {
+                        rerouted += 1;
+                    }
+                }
+                // Retract whatever speculative logic was not adopted.
+                for s in new_outs {
+                    if !mig.is_terminal(s.node()) && !mig.is_dead(s.node()) {
+                        mig.reclaim(s.node());
+                    }
+                }
+                if rerouted > 0 {
+                    outcome.committed += 1;
+                    outcome.replacements += rerouted;
+                    outcome.gain += i64::from(prop.gain);
+                }
+                drain_into(mig, &mut round_dirty, stale);
+            }
+        }
+    }
+    outcome
+}
+
+/// Drains the graph's dirty log into the round conflict set and the
+/// cross-round staleness set.
+fn drain_into(mig: &mut Mig, round_dirty: &mut HashSet<NodeId>, stale: &mut HashSet<NodeId>) {
+    for n in mig.drain_dirty() {
+        round_dirty.insert(n);
+        stale.insert(n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> FunctionalHashing {
+        FunctionalHashing::with_default_database()
+    }
+
+    /// Commit-phase regression for the boundary-conflict check: two cut
+    /// proposals whose MFFCs share a frontier node — the second must be
+    /// refused and queued for retry, not applied against the changed
+    /// graph.
+    #[test]
+    fn conflicting_footprints_commit_first_retry_second() {
+        let e = engine();
+        // A naive xor chain: the parity cone of `w` strictly contains
+        // the parity cone of `y`, so their best replacements overlap.
+        let mut m = Mig::new(4);
+        let (a, b, c, d) = (m.input(0), m.input(1), m.input(2), m.input(3));
+        let x = m.xor(a, b);
+        let y = m.xor(x, c);
+        let w = m.xor(y, d);
+        m.add_output(w);
+        let _ = m.drain_dirty();
+        let frozen = m.clone();
+
+        // Build two genuine proposals over the frozen graph whose
+        // footprints overlap on `x`'s cone.
+        let mut local = LocalCuts::new(&frozen, e.config().cut_config, 0);
+        let mk = |v: mig::NodeId, local: &mut LocalCuts| {
+            let list = local.of(v).to_vec();
+            let sel = select_best_cut(&e, &frozen, v, &list, None, false, |n| frozen.level(n))
+                .expect("profitable cut");
+            let internal = internal_nodes(&frozen, v, &sel.cut);
+            let mut footprint = internal.clone();
+            footprint.extend(
+                sel.cut
+                    .leaves()
+                    .iter()
+                    .copied()
+                    .filter(|&l| !frozen.is_terminal(l)),
+            );
+            Proposal {
+                kind: ProposalKind::Cut {
+                    root: v,
+                    cut: sel.cut,
+                    repl: sel.repl,
+                    internal,
+                },
+                gain: sel.gain,
+                footprint,
+            }
+        };
+        let p_top = mk(w.node(), &mut local);
+        let p_low = mk(y.node(), &mut local);
+        assert!(
+            p_top.footprint.iter().any(|n| p_low.footprint.contains(n)),
+            "test premise: the two MFFCs share frontier nodes"
+        );
+
+        let want = m.output_truth_tables();
+        let mut stale = HashSet::new();
+        let outcome = commit_proposals(&e, &mut m, vec![p_top, p_low], false, &mut stale);
+        assert_eq!(outcome.committed, 1, "first proposal lands");
+        assert_eq!(outcome.conflicted, 1, "overlapping proposal refused");
+        assert!(
+            !stale.is_empty(),
+            "conflicted footprint queued for the next round"
+        );
+        assert_eq!(m.output_truth_tables(), want, "function preserved");
+        m.debug_check();
+    }
+
+    /// The same overlap, resolved by the driver across rounds: the
+    /// retried region is re-proposed and the final result matches the
+    /// quiescent serial engine.
+    #[test]
+    fn driver_resolves_conflicts_across_rounds() {
+        let e = engine();
+        let mut m = Mig::new(4);
+        let (a, b, c, d) = (m.input(0), m.input(1), m.input(2), m.input(3));
+        let x = m.xor(a, b);
+        let y = m.xor(x, c);
+        let z = m.xor(y, d);
+        m.add_output(z);
+        let want = m.output_truth_tables();
+        let mut sharded = m.clone();
+        let stats = e.run_sharded(&mut sharded, Variant::TopDown, 3);
+        assert!(stats.replacements > 0);
+        assert_eq!(sharded.output_truth_tables(), want);
+        let serial = e.run(&m, Variant::TopDown);
+        assert!(sharded.num_gates() <= serial.num_gates());
+        sharded.debug_check();
+    }
+}

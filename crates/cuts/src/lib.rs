@@ -261,49 +261,159 @@ impl CutSet {
         if !mig.is_gate(v) {
             return Vec::new(); // dead slot
         }
-        let k = self.config.cut_size;
-        let [fa, fb, fc] = mig.fanins(v);
-        let mut res: Vec<Cut> = Vec::new();
-        for ca in &self.cuts[fa.node() as usize] {
-            for cb in &self.cuts[fb.node() as usize] {
-                'next: for cc in &self.cuts[fc.node() as usize] {
-                    let Some(mut merged) = Cut::merge_leaves(ca, cb, cc, k) else {
-                        continue;
-                    };
-                    // Truth table: expand each child's function onto the
-                    // merged leaf space, apply fanin polarities, majority.
-                    let tv = merged.len();
-                    let mut words = [0u64; 3];
-                    let children: [(&Cut, Signal); 3] = [(ca, fa), (cb, fb), (cc, fc)];
-                    for (w, (cut, sig)) in words.iter_mut().zip(children) {
-                        let map: Vec<usize> =
-                            cut.leaves().iter().map(|&l| merged.leaf_pos(l)).collect();
-                        let mut t = expand_tt(cut.tt, cut.len(), &map, tv);
-                        if sig.is_complemented() {
-                            t = !t;
-                        }
-                        *w = t & mask(tv);
+        let fanins = mig.fanins(v);
+        let lists = fanins.map(|s| self.cuts[s.node() as usize].as_slice());
+        merge_gate_cuts(v, fanins, lists, &self.config)
+    }
+}
+
+/// Computes the cut list of gate `v` from its three fanin cut lists:
+/// merged leaf sets within the width bound, truth tables composed through
+/// the fanin polarities, dominance-filtered, priority-bounded, trivial
+/// cut first. Shared by the global [`CutSet`] enumeration and the
+/// shard-local [`LocalCuts`] refresh so the two can never drift.
+fn merge_gate_cuts(
+    v: NodeId,
+    fanins: [Signal; 3],
+    lists: [&[Cut]; 3],
+    config: &CutConfig,
+) -> Vec<Cut> {
+    let k = config.cut_size;
+    let [fa, fb, fc] = fanins;
+    let mut res: Vec<Cut> = Vec::new();
+    for ca in lists[0] {
+        for cb in lists[1] {
+            'next: for cc in lists[2] {
+                let Some(mut merged) = Cut::merge_leaves(ca, cb, cc, k) else {
+                    continue;
+                };
+                // Truth table: expand each child's function onto the
+                // merged leaf space, apply fanin polarities, majority.
+                let tv = merged.len();
+                let mut words = [0u64; 3];
+                let children: [(&Cut, Signal); 3] = [(ca, fa), (cb, fb), (cc, fc)];
+                for (w, (cut, sig)) in words.iter_mut().zip(children) {
+                    let map: Vec<usize> =
+                        cut.leaves().iter().map(|&l| merged.leaf_pos(l)).collect();
+                    let mut t = expand_tt(cut.tt, cut.len(), &map, tv);
+                    if sig.is_complemented() {
+                        t = !t;
                     }
-                    merged.tt =
-                        ((words[0] & words[1]) | (words[0] & words[2]) | (words[1] & words[2]))
-                            & mask(tv);
-                    // Dominance filtering.
-                    for existing in &res {
-                        if existing.dominates(&merged) {
-                            continue 'next;
-                        }
-                    }
-                    res.retain(|e| !merged.dominates(e));
-                    res.push(merged);
+                    *w = t & mask(tv);
                 }
+                merged.tt = ((words[0] & words[1]) | (words[0] & words[2]) | (words[1] & words[2]))
+                    & mask(tv);
+                // Dominance filtering.
+                for existing in &res {
+                    if existing.dominates(&merged) {
+                        continue 'next;
+                    }
+                }
+                res.retain(|e| !merged.dominates(e));
+                res.push(merged);
             }
         }
-        // Priority: fewer leaves first; stable beyond that.
-        res.sort_by_key(|c| c.len);
-        res.truncate(self.config.max_cuts.saturating_sub(1));
-        // The trivial cut is always available (needed by parents).
-        res.insert(0, Cut::trivial(v));
-        res
+    }
+    // Priority: fewer leaves first; stable beyond that.
+    res.sort_by_key(|c| c.len);
+    res.truncate(config.max_cuts.saturating_sub(1));
+    // The trivial cut is always available (needed by parents).
+    res.insert(0, Cut::trivial(v));
+    res
+}
+
+/// Shard-local cut refresh for parallel proposal workers: computes cut
+/// lists on demand from a *shared, read-only* graph, memoizing per node.
+///
+/// Workers cannot use the global [`CutSet`] (its refresh consumes the
+/// graph's dirty log mutably and is shared state); instead each region
+/// gets a `LocalCuts` over the frozen round snapshot. To bound the work
+/// to the region instead of its whole transitive fanin, nodes *below*
+/// `floor_level` contribute only their trivial cut — sound, because any
+/// node may serve as a cut leaf; the floor only prunes cuts reaching
+/// deeper than the horizon, which a 4-feasible replacement would not use
+/// anyway when the floor sits comfortably below the region.
+#[derive(Debug)]
+pub struct LocalCuts<'a> {
+    mig: &'a Mig,
+    config: CutConfig,
+    floor_level: u32,
+    /// Memoized lists, indexed by node slot (`None` = not yet computed).
+    /// Sized by the whole graph for O(1) indexed lookup, but `None` is
+    /// the all-zero niche, so the allocation is a lazily-committed
+    /// `calloc` — only the pages of slots a region actually visits are
+    /// ever touched.
+    lists: Vec<Option<Vec<Cut>>>,
+}
+
+impl<'a> LocalCuts<'a> {
+    /// Creates a shard-local cut view. `floor_level` is the leaf horizon
+    /// (0 reproduces the exact global enumeration).
+    pub fn new(mig: &'a Mig, config: CutConfig, floor_level: u32) -> Self {
+        LocalCuts {
+            mig,
+            config,
+            floor_level,
+            lists: vec![None; mig.num_nodes()],
+        }
+    }
+
+    /// The cut list of `n`, computing (and memoizing) it and any missing
+    /// fanin lists above the horizon.
+    pub fn of(&mut self, n: NodeId) -> &[Cut] {
+        if self.lists[n as usize].is_none() {
+            let mut stack = vec![n];
+            while let Some(&v) = stack.last() {
+                if self.lists[v as usize].is_some() {
+                    stack.pop();
+                    continue;
+                }
+                if let Some(list) = self.leaf_list(v) {
+                    self.lists[v as usize] = Some(list);
+                    stack.pop();
+                    continue;
+                }
+                let mut ready = true;
+                for s in self.mig.fanins(v) {
+                    let m = s.node();
+                    if self.lists[m as usize].is_none() {
+                        ready = false;
+                        stack.push(m);
+                    }
+                }
+                if !ready {
+                    continue;
+                }
+                stack.pop();
+                let fanins = self.mig.fanins(v);
+                let lists = fanins.map(|s| {
+                    self.lists[s.node() as usize]
+                        .as_deref()
+                        .expect("fanin list computed")
+                });
+                let list = merge_gate_cuts(v, fanins, lists, &self.config);
+                self.lists[v as usize] = Some(list);
+            }
+        }
+        self.lists[n as usize].as_deref().expect("just computed")
+    }
+
+    /// The fixed list of `v` when it needs no fanin recursion: terminals,
+    /// dead slots and gates at or below the leaf horizon.
+    fn leaf_list(&self, v: NodeId) -> Option<Vec<Cut>> {
+        if v == 0 {
+            return Some(vec![Cut::constant()]);
+        }
+        if self.mig.is_terminal(v) {
+            return Some(vec![Cut::trivial(v)]);
+        }
+        if !self.mig.is_gate(v) {
+            return Some(Vec::new()); // dead slot
+        }
+        if self.mig.level(v) < self.floor_level {
+            return Some(vec![Cut::trivial(v)]);
+        }
+        None
     }
 }
 
@@ -659,6 +769,53 @@ mod tests {
             "left region not invalidated"
         );
         assert!(!cs.valid[top.node() as usize], "fanout of rewrite is stale");
+    }
+
+    #[test]
+    fn local_cuts_match_global_enumeration_without_horizon() {
+        let mut m = Mig::new(4);
+        let (a, b, c, d) = (m.input(0), m.input(1), m.input(2), m.input(3));
+        let g1 = m.maj(a, b, !c);
+        let g2 = m.maj(g1, c, d);
+        let g3 = m.xor(g2, a);
+        let g4 = m.maj(g1, !g3, b);
+        m.add_output(g4);
+        let cfg = CutConfig::default();
+        let global = enumerate_cuts(&m, &cfg);
+        let mut local = LocalCuts::new(&m, cfg, 0);
+        for g in m.gates() {
+            assert_eq!(local.of(g), global.of(g), "cuts of gate {g} diverged");
+        }
+    }
+
+    #[test]
+    fn local_cuts_horizon_truncates_to_trivial_leaves() {
+        // A chain: with a floor above the bottom, low gates become
+        // leaf-only and high gates' cuts never reach below the floor.
+        let mut m = Mig::new(6);
+        let mut t = m.input(0);
+        for i in 1..6 {
+            let x = m.input(i);
+            t = m.maj(t, x, Signal::ZERO);
+        }
+        m.add_output(t);
+        let cfg = CutConfig::default();
+        let floor = 3;
+        let mut local = LocalCuts::new(&m, cfg, floor);
+        for g in m.gates() {
+            if m.level(g) < floor {
+                assert_eq!(local.of(g), &[Cut::trivial(g)], "gate {g} below floor");
+            } else {
+                for cut in local.of(g) {
+                    for &l in cut.leaves() {
+                        assert!(
+                            m.is_terminal(l) || m.level(l) >= floor - 1,
+                            "cut of gate {g} reaches below the horizon"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -28,6 +28,7 @@
 use crate::{NodeId, Signal};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::{Arc, Mutex};
 
 /// Tag bit distinguishing primary-output references from gate references
 /// in the per-node fanout lists.
@@ -107,7 +108,6 @@ pub fn normalize_maj(mut ops: [Signal; 3]) -> Normalized {
 /// assert_eq!(m.num_gates(), 3);
 /// assert_eq!(m.depth(), 2);
 /// ```
-#[derive(Clone)]
 pub struct Mig {
     /// Fanins per node; terminals (constant + inputs) and dead slots hold
     /// dummy entries.
@@ -138,6 +138,47 @@ pub struct Mig {
     /// the last [`Mig::drain_dirty`] — consumed by incremental analyses
     /// such as cut-set invalidation.
     dirty: Vec<NodeId>,
+    /// Cached topological gate order, shared with simulation and other
+    /// repeated consumers; invalidated at the same sites that feed the
+    /// dirty log. Behind a mutex (not a `RefCell`) so `&Mig` stays `Sync`
+    /// for the sharded rewriting workers.
+    topo_cache: Mutex<Option<Arc<Vec<NodeId>>>>,
+    /// Epoch-stamped scratch for [`Mig::depends_on`], replacing a fresh
+    /// `HashSet` allocation per call.
+    dep_scratch: Mutex<DepScratch>,
+}
+
+#[derive(Default)]
+struct DepScratch {
+    /// `stamp[n] == epoch` marks node `n` visited in the current call.
+    stamp: Vec<u32>,
+    epoch: u32,
+    /// Reused DFS stack.
+    stack: Vec<NodeId>,
+}
+
+impl Clone for Mig {
+    fn clone(&self) -> Self {
+        Mig {
+            fanins: self.fanins.clone(),
+            num_inputs: self.num_inputs,
+            outputs: self.outputs.clone(),
+            strash: self.strash.clone(),
+            fanouts: self.fanouts.clone(),
+            fanout_pos: self.fanout_pos.clone(),
+            out_pos: self.out_pos.clone(),
+            dead: self.dead.clone(),
+            free: self.free.clone(),
+            level: self.level.clone(),
+            live_gates: self.live_gates,
+            dirty: self.dirty.clone(),
+            // The cached order is immutable behind an `Arc`; sharing it
+            // with the clone is free and stays valid until either side
+            // mutates (each invalidates only its own slot).
+            topo_cache: Mutex::new(self.topo_cache.lock().unwrap().clone()),
+            dep_scratch: Mutex::new(DepScratch::default()),
+        }
+    }
 }
 
 impl Mig {
@@ -157,6 +198,8 @@ impl Mig {
             level: vec![0; n],
             live_gates: 0,
             dirty: Vec::new(),
+            topo_cache: Mutex::new(None),
+            dep_scratch: Mutex::new(DepScratch::default()),
         }
     }
 
@@ -280,7 +323,38 @@ impl Mig {
 
     /// All live gates in a topological order (every gate after its gate
     /// fanins), skipping dead slots. Includes dangling gates.
+    ///
+    /// The order is cached until the next structural change (the same
+    /// events that feed the dirty log), so repeated calls on an unchanged
+    /// graph cost a copy instead of a traversal. Hot loops that only read
+    /// the order should prefer [`Mig::topo_gates_shared`], which avoids
+    /// the copy as well.
     pub fn topo_gates(&self) -> Vec<NodeId> {
+        self.topo_gates_shared().as_ref().clone()
+    }
+
+    /// The cached topological order behind a shared handle (see
+    /// [`Mig::topo_gates`]). Cheap to call repeatedly: after the first
+    /// computation only the reference count is touched until the graph
+    /// changes structurally.
+    pub fn topo_gates_shared(&self) -> Arc<Vec<NodeId>> {
+        let mut cache = self.topo_cache.lock().unwrap();
+        if let Some(order) = cache.as_ref() {
+            return Arc::clone(order);
+        }
+        let order = Arc::new(self.compute_topo_gates());
+        *cache = Some(Arc::clone(&order));
+        order
+    }
+
+    /// Records a structural change to node `n`: feeds the dirty log and
+    /// drops the cached topological order.
+    fn note_structural_change(&mut self, n: NodeId) {
+        self.dirty.push(n);
+        *self.topo_cache.get_mut().unwrap() = None;
+    }
+
+    fn compute_topo_gates(&self) -> Vec<NodeId> {
         let n = self.fanins.len();
         // 0 = unvisited, 1 = on stack, 2 = emitted.
         let mut state = vec![0u8; n];
@@ -378,7 +452,7 @@ impl Mig {
             .max()
             .unwrap_or(0);
         self.live_gates += 1;
-        self.dirty.push(n);
+        self.note_structural_change(n);
         n
     }
 
@@ -452,7 +526,10 @@ impl Mig {
 
     /// Whether node `target` is in the transitive fanin cone of `start`
     /// (including `start` itself). Prunes on levels, so the walk is
-    /// bounded by the cone between the two levels.
+    /// bounded by the cone between the two levels. Visited-set state
+    /// lives in an epoch-stamped scratch buffer, so the check allocates
+    /// nothing in the steady state (it runs once per replacement
+    /// attempt).
     pub fn depends_on(&self, start: NodeId, target: NodeId) -> bool {
         if start == target {
             return true;
@@ -460,19 +537,32 @@ impl Mig {
         if self.level[start as usize] <= self.level[target as usize] {
             return false;
         }
-        let mut stack = vec![start];
-        let mut seen = std::collections::HashSet::new();
-        while let Some(v) = stack.pop() {
-            if self.is_terminal(v) || !seen.insert(v) {
+        let mut guard = self.dep_scratch.lock().unwrap();
+        let sc = &mut *guard;
+        if sc.stamp.len() < self.fanins.len() {
+            sc.stamp.resize(self.fanins.len(), 0);
+        }
+        sc.epoch = sc.epoch.wrapping_add(1);
+        if sc.epoch == 0 {
+            // Stamp wrap-around: old stamps could alias the new epoch.
+            sc.stamp.fill(0);
+            sc.epoch = 1;
+        }
+        let epoch = sc.epoch;
+        sc.stack.clear();
+        sc.stack.push(start);
+        while let Some(v) = sc.stack.pop() {
+            if self.is_terminal(v) || sc.stamp[v as usize] == epoch {
                 continue;
             }
+            sc.stamp[v as usize] = epoch;
             for s in self.fanins[v as usize] {
                 let m = s.node();
                 if m == target {
                     return true;
                 }
                 if self.level[m as usize] > self.level[target as usize] {
-                    stack.push(m);
+                    sc.stack.push(m);
                 }
             }
         }
@@ -598,7 +688,7 @@ impl Mig {
                 for s in old_key {
                     self.kill_if_unreferenced(s.node());
                 }
-                self.dirty.push(p);
+                self.note_structural_change(p);
                 self.update_levels_from(p);
                 None
             }
@@ -655,7 +745,7 @@ impl Mig {
             self.level[v as usize] = 0;
             self.live_gates -= 1;
             self.free.push(v);
-            self.dirty.push(v);
+            self.note_structural_change(v);
             for (k, s) in key.iter().enumerate() {
                 self.remove_fanout_at(s.node(), self.fanout_pos[v as usize][k]);
                 stack.push(s.node());
@@ -799,7 +889,7 @@ impl Mig {
         for (i, &w) in inputs.iter().enumerate() {
             val[i + 1] = w;
         }
-        for n in self.topo_gates() {
+        for &n in self.topo_gates_shared().iter() {
             let [a, b, c] = self.fanins[n as usize];
             let va = val[a.node() as usize] ^ if a.is_complemented() { u64::MAX } else { 0 };
             let vb = val[b.node() as usize] ^ if b.is_complemented() { u64::MAX } else { 0 };
@@ -855,7 +945,7 @@ impl Mig {
         for (i, t) in inputs.iter().enumerate() {
             val[i + 1] = t.clone();
         }
-        for n in self.topo_gates() {
+        for &n in self.topo_gates_shared().iter() {
             let [a, b, c] = self.fanins[n as usize];
             let get = |s: Signal| {
                 let t = &val[s.node() as usize];
@@ -894,7 +984,7 @@ impl Mig {
             }
         }
         // Copy in topological order.
-        for n in self.topo_gates() {
+        for &n in self.topo_gates_shared().iter() {
             if !live[n as usize] {
                 continue;
             }
@@ -1294,6 +1384,60 @@ mod tests {
             }
         }
         assert_eq!(topo.len(), m.num_gates());
+    }
+
+    #[test]
+    fn topo_cache_reused_until_structural_change() {
+        let mut m = Mig::new(3);
+        let (a, b, c) = (m.input(0), m.input(1), m.input(2));
+        let g1 = m.maj(a, b, c);
+        let g2 = m.maj(g1, a, !b);
+        m.add_output(g2);
+        let first = m.topo_gates_shared();
+        let second = m.topo_gates_shared();
+        assert!(
+            std::sync::Arc::ptr_eq(&first, &second),
+            "unchanged graph must serve the cached order"
+        );
+        // Output rerouting is not a structural gate change; the cache
+        // stays valid.
+        m.set_output(0, g1);
+        assert!(std::sync::Arc::ptr_eq(&first, &m.topo_gates_shared()));
+        // A new gate invalidates; the fresh order must contain it.
+        let g3 = m.maj(g1, !a, c);
+        m.set_output(0, g3);
+        let after = m.topo_gates_shared();
+        assert!(!std::sync::Arc::ptr_eq(&first, &after));
+        assert!(after.contains(&g3.node()));
+        // A replacement (rewire + kill) invalidates too, and a clone
+        // keeps serving a consistent order independently.
+        let clone = m.clone();
+        let fresh = m.maj(a, !b, !c);
+        assert!(m.replace_node(g1.node(), fresh));
+        assert!(!m.topo_gates_shared().contains(&g1.node()));
+        assert!(clone.topo_gates_shared().contains(&g1.node()));
+    }
+
+    #[test]
+    fn depends_on_scratch_matches_fresh_traversal() {
+        let mut m = Mig::new(4);
+        let (a, b, c, d) = (m.input(0), m.input(1), m.input(2), m.input(3));
+        let g1 = m.maj(a, b, c);
+        let g2 = m.maj(g1, c, d);
+        let g3 = m.maj(g2, g1, a);
+        let side = m.maj(a, b, d);
+        m.add_output(g3);
+        m.add_output(side);
+        // Repeated queries share the scratch buffer; answers must stay
+        // exact across calls and directions.
+        for _ in 0..3 {
+            assert!(m.depends_on(g3.node(), g1.node()));
+            assert!(m.depends_on(g3.node(), g2.node()));
+            assert!(m.depends_on(g2.node(), g1.node()));
+            assert!(!m.depends_on(g1.node(), g2.node()));
+            assert!(!m.depends_on(side.node(), g1.node()));
+            assert!(m.depends_on(g1.node(), g1.node()));
+        }
     }
 
     #[test]

@@ -13,7 +13,9 @@
 //!   word-parallel and truth-table simulation, topological iteration
 //!   ([`Mig::topo_gates`]), sweep/cleanup, DOT export;
 //! * [`Signal`] — complement-edge node references;
-//! * [`FfrPartition`] — fanout-free-region partitioning (paper §IV-C).
+//! * [`FfrPartition`] — fanout-free-region partitioning (paper §IV-C);
+//! * [`RegionPartition`] — sharding the gates into disjoint regions
+//!   (FFR forest or level bands) for parallel propose/commit rewriting.
 //!
 //! # Examples
 //!
@@ -31,8 +33,10 @@
 
 mod ffr;
 mod graph;
+mod region;
 mod signal;
 
 pub use ffr::FfrPartition;
 pub use graph::{normalize_maj, Mig, Normalized};
+pub use region::{PartitionStrategy, RegionPartition, RegionView};
 pub use signal::{NodeId, Signal};

@@ -14,8 +14,9 @@
 //! * [`npndb`] — the database of minimum MIGs for all 222 4-variable NPN
 //!   classes (§V-A);
 //! * [`fhash`] — the functional-hashing size optimization (§IV, the
-//!   paper's primary contribution) in all its variants
-//!   (T/TD/TF/TFD/B/BF);
+//!   paper's primary contribution) in all its variants (T/TD/TF/TFD/B/BF),
+//!   as serial in-place engines and as the sharded parallel
+//!   propose/commit driver (`FunctionalHashing::run_sharded`);
 //! * [`migalg`] — algebraic MIG optimization (refs \[3\], \[4\]) used to
 //!   produce "heavily optimized" starting points;
 //! * [`aig`] — an AND-inverter-graph substrate and rewriting baseline;

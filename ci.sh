@@ -18,7 +18,8 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== migopt smoke runs over benchmarks/ (exit code 2 = CEC failure)"
 # Every pipeline ends in `cec`: a counterexample makes migopt exit 2 and
 # fails CI here. Covers the in-place fhash variants, the fhash!
-# convergence pass and the sharded @2 engine on all checked-in circuits.
+# convergence pass, the sharded @2 engines and the interleaved in-place
+# algebraic passes on all checked-in circuits.
 MIGOPT=./target/release/migopt
 for f in benchmarks/full_adder.aag benchmarks/adder8.aag \
          benchmarks/mult4.aig benchmarks/adder4.blif; do
@@ -29,7 +30,10 @@ for f in benchmarks/full_adder.aag benchmarks/adder8.aag \
              "strash; fhash:T@2; fhash:TD@2; cec" \
              "strash; fhash:TF@2; fhash:TFD@2; cec" \
              "strash; fhash:BF@2; fhash:B@2; cec" \
-             "strash; fhash!:T@2; fhash!:B@2; cec; stats"; do
+             "strash; fhash!:T@2; fhash!:B@2; cec; stats" \
+             "strash; size!; fhash!:B@2; depth!; cec" \
+             "strash; algebraic@2; fhash:TFD; cec" \
+             "strash; depth!@2; size!@2; fhash:T; cec; stats"; do
         echo "-- migopt -i $f -p \"$p\""
         "$MIGOPT" -q -i "$f" -p "$p"
     done

@@ -6,17 +6,40 @@
 //! flow on top of the `mig` crate:
 //!
 //! * `Ω.M` (majority): `<xxy> = x`, `<xx̄y> = y` — applied implicitly by
-//!   structural hashing during reconstruction;
+//!   structural hashing;
 //! * `Ω.A` (associativity): `<xu<yuz>> = <zu<yux>>` — used to retime
-//!   late-arriving signals toward the root ([`depth_rewrite`]);
+//!   late-arriving signals toward the root (depth rewriting);
 //! * `Ω.D` (distributivity, L→R): `<xy<uvz>> = <<xyu><xyv>z>` — moves a
-//!   critical signal one level up at the cost of one node
-//!   ([`depth_rewrite`]);
+//!   critical signal one level up at the cost of one node (depth
+//!   rewriting);
 //! * `Ω.D` (distributivity, R→L): `<<xyu><xyv>z> = <xy<uvz>>` — saves one
-//!   node whenever two fanins share two operands ([`size_rewrite`]).
+//!   node whenever two fanins share two operands (size rewriting).
 //!
-//! [`optimize`] chains the passes into the "script" used by the benchmark
-//! harness to produce Table III starting points.
+//! Since the in-place unification the moves run as *local substitutions*
+//! on the managed [`Mig`] network ([`size_rewrite_in_place`],
+//! [`depth_rewrite_in_place`]): each candidate is matched read-only,
+//! built speculatively and committed through [`Mig::replace_node`], with
+//! incrementally maintained levels driving critical-path detection and
+//! the structural-change log driving affected-cone re-scans in the
+//! convergence loops ([`size_converge`], [`depth_converge`]). The
+//! sharded backends ([`optimize_threads`]) run the same moves as
+//! proposals on the engine-agnostic propose/commit protocol of
+//! [`mig::ProposeEngine`]. The original rebuild-style passes are kept as
+//! the differential-test reference ([`size_rewrite_rebuild`],
+//! [`depth_rewrite_rebuild`], [`optimize_rebuild`]), mirroring how the
+//! functional-hashing crate kept its `run_rebuild*` engines.
+//!
+//! [`optimize`] / [`optimize_in_place`] chain the passes into the
+//! "script" used by the benchmark harness to produce Table III starting
+//! points; all script drivers share the lexicographic
+//! `(gates, depth)` round acceptance ([`script_metric`]), so serial,
+//! in-place and sharded runs agree on convergence.
+
+mod inplace;
+mod shard;
+
+pub use inplace::{depth_rewrite_in_place, optimize_in_place, size_rewrite_in_place};
+pub use shard::optimize_threads;
 
 use mig::{Mig, Signal};
 
@@ -31,13 +54,80 @@ pub struct AlgStats {
     pub merges: u64,
 }
 
-/// One round of size-oriented rewriting: applies `Ω.D` right-to-left
-/// (`<<xyu><xyv>z> -> <xy<uvz>>`) wherever two fanins of a gate share two
-/// operands, and rebuilds with structural hashing (which applies `Ω.M`).
-///
-/// Returns the rewritten MIG and pass statistics. Functionality is
-/// preserved (covered by unit and property tests).
+impl AlgStats {
+    /// Total applied moves of any kind.
+    pub fn total(&self) -> u64 {
+        self.assoc_moves + self.distrib_moves + self.merges
+    }
+
+    /// Accumulates another pass's counters into this one.
+    pub fn absorb(&mut self, other: AlgStats) {
+        self.assoc_moves += other.assoc_moves;
+        self.distrib_moves += other.distrib_moves;
+        self.merges += other.merges;
+    }
+}
+
+/// The optimization script's round-acceptance metric: `(gates, depth)`,
+/// compared lexicographically (smaller is better). Shared by the rebuild
+/// script, the in-place script and the sharded round guard, so all
+/// agree on what counts as progress. The signature matches
+/// [`mig::ShardConfig::guard`].
+pub fn script_metric(mig: &Mig) -> (u64, u64) {
+    (mig.num_gates() as u64, u64::from(mig.depth()))
+}
+
+/// Runs the serial size-rewriting convergence loop (`threads <= 1`) or
+/// the sharded propose/commit rounds plus a serial polish. Returns the
+/// applied-move counters and the number of rounds run. Committed merges
+/// individually shrink the gate count, so the result never has more
+/// gates than the input.
+pub fn size_converge(mig: &mut Mig, max_rounds: usize, threads: usize) -> (AlgStats, usize) {
+    shard::converge_threads(mig, max_rounds, false, threads)
+}
+
+/// Depth-script convergence: like [`size_converge`] for the Ω.A/Ω.D
+/// depth moves. Every committed move strictly lowers its root's level
+/// and rounds run under a `(depth, gates)` guard, so the result never
+/// has more depth than the input.
+pub fn depth_converge(mig: &mut Mig, max_rounds: usize, threads: usize) -> (AlgStats, usize) {
+    shard::converge_threads(mig, max_rounds, true, threads)
+}
+
+/// One round of size-oriented rewriting on a copy (dangling cones
+/// dropped first): routes through [`size_rewrite_in_place`]. Kept with
+/// the historical rebuild-style signature for callers that want the
+/// functional interface.
 pub fn size_rewrite(mig: &Mig) -> (Mig, AlgStats) {
+    let mut m = mig.cleanup();
+    let stats = size_rewrite_in_place(&mut m);
+    (m, stats)
+}
+
+/// One round of depth-oriented rewriting on a copy: routes through
+/// [`depth_rewrite_in_place`]. See [`size_rewrite`].
+pub fn depth_rewrite(mig: &Mig) -> (Mig, AlgStats) {
+    let mut m = mig.cleanup();
+    let stats = depth_rewrite_in_place(&mut m);
+    (m, stats)
+}
+
+/// The optimization "script" on a copy: routes through
+/// [`optimize_in_place`] (alternating size and depth rounds until the
+/// lexicographic fixpoint or `max_rounds`), mirroring how the paper's
+/// starting points were produced with the flows of refs \[3\] and \[4\].
+pub fn optimize(mig: &Mig, max_rounds: usize) -> Mig {
+    let mut m = mig.cleanup();
+    optimize_in_place(&mut m, max_rounds);
+    m
+}
+
+/// One round of size-oriented rewriting, rebuild-style: applies `Ω.D`
+/// right-to-left (`<<xyu><xyv>z> -> <xy<uvz>>`) wherever two fanins of a
+/// gate share two operands, and rebuilds with structural hashing (which
+/// applies `Ω.M`). Kept as the differential-test reference for
+/// [`size_rewrite_in_place`].
+pub fn size_rewrite_rebuild(mig: &Mig) -> (Mig, AlgStats) {
     let mut out = Mig::new(mig.num_inputs());
     let mut stats = AlgStats::default();
     let mut map: Vec<Option<Signal>> = vec![None; mig.num_nodes()];
@@ -99,11 +189,12 @@ fn maj_distrib_rl(out: &mut Mig, a: Signal, b: Signal, c: Signal, stats: &mut Al
     out.maj(a, b, c)
 }
 
-/// One round of depth-oriented rewriting: on every critical gate, tries
-/// `Ω.A` associativity swaps and `Ω.D` L→R distributivity to pull the
-/// latest-arriving operand one level closer to the output (the depth
-/// script of paper ref \[3\]).
-pub fn depth_rewrite(mig: &Mig) -> (Mig, AlgStats) {
+/// One round of depth-oriented rewriting, rebuild-style: on every
+/// critical gate, tries `Ω.A` associativity swaps and `Ω.D` L→R
+/// distributivity to pull the latest-arriving operand one level closer
+/// to the output (the depth script of paper ref \[3\]). Kept as the
+/// differential-test reference for [`depth_rewrite_in_place`].
+pub fn depth_rewrite_rebuild(mig: &Mig) -> (Mig, AlgStats) {
     let levels = mig.levels();
     let mut out = Mig::new(mig.num_inputs());
     let mut stats = AlgStats::default();
@@ -196,23 +287,20 @@ pub fn depth_rewrite(mig: &Mig) -> (Mig, AlgStats) {
     (out.cleanup(), stats)
 }
 
-/// The optimization "script": alternating size and depth rounds until a
-/// fixpoint or `max_rounds`, mirroring how the paper's starting points
-/// were produced with the flows of refs \[3\] and \[4\].
-pub fn optimize(mig: &Mig, max_rounds: usize) -> Mig {
+/// The rebuild-style optimization script: alternating rebuild size and
+/// depth rounds under the shared [`script_metric`] acceptance. Kept as
+/// the differential-test reference for [`optimize_in_place`].
+pub fn optimize_rebuild(mig: &Mig, max_rounds: usize) -> Mig {
     let mut best = mig.cleanup();
     for _ in 0..max_rounds {
-        let (after_size, s1) = size_rewrite(&best);
-        let (after_depth, s2) = depth_rewrite(&after_size);
-        let candidate = if after_depth.num_gates() <= after_size.num_gates() {
+        let (after_size, _) = size_rewrite_rebuild(&best);
+        let (after_depth, _) = depth_rewrite_rebuild(&after_size);
+        let candidate = if script_metric(&after_depth) <= script_metric(&after_size) {
             after_depth
         } else {
             after_size
         };
-        let _changed = s1.merges + s2.assoc_moves + s2.distrib_moves > 0;
-        let better = candidate.num_gates() < best.num_gates()
-            || (candidate.num_gates() == best.num_gates() && candidate.depth() < best.depth());
-        if !better {
+        if script_metric(&candidate) >= script_metric(&best) {
             break;
         }
         best = candidate;
@@ -237,6 +325,40 @@ mod tests {
         let (opt, stats) = size_rewrite(&m);
         assert_eq!(stats.merges, 1);
         assert_eq!(opt.num_gates(), 2);
+        assert_eq!(opt.output_truth_tables(), m.output_truth_tables());
+        // The rebuild reference agrees on this local pattern.
+        let (ropt, rstats) = size_rewrite_rebuild(&m);
+        assert_eq!(rstats.merges, 1);
+        assert_eq!(ropt.num_gates(), 2);
+    }
+
+    #[test]
+    fn inplace_size_sweep_rolls_back_losing_merges() {
+        // When both G1 and G2 stay alive through outside references, the
+        // merge adds gates without freeing any; the guarded sweep must
+        // roll back and leave the graph untouched.
+        let mut m = Mig::new(6);
+        let (x, y, u, v, z, w) = (
+            m.input(0),
+            m.input(1),
+            m.input(2),
+            m.input(3),
+            m.input(4),
+            m.input(5),
+        );
+        let g1 = m.maj(x, y, u);
+        let g2 = m.maj(x, y, v);
+        let top = m.maj(g1, g2, z);
+        let side1 = m.maj(g1, w, z); // keeps g1 alive
+        let side2 = m.maj(g2, w, !z); // keeps g2 alive
+        m.add_output(top);
+        m.add_output(side1);
+        m.add_output(side2);
+        let before = m.num_gates();
+        let mut opt = m.clone();
+        let stats = size_rewrite_in_place(&mut opt);
+        assert_eq!(stats.total(), 0, "losing sweep reports no kept moves");
+        assert_eq!(opt.num_gates(), before, "rollback restored the graph");
         assert_eq!(opt.output_truth_tables(), m.output_truth_tables());
     }
 
@@ -274,7 +396,7 @@ mod tests {
 
     #[test]
     fn ripple_chain_depth_reduction() {
-        // An unbalanced AND chain: depth_rewrite should restructure it
+        // An unbalanced AND chain: depth rewriting should restructure it
         // towards a balanced tree over a few rounds.
         let n = 8;
         let mut m = Mig::new(n);
@@ -286,10 +408,42 @@ mod tests {
         m.add_output(acc);
         let before = m.depth();
         let mut cur = m.cleanup();
-        for _ in 0..6 {
-            cur = depth_rewrite(&cur).0;
-        }
+        let (stats, rounds) = depth_converge(&mut cur, 16, 1);
+        assert!(stats.total() > 0, "no moves applied");
+        assert!(rounds >= 1);
         assert_eq!(cur.output_truth_tables(), m.output_truth_tables());
         assert!(cur.depth() < before, "{} !< {before}", cur.depth());
+    }
+
+    #[test]
+    fn converge_loops_report_fixpoints() {
+        let mut m = Mig::new(5);
+        let (x, y, u, v, z) = (m.input(0), m.input(1), m.input(2), m.input(3), m.input(4));
+        let g1 = m.maj(x, y, u);
+        let g2 = m.maj(x, y, v);
+        let top = m.maj(g1, g2, z);
+        m.add_output(top);
+        let want = m.output_truth_tables();
+        let (stats, rounds) = size_converge(&mut m, 16, 1);
+        assert_eq!(stats.merges, 1);
+        assert!(rounds >= 2, "a confirming full sweep must run");
+        assert_eq!(m.output_truth_tables(), want);
+        // Converged: a further sweep finds nothing.
+        let again = size_rewrite_in_place(&mut m);
+        assert_eq!(again.total(), 0);
+    }
+
+    #[test]
+    fn script_metric_is_lexicographic() {
+        let mut small = Mig::new(2);
+        let (a, b) = (small.input(0), small.input(1));
+        let g = small.and(a, b);
+        small.add_output(g);
+        let mut deep = Mig::new(2);
+        let (a, b) = (deep.input(0), deep.input(1));
+        let g1 = deep.and(a, b);
+        let g2 = deep.or(g1, a);
+        deep.add_output(g2);
+        assert!(script_metric(&small) < script_metric(&deep));
     }
 }

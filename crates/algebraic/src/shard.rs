@@ -1,0 +1,277 @@
+//! Sharded algebraic rewriting: the Ω.A/Ω.D moves as proposals on the
+//! engine-agnostic propose/commit protocol ([`mig::ProposeEngine`]).
+//!
+//! Workers scan their region's gates read-only for size merges or depth
+//! moves over the frozen round snapshot; the serial commit phase
+//! *re-derives* each move against the live graph (the move matchers are
+//! the legality recheck: operand identities and — for depth moves — the
+//! non-degrading level bound are all evaluated on live state), so a
+//! proposal whose neighborhood drifted is refused and its region
+//! retried next round.
+//!
+//! Guarantees, mirroring the serial engines:
+//!
+//! * **size** rounds run under the `(gates, depth)` lexicographic guard
+//!   (merges are liberal — their profit comes from cross-sweep strash
+//!   sharing — so a round is kept only when it nets out smaller);
+//! * **depth** rounds run under a `(depth, gates)` lexicographic guard —
+//!   committed moves can spend gates, and a round that fails to improve
+//!   is rolled back, so sharded depth scripts are depth-monotone;
+//! * results are bit-deterministic for a fixed input and thread count
+//!   (driver property), and graphs too small to shard degenerate to the
+//!   serial sweeps.
+//!
+//! After the sharded rounds reach quiescence a serial polish pass runs
+//! to its own fixpoint, recovering moves that span region boundaries.
+
+use crate::inplace::{
+    commit_depth_move, commit_size_move, converge, depth_metric, match_depth_move_live,
+    match_size_move, script_round, Family,
+};
+use crate::{script_metric, AlgStats};
+use mig::{
+    run_shard_rounds, CommitVerdict, Mig, NodeId, PartitionStrategy, ProposeEngine,
+    RegionPartition, ShardConfig,
+};
+use std::collections::HashSet;
+
+struct AlgEngine {
+    family: Family,
+}
+
+/// The move kind a proposal was derived as. The commit phase refuses a
+/// proposal whose live re-derivation lands on a *different* kind
+/// (Conflicted — the region re-proposes from fresh analysis), so the
+/// driver's per-kind gain attribution of kept rounds is exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MoveKind {
+    Merge,
+    Assoc,
+    Distrib,
+}
+
+impl MoveKind {
+    fn of_depth(mv: &crate::inplace::DepthMove) -> MoveKind {
+        match mv {
+            crate::inplace::DepthMove::Assoc { .. } => MoveKind::Assoc,
+            crate::inplace::DepthMove::Distrib { .. } => MoveKind::Distrib,
+        }
+    }
+}
+
+struct AlgProposal {
+    root: NodeId,
+    kind: MoveKind,
+    /// Round-start nodes the analysis depends on: the root and the
+    /// involved fanin gate(s). Operand *levels* can drift without
+    /// touching the footprint; the commit-side re-derivation catches
+    /// that.
+    footprint: Vec<NodeId>,
+    /// Expected gate-count gain: 1 for a merge, 0 for Ω.A, -1 for Ω.D.
+    gain: i64,
+}
+
+impl ProposeEngine for AlgEngine {
+    type Proposal = AlgProposal;
+    type RoundState = ();
+
+    fn begin_round(
+        &self,
+        mig: &Mig,
+        max_regions: usize,
+        _invalidated: &[NodeId],
+    ) -> (RegionPartition, ()) {
+        // Level bands: algebraic moves carry no fanout-free restriction,
+        // and a band keeps a gate together with its fanins/grandchildren
+        // more often than an FFR packing would.
+        let p = RegionPartition::compute(mig, PartitionStrategy::LevelBands { max_regions });
+        (p, ())
+    }
+
+    fn propose(
+        &self,
+        mig: &Mig,
+        partition: &RegionPartition,
+        _state: &(),
+        region: u32,
+    ) -> Vec<AlgProposal> {
+        let mut props = Vec::new();
+        let mut claimed: HashSet<NodeId> = HashSet::new();
+        // Topmost members first, matching the driver's descending commit
+        // order across regions.
+        for &v in partition.members(region).iter().rev() {
+            if claimed.contains(&v) || !mig.is_gate(v) || mig.fanout_count(v) == 0 {
+                continue;
+            }
+            let prop = match self.family {
+                Family::Size => match_size_move(mig, v).map(|mv| AlgProposal {
+                    root: v,
+                    kind: MoveKind::Merge,
+                    footprint: vec![v, mv.g1, mv.g2],
+                    gain: 1,
+                }),
+                // The frozen round snapshot plays the role of the serial
+                // sweep's level snapshot: propose against its levels.
+                Family::Depth => match_depth_move_live(mig, v).map(|(mv, inner)| AlgProposal {
+                    root: v,
+                    kind: MoveKind::of_depth(&mv),
+                    footprint: vec![v, inner],
+                    gain: match mv {
+                        crate::inplace::DepthMove::Assoc { .. } => 0,
+                        crate::inplace::DepthMove::Distrib { .. } => -1,
+                    },
+                }),
+            };
+            if let Some(p) = prop {
+                claimed.extend(p.footprint.iter().copied());
+                props.push(p);
+            }
+        }
+        props
+    }
+
+    fn footprint<'a>(&self, p: &'a AlgProposal) -> &'a [NodeId] {
+        &p.footprint
+    }
+
+    fn gain(&self, p: &AlgProposal) -> i64 {
+        p.gain
+    }
+
+    fn commit(&self, mig: &mut Mig, p: AlgProposal) -> CommitVerdict {
+        if !mig.is_gate(p.root) {
+            return CommitVerdict::Conflicted;
+        }
+        // Re-derive against the live graph: a vanished pattern or a
+        // kind flip means the neighborhood drifted (Conflicted — the
+        // region retries from fresh analysis), while a refused
+        // substitution (cycle through shared logic, reproduced root,
+        // degraded level) would refuse again (Rejected).
+        let mut stats = AlgStats::default();
+        let applied = match self.family {
+            Family::Size => {
+                let Some(mv) = match_size_move(mig, p.root) else {
+                    return CommitVerdict::Conflicted;
+                };
+                commit_size_move(mig, p.root, mv, &mut stats)
+            }
+            Family::Depth => {
+                let Some((mv, _inner)) = match_depth_move_live(mig, p.root) else {
+                    return CommitVerdict::Conflicted;
+                };
+                if MoveKind::of_depth(&mv) != p.kind {
+                    return CommitVerdict::Conflicted;
+                }
+                commit_depth_move(mig, p.root, mv, &mut stats).is_some()
+            }
+        };
+        if applied {
+            CommitVerdict::Applied { replacements: 1 }
+        } else {
+            CommitVerdict::Rejected
+        }
+    }
+}
+
+/// One sharded stage: propose/commit rounds to quiescence, followed by
+/// a serial polish to the serial engine's own fixpoint. Applied-move
+/// counters of the driver rounds come from the committed gains of kept
+/// rounds (exact: the commit phase refuses kind-flipped re-derivations).
+fn sharded_stage(
+    mig: &mut Mig,
+    family: Family,
+    threads: usize,
+    max_rounds: usize,
+) -> (AlgStats, usize) {
+    let mut cfg = ShardConfig::new(threads);
+    cfg.max_rounds = max_rounds;
+    // Both families run guarded: merges are liberal (their profit comes
+    // from cross-sweep strash sharing), so a round is kept only when it
+    // improves the family's lexicographic metric.
+    let guard = match family {
+        Family::Size => script_metric as fn(&Mig) -> (u64, u64),
+        Family::Depth => depth_metric as fn(&Mig) -> (u64, u64),
+    };
+    cfg.guard = Some(guard);
+    let engine = AlgEngine { family };
+    if !cfg.shardable(mig) {
+        // Too small to shard: the serial convergence loop is the
+        // degenerate case (bit-identical to a `threads == 1` run).
+        return converge(mig, max_rounds, family, guard);
+    }
+    let stats = run_shard_rounds(mig, &engine, &cfg);
+    let mut alg = AlgStats::default();
+    match family {
+        Family::Size => alg.merges = stats.replacements,
+        Family::Depth => {
+            // Every kept depth commit contributed 0 (assoc) or -1
+            // (distrib) to the gain sum.
+            let distrib = (-stats.gain).max(0) as u64;
+            alg.distrib_moves = distrib.min(stats.replacements);
+            alg.assoc_moves = stats.replacements - alg.distrib_moves;
+        }
+    }
+    // Serial polish: recover cross-region moves from the quiescent graph.
+    let (polish, polish_rounds) = converge(mig, max_rounds, family, guard);
+    alg.absorb(polish);
+    (alg, stats.rounds + polish_rounds)
+}
+
+/// [`crate::size_converge`] / [`crate::depth_converge`] backend with a
+/// worker-thread count: `threads <= 1` (or a graph too small to shard)
+/// runs the serial convergence loop; larger graphs run sharded
+/// propose/commit rounds followed by a serial polish pass.
+pub(crate) fn converge_threads(
+    mig: &mut Mig,
+    max_rounds: usize,
+    depth: bool,
+    threads: usize,
+) -> (AlgStats, usize) {
+    let family = if depth { Family::Depth } else { Family::Size };
+    if threads <= 1 {
+        let guard = if depth {
+            depth_metric as fn(&Mig) -> (u64, u64)
+        } else {
+            script_metric as fn(&Mig) -> (u64, u64)
+        };
+        return converge(mig, max_rounds, family, guard);
+    }
+    sharded_stage(mig, family, threads, max_rounds)
+}
+
+/// The sharded optimization script. The script's round acceptance is
+/// inherently serial (each round's stage selection depends on the
+/// previous round's committed graph), so — like the bottom-up
+/// functional-hashing variants, whose candidate DP is global — the
+/// quality baseline is the serial in-place script, and the sharded
+/// stages run afterwards as *refinement*: alternating sharded size and
+/// depth rounds under the same lexicographic `(gates, depth)` acceptance
+/// ([`crate::script_metric`]), each kept only when it improves. This
+/// makes the sharded script never worse than the serial script on any
+/// input, bit-deterministic for a fixed input and thread count, and
+/// degenerate to exactly the serial script on graphs too small to shard.
+pub fn optimize_threads(mig: &mut Mig, max_rounds: usize, threads: usize) -> AlgStats {
+    if threads <= 1 {
+        return crate::optimize_in_place(mig, max_rounds);
+    }
+    // Quality baseline: the serial script (cheap — in-place and
+    // incremental; the never-worse-than-serial floor).
+    let mut total = crate::optimize_in_place(mig, max_rounds);
+    // Parallel refinement: sharded stages explore a different move
+    // schedule (propose/commit rounds over region proposals), driven by
+    // the same round skeleton as the serial script (shared
+    // `script_round`); a round that fails to improve the script metric
+    // is rolled back.
+    for _ in 0..max_rounds {
+        let round = script_round(
+            mig,
+            &mut |m| converge_threads(m, 8, false, threads).0,
+            &mut |m| converge_threads(m, 8, true, threads).0,
+        );
+        match round {
+            Some(round) => total.absorb(round),
+            None => break,
+        }
+    }
+    total
+}

@@ -17,9 +17,11 @@
 //! | Pass | Effect |
 //! |------|--------|
 //! | `strash`          | rebuild with structural hashing, drop dangling gates |
-//! | `algebraic[:N]`   | algebraic size+depth script, at most N rounds (default 2) |
-//! | `size`            | one algebraic size-rewriting round (Ω.D right-to-left) |
-//! | `depth`           | one algebraic depth-rewriting round (Ω.A / Ω.D) |
+//! | `algebraic[:N][@T]` | in-place algebraic size+depth script, at most N rounds (default 2), sharded over T workers |
+//! | `size`            | one in-place algebraic size-rewriting sweep (Ω.D right-to-left) |
+//! | `depth`           | one in-place algebraic depth-rewriting sweep (Ω.A / Ω.D) |
+//! | `size![@T]`       | size sweeps repeated until no merge fires |
+//! | `depth![@T]`      | depth sweeps repeated to the depth fixpoint |
 //! | `fhash:V[@N]`     | in-place functional hashing, V ∈ {T, TD, TF, TFD, B, BF}, sharded over N worker threads |
 //! | `fhash!:V[@N]`    | functional hashing repeated until no replacement fires |
 //! | `balance`         | AIG tree-height reduction round-trip |
@@ -28,12 +30,16 @@
 //! | `map[:k]`         | k-LUT mapping report (does not change the MIG) |
 //! | `stats`           | print the current size/depth |
 //!
-//! An `fhash` pass without an explicit `@N` uses the pipeline's default
-//! thread count ([`run_pipeline_jobs`], the `migopt -j` flag); `@1`
-//! forces the serial in-place engine. Consecutive `fhash` passes share
-//! one incrementally maintained cut set (enumerated once, then only
-//! refreshed from the dirty log), which passes that rebuild the graph
-//! (`strash`, `balance`, `rewrite`, the algebraic passes) invalidate.
+//! An `fhash`, `size!`, `depth!` or `algebraic` pass without an explicit
+//! `@N` uses the pipeline's default thread count ([`run_pipeline_jobs`],
+//! the `migopt -j` flag); `@1` forces the serial in-place engine. Every
+//! rewriting pass runs in place on the managed network, so consecutive
+//! `fhash` *and algebraic* passes share one incrementally maintained cut
+//! set (enumerated once, then only refreshed from the structural-change
+//! log — the algebraic passes peek at the log without draining it).
+//! Passes that rebuild the graph wholesale (`strash`, `balance`,
+//! `rewrite`) and the sharded drivers (which consume the log internally)
+//! invalidate the shared set.
 
 use mig::Mig;
 use std::fmt;
@@ -44,12 +50,29 @@ use std::time::Instant;
 pub enum Pass {
     /// Rebuild with structural hashing and drop dangling nodes.
     Strash,
-    /// Algebraic optimization script with a round budget.
-    Algebraic { rounds: usize },
-    /// A single size-oriented algebraic rewriting round.
+    /// In-place algebraic optimization script with a round budget,
+    /// sharded over `threads` workers (`None`: the pipeline default; 1:
+    /// the serial engine).
+    Algebraic {
+        /// Maximum script rounds.
+        rounds: usize,
+        /// Worker threads (`@T` suffix); `None` uses the pipeline default.
+        threads: Option<usize>,
+    },
+    /// A single in-place size-oriented algebraic sweep.
     SizeRewrite,
-    /// A single depth-oriented algebraic rewriting round.
+    /// A single in-place depth-oriented algebraic sweep.
     DepthRewrite,
+    /// Size sweeps repeated until no merge fires (`size!`).
+    SizeConverge {
+        /// Worker threads (`@T` suffix); `None` uses the pipeline default.
+        threads: Option<usize>,
+    },
+    /// Depth sweeps repeated to the depth fixpoint (`depth!`).
+    DepthConverge {
+        /// Worker threads (`@T` suffix); `None` uses the pipeline default.
+        threads: Option<usize>,
+    },
     /// In-place functional hashing with the given paper variant, sharded
     /// over `threads` worker threads (`None`: the pipeline default; 1:
     /// the serial engine).
@@ -85,9 +108,29 @@ impl fmt::Display for Pass {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Pass::Strash => write!(f, "strash"),
-            Pass::Algebraic { rounds } => write!(f, "algebraic:{rounds}"),
+            Pass::Algebraic { rounds, threads } => {
+                write!(f, "algebraic:{rounds}")?;
+                if let Some(t) = threads {
+                    write!(f, "@{t}")?;
+                }
+                Ok(())
+            }
             Pass::SizeRewrite => write!(f, "size"),
             Pass::DepthRewrite => write!(f, "depth"),
+            Pass::SizeConverge { threads } => {
+                write!(f, "size!")?;
+                if let Some(t) = threads {
+                    write!(f, "@{t}")?;
+                }
+                Ok(())
+            }
+            Pass::DepthConverge { threads } => {
+                write!(f, "depth!")?;
+                if let Some(t) = threads {
+                    write!(f, "@{t}")?;
+                }
+                Ok(())
+            }
             Pass::Fhash { variant, threads } => {
                 write!(f, "fhash:{}", variant.acronym())?;
                 if let Some(t) = threads {
@@ -154,9 +197,26 @@ pub fn parse_pipeline(s: &str) -> Result<Vec<Pass>, PipelineParseError> {
             text: text.to_string(),
             message,
         };
+        let parse_threads = |t: &str| -> Result<usize, PipelineParseError> {
+            let t = t.trim();
+            let n = t
+                .parse::<usize>()
+                .map_err(|_| err(format!("thread count must be a number, got {t:?}")))?;
+            if n == 0 {
+                return Err(err("thread count must be at least 1".to_string()));
+            }
+            Ok(n)
+        };
         let (name, arg) = match text.split_once(':') {
             Some((n, a)) => (n.trim(), Some(a.trim())),
             None => (text, None),
+        };
+        // Optional `@T` worker-thread suffix on the pass *name*
+        // (`size!@4`, `algebraic@2`); `fhash` carries it on its variant
+        // argument instead (`fhash:T@4`).
+        let (name, mut name_threads) = match name.split_once('@') {
+            None => (name, None),
+            Some((n, t)) => (n.trim(), Some(parse_threads(t)?)),
         };
         let no_arg = |pass: Pass| -> Result<Pass, PipelineParseError> {
             match arg {
@@ -168,17 +228,42 @@ pub fn parse_pipeline(s: &str) -> Result<Vec<Pass>, PipelineParseError> {
             "strash" => no_arg(Pass::Strash)?,
             "size" => no_arg(Pass::SizeRewrite)?,
             "depth" => no_arg(Pass::DepthRewrite)?,
+            "size!" => no_arg(Pass::SizeConverge {
+                threads: name_threads.take(),
+            })?,
+            "depth!" => no_arg(Pass::DepthConverge {
+                threads: name_threads.take(),
+            })?,
             "balance" => no_arg(Pass::Balance)?,
             "rewrite" => no_arg(Pass::RewriteAig)?,
             "stats" => no_arg(Pass::Stats)?,
             "algebraic" => {
-                let rounds = match arg {
-                    None => 2,
-                    Some(a) => a
-                        .parse::<usize>()
-                        .map_err(|_| err(format!("round count must be a number, got {a:?}")))?,
+                // The round budget may carry the thread suffix too
+                // (`algebraic:3@4`).
+                let (rounds, arg_threads) = match arg {
+                    None => (2, None),
+                    Some(a) => {
+                        let (rtext, t) = match a.split_once('@') {
+                            None => (a, None),
+                            Some((r, t)) => (r.trim(), Some(parse_threads(t)?)),
+                        };
+                        let rounds = if rtext.is_empty() {
+                            2
+                        } else {
+                            rtext.parse::<usize>().map_err(|_| {
+                                err(format!("round count must be a number, got {rtext:?}"))
+                            })?
+                        };
+                        (rounds, t)
+                    }
                 };
-                Pass::Algebraic { rounds }
+                let threads = match (name_threads.take(), arg_threads) {
+                    (Some(_), Some(_)) => {
+                        return Err(err("duplicate @N thread suffix".to_string()));
+                    }
+                    (a, b) => a.or(b),
+                };
+                Pass::Algebraic { rounds, threads }
             }
             "fhash" | "fhash!" => {
                 let Some(a) = arg else {
@@ -187,17 +272,15 @@ pub fn parse_pipeline(s: &str) -> Result<Vec<Pass>, PipelineParseError> {
                     )));
                 };
                 // `fhash:T@4`: optional worker-thread suffix.
-                let (vtext, threads) = match a.split_once('@') {
+                let (vtext, arg_threads) = match a.split_once('@') {
                     None => (a, None),
-                    Some((v, t)) => {
-                        let t = t.trim().parse::<usize>().map_err(|_| {
-                            err(format!("thread count must be a number, got {t:?}"))
-                        })?;
-                        if t == 0 {
-                            return Err(err("thread count must be at least 1".to_string()));
-                        }
-                        (v.trim(), Some(t))
+                    Some((v, t)) => (v.trim(), Some(parse_threads(t)?)),
+                };
+                let threads = match (name_threads.take(), arg_threads) {
+                    (Some(_), Some(_)) => {
+                        return Err(err("duplicate @N thread suffix".to_string()));
                     }
+                    (a, b) => a.or(b),
                 };
                 let v = fhash::Variant::from_acronym(vtext).ok_or_else(|| {
                     err(format!(
@@ -239,6 +322,9 @@ pub fn parse_pipeline(s: &str) -> Result<Vec<Pass>, PipelineParseError> {
             }
             other => return Err(err(format!("unknown pass {other:?}"))),
         };
+        if name_threads.is_some() {
+            return Err(err(format!("pass {name:?} takes no @N thread suffix")));
+        }
         passes.push(pass);
     }
     Ok(passes)
@@ -330,24 +416,52 @@ pub fn run_pipeline_jobs(
                 cur = cur.cleanup();
                 cut_cache = None;
             }
-            Pass::Algebraic { rounds } => {
-                cur = migalg::optimize(&cur, *rounds);
-                cut_cache = None;
+            Pass::Algebraic { rounds, threads } => {
+                // The serial script rewrites in place and only *appends*
+                // to the structural-change log, so a carried cut set
+                // stays refreshable; the sharded driver consumes the log
+                // internally and drops it.
+                let t = threads.unwrap_or(default_threads);
+                let stats = if t <= 1 {
+                    migalg::optimize_in_place(&mut cur, *rounds)
+                } else {
+                    cut_cache = None;
+                    migalg::optimize_threads(&mut cur, *rounds, t)
+                };
+                note = format!(
+                    "{} merges, {} assoc, {} distrib moves",
+                    stats.merges, stats.assoc_moves, stats.distrib_moves
+                );
             }
             Pass::SizeRewrite => {
-                let (next, stats) = migalg::size_rewrite(&cur);
+                let stats = migalg::size_rewrite_in_place(&mut cur);
                 note = format!("{} merges", stats.merges);
-                cur = next;
-                cut_cache = None;
             }
             Pass::DepthRewrite => {
-                let (next, stats) = migalg::depth_rewrite(&cur);
+                let stats = migalg::depth_rewrite_in_place(&mut cur);
                 note = format!(
                     "{} assoc, {} distrib moves",
                     stats.assoc_moves, stats.distrib_moves
                 );
-                cur = next;
-                cut_cache = None;
+            }
+            Pass::SizeConverge { threads } => {
+                let t = threads.unwrap_or(default_threads);
+                if t > 1 {
+                    cut_cache = None;
+                }
+                let (stats, rounds) = migalg::size_converge(&mut cur, 50, t);
+                note = format!("{rounds} rounds, {} merges", stats.merges);
+            }
+            Pass::DepthConverge { threads } => {
+                let t = threads.unwrap_or(default_threads);
+                if t > 1 {
+                    cut_cache = None;
+                }
+                let (stats, rounds) = migalg::depth_converge(&mut cur, 50, t);
+                note = format!(
+                    "{rounds} rounds, {} assoc, {} distrib moves",
+                    stats.assoc_moves, stats.distrib_moves
+                );
             }
             Pass::Fhash { variant, threads } => {
                 let e = engine.get_or_insert_with(fhash::FunctionalHashing::with_default_database);
@@ -443,7 +557,13 @@ mod tests {
         let p = parse_pipeline("strash; algebraic; fhash:TFD; fhash:B; cec").unwrap();
         assert_eq!(p.len(), 5);
         assert_eq!(p[0], Pass::Strash);
-        assert_eq!(p[1], Pass::Algebraic { rounds: 2 });
+        assert_eq!(
+            p[1],
+            Pass::Algebraic {
+                rounds: 2,
+                threads: None
+            }
+        );
         assert_eq!(
             p[2],
             Pass::Fhash {
@@ -484,7 +604,10 @@ mod tests {
         assert_eq!(
             parse_pipeline("algebraic:5 ; map:4; cec:1000").unwrap(),
             vec![
-                Pass::Algebraic { rounds: 5 },
+                Pass::Algebraic {
+                    rounds: 5,
+                    threads: None
+                },
                 Pass::Map { k: 4 },
                 Pass::Cec { budget: Some(1000) },
             ]
@@ -523,6 +646,60 @@ mod tests {
         assert!(e.message.contains("at least 1"));
         let e = parse_pipeline("fhash:Q@2").unwrap_err();
         assert!(e.message.contains("unknown variant"));
+    }
+
+    #[test]
+    fn grammar_algebraic_converge_and_thread_suffixes() {
+        assert_eq!(
+            parse_pipeline("size!; depth!; size; depth").unwrap(),
+            vec![
+                Pass::SizeConverge { threads: None },
+                Pass::DepthConverge { threads: None },
+                Pass::SizeRewrite,
+                Pass::DepthRewrite,
+            ]
+        );
+        assert_eq!(
+            parse_pipeline("size!@4; depth!@2").unwrap(),
+            vec![
+                Pass::SizeConverge { threads: Some(4) },
+                Pass::DepthConverge { threads: Some(2) },
+            ]
+        );
+        assert_eq!(
+            parse_pipeline("algebraic@4").unwrap(),
+            vec![Pass::Algebraic {
+                rounds: 2,
+                threads: Some(4)
+            }]
+        );
+        assert_eq!(
+            parse_pipeline("algebraic:3@4").unwrap(),
+            vec![Pass::Algebraic {
+                rounds: 3,
+                threads: Some(4)
+            }]
+        );
+        // Round-trip rendering.
+        assert_eq!(parse_pipeline("size!@4").unwrap()[0].to_string(), "size!@4");
+        assert_eq!(parse_pipeline("depth!").unwrap()[0].to_string(), "depth!");
+        assert_eq!(
+            parse_pipeline("algebraic:3@4").unwrap()[0].to_string(),
+            "algebraic:3@4"
+        );
+        // Errors: bad thread suffixes and passes that take none.
+        let e = parse_pipeline("size!@0").unwrap_err();
+        assert!(e.message.contains("at least 1"));
+        let e = parse_pipeline("algebraic:x@2").unwrap_err();
+        assert!(e.message.contains("round count"));
+        let e = parse_pipeline("strash@2").unwrap_err();
+        assert!(e.message.contains("takes no @N"));
+        let e = parse_pipeline("size@2").unwrap_err();
+        assert!(e.message.contains("takes no @N"));
+        let e = parse_pipeline("algebraic@2:3@4").unwrap_err();
+        assert!(e.message.contains("duplicate @N"));
+        let e = parse_pipeline("fhash@2:T@4").unwrap_err();
+        assert!(e.message.contains("duplicate @N"));
     }
 
     #[test]

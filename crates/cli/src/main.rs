@@ -23,13 +23,14 @@ OPTIONS:
     -p, --passes <spec>    ';'-separated pipeline, e.g.
                            \"strash; algebraic; fhash:TFD; fhash:B; cec\"
                            (default: \"stats\")
-    -j, --threads <N>      default worker threads for fhash passes
-                           without an explicit @N suffix (default: 1)
+    -j, --threads <N>      default worker threads for fhash and algebraic
+                           passes without an explicit @N suffix (default: 1)
     -q, --quiet            suppress per-pass reporting
     -h, --help             show this help
 
 PASSES:
-    strash  algebraic[:N]  size  depth  fhash:{T,TD,TF,TFD,B,BF}[@N]
+    strash  algebraic[:N][@T]  size  depth  size![@T]  depth![@T]
+    fhash:{T,TD,TF,TFD,B,BF}[@N]
     fhash!:{T,TD,TF,TFD,B,BF}[@N] (repeat to convergence)
     balance  rewrite  cec[:budget]  map[:k]  stats
 ";

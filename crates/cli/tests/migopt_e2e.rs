@@ -167,6 +167,143 @@ fn sharded_pipelines_prove_equivalence_on_all_benchmarks() {
 }
 
 #[test]
+fn inplace_algebraic_acceptance_on_all_benchmarks() {
+    // ISSUE 4 acceptance: on every checked-in benchmark the in-place
+    // algebraic script is CEC-equivalent to the input with a gate count
+    // no worse than the rebuild reference script, and the in-place depth
+    // script reaches a depth no worse than the iterated rebuild depth
+    // pass.
+    for name in ["full_adder.aag", "adder8.aag", "mult4.aig", "adder4.blif"] {
+        let m = io::read_mig_path(benchmarks_dir().join(name)).unwrap();
+        let inplace = migalg::optimize(&m, 8);
+        let rebuild = migalg::optimize_rebuild(&m, 8);
+        assert!(
+            inplace.num_gates() <= rebuild.num_gates(),
+            "{name}: in-place script {} > rebuild {}",
+            inplace.num_gates(),
+            rebuild.num_gates()
+        );
+        assert_eq!(
+            cec::prove_equivalent(&m, &inplace, None),
+            cec::CecResult::Equivalent,
+            "{name}: in-place script result not equivalent"
+        );
+
+        let mut depth_ip = m.cleanup();
+        migalg::depth_converge(&mut depth_ip, 50, 1);
+        let mut depth_rb = m.cleanup();
+        loop {
+            let (next, _) = migalg::depth_rewrite_rebuild(&depth_rb);
+            if next.depth() >= depth_rb.depth() {
+                break;
+            }
+            depth_rb = next;
+        }
+        assert!(
+            depth_ip.depth() <= depth_rb.depth(),
+            "{name}: in-place depth script {} > rebuild {}",
+            depth_ip.depth(),
+            depth_rb.depth()
+        );
+        assert_eq!(
+            cec::prove_equivalent(&m, &depth_ip, None),
+            cec::CecResult::Equivalent,
+            "{name}: in-place depth script result not equivalent"
+        );
+    }
+}
+
+#[test]
+fn sharded_algebraic_acceptance_on_all_benchmarks() {
+    // ISSUE 4 acceptance: sharded `algebraic@N` runs are SAT-proved
+    // CEC-equivalent, never worse than the serial script, and
+    // bit-deterministic per thread count (1/2/4).
+    for name in ["full_adder.aag", "adder8.aag", "mult4.aig", "adder4.blif"] {
+        let m = io::read_mig_path(benchmarks_dir().join(name)).unwrap();
+        let mut serial = m.cleanup();
+        migalg::optimize_in_place(&mut serial, 8);
+        for threads in [1usize, 2, 4] {
+            let mut sharded = m.cleanup();
+            migalg::optimize_threads(&mut sharded, 8, threads);
+            assert!(
+                migalg::script_metric(&sharded) <= migalg::script_metric(&serial),
+                "{name}@{threads}: sharded {:?} worse than serial {:?}",
+                migalg::script_metric(&sharded),
+                migalg::script_metric(&serial)
+            );
+            assert_eq!(
+                cec::prove_equivalent(&m, &sharded, None),
+                cec::CecResult::Equivalent,
+                "{name}@{threads}: sharded script result not equivalent"
+            );
+            // Determinism: a second run builds the identical netlist.
+            let mut again = m.cleanup();
+            migalg::optimize_threads(&mut again, 8, threads);
+            assert_eq!(again.num_nodes(), sharded.num_nodes(), "{name}@{threads}");
+            assert_eq!(again.outputs(), sharded.outputs(), "{name}@{threads}");
+            let gates_a: Vec<_> = again.gates().map(|g| (g, again.fanins(g))).collect();
+            let gates_b: Vec<_> = sharded.gates().map(|g| (g, sharded.fanins(g))).collect();
+            assert_eq!(
+                gates_a, gates_b,
+                "{name}@{threads}: nondeterministic netlist"
+            );
+        }
+    }
+}
+
+#[test]
+fn interleaved_algebraic_fhash_pipelines_prove_equivalence() {
+    // The unified in-place stack end to end: algebraic and functional
+    // hashing interleaved in one pipeline, sharing the managed network
+    // (and, for the serial passes, the carried cut set), with an
+    // in-pipeline SAT equivalence check on every benchmark.
+    for name in ["full_adder.aag", "adder8.aag", "mult4.aig", "adder4.blif"] {
+        let m = io::read_mig_path(benchmarks_dir().join(name)).unwrap();
+        for spec in [
+            "size!; fhash!:B@2; depth!; cec",
+            "strash; algebraic@2; fhash:TFD; cec",
+            "depth; fhash:T; size; fhash:B; cec",
+        ] {
+            let passes = parse_pipeline(spec).unwrap();
+            let (opt, reports) = run_pipeline(&m, &passes)
+                .unwrap_or_else(|e| panic!("{name}: {spec:?} not equivalent: {e}"));
+            let cec_report = reports.last().unwrap();
+            assert!(cec_report.note.contains("equivalent"), "{name}: {spec:?}");
+            let _ = opt;
+        }
+    }
+}
+
+#[test]
+fn algebraic_pass_reports_applied_move_counts() {
+    // The per-pass report of algebraic passes carries applied-move
+    // counts, like the fhash passes' replacement counts.
+    let m = io::read_mig_path(benchmarks_dir().join("adder8.aag")).unwrap();
+    let passes = parse_pipeline("algebraic; size!; depth!; depth").unwrap();
+    let (_, reports) = run_pipeline(&m, &passes).unwrap();
+    assert!(
+        reports[0].note.contains("merges") && reports[0].note.contains("distrib"),
+        "algebraic note lacks move counts: {}",
+        reports[0].note
+    );
+    assert!(
+        reports[1].note.contains("rounds") && reports[1].note.contains("merges"),
+        "size! note lacks move counts: {}",
+        reports[1].note
+    );
+    assert!(
+        reports[2].note.contains("rounds") && reports[2].note.contains("distrib"),
+        "depth! note lacks move counts: {}",
+        reports[2].note
+    );
+    assert!(
+        reports[3].note.contains("assoc"),
+        "depth note lacks move counts: {}",
+        reports[3].note
+    );
+}
+
+#[test]
 fn binary_runs_the_demo_pipeline() {
     let out = std::env::temp_dir().join(format!("migopt_e2e_{}.blif", std::process::id()));
     let status = Command::new(env!("CARGO_BIN_EXE_migopt"))

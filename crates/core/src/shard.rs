@@ -1,70 +1,50 @@
-//! Sharded in-place rewriting: parallel proposal, serial commit.
+//! Sharded in-place functional hashing on the engine-agnostic
+//! propose/commit protocol ([`mig::ProposeEngine`]).
 //!
 //! The functional-hashing flow is local — a replacement touches a cut's
 //! cone and its fanout frontier — so the expensive part (cut enumeration,
-//! NPN canonization, database lookup, candidate scoring) can run
+//! NPN canonization, database lookup, candidate scoring) runs
 //! concurrently over a *frozen* graph while only the cheap part (the
-//! actual `replace_node` substitutions) stays serial. Each round:
+//! actual `replace_node` substitutions) stays serial. The round loop —
+//! partition, parallel propose, serial deterministic commit with
+//! footprint-conflict resolution, stale-region retry — lives in
+//! [`mig::run_shard_rounds`]; this module plugs in two engines:
 //!
-//! 1. **Partition.** The live gates are carved into regions
-//!    ([`RegionPartition`]): whole fanout-free regions packed into
-//!    balanced shards for the FFR-restricted variants, horizontal level
-//!    bands for the whole-graph variants. The partition is recomputed
-//!    per round (a cheap linear pass), but only regions containing nodes
-//!    dirtied by the previous round's commits — or owning a conflicted
-//!    proposal — are re-proposed.
-//! 2. **Propose.** Worker threads (`std::thread::scope`, work-stealing
-//!    over the active region list) analyze their regions read-only.
-//!    Top-down variants select the best database replacement per gate
-//!    using shard-local cut lists ([`cuts::LocalCuts`]); bottom-up
-//!    variants extract the region into a standalone MIG, optimize it
-//!    with the rebuild engine and propose rerouting the region's
-//!    boundary gates onto the optimized implementation. Every proposal
-//!    records its *footprint*: the round-start nodes its analysis
-//!    depends on.
-//! 3. **Commit.** Proposals are applied in a stable region order
-//!    (regions descending — mirroring the serial top-down preference for
-//!    topmost replacements — then the worker's in-region order), so the
-//!    mutation sequence, and therefore the resulting netlist, is
-//!    bit-deterministic for a fixed input and thread count regardless of
-//!    worker scheduling. A proposal commits only if its footprint is
-//!    disjoint from everything dirtied earlier in the round (the
-//!    boundary-conflict resolution) and, for cut proposals, a live
-//!    re-check of fanout legality passes; otherwise its footprint is
-//!    marked stale and the owning region retries next round.
+//! * [`CutEngine`] (the top-down variants): per gate, the best legal
+//!   database replacement selected from shard-local cut lists
+//!   ([`cuts::LocalCuts`]). The per-region lists are **carried across
+//!   rounds** — invalidated by the previous round's dirty set, like the
+//!   global `CutSet` — so incremental rounds only re-enumerate the cuts
+//!   a commit actually staled. Commit re-checks fanout legality (strash
+//!   inside an earlier commit can resurrect a shared node without
+//!   dirtying it) and, for the depth-preserving variants, the level
+//!   bound against live levels.
+//! * [`RegionEngine`] (the bottom-up variants): the region is extracted
+//!   into a standalone MIG, optimized with the serial engine, and the
+//!   boundary gates are rerouted onto the optimized implementation. The
+//!   bottom-up candidate DP is global, so the quality baseline is one
+//!   serial pass up front and the regional rounds act as shrink-only
+//!   refinement (driver guard) with a serial polish at the end — making
+//!   the sharded result never worse than the serial engine on any input.
 //!
-//! Rounds repeat until no proposal commits. Every committed proposal
-//! carries an expected gain >= 1, so committing rounds strictly shrink
-//! the graph and the loop terminates; the non-monotone bottom-up
-//! variants additionally snapshot per round and roll back if a round
-//! fails to shrink (the same guard `run_converge` uses).
+//! Determinism: fixed input + thread count ⇒ bit-identical netlist (a
+//! driver property — commit order is independent of worker scheduling).
 
 use crate::common::{cut_is_fanout_legal, internal_nodes, select_best_cut, Replacement};
 use crate::{FhStats, FunctionalHashing, Variant};
 use cuts::{Cut, LocalCuts};
-use mig::{FfrPartition, Mig, NodeId, PartitionStrategy, RegionPartition, Signal};
-use std::collections::{BTreeSet, HashMap, HashSet};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use mig::{
+    run_shard_rounds, CommitVerdict, FfrPartition, Mig, NodeId, PartitionStrategy, ProposeEngine,
+    RegionPartition, ShardConfig, Signal,
+};
+use std::collections::{HashMap, HashSet};
 use std::sync::Mutex;
-
-/// Regions per worker thread: over-partitioning smooths load imbalance
-/// between shards of unequal rewriting opportunity.
-const REGIONS_PER_THREAD: usize = 4;
-
-/// Minimum gates per region: small graphs are not fragmented below this
-/// (a sliver region sees too little context to find replacements, and
-/// the per-region overhead would dominate the work).
-const MIN_REGION_SIZE: usize = 24;
 
 /// Leaf horizon of the shard-local cut lists: nodes this many levels
 /// below a region's lowest member act as cut leaves. Bounds a worker's
 /// cut enumeration to its region's neighborhood instead of the whole
 /// transitive fanin cone; 4-feasible cuts rarely span more levels.
 const CUT_HORIZON: u32 = 8;
-
-/// Backstop on propose/commit rounds. Committing rounds strictly shrink
-/// the graph, so this is never the expected exit.
-const MAX_ROUNDS: usize = 64;
 
 enum ProposalKind {
     /// Top-down: substitute `root` by the instantiation of the database
@@ -98,19 +78,344 @@ struct Proposal {
     footprint: Vec<NodeId>,
 }
 
-/// What happened to one round's proposals.
-#[derive(Debug, Default, PartialEq, Eq)]
-struct CommitOutcome {
-    /// Proposals applied (a region proposal counts once even when it
-    /// reroutes several boundary gates).
-    committed: usize,
-    /// Proposals refused by the footprint conflict check (their regions
-    /// retry next round).
-    conflicted: usize,
-    /// Individual substitutions performed.
-    replacements: u64,
-    /// Sum of expected gains of the committed proposals.
-    gain: i64,
+/// Top-down propose engine: database cut replacements from shard-local
+/// cut lists, with per-region list reuse across rounds.
+struct CutEngine<'e> {
+    engine: &'e FunctionalHashing,
+    depth_preserving: bool,
+    use_ffr: bool,
+    /// Per-region [`LocalCuts`] carried across rounds. Workers take
+    /// their region's store out under the lock, refresh it lock-free and
+    /// put it back; `begin_round` invalidates every store with the
+    /// previous round's dirty set.
+    carried: Mutex<HashMap<u32, LocalCuts>>,
+}
+
+impl ProposeEngine for CutEngine<'_> {
+    type Proposal = Proposal;
+    type RoundState = Option<FfrPartition>;
+
+    fn begin_round(
+        &self,
+        mig: &Mig,
+        max_regions: usize,
+        invalidated: &[NodeId],
+    ) -> (RegionPartition, Option<FfrPartition>) {
+        // The FFR view doubles as the §IV-C legality restriction.
+        let (partition, ffr) = if self.use_ffr {
+            let f = FfrPartition::compute(mig);
+            let p = RegionPartition::from_ffr(mig, &f, max_regions);
+            (p, Some(f))
+        } else {
+            let p = RegionPartition::compute(mig, PartitionStrategy::LevelBands { max_regions });
+            (p, None)
+        };
+        if !invalidated.is_empty() {
+            let mut carried = self.carried.lock().unwrap();
+            for store in carried.values_mut() {
+                store.invalidate(mig, invalidated.iter().copied());
+            }
+        }
+        (partition, ffr)
+    }
+
+    /// Top-down proposals for one region: best legal database replacement
+    /// per member gate, topmost first, with the region's earlier
+    /// proposals' cones excluded (a worker's own proposals never
+    /// overlap).
+    fn propose(
+        &self,
+        mig: &Mig,
+        partition: &RegionPartition,
+        ffr: &Option<FfrPartition>,
+        region: u32,
+    ) -> Vec<Proposal> {
+        let members = partition.members(region);
+        let mut props = Vec::new();
+        if members.is_empty() {
+            return props;
+        }
+        let floor = members
+            .iter()
+            .map(|&g| mig.level(g))
+            .min()
+            .unwrap_or(0)
+            .saturating_sub(CUT_HORIZON);
+        // Sharded cut refresh reuse: take the region's carried lists when
+        // the leaf horizon is unchanged (lists are valid per node, and
+        // `begin_round` already staled everything the last commits
+        // touched); otherwise start fresh.
+        let mut local = {
+            let mut carried = self.carried.lock().unwrap();
+            match carried.remove(&region) {
+                Some(store) if store.floor_level() == floor => store,
+                _ => LocalCuts::new(self.engine.config().cut_config, floor),
+            }
+        };
+        let mut claimed: HashSet<NodeId> = HashSet::new();
+        for &v in members.iter().rev() {
+            if claimed.contains(&v) || !mig.is_gate(v) {
+                continue;
+            }
+            let list = local.of(mig, v).to_vec();
+            let Some(sel) = select_best_cut(
+                self.engine,
+                mig,
+                v,
+                &list,
+                ffr.as_ref(),
+                self.depth_preserving,
+                |n| mig.level(n),
+            ) else {
+                continue;
+            };
+            let internal = internal_nodes(mig, v, &sel.cut);
+            claimed.extend(internal.iter().copied());
+            // The footprint adds the non-terminal leaves: the template is
+            // instantiated over them, so they must survive unchanged.
+            let mut footprint = internal.clone();
+            footprint.extend(
+                sel.cut
+                    .leaves()
+                    .iter()
+                    .copied()
+                    .filter(|&l| !mig.is_terminal(l)),
+            );
+            props.push(Proposal {
+                kind: ProposalKind::Cut {
+                    root: v,
+                    cut: sel.cut,
+                    repl: sel.repl,
+                    internal,
+                },
+                gain: sel.gain,
+                footprint,
+            });
+        }
+        self.carried.lock().unwrap().insert(region, local);
+        props
+    }
+
+    fn footprint<'a>(&self, p: &'a Proposal) -> &'a [NodeId] {
+        &p.footprint
+    }
+
+    fn gain(&self, p: &Proposal) -> i64 {
+        i64::from(p.gain)
+    }
+
+    fn commit(&self, mig: &mut Mig, prop: Proposal) -> CommitVerdict {
+        let ProposalKind::Cut {
+            root,
+            cut,
+            repl,
+            internal,
+        } = prop.kind
+        else {
+            unreachable!("cut engine only emits cut proposals");
+        };
+        // A clean footprint means the cone is structurally unchanged,
+        // but fanout counts of internal nodes can grow without a dirty
+        // entry (structural hashing inside an earlier commit can
+        // resurrect a shared node), so fanout legality is re-checked
+        // against live counts. Likewise, level cascades from earlier
+        // commits are not dirty-logged, so the depth-preserving bound
+        // must be re-evaluated against live levels too.
+        let depth_ok = !self.depth_preserving
+            || repl.estimated_level(&cut, |pos| mig.level(cut.leaves()[pos]))
+                <= mig.level(root) + self.engine.config().allowed_depth_increase;
+        if !mig.is_gate(root) || !cut_is_fanout_legal(mig, root, &internal) || !depth_ok {
+            return CommitVerdict::Conflicted;
+        }
+        let new_sig = repl.instantiate(mig, &cut, self.engine.database(), |pos| {
+            Signal::new(cut.leaves()[pos], false)
+        });
+        if new_sig.node() == root {
+            // The template reproduced the root; nothing to do (stray
+            // template intermediates fall to the sweep).
+            return CommitVerdict::Rejected;
+        }
+        if mig.replace_node(root, new_sig) {
+            CommitVerdict::Applied { replacements: 1 }
+        } else {
+            // Cycle through shared logic: retract the speculative cone;
+            // retrying would refuse again, so this is not a conflict.
+            mig.reclaim(new_sig.node());
+            CommitVerdict::Rejected
+        }
+    }
+}
+
+/// Bottom-up propose engine: whole-region extraction, serial
+/// optimization of the standalone copy, boundary reroute.
+struct RegionEngine<'e> {
+    engine: &'e FunctionalHashing,
+    variant: Variant,
+}
+
+impl ProposeEngine for RegionEngine<'_> {
+    type Proposal = Proposal;
+    type RoundState = ();
+
+    fn begin_round(
+        &self,
+        mig: &Mig,
+        max_regions: usize,
+        _invalidated: &[NodeId],
+    ) -> (RegionPartition, ()) {
+        let strategy = if matches!(self.variant, Variant::BottomUpFfr) {
+            PartitionStrategy::FfrForest { max_regions }
+        } else {
+            PartitionStrategy::LevelBands { max_regions }
+        };
+        (RegionPartition::compute(mig, strategy), ())
+    }
+
+    /// Bottom-up proposal for one region: extract the region as a
+    /// standalone MIG (external feeders become primary inputs, boundary
+    /// members become outputs), optimize the copy with the serial
+    /// in-place engine, and propose the boundary reroute when it shrinks
+    /// the region.
+    fn propose(
+        &self,
+        mig: &Mig,
+        partition: &RegionPartition,
+        _state: &(),
+        region: u32,
+    ) -> Vec<Proposal> {
+        let view = partition.view(mig, region);
+        if view.boundary.is_empty() || view.members.len() < 2 {
+            return Vec::new();
+        }
+        let mut sub = Mig::new(view.inputs.len());
+        let mut map: HashMap<NodeId, Signal> = HashMap::new();
+        map.insert(0, Signal::ZERO);
+        for (i, &n) in view.inputs.iter().enumerate() {
+            map.insert(n, sub.input(i));
+        }
+        for &m in &view.members {
+            let sig = {
+                let fan = mig
+                    .fanins(m)
+                    .map(|s| map[&s.node()].complement_if(s.is_complemented()));
+                sub.maj(fan[0], fan[1], fan[2])
+            };
+            map.insert(m, sig);
+        }
+        for &b in &view.boundary {
+            sub.add_output(map[&b]);
+        }
+        // Optimize the extracted region with the serial in-place engine
+        // (on the standalone copy — the shared graph stays frozen): it
+        // keeps whatever structure it cannot improve, so unchanged logic
+        // re-instantiates onto the original live nodes through
+        // structural hashing and the reroute degenerates to a no-op.
+        let mut opt = sub;
+        self.engine.run_in_place(&mut opt, self.variant);
+        let gain = view.members.len() as i32 - opt.num_gates() as i32;
+        if gain < 1 {
+            return Vec::new();
+        }
+        let mut footprint = view.members.clone();
+        footprint.extend(view.inputs.iter().copied().filter(|&n| !mig.is_terminal(n)));
+        vec![Proposal {
+            kind: ProposalKind::Region {
+                sub: Box::new(opt),
+                inputs: view.inputs,
+                boundary: view.boundary,
+            },
+            gain,
+            footprint,
+        }]
+    }
+
+    fn footprint<'a>(&self, p: &'a Proposal) -> &'a [NodeId] {
+        &p.footprint
+    }
+
+    fn gain(&self, p: &Proposal) -> i64 {
+        i64::from(p.gain)
+    }
+
+    fn commit(&self, mig: &mut Mig, prop: Proposal) -> CommitVerdict {
+        let ProposalKind::Region {
+            sub,
+            inputs,
+            boundary,
+        } = prop.kind
+        else {
+            unreachable!("region engine only emits region proposals");
+        };
+        if boundary.iter().any(|&b| !mig.is_gate(b)) {
+            return CommitVerdict::Conflicted;
+        }
+        // Instantiate the optimized region over the original inputs
+        // (structural hashing shares whatever survived).
+        let mut imap: Vec<Option<Signal>> = vec![None; sub.num_nodes()];
+        imap[0] = Some(Signal::ZERO);
+        for (i, &n) in inputs.iter().enumerate() {
+            imap[sub.input(i).node() as usize] = Some(Signal::new(n, false));
+        }
+        for g in sub.topo_gates() {
+            let fan = sub.fanins(g).map(|s| {
+                imap[s.node() as usize]
+                    .expect("fanin precedes gate in topo order")
+                    .complement_if(s.is_complemented())
+            });
+            imap[g as usize] = Some(mig.maj(fan[0], fan[1], fan[2]));
+        }
+        let new_outs: Vec<Signal> = sub
+            .outputs()
+            .iter()
+            .map(|o| {
+                imap[o.node() as usize]
+                    .expect("output cone mapped")
+                    .complement_if(o.is_complemented())
+            })
+            .collect();
+        let mut rerouted = 0u64;
+        for (&b, &s) in boundary.iter().zip(&new_outs) {
+            // Earlier reroutes of this very proposal may have merged `b`
+            // away or collapsed parts of the speculative cone; skip what
+            // no longer applies.
+            if !mig.is_gate(b) || s.node() == b || mig.is_dead(s.node()) {
+                continue;
+            }
+            if mig.replace_node(b, s) {
+                rerouted += 1;
+            }
+        }
+        // Retract whatever speculative logic was not adopted.
+        for s in new_outs {
+            if !mig.is_terminal(s.node()) && !mig.is_dead(s.node()) {
+                mig.reclaim(s.node());
+            }
+        }
+        if rerouted > 0 {
+            CommitVerdict::Applied {
+                replacements: rerouted,
+            }
+        } else {
+            CommitVerdict::Rejected
+        }
+    }
+
+    fn whole_graph_round(&self, mig: &mut Mig) -> Option<(u64, i64)> {
+        // Degenerate single-shard round: extraction would only relabel
+        // the whole graph (perturbing the candidate DP's tie-breaking
+        // for no benefit) — run the serial engine directly. This also
+        // makes small-graph sharded bottom-up bit-identical to the
+        // serial path.
+        let stats = self.engine.run_in_place(mig, self.variant);
+        Some((stats.replacements, stats.estimated_gain))
+    }
+}
+
+/// The bottom-up round guard: gains are estimates (strash sharing and
+/// refused reroutes shift the real count), so a round that failed to
+/// shrink the gate count is rolled back, like `run_converge` does.
+fn gates_metric(mig: &Mig) -> (u64, u64) {
+    (mig.num_gates() as u64, 0)
 }
 
 pub(crate) fn run_sharded(
@@ -122,12 +427,10 @@ pub(crate) fn run_sharded(
     let threads = threads.max(1);
     let bottom_up = matches!(variant, Variant::BottomUp | Variant::BottomUpFfr);
     let depth_preserving = matches!(variant, Variant::TopDownDepth | Variant::TopDownFfrDepth);
-    let ffr_strategy = matches!(
-        variant,
-        Variant::TopDownFfr | Variant::TopDownFfrDepth | Variant::BottomUpFfr
-    );
+    let use_ffr = matches!(variant, Variant::TopDownFfr | Variant::TopDownFfrDepth);
     let mut stats = FhStats::default();
-    if (threads * REGIONS_PER_THREAD).min(mig.num_gates() / MIN_REGION_SIZE) <= 1 {
+    let mut cfg = ShardConfig::new(threads);
+    if !cfg.shardable(mig) {
         // The graph is too small to shard: run the serial engine to its
         // shrinking fixpoint instead (the single-shard degenerate case).
         // Round one is exactly the serial pass, and later rounds are
@@ -154,139 +457,21 @@ pub(crate) fn run_sharded(
             stats.replacements += serial_stats.replacements;
             stats.estimated_gain += serial_stats.estimated_gain;
         }
+        cfg.guard = Some(gates_metric);
     }
-    // Sharded mode analyses regions in isolation: reclaim dangling cones
-    // first so they cannot pollute region membership, boundary sets and
-    // gain estimates, then consume the dirt so the per-round tracking
-    // starts clean.
-    mig.sweep();
-    let _ = mig.drain_dirty();
-    // Nodes whose regions must be re-proposed next round.
-    let mut stale: HashSet<NodeId> = HashSet::new();
-    let mut first_round = true;
-    for _ in 0..MAX_ROUNDS {
-        // Region count follows the *current* graph: as rewriting shrinks
-        // it, regions coalesce, so late rounds regain the context that a
-        // fine partition denies (a whole-graph region is the degenerate
-        // case, equal to the serial engine).
-        let max_regions = (threads * REGIONS_PER_THREAD)
-            .min(mig.num_gates() / MIN_REGION_SIZE)
-            .max(1);
-        // Re-partition (cheap linear pass over the live graph). The FFR
-        // view doubles as the §IV-C legality restriction for TF/TFD.
-        let (partition, ffr) = if ffr_strategy {
-            let f = FfrPartition::compute(mig);
-            let p = RegionPartition::from_ffr(mig, &f, max_regions);
-            (p, Some(f))
-        } else {
-            let p = RegionPartition::compute(mig, PartitionStrategy::LevelBands { max_regions });
-            (p, None)
+    let driver_stats = if bottom_up {
+        run_shard_rounds(mig, &RegionEngine { engine, variant }, &cfg)
+    } else {
+        let cut_engine = CutEngine {
+            engine,
+            depth_preserving,
+            use_ffr,
+            carried: Mutex::new(HashMap::new()),
         };
-        let ffr_legal = if bottom_up { None } else { ffr.as_ref() };
-        // Active regions: everything on the first round, afterwards only
-        // the regions invalidated by commits or conflicts. Descending
-        // region order = topmost shards first, mirroring the serial
-        // top-down traversal; a `BTreeSet` makes the order independent
-        // of hash-set iteration.
-        let active: Vec<u32> = if first_round {
-            (0..partition.num_regions() as u32)
-                .filter(|&r| !partition.members(r).is_empty())
-                .rev()
-                .collect()
-        } else {
-            let set: BTreeSet<u32> = stale
-                .iter()
-                .filter_map(|&n| partition.region_of(n))
-                .collect();
-            set.into_iter().rev().collect()
-        };
-        first_round = false;
-        stale.clear();
-        if active.is_empty() {
-            break;
-        }
-
-        if bottom_up && partition.num_regions() <= 1 {
-            // Degenerate single-shard round: extraction would only
-            // relabel the whole graph (perturbing the candidate DP's
-            // tie-breaking for no benefit) — run the serial engine
-            // directly. This also makes small-graph sharded bottom-up
-            // bit-identical to the serial path.
-            let before = mig.num_gates();
-            let snapshot = mig.clone();
-            let round_stats = engine.run_in_place(mig, variant);
-            if round_stats.replacements == 0 {
-                break;
-            }
-            if mig.num_gates() >= before {
-                *mig = snapshot;
-                break;
-            }
-            stats.replacements += round_stats.replacements;
-            stats.estimated_gain += round_stats.estimated_gain;
-            for n in mig.drain_dirty() {
-                stale.insert(n);
-            }
-            continue;
-        }
-
-        // Propose phase: workers steal region indices off a shared
-        // counter; results land in per-region slots so the commit order
-        // is independent of scheduling.
-        let slots: Vec<Mutex<Vec<Proposal>>> =
-            active.iter().map(|_| Mutex::new(Vec::new())).collect();
-        let next = AtomicUsize::new(0);
-        let frozen: &Mig = mig;
-        let partition_ref = &partition;
-        let ffr_ref = ffr_legal;
-        std::thread::scope(|scope| {
-            for _ in 0..threads.min(active.len()) {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= active.len() {
-                        break;
-                    }
-                    let r = active[i];
-                    let props = if bottom_up {
-                        propose_region_rewrite(engine, frozen, partition_ref, r, variant)
-                    } else {
-                        propose_top_down(
-                            engine,
-                            frozen,
-                            partition_ref,
-                            r,
-                            ffr_ref,
-                            depth_preserving,
-                        )
-                    };
-                    *slots[i].lock().unwrap() = props;
-                });
-            }
-        });
-        let proposals: Vec<Proposal> = slots
-            .into_iter()
-            .flat_map(|m| m.into_inner().unwrap())
-            .collect();
-
-        // Commit phase (serial, deterministic order).
-        let before = mig.num_gates();
-        let snapshot = bottom_up.then(|| mig.clone());
-        let outcome = commit_proposals(engine, mig, proposals, depth_preserving, &mut stale);
-        if outcome.committed == 0 {
-            break;
-        }
-        if bottom_up && mig.num_gates() >= before {
-            // Bottom-up gains are estimates (strash sharing and refused
-            // reroutes shift the real count); a round that failed to
-            // shrink is rolled back, like `run_converge` does.
-            if let Some(snap) = snapshot {
-                *mig = snap;
-            }
-            break;
-        }
-        stats.replacements += outcome.replacements;
-        stats.estimated_gain += outcome.gain;
-    }
+        run_shard_rounds(mig, &cut_engine, &cfg)
+    };
+    stats.replacements += driver_stats.replacements;
+    stats.estimated_gain += driver_stats.gain;
     if bottom_up {
         // Regional candidate search cannot see combinations across its
         // region boundaries; a serial polish pass over the (much
@@ -308,264 +493,9 @@ fn serial_converge(
     variant: Variant,
     stats: &mut FhStats,
 ) {
-    let (round_stats, _) = engine.run_converge_threads(mig, variant, MAX_ROUNDS, 1);
+    let (round_stats, _) = engine.run_converge_threads(mig, variant, 64, 1);
     stats.replacements += round_stats.replacements;
     stats.estimated_gain += round_stats.estimated_gain;
-}
-
-/// Top-down proposals for one region: best legal database replacement
-/// per member gate, topmost first, with the region's earlier proposals'
-/// cones excluded (a worker's own proposals never overlap).
-fn propose_top_down(
-    engine: &FunctionalHashing,
-    mig: &Mig,
-    partition: &RegionPartition,
-    region: u32,
-    ffr: Option<&FfrPartition>,
-    depth_preserving: bool,
-) -> Vec<Proposal> {
-    let members = partition.members(region);
-    let mut props = Vec::new();
-    if members.is_empty() {
-        return props;
-    }
-    let floor = members
-        .iter()
-        .map(|&g| mig.level(g))
-        .min()
-        .unwrap_or(0)
-        .saturating_sub(CUT_HORIZON);
-    let mut local = LocalCuts::new(mig, engine.config().cut_config, floor);
-    let mut claimed: HashSet<NodeId> = HashSet::new();
-    for &v in members.iter().rev() {
-        if claimed.contains(&v) || !mig.is_gate(v) {
-            continue;
-        }
-        let list = local.of(v).to_vec();
-        let Some(sel) = select_best_cut(engine, mig, v, &list, ffr, depth_preserving, |n| {
-            mig.level(n)
-        }) else {
-            continue;
-        };
-        let internal = internal_nodes(mig, v, &sel.cut);
-        claimed.extend(internal.iter().copied());
-        // The footprint adds the non-terminal leaves: the template is
-        // instantiated over them, so they must survive unchanged.
-        let mut footprint = internal.clone();
-        footprint.extend(
-            sel.cut
-                .leaves()
-                .iter()
-                .copied()
-                .filter(|&l| !mig.is_terminal(l)),
-        );
-        props.push(Proposal {
-            kind: ProposalKind::Cut {
-                root: v,
-                cut: sel.cut,
-                repl: sel.repl,
-                internal,
-            },
-            gain: sel.gain,
-            footprint,
-        });
-    }
-    props
-}
-
-/// Bottom-up proposal for one region: extract the region as a standalone
-/// MIG (external feeders become primary inputs, boundary members become
-/// outputs), optimize the copy with the serial in-place engine, and
-/// propose the boundary reroute when it shrinks the region.
-fn propose_region_rewrite(
-    engine: &FunctionalHashing,
-    mig: &Mig,
-    partition: &RegionPartition,
-    region: u32,
-    variant: Variant,
-) -> Vec<Proposal> {
-    let view = partition.view(mig, region);
-    if view.boundary.is_empty() || view.members.len() < 2 {
-        return Vec::new();
-    }
-    let mut sub = Mig::new(view.inputs.len());
-    let mut map: HashMap<NodeId, Signal> = HashMap::new();
-    map.insert(0, Signal::ZERO);
-    for (i, &n) in view.inputs.iter().enumerate() {
-        map.insert(n, sub.input(i));
-    }
-    for &m in &view.members {
-        let sig = {
-            let fan = mig
-                .fanins(m)
-                .map(|s| map[&s.node()].complement_if(s.is_complemented()));
-            sub.maj(fan[0], fan[1], fan[2])
-        };
-        map.insert(m, sig);
-    }
-    for &b in &view.boundary {
-        sub.add_output(map[&b]);
-    }
-    // Optimize the extracted region with the serial in-place engine (on
-    // the standalone copy — the shared graph stays frozen): it keeps
-    // whatever structure it cannot improve, so unchanged logic
-    // re-instantiates onto the original live nodes through structural
-    // hashing and the reroute degenerates to a no-op. With a single
-    // region this reproduces the serial engine's result exactly.
-    let mut opt = sub;
-    engine.run_in_place(&mut opt, variant);
-    let gain = view.members.len() as i32 - opt.num_gates() as i32;
-    if gain < 1 {
-        return Vec::new();
-    }
-    let mut footprint = view.members.clone();
-    footprint.extend(view.inputs.iter().copied().filter(|&n| !mig.is_terminal(n)));
-    vec![Proposal {
-        kind: ProposalKind::Region {
-            sub: Box::new(opt),
-            inputs: view.inputs,
-            boundary: view.boundary,
-        },
-        gain,
-        footprint,
-    }]
-}
-
-/// Applies the round's proposals in order. `stale` receives the nodes
-/// whose regions must be re-proposed next round: everything dirtied by a
-/// commit, plus the footprints of conflicted proposals.
-fn commit_proposals(
-    engine: &FunctionalHashing,
-    mig: &mut Mig,
-    proposals: Vec<Proposal>,
-    depth_preserving: bool,
-    stale: &mut HashSet<NodeId>,
-) -> CommitOutcome {
-    let mut outcome = CommitOutcome::default();
-    // Nodes touched earlier in this round; a proposal whose footprint
-    // intersects it was analyzed against a graph that no longer exists.
-    let mut round_dirty: HashSet<NodeId> = HashSet::new();
-    for prop in proposals {
-        if prop.footprint.iter().any(|n| round_dirty.contains(n)) {
-            outcome.conflicted += 1;
-            stale.extend(prop.footprint.iter().copied());
-            continue;
-        }
-        match prop.kind {
-            ProposalKind::Cut {
-                root,
-                cut,
-                repl,
-                internal,
-            } => {
-                // A clean footprint means the cone is structurally
-                // unchanged, but fanout counts of internal nodes can
-                // grow without a dirty entry (structural hashing inside
-                // an earlier commit can resurrect a shared node), so
-                // fanout legality is re-checked against live counts.
-                // Likewise, level cascades from earlier commits are not
-                // dirty-logged, so the depth-preserving bound must be
-                // re-evaluated against live levels too.
-                let depth_ok = !depth_preserving
-                    || repl.estimated_level(&cut, |pos| mig.level(cut.leaves()[pos]))
-                        <= mig.level(root) + engine.config().allowed_depth_increase;
-                if !mig.is_gate(root) || !cut_is_fanout_legal(mig, root, &internal) || !depth_ok {
-                    outcome.conflicted += 1;
-                    stale.extend(prop.footprint.iter().copied());
-                    continue;
-                }
-                let new_sig = repl.instantiate(mig, &cut, engine.database(), |pos| {
-                    Signal::new(cut.leaves()[pos], false)
-                });
-                if new_sig.node() == root {
-                    // The template reproduced the root; nothing to do
-                    // (stray template intermediates fall to the sweep).
-                    drain_into(mig, &mut round_dirty, stale);
-                    continue;
-                }
-                if mig.replace_node(root, new_sig) {
-                    outcome.committed += 1;
-                    outcome.replacements += 1;
-                    outcome.gain += i64::from(prop.gain);
-                } else {
-                    // Cycle through shared logic: retract the
-                    // speculative cone; retrying would refuse again, so
-                    // this is not a conflict.
-                    mig.reclaim(new_sig.node());
-                }
-                drain_into(mig, &mut round_dirty, stale);
-            }
-            ProposalKind::Region {
-                sub,
-                inputs,
-                boundary,
-            } => {
-                if boundary.iter().any(|&b| !mig.is_gate(b)) {
-                    outcome.conflicted += 1;
-                    stale.extend(prop.footprint.iter().copied());
-                    continue;
-                }
-                // Instantiate the optimized region over the original
-                // inputs (structural hashing shares whatever survived).
-                let mut imap: Vec<Option<Signal>> = vec![None; sub.num_nodes()];
-                imap[0] = Some(Signal::ZERO);
-                for (i, &n) in inputs.iter().enumerate() {
-                    imap[sub.input(i).node() as usize] = Some(Signal::new(n, false));
-                }
-                for g in sub.topo_gates() {
-                    let fan = sub.fanins(g).map(|s| {
-                        imap[s.node() as usize]
-                            .expect("fanin precedes gate in topo order")
-                            .complement_if(s.is_complemented())
-                    });
-                    imap[g as usize] = Some(mig.maj(fan[0], fan[1], fan[2]));
-                }
-                let new_outs: Vec<Signal> = sub
-                    .outputs()
-                    .iter()
-                    .map(|o| {
-                        imap[o.node() as usize]
-                            .expect("output cone mapped")
-                            .complement_if(o.is_complemented())
-                    })
-                    .collect();
-                let mut rerouted = 0u64;
-                for (&b, &s) in boundary.iter().zip(&new_outs) {
-                    // Earlier reroutes of this very proposal may have
-                    // merged `b` away or collapsed parts of the
-                    // speculative cone; skip what no longer applies.
-                    if !mig.is_gate(b) || s.node() == b || mig.is_dead(s.node()) {
-                        continue;
-                    }
-                    if mig.replace_node(b, s) {
-                        rerouted += 1;
-                    }
-                }
-                // Retract whatever speculative logic was not adopted.
-                for s in new_outs {
-                    if !mig.is_terminal(s.node()) && !mig.is_dead(s.node()) {
-                        mig.reclaim(s.node());
-                    }
-                }
-                if rerouted > 0 {
-                    outcome.committed += 1;
-                    outcome.replacements += rerouted;
-                    outcome.gain += i64::from(prop.gain);
-                }
-                drain_into(mig, &mut round_dirty, stale);
-            }
-        }
-    }
-    outcome
-}
-
-/// Drains the graph's dirty log into the round conflict set and the
-/// cross-round staleness set.
-fn drain_into(mig: &mut Mig, round_dirty: &mut HashSet<NodeId>, stale: &mut HashSet<NodeId>) {
-    for n in mig.drain_dirty() {
-        round_dirty.insert(n);
-        stale.insert(n);
-    }
 }
 
 #[cfg(test)]
@@ -579,7 +509,8 @@ mod tests {
     /// Commit-phase regression for the boundary-conflict check: two cut
     /// proposals whose MFFCs share a frontier node — the second must be
     /// refused and queued for retry, not applied against the changed
-    /// graph.
+    /// graph. Exercises the generic driver's serial commit phase
+    /// ([`mig::commit_proposals`]) through the cut engine.
     #[test]
     fn conflicting_footprints_commit_first_retry_second() {
         let e = engine();
@@ -596,9 +527,9 @@ mod tests {
 
         // Build two genuine proposals over the frozen graph whose
         // footprints overlap on `x`'s cone.
-        let mut local = LocalCuts::new(&frozen, e.config().cut_config, 0);
+        let mut local = LocalCuts::new(e.config().cut_config, 0);
         let mk = |v: mig::NodeId, local: &mut LocalCuts| {
-            let list = local.of(v).to_vec();
+            let list = local.of(&frozen, v).to_vec();
             let sel = select_best_cut(&e, &frozen, v, &list, None, false, |n| frozen.level(n))
                 .expect("profitable cut");
             let internal = internal_nodes(&frozen, v, &sel.cut);
@@ -629,8 +560,14 @@ mod tests {
         );
 
         let want = m.output_truth_tables();
+        let cut_engine = CutEngine {
+            engine: &e,
+            depth_preserving: false,
+            use_ffr: false,
+            carried: Mutex::new(HashMap::new()),
+        };
         let mut stale = HashSet::new();
-        let outcome = commit_proposals(&e, &mut m, vec![p_top, p_low], false, &mut stale);
+        let outcome = mig::commit_proposals(&mut m, &cut_engine, vec![p_top, p_low], &mut stale);
         assert_eq!(outcome.committed, 1, "first proposal lands");
         assert_eq!(outcome.conflicted, 1, "overlapping proposal refused");
         assert!(

@@ -333,9 +333,15 @@ fn merge_gate_cuts(
 /// node may serve as a cut leaf; the floor only prunes cuts reaching
 /// deeper than the horizon, which a 4-feasible replacement would not use
 /// anyway when the floor sits comfortably below the region.
+///
+/// The store holds no graph reference, so it can outlive the round that
+/// filled it: a shard driver carries each region's `LocalCuts` across
+/// rounds, calling [`LocalCuts::invalidate`] with the nodes the previous
+/// round's commits dirtied (the same transitive-fanout staleness rule as
+/// [`CutSet::refresh`]) instead of re-enumerating the region from
+/// scratch.
 #[derive(Debug)]
-pub struct LocalCuts<'a> {
-    mig: &'a Mig,
+pub struct LocalCuts {
     config: CutConfig,
     floor_level: u32,
     /// Memoized lists, indexed by node slot (`None` = not yet computed).
@@ -346,21 +352,57 @@ pub struct LocalCuts<'a> {
     lists: Vec<Option<Vec<Cut>>>,
 }
 
-impl<'a> LocalCuts<'a> {
+impl LocalCuts {
     /// Creates a shard-local cut view. `floor_level` is the leaf horizon
     /// (0 reproduces the exact global enumeration).
-    pub fn new(mig: &'a Mig, config: CutConfig, floor_level: u32) -> Self {
+    pub fn new(config: CutConfig, floor_level: u32) -> Self {
         LocalCuts {
-            mig,
             config,
             floor_level,
-            lists: vec![None; mig.num_nodes()],
+            lists: Vec::new(),
+        }
+    }
+
+    /// The leaf horizon the memoized lists were computed under. Carried
+    /// stores are only reusable while the owning region's floor is
+    /// unchanged (a different horizon changes which cuts are pruned).
+    pub fn floor_level(&self) -> u32 {
+        self.floor_level
+    }
+
+    fn ensure_len(&mut self, n: usize) {
+        if self.lists.len() < n {
+            self.lists.resize(n, None);
+        }
+    }
+
+    /// Drops the memoized lists of `dirty` nodes and their transitive
+    /// fanout (computed against the live graph), so a store can be
+    /// carried across rewriting rounds. Mirrors [`CutSet::refresh`]; the
+    /// walk stops at never-computed nodes, whose dependents are
+    /// necessarily uncomputed too (a list is only memoized once all its
+    /// fanin lists are).
+    pub fn invalidate(&mut self, mig: &Mig, dirty: impl IntoIterator<Item = NodeId>) {
+        self.ensure_len(mig.num_nodes());
+        let mut stack: Vec<NodeId> = dirty.into_iter().collect();
+        while let Some(v) = stack.pop() {
+            let Some(slot) = self.lists.get_mut(v as usize) else {
+                continue;
+            };
+            if slot.is_none() {
+                continue; // never computed, or fanout already invalidated
+            }
+            *slot = None;
+            for p in mig.fanout_gates(v) {
+                stack.push(p);
+            }
         }
     }
 
     /// The cut list of `n`, computing (and memoizing) it and any missing
     /// fanin lists above the horizon.
-    pub fn of(&mut self, n: NodeId) -> &[Cut] {
+    pub fn of(&mut self, mig: &Mig, n: NodeId) -> &[Cut] {
+        self.ensure_len(mig.num_nodes());
         if self.lists[n as usize].is_none() {
             let mut stack = vec![n];
             while let Some(&v) = stack.last() {
@@ -368,13 +410,13 @@ impl<'a> LocalCuts<'a> {
                     stack.pop();
                     continue;
                 }
-                if let Some(list) = self.leaf_list(v) {
+                if let Some(list) = self.leaf_list(mig, v) {
                     self.lists[v as usize] = Some(list);
                     stack.pop();
                     continue;
                 }
                 let mut ready = true;
-                for s in self.mig.fanins(v) {
+                for s in mig.fanins(v) {
                     let m = s.node();
                     if self.lists[m as usize].is_none() {
                         ready = false;
@@ -385,7 +427,7 @@ impl<'a> LocalCuts<'a> {
                     continue;
                 }
                 stack.pop();
-                let fanins = self.mig.fanins(v);
+                let fanins = mig.fanins(v);
                 let lists = fanins.map(|s| {
                     self.lists[s.node() as usize]
                         .as_deref()
@@ -400,17 +442,17 @@ impl<'a> LocalCuts<'a> {
 
     /// The fixed list of `v` when it needs no fanin recursion: terminals,
     /// dead slots and gates at or below the leaf horizon.
-    fn leaf_list(&self, v: NodeId) -> Option<Vec<Cut>> {
+    fn leaf_list(&self, mig: &Mig, v: NodeId) -> Option<Vec<Cut>> {
         if v == 0 {
             return Some(vec![Cut::constant()]);
         }
-        if self.mig.is_terminal(v) {
+        if mig.is_terminal(v) {
             return Some(vec![Cut::trivial(v)]);
         }
-        if !self.mig.is_gate(v) {
+        if !mig.is_gate(v) {
             return Some(Vec::new()); // dead slot
         }
-        if self.mig.level(v) < self.floor_level {
+        if mig.level(v) < self.floor_level {
             return Some(vec![Cut::trivial(v)]);
         }
         None
@@ -782,10 +824,44 @@ mod tests {
         m.add_output(g4);
         let cfg = CutConfig::default();
         let global = enumerate_cuts(&m, &cfg);
-        let mut local = LocalCuts::new(&m, cfg, 0);
+        let mut local = LocalCuts::new(cfg, 0);
         for g in m.gates() {
-            assert_eq!(local.of(g), global.of(g), "cuts of gate {g} diverged");
+            assert_eq!(local.of(&m, g), global.of(g), "cuts of gate {g} diverged");
         }
+    }
+
+    #[test]
+    fn local_cuts_invalidate_matches_fresh_computation() {
+        // Fill a store, rewrite in place, invalidate with the dirty log
+        // and compare every list against a freshly computed store.
+        let mut m = Mig::new(5);
+        let ins: Vec<Signal> = m.inputs().collect();
+        let left = m.maj(ins[0], ins[1], ins[2]);
+        let right = m.xor(ins[3], ins[4]);
+        let mid = m.maj(left, right, ins[0]);
+        let top = m.maj(mid, left, !ins[4]);
+        m.add_output(top);
+        let _ = m.drain_dirty();
+        let cfg = CutConfig::default();
+        let mut carried = LocalCuts::new(cfg, 0);
+        for g in m.gates() {
+            let _ = carried.of(&m, g);
+        }
+        let fresh_node = m.maj(ins[3], !ins[4], ins[0]);
+        assert!(m.replace_node(right.node(), fresh_node));
+        let dirty = m.drain_dirty();
+        carried.invalidate(&m, dirty);
+        let mut fresh = LocalCuts::new(cfg, 0);
+        for g in m.gates() {
+            assert_eq!(
+                carried.of(&m, g),
+                fresh.of(&m, g),
+                "carried list of gate {g} diverged after invalidation"
+            );
+        }
+        // The untouched left cone was not recomputed needlessly: its list
+        // was still memoized before the comparison walked it.
+        assert!(m.is_gate(left.node()));
     }
 
     #[test]
@@ -801,12 +877,13 @@ mod tests {
         m.add_output(t);
         let cfg = CutConfig::default();
         let floor = 3;
-        let mut local = LocalCuts::new(&m, cfg, floor);
+        let mut local = LocalCuts::new(cfg, floor);
+        assert_eq!(local.floor_level(), floor);
         for g in m.gates() {
             if m.level(g) < floor {
-                assert_eq!(local.of(g), &[Cut::trivial(g)], "gate {g} below floor");
+                assert_eq!(local.of(&m, g), &[Cut::trivial(g)], "gate {g} below floor");
             } else {
-                for cut in local.of(g) {
+                for cut in local.of(&m, g) {
                     for &l in cut.leaves() {
                         assert!(
                             m.is_terminal(l) || m.level(l) >= floor - 1,

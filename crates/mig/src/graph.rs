@@ -524,6 +524,15 @@ impl Mig {
         std::mem::take(&mut self.dirty)
     }
 
+    /// The undrained structural-change log (see [`Mig::drain_dirty`]),
+    /// *without* consuming it. Passes that track their own re-scan
+    /// frontier remember the log length on entry and read only the tail
+    /// here, leaving the entries for the owning consumer (a pipeline's
+    /// carried cut set) to drain later.
+    pub fn dirty_log(&self) -> &[NodeId] {
+        &self.dirty
+    }
+
     /// Whether node `target` is in the transitive fanin cone of `start`
     /// (including `start` itself). Prunes on levels, so the walk is
     /// bounded by the cone between the two levels. Visited-set state

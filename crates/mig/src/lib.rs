@@ -15,7 +15,12 @@
 //! * [`Signal`] — complement-edge node references;
 //! * [`FfrPartition`] — fanout-free-region partitioning (paper §IV-C);
 //! * [`RegionPartition`] — sharding the gates into disjoint regions
-//!   (FFR forest or level bands) for parallel propose/commit rewriting.
+//!   (FFR forest or level bands) for parallel propose/commit rewriting;
+//! * [`ProposeEngine`] / [`run_shard_rounds`] — the engine-agnostic
+//!   propose/commit round protocol: any local-rewriting engine
+//!   (functional hashing, algebraic Ω.A/Ω.D, …) plugs its proposals
+//!   into the same parallel-propose, serial-commit, footprint-conflict
+//!   machinery.
 //!
 //! # Examples
 //!
@@ -34,9 +39,14 @@
 mod ffr;
 mod graph;
 mod region;
+mod shard;
 mod signal;
 
 pub use ffr::FfrPartition;
 pub use graph::{normalize_maj, Mig, Normalized};
 pub use region::{PartitionStrategy, RegionPartition, RegionView};
+pub use shard::{
+    commit_proposals, run_shard_rounds, CommitVerdict, ProposeEngine, RoundMetric, RoundOutcome,
+    ShardConfig, ShardStats,
+};
 pub use signal::{NodeId, Signal};

@@ -1,0 +1,583 @@
+//! Engine-agnostic propose/commit sharding: the round protocol that lets
+//! any local-rewriting engine run in parallel over a [`RegionPartition`].
+//!
+//! The protocol was born in the functional-hashing crate (parallel cut
+//! replacement) but nothing in it is specific to cuts: a *proposal* is an
+//! opaque engine payload plus a **footprint** (the round-start nodes its
+//! analysis depends on), an expected **gain**, and a **legality recheck**
+//! performed at commit time against the live graph. This module owns the
+//! generic round loop; engines plug in through [`ProposeEngine`]:
+//!
+//! 1. **Partition.** [`ProposeEngine::begin_round`] carves the live gates
+//!    into regions (the engine picks the strategy — FFR forest, level
+//!    bands, …) and prepares whatever per-round read state its workers
+//!    need.
+//! 2. **Propose.** Worker threads (`std::thread::scope`, work-stealing
+//!    over the active region list) call [`ProposeEngine::propose`]
+//!    read-only on a frozen graph; results land in per-region slots so
+//!    commit order is independent of scheduling.
+//! 3. **Commit.** Proposals are applied serially in a stable region
+//!    order (regions descending, then the worker's in-region order). A
+//!    proposal whose footprint intersects anything dirtied earlier in
+//!    the round is refused and its region retries next round; otherwise
+//!    [`ProposeEngine::commit`] re-checks legality against the live
+//!    graph and applies (or refuses) the substitution.
+//!
+//! Rounds repeat until no proposal commits; only regions invalidated by
+//! the previous round's commits or conflicts are re-proposed. Engines
+//! whose rounds are not individually monotone set a [`ShardConfig::guard`]
+//! metric: such rounds run against a snapshot and are rolled back (and
+//! the loop stopped) when the metric fails to improve — the same
+//! guarantee the serial convergence loops provide.
+//!
+//! For a fixed input graph, engine and thread count the resulting
+//! netlist is bit-deterministic: the commit order never depends on
+//! worker scheduling, and stale regions are collected in a `BTreeSet`.
+
+use crate::{Mig, NodeId, RegionPartition};
+use std::collections::{BTreeSet, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// What [`ProposeEngine::commit`] did with one proposal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitVerdict {
+    /// The proposal was applied with this many individual substitutions.
+    Applied {
+        /// Substitutions performed (a region-level proposal may reroute
+        /// several boundary gates; a single-cut proposal performs one).
+        replacements: u64,
+    },
+    /// The live-graph legality recheck failed (the graph drifted in a
+    /// way the footprint could not see); the owning region retries next
+    /// round.
+    Conflicted,
+    /// The proposal turned out to be a no-op (e.g. a substitution that
+    /// would close a cycle through shared logic, retracted on the spot).
+    /// Retrying would refuse again, so this is *not* a conflict.
+    Rejected,
+}
+
+/// A rewriting engine pluggable into [`run_shard_rounds`].
+///
+/// The engine analyzes regions read-only ([`ProposeEngine::propose`] runs
+/// concurrently on a frozen `&Mig`) and applies its proposals serially
+/// ([`ProposeEngine::commit`], which must re-check legality itself — the
+/// driver only guarantees that the proposal's footprint is structurally
+/// untouched within the current round).
+pub trait ProposeEngine: Sync {
+    /// One proposed local rewrite (opaque to the driver).
+    type Proposal: Send;
+    /// Per-round read state shared by all workers (e.g. an FFR view of
+    /// the frozen graph). Use `()` when none is needed.
+    type RoundState: Sync;
+
+    /// Partitions the live gates for this round and prepares the round
+    /// state. `max_regions` tracks the current graph size (shrinking
+    /// graphs coalesce into fewer, larger regions). `invalidated` lists
+    /// the nodes structurally changed by the previous round's commits —
+    /// engines carrying analysis caches across rounds (cut lists, …)
+    /// invalidate them here.
+    fn begin_round(
+        &self,
+        mig: &Mig,
+        max_regions: usize,
+        invalidated: &[NodeId],
+    ) -> (RegionPartition, Self::RoundState);
+
+    /// Generates the proposals of one region, read-only. A worker's own
+    /// proposals should not overlap (the driver would refuse the later
+    /// one as a conflict).
+    fn propose(
+        &self,
+        mig: &Mig,
+        partition: &RegionPartition,
+        state: &Self::RoundState,
+        region: u32,
+    ) -> Vec<Self::Proposal>;
+
+    /// The round-start nodes this proposal's analysis depends on. The
+    /// driver refuses the proposal if any of them was structurally
+    /// touched earlier in the round.
+    fn footprint<'a>(&self, proposal: &'a Self::Proposal) -> &'a [NodeId];
+
+    /// The proposal's expected gain (accumulated into [`ShardStats`]).
+    fn gain(&self, proposal: &Self::Proposal) -> i64;
+
+    /// Re-checks the proposal against the live graph and applies it.
+    fn commit(&self, mig: &mut Mig, proposal: Self::Proposal) -> CommitVerdict;
+
+    /// Hook for rounds whose partition degenerates to a single region.
+    /// Engines whose single-region proposal would merely reproduce their
+    /// serial pass (with perturbed tie-breaking) can run the serial pass
+    /// directly here and return `Some((replacements, gain))`; the
+    /// default `None` runs the regular propose/commit machinery.
+    fn whole_graph_round(&self, _mig: &mut Mig) -> Option<(u64, i64)> {
+        None
+    }
+}
+
+/// A round-acceptance metric: a lexicographic pair (smaller is better)
+/// evaluated on the whole graph, e.g. `(gates, depth)` for a size
+/// script or `(depth, gates)` for a depth script.
+pub type RoundMetric = fn(&Mig) -> (u64, u64);
+
+/// Tuning of the sharded round loop.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardConfig {
+    /// Worker threads for the propose phase.
+    pub threads: usize,
+    /// Regions per worker thread: over-partitioning smooths load
+    /// imbalance between shards of unequal rewriting opportunity.
+    pub regions_per_thread: usize,
+    /// Minimum gates per region: small graphs are not fragmented below
+    /// this (a sliver region sees too little context, and per-region
+    /// overhead would dominate).
+    pub min_region_size: usize,
+    /// Backstop on propose/commit rounds. Committing rounds improve the
+    /// graph, so this is never the expected exit.
+    pub max_rounds: usize,
+    /// Optional per-round acceptance metric (lexicographic, smaller is
+    /// better). When set, every round runs against a snapshot and is
+    /// rolled back — ending the loop — if the metric fails to improve.
+    /// Engines whose commits are individually improving leave this
+    /// `None` and skip the snapshot cost.
+    pub guard: Option<RoundMetric>,
+}
+
+impl ShardConfig {
+    /// Default tuning for `threads` workers (4 regions per thread,
+    /// 24-gate region floor, 64-round backstop, no guard).
+    pub fn new(threads: usize) -> Self {
+        ShardConfig {
+            threads: threads.max(1),
+            regions_per_thread: 4,
+            min_region_size: 24,
+            max_rounds: 64,
+            guard: None,
+        }
+    }
+
+    /// The region bound for the current graph: follows the live gate
+    /// count, so shrinking graphs coalesce toward the single-region
+    /// degenerate case (equal to the serial engine).
+    pub fn max_regions(&self, mig: &Mig) -> usize {
+        (self.threads * self.regions_per_thread)
+            .min(mig.num_gates() / self.min_region_size)
+            .max(1)
+    }
+
+    /// Whether `mig` is large enough for sharding to beat a serial pass.
+    /// Callers should fall back to their serial engine when this is
+    /// false.
+    pub fn shardable(&self, mig: &Mig) -> bool {
+        (self.threads * self.regions_per_thread).min(mig.num_gates() / self.min_region_size) > 1
+    }
+}
+
+/// What happened to one round's proposals.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RoundOutcome {
+    /// Proposals applied (a region proposal counts once even when it
+    /// performs several substitutions).
+    pub committed: usize,
+    /// Proposals refused — by the driver's footprint check or the
+    /// engine's live recheck (their regions retry next round).
+    pub conflicted: usize,
+    /// Individual substitutions performed.
+    pub replacements: u64,
+    /// Sum of expected gains of the committed proposals.
+    pub gain: i64,
+}
+
+/// Accumulated statistics of a [`run_shard_rounds`] call.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Rounds run (including a final empty or rolled-back round).
+    pub rounds: usize,
+    /// Total proposals committed.
+    pub committed: u64,
+    /// Total proposals refused for retry.
+    pub conflicted: u64,
+    /// Total individual substitutions.
+    pub replacements: u64,
+    /// Total expected gain of committed proposals.
+    pub gain: i64,
+}
+
+/// Runs propose/commit rounds to quiescence (no proposal commits, a
+/// guarded round fails to improve, or `cfg.max_rounds` is hit).
+///
+/// Sweeps dangling cones and consumes the dirty log up front (regions
+/// are analyzed in isolation; dangling logic would pollute membership,
+/// boundary sets and gain estimates), and sweeps again before returning.
+pub fn run_shard_rounds<E: ProposeEngine>(
+    mig: &mut Mig,
+    engine: &E,
+    cfg: &ShardConfig,
+) -> ShardStats {
+    let mut stats = ShardStats::default();
+    mig.sweep();
+    let _ = mig.drain_dirty();
+    // Nodes whose regions must be re-proposed next round.
+    let mut stale: HashSet<NodeId> = HashSet::new();
+    // Nodes structurally changed last round (for engine cache refresh).
+    let mut invalidated: Vec<NodeId> = Vec::new();
+    let mut first_round = true;
+    for _ in 0..cfg.max_rounds {
+        let max_regions = cfg.max_regions(mig);
+        let (partition, state) = engine.begin_round(mig, max_regions, &invalidated);
+        invalidated.clear();
+        // Active regions: everything on the first round, afterwards only
+        // the regions invalidated by commits or conflicts. Descending
+        // region order = topmost shards first, mirroring the serial
+        // top-down traversals; a `BTreeSet` makes the order independent
+        // of hash-set iteration.
+        let active: Vec<u32> = if first_round {
+            (0..partition.num_regions() as u32)
+                .filter(|&r| !partition.members(r).is_empty())
+                .rev()
+                .collect()
+        } else {
+            let set: BTreeSet<u32> = stale
+                .iter()
+                .filter_map(|&n| partition.region_of(n))
+                .collect();
+            set.into_iter().rev().collect()
+        };
+        first_round = false;
+        stale.clear();
+        if active.is_empty() {
+            break;
+        }
+        let before_metric = cfg.guard.map(|metric| metric(mig));
+        let snapshot = before_metric.is_some().then(|| mig.clone());
+        let outcome = if partition.num_regions() <= 1 {
+            match engine.whole_graph_round(mig) {
+                Some((replacements, gain)) => {
+                    for n in mig.drain_dirty() {
+                        stale.insert(n);
+                        invalidated.push(n);
+                    }
+                    RoundOutcome {
+                        committed: usize::from(replacements > 0),
+                        conflicted: 0,
+                        replacements,
+                        gain,
+                    }
+                }
+                None => propose_and_commit(
+                    mig,
+                    engine,
+                    &partition,
+                    &state,
+                    &active,
+                    cfg.threads,
+                    &mut stale,
+                    &mut invalidated,
+                ),
+            }
+        } else {
+            propose_and_commit(
+                mig,
+                engine,
+                &partition,
+                &state,
+                &active,
+                cfg.threads,
+                &mut stale,
+                &mut invalidated,
+            )
+        };
+        stats.rounds += 1;
+        if outcome.committed == 0 {
+            break;
+        }
+        if let (Some(metric), Some(before)) = (cfg.guard, before_metric) {
+            if metric(mig) >= before {
+                // The round failed to improve (gains are estimates;
+                // structural hashing and refused substitutions shift the
+                // real counts): roll back, like the serial convergence
+                // loops do.
+                if let Some(snap) = snapshot {
+                    *mig = snap;
+                }
+                break;
+            }
+        }
+        stats.committed += outcome.committed as u64;
+        stats.conflicted += outcome.conflicted as u64;
+        stats.replacements += outcome.replacements;
+        stats.gain += outcome.gain;
+    }
+    mig.sweep();
+    stats
+}
+
+/// One round's propose phase (parallel, read-only, per-region result
+/// slots) followed by its commit phase.
+#[allow(clippy::too_many_arguments)]
+fn propose_and_commit<E: ProposeEngine>(
+    mig: &mut Mig,
+    engine: &E,
+    partition: &RegionPartition,
+    state: &E::RoundState,
+    active: &[u32],
+    threads: usize,
+    stale: &mut HashSet<NodeId>,
+    invalidated: &mut Vec<NodeId>,
+) -> RoundOutcome {
+    // Workers steal region indices off a shared counter; results land in
+    // per-region slots so the commit order is independent of scheduling.
+    let slots: Vec<Mutex<Vec<E::Proposal>>> =
+        active.iter().map(|_| Mutex::new(Vec::new())).collect();
+    let next = AtomicUsize::new(0);
+    let frozen: &Mig = mig;
+    std::thread::scope(|scope| {
+        for _ in 0..threads.max(1).min(active.len()) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= active.len() {
+                    break;
+                }
+                let props = engine.propose(frozen, partition, state, active[i]);
+                *slots[i].lock().unwrap() = props;
+            });
+        }
+    });
+    let proposals: Vec<E::Proposal> = slots
+        .into_iter()
+        .flat_map(|m| m.into_inner().unwrap())
+        .collect();
+    commit_round(mig, engine, proposals, stale, invalidated)
+}
+
+/// Applies one round's proposals in order (the serial commit phase).
+/// `stale` receives the nodes whose regions must be re-proposed next
+/// round: everything dirtied by a commit, plus the footprints of
+/// conflicted proposals. Exposed so engines can regression-test their
+/// commit behavior against hand-built proposals.
+pub fn commit_proposals<E: ProposeEngine>(
+    mig: &mut Mig,
+    engine: &E,
+    proposals: Vec<E::Proposal>,
+    stale: &mut HashSet<NodeId>,
+) -> RoundOutcome {
+    let mut invalidated = Vec::new();
+    commit_round(mig, engine, proposals, stale, &mut invalidated)
+}
+
+fn commit_round<E: ProposeEngine>(
+    mig: &mut Mig,
+    engine: &E,
+    proposals: Vec<E::Proposal>,
+    stale: &mut HashSet<NodeId>,
+    invalidated: &mut Vec<NodeId>,
+) -> RoundOutcome {
+    let mut outcome = RoundOutcome::default();
+    // Nodes touched earlier in this round; a proposal whose footprint
+    // intersects it was analyzed against a graph that no longer exists.
+    let mut round_dirty: HashSet<NodeId> = HashSet::new();
+    for prop in proposals {
+        if engine
+            .footprint(&prop)
+            .iter()
+            .any(|n| round_dirty.contains(n))
+        {
+            outcome.conflicted += 1;
+            stale.extend(engine.footprint(&prop).iter().copied());
+            continue;
+        }
+        let gain = engine.gain(&prop);
+        // The commit consumes the proposal; keep the footprint for the
+        // engine-side conflict verdict.
+        let footprint: Vec<NodeId> = engine.footprint(&prop).to_vec();
+        match engine.commit(mig, prop) {
+            CommitVerdict::Applied { replacements } => {
+                outcome.committed += 1;
+                outcome.replacements += replacements;
+                outcome.gain += gain;
+            }
+            CommitVerdict::Conflicted => {
+                outcome.conflicted += 1;
+                stale.extend(footprint);
+            }
+            CommitVerdict::Rejected => {}
+        }
+        for n in mig.drain_dirty() {
+            round_dirty.insert(n);
+            stale.insert(n);
+            invalidated.push(n);
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PartitionStrategy, Signal};
+
+    /// A toy engine removing redundant conjunction: `<0 a <0 a b>>`
+    /// computes the same function as its inner gate, so the root can be
+    /// substituted by the inner signal (gain 1).
+    struct RedundantAndEngine;
+
+    struct AndProposal {
+        root: NodeId,
+        footprint: Vec<NodeId>,
+    }
+
+    /// Matches the pattern at `root` and returns the replacement signal.
+    fn redundant_and(mig: &Mig, root: NodeId) -> Option<Signal> {
+        if !mig.is_gate(root) {
+            return None;
+        }
+        let ops = mig.fanins(root);
+        if ops[0] != Signal::ZERO {
+            return None;
+        }
+        for (i, &inner) in ops.iter().enumerate().skip(1) {
+            if inner.is_complemented() || !mig.is_gate(inner.node()) {
+                continue;
+            }
+            let other = ops[3 - i];
+            let inner_ops = mig.fanins(inner.node());
+            if inner_ops[0] == Signal::ZERO && inner_ops.contains(&other) {
+                return Some(inner);
+            }
+        }
+        None
+    }
+
+    impl ProposeEngine for RedundantAndEngine {
+        type Proposal = AndProposal;
+        type RoundState = ();
+
+        fn begin_round(
+            &self,
+            mig: &Mig,
+            max_regions: usize,
+            _invalidated: &[NodeId],
+        ) -> (RegionPartition, ()) {
+            let p = RegionPartition::compute(mig, PartitionStrategy::LevelBands { max_regions });
+            (p, ())
+        }
+
+        fn propose(
+            &self,
+            mig: &Mig,
+            partition: &RegionPartition,
+            _state: &(),
+            region: u32,
+        ) -> Vec<AndProposal> {
+            let mut props = Vec::new();
+            let mut claimed: HashSet<NodeId> = HashSet::new();
+            for &v in partition.members(region).iter().rev() {
+                if claimed.contains(&v) {
+                    continue;
+                }
+                if let Some(inner) = redundant_and(mig, v) {
+                    let footprint = vec![v, inner.node()];
+                    claimed.extend(footprint.iter().copied());
+                    props.push(AndProposal { root: v, footprint });
+                }
+            }
+            props
+        }
+
+        fn footprint<'a>(&self, p: &'a AndProposal) -> &'a [NodeId] {
+            &p.footprint
+        }
+
+        fn gain(&self, _p: &AndProposal) -> i64 {
+            1
+        }
+
+        fn commit(&self, mig: &mut Mig, p: AndProposal) -> CommitVerdict {
+            // Live recheck: the pattern must still be present.
+            let Some(inner) = redundant_and(mig, p.root) else {
+                return CommitVerdict::Conflicted;
+            };
+            if mig.replace_node(p.root, inner) {
+                CommitVerdict::Applied { replacements: 1 }
+            } else {
+                CommitVerdict::Rejected
+            }
+        }
+    }
+
+    /// A ladder of redundant conjunctions: every other gate repeats the
+    /// conjunction below it and collapses under the toy engine. Inputs
+    /// are cycled so exhaustive simulation stays feasible.
+    fn redundant_ladder(pairs: usize) -> Mig {
+        let mut m = Mig::new(8);
+        let mut acc = m.input(0);
+        for i in 0..pairs {
+            let x = m.input(1 + i % 7);
+            let inner = m.and(acc, x);
+            acc = m.and(inner, x); // redundant: equals `inner`
+        }
+        m.add_output(acc);
+        m
+    }
+
+    #[test]
+    fn rounds_collapse_all_redundancy_deterministically() {
+        let m = redundant_ladder(60);
+        let want = m.output_truth_tables();
+        let mut results = Vec::new();
+        for threads in [1usize, 2, 4] {
+            let mut opt = m.clone();
+            let cfg = ShardConfig {
+                min_region_size: 4,
+                ..ShardConfig::new(threads)
+            };
+            let stats = run_shard_rounds(&mut opt, &RedundantAndEngine, &cfg);
+            assert!(stats.replacements > 0, "@{threads}: nothing rewritten");
+            assert_eq!(opt.output_truth_tables(), want, "@{threads}");
+            // Quiescence: no redundant pair survives.
+            for g in opt.gates() {
+                assert!(
+                    redundant_and(&opt, g).is_none(),
+                    "@{threads}: gate {g} still redundant"
+                );
+            }
+            opt.debug_check();
+            let gates: Vec<_> = opt.gates().map(|g| (g, opt.fanins(g))).collect();
+            results.push((threads, opt.num_gates(), gates, opt.outputs().to_vec()));
+        }
+        // Determinism: repeat runs per thread count are bit-identical.
+        for &(threads, gates, ref fanins, ref outs) in &results {
+            let mut again = m.clone();
+            let cfg = ShardConfig {
+                min_region_size: 4,
+                ..ShardConfig::new(threads)
+            };
+            run_shard_rounds(&mut again, &RedundantAndEngine, &cfg);
+            assert_eq!(again.num_gates(), gates, "@{threads}");
+            let fp: Vec<_> = again.gates().map(|g| (g, again.fanins(g))).collect();
+            assert_eq!(&fp, fanins, "@{threads}: nondeterministic netlist");
+            assert_eq!(&again.outputs().to_vec(), outs, "@{threads}");
+        }
+    }
+
+    #[test]
+    fn guarded_rounds_roll_back_when_the_metric_fails() {
+        // A guard that always reports "worse" must leave the graph
+        // untouched (round rolled back) while still counting the round.
+        let m = redundant_ladder(40);
+        let mut opt = m.clone();
+        let cfg = ShardConfig {
+            min_region_size: 4,
+            guard: Some(|_m: &Mig| (0, 0)),
+            ..ShardConfig::new(2)
+        };
+        let before: Vec<_> = opt.gates().map(|g| (g, opt.fanins(g))).collect();
+        let stats = run_shard_rounds(&mut opt, &RedundantAndEngine, &cfg);
+        assert_eq!(stats.replacements, 0, "rolled-back round must not count");
+        let after: Vec<_> = opt.gates().map(|g| (g, opt.fanins(g))).collect();
+        assert_eq!(before, after, "rollback restored the graph");
+        assert_eq!(stats.rounds, 1);
+    }
+}

@@ -17,9 +17,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== migopt smoke runs over benchmarks/ (exit code 2 = CEC failure)"
 # Every pipeline ends in `cec`: a counterexample makes migopt exit 2 and
-# fails CI here. Covers the in-place fhash variants, the fhash!
-# convergence pass, the sharded @2 engines and the interleaved in-place
-# algebraic passes on all checked-in circuits.
+# fails CI here. Covers the in-place fhash variants, the
+# scheduler-driven fhash! convergence pass, the sharded @2/@4 engines
+# and the interleaved in-place algebraic passes on all checked-in
+# circuits.
 MIGOPT=./target/release/migopt
 for f in benchmarks/full_adder.aag benchmarks/adder8.aag \
          benchmarks/mult4.aig benchmarks/adder4.blif; do
@@ -33,7 +34,9 @@ for f in benchmarks/full_adder.aag benchmarks/adder8.aag \
              "strash; fhash!:T@2; fhash!:B@2; cec; stats" \
              "strash; size!; fhash!:B@2; depth!; cec" \
              "strash; algebraic@2; fhash:TFD; cec" \
-             "strash; depth!@2; size!@2; fhash:T; cec; stats"; do
+             "strash; depth!@2; size!@2; fhash:T; cec; stats" \
+             "strash; fhash!:TFD@4; algebraic@4; cec" \
+             "strash; size!@4; depth!@4; fhash!:TD@4; cec; stats"; do
         echo "-- migopt -i $f -p \"$p\""
         "$MIGOPT" -q -i "$f" -p "$p"
     done

@@ -427,7 +427,7 @@ pub(crate) fn converge(
     while rounds < max_rounds {
         let before = guard(mig);
         let snapshot = mig.clone();
-        let mark = mig.dirty_log().len();
+        let mark = mig.dirty_cursor();
         let stats = sweep(mig, targets.as_ref(), family);
         rounds += 1;
         if stats.total() == 0 {
@@ -447,8 +447,15 @@ pub(crate) fn converge(
             targets = None;
             continue;
         }
-        let dirty: Vec<NodeId> = mig.dirty_log()[mark..].to_vec();
-        targets = Some(affected_cone(mig, &dirty));
+        match mig.dirty_since(mark) {
+            Some(dirty) => {
+                let dirty: Vec<NodeId> = dirty.to_vec();
+                targets = Some(affected_cone(mig, &dirty));
+            }
+            // The log was drained under us (cannot happen from inside a
+            // sweep; defensive): fall back to a full re-scan.
+            None => targets = None,
+        }
         total.absorb(stats);
     }
     (total, rounds)

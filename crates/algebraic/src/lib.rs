@@ -52,6 +52,9 @@ pub struct AlgStats {
     pub distrib_moves: u64,
     /// Number of distributivity (R→L) merges applied.
     pub merges: u64,
+    /// Event counters of the convergence scheduler (zero for purely
+    /// serial runs).
+    pub sched: mig::SchedStats,
 }
 
 impl AlgStats {
@@ -65,6 +68,7 @@ impl AlgStats {
         self.assoc_moves += other.assoc_moves;
         self.distrib_moves += other.distrib_moves;
         self.merges += other.merges;
+        self.sched.absorb(other.sched);
     }
 }
 
@@ -77,18 +81,21 @@ pub fn script_metric(mig: &Mig) -> (u64, u64) {
     (mig.num_gates() as u64, u64::from(mig.depth()))
 }
 
-/// Runs the serial size-rewriting convergence loop (`threads <= 1`) or
-/// the sharded propose/commit rounds plus a serial polish. Returns the
-/// applied-move counters and the number of rounds run. Committed merges
-/// individually shrink the gate count, so the result never has more
-/// gates than the input.
+/// Size-rewriting convergence on the event-driven scheduler: graphs too
+/// small to shard run the serial convergence loop (affected-cone
+/// re-scans seeded from the dirty log); larger graphs run guarded
+/// scheduler steps over dirty regions — `threads` workers propose in
+/// parallel — followed by a serial polish to the serial engine's own
+/// fixpoint. Returns the applied-move counters and the number of
+/// rounds/steps run. Every step and sweep is `(gates, depth)`-guarded,
+/// so the result is never worse than the input.
 pub fn size_converge(mig: &mut Mig, max_rounds: usize, threads: usize) -> (AlgStats, usize) {
     shard::converge_threads(mig, max_rounds, false, threads)
 }
 
 /// Depth-script convergence: like [`size_converge`] for the Ω.A/Ω.D
 /// depth moves. Every committed move strictly lowers its root's level
-/// and rounds run under a `(depth, gates)` guard, so the result never
+/// and steps run under a `(depth, gates)` guard, so the result never
 /// has more depth than the input.
 pub fn depth_converge(mig: &mut Mig, max_rounds: usize, threads: usize) -> (AlgStats, usize) {
     shard::converge_threads(mig, max_rounds, true, threads)

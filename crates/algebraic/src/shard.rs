@@ -1,36 +1,43 @@
 //! Sharded algebraic rewriting: the Ω.A/Ω.D moves as proposals on the
-//! engine-agnostic propose/commit protocol ([`mig::ProposeEngine`]).
+//! engine-agnostic event-driven convergence scheduler
+//! ([`mig::ProposeEngine`] / [`mig::run_scheduler`]).
 //!
 //! Workers scan their region's gates read-only for size merges or depth
-//! moves over the frozen round snapshot; the serial commit phase
+//! moves over the frozen step snapshot; the wave-batched commit phase
 //! *re-derives* each move against the live graph (the move matchers are
 //! the legality recheck: operand identities and — for depth moves — the
 //! non-degrading level bound are all evaluated on live state), so a
 //! proposal whose neighborhood drifted is refused and its region
-//! retried next round.
+//! retried next step. Because the recheck is total, the engine tolerates
+//! a partition that lags the graph by the scheduler's re-partition
+//! threshold — dirty regions are re-proposed from the priority queue,
+//! clean regions are never touched again.
 //!
 //! Guarantees, mirroring the serial engines:
 //!
-//! * **size** rounds run under the `(gates, depth)` lexicographic guard
+//! * **size** steps run under the `(gates, depth)` lexicographic guard
 //!   (merges are liberal — their profit comes from cross-sweep strash
-//!   sharing — so a round is kept only when it nets out smaller);
-//! * **depth** rounds run under a `(depth, gates)` lexicographic guard —
-//!   committed moves can spend gates, and a round that fails to improve
+//!   sharing — so a step is kept only when it nets out smaller);
+//! * **depth** steps run under a `(depth, gates)` lexicographic guard —
+//!   committed moves can spend gates, and a step that fails to improve
 //!   is rolled back, so sharded depth scripts are depth-monotone;
 //! * results are bit-deterministic for a fixed input and thread count
-//!   (driver property), and graphs too small to shard degenerate to the
-//!   serial sweeps.
+//!   (scheduler property), and graphs too small to shard degenerate to
+//!   the serial sweeps.
 //!
-//! After the sharded rounds reach quiescence a serial polish pass runs
-//! to its own fixpoint, recovering moves that span region boundaries.
+//! The serial-fallback / polish structure is the shared
+//! [`mig::run_scheduled_converge`] skeleton (the same one the
+//! functional-hashing engines drive): after the scheduler reaches
+//! quiescence a serial polish pass runs to its own fixpoint, recovering
+//! moves that span region boundaries.
 
 use crate::inplace::{
     commit_depth_move, commit_size_move, converge, depth_metric, match_depth_move_live,
-    match_size_move, script_round, Family,
+    match_size_move, Family,
 };
 use crate::{script_metric, AlgStats};
 use mig::{
-    run_shard_rounds, CommitVerdict, Mig, NodeId, PartitionStrategy, ProposeEngine,
+    run_scheduled_converge, CommitVerdict, Mig, NodeId, PartitionStrategy, ProposeEngine,
     RegionPartition, ShardConfig,
 };
 use std::collections::HashSet;
@@ -42,7 +49,7 @@ struct AlgEngine {
 /// The move kind a proposal was derived as. The commit phase refuses a
 /// proposal whose live re-derivation lands on a *different* kind
 /// (Conflicted — the region re-proposes from fresh analysis), so the
-/// driver's per-kind gain attribution of kept rounds is exact.
+/// driver's per-kind gain attribution of kept steps is exact.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum MoveKind {
     Merge,
@@ -62,7 +69,7 @@ impl MoveKind {
 struct AlgProposal {
     root: NodeId,
     kind: MoveKind,
-    /// Round-start nodes the analysis depends on: the root and the
+    /// Step-start nodes the analysis depends on: the root and the
     /// involved fanin gate(s). Operand *levels* can drift without
     /// touching the footprint; the commit-side re-derivation catches
     /// that.
@@ -75,15 +82,13 @@ impl ProposeEngine for AlgEngine {
     type Proposal = AlgProposal;
     type RoundState = ();
 
-    fn begin_round(
-        &self,
-        mig: &Mig,
-        max_regions: usize,
-        _invalidated: &[NodeId],
-    ) -> (RegionPartition, ()) {
+    fn partition(&self, mig: &Mig, max_regions: usize) -> (RegionPartition, ()) {
         // Level bands: algebraic moves carry no fanout-free restriction,
         // and a band keeps a gate together with its fanins/grandchildren
-        // more often than an FFR packing would.
+        // more often than an FFR packing would. The partition persists
+        // across steps (the commit-time re-derivation makes stale member
+        // lists harmless — dead members are skipped, new nodes queue as
+        // staleness toward the scheduler's re-partition threshold).
         let p = RegionPartition::compute(mig, PartitionStrategy::LevelBands { max_regions });
         (p, ())
     }
@@ -110,7 +115,7 @@ impl ProposeEngine for AlgEngine {
                     footprint: vec![v, mv.g1, mv.g2],
                     gain: 1,
                 }),
-                // The frozen round snapshot plays the role of the serial
+                // The frozen step snapshot plays the role of the serial
                 // sweep's level snapshot: propose against its levels.
                 Family::Depth => match_depth_move_live(mig, v).map(|(mv, inner)| AlgProposal {
                     root: v,
@@ -173,54 +178,21 @@ impl ProposeEngine for AlgEngine {
     }
 }
 
-/// One sharded stage: propose/commit rounds to quiescence, followed by
-/// a serial polish to the serial engine's own fixpoint. Applied-move
-/// counters of the driver rounds come from the committed gains of kept
-/// rounds (exact: the commit phase refuses kind-flipped re-derivations).
-fn sharded_stage(
-    mig: &mut Mig,
-    family: Family,
-    threads: usize,
-    max_rounds: usize,
-) -> (AlgStats, usize) {
-    let mut cfg = ShardConfig::new(threads);
-    cfg.max_rounds = max_rounds;
-    // Both families run guarded: merges are liberal (their profit comes
-    // from cross-sweep strash sharing), so a round is kept only when it
-    // improves the family's lexicographic metric.
-    let guard = match family {
-        Family::Size => script_metric as fn(&Mig) -> (u64, u64),
-        Family::Depth => depth_metric as fn(&Mig) -> (u64, u64),
-    };
-    cfg.guard = Some(guard);
-    let engine = AlgEngine { family };
-    if !cfg.shardable(mig) {
-        // Too small to shard: the serial convergence loop is the
-        // degenerate case (bit-identical to a `threads == 1` run).
-        return converge(mig, max_rounds, family, guard);
-    }
-    let stats = run_shard_rounds(mig, &engine, &cfg);
-    let mut alg = AlgStats::default();
-    match family {
-        Family::Size => alg.merges = stats.replacements,
-        Family::Depth => {
-            // Every kept depth commit contributed 0 (assoc) or -1
-            // (distrib) to the gain sum.
-            let distrib = (-stats.gain).max(0) as u64;
-            alg.distrib_moves = distrib.min(stats.replacements);
-            alg.assoc_moves = stats.replacements - alg.distrib_moves;
-        }
-    }
-    // Serial polish: recover cross-region moves from the quiescent graph.
-    let (polish, polish_rounds) = converge(mig, max_rounds, family, guard);
-    alg.absorb(polish);
-    (alg, stats.rounds + polish_rounds)
-}
-
-/// [`crate::size_converge`] / [`crate::depth_converge`] backend with a
-/// worker-thread count: `threads <= 1` (or a graph too small to shard)
-/// runs the serial convergence loop; larger graphs run sharded
-/// propose/commit rounds followed by a serial polish pass.
+/// [`crate::size_converge`] / [`crate::depth_converge`] backend: the
+/// event-driven converge stage on the shared scheduler skeleton. Graphs
+/// too small to shard run the serial convergence loop alone (the
+/// degenerate case, bit-identical to the historical serial drivers).
+/// Larger graphs run the serial loop first as the quality floor (its
+/// sweeps are individually guarded, so it can never worsen — and the
+/// sweep schedule matters for depth chains, where the reverse-topo
+/// serial order reaches optima region proposals can miss), then
+/// scheduler steps over dirty regions to quiescence, then a serial
+/// polish to confirm the fixpoint across region boundaries; every stage
+/// is guarded under the family metric, so the result is provably never
+/// worse than the round-based serial driver. Applied-move counters of
+/// the scheduler steps come from the committed gains of kept steps
+/// (exact: the commit phase refuses kind-flipped re-derivations); the
+/// serial stages report their own exact counters.
 pub(crate) fn converge_threads(
     mig: &mut Mig,
     max_rounds: usize,
@@ -228,15 +200,70 @@ pub(crate) fn converge_threads(
     threads: usize,
 ) -> (AlgStats, usize) {
     let family = if depth { Family::Depth } else { Family::Size };
-    if threads <= 1 {
-        let guard = if depth {
-            depth_metric as fn(&Mig) -> (u64, u64)
-        } else {
-            script_metric as fn(&Mig) -> (u64, u64)
-        };
-        return converge(mig, max_rounds, family, guard);
+    let guard = match family {
+        Family::Size => script_metric as fn(&Mig) -> (u64, u64),
+        Family::Depth => depth_metric as fn(&Mig) -> (u64, u64),
+    };
+    let mut cfg = ShardConfig::new(threads);
+    cfg.max_rounds = max_rounds;
+    // Both families run guarded: merges are liberal (their profit comes
+    // from cross-sweep strash sharing), so a step is kept only when it
+    // improves the family's lexicographic metric.
+    cfg.guard = Some(guard);
+    let engine = AlgEngine { family };
+    // Serial convergence loop, used as the quality-floor baseline, the
+    // non-shardable fallback and the cross-region polish; its exact
+    // per-kind counters accumulate here while the total flows through
+    // the driver stats.
+    let mut serial_acc = AlgStats::default();
+    let mut serial_rounds = 0usize;
+    // Quality-floor baseline (only the driver's own serial calls flow
+    // into its replacement total, so the baseline is tracked apart).
+    let mut baseline_total = 0u64;
+    let ran_baseline = cfg.shardable(mig);
+    if ran_baseline {
+        let (stats, rounds) = converge(mig, max_rounds, family, guard);
+        serial_rounds += rounds;
+        baseline_total = stats.total();
+        serial_acc.absorb(stats);
     }
-    sharded_stage(mig, family, threads, max_rounds)
+    let mut serial = |m: &mut Mig| -> (u64, i64) {
+        let (stats, rounds) = converge(m, max_rounds, family, guard);
+        serial_rounds += rounds;
+        let total = stats.total();
+        serial_acc.absorb(stats);
+        (total, 0)
+    };
+    let driver = if ran_baseline && !cfg.shardable(mig) {
+        // The baseline shrank the graph below the shard threshold: it is
+        // already at the serial fixpoint, so the helper's serial
+        // fallback would only re-confirm it at full-sweep cost.
+        mig::ShardStats::default()
+    } else {
+        run_scheduled_converge(mig, &engine, &cfg, &mut serial, None, true)
+    };
+    // Scheduler-step portion: everything the driver counted beyond what
+    // its own serial stages (fallback/polish) reported. The closure's
+    // return value flows verbatim into the driver total, so the
+    // difference is exact; the saturation is a reporting guard should
+    // that coupling ever change.
+    let serial_in_driver = serial_acc.total() - baseline_total;
+    debug_assert!(driver.replacements >= serial_in_driver);
+    let sched_repl = driver.replacements.saturating_sub(serial_in_driver);
+    let mut alg = AlgStats::default();
+    match family {
+        Family::Size => alg.merges = sched_repl,
+        Family::Depth => {
+            // Every kept depth commit contributed 0 (assoc) or -1
+            // (distrib) to the gain sum; the serial stages report gain 0.
+            let distrib = (-driver.gain).max(0) as u64;
+            alg.distrib_moves = distrib.min(sched_repl);
+            alg.assoc_moves = sched_repl - alg.distrib_moves;
+        }
+    }
+    alg.sched = driver.sched;
+    alg.absorb(serial_acc);
+    (alg, driver.rounds + serial_rounds)
 }
 
 /// The sharded optimization script. The script's round acceptance is
@@ -244,12 +271,13 @@ pub(crate) fn converge_threads(
 /// previous round's committed graph), so — like the bottom-up
 /// functional-hashing variants, whose candidate DP is global — the
 /// quality baseline is the serial in-place script, and the sharded
-/// stages run afterwards as *refinement*: alternating sharded size and
-/// depth rounds under the same lexicographic `(gates, depth)` acceptance
-/// ([`crate::script_metric`]), each kept only when it improves. This
-/// makes the sharded script never worse than the serial script on any
-/// input, bit-deterministic for a fixed input and thread count, and
-/// degenerate to exactly the serial script on graphs too small to shard.
+/// stages run afterwards as *refinement*: alternating event-driven size
+/// and depth stages under the same lexicographic `(gates, depth)`
+/// acceptance ([`crate::script_metric`]), each kept only when it
+/// improves. This makes the sharded script never worse than the serial
+/// script on any input, bit-deterministic for a fixed input and thread
+/// count, and degenerate to exactly the serial script on graphs too
+/// small to shard.
 pub fn optimize_threads(mig: &mut Mig, max_rounds: usize, threads: usize) -> AlgStats {
     if threads <= 1 {
         return crate::optimize_in_place(mig, max_rounds);
@@ -257,13 +285,13 @@ pub fn optimize_threads(mig: &mut Mig, max_rounds: usize, threads: usize) -> Alg
     // Quality baseline: the serial script (cheap — in-place and
     // incremental; the never-worse-than-serial floor).
     let mut total = crate::optimize_in_place(mig, max_rounds);
-    // Parallel refinement: sharded stages explore a different move
-    // schedule (propose/commit rounds over region proposals), driven by
+    // Parallel refinement: the event-driven stages explore a different
+    // move schedule (scheduler steps over region proposals), driven by
     // the same round skeleton as the serial script (shared
     // `script_round`); a round that fails to improve the script metric
     // is rolled back.
     for _ in 0..max_rounds {
-        let round = script_round(
+        let round = crate::inplace::script_round(
             mig,
             &mut |m| converge_threads(m, 8, false, threads).0,
             &mut |m| converge_threads(m, 8, true, threads).0,

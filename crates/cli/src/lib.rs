@@ -32,14 +32,18 @@
 //!
 //! An `fhash`, `size!`, `depth!` or `algebraic` pass without an explicit
 //! `@N` uses the pipeline's default thread count ([`run_pipeline_jobs`],
-//! the `migopt -j` flag); `@1` forces the serial in-place engine. Every
+//! the `migopt -j` flag); `@1` forces single-threaded proposing. Every
 //! rewriting pass runs in place on the managed network, so consecutive
 //! `fhash` *and algebraic* passes share one incrementally maintained cut
-//! set (enumerated once, then only refreshed from the structural-change
-//! log — the algebraic passes peek at the log without draining it).
-//! Passes that rebuild the graph wholesale (`strash`, `balance`,
-//! `rewrite`) and the sharded drivers (which consume the log internally)
-//! invalidate the shared set.
+//! set: all consumers of the structural-change log — the carried cut
+//! set, the convergence scheduler, the converge re-scan frontiers — read
+//! it through their own cursors without draining it, so the set survives
+//! sharded and converge passes too. Only passes that rebuild the graph
+//! wholesale (`strash`, `balance`, `rewrite`) invalidate the shared set.
+//! Passes driven by the convergence scheduler (`fhash!`, sharded `@N`
+//! passes, `size!`/`depth!`/`algebraic` on shardable graphs) report its
+//! event counters — regions proposed / skipped clean / retried, commit
+//! waves — alongside the applied-move counts.
 
 use mig::Mig;
 use std::fmt;
@@ -349,6 +353,19 @@ pub struct PassReport {
     pub note: String,
 }
 
+/// Renders the convergence scheduler's event counters for a per-pass
+/// note, in the applied-move-count style; empty when the pass ran purely
+/// serial (nothing scheduled).
+fn sched_note(sched: &mig::SchedStats) -> String {
+    if !sched.any() {
+        return String::new();
+    }
+    format!(
+        "; sched: {} regions proposed, {} skipped clean, {} retried, {} commit waves",
+        sched.proposed_regions, sched.skipped_clean, sched.retried, sched.commit_waves
+    )
+}
+
 /// A pipeline execution failure.
 #[derive(Debug)]
 pub enum PipelineError {
@@ -386,10 +403,11 @@ pub fn run_pipeline(input: &Mig, passes: &[Pass]) -> Result<(Mig, Vec<PassReport
 /// passes (the `migopt -j/--threads` flag). A pass's own `@N` suffix
 /// always wins over the default.
 ///
-/// Consecutive serial `fhash` passes share one [`cuts::CutSet`]: it is
+/// Consecutive `fhash` passes share one [`cuts::CutSet`]: it is
 /// enumerated on first use and afterwards only refreshed from the
-/// graph's dirty log on entry to each pass; passes that rebuild the
-/// graph wholesale drop it (node identities change).
+/// graph's dirty log (through the set's own cursor — sharded and
+/// converge passes leave the log intact) on entry to each pass; passes
+/// that rebuild the graph wholesale drop it (node identities change).
 ///
 /// # Errors
 ///
@@ -417,20 +435,22 @@ pub fn run_pipeline_jobs(
                 cut_cache = None;
             }
             Pass::Algebraic { rounds, threads } => {
-                // The serial script rewrites in place and only *appends*
-                // to the structural-change log, so a carried cut set
-                // stays refreshable; the sharded driver consumes the log
-                // internally and drops it.
+                // Both the serial script and the scheduler-driven stages
+                // only *append* to the structural-change log (the
+                // scheduler peeks through cursors), so the carried cut
+                // set stays refreshable either way.
                 let t = threads.unwrap_or(default_threads);
                 let stats = if t <= 1 {
                     migalg::optimize_in_place(&mut cur, *rounds)
                 } else {
-                    cut_cache = None;
                     migalg::optimize_threads(&mut cur, *rounds, t)
                 };
                 note = format!(
-                    "{} merges, {} assoc, {} distrib moves",
-                    stats.merges, stats.assoc_moves, stats.distrib_moves
+                    "{} merges, {} assoc, {} distrib moves{}",
+                    stats.merges,
+                    stats.assoc_moves,
+                    stats.distrib_moves,
+                    sched_note(&stats.sched)
                 );
             }
             Pass::SizeRewrite => {
@@ -446,50 +466,57 @@ pub fn run_pipeline_jobs(
             }
             Pass::SizeConverge { threads } => {
                 let t = threads.unwrap_or(default_threads);
-                if t > 1 {
-                    cut_cache = None;
-                }
                 let (stats, rounds) = migalg::size_converge(&mut cur, 50, t);
-                note = format!("{rounds} rounds, {} merges", stats.merges);
+                note = format!(
+                    "{rounds} rounds, {} merges{}",
+                    stats.merges,
+                    sched_note(&stats.sched)
+                );
             }
             Pass::DepthConverge { threads } => {
                 let t = threads.unwrap_or(default_threads);
-                if t > 1 {
-                    cut_cache = None;
-                }
                 let (stats, rounds) = migalg::depth_converge(&mut cur, 50, t);
                 note = format!(
-                    "{rounds} rounds, {} assoc, {} distrib moves",
-                    stats.assoc_moves, stats.distrib_moves
+                    "{rounds} rounds, {} assoc, {} distrib moves{}",
+                    stats.assoc_moves,
+                    stats.distrib_moves,
+                    sched_note(&stats.sched)
                 );
             }
             Pass::Fhash { variant, threads } => {
                 let e = engine.get_or_insert_with(fhash::FunctionalHashing::with_default_database);
                 let t = threads.unwrap_or(default_threads);
                 let stats = if t <= 1 {
-                    let mut cs = cut_cache.take().unwrap_or_else(|| {
-                        let _ = cur.drain_dirty();
-                        cuts::enumerate_cuts(&cur, &e.config().cut_config)
-                    });
+                    let mut cs = cut_cache
+                        .take()
+                        .unwrap_or_else(|| cuts::enumerate_cuts(&cur, &e.config().cut_config));
                     let stats = e.run_in_place_with_cuts(&mut cur, *variant, &mut cs);
                     cut_cache = Some(cs);
                     stats
                 } else {
-                    // The sharded engine drains the dirty log internally;
-                    // a carried cut set would go silently stale.
-                    cut_cache = None;
+                    // The scheduler peeks the dirty log through cursors
+                    // without draining it, so the carried cut set's
+                    // invalidation feed survives the sharded pass (it
+                    // re-syncs on its next refresh).
                     e.run_sharded(&mut cur, *variant, t)
                 };
-                note = format!("{} replacements", stats.replacements);
+                note = format!(
+                    "{} replacements{}",
+                    stats.replacements,
+                    sched_note(&stats.sched)
+                );
             }
             Pass::FhashConverge { variant, threads } => {
                 let e = engine.get_or_insert_with(fhash::FunctionalHashing::with_default_database);
                 let t = threads.unwrap_or(default_threads);
-                // The converge loop enumerates and drains the dirty log
-                // internally; a carried set would go silently stale.
-                cut_cache = None;
+                // Like the sharded pass: nothing in the converge driver
+                // drains the log, so the carried set stays sound.
                 let (stats, rounds) = e.run_converge_threads(&mut cur, *variant, 50, t);
-                note = format!("{rounds} rounds, {} replacements", stats.replacements);
+                note = format!(
+                    "{rounds} rounds, {} replacements{}",
+                    stats.replacements,
+                    sched_note(&stats.sched)
+                );
             }
             Pass::Balance => {
                 cur = aig::to_mig(&aig::balance(&aig::from_mig(&cur)));
@@ -533,6 +560,16 @@ pub fn run_pipeline_jobs(
             }
             Pass::Stats => {
                 note = format!("i/o = {}/{}", cur.num_inputs(), cur.num_outputs());
+            }
+        }
+        // Bound the structural-change log between passes: at a pass
+        // boundary the carried cut set is the only outstanding log
+        // consumer, so everything before its cursor (or the whole log,
+        // when no set is carried) can be dropped.
+        match &cut_cache {
+            Some(cs) => cur.truncate_dirty(cs.cursor()),
+            None => {
+                let _ = cur.drain_dirty();
             }
         }
         reports.push(PassReport {
@@ -802,6 +839,33 @@ mod tests {
         }
         assert_eq!(cached.num_gates(), fresh.num_gates());
         assert_eq!(cached.output_truth_tables(), fresh.output_truth_tables());
+    }
+
+    #[test]
+    fn cut_cache_survives_a_scheduler_driven_pass() {
+        // A sharded pass between two serial fhash passes: the scheduler
+        // peeks the dirty log without draining it, so the carried cut
+        // set must still track every change — the pipeline's result has
+        // to match running the passes with per-pass fresh enumeration.
+        let mut m = Mig::new(6);
+        let ins: Vec<mig::Signal> = m.inputs().collect();
+        let x = m.xor(ins[0], ins[1]);
+        let y = m.xor(x, ins[2]);
+        let z = m.xor(y, ins[3]);
+        let g = m.mux(ins[4], z, x);
+        let h = m.maj(g, y, ins[5]);
+        m.add_output(h);
+        m.add_output(z);
+        let passes = parse_pipeline("fhash:TF; fhash:T@3; fhash:T").unwrap();
+        let (cached, _) = run_pipeline(&m, &passes).unwrap();
+        let engine = fhash::FunctionalHashing::with_default_database();
+        let mut fresh = m.clone();
+        engine.run_in_place(&mut fresh, fhash::Variant::TopDownFfr);
+        engine.run_sharded(&mut fresh, fhash::Variant::TopDown, 3);
+        engine.run_in_place(&mut fresh, fhash::Variant::TopDown);
+        assert_eq!(cached.num_gates(), fresh.num_gates());
+        assert_eq!(cached.output_truth_tables(), fresh.output_truth_tables());
+        assert_eq!(cached.output_truth_tables(), m.output_truth_tables());
     }
 
     #[test]

@@ -153,6 +153,91 @@ fn sharded_fhash_acceptance_on_all_benchmarks() {
 }
 
 #[test]
+fn event_driven_converge_never_worse_than_round_based_drivers() {
+    // ISSUE 5 acceptance: on every checked-in benchmark and every
+    // variant, the event-driven convergence scheduler reaches quiescence
+    // with gate counts never worse than the round-based full-sweep
+    // driver (`run_converge_serial`), stays SAT-proved CEC-equivalent,
+    // and is bit-deterministic per thread count.
+    let engine = fhash::FunctionalHashing::with_default_database();
+    for name in ["full_adder.aag", "adder8.aag", "mult4.aig", "adder4.blif"] {
+        let m = io::read_mig_path(benchmarks_dir().join(name)).unwrap();
+        for v in fhash::Variant::ALL {
+            let mut rounds_based = m.clone();
+            engine.run_converge_serial(&mut rounds_based, v, 50);
+            for threads in [1usize, 4] {
+                let mut event = m.clone();
+                let (stats, _) = engine.run_converge_threads(&mut event, v, 50, threads);
+                assert!(
+                    event.num_gates() <= rounds_based.num_gates(),
+                    "{name}/{v}@{threads}: event-driven {} > round-based {}",
+                    event.num_gates(),
+                    rounds_based.num_gates()
+                );
+                assert_eq!(
+                    cec::prove_equivalent(&m, &event, None),
+                    cec::CecResult::Equivalent,
+                    "{name}/{v}@{threads}: event-driven result not equivalent"
+                );
+                let mut again = m.clone();
+                let (stats2, _) = engine.run_converge_threads(&mut again, v, 50, threads);
+                assert_eq!(stats, stats2, "{name}/{v}@{threads}: counters drifted");
+                assert_eq!(again.num_nodes(), event.num_nodes(), "{name}/{v}@{threads}");
+                let gates_a: Vec<_> = again.gates().map(|g| (g, again.fanins(g))).collect();
+                let gates_b: Vec<_> = event.gates().map(|g| (g, event.fanins(g))).collect();
+                assert_eq!(
+                    gates_a, gates_b,
+                    "{name}/{v}@{threads}: nondeterministic netlist"
+                );
+            }
+        }
+        // Same contract for the algebraic converge drivers, against the
+        // family metrics their guards enforce.
+        let base = m.cleanup();
+        for threads in [1usize, 4] {
+            let mut s = base.clone();
+            migalg::size_converge(&mut s, 50, threads);
+            assert!(
+                migalg::script_metric(&s) <= migalg::script_metric(&base),
+                "{name}@{threads}: size converge worsened"
+            );
+            let mut d = base.clone();
+            migalg::depth_converge(&mut d, 50, threads);
+            assert!(
+                d.depth() <= base.depth(),
+                "{name}@{threads}: depth converge worsened"
+            );
+            for opt in [&s, &d] {
+                assert_eq!(
+                    cec::prove_equivalent(&m, opt, None),
+                    cec::CecResult::Equivalent,
+                    "{name}@{threads}: algebraic converge result not equivalent"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn scheduler_reports_event_counters_in_pass_notes() {
+    // The per-pass report of scheduler-driven passes carries the event
+    // counters (regions proposed / skipped clean / retried, commit
+    // waves) in the applied-move-count format.
+    let m = io::read_mig_path(benchmarks_dir().join("adder8.aag")).unwrap();
+    let passes = parse_pipeline("strash; fhash!:T; size!@2; cec").unwrap();
+    let (_, reports) = run_pipeline(&m, &passes).unwrap();
+    for (i, what) in [(1, "fhash!"), (2, "size!@2")] {
+        assert!(
+            reports[i].note.contains("regions proposed")
+                && reports[i].note.contains("skipped clean")
+                && reports[i].note.contains("commit waves"),
+            "{what} note lacks scheduler counters: {}",
+            reports[i].note
+        );
+    }
+}
+
+#[test]
 fn sharded_pipelines_prove_equivalence_on_all_benchmarks() {
     // The `@N` pass suffix end to end: sharded top-down + bottom-up with
     // an in-pipeline SAT equivalence check on every benchmark.

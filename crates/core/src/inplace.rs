@@ -29,8 +29,10 @@ use std::collections::HashSet;
 /// cut leaves (or the fanins when no profitable cut exists).
 ///
 /// `cuts` may be carried over from a previous pass on the same graph
-/// (pipeline cut-cache persistence): the entry refresh drains the dirty
-/// log and re-enumerates only the invalidated lists.
+/// (pipeline cut-cache persistence): the entry refresh reads the dirty
+/// log through the set's own cursor (never draining it — other
+/// consumers keep their feeds) and re-enumerates only the invalidated
+/// lists.
 pub(crate) fn top_down(
     engine: &FunctionalHashing,
     mig: &mut Mig,

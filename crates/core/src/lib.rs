@@ -51,7 +51,7 @@ mod shard;
 mod topdown;
 
 use cuts::{enumerate_cuts, CutConfig, CutSet};
-use mig::Mig;
+use mig::{Mig, ShardConfig};
 use npndb::Database;
 use truth::Npn4Canonizer;
 
@@ -152,6 +152,9 @@ pub struct FhStats {
     /// Sum of estimated gains of the performed replacements (top-down
     /// only; the real gain is visible in the returned MIG's size).
     pub estimated_gain: i64,
+    /// Event counters of the convergence scheduler (zero for purely
+    /// serial runs).
+    pub sched: mig::SchedStats,
 }
 
 /// The functional-hashing optimizer (paper §IV).
@@ -221,7 +224,15 @@ impl FunctionalHashing {
     /// replacement costs O(affected region) instead of an O(n) rebuild.
     /// Dangling cones are swept before returning.
     pub fn run_in_place(&self, mig: &mut Mig, variant: Variant) -> FhStats {
-        let _ = mig.drain_dirty();
+        // The fresh enumeration starts its dirty-log cursor at the
+        // current head, so pending entries (owned by other consumers,
+        // e.g. a pipeline's carried cut set) are neither drained nor
+        // re-processed. The flip side: no engine pass consumes the log
+        // anymore, so long-lived callers rewriting the same graph
+        // repeatedly should bound it themselves between passes
+        // (`Mig::truncate_dirty` at their slowest cursor, or
+        // `Mig::drain_dirty` when nothing tracks it — what the migopt
+        // pipeline does).
         let mut cuts = enumerate_cuts(mig, &self.config.cut_config);
         self.run_in_place_with_cuts(mig, variant, &mut cuts)
     }
@@ -277,18 +288,23 @@ impl FunctionalHashing {
     /// and functionally equivalent to the input (each commit is a
     /// function-preserving local substitution).
     pub fn run_sharded(&self, mig: &mut Mig, variant: Variant, threads: usize) -> FhStats {
-        shard::run_sharded(self, mig, variant, threads)
+        shard::run_sharded(
+            self,
+            mig,
+            variant,
+            threads,
+            ShardConfig::new(threads).max_rounds,
+        )
     }
 
-    /// Runs [`FunctionalHashing::run_in_place`] to convergence: repeats
-    /// the pass until no replacement fires or the gate count stops
-    /// shrinking (whichever comes first), bounded by `max_rounds`. A
-    /// round that does not shrink the graph is rolled back (the bottom-up
-    /// variants carry no monotonicity guarantee), so the result is never
-    /// worse than any intermediate fixpoint. Returns the accumulated
-    /// statistics of the *kept* rounds and the number of rounds run.
-    /// This is the `fhash!:V` pipeline pass — affordable only because
-    /// each round costs local rewrites, not whole-graph rebuilds.
+    /// Runs the engine to convergence (no replacement fires or the gate
+    /// count stops shrinking, bounded by `max_rounds`): the `fhash!:V`
+    /// pipeline pass. Routes through the event-driven convergence
+    /// scheduler ([`FunctionalHashing::run_converge_threads`] at one
+    /// worker thread), so after the first pass only the regions a commit
+    /// actually dirtied are re-proposed. Rounds that do not shrink the
+    /// graph are rolled back, so the result is never worse than any
+    /// intermediate fixpoint.
     pub fn run_converge(
         &self,
         mig: &mut Mig,
@@ -298,16 +314,17 @@ impl FunctionalHashing {
         self.run_converge_threads(mig, variant, max_rounds, 1)
     }
 
-    /// [`FunctionalHashing::run_converge`] over the sharded engine:
-    /// each round is a [`FunctionalHashing::run_threads`] pass with the
-    /// given worker count (`threads <= 1` reproduces `run_converge`
-    /// exactly). Useful for the `fhash!:V@N` pipeline pass.
-    pub fn run_converge_threads(
+    /// The round-based convergence reference: repeats the full-sweep
+    /// serial pass ([`FunctionalHashing::run_in_place`]) until no
+    /// replacement fires or the gate count stops shrinking. Every round
+    /// re-traverses the whole graph — kept as the baseline the
+    /// event-driven scheduler is measured (and differentially tested)
+    /// against, and as the fallback for graphs too small to partition.
+    pub fn run_converge_serial(
         &self,
         mig: &mut Mig,
         variant: Variant,
         max_rounds: usize,
-        threads: usize,
     ) -> (FhStats, usize) {
         // Only the bottom-up variants can grow the graph (no per-commit
         // gain bound), so only they need a rollback snapshot; top-down
@@ -324,7 +341,7 @@ impl FunctionalHashing {
         while rounds < max_rounds {
             let before_size = mig.num_gates();
             let snapshot = (!monotone).then(|| mig.clone());
-            let stats = self.run_threads(mig, variant, threads);
+            let stats = self.run_in_place(mig, variant);
             rounds += 1;
             if stats.replacements == 0 {
                 break;
@@ -339,6 +356,33 @@ impl FunctionalHashing {
             total.estimated_gain += stats.estimated_gain;
         }
         (total, rounds)
+    }
+
+    /// [`FunctionalHashing::run_converge`] with a worker-thread count:
+    /// the event-driven convergence driver behind the `fhash!:V[@N]`
+    /// pipeline pass. Graphs too small to partition run the round-based
+    /// serial loop ([`FunctionalHashing::run_converge_serial`]); larger
+    /// graphs run the scheduler to quiescence in one pass
+    /// ([`FunctionalHashing::run_sharded`], which also owns the
+    /// baseline/polish structure of the bottom-up variants) — the
+    /// scheduler's dirty-region queue already repeats work exactly where
+    /// commits landed, so no outer full-sweep round loop remains.
+    /// Returns the statistics and the scheduler steps run (the
+    /// round-count equivalent).
+    pub fn run_converge_threads(
+        &self,
+        mig: &mut Mig,
+        variant: Variant,
+        max_rounds: usize,
+        threads: usize,
+    ) -> (FhStats, usize) {
+        let threads = threads.max(1);
+        if !ShardConfig::new(threads).shardable(mig) {
+            return self.run_converge_serial(mig, variant, max_rounds);
+        }
+        let stats = shard::run_sharded(self, mig, variant, threads, max_rounds);
+        let rounds = (stats.sched.steps as usize).max(1);
+        (stats, rounds)
     }
 
     /// The original rebuild-based engine (reconstructs the optimized MIG

@@ -1,41 +1,48 @@
 //! Sharded in-place functional hashing on the engine-agnostic
-//! propose/commit protocol ([`mig::ProposeEngine`]).
+//! event-driven convergence scheduler ([`mig::ProposeEngine`]).
 //!
 //! The functional-hashing flow is local — a replacement touches a cut's
 //! cone and its fanout frontier — so the expensive part (cut enumeration,
 //! NPN canonization, database lookup, candidate scoring) runs
 //! concurrently over a *frozen* graph while only the cheap part (the
-//! actual `replace_node` substitutions) stays serial. The round loop —
-//! partition, parallel propose, serial deterministic commit with
-//! footprint-conflict resolution, stale-region retry — lives in
-//! [`mig::run_shard_rounds`]; this module plugs in two engines:
+//! actual `replace_node` substitutions) stays serial. The scheduling —
+//! persistent partition with drift-triggered re-partition, the priority
+//! queue of dirty regions, parallel propose, wave-batched deterministic
+//! commit with footprint-conflict resolution, stale-region retry — lives
+//! in [`mig::run_scheduler`]; this module plugs in two engines:
 //!
 //! * [`CutEngine`] (the top-down variants): per gate, the best legal
 //!   database replacement selected from shard-local cut lists
 //!   ([`cuts::LocalCuts`]). The per-region lists are **carried across
-//!   rounds** — invalidated by the previous round's dirty set, like the
-//!   global `CutSet` — so incremental rounds only re-enumerate the cuts
-//!   a commit actually staled. Commit re-checks fanout legality (strash
-//!   inside an earlier commit can resurrect a shared node without
-//!   dirtying it) and, for the depth-preserving variants, the level
-//!   bound against live levels.
+//!   steps** — staled through the scheduler's invalidation events, like
+//!   the global `CutSet` — so incremental steps only re-enumerate the
+//!   cuts a commit actually touched. Commit re-checks fanout legality
+//!   (strash inside an earlier commit can resurrect a shared node
+//!   without dirtying it) and, for the depth-preserving variants, the
+//!   level bound against live levels. The FFR legality view may lag the
+//!   graph by up to the re-partition threshold; the commit-time fanout
+//!   recheck keeps every replacement sound regardless.
 //! * [`RegionEngine`] (the bottom-up variants): the region is extracted
 //!   into a standalone MIG, optimized with the serial engine, and the
-//!   boundary gates are rerouted onto the optimized implementation. The
-//!   bottom-up candidate DP is global, so the quality baseline is one
-//!   serial pass up front and the regional rounds act as shrink-only
-//!   refinement (driver guard) with a serial polish at the end — making
-//!   the sharded result never worse than the serial engine on any input.
+//!   boundary gates are rerouted onto the optimized implementation.
+//!   Extraction needs a coherent member view, so the engine declares its
+//!   partition volatile (rebuilt per step). The bottom-up candidate DP
+//!   is global, so the scheduler runs inside the shared
+//!   baseline/refine/polish skeleton ([`mig::run_scheduled_converge`]):
+//!   one guarded serial pass up front, shrink-only scheduler refinement,
+//!   serial polish at the end — never worse than the serial engine on
+//!   any input.
 //!
 //! Determinism: fixed input + thread count ⇒ bit-identical netlist (a
-//! driver property — commit order is independent of worker scheduling).
+//! scheduler property — queue order, wave plan and commit order are
+//! independent of worker scheduling).
 
 use crate::common::{cut_is_fanout_legal, internal_nodes, select_best_cut, Replacement};
 use crate::{FhStats, FunctionalHashing, Variant};
 use cuts::{Cut, LocalCuts};
 use mig::{
-    run_shard_rounds, CommitVerdict, FfrPartition, Mig, NodeId, PartitionStrategy, ProposeEngine,
-    RegionPartition, ShardConfig, Signal,
+    run_scheduled_converge, CommitVerdict, FfrPartition, Mig, NodeId, PartitionStrategy,
+    ProposeEngine, RegionPartition, ShardConfig, Signal,
 };
 use std::collections::{HashMap, HashSet};
 use std::sync::Mutex;
@@ -79,15 +86,15 @@ struct Proposal {
 }
 
 /// Top-down propose engine: database cut replacements from shard-local
-/// cut lists, with per-region list reuse across rounds.
+/// cut lists, with per-region list reuse across scheduler steps.
 struct CutEngine<'e> {
     engine: &'e FunctionalHashing,
     depth_preserving: bool,
     use_ffr: bool,
-    /// Per-region [`LocalCuts`] carried across rounds. Workers take
+    /// Per-region [`LocalCuts`] carried across steps. Workers take
     /// their region's store out under the lock, refresh it lock-free and
-    /// put it back; `begin_round` invalidates every store with the
-    /// previous round's dirty set.
+    /// put it back; the scheduler's [`ProposeEngine::invalidate`] events
+    /// stale exactly what each step's commits touched.
     carried: Mutex<HashMap<u32, LocalCuts>>,
 }
 
@@ -95,28 +102,28 @@ impl ProposeEngine for CutEngine<'_> {
     type Proposal = Proposal;
     type RoundState = Option<FfrPartition>;
 
-    fn begin_round(
-        &self,
-        mig: &Mig,
-        max_regions: usize,
-        invalidated: &[NodeId],
-    ) -> (RegionPartition, Option<FfrPartition>) {
-        // The FFR view doubles as the §IV-C legality restriction.
-        let (partition, ffr) = if self.use_ffr {
+    fn partition(&self, mig: &Mig, max_regions: usize) -> (RegionPartition, Option<FfrPartition>) {
+        // The FFR view doubles as the §IV-C legality restriction. Both
+        // it and the region partition persist until the scheduler's
+        // drift threshold fires; in between, nodes created by commits
+        // map to their own (foreign) FFR, so a lagging view can only
+        // skip a cut, never admit an illegal one — and fanout legality
+        // is re-checked live at commit time either way.
+        if self.use_ffr {
             let f = FfrPartition::compute(mig);
             let p = RegionPartition::from_ffr(mig, &f, max_regions);
             (p, Some(f))
         } else {
             let p = RegionPartition::compute(mig, PartitionStrategy::LevelBands { max_regions });
             (p, None)
-        };
-        if !invalidated.is_empty() {
-            let mut carried = self.carried.lock().unwrap();
-            for store in carried.values_mut() {
-                store.invalidate(mig, invalidated.iter().copied());
-            }
         }
-        (partition, ffr)
+    }
+
+    fn invalidate(&self, mig: &Mig, changed: &[NodeId]) {
+        let mut carried = self.carried.lock().unwrap();
+        for store in carried.values_mut() {
+            store.invalidate(mig, changed.iter().copied());
+        }
     }
 
     /// Top-down proposals for one region: best legal database replacement
@@ -135,16 +142,20 @@ impl ProposeEngine for CutEngine<'_> {
         if members.is_empty() {
             return props;
         }
+        // A persistent partition can hold members that died since it was
+        // computed (dead slots report level 0 and would wreck the
+        // horizon); the floor follows the live members only.
         let floor = members
             .iter()
+            .filter(|&&g| mig.is_gate(g))
             .map(|&g| mig.level(g))
             .min()
             .unwrap_or(0)
             .saturating_sub(CUT_HORIZON);
         // Sharded cut refresh reuse: take the region's carried lists when
         // the leaf horizon is unchanged (lists are valid per node, and
-        // `begin_round` already staled everything the last commits
-        // touched); otherwise start fresh.
+        // the scheduler's invalidation events already staled everything
+        // the last commits touched); otherwise start fresh.
         let mut local = {
             let mut carried = self.carried.lock().unwrap();
             match carried.remove(&region) {
@@ -257,18 +268,20 @@ impl ProposeEngine for RegionEngine<'_> {
     type Proposal = Proposal;
     type RoundState = ();
 
-    fn begin_round(
-        &self,
-        mig: &Mig,
-        max_regions: usize,
-        _invalidated: &[NodeId],
-    ) -> (RegionPartition, ()) {
+    fn partition(&self, mig: &Mig, max_regions: usize) -> (RegionPartition, ()) {
         let strategy = if matches!(self.variant, Variant::BottomUpFfr) {
             PartitionStrategy::FfrForest { max_regions }
         } else {
             PartitionStrategy::LevelBands { max_regions }
         };
         (RegionPartition::compute(mig, strategy), ())
+    }
+
+    /// Whole-region extraction walks every member's fanins against the
+    /// live graph; a partition lagging behind commits would feed it dead
+    /// members and unmapped fanins, so the view is rebuilt per step.
+    fn volatile_partition(&self) -> bool {
+        true
     }
 
     /// Bottom-up proposal for one region: extract the region as a
@@ -423,44 +436,45 @@ pub(crate) fn run_sharded(
     mig: &mut Mig,
     variant: Variant,
     threads: usize,
+    max_rounds: usize,
 ) -> FhStats {
     let threads = threads.max(1);
     let bottom_up = matches!(variant, Variant::BottomUp | Variant::BottomUpFfr);
     let depth_preserving = matches!(variant, Variant::TopDownDepth | Variant::TopDownFfrDepth);
     let use_ffr = matches!(variant, Variant::TopDownFfr | Variant::TopDownFfrDepth);
-    let mut stats = FhStats::default();
     let mut cfg = ShardConfig::new(threads);
-    if !cfg.shardable(mig) {
-        // The graph is too small to shard: run the serial engine to its
-        // shrinking fixpoint instead (the single-shard degenerate case).
-        // Round one is exactly the serial pass, and later rounds are
-        // kept only when they shrink, so the result is never worse than
-        // the serial engine's.
-        serial_converge(engine, mig, variant, &mut stats);
-        return stats;
-    }
-    if bottom_up {
+    cfg.max_rounds = max_rounds;
+    // Serial fixpoint driver: the fallback for graphs too small to
+    // partition and the bottom-up polish pass. Rounds that fail to
+    // shrink are rolled back, so it is never worse than a single serial
+    // pass from the same graph.
+    let mut serial = |m: &mut Mig| -> (u64, i64) {
+        let (s, _) = engine.run_converge_serial(m, variant, max_rounds);
+        (s.replacements, s.estimated_gain)
+    };
+    let driver_stats = if bottom_up {
         // The bottom-up candidate DP is global: candidate lists flow
         // across every fanout boundary, which no disjoint partition can
         // reproduce (regional runs come out a few gates short on
-        // structured arithmetic). So the quality baseline is one serial
-        // pass, and the parallel regional rounds below act as a
-        // refinement that is kept only when it shrinks the graph —
-        // making the sharded result never worse than the serial engine
-        // on any input.
-        let before = mig.num_gates();
-        let snapshot = mig.clone();
-        let serial_stats = engine.run_in_place(mig, variant);
-        if serial_stats.replacements > 0 && mig.num_gates() >= before {
-            *mig = snapshot;
-        } else {
-            stats.replacements += serial_stats.replacements;
-            stats.estimated_gain += serial_stats.estimated_gain;
-        }
+        // structured arithmetic). The shared skeleton therefore runs one
+        // guarded serial pass as the quality baseline, the scheduler as
+        // shrink-only refinement, and a serial polish over the (much
+        // smaller) quiescent graph to recover combinations the region
+        // boundaries hid — never worse than the serial engine on any
+        // input.
         cfg.guard = Some(gates_metric);
-    }
-    let driver_stats = if bottom_up {
-        run_shard_rounds(mig, &RegionEngine { engine, variant }, &cfg)
+        let mut baseline = |m: &mut Mig| -> (u64, i64) {
+            let s = engine.run_in_place(m, variant);
+            (s.replacements, s.estimated_gain)
+        };
+        run_scheduled_converge(
+            mig,
+            &RegionEngine { engine, variant },
+            &cfg,
+            &mut serial,
+            Some(&mut baseline),
+            true,
+        )
     } else {
         let cut_engine = CutEngine {
             engine,
@@ -468,34 +482,14 @@ pub(crate) fn run_sharded(
             use_ffr,
             carried: Mutex::new(HashMap::new()),
         };
-        run_shard_rounds(mig, &cut_engine, &cfg)
+        run_scheduled_converge(mig, &cut_engine, &cfg, &mut serial, None, false)
     };
-    stats.replacements += driver_stats.replacements;
-    stats.estimated_gain += driver_stats.gain;
-    if bottom_up {
-        // Regional candidate search cannot see combinations across its
-        // region boundaries; a serial polish pass over the (much
-        // smaller) quiescent graph recovers what the regional rounds
-        // exposed.
-        serial_converge(engine, mig, variant, &mut stats);
-    }
     mig.sweep();
-    stats
-}
-
-/// Runs the serial in-place engine to its shrinking fixpoint: rounds
-/// that fail to shrink are rolled back (the bottom-up variants carry no
-/// monotonicity guarantee, monotone variants skip the snapshot), so the
-/// result is never worse than a single serial pass from the same graph.
-fn serial_converge(
-    engine: &FunctionalHashing,
-    mig: &mut Mig,
-    variant: Variant,
-    stats: &mut FhStats,
-) {
-    let (round_stats, _) = engine.run_converge_threads(mig, variant, 64, 1);
-    stats.replacements += round_stats.replacements;
-    stats.estimated_gain += round_stats.estimated_gain;
+    FhStats {
+        replacements: driver_stats.replacements,
+        estimated_gain: driver_stats.gain,
+        sched: driver_stats.sched,
+    }
 }
 
 #[cfg(test)]

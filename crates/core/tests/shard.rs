@@ -111,6 +111,68 @@ fn sharded_is_bit_deterministic_per_thread_count() {
 }
 
 #[test]
+fn event_driven_converge_proposes_less_than_full_sweeps() {
+    // A workload where the rewriting opportunity is concentrated in a
+    // few cones under tall stable chains (the chain512 microbench shape,
+    // scaled down): the event-driven scheduler must skip the clean chain
+    // regions after the first step — strictly fewer region proposals
+    // than the full-sweep equivalent (proposed + skipped) — while
+    // reaching a gate count no worse than the round-based driver.
+    let mut m = Mig::new(4 * (3 + 2 * 96));
+    let mut next = 0usize;
+    let mut fresh = |m: &Mig| {
+        let s = m.input(next);
+        next += 1;
+        s
+    };
+    let mut tops = Vec::new();
+    for _ in 0..4 {
+        let (a, b, c) = (fresh(&m), fresh(&m), fresh(&m));
+        let x = m.xor(a, b);
+        let mut acc = m.xor(x, c);
+        for _ in 0..96 {
+            let (p, q) = (fresh(&m), fresh(&m));
+            acc = m.maj(acc, p, q);
+        }
+        tops.push(acc);
+    }
+    let top = m.maj(tops[0], tops[1], tops[2]);
+    let top = m.maj(top, tops[3], Signal::ZERO);
+    m.add_output(top);
+
+    let mut rounds_based = m.clone();
+    let (serial_stats, serial_rounds) =
+        engine().run_converge_serial(&mut rounds_based, Variant::TopDown, 50);
+    assert!(serial_stats.replacements > 0 && serial_rounds >= 2);
+
+    for threads in [1usize, 4] {
+        let mut event = m.clone();
+        let (stats, _) = engine().run_converge_threads(&mut event, Variant::TopDown, 50, threads);
+        assert!(stats.replacements > 0, "@{threads}");
+        assert!(
+            event.num_gates() <= rounds_based.num_gates(),
+            "@{threads}: event-driven {} > round-based {}",
+            event.num_gates(),
+            rounds_based.num_gates()
+        );
+        assert!(
+            stats.sched.skipped_clean > 0,
+            "@{threads}: no clean region was ever skipped: {:?}",
+            stats.sched
+        );
+        // "Fewer proposal evaluations than full-sweep rounds": a full
+        // sweep would have proposed every non-empty region each step.
+        let full_sweep_equivalent = stats.sched.proposed_regions + stats.sched.skipped_clean;
+        assert!(
+            stats.sched.proposed_regions < full_sweep_equivalent,
+            "@{threads}: {:?}",
+            stats.sched
+        );
+        assert!(stats.sched.commit_waves >= 1, "@{threads}");
+    }
+}
+
+#[test]
 fn sharded_wide_adder_proved_equivalent_by_sat() {
     // 24 inputs — beyond exhaustive simulation; the check is a SAT miter
     // proof over the workspace CDCL solver.

@@ -16,13 +16,15 @@
 //! paper ref \[11\]) and dominated cuts are filtered.
 //!
 //! The [`CutSet`] supports *incremental invalidation* for in-place
-//! rewriting: [`CutSet::refresh`] drains the graph's structural-change log
-//! and marks only the changed nodes and their transitive fanout stale;
+//! rewriting: [`CutSet::refresh`] peeks the graph's structural-change log
+//! through its own [`mig::DirtyCursor`] (never draining it, so the
+//! convergence scheduler and other consumers keep their feeds) and marks
+//! only the changed nodes and their transitive fanout stale;
 //! [`CutSet::of_updated`] recomputes stale lists on demand, so after a
 //! local rewrite only the affected region is re-enumerated instead of the
 //! whole graph.
 
-use mig::{Mig, NodeId, Signal};
+use mig::{DirtyCursor, Mig, NodeId, Signal};
 
 /// Maximum supported cut width.
 pub const MAX_CUT_SIZE: usize = 6;
@@ -184,6 +186,9 @@ pub struct CutSet {
     valid: Vec<bool>,
     config: CutConfig,
     num_inputs: usize,
+    /// Position in the graph's structural-change log up to which this
+    /// set is consistent; [`CutSet::refresh`] reads only the tail.
+    cursor: DirtyCursor,
 }
 
 impl CutSet {
@@ -196,17 +201,41 @@ impl CutSet {
         &self.cuts[n as usize]
     }
 
-    /// Drains the graph's structural-change log and invalidates the cut
-    /// lists of every changed node and its transitive fanout. Cost is
-    /// proportional to the affected region, not the graph.
-    pub fn refresh(&mut self, mig: &mut Mig) {
+    /// The set's position in the graph's structural-change log (the
+    /// entries before it have been processed). A pipeline holding this
+    /// set as its slowest log consumer can pass the cursor to
+    /// [`mig::Mig::truncate_dirty`] to bound log growth.
+    pub fn cursor(&self) -> DirtyCursor {
+        self.cursor
+    }
+
+    /// Reads the structural changes logged since the last refresh (via
+    /// this set's own cursor — the log itself is not consumed, so any
+    /// number of other consumers keep their feeds) and invalidates the
+    /// cut lists of every changed node and its transitive fanout. Cost
+    /// is proportional to the affected region, not the graph. If entries
+    /// this set still needed were drained away by another consumer, the
+    /// whole set is conservatively invalidated.
+    pub fn refresh(&mut self, mig: &Mig) {
         let n = mig.num_nodes();
         if self.cuts.len() < n {
             self.cuts.resize(n, Vec::new());
             self.valid.resize(n, false);
         }
-        let dirty = mig.drain_dirty();
-        let mut stack: Vec<NodeId> = dirty;
+        let mut stack: Vec<NodeId> = match mig.dirty_since(self.cursor) {
+            Some(dirty) => dirty.to_vec(),
+            None => {
+                // The log was truncated under us: the incremental feed
+                // has a gap, so nothing can be trusted.
+                for (v, list) in self.valid.iter_mut().zip(&mut self.cuts) {
+                    *v = false;
+                    list.clear();
+                }
+                self.cursor = mig.dirty_cursor();
+                return;
+            }
+        };
+        self.cursor = mig.dirty_cursor();
         while let Some(v) = stack.pop() {
             if !self.valid[v as usize] {
                 continue; // this node's fanout was already invalidated
@@ -492,6 +521,9 @@ pub fn enumerate_cuts(mig: &Mig, config: &CutConfig) -> CutSet {
         valid: vec![true; n],
         config: *config,
         num_inputs: mig.num_inputs(),
+        // Pending log entries predate this enumeration; the set is
+        // consistent with the graph as of now.
+        cursor: mig.dirty_cursor(),
     };
     set.cuts[0] = vec![Cut::constant()];
     for i in 0..mig.num_inputs() {
@@ -784,11 +816,49 @@ mod tests {
         // Replace g1 by a fresh equivalent-for-bookkeeping node.
         let fresh = m.maj(a, !b, d);
         assert!(m.replace_node(g1.node(), fresh));
-        cs.refresh(&mut m);
+        cs.refresh(&m);
         let full = enumerate_cuts(&m, &cfg);
         for g in m.gates() {
             let inc = cs.of_updated(&m, g).to_vec();
             assert_eq!(inc, full.of(g).to_vec(), "cuts of gate {g} diverged");
+        }
+    }
+
+    #[test]
+    fn two_cut_sets_share_one_change_log() {
+        // The refresh is cursor-based: neither set consumes the log, so
+        // both track the same rewrites independently and agree with a
+        // from-scratch enumeration.
+        let mut m = Mig::new(4);
+        let (a, b, c, d) = (m.input(0), m.input(1), m.input(2), m.input(3));
+        let g1 = m.xor(a, b);
+        let g2 = m.maj(g1, c, d);
+        m.add_output(g2);
+        let cfg = CutConfig::default();
+        let mut cs1 = enumerate_cuts(&m, &cfg);
+        let mut cs2 = enumerate_cuts(&m, &cfg);
+        let fresh_node = m.maj(a, !b, d);
+        assert!(m.replace_node(g1.node(), fresh_node));
+        cs1.refresh(&m);
+        cs2.refresh(&m);
+        let full = enumerate_cuts(&m, &cfg);
+        for g in m.gates() {
+            assert_eq!(cs1.of_updated(&m, g), full.of(g), "set 1, gate {g}");
+            assert_eq!(cs2.of_updated(&m, g), full.of(g), "set 2, gate {g}");
+        }
+        // A drain by some other owner opens a gap: the next refresh must
+        // fall back to full invalidation, not serve stale lists.
+        let g3 = m.maj(fresh_node, c, !d);
+        m.add_output(g3);
+        let _ = m.drain_dirty();
+        cs1.refresh(&m);
+        let full = enumerate_cuts(&m, &cfg);
+        for g in m.gates() {
+            assert_eq!(
+                cs1.of_updated(&m, g),
+                full.of(g),
+                "gate {g} stale after a log gap"
+            );
         }
     }
 
@@ -804,7 +874,7 @@ mod tests {
         let mut cs = enumerate_cuts(&m, &CutConfig::default());
         let fresh = m.maj(ins[3], !ins[4], ins[0]);
         assert!(m.replace_node(right.node(), fresh));
-        cs.refresh(&mut m);
+        cs.refresh(&m);
         // The untouched region's cuts are still valid and served as-is.
         assert!(
             cs.valid[left.node() as usize],

@@ -42,6 +42,17 @@ const OUT_FLAG: u32 = 1 << 31;
 /// call.
 const GUARD: u32 = u32::MAX;
 
+/// A position in a graph's structural-change history, taken with
+/// [`Mig::dirty_cursor`] and read back with [`Mig::dirty_since`].
+///
+/// Cursors are cheap value types: every consumer of the change log keeps
+/// its own and advances it independently, so no consumer has to drain
+/// (and thereby steal) the log from the others. The default cursor
+/// points at the beginning of history, so `dirty_since(default)` reports
+/// the whole undrained log.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct DirtyCursor(u64);
+
 /// Result of normalizing a majority operand triple.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Normalized {
@@ -130,6 +141,12 @@ pub struct Mig {
     dead: Vec<bool>,
     /// Freed slots available for reuse by new gates.
     free: Vec<NodeId>,
+    /// Per-slot reuse generation, bumped every time a gate slot is
+    /// freed. A slot id alone cannot tell an original node from an
+    /// unrelated one recycled into the same slot; consumers holding
+    /// node references across rewrites (a persistent region partition)
+    /// compare generations to detect recycling.
+    slot_gen: Vec<u32>,
     /// Incrementally maintained levels (terminals 0, gates 1 + max fanin).
     level: Vec<u32>,
     /// Live (non-dead) gate count.
@@ -138,6 +155,11 @@ pub struct Mig {
     /// the last [`Mig::drain_dirty`] — consumed by incremental analyses
     /// such as cut-set invalidation.
     dirty: Vec<NodeId>,
+    /// Total number of dirty entries ever drained: the absolute position
+    /// of `dirty[0]` in the graph's change history. Lets [`DirtyCursor`]s
+    /// stay meaningful across drains (and detect when entries they still
+    /// needed were drained away).
+    dirty_base: u64,
     /// Cached topological gate order, shared with simulation and other
     /// repeated consumers; invalidated at the same sites that feed the
     /// dirty log. Behind a mutex (not a `RefCell`) so `&Mig` stays `Sync`
@@ -169,9 +191,11 @@ impl Clone for Mig {
             out_pos: self.out_pos.clone(),
             dead: self.dead.clone(),
             free: self.free.clone(),
+            slot_gen: self.slot_gen.clone(),
             level: self.level.clone(),
             live_gates: self.live_gates,
             dirty: self.dirty.clone(),
+            dirty_base: self.dirty_base,
             // The cached order is immutable behind an `Arc`; sharing it
             // with the clone is free and stays valid until either side
             // mutates (each invalidates only its own slot).
@@ -195,9 +219,11 @@ impl Mig {
             out_pos: Vec::new(),
             dead: vec![false; n],
             free: Vec::new(),
+            slot_gen: vec![0; n],
             level: vec![0; n],
             live_gates: 0,
             dirty: Vec::new(),
+            dirty_base: 0,
             topo_cache: Mutex::new(None),
             dep_scratch: Mutex::new(DepScratch::default()),
         }
@@ -290,6 +316,13 @@ impl Mig {
     /// Whether `n` is a primary input.
     pub fn is_input(&self, n: NodeId) -> bool {
         n >= 1 && (n as usize) <= self.num_inputs
+    }
+
+    /// The reuse generation of slot `n` (bumped on every free). Two
+    /// observations of the same slot id refer to the same node only if
+    /// their generations match; see the `slot_gen` field.
+    pub fn slot_generation(&self, n: NodeId) -> u32 {
+        self.slot_gen[n as usize]
     }
 
     /// The index (0-based) of primary input node `n`.
@@ -437,6 +470,7 @@ impl Mig {
                 self.fanouts.push(Vec::new());
                 self.fanout_pos.push([0; 3]);
                 self.dead.push(false);
+                self.slot_gen.push(0);
                 self.level.push(0);
                 slot
             }
@@ -518,19 +552,58 @@ impl Mig {
 
     /// Drains the log of structurally changed node ids (created, rewired
     /// in place, or killed) accumulated since the last drain. Incremental
-    /// analyses (e.g. cut sets) use this to invalidate only the affected
-    /// region instead of rescanning the graph.
+    /// analyses that *own* the log use this to invalidate only the
+    /// affected region instead of rescanning the graph; consumers that
+    /// share the log with others should use the non-draining
+    /// [`Mig::dirty_cursor`] / [`Mig::dirty_since`] pair instead (a drain
+    /// invalidates every cursor taken before it).
     pub fn drain_dirty(&mut self) -> Vec<NodeId> {
+        self.dirty_base += self.dirty.len() as u64;
         std::mem::take(&mut self.dirty)
     }
 
     /// The undrained structural-change log (see [`Mig::drain_dirty`]),
-    /// *without* consuming it. Passes that track their own re-scan
-    /// frontier remember the log length on entry and read only the tail
-    /// here, leaving the entries for the owning consumer (a pipeline's
-    /// carried cut set) to drain later.
+    /// *without* consuming it.
     pub fn dirty_log(&self) -> &[NodeId] {
         &self.dirty
+    }
+
+    /// The current position in the structural-change history. Feed it
+    /// back to [`Mig::dirty_since`] to read exactly the changes logged
+    /// after this call, without consuming the log — so any number of
+    /// consumers (a carried cut set, the convergence scheduler, a
+    /// converge pass's re-scan frontier) can track their own frontier
+    /// over one shared log.
+    pub fn dirty_cursor(&self) -> DirtyCursor {
+        DirtyCursor(self.dirty_base + self.dirty.len() as u64)
+    }
+
+    /// The structural changes logged since `cursor` was taken, oldest
+    /// first. Returns `None` when entries the cursor still needed were
+    /// drained away by [`Mig::drain_dirty`] — the consumer saw a gap and
+    /// must fall back to a full re-scan.
+    pub fn dirty_since(&self, cursor: DirtyCursor) -> Option<&[NodeId]> {
+        let offset = cursor.0.checked_sub(self.dirty_base)?;
+        // A cursor ahead of the log end (taken before a snapshot
+        // rollback restored an older, shorter log) has nothing new to
+        // report: the changes it was ahead of were undone.
+        let offset = (offset as usize).min(self.dirty.len());
+        Some(&self.dirty[offset..])
+    }
+
+    /// Drops the log prefix *before* `cursor` — entries every remaining
+    /// consumer has already processed. This is what bounds log growth on
+    /// long-lived graphs: the owner of the slowest outstanding cursor
+    /// (e.g. a pipeline between passes, using its carried cut set's
+    /// position) truncates what nobody will read again. Cursors at or
+    /// past `cursor` stay valid; older cursors will report a gap.
+    pub fn truncate_dirty(&mut self, cursor: DirtyCursor) {
+        let drop = cursor.0.saturating_sub(self.dirty_base) as usize;
+        let drop = drop.min(self.dirty.len());
+        if drop > 0 {
+            self.dirty.drain(..drop);
+            self.dirty_base += drop as u64;
+        }
     }
 
     /// Whether node `target` is in the transitive fanin cone of `start`
@@ -753,6 +826,7 @@ impl Mig {
             self.fanins[v as usize] = [Signal::ZERO; 3];
             self.level[v as usize] = 0;
             self.live_gates -= 1;
+            self.slot_gen[v as usize] = self.slot_gen[v as usize].wrapping_add(1);
             self.free.push(v);
             self.note_structural_change(v);
             for (k, s) in key.iter().enumerate() {
@@ -1447,6 +1521,64 @@ mod tests {
             assert!(!m.depends_on(side.node(), g1.node()));
             assert!(m.depends_on(g1.node(), g1.node()));
         }
+    }
+
+    #[test]
+    fn dirty_cursors_track_independent_frontiers() {
+        let mut m = Mig::new(3);
+        let (a, b, c) = (m.input(0), m.input(1), m.input(2));
+        let g1 = m.maj(a, b, c);
+        m.add_output(g1);
+        // Consumer 1 starts now; consumer 2 after the next change.
+        let c1 = m.dirty_cursor();
+        let g2 = m.maj(g1, a, !b);
+        m.set_output(0, g2);
+        let c2 = m.dirty_cursor();
+        let g3 = m.maj(g2, !a, c);
+        m.set_output(0, g3);
+        assert_eq!(
+            m.dirty_since(c1).unwrap(),
+            &[g2.node(), g3.node()],
+            "consumer 1 sees both changes"
+        );
+        assert_eq!(
+            m.dirty_since(c2).unwrap(),
+            &[g3.node()],
+            "consumer 2 sees only the later change"
+        );
+        // Peeks do not consume: reading twice reports the same tail.
+        assert_eq!(m.dirty_since(c2).unwrap(), &[g3.node()]);
+        // The current cursor has nothing new.
+        assert_eq!(m.dirty_since(m.dirty_cursor()).unwrap(), &[]);
+        // A drain invalidates cursors taken before it (gap detected)
+        // while cursors at the new head keep working.
+        let head = m.dirty_cursor();
+        let drained = m.drain_dirty();
+        assert!(drained.contains(&g2.node()));
+        assert_eq!(m.dirty_since(c1), None, "drained past the cursor");
+        assert_eq!(m.dirty_since(head).unwrap(), &[]);
+        let g4 = m.maj(g3, a, b);
+        m.set_output(0, g4);
+        assert_eq!(m.dirty_since(head).unwrap(), &[g4.node()]);
+        // A clone carries the history position: cursors taken on the
+        // original read consistently against the clone.
+        let clone = m.clone();
+        assert_eq!(clone.dirty_since(head).unwrap(), &[g4.node()]);
+        // Truncation drops only the prefix before the given cursor:
+        // cursors at or past it keep working, older ones see a gap.
+        let mid = m.dirty_cursor();
+        let g5 = m.maj(g4, !a, c);
+        m.set_output(0, g5);
+        m.truncate_dirty(mid);
+        assert_eq!(m.dirty_since(head), None, "prefix gone");
+        assert_eq!(m.dirty_since(mid).unwrap(), &[g5.node()]);
+        assert_eq!(m.dirty_log(), &[g5.node()]);
+        // Truncating past the end clears everything without panicking.
+        let g6 = m.maj(g5, a, !c);
+        m.set_output(0, g6);
+        m.truncate_dirty(m.dirty_cursor());
+        assert_eq!(m.dirty_log(), &[] as &[NodeId]);
+        assert_eq!(m.dirty_since(m.dirty_cursor()).unwrap(), &[]);
     }
 
     #[test]

@@ -16,11 +16,13 @@
 //! * [`FfrPartition`] — fanout-free-region partitioning (paper §IV-C);
 //! * [`RegionPartition`] — sharding the gates into disjoint regions
 //!   (FFR forest or level bands) for parallel propose/commit rewriting;
-//! * [`ProposeEngine`] / [`run_shard_rounds`] — the engine-agnostic
-//!   propose/commit round protocol: any local-rewriting engine
+//! * [`ProposeEngine`] / [`run_scheduler`] — the engine-agnostic
+//!   event-driven convergence scheduler: any local-rewriting engine
 //!   (functional hashing, algebraic Ω.A/Ω.D, …) plugs its proposals
-//!   into the same parallel-propose, serial-commit, footprint-conflict
-//!   machinery.
+//!   into the same parallel-propose, wave-batched-commit machinery,
+//!   driven by a deterministic priority queue of dirty regions instead
+//!   of full re-traversal per round ([`run_scheduled_converge`] adds the
+//!   shared serial-baseline / fallback / polish skeleton).
 //!
 //! # Examples
 //!
@@ -43,10 +45,10 @@ mod shard;
 mod signal;
 
 pub use ffr::FfrPartition;
-pub use graph::{normalize_maj, Mig, Normalized};
+pub use graph::{normalize_maj, DirtyCursor, Mig, Normalized};
 pub use region::{PartitionStrategy, RegionPartition, RegionView};
 pub use shard::{
-    commit_proposals, run_shard_rounds, CommitVerdict, ProposeEngine, RoundMetric, RoundOutcome,
-    ShardConfig, ShardStats,
+    commit_proposals, run_scheduled_converge, run_scheduler, CommitVerdict, ProposeEngine,
+    RoundMetric, RoundOutcome, SchedStats, Scheduler, SerialPass, ShardConfig, ShardStats,
 };
 pub use signal::{NodeId, Signal};

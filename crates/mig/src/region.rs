@@ -23,6 +23,13 @@
 
 use crate::{FfrPartition, Mig, NodeId};
 
+/// Snapshot of every slot's reuse generation at partition time.
+fn capture_generations(mig: &Mig) -> Vec<u32> {
+    (0..mig.num_nodes() as u32)
+        .map(|n| mig.slot_generation(n))
+        .collect()
+}
+
 /// Region id of terminals, dead slots and nodes created after the
 /// partition was computed.
 const NO_REGION: u32 = u32::MAX;
@@ -71,6 +78,13 @@ pub struct RegionPartition {
     /// Input count of the partitioned graph, to tell terminals apart
     /// from unassigned gate slots.
     num_inputs: usize,
+    /// Slot reuse generations at partition time
+    /// ([`Mig::slot_generation`]). A partition held across rewrites
+    /// (the convergence scheduler's is) would otherwise attribute a
+    /// node recycled into a freed member slot to the dead member's
+    /// region; [`RegionPartition::region_of_live`] compares generations
+    /// to tell the two apart.
+    gen_at_partition: Vec<u32>,
 }
 
 impl RegionPartition {
@@ -136,6 +150,7 @@ impl RegionPartition {
             region_of,
             members,
             num_inputs: mig.num_inputs(),
+            gen_at_partition: capture_generations(mig),
         }
     }
 
@@ -165,6 +180,7 @@ impl RegionPartition {
             region_of,
             members,
             num_inputs: mig.num_inputs(),
+            gen_at_partition: capture_generations(mig),
         }
     }
 
@@ -173,11 +189,35 @@ impl RegionPartition {
         self.members.len()
     }
 
+    /// Number of regions with at least one member gate — the scheduler's
+    /// full-sweep-equivalent work unit (its `skipped_clean` counter is
+    /// measured against this).
+    pub fn num_nonempty_regions(&self) -> usize {
+        self.members.iter().filter(|m| !m.is_empty()).count()
+    }
+
     /// The region of `n`, or `None` for terminals, dead slots and nodes
-    /// created after the partition was computed.
+    /// created on *appended* slots after the partition was computed. A
+    /// node recycled into a freed member slot still reports the dead
+    /// member's region here — partitions held across rewrites should
+    /// use [`RegionPartition::region_of_live`] instead.
     pub fn region_of(&self, n: NodeId) -> Option<u32> {
         match self.region_of.get(n as usize) {
             Some(&r) if r != NO_REGION => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Like [`RegionPartition::region_of`], but also `None` for nodes
+    /// *recycled* into a freed member slot since the partition was
+    /// computed (detected by slot-generation mismatch against the live
+    /// graph) — such nodes belong to no region, so a scheduler keeps
+    /// them queued as staleness instead of attributing them to the dead
+    /// member's region.
+    pub fn region_of_live(&self, mig: &Mig, n: NodeId) -> Option<u32> {
+        let r = self.region_of(n)?;
+        match self.gen_at_partition.get(n as usize) {
+            Some(&g) if g == mig.slot_generation(n) => Some(r),
             _ => None,
         }
     }
@@ -336,6 +376,42 @@ mod tests {
         }
         // Terminals never cross.
         assert!(!p.boundary_conflict(rx, &[]));
+    }
+
+    #[test]
+    fn region_of_live_rejects_recycled_slots() {
+        // A node recycled into a freed member slot keeps the slot id but
+        // is not the member: the raw lookup still reports the old
+        // region (slot-indexed), the generation-aware lookup must not.
+        let mut m = Mig::new(4);
+        let (a, b, c, d) = (m.input(0), m.input(1), m.input(2), m.input(3));
+        let x = m.xor(a, b);
+        let top = m.maj(x, c, d);
+        m.add_output(top);
+        let p = RegionPartition::compute(&m, PartitionStrategy::LevelBands { max_regions: 4 });
+        let victim = x.node();
+        let r = p.region_of(victim).expect("member assigned");
+        assert_eq!(p.region_of_live(&m, victim), Some(r), "live member");
+        // Kill the member's cone, then recycle its slot for a new gate.
+        assert!(m.replace_node(victim, a));
+        let before_nodes = m.num_nodes();
+        let fresh = m.maj(a, !c, d);
+        assert!(
+            (fresh.node() as usize) < before_nodes,
+            "test premise: the new gate recycles a freed slot"
+        );
+        assert!(m.is_gate(fresh.node()));
+        assert_eq!(
+            p.region_of_live(&m, fresh.node()),
+            None,
+            "recycled slot attributed to the dead member's region"
+        );
+        // Appended-slot nodes are unassigned under both lookups.
+        let appended = m.maj(fresh, c, !d);
+        if (appended.node() as usize) >= p.region_of.len() {
+            assert_eq!(p.region_of(appended.node()), None);
+            assert_eq!(p.region_of_live(&m, appended.node()), None);
+        }
     }
 
     #[test]

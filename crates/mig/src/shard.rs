@@ -1,41 +1,56 @@
-//! Engine-agnostic propose/commit sharding: the round protocol that lets
-//! any local-rewriting engine run in parallel over a [`RegionPartition`].
+//! Event-driven propose/commit convergence: the scheduler that lets any
+//! local-rewriting engine converge with work proportional to what
+//! actually changed, instead of re-traversing the whole graph per round.
 //!
 //! The protocol was born in the functional-hashing crate (parallel cut
 //! replacement) but nothing in it is specific to cuts: a *proposal* is an
-//! opaque engine payload plus a **footprint** (the round-start nodes its
+//! opaque engine payload plus a **footprint** (the step-start nodes its
 //! analysis depends on), an expected **gain**, and a **legality recheck**
-//! performed at commit time against the live graph. This module owns the
-//! generic round loop; engines plug in through [`ProposeEngine`]:
+//! performed at commit time against the live graph. Engines plug in
+//! through [`ProposeEngine`]; the [`Scheduler`] owns everything else:
 //!
-//! 1. **Partition.** [`ProposeEngine::begin_round`] carves the live gates
+//! 1. **Partition.** [`ProposeEngine::partition`] carves the live gates
 //!    into regions (the engine picks the strategy — FFR forest, level
-//!    bands, …) and prepares whatever per-round read state its workers
-//!    need.
-//! 2. **Propose.** Worker threads (`std::thread::scope`, work-stealing
-//!    over the active region list) call [`ProposeEngine::propose`]
+//!    bands, …). Unlike the original round loop, the partition is
+//!    **persistent**: it is rebuilt only when the live gate count drifts
+//!    or enough dirty nodes fall outside every region (both thresholds in
+//!    [`ShardConfig::repartition_pct`]), or for engines whose analysis is
+//!    global ([`ProposeEngine::volatile_partition`]).
+//! 2. **Schedule.** A deterministic priority queue of dirty regions —
+//!    seeded from each commit's footprint and the graph's non-draining
+//!    dirty-log cursor ([`crate::Mig::dirty_since`]), ordered by expected
+//!    gain then stable region id — decides what gets proposed. After the
+//!    first step, only queued (dirty) regions are re-proposed; clean
+//!    regions are skipped entirely.
+//! 3. **Propose.** Worker threads (`std::thread::scope`, work-stealing
+//!    over the scheduled region list) call [`ProposeEngine::propose`]
 //!    read-only on a frozen graph; results land in per-region slots so
 //!    commit order is independent of scheduling.
-//! 3. **Commit.** Proposals are applied serially in a stable region
-//!    order (regions descending, then the worker's in-region order). A
-//!    proposal whose footprint intersects anything dirtied earlier in
-//!    the round is refused and its region retries next round; otherwise
-//!    [`ProposeEngine::commit`] re-checks legality against the live
-//!    graph and applies (or refuses) the substitution.
+//! 4. **Commit in waves.** Proposals are grouped into *waves* of
+//!    pairwise-disjoint TFO-extended footprints (footprint plus its
+//!    fanout frontier), planned with an epoch-stamped scratch. Within a
+//!    wave the substitutions interleave conflict-free — no proposal can
+//!    invalidate another's analysis, so the per-proposal dirty-set scan
+//!    is skipped unless a commit's structural cascade escaped its own
+//!    extended footprint (checked exactly, via the dirty-log cursor).
+//!    Later waves run the conservative path: a proposal whose footprint
+//!    intersects anything dirtied earlier in the step is refused and its
+//!    region retries next step. [`ProposeEngine::commit`] still re-checks
+//!    its own legality against the live graph either way.
 //!
-//! Rounds repeat until no proposal commits; only regions invalidated by
-//! the previous round's commits or conflicts are re-proposed. Engines
-//! whose rounds are not individually monotone set a [`ShardConfig::guard`]
-//! metric: such rounds run against a snapshot and are rolled back (and
-//! the loop stopped) when the metric fails to improve — the same
-//! guarantee the serial convergence loops provide.
+//! Steps repeat until the queue drains (no dirty region and no dirty
+//! node outside the partition); engines whose steps are not individually
+//! monotone set a [`ShardConfig::guard`] metric — such steps run against
+//! a snapshot and are rolled back (ending the loop) when the metric
+//! fails to improve, the same guarantee the serial convergence loops
+//! provided.
 //!
 //! For a fixed input graph, engine and thread count the resulting
-//! netlist is bit-deterministic: the commit order never depends on
-//! worker scheduling, and stale regions are collected in a `BTreeSet`.
+//! netlist is bit-deterministic: the queue order, the wave plan and the
+//! commit order never depend on worker scheduling.
 
 use crate::{Mig, NodeId, RegionPartition};
-use std::collections::{BTreeSet, HashSet};
+use std::collections::{BTreeMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -50,7 +65,7 @@ pub enum CommitVerdict {
     },
     /// The live-graph legality recheck failed (the graph drifted in a
     /// way the footprint could not see); the owning region retries next
-    /// round.
+    /// step.
     Conflicted,
     /// The proposal turned out to be a no-op (e.g. a substitution that
     /// would close a cycle through shared logic, retracted on the spot).
@@ -58,32 +73,42 @@ pub enum CommitVerdict {
     Rejected,
 }
 
-/// A rewriting engine pluggable into [`run_shard_rounds`].
+/// A rewriting engine pluggable into [`run_scheduler`].
 ///
 /// The engine analyzes regions read-only ([`ProposeEngine::propose`] runs
 /// concurrently on a frozen `&Mig`) and applies its proposals serially
 /// ([`ProposeEngine::commit`], which must re-check legality itself — the
 /// driver only guarantees that the proposal's footprint is structurally
-/// untouched within the current round).
+/// untouched within the current step).
 pub trait ProposeEngine: Sync {
     /// One proposed local rewrite (opaque to the driver).
     type Proposal: Send;
-    /// Per-round read state shared by all workers (e.g. an FFR view of
-    /// the frozen graph). Use `()` when none is needed.
+    /// Read state shared by all workers while a partition is live (e.g.
+    /// an FFR view of the graph). Use `()` when none is needed.
     type RoundState: Sync;
 
-    /// Partitions the live gates for this round and prepares the round
-    /// state. `max_regions` tracks the current graph size (shrinking
-    /// graphs coalesce into fewer, larger regions). `invalidated` lists
-    /// the nodes structurally changed by the previous round's commits —
-    /// engines carrying analysis caches across rounds (cut lists, …)
-    /// invalidate them here.
-    fn begin_round(
-        &self,
-        mig: &Mig,
-        max_regions: usize,
-        invalidated: &[NodeId],
-    ) -> (RegionPartition, Self::RoundState);
+    /// Partitions the live gates into regions and prepares the shared
+    /// read state. Called on the first step and whenever the scheduler's
+    /// re-partition policy fires (live-gate drift or region staleness
+    /// past [`ShardConfig::repartition_pct`]) — *not* every step, so the
+    /// state may lag the graph by up to that threshold. Engines that
+    /// cannot tolerate any lag return `true` from
+    /// [`ProposeEngine::volatile_partition`].
+    fn partition(&self, mig: &Mig, max_regions: usize) -> (RegionPartition, Self::RoundState);
+
+    /// Whether the partition (and round state) must be rebuilt before
+    /// every step. For engines whose proposal analysis is global — e.g.
+    /// whole-region extraction, which must see a coherent member list —
+    /// rather than local pattern matching that a stale region assignment
+    /// merely makes less precise.
+    fn volatile_partition(&self) -> bool {
+        false
+    }
+
+    /// Invalidation hook, called after each step with the nodes the
+    /// step's commits structurally changed. Engines carrying analysis
+    /// caches across steps (cut lists, …) stale them here.
+    fn invalidate(&self, _mig: &Mig, _changed: &[NodeId]) {}
 
     /// Generates the proposals of one region, read-only. A worker's own
     /// proposals should not overlap (the driver would refuse the later
@@ -96,18 +121,19 @@ pub trait ProposeEngine: Sync {
         region: u32,
     ) -> Vec<Self::Proposal>;
 
-    /// The round-start nodes this proposal's analysis depends on. The
-    /// driver refuses the proposal if any of them was structurally
-    /// touched earlier in the round.
+    /// The step-start nodes this proposal's analysis depends on. The
+    /// commit phase refuses the proposal if any of them was structurally
+    /// touched earlier in the step.
     fn footprint<'a>(&self, proposal: &'a Self::Proposal) -> &'a [NodeId];
 
-    /// The proposal's expected gain (accumulated into [`ShardStats`]).
+    /// The proposal's expected gain (accumulated into [`ShardStats`] and
+    /// used as the retry priority of its region).
     fn gain(&self, proposal: &Self::Proposal) -> i64;
 
     /// Re-checks the proposal against the live graph and applies it.
     fn commit(&self, mig: &mut Mig, proposal: Self::Proposal) -> CommitVerdict;
 
-    /// Hook for rounds whose partition degenerates to a single region.
+    /// Hook for steps whose partition degenerates to a single region.
     /// Engines whose single-region proposal would merely reproduce their
     /// serial pass (with perturbed tie-breaking) can run the serial pass
     /// directly here and return `Some((replacements, gain))`; the
@@ -117,12 +143,22 @@ pub trait ProposeEngine: Sync {
     }
 }
 
-/// A round-acceptance metric: a lexicographic pair (smaller is better)
+/// A serial engine stage pluggable into [`run_scheduled_converge`]:
+/// mutates the graph and reports `(replacements, gain)`.
+pub type SerialPass<'a> = dyn FnMut(&mut Mig) -> (u64, i64) + 'a;
+
+/// A step-acceptance metric: a lexicographic pair (smaller is better)
 /// evaluated on the whole graph, e.g. `(gates, depth)` for a size
 /// script or `(depth, gates)` for a depth script.
 pub type RoundMetric = fn(&Mig) -> (u64, u64);
 
-/// Tuning of the sharded round loop.
+/// The default baseline guard when an engine sets no
+/// [`ShardConfig::guard`]: plain gate count.
+fn gates_only_metric(mig: &Mig) -> (u64, u64) {
+    (mig.num_gates() as u64, 0)
+}
+
+/// Tuning of the event-driven scheduler.
 #[derive(Debug, Clone, Copy)]
 pub struct ShardConfig {
     /// Worker threads for the propose phase.
@@ -134,20 +170,28 @@ pub struct ShardConfig {
     /// this (a sliver region sees too little context, and per-region
     /// overhead would dominate).
     pub min_region_size: usize,
-    /// Backstop on propose/commit rounds. Committing rounds improve the
-    /// graph, so this is never the expected exit.
+    /// Backstop on scheduler steps. Committing steps improve the graph,
+    /// so this is never the expected exit.
     pub max_rounds: usize,
-    /// Optional per-round acceptance metric (lexicographic, smaller is
-    /// better). When set, every round runs against a snapshot and is
+    /// Optional per-step acceptance metric (lexicographic, smaller is
+    /// better). When set, every step runs against a snapshot and is
     /// rolled back — ending the loop — if the metric fails to improve.
     /// Engines whose commits are individually improving leave this
     /// `None` and skip the snapshot cost.
     pub guard: Option<RoundMetric>,
+    /// Re-partition threshold, in percent of the gate count at partition
+    /// time: the partition is rebuilt when the live gate count drifts by
+    /// more than this, or when more than this fraction of pending dirty
+    /// nodes falls outside every region (nodes created after the
+    /// partition). Until then the scheduler reuses the partition, so a
+    /// step costs only the dirty regions.
+    pub repartition_pct: u32,
 }
 
 impl ShardConfig {
     /// Default tuning for `threads` workers (4 regions per thread,
-    /// 24-gate region floor, 64-round backstop, no guard).
+    /// 24-gate region floor, 64-step backstop, no guard, 20% drift
+    /// threshold).
     pub fn new(threads: usize) -> Self {
         ShardConfig {
             threads: threads.max(1),
@@ -155,6 +199,7 @@ impl ShardConfig {
             min_region_size: 24,
             max_rounds: 64,
             guard: None,
+            repartition_pct: 20,
         }
     }
 
@@ -167,33 +212,78 @@ impl ShardConfig {
             .max(1)
     }
 
-    /// Whether `mig` is large enough for sharding to beat a serial pass.
-    /// Callers should fall back to their serial engine when this is
-    /// false.
+    /// Whether `mig` is large enough for region scheduling to beat a
+    /// serial pass. Callers should fall back to their serial engine when
+    /// this is false.
     pub fn shardable(&self, mig: &Mig) -> bool {
         (self.threads * self.regions_per_thread).min(mig.num_gates() / self.min_region_size) > 1
     }
 }
 
-/// What happened to one round's proposals.
+/// What happened to one step's proposals.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct RoundOutcome {
     /// Proposals applied (a region proposal counts once even when it
     /// performs several substitutions).
     pub committed: usize,
     /// Proposals refused — by the driver's footprint check or the
-    /// engine's live recheck (their regions retry next round).
+    /// engine's live recheck (their regions retry next step).
     pub conflicted: usize,
     /// Individual substitutions performed.
     pub replacements: u64,
     /// Sum of expected gains of the committed proposals.
     pub gain: i64,
+    /// Commit waves the step's proposals were grouped into (pairwise
+    /// disjoint TFO-extended footprints per wave).
+    pub waves: usize,
 }
 
-/// Accumulated statistics of a [`run_shard_rounds`] call.
+/// Event counters of the [`Scheduler`], reported by the `migopt`
+/// per-pass notes.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Scheduler steps run (batches of scheduled regions).
+    pub steps: u64,
+    /// Regions handed to [`ProposeEngine::propose`].
+    pub proposed_regions: u64,
+    /// Regions that stayed clean after the first step and were never
+    /// re-proposed — the work a full-sweep round loop would have spent.
+    /// Measured against the partition-time region count, so a region
+    /// whose members have all died since still counts as skipped until
+    /// the next re-partition.
+    pub skipped_clean: u64,
+    /// Proposals refused for retry (footprint conflict or engine
+    /// recheck); their regions were re-queued.
+    pub retried: u64,
+    /// Commit waves applied (disjoint batches within steps).
+    pub commit_waves: u64,
+    /// Times the partition was (re)built.
+    pub repartitions: u64,
+}
+
+impl SchedStats {
+    /// Accumulates another run's counters into this one.
+    pub fn absorb(&mut self, other: SchedStats) {
+        self.steps += other.steps;
+        self.proposed_regions += other.proposed_regions;
+        self.skipped_clean += other.skipped_clean;
+        self.retried += other.retried;
+        self.commit_waves += other.commit_waves;
+        self.repartitions += other.repartitions;
+    }
+
+    /// Whether any scheduler activity was recorded (serial fallbacks
+    /// record none).
+    pub fn any(&self) -> bool {
+        *self != SchedStats::default()
+    }
+}
+
+/// Accumulated statistics of a [`run_scheduler`] call.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct ShardStats {
-    /// Rounds run (including a final empty or rolled-back round).
+    /// Scheduler steps run (including a final empty or rolled-back
+    /// step).
     pub rounds: usize,
     /// Total proposals committed.
     pub committed: u64,
@@ -203,99 +293,218 @@ pub struct ShardStats {
     pub replacements: u64,
     /// Total expected gain of committed proposals.
     pub gain: i64,
+    /// Scheduler event counters.
+    pub sched: SchedStats,
 }
 
-/// Runs propose/commit rounds to quiescence (no proposal commits, a
-/// guarded round fails to improve, or `cfg.max_rounds` is hit).
+impl ShardStats {
+    /// Accumulates another run's statistics into this one.
+    pub fn absorb(&mut self, other: ShardStats) {
+        self.rounds += other.rounds;
+        self.committed += other.committed;
+        self.conflicted += other.conflicted;
+        self.replacements += other.replacements;
+        self.gain += other.gain;
+        self.sched.absorb(other.sched);
+    }
+}
+
+/// The event-driven convergence core: the deterministic priority queue
+/// of dirty nodes (mapped onto regions of the current partition each
+/// step), the re-partition bookkeeping and the commit-wave scratch.
 ///
-/// Sweeps dangling cones and consumes the dirty log up front (regions
-/// are analyzed in isolation; dangling logic would pollute membership,
-/// boundary sets and gain estimates), and sweeps again before returning.
-pub fn run_shard_rounds<E: ProposeEngine>(
-    mig: &mut Mig,
-    engine: &E,
-    cfg: &ShardConfig,
-) -> ShardStats {
+/// Owned by [`run_scheduler`]; exposed for documentation of the
+/// scheduling state, not for external construction.
+pub struct Scheduler {
+    /// Pending dirt at node granularity: `(node, priority)` where the
+    /// priority is the expected gain of the commit or retry that dirtied
+    /// the node. Node-level (not region-level) so the queue survives
+    /// re-partitions unchanged.
+    frontier: Vec<(NodeId, i64)>,
+    /// Live gate count when the current partition was computed, the
+    /// baseline of the drift threshold.
+    gates_at_partition: usize,
+    /// Epoch-stamped scratch for wave planning and escape detection.
+    waves: WaveScratch,
+}
+
+impl Scheduler {
+    fn new() -> Self {
+        Scheduler {
+            frontier: Vec::new(),
+            gates_at_partition: 0,
+            waves: WaveScratch::default(),
+        }
+    }
+
+    /// Maps the pending frontier onto the current partition: per-region
+    /// priority (maximum expected gain of the region's pending events,
+    /// accumulation order independent) plus the count of live dirty
+    /// nodes outside every region — created on appended slots or
+    /// recycled into freed member slots after the partition (the
+    /// staleness signal). Dead nodes drop out entirely.
+    fn queue(&self, mig: &Mig, partition: &RegionPartition) -> (BTreeMap<u32, i64>, usize) {
+        let mut queue: BTreeMap<u32, i64> = BTreeMap::new();
+        let mut unassigned = 0usize;
+        for &(n, prio) in &self.frontier {
+            match partition.region_of_live(mig, n) {
+                Some(r) => {
+                    let e = queue.entry(r).or_insert(i64::MIN);
+                    *e = (*e).max(prio);
+                }
+                None if mig.is_gate(n) => unassigned += 1,
+                None => {}
+            }
+        }
+        (queue, unassigned)
+    }
+
+    /// Whether the partition must be rebuilt: live-gate drift or
+    /// unassigned-dirt staleness past the configured threshold.
+    fn needs_repartition(&self, mig: &Mig, cfg: &ShardConfig, unassigned: usize) -> bool {
+        let base = self.gates_at_partition.max(1);
+        let drift = mig.num_gates().abs_diff(self.gates_at_partition);
+        drift * 100 > base * cfg.repartition_pct as usize
+            || unassigned * 100 > base * cfg.repartition_pct as usize
+    }
+}
+
+/// Runs event-driven propose/commit steps to quiescence (no dirty region
+/// left, a guarded step fails to improve, or `cfg.max_rounds` is hit).
+///
+/// Sweeps dangling cones up front (regions are analyzed in isolation;
+/// dangling logic would pollute membership, boundary sets and gain
+/// estimates) and again before returning. The graph's dirty log is
+/// *peeked* through cursors, never drained, so carried analyses outside
+/// the scheduler (a pipeline's cut set) keep their invalidation feed.
+pub fn run_scheduler<E: ProposeEngine>(mig: &mut Mig, engine: &E, cfg: &ShardConfig) -> ShardStats {
     let mut stats = ShardStats::default();
     mig.sweep();
-    let _ = mig.drain_dirty();
-    // Nodes whose regions must be re-proposed next round.
-    let mut stale: HashSet<NodeId> = HashSet::new();
-    // Nodes structurally changed last round (for engine cache refresh).
-    let mut invalidated: Vec<NodeId> = Vec::new();
-    let mut first_round = true;
-    for _ in 0..cfg.max_rounds {
-        let max_regions = cfg.max_regions(mig);
-        let (partition, state) = engine.begin_round(mig, max_regions, &invalidated);
-        invalidated.clear();
-        // Active regions: everything on the first round, afterwards only
-        // the regions invalidated by commits or conflicts. Descending
-        // region order = topmost shards first, mirroring the serial
-        // top-down traversals; a `BTreeSet` makes the order independent
-        // of hash-set iteration.
-        let active: Vec<u32> = if first_round {
+    let mut sched = Scheduler::new();
+    let mut current: Option<(RegionPartition, E::RoundState)> = None;
+    let mut first = true;
+    let mut force_partition = false;
+    while stats.rounds < cfg.max_rounds {
+        // (Re-)partition when there is none, the engine demands a fresh
+        // one, the previous step asked for one, or drift/staleness
+        // crossed the threshold.
+        let mut need_partition =
+            current.is_none() || engine.volatile_partition() || force_partition;
+        force_partition = false;
+        let mut queue: BTreeMap<u32, i64> = BTreeMap::new();
+        if !need_partition {
+            let (partition, _) = current.as_ref().expect("checked above");
+            let (q, unassigned) = sched.queue(mig, partition);
+            if sched.needs_repartition(mig, cfg, unassigned) || (q.is_empty() && unassigned > 0) {
+                need_partition = true;
+            } else {
+                queue = q;
+            }
+        }
+        if need_partition {
+            current = Some(engine.partition(mig, cfg.max_regions(mig)));
+            sched.gates_at_partition = mig.num_gates();
+            stats.sched.repartitions += 1;
+            if !first {
+                // Remap the pending frontier onto the fresh partition
+                // (dead slots simply drop out of the queue).
+                queue = sched
+                    .queue(mig, &current.as_ref().expect("just partitioned").0)
+                    .0;
+            }
+        }
+        let (partition, state) = current.as_ref().expect("partition ensured");
+        let nonempty = partition.num_nonempty_regions();
+        // Scheduled regions: everything on the first step, afterwards
+        // only the dirty regions, ordered by priority (expected gain
+        // descending) then stable region id descending — topmost shards
+        // first among equal priorities, mirroring the serial top-down
+        // traversals.
+        let active: Vec<u32> = if first {
             (0..partition.num_regions() as u32)
                 .filter(|&r| !partition.members(r).is_empty())
                 .rev()
                 .collect()
         } else {
-            let set: BTreeSet<u32> = stale
-                .iter()
-                .filter_map(|&n| partition.region_of(n))
-                .collect();
-            set.into_iter().rev().collect()
+            let mut regions: Vec<(i64, u32)> = queue.into_iter().map(|(r, p)| (p, r)).collect();
+            regions.sort_unstable_by_key(|&(p, r)| std::cmp::Reverse((p, r)));
+            regions.into_iter().map(|(_, r)| r).collect()
         };
-        first_round = false;
-        stale.clear();
         if active.is_empty() {
             break;
         }
+        // Consume the frontier for this step — but keep live dirty nodes
+        // the partition cannot place (created on appended slots, or
+        // recycled into freed member slots, after it was computed): they
+        // stay queued, and keep exerting staleness pressure, until a
+        // re-partition assigns them a region. Dead slots drop out.
+        sched
+            .frontier
+            .retain(|&(n, _)| mig.is_gate(n) && partition.region_of_live(mig, n).is_none());
+        if !first {
+            stats.sched.skipped_clean += nonempty.saturating_sub(active.len()) as u64;
+        }
+        first = false;
+        stats.sched.proposed_regions += active.len() as u64;
         let before_metric = cfg.guard.map(|metric| metric(mig));
         let snapshot = before_metric.is_some().then(|| mig.clone());
-        let outcome = if partition.num_regions() <= 1 {
-            match engine.whole_graph_round(mig) {
-                Some((replacements, gain)) => {
-                    for n in mig.drain_dirty() {
-                        stale.insert(n);
-                        invalidated.push(n);
+        let mut changed: Vec<NodeId> = Vec::new();
+        let whole_graph = partition.num_regions() <= 1;
+        let outcome = {
+            let hook = if whole_graph {
+                let cursor = mig.dirty_cursor();
+                engine.whole_graph_round(mig).map(|(replacements, gain)| {
+                    // The hook bypasses the commit path; seed the next
+                    // step's frontier from the dirty log directly.
+                    for &n in mig.dirty_since(cursor).unwrap_or(&[]) {
+                        changed.push(n);
+                        sched.frontier.push((n, gain));
                     }
                     RoundOutcome {
                         committed: usize::from(replacements > 0),
-                        conflicted: 0,
                         replacements,
                         gain,
+                        ..RoundOutcome::default()
                     }
-                }
+                })
+            } else {
+                None
+            };
+            match hook {
+                Some(outcome) => outcome,
                 None => propose_and_commit(
                     mig,
                     engine,
-                    &partition,
-                    &state,
+                    partition,
+                    state,
                     &active,
-                    cfg.threads,
-                    &mut stale,
-                    &mut invalidated,
+                    cfg,
+                    &mut sched,
+                    &mut changed,
                 ),
             }
-        } else {
-            propose_and_commit(
-                mig,
-                engine,
-                &partition,
-                &state,
-                &active,
-                cfg.threads,
-                &mut stale,
-                &mut invalidated,
-            )
         };
         stats.rounds += 1;
+        // Conflicts and waves are event history: they happened even when
+        // the step commits nothing (a pure-retry step) or is rolled
+        // back, so they are counted unconditionally.
+        stats.conflicted += outcome.conflicted as u64;
+        stats.sched.retried += outcome.conflicted as u64;
+        stats.sched.commit_waves += outcome.waves as u64;
         if outcome.committed == 0 {
+            if outcome.conflicted > 0 && stats.rounds < cfg.max_rounds {
+                // Everything this step proposed was refused; the stale
+                // regions were re-queued against a partition that may no
+                // longer describe the graph. Re-partition before the
+                // retry so the loop cannot ping-pong on stale views.
+                force_partition = true;
+                continue;
+            }
             break;
         }
         if let (Some(metric), Some(before)) = (cfg.guard, before_metric) {
             if metric(mig) >= before {
-                // The round failed to improve (gains are estimates;
+                // The step failed to improve (gains are estimates;
                 // structural hashing and refused substitutions shift the
                 // real counts): roll back, like the serial convergence
                 // loops do.
@@ -306,16 +515,19 @@ pub fn run_shard_rounds<E: ProposeEngine>(
             }
         }
         stats.committed += outcome.committed as u64;
-        stats.conflicted += outcome.conflicted as u64;
         stats.replacements += outcome.replacements;
         stats.gain += outcome.gain;
+        if !changed.is_empty() {
+            engine.invalidate(mig, &changed);
+        }
     }
+    stats.sched.steps = stats.rounds as u64;
     mig.sweep();
     stats
 }
 
-/// One round's propose phase (parallel, read-only, per-region result
-/// slots) followed by its commit phase.
+/// One step's propose phase (parallel, read-only, per-region result
+/// slots) followed by its wave-batched commit phase.
 #[allow(clippy::too_many_arguments)]
 fn propose_and_commit<E: ProposeEngine>(
     mig: &mut Mig,
@@ -323,9 +535,9 @@ fn propose_and_commit<E: ProposeEngine>(
     partition: &RegionPartition,
     state: &E::RoundState,
     active: &[u32],
-    threads: usize,
-    stale: &mut HashSet<NodeId>,
-    invalidated: &mut Vec<NodeId>,
+    cfg: &ShardConfig,
+    sched: &mut Scheduler,
+    changed: &mut Vec<NodeId>,
 ) -> RoundOutcome {
     // Workers steal region indices off a shared counter; results land in
     // per-region slots so the commit order is independent of scheduling.
@@ -334,7 +546,7 @@ fn propose_and_commit<E: ProposeEngine>(
     let next = AtomicUsize::new(0);
     let frozen: &Mig = mig;
     std::thread::scope(|scope| {
-        for _ in 0..threads.max(1).min(active.len()) {
+        for _ in 0..cfg.threads.max(1).min(active.len()) {
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= active.len() {
@@ -349,49 +561,205 @@ fn propose_and_commit<E: ProposeEngine>(
         .into_iter()
         .flat_map(|m| m.into_inner().unwrap())
         .collect();
-    commit_round(mig, engine, proposals, stale, invalidated)
+    // The scheduler's next step is driven by the frontier alone; no
+    // stale set is materialized on this path.
+    commit_waves(
+        mig,
+        engine,
+        proposals,
+        None,
+        Some(&mut sched.frontier),
+        &mut sched.waves,
+        changed,
+    )
 }
 
-/// Applies one round's proposals in order (the serial commit phase).
-/// `stale` receives the nodes whose regions must be re-proposed next
-/// round: everything dirtied by a commit, plus the footprints of
-/// conflicted proposals. Exposed so engines can regression-test their
-/// commit behavior against hand-built proposals.
+/// Applies one step's proposals grouped into waves of pairwise-disjoint
+/// TFO-extended footprints. `stale` receives the nodes whose regions
+/// must be re-proposed next step: everything dirtied by a commit, plus
+/// the footprints of conflicted proposals. Exposed so engines can
+/// regression-test their commit behavior against hand-built proposals.
 pub fn commit_proposals<E: ProposeEngine>(
     mig: &mut Mig,
     engine: &E,
     proposals: Vec<E::Proposal>,
     stale: &mut HashSet<NodeId>,
 ) -> RoundOutcome {
-    let mut invalidated = Vec::new();
-    commit_round(mig, engine, proposals, stale, &mut invalidated)
+    let mut scratch = WaveScratch::default();
+    let mut changed = Vec::new();
+    commit_waves(
+        mig,
+        engine,
+        proposals,
+        Some(stale),
+        None,
+        &mut scratch,
+        &mut changed,
+    )
 }
 
-fn commit_round<E: ProposeEngine>(
+/// Epoch-stamped per-node scratch shared by wave planning (which wave
+/// stamped a node's extended footprint) and escape detection (is a dirty
+/// node inside the committing proposal's own extension). Epochs advance
+/// per use, so the vectors are allocated once and never cleared.
+#[derive(Default)]
+struct WaveScratch {
+    /// Wave planning: `plan[n] >= plan_base` means node `n` belongs to
+    /// the extended footprint of a proposal in wave `plan[n] - plan_base`.
+    plan: Vec<u32>,
+    plan_base: u32,
+    /// Escape detection: `own[n] == own_epoch` marks `n` as inside the
+    /// currently committing proposal's extended footprint.
+    own: Vec<u32>,
+    own_epoch: u32,
+}
+
+impl WaveScratch {
+    fn ensure(&mut self, n: usize) {
+        if self.plan.len() < n {
+            self.plan.resize(n, 0);
+            self.own.resize(n, 0);
+        }
+    }
+}
+
+/// The TFO-extended footprint of one proposal: the footprint nodes plus
+/// their immediate fanout gates. Commits mutate within this frontier in
+/// the overwhelmingly common case (the replaced cone, its rewired
+/// parents); cascades that escape it are caught exactly by the dirty-log
+/// cursor during commit.
+fn extended_footprint(mig: &Mig, footprint: &[NodeId]) -> Vec<NodeId> {
+    let mut ext = footprint.to_vec();
+    for &n in footprint {
+        if (n as usize) < mig.num_nodes() && !mig.is_dead(n) {
+            ext.extend(mig.fanout_gates(n));
+        }
+    }
+    ext.sort_unstable();
+    ext.dedup();
+    ext
+}
+
+/// Greedy deterministic wave assignment: proposal `i` lands in the first
+/// wave whose already-stamped extended footprints it does not intersect
+/// (one pass, prefix maxima over the stamp scratch).
+fn plan_waves(extended: &[Vec<NodeId>], scratch: &mut WaveScratch) -> Vec<u32> {
+    let max_node = extended
+        .iter()
+        .flat_map(|e| e.iter())
+        .map(|&n| n as usize + 1)
+        .max()
+        .unwrap_or(0);
+    scratch.ensure(max_node);
+    // Advance the epoch window; reset on overflow so stale stamps can
+    // never alias a current wave.
+    if scratch.plan_base > u32::MAX - (extended.len() as u32 + 2) {
+        scratch.plan.fill(0);
+        scratch.plan_base = 0;
+    }
+    scratch.plan_base += 1;
+    let base = scratch.plan_base;
+    let mut waves = Vec::with_capacity(extended.len());
+    let mut max_wave = 0u32;
+    for ext in extended {
+        let mut wave = 0u32;
+        for &n in ext {
+            let s = scratch.plan[n as usize];
+            if s >= base {
+                wave = wave.max(s - base + 1);
+            }
+        }
+        for &n in ext {
+            scratch.plan[n as usize] = base + wave;
+        }
+        max_wave = max_wave.max(wave);
+        waves.push(wave);
+    }
+    // Leave the window past every stamp written this call.
+    scratch.plan_base += max_wave + 1;
+    waves
+}
+
+/// The wave-batched serial commit phase (see the module docs): wave 0
+/// members skip the per-proposal dirty scan until some commit's cascade
+/// escapes its own extended footprint; later waves (and everything after
+/// an escape) check their footprint against the accumulated step dirt.
+fn commit_waves<E: ProposeEngine>(
     mig: &mut Mig,
     engine: &E,
     proposals: Vec<E::Proposal>,
-    stale: &mut HashSet<NodeId>,
-    invalidated: &mut Vec<NodeId>,
+    mut stale: Option<&mut HashSet<NodeId>>,
+    mut frontier: Option<&mut Vec<(NodeId, i64)>>,
+    scratch: &mut WaveScratch,
+    changed: &mut Vec<NodeId>,
 ) -> RoundOutcome {
     let mut outcome = RoundOutcome::default();
-    // Nodes touched earlier in this round; a proposal whose footprint
+    if proposals.is_empty() {
+        return outcome;
+    }
+    let step_slots = mig.num_nodes();
+    let extended: Vec<Vec<NodeId>> = proposals
+        .iter()
+        .map(|p| extended_footprint(mig, engine.footprint(p)))
+        .collect();
+    let waves = plan_waves(&extended, scratch);
+    let num_waves = waves.iter().max().copied().unwrap_or(0) as usize + 1;
+    outcome.waves = num_waves;
+    // Nodes touched earlier in this step; a proposal whose footprint
     // intersects it was analyzed against a graph that no longer exists.
-    let mut round_dirty: HashSet<NodeId> = HashSet::new();
-    for prop in proposals {
-        if engine
-            .footprint(&prop)
-            .iter()
-            .any(|n| round_dirty.contains(n))
+    let mut step_dirty: HashSet<NodeId> = HashSet::new();
+    // Whether any cascade escaped its proposal's extended footprint in
+    // the current wave (forces the conservative scan for the rest of the
+    // wave).
+    let mut escaped = false;
+    let mut cursor = mig.dirty_cursor();
+    let mut order: Vec<usize> = (0..proposals.len()).collect();
+    order.sort_by_key(|&i| waves[i]);
+    let mut slots: Vec<Option<E::Proposal>> = proposals.into_iter().map(Some).collect();
+    let mut current_wave = 0u32;
+    for i in order {
+        if waves[i] != current_wave {
+            current_wave = waves[i];
+            escaped = false;
+        }
+        let prop = slots[i].take().expect("each proposal committed once");
+        // Wave members are pairwise disjoint over extended footprints:
+        // dirt from earlier same-wave commits stays inside extensions
+        // this footprint cannot touch — unless a cascade escaped, which
+        // downgrades the rest of the wave (and every later wave) to the
+        // conservative footprint-vs-dirt scan.
+        let needs_scan = current_wave > 0 || escaped;
+        if needs_scan
+            && engine
+                .footprint(&prop)
+                .iter()
+                .any(|n| step_dirty.contains(n))
         {
             outcome.conflicted += 1;
-            stale.extend(engine.footprint(&prop).iter().copied());
+            let fp = engine.footprint(&prop);
+            if let Some(stale) = stale.as_deref_mut() {
+                stale.extend(fp.iter().copied());
+            }
+            if let Some(front) = frontier.as_deref_mut() {
+                let gain = engine.gain(&prop);
+                front.extend(fp.iter().map(|&n| (n, gain)));
+            }
             continue;
         }
         let gain = engine.gain(&prop);
         // The commit consumes the proposal; keep the footprint for the
         // engine-side conflict verdict.
         let footprint: Vec<NodeId> = engine.footprint(&prop).to_vec();
+        // Stamp this proposal's extension so its own dirt can be told
+        // apart from escaping cascades.
+        scratch.own_epoch = scratch.own_epoch.wrapping_add(1);
+        if scratch.own_epoch == 0 {
+            scratch.own.fill(0);
+            scratch.own_epoch = 1;
+        }
+        for &n in &extended[i] {
+            scratch.own[n as usize] = scratch.own_epoch;
+        }
         match engine.commit(mig, prop) {
             CommitVerdict::Applied { replacements } => {
                 outcome.committed += 1;
@@ -400,17 +768,93 @@ fn commit_round<E: ProposeEngine>(
             }
             CommitVerdict::Conflicted => {
                 outcome.conflicted += 1;
-                stale.extend(footprint);
+                if let Some(stale) = stale.as_deref_mut() {
+                    stale.extend(footprint.iter().copied());
+                }
+                if let Some(front) = frontier.as_deref_mut() {
+                    front.extend(footprint.iter().map(|&n| (n, gain)));
+                }
             }
             CommitVerdict::Rejected => {}
         }
-        for n in mig.drain_dirty() {
-            round_dirty.insert(n);
-            stale.insert(n);
-            invalidated.push(n);
+        let dirt = mig
+            .dirty_since(cursor)
+            .expect("nothing drains inside a commit step")
+            .to_vec();
+        cursor = mig.dirty_cursor();
+        for n in dirt {
+            step_dirty.insert(n);
+            if let Some(stale) = stale.as_deref_mut() {
+                stale.insert(n);
+            }
+            changed.push(n);
+            if let Some(front) = frontier.as_deref_mut() {
+                front.push((n, gain));
+            }
+            // Fresh slots (ids past the step start) can never alias a
+            // footprint of step-start nodes; only older slots outside
+            // this proposal's own extension count as escapes.
+            if (n as usize) < step_slots
+                && scratch.own.get(n as usize).copied() != Some(scratch.own_epoch)
+            {
+                escaped = true;
+            }
         }
     }
     outcome
+}
+
+/// The shared convergence skeleton for engines that pair the scheduler
+/// with a serial engine (every converge driver in the workspace):
+///
+/// * graphs too small to shard run `serial` alone (the degenerate case,
+///   bit-identical to a single-threaded run);
+/// * an optional `baseline` pass runs first under the configured guard
+///   metric and is rolled back unless it improves — the quality floor
+///   for engines whose serial analysis is global (the bottom-up
+///   candidate DP) and cannot be reproduced regionally;
+/// * the scheduler then runs to quiescence;
+/// * with `polish`, `serial` runs once more afterwards, recovering moves
+///   that span region boundaries from the (much smaller) quiescent
+///   graph.
+///
+/// `serial` and `baseline` report `(replacements, gain)`; their numbers
+/// are merged into the returned [`ShardStats`].
+pub fn run_scheduled_converge<E: ProposeEngine>(
+    mig: &mut Mig,
+    engine: &E,
+    cfg: &ShardConfig,
+    serial: &mut SerialPass<'_>,
+    baseline: Option<&mut SerialPass<'_>>,
+    polish: bool,
+) -> ShardStats {
+    let mut stats = ShardStats::default();
+    if !cfg.shardable(mig) {
+        let (replacements, gain) = serial(mig);
+        stats.replacements += replacements;
+        stats.gain += gain;
+        return stats;
+    }
+    if let Some(baseline) = baseline {
+        let metric = cfg.guard.unwrap_or(gates_only_metric);
+        let before = metric(mig);
+        let snapshot = mig.clone();
+        let (replacements, gain) = baseline(mig);
+        if replacements > 0 && metric(mig) >= before {
+            *mig = snapshot;
+        } else {
+            stats.replacements += replacements;
+            stats.gain += gain;
+        }
+    }
+    stats.absorb(run_scheduler(mig, engine, cfg));
+    if polish {
+        let (replacements, gain) = serial(mig);
+        stats.replacements += replacements;
+        stats.gain += gain;
+        mig.sweep();
+    }
+    stats
 }
 
 #[cfg(test)]
@@ -454,12 +898,7 @@ mod tests {
         type Proposal = AndProposal;
         type RoundState = ();
 
-        fn begin_round(
-            &self,
-            mig: &Mig,
-            max_regions: usize,
-            _invalidated: &[NodeId],
-        ) -> (RegionPartition, ()) {
+        fn partition(&self, mig: &Mig, max_regions: usize) -> (RegionPartition, ()) {
             let p = RegionPartition::compute(mig, PartitionStrategy::LevelBands { max_regions });
             (p, ())
         }
@@ -522,18 +961,21 @@ mod tests {
         m
     }
 
+    fn small_cfg(threads: usize) -> ShardConfig {
+        ShardConfig {
+            min_region_size: 4,
+            ..ShardConfig::new(threads)
+        }
+    }
+
     #[test]
-    fn rounds_collapse_all_redundancy_deterministically() {
+    fn scheduler_collapses_all_redundancy_deterministically() {
         let m = redundant_ladder(60);
         let want = m.output_truth_tables();
         let mut results = Vec::new();
         for threads in [1usize, 2, 4] {
             let mut opt = m.clone();
-            let cfg = ShardConfig {
-                min_region_size: 4,
-                ..ShardConfig::new(threads)
-            };
-            let stats = run_shard_rounds(&mut opt, &RedundantAndEngine, &cfg);
+            let stats = run_scheduler(&mut opt, &RedundantAndEngine, &small_cfg(threads));
             assert!(stats.replacements > 0, "@{threads}: nothing rewritten");
             assert_eq!(opt.output_truth_tables(), want, "@{threads}");
             // Quiescence: no redundant pair survives.
@@ -550,11 +992,7 @@ mod tests {
         // Determinism: repeat runs per thread count are bit-identical.
         for &(threads, gates, ref fanins, ref outs) in &results {
             let mut again = m.clone();
-            let cfg = ShardConfig {
-                min_region_size: 4,
-                ..ShardConfig::new(threads)
-            };
-            run_shard_rounds(&mut again, &RedundantAndEngine, &cfg);
+            run_scheduler(&mut again, &RedundantAndEngine, &small_cfg(threads));
             assert_eq!(again.num_gates(), gates, "@{threads}");
             let fp: Vec<_> = again.gates().map(|g| (g, again.fanins(g))).collect();
             assert_eq!(&fp, fanins, "@{threads}: nondeterministic netlist");
@@ -563,21 +1001,157 @@ mod tests {
     }
 
     #[test]
-    fn guarded_rounds_roll_back_when_the_metric_fails() {
+    fn scheduler_skips_clean_regions() {
+        // Redundancy concentrated at the bottom of the graph, with a tall
+        // irredundant majority chain on top: after the first full step
+        // only the dirtied bottom regions (and their fanout frontier) are
+        // ever re-proposed — the clean chain bands are skipped, which a
+        // full-sweep round loop could not do.
+        let mut m = Mig::new(8);
+        let mut acc = m.input(0);
+        for i in 0..12 {
+            let x = m.input(1 + i % 7);
+            let inner = m.and(acc, x);
+            acc = m.and(inner, x);
+        }
+        for i in 0..120 {
+            let x = m.input(1 + i % 7);
+            let y = m.input(1 + (i + 3) % 7);
+            acc = m.maj(acc, x, !y);
+        }
+        m.add_output(acc);
+        let want = m.output_truth_tables();
+        let mut opt = m.clone();
+        let stats = run_scheduler(&mut opt, &RedundantAndEngine, &small_cfg(2));
+        assert!(stats.replacements > 0);
+        assert_eq!(opt.output_truth_tables(), want);
+        assert!(
+            stats.sched.skipped_clean > 0,
+            "clean regions were re-proposed: {:?}",
+            stats.sched
+        );
+        assert!(stats.sched.proposed_regions > 0);
+        assert!(stats.sched.commit_waves >= 1);
+    }
+
+    #[test]
+    fn guarded_steps_roll_back_when_the_metric_fails() {
         // A guard that always reports "worse" must leave the graph
-        // untouched (round rolled back) while still counting the round.
+        // untouched (step rolled back) while still counting the step.
         let m = redundant_ladder(40);
         let mut opt = m.clone();
         let cfg = ShardConfig {
-            min_region_size: 4,
             guard: Some(|_m: &Mig| (0, 0)),
-            ..ShardConfig::new(2)
+            ..small_cfg(2)
         };
         let before: Vec<_> = opt.gates().map(|g| (g, opt.fanins(g))).collect();
-        let stats = run_shard_rounds(&mut opt, &RedundantAndEngine, &cfg);
-        assert_eq!(stats.replacements, 0, "rolled-back round must not count");
+        let stats = run_scheduler(&mut opt, &RedundantAndEngine, &cfg);
+        assert_eq!(stats.replacements, 0, "rolled-back step must not count");
         let after: Vec<_> = opt.gates().map(|g| (g, opt.fanins(g))).collect();
         assert_eq!(before, after, "rollback restored the graph");
         assert_eq!(stats.rounds, 1);
+    }
+
+    /// Builds the toy proposal at `root` over the current graph.
+    fn and_proposal(mig: &Mig, root: NodeId) -> AndProposal {
+        let inner = redundant_and(mig, root).expect("pattern present");
+        AndProposal {
+            root,
+            footprint: vec![root, inner.node()],
+        }
+    }
+
+    #[test]
+    fn disjoint_proposals_commit_in_one_wave_bit_identical_to_serial() {
+        // Two redundant pairs in unrelated cones: batched application in
+        // one wave must produce the exact netlist serial one-at-a-time
+        // application produces, with both proposals committed.
+        let build = || {
+            let mut m = Mig::new(8);
+            let (a, b, c, d) = (m.input(0), m.input(1), m.input(2), m.input(3));
+            let i1 = m.and(a, b);
+            let r1 = m.and(i1, b); // redundant pair 1
+            let u1 = m.maj(r1, a, !b); // separate fanout frontiers: no
+            let i2 = m.and(c, d); //     shared parent between the cones
+            let r2 = m.and(i2, d); // redundant pair 2
+            let u2 = m.maj(r2, c, !d);
+            m.add_output(u1);
+            m.add_output(u2);
+            (m, r1.node(), r2.node())
+        };
+        let (mut batched, r1, r2) = build();
+        let p1 = and_proposal(&batched, r1);
+        let p2 = and_proposal(&batched, r2);
+        let mut stale = HashSet::new();
+        let outcome = commit_proposals(&mut batched, &RedundantAndEngine, vec![p1, p2], &mut stale);
+        assert_eq!(outcome.waves, 1, "disjoint footprints share one wave");
+        assert_eq!(outcome.committed, 2);
+        assert_eq!(outcome.conflicted, 0);
+        batched.debug_check();
+
+        let (mut serial, r1, r2) = build();
+        for root in [r1, r2] {
+            let p = and_proposal(&serial, root);
+            let mut stale = HashSet::new();
+            let o = commit_proposals(&mut serial, &RedundantAndEngine, vec![p], &mut stale);
+            assert_eq!(o.committed, 1);
+        }
+        let fp_b: Vec<_> = batched.gates().map(|g| (g, batched.fanins(g))).collect();
+        let fp_s: Vec<_> = serial.gates().map(|g| (g, serial.fanins(g))).collect();
+        assert_eq!(fp_b, fp_s, "batched wave diverged from serial commits");
+        assert_eq!(batched.outputs(), serial.outputs());
+        assert_eq!(batched.num_nodes(), serial.num_nodes());
+    }
+
+    #[test]
+    fn overlapping_proposals_degrade_to_the_conflict_retry_path() {
+        // Two stacked redundant pairs: committing the lower one rewires
+        // the upper one's footprint, so the upper proposal must be
+        // refused (conflict, queued for retry), not applied against the
+        // drifted graph — and the wave plan must have separated them.
+        let mut m = Mig::new(4);
+        let (a, b, c) = (m.input(0), m.input(1), m.input(2));
+        let i1 = m.and(a, b);
+        let r1 = m.and(i1, b); // lower redundant pair
+        let i2 = m.and(r1, c);
+        let r2 = m.and(i2, c); // upper redundant pair, feeds on r1
+        m.add_output(r2);
+        let want = m.output_truth_tables();
+        let p_low = and_proposal(&m, r1.node());
+        let p_high = and_proposal(&m, r2.node());
+        assert!(
+            extended_footprint(&m, &p_low.footprint)
+                .iter()
+                .any(|n| p_high.footprint.contains(n)),
+            "test premise: the extended footprints overlap"
+        );
+        let mut stale = HashSet::new();
+        let outcome =
+            commit_proposals(&mut m, &RedundantAndEngine, vec![p_low, p_high], &mut stale);
+        assert!(outcome.waves >= 2, "overlap forces a second wave");
+        assert_eq!(outcome.committed, 1, "lower proposal lands");
+        assert_eq!(outcome.conflicted, 1, "upper proposal refused for retry");
+        assert!(
+            !stale.is_empty(),
+            "conflicted footprint queued for the next step"
+        );
+        assert_eq!(m.output_truth_tables(), want, "function preserved");
+        m.debug_check();
+    }
+
+    #[test]
+    fn wave_planning_is_greedy_and_deterministic() {
+        let ext = vec![
+            vec![1, 2, 3],
+            vec![4, 5],
+            vec![3, 6],    // clashes with #0 -> wave 1
+            vec![7],       // free -> wave 0
+            vec![6, 5],    // clashes with #1 (wave 0) and #2 (wave 1) -> wave 2
+            vec![1, 4, 7], // clashes with wave-0 members -> wave 1
+        ];
+        let mut scratch = WaveScratch::default();
+        assert_eq!(plan_waves(&ext, &mut scratch), vec![0, 0, 1, 0, 2, 1]);
+        // The scratch is reusable without clearing (epoch window).
+        assert_eq!(plan_waves(&ext, &mut scratch), vec![0, 0, 1, 0, 2, 1]);
     }
 }

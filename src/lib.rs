@@ -15,8 +15,9 @@
 //!   classes (§V-A);
 //! * [`fhash`] — the functional-hashing size optimization (§IV, the
 //!   paper's primary contribution) in all its variants (T/TD/TF/TFD/B/BF),
-//!   as serial in-place engines and as the sharded parallel
-//!   propose/commit driver (`FunctionalHashing::run_sharded`);
+//!   as serial in-place engines and on the event-driven convergence
+//!   scheduler (`FunctionalHashing::run_sharded` /
+//!   `run_converge_threads`, built on `mig::run_scheduler`);
 //! * [`migalg`] — algebraic MIG optimization (refs \[3\], \[4\]) used to
 //!   produce "heavily optimized" starting points;
 //! * [`aig`] — an AND-inverter-graph substrate and rewriting baseline;

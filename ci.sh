@@ -45,6 +45,23 @@ for f in benchmarks/full_adder.aag benchmarks/adder8.aag \
     "$MIGOPT" -q -j 2 -i "$f" -p "strash; fhash:TF; fhash:B; cec"
 done
 
+echo "== traced pipelines: JSONL schema validation (trace_lint)"
+# One traced sharded pipeline per benchmark: the emitted JSONL must be
+# non-empty, parse line by line and carry balanced per-thread spans;
+# trace_lint exits non-zero on any violation.
+TRACE_DIR=$(mktemp -d)
+trap 'rm -rf "$TRACE_DIR"' EXIT
+for f in benchmarks/full_adder.aag benchmarks/adder8.aag \
+         benchmarks/mult4.aig benchmarks/adder4.blif; do
+    t="$TRACE_DIR/$(basename "$f").trace.jsonl"
+    echo "-- migopt -i $f --trace $t"
+    "$MIGOPT" -q -i "$f" -p "strash; fhash!:B@4; size!@4; cec" --trace "$t"
+    ./target/release/trace_lint "$t"
+done
+
+echo "== tracing-off overhead gate (sched/chain512@1, bound 5%)"
+cargo run --release -q -p bench_harness --bin trace_overhead
+
 echo "== micro/io benches (refreshes BENCH_micro.json / BENCH_io.json)"
 cargo bench -p bench_harness --bench micro
 cargo bench -p bench_harness --bench io_throughput

@@ -101,23 +101,20 @@ pub(crate) fn match_size_move(mig: &Mig, g: NodeId) -> Option<SizeMove> {
 /// Re-derives and applies the size merge at `g` against the live graph.
 /// Returns `false` when no merge applies (the pattern vanished or the
 /// substitution was refused); nothing is changed in that case.
-pub(crate) fn apply_size_move(mig: &mut Mig, g: NodeId, stats: &mut AlgStats) -> bool {
+pub(crate) fn apply_size_move(mig: &mut Mig, g: NodeId) -> bool {
     let Some(mv) = match_size_move(mig, g) else {
         return false;
     };
-    commit_size_move(mig, g, mv, stats)
+    commit_size_move(mig, g, mv)
 }
 
 /// Builds the merged cone of a matched size move and commits it via
 /// [`Mig::replace_node`]. Returns `false` when the substitution was
 /// refused (the root reproduced itself, or a cycle through shared
-/// logic) — nothing is changed in that case.
-pub(crate) fn commit_size_move(
-    mig: &mut Mig,
-    g: NodeId,
-    mv: SizeMove,
-    stats: &mut AlgStats,
-) -> bool {
+/// logic) — nothing is changed in that case. A committed merge records
+/// into the metric registry, the single source of truth the stats
+/// structs are reconstructed from.
+pub(crate) fn commit_size_move(mig: &mut Mig, g: NodeId, mv: SizeMove) -> bool {
     let inner = mig.maj(mv.u, mv.v, mv.z);
     let new = mig.maj(mv.shared[0], mv.shared[1], inner);
     if new.node() == g {
@@ -127,7 +124,7 @@ pub(crate) fn commit_size_move(
         return false;
     }
     if mig.replace_node(g, new) {
-        stats.merges += 1;
+        obs::metrics::add(obs::Metric::AlgMerges, 1);
         true
     } else {
         // Cycle through shared logic: retract the speculative cone.
@@ -244,12 +241,7 @@ pub(crate) fn match_depth_move_live(mig: &Mig, g: NodeId) -> Option<(DepthMove, 
 /// `None` when the substitution was refused (the root reproduced itself,
 /// the root's live level would degrade, or a cycle through shared
 /// logic) — nothing is changed in that case.
-pub(crate) fn commit_depth_move(
-    mig: &mut Mig,
-    g: NodeId,
-    mv: DepthMove,
-    stats: &mut AlgStats,
-) -> Option<Signal> {
+pub(crate) fn commit_depth_move(mig: &mut Mig, g: NodeId, mv: DepthMove) -> Option<Signal> {
     let old_level = mig.level(g);
     let (new, is_assoc) = match mv {
         DepthMove::Assoc { x, y, u, z } => {
@@ -272,9 +264,9 @@ pub(crate) fn commit_depth_move(
         return None;
     }
     if is_assoc {
-        stats.assoc_moves += 1;
+        obs::metrics::add(obs::Metric::AlgAssocMoves, 1);
     } else {
-        stats.distrib_moves += 1;
+        obs::metrics::add(obs::Metric::AlgDistribMoves, 1);
     }
     Some(new)
 }
@@ -292,15 +284,14 @@ pub(crate) enum Family {
 /// family's move on each. `targets` restricts the sweep to an
 /// affected-cone set (`None` = every gate). Dangling roots are skipped
 /// (they are reclaimed by the final sweep, not optimized).
-fn sweep(mig: &mut Mig, targets: Option<&HashSet<NodeId>>, family: Family) -> AlgStats {
+fn sweep(mig: &mut Mig, targets: Option<&HashSet<NodeId>>, family: Family) {
     match family {
         Family::Size => size_sweep(mig, targets),
         Family::Depth => depth_sweep(mig, targets),
     }
 }
 
-fn size_sweep(mig: &mut Mig, targets: Option<&HashSet<NodeId>>) -> AlgStats {
-    let mut stats = AlgStats::default();
+fn size_sweep(mig: &mut Mig, targets: Option<&HashSet<NodeId>>) {
     let topo = mig.topo_gates();
     for v in topo {
         if !mig.is_gate(v) || mig.fanout_count(v) == 0 {
@@ -311,10 +302,9 @@ fn size_sweep(mig: &mut Mig, targets: Option<&HashSet<NodeId>>) -> AlgStats {
                 continue;
             }
         }
-        apply_size_move(mig, v, &mut stats);
+        apply_size_move(mig, v);
     }
     mig.sweep();
-    stats
 }
 
 /// The depth sweep: processes the live gates in *reverse* topological
@@ -327,8 +317,7 @@ fn size_sweep(mig: &mut Mig, targets: Option<&HashSet<NodeId>>) -> AlgStats {
 /// cone was subsumed by an earlier (higher) move simply dies and is
 /// skipped. This is what halves a ripple chain's depth per sweep,
 /// exactly like one rebuild pass, at in-place cost.
-fn depth_sweep(mig: &mut Mig, targets: Option<&HashSet<NodeId>>) -> AlgStats {
-    let mut stats = AlgStats::default();
+fn depth_sweep(mig: &mut Mig, targets: Option<&HashSet<NodeId>>) {
     let topo = mig.topo_gates();
     for &v in topo.iter().rev() {
         if !mig.is_gate(v) || mig.fanout_count(v) == 0 {
@@ -342,10 +331,9 @@ fn depth_sweep(mig: &mut Mig, targets: Option<&HashSet<NodeId>>) -> AlgStats {
         let Some((mv, _inner)) = match_depth_move_live(mig, v) else {
             continue;
         };
-        commit_depth_move(mig, v, mv, &mut stats);
+        commit_depth_move(mig, v, mv);
     }
     mig.sweep();
-    stats
 }
 
 /// The depth script's acceptance metric: `(depth, gates)`, compared
@@ -362,12 +350,16 @@ pub(crate) fn depth_metric(mig: &Mig) -> (u64, u64) {
 fn guarded_sweep(mig: &mut Mig, family: Family, metric: fn(&Mig) -> (u64, u64)) -> AlgStats {
     let before = metric(mig);
     let snapshot = mig.clone();
-    let stats = sweep(mig, None, family);
+    let ((), delta) = obs::metrics::scoped(|| sweep(mig, None, family));
     if metric(mig) > before {
         *mig = snapshot;
+        // The undone moves' outcome counters vanish with the rollback;
+        // event history (profiling totals) remains true work done.
+        delta.publish_history();
         return AlgStats::default();
     }
-    stats
+    delta.publish();
+    AlgStats::from_delta(&delta)
 }
 
 /// One in-place size-rewriting sweep (Ω.D right-to-left). Merges are
@@ -421,44 +413,51 @@ pub(crate) fn converge(
     family: Family,
     guard: fn(&Mig) -> (u64, u64),
 ) -> (AlgStats, usize) {
-    let mut total = AlgStats::default();
     let mut rounds = 0;
     let mut targets: Option<HashSet<NodeId>> = None;
-    while rounds < max_rounds {
-        let before = guard(mig);
-        let snapshot = mig.clone();
-        let mark = mig.dirty_cursor();
-        let stats = sweep(mig, targets.as_ref(), family);
-        rounds += 1;
-        if stats.total() == 0 {
-            if targets.is_none() {
-                break; // a full sweep found nothing: true fixpoint
+    let ((), delta) = obs::metrics::scoped(|| {
+        while rounds < max_rounds {
+            let before = guard(mig);
+            let snapshot = mig.clone();
+            let mark = mig.dirty_cursor();
+            // Per-round scope: a kept round publishes everything, a
+            // fruitless or rolled-back round keeps only event history.
+            let ((), round) = obs::metrics::scoped(|| sweep(mig, targets.as_ref(), family));
+            rounds += 1;
+            let stats = AlgStats::from_delta(&round);
+            if stats.total() == 0 {
+                round.publish_history();
+                if targets.is_none() {
+                    break; // a full sweep found nothing: true fixpoint
+                }
+                targets = None; // confirm the incremental fixpoint fully
+                continue;
             }
-            targets = None; // confirm the incremental fixpoint fully
-            continue;
-        }
-        if guard(mig) >= before {
-            *mig = snapshot;
-            if targets.is_none() {
-                break;
+            if guard(mig) >= before {
+                *mig = snapshot;
+                round.publish_history();
+                if targets.is_none() {
+                    break;
+                }
+                // A targeted round went stale without paying off; confirm
+                // the fixpoint with a full sweep before giving up.
+                targets = None;
+                continue;
             }
-            // A targeted round went stale without paying off; confirm
-            // the fixpoint with a full sweep before giving up.
-            targets = None;
-            continue;
-        }
-        match mig.dirty_since(mark) {
-            Some(dirty) => {
-                let dirty: Vec<NodeId> = dirty.to_vec();
-                targets = Some(affected_cone(mig, &dirty));
+            round.publish();
+            match mig.dirty_since(mark) {
+                Some(dirty) => {
+                    let dirty: Vec<NodeId> = dirty.to_vec();
+                    targets = Some(affected_cone(mig, &dirty));
+                }
+                // The log was drained under us (cannot happen from inside
+                // a sweep; defensive): fall back to a full re-scan.
+                None => targets = None,
             }
-            // The log was drained under us (cannot happen from inside a
-            // sweep; defensive): fall back to a full re-scan.
-            None => targets = None,
         }
-        total.absorb(stats);
-    }
-    (total, rounds)
+    });
+    delta.publish();
+    (AlgStats::from_delta(&delta), rounds)
 }
 
 /// One optimization-script round: size stage, depth stage, stage
@@ -475,35 +474,41 @@ pub(crate) fn script_round(
 ) -> Option<AlgStats> {
     let before = script_metric(mig);
     let snapshot = mig.clone();
-    let size_stats = size_stage(mig);
+    let (_, size_d) = obs::metrics::scoped(|| size_stage(mig));
     let mid_metric = script_metric(mig);
     let mid = mig.clone();
-    let depth_stats = depth_stage(mig);
+    let (_, depth_d) = obs::metrics::scoped(|| depth_stage(mig));
     // Stage selection mirrors the rebuild script: keep the depth stage
-    // only when it is lexicographically no worse.
-    let mut round = size_stats;
+    // only when it is lexicographically no worse. Discarded stages and
+    // rolled-back rounds keep only their event history in the registry.
+    let mut round = size_d;
     if script_metric(mig) <= mid_metric {
-        round.absorb(depth_stats);
+        round.merge(&depth_d);
     } else {
         *mig = mid;
+        depth_d.publish_history();
     }
     if script_metric(mig) >= before {
         *mig = snapshot;
+        round.publish_history();
         return None;
     }
-    Some(round)
+    round.publish();
+    Some(AlgStats::from_delta(&round))
 }
 
 /// The in-place optimization script: alternating size and depth sweeps
 /// under [`script_round`]'s acceptance. Rounds that fail to improve are
 /// rolled back, making the result never worse than the input.
 pub fn optimize_in_place(mig: &mut Mig, max_rounds: usize) -> AlgStats {
-    let mut total = AlgStats::default();
-    for _ in 0..max_rounds {
-        match script_round(mig, &mut size_rewrite_in_place, &mut depth_rewrite_in_place) {
-            Some(round) => total.absorb(round),
-            None => break,
+    let ((), delta) = obs::metrics::scoped(|| {
+        for _ in 0..max_rounds {
+            if script_round(mig, &mut size_rewrite_in_place, &mut depth_rewrite_in_place).is_none()
+            {
+                break;
+            }
         }
-    }
-    total
+    });
+    delta.publish();
+    AlgStats::from_delta(&delta)
 }

@@ -70,6 +70,19 @@ impl AlgStats {
         self.merges += other.merges;
         self.sched.absorb(other.sched);
     }
+
+    /// Reconstructs the legacy stats struct from a metric-registry delta.
+    /// The in-place move commits record `alg.*` directly (serial sweeps
+    /// and scheduler commits alike), so no arithmetic over driver totals
+    /// is needed to attribute moves per kind.
+    pub fn from_delta(d: &obs::Delta) -> AlgStats {
+        AlgStats {
+            assoc_moves: d.get(obs::Metric::AlgAssocMoves),
+            distrib_moves: d.get(obs::Metric::AlgDistribMoves),
+            merges: d.get(obs::Metric::AlgMerges),
+            sched: mig::SchedStats::from_delta(d),
+        }
+    }
 }
 
 /// The optimization script's round-acceptance metric: `(gates, depth)`,

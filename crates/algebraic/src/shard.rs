@@ -151,14 +151,17 @@ impl ProposeEngine for AlgEngine {
         // kind flip means the neighborhood drifted (Conflicted — the
         // region retries from fresh analysis), while a refused
         // substitution (cycle through shared logic, reproduced root,
-        // degraded level) would refuse again (Rejected).
-        let mut stats = AlgStats::default();
+        // degraded level) would refuse again (Rejected). Committed moves
+        // record their `alg.*` counters into the step's metric scope,
+        // which the scheduler drops back to event history if the step's
+        // guard rolls it back — rollback semantics are uniform with the
+        // serial sweeps by construction.
         let applied = match self.family {
             Family::Size => {
                 let Some(mv) = match_size_move(mig, p.root) else {
                     return CommitVerdict::Conflicted;
                 };
-                commit_size_move(mig, p.root, mv, &mut stats)
+                commit_size_move(mig, p.root, mv)
             }
             Family::Depth => {
                 let Some((mv, _inner)) = match_depth_move_live(mig, p.root) else {
@@ -167,7 +170,7 @@ impl ProposeEngine for AlgEngine {
                 if MoveKind::of_depth(&mv) != p.kind {
                     return CommitVerdict::Conflicted;
                 }
-                commit_depth_move(mig, p.root, mv, &mut stats).is_some()
+                commit_depth_move(mig, p.root, mv).is_some()
             }
         };
         if applied {
@@ -189,10 +192,10 @@ impl ProposeEngine for AlgEngine {
 /// scheduler steps over dirty regions to quiescence, then a serial
 /// polish to confirm the fixpoint across region boundaries; every stage
 /// is guarded under the family metric, so the result is provably never
-/// worse than the round-based serial driver. Applied-move counters of
-/// the scheduler steps come from the committed gains of kept steps
-/// (exact: the commit phase refuses kind-flipped re-derivations); the
-/// serial stages report their own exact counters.
+/// worse than the round-based serial driver. Applied-move counters come
+/// straight from the metric registry: scheduler commits and serial
+/// sweeps record the same `alg.*` counters at the move-commit sites, so
+/// the per-kind attribution needs no arithmetic over driver totals.
 pub(crate) fn converge_threads(
     mig: &mut Mig,
     max_rounds: usize,
@@ -211,59 +214,35 @@ pub(crate) fn converge_threads(
     // improves the family's lexicographic metric.
     cfg.guard = Some(guard);
     let engine = AlgEngine { family };
-    // Serial convergence loop, used as the quality-floor baseline, the
-    // non-shardable fallback and the cross-region polish; its exact
-    // per-kind counters accumulate here while the total flows through
-    // the driver stats.
-    let mut serial_acc = AlgStats::default();
     let mut serial_rounds = 0usize;
-    // Quality-floor baseline (only the driver's own serial calls flow
-    // into its replacement total, so the baseline is tracked apart).
-    let mut baseline_total = 0u64;
-    let ran_baseline = cfg.shardable(mig);
-    if ran_baseline {
-        let (stats, rounds) = converge(mig, max_rounds, family, guard);
-        serial_rounds += rounds;
-        baseline_total = stats.total();
-        serial_acc.absorb(stats);
-    }
-    let mut serial = |m: &mut Mig| -> (u64, i64) {
-        let (stats, rounds) = converge(m, max_rounds, family, guard);
-        serial_rounds += rounds;
-        let total = stats.total();
-        serial_acc.absorb(stats);
-        (total, 0)
-    };
-    let driver = if ran_baseline && !cfg.shardable(mig) {
-        // The baseline shrank the graph below the shard threshold: it is
-        // already at the serial fixpoint, so the helper's serial
-        // fallback would only re-confirm it at full-sweep cost.
-        mig::ShardStats::default()
-    } else {
-        run_scheduled_converge(mig, &engine, &cfg, &mut serial, None, true)
-    };
-    // Scheduler-step portion: everything the driver counted beyond what
-    // its own serial stages (fallback/polish) reported. The closure's
-    // return value flows verbatim into the driver total, so the
-    // difference is exact; the saturation is a reporting guard should
-    // that coupling ever change.
-    let serial_in_driver = serial_acc.total() - baseline_total;
-    debug_assert!(driver.replacements >= serial_in_driver);
-    let sched_repl = driver.replacements.saturating_sub(serial_in_driver);
-    let mut alg = AlgStats::default();
-    match family {
-        Family::Size => alg.merges = sched_repl,
-        Family::Depth => {
-            // Every kept depth commit contributed 0 (assoc) or -1
-            // (distrib) to the gain sum; the serial stages report gain 0.
-            let distrib = (-driver.gain).max(0) as u64;
-            alg.distrib_moves = distrib.min(sched_repl);
-            alg.assoc_moves = sched_repl - alg.distrib_moves;
+    let mut driver_rounds = 0usize;
+    let ((), delta) = obs::metrics::scoped(|| {
+        // Quality-floor baseline: the serial convergence loop (its
+        // sweeps are individually guarded, so it can never worsen).
+        let ran_baseline = cfg.shardable(mig);
+        if ran_baseline {
+            let (_, rounds) = converge(mig, max_rounds, family, guard);
+            serial_rounds += rounds;
         }
-    }
-    alg.sched = driver.sched;
-    alg.absorb(serial_acc);
-    (alg, driver.rounds + serial_rounds)
+        if ran_baseline && !cfg.shardable(mig) {
+            // The baseline shrank the graph below the shard threshold:
+            // it is already at the serial fixpoint, so the helper's
+            // serial fallback would only re-confirm it at full-sweep
+            // cost.
+            return;
+        }
+        let mut serial = |m: &mut Mig| -> (u64, i64) {
+            let (stats, rounds) = converge(m, max_rounds, family, guard);
+            serial_rounds += rounds;
+            (stats.total(), 0)
+        };
+        let driver = run_scheduled_converge(mig, &engine, &cfg, &mut serial, None, true);
+        driver_rounds = driver.rounds;
+    });
+    delta.publish();
+    let rounds = driver_rounds + serial_rounds;
+    obs::metrics::add(obs::Metric::AlgRounds, rounds as u64);
+    (AlgStats::from_delta(&delta), rounds)
 }
 
 /// The sharded optimization script. The script's round acceptance is
@@ -282,24 +261,26 @@ pub fn optimize_threads(mig: &mut Mig, max_rounds: usize, threads: usize) -> Alg
     if threads <= 1 {
         return crate::optimize_in_place(mig, max_rounds);
     }
-    // Quality baseline: the serial script (cheap — in-place and
-    // incremental; the never-worse-than-serial floor).
-    let mut total = crate::optimize_in_place(mig, max_rounds);
-    // Parallel refinement: the event-driven stages explore a different
-    // move schedule (scheduler steps over region proposals), driven by
-    // the same round skeleton as the serial script (shared
-    // `script_round`); a round that fails to improve the script metric
-    // is rolled back.
-    for _ in 0..max_rounds {
-        let round = crate::inplace::script_round(
-            mig,
-            &mut |m| converge_threads(m, 8, false, threads).0,
-            &mut |m| converge_threads(m, 8, true, threads).0,
-        );
-        match round {
-            Some(round) => total.absorb(round),
-            None => break,
+    let ((), delta) = obs::metrics::scoped(|| {
+        // Quality baseline: the serial script (cheap — in-place and
+        // incremental; the never-worse-than-serial floor).
+        crate::optimize_in_place(mig, max_rounds);
+        // Parallel refinement: the event-driven stages explore a
+        // different move schedule (scheduler steps over region
+        // proposals), driven by the same round skeleton as the serial
+        // script (shared `script_round`); a round that fails to improve
+        // the script metric is rolled back.
+        for _ in 0..max_rounds {
+            let round = crate::inplace::script_round(
+                mig,
+                &mut |m| converge_threads(m, 8, false, threads).0,
+                &mut |m| converge_threads(m, 8, true, threads).0,
+            );
+            if round.is_none() {
+                break;
+            }
         }
-    }
-    total
+    });
+    delta.publish();
+    AlgStats::from_delta(&delta)
 }

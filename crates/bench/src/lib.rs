@@ -12,6 +12,7 @@ use mig::Mig;
 use std::time::Instant;
 
 pub mod microbench;
+pub mod workloads;
 
 /// The variant columns of Tables III and IV, in paper order.
 pub const PAPER_VARIANTS: [Variant; 5] = [

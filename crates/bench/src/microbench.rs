@@ -72,13 +72,37 @@ fn format_ns(ns: f64) -> String {
 /// measurements, so CI runs can be diffed. Failure to write is reported
 /// but not fatal (benches still print to stdout).
 pub fn write_json(stem: &str, measurements: &[Measurement]) {
+    write_json_with_context(stem, measurements, &[]);
+}
+
+/// [`write_json`] plus a `"context"` object of `(label, value)` rows —
+/// derived rates from the metric registry (regions/sec, proposals per
+/// commit wave, cut-cache hit rate) that give the timing rows workload
+/// context.
+pub fn write_json_with_context(
+    stem: &str,
+    measurements: &[Measurement],
+    context: &[(String, f64)],
+) {
     let mut s = String::from("{\n");
     for (i, m) in measurements.iter().enumerate() {
-        let comma = if i + 1 == measurements.len() { "" } else { "," };
+        let comma = if i + 1 == measurements.len() && context.is_empty() {
+            ""
+        } else {
+            ","
+        };
         s.push_str(&format!(
             "  \"{}\": {{\"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"iters\": {}}}{}\n",
             m.name, m.mean_ns, m.min_ns, m.iters, comma
         ));
+    }
+    if !context.is_empty() {
+        s.push_str("  \"context\": {");
+        for (i, (label, value)) in context.iter().enumerate() {
+            let comma = if i + 1 == context.len() { "" } else { ", " };
+            s.push_str(&format!("\"{label}\": {value:.3}{comma}"));
+        }
+        s.push_str("}\n");
     }
     s.push_str("}\n");
     let path = format!("{}/../../BENCH_{stem}.json", env!("CARGO_MANIFEST_DIR"));

@@ -36,6 +36,7 @@ pub fn equivalent_exhaustive(a: &Mig, b: &Mig) -> bool {
         a.num_inputs() <= 16,
         "exhaustive check limited to 16 inputs"
     );
+    obs::metrics::add(obs::Metric::CecSimChecks, 1);
     a.output_truth_tables() == b.output_truth_tables()
 }
 
@@ -48,6 +49,7 @@ pub fn equivalent_exhaustive(a: &Mig, b: &Mig) -> bool {
 pub fn equivalent_random(a: &Mig, b: &Mig, words: usize, seed: u64) -> bool {
     assert_eq!(a.num_inputs(), b.num_inputs(), "input counts differ");
     assert_eq!(a.num_outputs(), b.num_outputs(), "output counts differ");
+    obs::metrics::add(obs::Metric::CecSimChecks, 1);
     let mut state = seed | 1;
     let mut next = move || {
         // SplitMix64.
@@ -119,6 +121,9 @@ fn lit_of(lits: &[Lit], s: Signal) -> Lit {
 pub fn prove_equivalent(a: &Mig, b: &Mig, conflict_budget: Option<u64>) -> CecResult {
     assert_eq!(a.num_inputs(), b.num_inputs(), "input counts differ");
     assert_eq!(a.num_outputs(), b.num_outputs(), "output counts differ");
+    let _span = obs::trace::span("cec:sat");
+    obs::metrics::add(obs::Metric::CecSatCalls, 1);
+    let _timer = obs::metrics::timer(obs::Metric::CecSatNs);
     let mut solver = Solver::new();
     solver.set_conflict_budget(conflict_budget);
     let inputs: Vec<Lit> = (0..a.num_inputs())

@@ -351,19 +351,87 @@ pub struct PassReport {
     pub runtime: f64,
     /// Extra detail (CEC verdict, mapping area, …).
     pub note: String,
+    /// Everything the pass recorded into the metric registry: applied
+    /// moves, scheduler events, profiling counters (cut refreshes, NPN
+    /// canonizations, SAT calls). The note's counts render from this.
+    pub metrics: obs::Delta,
 }
 
-/// Renders the convergence scheduler's event counters for a per-pass
-/// note, in the applied-move-count style; empty when the pass ran purely
-/// serial (nothing scheduled).
-fn sched_note(sched: &mig::SchedStats) -> String {
-    if !sched.any() {
-        return String::new();
+/// Which applied-move counters a pass renders in its note. All counts
+/// are read back from the pass's metric-registry delta, so the formerly
+/// hand-built fhash / algebraic / scheduler note paths share one
+/// renderer ([`render_note`]).
+#[derive(Clone, Copy)]
+enum NoteMoves {
+    /// `fhash` passes: replacements (serial engine + sharded commits).
+    Replacements,
+    /// `size` / `size!`: Ω.D merges.
+    Merges,
+    /// `depth` / `depth!`: Ω.A / Ω.D move counts.
+    DepthMoves,
+    /// The full algebraic script: merges and depth moves.
+    Script,
+}
+
+/// What a pass arm produced for the report note: literal text (CEC
+/// verdict, mapping area, …) or a move-count rendering spec resolved
+/// against the pass's metric delta once the pass scope closes.
+enum Note {
+    Text(String),
+    Moves {
+        /// Prefix with the converge-round count
+        /// (`fhash.converge_rounds` + `alg.converge_rounds`).
+        rounds: bool,
+        moves: NoteMoves,
+    },
+}
+
+/// Renders a pass note from the pass's metric delta: an optional rounds
+/// prefix, the applied-move counters the pass drives, and the
+/// convergence scheduler's event counters whenever any step ran.
+fn render_note(d: &obs::Delta, rounds: bool, moves: NoteMoves) -> String {
+    use obs::Metric as M;
+    use std::fmt::Write;
+    let mut note = String::new();
+    if rounds {
+        let r = d.get(M::FhRounds) + d.get(M::AlgRounds);
+        let _ = write!(note, "{r} rounds, ");
     }
-    format!(
-        "; sched: {} regions proposed, {} skipped clean, {} retried, {} commit waves",
-        sched.proposed_regions, sched.skipped_clean, sched.retried, sched.commit_waves
-    )
+    match moves {
+        NoteMoves::Replacements => {
+            let repl = d.get(M::FhReplacements) + d.get(M::ShardReplacements);
+            let _ = write!(note, "{repl} replacements");
+        }
+        NoteMoves::Merges => {
+            let _ = write!(note, "{} merges", d.get(M::AlgMerges));
+        }
+        NoteMoves::DepthMoves => {
+            let _ = write!(
+                note,
+                "{} assoc, {} distrib moves",
+                d.get(M::AlgAssocMoves),
+                d.get(M::AlgDistribMoves)
+            );
+        }
+        NoteMoves::Script => {
+            let _ = write!(
+                note,
+                "{} merges, {} assoc, {} distrib moves",
+                d.get(M::AlgMerges),
+                d.get(M::AlgAssocMoves),
+                d.get(M::AlgDistribMoves)
+            );
+        }
+    }
+    let sched = mig::SchedStats::from_delta(d);
+    if sched.any() {
+        let _ = write!(
+            note,
+            "; sched: {} regions proposed, {} skipped clean, {} retried, {} commit waves",
+            sched.proposed_regions, sched.skipped_clean, sched.retried, sched.commit_waves
+        );
+    }
+    note
 }
 
 /// A pipeline execution failure.
@@ -418,6 +486,7 @@ pub fn run_pipeline_jobs(
     default_threads: usize,
 ) -> Result<(Mig, Vec<PassReport>), PipelineError> {
     let default_threads = default_threads.max(1);
+    let _pipeline_span = obs::trace::span("pipeline");
     let mut cur = input.clone();
     let mut reports = Vec::with_capacity(passes.len());
     let mut engine: Option<fhash::FunctionalHashing> = None;
@@ -428,140 +497,165 @@ pub fn run_pipeline_jobs(
         let size_before = cur.num_gates();
         let depth_before = cur.depth();
         let t0 = Instant::now();
-        let mut note = String::new();
-        match pass {
-            Pass::Strash => {
-                cur = cur.cleanup();
-                cut_cache = None;
-            }
-            Pass::Algebraic { rounds, threads } => {
-                // Both the serial script and the scheduler-driven stages
-                // only *append* to the structural-change log (the
-                // scheduler peeks through cursors), so the carried cut
-                // set stays refreshable either way.
-                let t = threads.unwrap_or(default_threads);
-                let stats = if t <= 1 {
-                    migalg::optimize_in_place(&mut cur, *rounds)
-                } else {
-                    migalg::optimize_threads(&mut cur, *rounds, t)
-                };
-                note = format!(
-                    "{} merges, {} assoc, {} distrib moves{}",
-                    stats.merges,
-                    stats.assoc_moves,
-                    stats.distrib_moves,
-                    sched_note(&stats.sched)
-                );
-            }
-            Pass::SizeRewrite => {
-                let stats = migalg::size_rewrite_in_place(&mut cur);
-                note = format!("{} merges", stats.merges);
-            }
-            Pass::DepthRewrite => {
-                let stats = migalg::depth_rewrite_in_place(&mut cur);
-                note = format!(
-                    "{} assoc, {} distrib moves",
-                    stats.assoc_moves, stats.distrib_moves
-                );
-            }
-            Pass::SizeConverge { threads } => {
-                let t = threads.unwrap_or(default_threads);
-                let (stats, rounds) = migalg::size_converge(&mut cur, 50, t);
-                note = format!(
-                    "{rounds} rounds, {} merges{}",
-                    stats.merges,
-                    sched_note(&stats.sched)
-                );
-            }
-            Pass::DepthConverge { threads } => {
-                let t = threads.unwrap_or(default_threads);
-                let (stats, rounds) = migalg::depth_converge(&mut cur, 50, t);
-                note = format!(
-                    "{rounds} rounds, {} assoc, {} distrib moves{}",
-                    stats.assoc_moves,
-                    stats.distrib_moves,
-                    sched_note(&stats.sched)
-                );
-            }
-            Pass::Fhash { variant, threads } => {
-                let e = engine.get_or_insert_with(fhash::FunctionalHashing::with_default_database);
-                let t = threads.unwrap_or(default_threads);
-                let stats = if t <= 1 {
-                    let mut cs = cut_cache
-                        .take()
-                        .unwrap_or_else(|| cuts::enumerate_cuts(&cur, &e.config().cut_config));
-                    let stats = e.run_in_place_with_cuts(&mut cur, *variant, &mut cs);
-                    cut_cache = Some(cs);
-                    stats
-                } else {
-                    // The scheduler peeks the dirty log through cursors
-                    // without draining it, so the carried cut set's
-                    // invalidation feed survives the sharded pass (it
-                    // re-syncs on its next refresh).
-                    e.run_sharded(&mut cur, *variant, t)
-                };
-                note = format!(
-                    "{} replacements{}",
-                    stats.replacements,
-                    sched_note(&stats.sched)
-                );
-            }
-            Pass::FhashConverge { variant, threads } => {
-                let e = engine.get_or_insert_with(fhash::FunctionalHashing::with_default_database);
-                let t = threads.unwrap_or(default_threads);
-                // Like the sharded pass: nothing in the converge driver
-                // drains the log, so the carried set stays sound.
-                let (stats, rounds) = e.run_converge_threads(&mut cur, *variant, 50, t);
-                note = format!(
-                    "{rounds} rounds, {} replacements{}",
-                    stats.replacements,
-                    sched_note(&stats.sched)
-                );
-            }
-            Pass::Balance => {
-                cur = aig::to_mig(&aig::balance(&aig::from_mig(&cur)));
-                cut_cache = None;
-            }
-            Pass::RewriteAig => {
-                let rewritten = aig::AigRewriter::default().rewrite(&aig::from_mig(&cur));
-                cur = aig::to_mig(&rewritten);
-                cut_cache = None;
-            }
-            Pass::Cec { budget } => {
-                // Fast necessary check first, then the SAT proof.
-                if !cec::equivalent_random(input, &cur, 16, 0x5EED) {
-                    // Random simulation found a mismatch; get a concrete
-                    // counterexample from the SAT miter.
-                    match cec::prove_equivalent(input, &cur, None) {
+        let _pass_span = obs::trace::span_dyn(|| format!("pass:{pass}"));
+        // Everything the pass records lands in this scope — except
+        // profiling counters recorded on scheduler worker threads, which
+        // bypass the (thread-local) scope and go straight to the global
+        // registry; the snapshot diff folds those back in.
+        let global_before = obs::metrics::global_snapshot();
+        let (outcome, mut delta) = obs::metrics::scoped(|| -> Result<Note, PipelineError> {
+            Ok(match pass {
+                Pass::Strash => {
+                    cur = cur.cleanup();
+                    cut_cache = None;
+                    Note::Text(String::new())
+                }
+                Pass::Algebraic { rounds, threads } => {
+                    // Both the serial script and the scheduler-driven
+                    // stages only *append* to the structural-change log
+                    // (the scheduler peeks through cursors), so the
+                    // carried cut set stays refreshable either way.
+                    let t = threads.unwrap_or(default_threads);
+                    if t <= 1 {
+                        migalg::optimize_in_place(&mut cur, *rounds);
+                    } else {
+                        migalg::optimize_threads(&mut cur, *rounds, t);
+                    }
+                    Note::Moves {
+                        rounds: false,
+                        moves: NoteMoves::Script,
+                    }
+                }
+                Pass::SizeRewrite => {
+                    migalg::size_rewrite_in_place(&mut cur);
+                    Note::Moves {
+                        rounds: false,
+                        moves: NoteMoves::Merges,
+                    }
+                }
+                Pass::DepthRewrite => {
+                    migalg::depth_rewrite_in_place(&mut cur);
+                    Note::Moves {
+                        rounds: false,
+                        moves: NoteMoves::DepthMoves,
+                    }
+                }
+                Pass::SizeConverge { threads } => {
+                    let t = threads.unwrap_or(default_threads);
+                    migalg::size_converge(&mut cur, 50, t);
+                    Note::Moves {
+                        rounds: true,
+                        moves: NoteMoves::Merges,
+                    }
+                }
+                Pass::DepthConverge { threads } => {
+                    let t = threads.unwrap_or(default_threads);
+                    migalg::depth_converge(&mut cur, 50, t);
+                    Note::Moves {
+                        rounds: true,
+                        moves: NoteMoves::DepthMoves,
+                    }
+                }
+                Pass::Fhash { variant, threads } => {
+                    let e =
+                        engine.get_or_insert_with(fhash::FunctionalHashing::with_default_database);
+                    let t = threads.unwrap_or(default_threads);
+                    if t <= 1 {
+                        let mut cs = cut_cache
+                            .take()
+                            .unwrap_or_else(|| cuts::enumerate_cuts(&cur, &e.config().cut_config));
+                        e.run_in_place_with_cuts(&mut cur, *variant, &mut cs);
+                        cut_cache = Some(cs);
+                    } else {
+                        // The scheduler peeks the dirty log through
+                        // cursors without draining it, so the carried cut
+                        // set's invalidation feed survives the sharded
+                        // pass (it re-syncs on its next refresh).
+                        e.run_sharded(&mut cur, *variant, t);
+                    }
+                    Note::Moves {
+                        rounds: false,
+                        moves: NoteMoves::Replacements,
+                    }
+                }
+                Pass::FhashConverge { variant, threads } => {
+                    let e =
+                        engine.get_or_insert_with(fhash::FunctionalHashing::with_default_database);
+                    let t = threads.unwrap_or(default_threads);
+                    // Like the sharded pass: nothing in the converge
+                    // driver drains the log, so the carried set stays
+                    // sound.
+                    e.run_converge_threads(&mut cur, *variant, 50, t);
+                    Note::Moves {
+                        rounds: true,
+                        moves: NoteMoves::Replacements,
+                    }
+                }
+                Pass::Balance => {
+                    cur = aig::to_mig(&aig::balance(&aig::from_mig(&cur)));
+                    cut_cache = None;
+                    Note::Text(String::new())
+                }
+                Pass::RewriteAig => {
+                    let rewritten = aig::AigRewriter::default().rewrite(&aig::from_mig(&cur));
+                    cur = aig::to_mig(&rewritten);
+                    cut_cache = None;
+                    Note::Text(String::new())
+                }
+                Pass::Cec { budget } => {
+                    // Fast necessary check first, then the SAT proof.
+                    if !cec::equivalent_random(input, &cur, 16, 0x5EED) {
+                        // Random simulation found a mismatch; get a
+                        // concrete counterexample from the SAT miter.
+                        match cec::prove_equivalent(input, &cur, None) {
+                            cec::CecResult::Counterexample(cex) => {
+                                return Err(PipelineError::NotEquivalent(cex));
+                            }
+                            _ => unreachable!("random mismatch implies SAT counterexample"),
+                        }
+                    }
+                    match cec::prove_equivalent(input, &cur, *budget) {
+                        cec::CecResult::Equivalent => {
+                            Note::Text("equivalent (SAT proof)".to_string())
+                        }
+                        cec::CecResult::Unknown => Note::Text(
+                            "UNKNOWN: conflict budget exhausted (random simulation passed)"
+                                .to_string(),
+                        ),
                         cec::CecResult::Counterexample(cex) => {
                             return Err(PipelineError::NotEquivalent(cex));
                         }
-                        _ => unreachable!("random mismatch implies SAT counterexample"),
                     }
                 }
-                match cec::prove_equivalent(input, &cur, *budget) {
-                    cec::CecResult::Equivalent => note = "equivalent (SAT proof)".to_string(),
-                    cec::CecResult::Unknown => {
-                        note = "UNKNOWN: conflict budget exhausted (random simulation passed)"
-                            .to_string();
-                    }
-                    cec::CecResult::Counterexample(cex) => {
-                        return Err(PipelineError::NotEquivalent(cex));
-                    }
+                Pass::Map { k } => {
+                    let cfg = techmap::MapConfig {
+                        lut_size: *k,
+                        ..techmap::MapConfig::default()
+                    };
+                    let mapping = techmap::map_luts(&cur, &cfg);
+                    Note::Text(format!(
+                        "{}-LUT area {} depth {}",
+                        k, mapping.area, mapping.depth
+                    ))
                 }
-            }
-            Pass::Map { k } => {
-                let cfg = techmap::MapConfig {
-                    lut_size: *k,
-                    ..techmap::MapConfig::default()
-                };
-                let mapping = techmap::map_luts(&cur, &cfg);
-                note = format!("{}-LUT area {} depth {}", k, mapping.area, mapping.depth);
-            }
-            Pass::Stats => {
-                note = format!("i/o = {}/{}", cur.num_inputs(), cur.num_outputs());
-            }
-        }
+                Pass::Stats => {
+                    Note::Text(format!("i/o = {}/{}", cur.num_inputs(), cur.num_outputs()))
+                }
+            })
+        });
+        // Worker threads record straight into the global registry (they
+        // run outside the main thread's scope stack); capture that diff
+        // before publishing the scoped part outward, then fold it into
+        // the report's copy only. Publishing first and snapshotting
+        // after (or merging before publishing) would push one half into
+        // the process totals twice (`migopt --metrics` double-counts).
+        let worker_records = obs::metrics::global_snapshot().since(&global_before);
+        delta.publish();
+        delta.merge(&worker_records);
+        let note = match outcome? {
+            Note::Text(s) => s,
+            Note::Moves { rounds, moves } => render_note(&delta, rounds, moves),
+        };
         // Bound the structural-change log between passes: at a pass
         // boundary the carried cut set is the only outstanding log
         // consumer, so everything before its cursor (or the whole log,
@@ -580,6 +674,7 @@ pub fn run_pipeline_jobs(
             depth_after: cur.depth(),
             runtime: t0.elapsed().as_secs_f64(),
             note,
+            metrics: delta,
         });
     }
     Ok((cur, reports))

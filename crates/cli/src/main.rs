@@ -5,10 +5,17 @@
 //! migopt -i adder.aig -p "strash; algebraic; fhash:TFD; fhash:B; cec" -o adder_opt.blif
 //! ```
 //!
+//! Observability surface: `--trace <file>` records the pipeline's span
+//! tree (`.jsonl` event stream or Chrome trace-event JSON, by
+//! extension), `--metrics` prints the run's metric-registry totals, and
+//! `--json-report <file>` writes the per-pass reports (including each
+//! pass's nonzero metrics) as a JSON document.
+//!
 //! Exit codes: 0 success, 1 usage/parse/file errors, 2 equivalence
 //! failure (the `cec` pass found a counterexample).
 
 use cli::{parse_pipeline, run_pipeline_jobs, PassReport};
+use mig::Mig;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -16,6 +23,7 @@ migopt: MIG optimization pipeline driver
 
 USAGE:
     migopt -i <input> [-p <pipeline>] [-o <output>] [-j <threads>] [--quiet]
+           [--trace <file>] [--metrics] [--json-report <file>]
 
 OPTIONS:
     -i, --input <file>     circuit to read (.aag, .aig or .blif)
@@ -26,6 +34,11 @@ OPTIONS:
     -j, --threads <N>      default worker threads for fhash and algebraic
                            passes without an explicit @N suffix (default: 1)
     -q, --quiet            suppress per-pass reporting
+        --trace <file>     record spans; .jsonl gets the JSONL event
+                           stream, anything else Chrome trace-event JSON
+                           (open in Perfetto / chrome://tracing)
+        --metrics          print the metric-registry totals after the run
+        --json-report <file>  write per-pass reports as JSON
     -h, --help             show this help
 
 PASSES:
@@ -41,6 +54,9 @@ struct Args {
     passes: String,
     threads: usize,
     quiet: bool,
+    trace: Option<String>,
+    metrics: bool,
+    json_report: Option<String>,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -49,6 +65,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut passes = None;
     let mut threads = 1usize;
     let mut quiet = false;
+    let mut trace = None;
+    let mut metrics = false;
+    let mut json_report = None;
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -83,6 +102,21 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 );
             }
             "-q" | "--quiet" => quiet = true,
+            "--trace" => {
+                trace = Some(
+                    it.next()
+                        .ok_or_else(|| format!("{arg} needs a file argument"))?
+                        .clone(),
+                );
+            }
+            "--metrics" => metrics = true,
+            "--json-report" => {
+                json_report = Some(
+                    it.next()
+                        .ok_or_else(|| format!("{arg} needs a file argument"))?
+                        .clone(),
+                );
+            }
             "-h" | "--help" => return Err(String::new()),
             other => return Err(format!("unknown argument {other:?}")),
         }
@@ -93,6 +127,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         passes: passes.unwrap_or_else(|| "stats".to_string()),
         threads,
         quiet,
+        trace,
+        metrics,
+        json_report,
     })
 }
 
@@ -112,6 +149,81 @@ fn print_report(r: &PassReport) {
         r.runtime * 1e3,
         note
     );
+}
+
+/// Renders the per-pass reports (plus the final circuit shape) as one
+/// JSON document. Each pass carries its nonzero metric values keyed by
+/// registry name; duration histograms expand to `.count` / `.sum_ns`.
+/// The emitter is hand-rolled against the same grammar `obs::json`
+/// parses, so reports round-trip without a serde dependency.
+fn json_report(input_path: &str, reports: &[PassReport], result: &Mig) -> String {
+    use obs::json::escape;
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = write!(out, "{{\"input\":\"{}\",\"passes\":[", escape(input_path));
+    for (i, r) in reports.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"pass\":\"{}\",\"size_before\":{},\"size_after\":{},\
+             \"depth_before\":{},\"depth_after\":{},\"runtime_ns\":{},\
+             \"note\":\"{}\",\"metrics\":{{",
+            escape(&r.pass),
+            r.size_before,
+            r.size_after,
+            r.depth_before,
+            r.depth_after,
+            (r.runtime * 1e9) as u64,
+            escape(&r.note),
+        );
+        let mut first = true;
+        let mut emit = |out: &mut String, name: &str, value: i64| {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\"{name}\":{value}");
+        };
+        for &m in obs::metrics::ALL {
+            let def = m.def();
+            match def.kind {
+                obs::Kind::Counter => {
+                    let v = r.metrics.get(m);
+                    if v != 0 {
+                        emit(&mut out, def.name, v as i64);
+                    }
+                }
+                obs::Kind::Gauge => {
+                    let v = r.metrics.geti(m);
+                    if v != 0 {
+                        emit(&mut out, def.name, v);
+                    }
+                }
+                obs::Kind::DurationNs => {
+                    let n = r.metrics.hist_count(m);
+                    if n != 0 {
+                        emit(&mut out, &format!("{}.count", def.name), n as i64);
+                        emit(
+                            &mut out,
+                            &format!("{}.sum_ns", def.name),
+                            r.metrics.hist_sum_ns(m) as i64,
+                        );
+                    }
+                }
+            }
+        }
+        out.push_str("}}");
+    }
+    let _ = write!(
+        out,
+        "],\"size\":{},\"depth\":{}}}",
+        result.num_gates(),
+        result.depth()
+    );
+    out.push('\n');
+    out
 }
 
 fn main() -> ExitCode {
@@ -152,6 +264,10 @@ fn main() -> ExitCode {
             input.depth()
         );
     }
+    if args.trace.is_some() {
+        obs::trace::start();
+    }
+    let run_start = obs::metrics::global_snapshot();
     let (result, reports) = match run_pipeline_jobs(&input, &passes, args.threads) {
         Ok(r) => r,
         Err(e) => {
@@ -159,9 +275,31 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let run_delta = obs::metrics::global_snapshot().since(&run_start);
+    if let Some(path) = &args.trace {
+        let events = obs::trace::finish();
+        if let Err(e) =
+            obs::export::write_trace(std::path::Path::new(path), &events, Some(&run_delta))
+        {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        if !args.quiet {
+            println!("trace written to {path} ({} events)", events.len());
+        }
+    }
     if !args.quiet {
         for r in &reports {
             print_report(r);
+        }
+    }
+    if args.metrics {
+        print!("{}", obs::metrics::render_table(&run_delta));
+    }
+    if let Some(path) = &args.json_report {
+        if let Err(e) = std::fs::write(path, json_report(&args.input, &reports, &result)) {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::FAILURE;
         }
     }
     if let Some(out) = &args.output {

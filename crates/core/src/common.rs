@@ -44,6 +44,7 @@ impl Replacement {
             .truth_table_full()
             .expand(4, &(0..m).collect::<Vec<_>>())
             .as_u16();
+        obs::metrics::add(obs::Metric::NpnCanonizations, 1);
         let (rep, t) = canon.canonize(tt4);
         let entry = db.get(rep)?;
         let inv = t.inverse();
@@ -135,6 +136,7 @@ pub(crate) fn select_best_cut(
     level: impl Fn(NodeId) -> u32,
 ) -> Option<ScoredCut> {
     let mut best: Option<(ScoredCut, u32)> = None;
+    obs::metrics::add(obs::Metric::CutsScored, cut_list.len() as u64);
     for cut in cut_list {
         if is_trivial(cut, v) {
             continue;

@@ -19,9 +19,10 @@
 
 use crate::bottomup::{candidate_cuts, gate_candidates, Build, Candidate};
 use crate::common::select_best_cut;
-use crate::{FhStats, FunctionalHashing};
+use crate::FunctionalHashing;
 use cuts::CutSet;
 use mig::{FfrPartition, Mig, NodeId, Signal};
+use obs::Metric;
 use std::collections::HashSet;
 
 /// Algorithm 1, in place: walk from the outputs, replace the best legal
@@ -39,8 +40,7 @@ pub(crate) fn top_down(
     cuts: &mut CutSet,
     depth_preserving: bool,
     use_ffr: bool,
-) -> FhStats {
-    let mut stats = FhStats::default();
+) {
     cuts.refresh(mig);
     let ffr = use_ffr.then(|| FfrPartition::compute(mig));
     let mut visited: HashSet<NodeId> = HashSet::new();
@@ -79,8 +79,8 @@ pub(crate) fn top_down(
                     Signal::new(sel.cut.leaves()[pos], false)
                 });
             if new_sig.node() != v && mig.replace_node(v, new_sig) {
-                stats.replacements += 1;
-                stats.estimated_gain += i64::from(sel.gain);
+                obs::metrics::add(Metric::FhReplacements, 1);
+                obs::metrics::addi(Metric::FhGain, i64::from(sel.gain));
                 // Skip the replaced cone entirely; continue below the cut.
                 for &l in sel.cut.leaves().iter().rev() {
                     work.push(l);
@@ -101,7 +101,6 @@ pub(crate) fn top_down(
         }
     }
     mig.sweep();
-    stats
 }
 
 /// Algorithm 2, in place: candidates are instantiated directly into the
@@ -113,8 +112,7 @@ pub(crate) fn bottom_up(
     mig: &mut Mig,
     cuts: &mut CutSet,
     use_ffr: bool,
-) -> FhStats {
-    let mut stats = FhStats::default();
+) {
     cuts.refresh(mig);
     let ffr = use_ffr.then(|| FfrPartition::compute(mig));
     let refs: Vec<f64> = mig
@@ -177,9 +175,8 @@ pub(crate) fn bottom_up(
         let s = best.sig.complement_if(o.is_complemented());
         if s != o {
             mig.set_output(i, s);
-            stats.replacements += 1;
+            obs::metrics::add(Metric::FhReplacements, 1);
         }
     }
     mig.sweep();
-    stats
 }

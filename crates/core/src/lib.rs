@@ -157,6 +157,22 @@ pub struct FhStats {
     pub sched: mig::SchedStats,
 }
 
+impl FhStats {
+    /// Reconstructs the legacy stats struct from a metric-registry delta.
+    /// Serial engines record `fhash.*`, the scheduler records `shard.*`
+    /// for committed proposals (suppressed when a whole-graph hook
+    /// already recorded through the serial path), so summing both views
+    /// counts every committed rewrite exactly once.
+    pub fn from_delta(d: &obs::Delta) -> FhStats {
+        FhStats {
+            replacements: d.get(obs::Metric::FhReplacements)
+                + d.get(obs::Metric::ShardReplacements),
+            estimated_gain: d.geti(obs::Metric::FhGain) + d.geti(obs::Metric::ShardGain),
+            sched: mig::SchedStats::from_delta(d),
+        }
+    }
+}
+
 /// The functional-hashing optimizer (paper §IV).
 ///
 /// Owns the NPN database and canonizer so repeated [`FunctionalHashing::run`]
@@ -251,14 +267,20 @@ impl FunctionalHashing {
         variant: Variant,
         cuts: &mut CutSet,
     ) -> FhStats {
-        match variant {
+        // The engines record into the metric registry (the single source
+        // of truth); the legacy stats struct is reconstructed from the
+        // pass's scope delta, which is then published to the caller's
+        // scope so enclosing rounds and pipeline passes see it too.
+        let ((), delta) = obs::metrics::scoped(|| match variant {
             Variant::TopDown => inplace::top_down(self, mig, cuts, false, false),
             Variant::TopDownDepth => inplace::top_down(self, mig, cuts, true, false),
             Variant::TopDownFfr => inplace::top_down(self, mig, cuts, false, true),
             Variant::TopDownFfrDepth => inplace::top_down(self, mig, cuts, true, true),
             Variant::BottomUp => inplace::bottom_up(self, mig, cuts, false),
             Variant::BottomUpFfr => inplace::bottom_up(self, mig, cuts, true),
-        }
+        });
+        delta.publish();
+        FhStats::from_delta(&delta)
     }
 
     /// Optimizes `mig` with the chosen variant on `threads` worker
@@ -336,26 +358,33 @@ impl FunctionalHashing {
                 | Variant::TopDownFfr
                 | Variant::TopDownFfrDepth
         );
-        let mut total = FhStats::default();
         let mut rounds = 0;
-        while rounds < max_rounds {
-            let before_size = mig.num_gates();
-            let snapshot = (!monotone).then(|| mig.clone());
-            let stats = self.run_in_place(mig, variant);
-            rounds += 1;
-            if stats.replacements == 0 {
-                break;
-            }
-            if mig.num_gates() >= before_size {
-                if let Some(snap) = snapshot {
-                    *mig = snap;
+        let ((), delta) = obs::metrics::scoped(|| {
+            while rounds < max_rounds {
+                let before_size = mig.num_gates();
+                let snapshot = (!monotone).then(|| mig.clone());
+                // Each round runs in its own metric scope: a kept round
+                // publishes everything, a terminal round (no-op or rolled
+                // back) keeps only its event history — outcome counters
+                // vanish with the undone work, profiling totals stay.
+                let (stats, round) = obs::metrics::scoped(|| self.run_in_place(mig, variant));
+                rounds += 1;
+                if stats.replacements == 0 {
+                    round.publish_history();
+                    break;
                 }
-                break;
+                if mig.num_gates() >= before_size {
+                    if let Some(snap) = snapshot {
+                        *mig = snap;
+                    }
+                    round.publish_history();
+                    break;
+                }
+                round.publish();
             }
-            total.replacements += stats.replacements;
-            total.estimated_gain += stats.estimated_gain;
-        }
-        (total, rounds)
+        });
+        delta.publish();
+        (FhStats::from_delta(&delta), rounds)
     }
 
     /// [`FunctionalHashing::run_converge`] with a worker-thread count:
@@ -377,11 +406,14 @@ impl FunctionalHashing {
         threads: usize,
     ) -> (FhStats, usize) {
         let threads = threads.max(1);
-        if !ShardConfig::new(threads).shardable(mig) {
-            return self.run_converge_serial(mig, variant, max_rounds);
-        }
-        let stats = shard::run_sharded(self, mig, variant, threads, max_rounds);
-        let rounds = (stats.sched.steps as usize).max(1);
+        let (stats, rounds) = if !ShardConfig::new(threads).shardable(mig) {
+            self.run_converge_serial(mig, variant, max_rounds)
+        } else {
+            let stats = shard::run_sharded(self, mig, variant, threads, max_rounds);
+            let rounds = (stats.sched.steps as usize).max(1);
+            (stats, rounds)
+        };
+        obs::metrics::add(obs::Metric::FhRounds, rounds as u64);
         (stats, rounds)
     }
 

@@ -323,8 +323,11 @@ impl ProposeEngine for RegionEngine<'_> {
         // keeps whatever structure it cannot improve, so unchanged logic
         // re-instantiates onto the original live nodes through
         // structural hashing and the reroute degenerates to a no-op.
+        // The run is speculative (the proposal may lose the commit
+        // conflict check or never shrink), so its metrics are muted; the
+        // scheduler records the committed outcome.
         let mut opt = sub;
-        self.engine.run_in_place(&mut opt, self.variant);
+        obs::metrics::muted(|| self.engine.run_in_place(&mut opt, self.variant));
         let gain = view.members.len() as i32 - opt.num_gates() as i32;
         if gain < 1 {
             return Vec::new();
@@ -452,44 +455,48 @@ pub(crate) fn run_sharded(
         let (s, _) = engine.run_converge_serial(m, variant, max_rounds);
         (s.replacements, s.estimated_gain)
     };
-    let driver_stats = if bottom_up {
-        // The bottom-up candidate DP is global: candidate lists flow
-        // across every fanout boundary, which no disjoint partition can
-        // reproduce (regional runs come out a few gates short on
-        // structured arithmetic). The shared skeleton therefore runs one
-        // guarded serial pass as the quality baseline, the scheduler as
-        // shrink-only refinement, and a serial polish over the (much
-        // smaller) quiescent graph to recover combinations the region
-        // boundaries hid — never worse than the serial engine on any
-        // input.
-        cfg.guard = Some(gates_metric);
-        let mut baseline = |m: &mut Mig| -> (u64, i64) {
-            let s = engine.run_in_place(m, variant);
-            (s.replacements, s.estimated_gain)
-        };
-        run_scheduled_converge(
-            mig,
-            &RegionEngine { engine, variant },
-            &cfg,
-            &mut serial,
-            Some(&mut baseline),
-            true,
-        )
-    } else {
-        let cut_engine = CutEngine {
-            engine,
-            depth_preserving,
-            use_ffr,
-            carried: Mutex::new(HashMap::new()),
-        };
-        run_scheduled_converge(mig, &cut_engine, &cfg, &mut serial, None, false)
-    };
-    mig.sweep();
-    FhStats {
-        replacements: driver_stats.replacements,
-        estimated_gain: driver_stats.gain,
-        sched: driver_stats.sched,
-    }
+    // The drivers and the serial engines record into the metric
+    // registry; the stats struct is reconstructed from this scope's
+    // delta (`fhash.*` from serial/hooked runs plus `shard.*` from
+    // scheduler commits — disjoint by construction), then republished so
+    // enclosing pipeline scopes see the totals too.
+    let ((), delta) = obs::metrics::scoped(|| {
+        if bottom_up {
+            // The bottom-up candidate DP is global: candidate lists flow
+            // across every fanout boundary, which no disjoint partition can
+            // reproduce (regional runs come out a few gates short on
+            // structured arithmetic). The shared skeleton therefore runs one
+            // guarded serial pass as the quality baseline, the scheduler as
+            // shrink-only refinement, and a serial polish over the (much
+            // smaller) quiescent graph to recover combinations the region
+            // boundaries hid — never worse than the serial engine on any
+            // input.
+            cfg.guard = Some(gates_metric);
+            let mut baseline = |m: &mut Mig| -> (u64, i64) {
+                let s = engine.run_in_place(m, variant);
+                (s.replacements, s.estimated_gain)
+            };
+            run_scheduled_converge(
+                mig,
+                &RegionEngine { engine, variant },
+                &cfg,
+                &mut serial,
+                Some(&mut baseline),
+                true,
+            );
+        } else {
+            let cut_engine = CutEngine {
+                engine,
+                depth_preserving,
+                use_ffr,
+                carried: Mutex::new(HashMap::new()),
+            };
+            run_scheduled_converge(mig, &cut_engine, &cfg, &mut serial, None, false);
+        }
+        mig.sweep();
+    });
+    delta.publish();
+    FhStats::from_delta(&delta)
 }
 
 #[cfg(test)]

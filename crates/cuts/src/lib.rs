@@ -222,6 +222,13 @@ impl CutSet {
             self.cuts.resize(n, Vec::new());
             self.valid.resize(n, false);
         }
+        // Time only refreshes with pending dirt: the common no-op call
+        // (clean log, one slice check) must stay free of clock reads.
+        let pending = !mig.dirty_since(self.cursor).is_some_and(|d| d.is_empty());
+        let _timer = pending.then(|| {
+            obs::metrics::add(obs::Metric::CutsRefreshes, 1);
+            obs::metrics::timer(obs::Metric::CutsRefreshNs)
+        });
         let mut stack: Vec<NodeId> = match mig.dirty_since(self.cursor) {
             Some(dirty) => dirty.to_vec(),
             None => {
@@ -251,7 +258,10 @@ impl CutSet {
     /// The cuts of `n`, recomputing the list (and, recursively, any stale
     /// fanin lists) if a rewrite invalidated it.
     pub fn of_updated(&mut self, mig: &Mig, n: NodeId) -> &[Cut] {
-        if !self.valid[n as usize] {
+        if self.valid[n as usize] {
+            obs::metrics::add(obs::Metric::CutsCacheHits, 1);
+        } else {
+            obs::metrics::add(obs::Metric::CutsCacheMisses, 1);
             let mut stack = vec![n];
             while let Some(&v) = stack.last() {
                 if self.valid[v as usize] {
@@ -432,7 +442,10 @@ impl LocalCuts {
     /// fanin lists above the horizon.
     pub fn of(&mut self, mig: &Mig, n: NodeId) -> &[Cut] {
         self.ensure_len(mig.num_nodes());
-        if self.lists[n as usize].is_none() {
+        if self.lists[n as usize].is_some() {
+            obs::metrics::add(obs::Metric::CutsCacheHits, 1);
+        } else {
+            obs::metrics::add(obs::Metric::CutsCacheMisses, 1);
             let mut stack = vec![n];
             while let Some(&v) = stack.last() {
                 if self.lists[v as usize].is_some() {

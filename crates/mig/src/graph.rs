@@ -672,6 +672,7 @@ impl Mig {
         if new.node() == old || self.depends_on(new.node(), old) {
             return false;
         }
+        let _span = obs::trace::span("replace_node");
         let mut subst: Vec<(NodeId, Signal)> = vec![(old, new)];
         self.fanouts[new.node() as usize].push(GUARD);
         while let Some((o, n)) = subst.pop() {

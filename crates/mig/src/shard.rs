@@ -190,13 +190,17 @@ pub struct ShardConfig {
 
 impl ShardConfig {
     /// Default tuning for `threads` workers (4 regions per thread,
-    /// 24-gate region floor, 64-step backstop, no guard, 20% drift
-    /// threshold).
+    /// 12-gate region floor, 64-step backstop, no guard, 20% drift
+    /// threshold). The floor keeps a region wide enough for a full
+    /// 4-feasible cut cone plus fanout context while letting graphs in
+    /// the tens of gates still split into a handful of shards — small
+    /// benchmarks keep exercising (and tracing) the parallel propose
+    /// phase instead of degenerating to the whole-graph hook.
     pub fn new(threads: usize) -> Self {
         ShardConfig {
             threads: threads.max(1),
             regions_per_thread: 4,
-            min_region_size: 24,
+            min_region_size: 12,
             max_rounds: 64,
             guard: None,
             repartition_pct: 20,
@@ -277,6 +281,19 @@ impl SchedStats {
     pub fn any(&self) -> bool {
         *self != SchedStats::default()
     }
+
+    /// Reconstructs the counters from a metric-registry delta — the
+    /// registry is the source of truth, this struct is the report view.
+    pub fn from_delta(d: &obs::Delta) -> Self {
+        SchedStats {
+            steps: d.get(obs::Metric::SchedSteps),
+            proposed_regions: d.get(obs::Metric::SchedProposedRegions),
+            skipped_clean: d.get(obs::Metric::SchedSkippedClean),
+            retried: d.get(obs::Metric::SchedRetried),
+            commit_waves: d.get(obs::Metric::SchedCommitWaves),
+            repartitions: d.get(obs::Metric::SchedRepartitions),
+        }
+    }
 }
 
 /// Accumulated statistics of a [`run_scheduler`] call.
@@ -306,6 +323,21 @@ impl ShardStats {
         self.replacements += other.replacements;
         self.gain += other.gain;
         self.sched.absorb(other.sched);
+    }
+
+    /// Reconstructs the scheduler-attributed statistics from a
+    /// metric-registry delta. Counters a whole-graph serial hook records
+    /// under its own engine metrics (`fhash.*` / `alg.*`) are *not*
+    /// folded in here; engine-level reports sum both families.
+    pub fn from_delta(d: &obs::Delta) -> Self {
+        ShardStats {
+            rounds: d.get(obs::Metric::SchedSteps) as usize,
+            committed: d.get(obs::Metric::ShardCommitted),
+            conflicted: d.get(obs::Metric::ShardConflicted),
+            replacements: d.get(obs::Metric::ShardReplacements),
+            gain: d.geti(obs::Metric::ShardGain),
+            sched: SchedStats::from_delta(d),
+        }
     }
 }
 
@@ -378,13 +410,28 @@ impl Scheduler {
 /// *peeked* through cursors, never drained, so carried analyses outside
 /// the scheduler (a pipeline's cut set) keep their invalidation feed.
 pub fn run_scheduler<E: ProposeEngine>(mig: &mut Mig, engine: &E, cfg: &ShardConfig) -> ShardStats {
-    let mut stats = ShardStats::default();
+    let (_, delta) = obs::metrics::scoped(|| run_scheduler_steps(mig, engine, cfg));
+    delta.publish();
+    ShardStats::from_delta(&delta)
+}
+
+/// The scheduler loop proper. Every counter goes to the metric registry
+/// ([`run_scheduler`] reconstructs the [`ShardStats`] report from its
+/// scope delta); each step runs inside a nested metric scope so a guard
+/// rollback drops the undone step's outcome counters while
+/// [`obs::Delta::publish_history`] keeps its event history — uniformly
+/// for every engine.
+fn run_scheduler_steps<E: ProposeEngine>(mig: &mut Mig, engine: &E, cfg: &ShardConfig) {
+    use obs::metrics::{add, addi};
+    use obs::Metric;
     mig.sweep();
     let mut sched = Scheduler::new();
     let mut current: Option<(RegionPartition, E::RoundState)> = None;
     let mut first = true;
     let mut force_partition = false;
-    while stats.rounds < cfg.max_rounds {
+    let mut rounds = 0usize;
+    while rounds < cfg.max_rounds {
+        let _step_span = obs::trace::span_dyn(|| format!("sched:step{rounds}"));
         // (Re-)partition when there is none, the engine demands a fresh
         // one, the previous step asked for one, or drift/staleness
         // crossed the threshold.
@@ -402,9 +449,11 @@ pub fn run_scheduler<E: ProposeEngine>(mig: &mut Mig, engine: &E, cfg: &ShardCon
             }
         }
         if need_partition {
+            let _span = obs::trace::span("sched:partition");
+            let _timer = obs::metrics::timer(Metric::SchedRepartitionNs);
             current = Some(engine.partition(mig, cfg.max_regions(mig)));
             sched.gates_at_partition = mig.num_gates();
-            stats.sched.repartitions += 1;
+            add(Metric::SchedRepartitions, 1);
             if !first {
                 // Remap the pending frontier onto the fresh partition
                 // (dead slots simply drop out of the queue).
@@ -442,15 +491,21 @@ pub fn run_scheduler<E: ProposeEngine>(mig: &mut Mig, engine: &E, cfg: &ShardCon
             .frontier
             .retain(|&(n, _)| mig.is_gate(n) && partition.region_of_live(mig, n).is_none());
         if !first {
-            stats.sched.skipped_clean += nonempty.saturating_sub(active.len()) as u64;
+            add(
+                Metric::SchedSkippedClean,
+                nonempty.saturating_sub(active.len()) as u64,
+            );
         }
         first = false;
-        stats.sched.proposed_regions += active.len() as u64;
+        add(Metric::SchedProposedRegions, active.len() as u64);
         let before_metric = cfg.guard.map(|metric| metric(mig));
         let snapshot = before_metric.is_some().then(|| mig.clone());
         let mut changed: Vec<NodeId> = Vec::new();
         let whole_graph = partition.num_regions() <= 1;
-        let outcome = {
+        // The step body runs in its own metric scope: a rolled-back
+        // step's engine-recorded outcome counters must vanish with the
+        // undone work, while its event history survives.
+        let ((outcome, hooked), step_delta) = obs::metrics::scoped(|| {
             let hook = if whole_graph {
                 let cursor = mig.dirty_cursor();
                 engine.whole_graph_round(mig).map(|(replacements, gain)| {
@@ -471,28 +526,33 @@ pub fn run_scheduler<E: ProposeEngine>(mig: &mut Mig, engine: &E, cfg: &ShardCon
                 None
             };
             match hook {
-                Some(outcome) => outcome,
-                None => propose_and_commit(
-                    mig,
-                    engine,
-                    partition,
-                    state,
-                    &active,
-                    cfg,
-                    &mut sched,
-                    &mut changed,
+                Some(outcome) => (outcome, true),
+                None => (
+                    propose_and_commit(
+                        mig,
+                        engine,
+                        partition,
+                        state,
+                        &active,
+                        cfg,
+                        &mut sched,
+                        &mut changed,
+                    ),
+                    false,
                 ),
             }
-        };
-        stats.rounds += 1;
+        });
+        rounds += 1;
+        add(Metric::SchedSteps, 1);
         // Conflicts and waves are event history: they happened even when
         // the step commits nothing (a pure-retry step) or is rolled
         // back, so they are counted unconditionally.
-        stats.conflicted += outcome.conflicted as u64;
-        stats.sched.retried += outcome.conflicted as u64;
-        stats.sched.commit_waves += outcome.waves as u64;
+        add(Metric::ShardConflicted, outcome.conflicted as u64);
+        add(Metric::SchedRetried, outcome.conflicted as u64);
+        add(Metric::SchedCommitWaves, outcome.waves as u64);
         if outcome.committed == 0 {
-            if outcome.conflicted > 0 && stats.rounds < cfg.max_rounds {
+            step_delta.publish();
+            if outcome.conflicted > 0 && rounds < cfg.max_rounds {
                 // Everything this step proposed was refused; the stale
                 // regions were re-queued against a partition that may no
                 // longer describe the graph. Re-partition before the
@@ -507,23 +567,29 @@ pub fn run_scheduler<E: ProposeEngine>(mig: &mut Mig, engine: &E, cfg: &ShardCon
                 // The step failed to improve (gains are estimates;
                 // structural hashing and refused substitutions shift the
                 // real counts): roll back, like the serial convergence
-                // loops do.
+                // loops do. The step's outcome counters roll back with
+                // it; its event history does not.
                 if let Some(snap) = snapshot {
                     *mig = snap;
                 }
+                step_delta.publish_history();
                 break;
             }
         }
-        stats.committed += outcome.committed as u64;
-        stats.replacements += outcome.replacements;
-        stats.gain += outcome.gain;
+        step_delta.publish();
+        if !hooked {
+            // A whole-graph serial hook records its rewrites under its
+            // own engine metrics inside the step scope; counting them
+            // here as well would double-report.
+            add(Metric::ShardCommitted, outcome.committed as u64);
+            add(Metric::ShardReplacements, outcome.replacements);
+            addi(Metric::ShardGain, outcome.gain);
+        }
         if !changed.is_empty() {
             engine.invalidate(mig, &changed);
         }
     }
-    stats.sched.steps = stats.rounds as u64;
     mig.sweep();
-    stats
 }
 
 /// One step's propose phase (parallel, read-only, per-region result
@@ -545,22 +611,37 @@ fn propose_and_commit<E: ProposeEngine>(
         active.iter().map(|_| Mutex::new(Vec::new())).collect();
     let next = AtomicUsize::new(0);
     let frozen: &Mig = mig;
-    std::thread::scope(|scope| {
-        for _ in 0..cfg.threads.max(1).min(active.len()) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= active.len() {
-                    break;
-                }
-                let props = engine.propose(frozen, partition, state, active[i]);
-                *slots[i].lock().unwrap() = props;
-            });
-        }
-    });
+    let workers = cfg.threads.max(1).min(active.len());
+    // Workers sync on a start barrier: load imbalance then shows up as
+    // idle span tails instead of thread-start skew, and the per-worker
+    // spans of one phase genuinely coexist even on one hardware thread.
+    let barrier = std::sync::Barrier::new(workers);
+    {
+        let _propose_span = obs::trace::span("propose");
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let _worker_span = obs::trace::span("propose:worker");
+                    barrier.wait();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= active.len() {
+                            break;
+                        }
+                        let _region_span =
+                            obs::trace::span_dyn(|| format!("propose:r{}", active[i]));
+                        let props = engine.propose(frozen, partition, state, active[i]);
+                        *slots[i].lock().unwrap() = props;
+                    }
+                });
+            }
+        });
+    }
     let proposals: Vec<E::Proposal> = slots
         .into_iter()
         .flat_map(|m| m.into_inner().unwrap())
         .collect();
+    let _commit_span = obs::trace::span("commit");
     // The scheduler's next step is driven by the frontier alone; no
     // stale set is materialized on this path.
     commit_waves(
@@ -717,10 +798,17 @@ fn commit_waves<E: ProposeEngine>(
     order.sort_by_key(|&i| waves[i]);
     let mut slots: Vec<Option<E::Proposal>> = proposals.into_iter().map(Some).collect();
     let mut current_wave = 0u32;
+    let mut wave_span = Some(obs::trace::span_dyn(|| "commit:wave0".to_string()));
     for i in order {
         if waves[i] != current_wave {
             current_wave = waves[i];
             escaped = false;
+            // Close the previous wave's span before opening the next
+            // (an assignment would record Begin before End and cross).
+            let _ = wave_span.take();
+            wave_span = Some(obs::trace::span_dyn(|| {
+                format!("commit:wave{current_wave}")
+            }));
         }
         let prop = slots[i].take().expect("each proposal committed once");
         // Wave members are pairwise disjoint over extended footprints:
@@ -828,32 +916,47 @@ pub fn run_scheduled_converge<E: ProposeEngine>(
     baseline: Option<&mut SerialPass<'_>>,
     polish: bool,
 ) -> ShardStats {
-    let mut stats = ShardStats::default();
-    if !cfg.shardable(mig) {
-        let (replacements, gain) = serial(mig);
-        stats.replacements += replacements;
-        stats.gain += gain;
-        return stats;
-    }
-    if let Some(baseline) = baseline {
-        let metric = cfg.guard.unwrap_or(gates_only_metric);
-        let before = metric(mig);
-        let snapshot = mig.clone();
-        let (replacements, gain) = baseline(mig);
-        if replacements > 0 && metric(mig) >= before {
-            *mig = snapshot;
-        } else {
-            stats.replacements += replacements;
-            stats.gain += gain;
+    // Serial stages report `(replacements, gain)` pairs that engines
+    // already record under their own metrics; they are folded into the
+    // returned struct only (not re-recorded) to avoid double counting.
+    let mut serial_repl = 0u64;
+    let mut serial_gain = 0i64;
+    let (_, delta) = obs::metrics::scoped(|| {
+        if !cfg.shardable(mig) {
+            let _span = obs::trace::span("serial");
+            let (replacements, gain) = serial(mig);
+            serial_repl += replacements;
+            serial_gain += gain;
+            return;
         }
-    }
-    stats.absorb(run_scheduler(mig, engine, cfg));
-    if polish {
-        let (replacements, gain) = serial(mig);
-        stats.replacements += replacements;
-        stats.gain += gain;
-        mig.sweep();
-    }
+        if let Some(baseline) = baseline {
+            let _span = obs::trace::span("baseline");
+            let metric = cfg.guard.unwrap_or(gates_only_metric);
+            let before = metric(mig);
+            let snapshot = mig.clone();
+            let ((replacements, gain), base_delta) = obs::metrics::scoped(|| baseline(mig));
+            if replacements > 0 && metric(mig) >= before {
+                *mig = snapshot;
+                base_delta.publish_history();
+            } else {
+                base_delta.publish();
+                serial_repl += replacements;
+                serial_gain += gain;
+            }
+        }
+        run_scheduler(mig, engine, cfg);
+        if polish {
+            let _span = obs::trace::span("polish");
+            let (replacements, gain) = serial(mig);
+            serial_repl += replacements;
+            serial_gain += gain;
+            mig.sweep();
+        }
+    });
+    delta.publish();
+    let mut stats = ShardStats::from_delta(&delta);
+    stats.replacements += serial_repl;
+    stats.gain += serial_gain;
     stats
 }
 

@@ -1,0 +1,33 @@
+//! Validates a JSONL trace emitted by `migopt --trace <file>.jsonl`
+//! against the schema: parseable lines, known types, required fields,
+//! balanced per-thread spans. Exits non-zero on any violation.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let (Some(path), None) = (args.next(), args.next()) else {
+        eprintln!("usage: trace_lint <trace.jsonl>");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace_lint: {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match obs::export::validate_jsonl(&text) {
+        Ok(s) => {
+            println!(
+                "{path}: ok ({} lines, {} spans, {} metric lines)",
+                s.lines, s.spans, s.counters
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("trace_lint: {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! Lock-cheap span tracing with per-thread buffers.
+//!
+//! Disabled (the default), every entry point is one relaxed atomic load
+//! and an early return — no allocation, no timestamps. Enabled, each
+//! thread appends events to its own buffer (one uncontended lock per
+//! event). Every live buffer is registered in a process-wide registry
+//! that [`finish`] drains directly, so no event waits on a thread's TLS
+//! destructor — `std::thread::scope` can return before the platform
+//! runs a worker's TLS destructors, which would race a destructor-time
+//! flush against the drain and silently drop that worker's events. A
+//! thread that exits early still hands its events to the shared sink
+//! from its destructor and deregisters its buffer.
+
+use std::borrow::Cow;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Event phase, matching the Chrome trace-event `ph` field.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Phase {
+    Begin,
+    End,
+    Instant,
+}
+
+/// One recorded trace event.
+#[derive(Clone, Debug)]
+pub struct Event {
+    pub ph: Phase,
+    pub name: Cow<'static, str>,
+    /// Monotone per-process thread id (assigned on first record).
+    pub tid: u64,
+    /// Nanoseconds since the trace epoch (first [`start`] call).
+    pub ts_ns: u64,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn sink() -> &'static Mutex<Vec<Event>> {
+    static SINK: OnceLock<Mutex<Vec<Event>>> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+type SharedBuf = Arc<Mutex<Vec<Event>>>;
+
+/// Every live thread's event buffer, so [`finish`] can drain them all
+/// without waiting on TLS destructors.
+fn registry() -> &'static Mutex<Vec<SharedBuf>> {
+    static REGISTRY: OnceLock<Mutex<Vec<SharedBuf>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+struct ThreadBuf {
+    tid: u64,
+    events: SharedBuf,
+}
+
+impl ThreadBuf {
+    fn new() -> Self {
+        let events: SharedBuf = Arc::new(Mutex::new(Vec::new()));
+        registry().lock().unwrap().push(Arc::clone(&events));
+        ThreadBuf {
+            tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+            events,
+        }
+    }
+}
+
+impl Drop for ThreadBuf {
+    fn drop(&mut self) {
+        // The locks are taken strictly one at a time (no nesting): the
+        // drain paths nest registry → buffer, so holding the buffer
+        // lock while taking another here could deadlock.
+        let mut taken = std::mem::take(&mut *self.events.lock().unwrap());
+        if !taken.is_empty() {
+            sink().lock().unwrap().append(&mut taken);
+        }
+        registry()
+            .lock()
+            .unwrap()
+            .retain(|b| !Arc::ptr_eq(b, &self.events));
+    }
+}
+
+thread_local! {
+    static BUF: ThreadBuf = ThreadBuf::new();
+}
+
+/// Whether tracing is currently on (one relaxed load).
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+fn record(ph: Phase, name: Cow<'static, str>) {
+    let ts_ns = u64::try_from(epoch().elapsed().as_nanos()).unwrap_or(u64::MAX);
+    BUF.with(|b| {
+        b.events.lock().unwrap().push(Event {
+            ph,
+            name,
+            tid: b.tid,
+            ts_ns,
+        });
+    });
+}
+
+/// Turns tracing on, clearing any events from a previous session.
+pub fn start() {
+    epoch();
+    sink().lock().unwrap().clear();
+    for buf in registry().lock().unwrap().iter() {
+        buf.lock().unwrap().clear();
+    }
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turns tracing off and drains every recorded event, sorted by
+/// timestamp. Call from the thread that called [`start`], after worker
+/// threads have finished recording: live per-thread buffers are drained
+/// through the registry, exited threads' events through the sink.
+pub fn finish() -> Vec<Event> {
+    ENABLED.store(false, Ordering::Relaxed);
+    let mut events = std::mem::take(&mut *sink().lock().unwrap());
+    for buf in registry().lock().unwrap().iter() {
+        events.append(&mut buf.lock().unwrap());
+    }
+    events.sort_by_key(|e| e.ts_ns);
+    events
+}
+
+/// RAII span guard: emits a `Begin` on creation (when tracing is on)
+/// and the matching `End` on drop.
+pub struct Span {
+    name: Option<Cow<'static, str>>,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(name) = self.name.take() {
+            record(Phase::End, name);
+        }
+    }
+}
+
+/// Opens a span with a static name; inert when tracing is off.
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    if !enabled() {
+        return Span { name: None };
+    }
+    record(Phase::Begin, Cow::Borrowed(name));
+    Span {
+        name: Some(Cow::Borrowed(name)),
+    }
+}
+
+/// Opens a span whose name is built only when tracing is on (avoids
+/// allocating in the disabled fast path).
+#[inline]
+pub fn span_dyn(name: impl FnOnce() -> String) -> Span {
+    if !enabled() {
+        return Span { name: None };
+    }
+    let name: Cow<'static, str> = Cow::Owned(name());
+    record(Phase::Begin, name.clone());
+    Span { name: Some(name) }
+}
+
+/// Records a zero-duration instant event.
+#[inline]
+pub fn instant(name: &'static str) {
+    if enabled() {
+        record(Phase::Instant, Cow::Borrowed(name));
+    }
+}
+
+/// Checks span well-formedness: per thread, `End` events must match the
+/// innermost open `Begin` by name, and every `Begin` must be closed.
+/// Returns the total number of complete spans.
+pub fn validate(events: &[Event]) -> Result<usize, String> {
+    use std::collections::HashMap;
+    let mut stacks: HashMap<u64, Vec<&str>> = HashMap::new();
+    let mut last_ts: HashMap<u64, u64> = HashMap::new();
+    let mut spans = 0usize;
+    for e in events {
+        let prev = last_ts.entry(e.tid).or_insert(0);
+        if e.ts_ns < *prev {
+            return Err(format!(
+                "tid {}: timestamps regress ({} after {})",
+                e.tid, e.ts_ns, prev
+            ));
+        }
+        *prev = e.ts_ns;
+        let stack = stacks.entry(e.tid).or_default();
+        match e.ph {
+            Phase::Begin => stack.push(&e.name),
+            Phase::End => match stack.pop() {
+                Some(open) if open == e.name => spans += 1,
+                Some(open) => {
+                    return Err(format!(
+                        "tid {}: span end '{}' does not match open '{}'",
+                        e.tid, e.name, open
+                    ))
+                }
+                None => {
+                    return Err(format!(
+                        "tid {}: span end '{}' with no open span",
+                        e.tid, e.name
+                    ))
+                }
+            },
+            Phase::Instant => {}
+        }
+    }
+    for (tid, stack) in stacks {
+        if !stack.is_empty() {
+            return Err(format!(
+                "tid {tid}: {} span(s) left open: {:?}",
+                stack.len(),
+                stack
+            ));
+        }
+    }
+    Ok(spans)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ph: Phase, name: &'static str, tid: u64, ts_ns: u64) -> Event {
+        Event {
+            ph,
+            name: Cow::Borrowed(name),
+            tid,
+            ts_ns,
+        }
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        assert!(!enabled());
+        let s = span("never");
+        drop(s);
+        let _ = span_dyn(|| panic!("name closure must not run when disabled"));
+    }
+
+    #[test]
+    fn validate_accepts_nesting_and_interleaved_threads() {
+        let events = vec![
+            ev(Phase::Begin, "outer", 0, 0),
+            ev(Phase::Begin, "a", 1, 1),
+            ev(Phase::Begin, "inner", 0, 2),
+            ev(Phase::End, "a", 1, 3),
+            ev(Phase::Instant, "mark", 0, 4),
+            ev(Phase::End, "inner", 0, 5),
+            ev(Phase::End, "outer", 0, 6),
+        ];
+        assert_eq!(validate(&events), Ok(3));
+    }
+
+    #[test]
+    fn validate_rejects_mismatch_and_unclosed() {
+        let bad = vec![ev(Phase::Begin, "a", 0, 0), ev(Phase::End, "b", 0, 1)];
+        assert!(validate(&bad).is_err());
+        let open = vec![ev(Phase::Begin, "a", 0, 0)];
+        assert!(validate(&open).is_err());
+    }
+}

@@ -29,7 +29,12 @@
 //!   readers/writers with positioned parse errors and lossless document
 //!   models, so the optimizer runs on real-world netlists (see also the
 //!   `migopt` binary in the `cli` crate, which chains passes over these
-//!   crates with an ABC-style pipeline grammar).
+//!   crates with an ABC-style pipeline grammar);
+//! * [`obs`] — the observability layer every crate above records into:
+//!   nested span tracing, the typed metric registry the stats structs
+//!   are reconstructed from, Chrome-trace/JSONL exporters and a
+//!   dependency-free JSON reader (surfaced as `migopt
+//!   --trace`/`--metrics`/`--json-report`).
 //!
 //! # Quick start
 //!
@@ -59,6 +64,7 @@ pub use io;
 pub use mig;
 pub use migalg;
 pub use npndb;
+pub use obs;
 pub use sat;
 pub use techmap;
 pub use truth;

@@ -36,6 +36,7 @@ for f in benchmarks/full_adder.aag benchmarks/adder8.aag \
              "strash; algebraic@2; fhash:TFD; cec" \
              "strash; depth!@2; size!@2; fhash:T; cec; stats" \
              "strash; fhash!:TFD@4; algebraic@4; cec" \
+             "strash; fhash!:B@4; algebraic@4; cec" \
              "strash; size!@4; depth!@4; fhash!:TD@4; cec; stats"; do
         echo "-- migopt -i $f -p \"$p\""
         "$MIGOPT" -q -i "$f" -p "$p"
@@ -65,5 +66,32 @@ cargo run --release -q -p bench_harness --bin trace_overhead
 echo "== micro/io benches (refreshes BENCH_micro.json / BENCH_io.json)"
 cargo bench -p bench_harness --bench micro
 cargo bench -p bench_harness --bench io_throughput
+
+echo "== parallel-commit speedup gate (sched/mult_big@4 vs @1)"
+# Wave application must pay off where there are cores to show it: with
+# >= 4 hardware threads, the @4 mean must come in under 0.7x the @1 mean
+# (>= 1.4x speedup). On smaller machines wall-clock speedup is
+# physically impossible (the workers timeshare one core), so the gate
+# degrades to a no-pathological-overhead bound: @4 <= 1.25x @1.
+mean_of() {
+    grep "\"$1\"" BENCH_micro.json | sed 's/.*"mean_ns": \([0-9.]*\).*/\1/'
+}
+M1=$(mean_of "sched/mult_big@1")
+M4=$(mean_of "sched/mult_big@4")
+CORES=$(nproc 2>/dev/null || echo 1)
+[ -n "$M1" ] && [ -n "$M4" ] || { echo "missing sched/mult_big rows"; exit 1; }
+if [ "$CORES" -ge 4 ]; then
+    awk -v a="$M1" -v b="$M4" 'BEGIN { exit !(b < 0.7 * a) }' || {
+        echo "FAIL: sched/mult_big@4 ($M4 ns) not < 0.7x @1 ($M1 ns) on $CORES cores"
+        exit 1
+    }
+    echo "ok: @4 = $M4 ns < 0.7x @1 = $M1 ns ($CORES cores)"
+else
+    awk -v a="$M1" -v b="$M4" 'BEGIN { exit !(b <= 1.25 * a) }' || {
+        echo "FAIL: sched/mult_big@4 ($M4 ns) regressed past 1.25x @1 ($M1 ns)"
+        exit 1
+    }
+    echo "skip: only $CORES core(s) — speedup target waived, overhead bound ok (@4 = $M4 ns, @1 = $M1 ns)"
+fi
 
 echo "CI OK"

@@ -41,6 +41,15 @@ pub fn multiplier(width: usize) -> Mig {
     m
 }
 
+/// The parallel-commit stress instance: the EPFL-width array multiplier
+/// (64-bit operands, >10⁴ gates as built). Large enough that an
+/// event-driven convergence run schedules hundreds of multi-proposal
+/// commit waves — the workload behind the `sched/mult_big@N` benchmark
+/// rows and the CI speedup gate.
+pub fn mult_big() -> Mig {
+    multiplier(64)
+}
+
 /// Squarer: `width`-bit `a` → `2*width`-bit `a²` (EPFL *Square*:
 /// width 64 → I/O 64/128). Partial-product sharing falls out of
 /// structural hashing.

@@ -26,5 +26,5 @@ pub mod words;
 pub use epfl::EpflBenchmark;
 pub use gens::{
     adder, divisor, log2, max4, model_divisor, model_log2, model_max4, model_sine,
-    model_square_root, multiplier, sine, square, square_root,
+    model_square_root, mult_big, multiplier, sine, square, square_root,
 };

@@ -212,6 +212,17 @@ fn json_report(input_path: &str, reports: &[PassReport], result: &Mig) -> String
                         );
                     }
                 }
+                obs::Kind::Histogram => {
+                    let n = r.metrics.hist_count(m);
+                    if n != 0 {
+                        emit(&mut out, &format!("{}.count", def.name), n as i64);
+                        emit(
+                            &mut out,
+                            &format!("{}.sum", def.name),
+                            r.metrics.hist_sum(m) as i64,
+                        );
+                    }
+                }
             }
         }
         out.push_str("}}");

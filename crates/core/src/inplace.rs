@@ -18,12 +18,13 @@
 //! ([`cuts::CutSet::refresh`]) and stale lists are recomputed on demand.
 
 use crate::bottomup::{candidate_cuts, gate_candidates, Build, Candidate};
-use crate::common::select_best_cut;
+use crate::common::{select_best_cut, Replacement};
 use crate::FunctionalHashing;
-use cuts::CutSet;
+use cuts::{Cut, CutSet};
 use mig::{FfrPartition, Mig, NodeId, Signal};
 use obs::Metric;
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Algorithm 1, in place: walk from the outputs, replace the best legal
 /// cut of each visited node by its minimum database network, recur on the
@@ -103,15 +104,83 @@ pub(crate) fn top_down(
     mig.sweep();
 }
 
+/// The read-only half of the bottom-up DP, hoisted out of the gate loop:
+/// for every pass gate, the eligible cuts with their prepared database
+/// replacements (cut-function canonization + minimum-network lookup — the
+/// dominant per-gate cost that needs no graph mutation).
+///
+/// Hoisting is sound because the DP loop only *appends* fresh nodes
+/// (`maj`/`instantiate`); no entry gate is rewired before the final
+/// output reroute, so every gate's cut list and cone structure stay
+/// exactly as they were at pass entry. That also makes each gate's
+/// preparation a pure function of the entry graph — so the fan-out over
+/// worker threads is the degenerate-barrier generalization of a
+/// level-synchronous schedule (no level has to wait for the one below),
+/// and the result is bit-identical at every thread count.
+fn prepare_cut_choices(
+    engine: &FunctionalHashing,
+    mig: &Mig,
+    topo: &[NodeId],
+    lists: &[Vec<Cut>],
+    ffr: Option<&FfrPartition>,
+    threads: usize,
+) -> Vec<Vec<(Cut, Replacement)>> {
+    let n = topo.len();
+    // Below ~2 gates per worker the scope setup outweighs the lookup work.
+    if threads <= 1 || n < threads * 2 {
+        return topo
+            .iter()
+            .zip(lists)
+            .map(|(&v, list)| candidate_cuts(engine, mig, list, ffr, v))
+            .collect();
+    }
+    let mut slots: Vec<Vec<(Cut, Replacement)>> = vec![Vec::new(); n];
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        let next = &next;
+        let handles: Vec<_> = (0..threads.min(n))
+            .map(|_| {
+                s.spawn(move || {
+                    // Each worker captures its metric records (NPN
+                    // canonizations, DB hits) in a scope delta published
+                    // from the calling thread, so enclosing rollback
+                    // scopes see them exactly as in the serial pass.
+                    let mut local: Vec<(usize, Vec<(Cut, Replacement)>)> = Vec::new();
+                    let ((), delta) = obs::metrics::scoped(|| loop {
+                        let k = next.fetch_add(1, Ordering::Relaxed);
+                        if k >= n {
+                            break;
+                        }
+                        local.push((k, candidate_cuts(engine, mig, &lists[k], ffr, topo[k])));
+                    });
+                    (local, delta)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (local, delta) = h.join().expect("bottom-up prepass worker");
+            delta.publish();
+            for (k, choices) in local {
+                slots[k] = choices;
+            }
+        }
+    });
+    slots
+}
+
 /// Algorithm 2, in place: candidates are instantiated directly into the
 /// graph being optimized (structural hashing shares them with the
 /// existing logic), outputs are rerouted to the best candidates, and the
-/// obsolete cones are swept.
+/// obsolete cones are swept. `threads > 1` fans the read-only candidate
+/// preparation ([`prepare_cut_choices`]) out over worker threads; the
+/// materializing DP walk stays serial, and the result is bit-identical
+/// at every thread count.
 pub(crate) fn bottom_up(
     engine: &FunctionalHashing,
     mig: &mut Mig,
     cuts: &mut CutSet,
     use_ffr: bool,
+    threads: usize,
 ) {
     cuts.refresh(mig);
     let ffr = use_ffr.then(|| FfrPartition::compute(mig));
@@ -121,6 +190,14 @@ pub(crate) fn bottom_up(
         .map(|&c| f64::from(c.max(1)))
         .collect();
     let topo = mig.topo_gates();
+    // Cut lists for every pass gate, up front. `of_updated` recomputes
+    // lists a carried-over cut set still holds as stale; mid-pass appends
+    // never invalidate them (see `prepare_cut_choices`).
+    let lists: Vec<Vec<Cut>> = topo
+        .iter()
+        .map(|&v| cuts.of_updated(mig, v).to_vec())
+        .collect();
+    let choices = prepare_cut_choices(engine, mig, &topo, &lists, ffr.as_ref(), threads);
     let mut cand: Vec<Vec<Candidate>> = vec![Vec::new(); mig.num_nodes()];
     // Terminals: a single zero-cost candidate (Algorithm 2, line 3).
     cand[0].push(Candidate {
@@ -135,32 +212,23 @@ pub(crate) fn bottom_up(
             depth: 0,
         });
     }
-    for v in topo {
+    for (k, &v) in topo.iter().enumerate() {
         // Same scoring loop as the rebuild engine (`gate_candidates`);
         // the only difference is that candidates are built directly in
         // the graph being optimized, where structural hashing shares them
         // with the existing logic (the baseline usually returns `v`
-        // itself when nothing below improved). `of_updated` recomputes
-        // lists a carried-over cut set still holds as stale; the
-        // speculative nodes built along the way never need lists of
-        // their own (`topo` was captured on entry).
-        let list = cuts.of_updated(mig, v).to_vec();
-        let cut_choices = candidate_cuts(engine, mig, &list, ffr.as_ref(), v);
+        // itself when nothing below improved). The speculative nodes
+        // built along the way never need cut lists of their own (`topo`
+        // was captured on entry).
+        let cut_choices = &choices[k];
         let fanins = mig.fanins(v);
         let db = engine.database();
-        let list = gate_candidates(
-            engine,
-            fanins,
-            &cut_choices,
-            &cand,
-            &refs,
-            |req| match req {
-                Build::Maj(a, b, c) => mig.maj(a, b, c),
-                Build::Template(repl, cut, chosen) => {
-                    repl.instantiate(mig, cut, db, |pos| chosen[pos].sig)
-                }
-            },
-        );
+        let list = gate_candidates(engine, fanins, cut_choices, &cand, &refs, |req| match req {
+            Build::Maj(a, b, c) => mig.maj(a, b, c),
+            Build::Template(repl, cut, chosen) => {
+                repl.instantiate(mig, cut, db, |pos| chosen[pos].sig)
+            }
+        });
         cand[v as usize] = list;
     }
     // Line 14: reroute each output to its best candidate, then reclaim

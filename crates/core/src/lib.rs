@@ -253,6 +253,17 @@ impl FunctionalHashing {
         self.run_in_place_with_cuts(mig, variant, &mut cuts)
     }
 
+    /// [`FunctionalHashing::run_in_place`] with a worker-thread count for
+    /// the read-only half of the pass. Today this parallelizes the
+    /// bottom-up variants' candidate preparation (cut canonization and
+    /// database lookup fan out over worker threads; the materializing DP
+    /// walk stays serial); the top-down variants ignore the count. The
+    /// result is bit-identical at every thread count.
+    pub fn run_in_place_threads(&self, mig: &mut Mig, variant: Variant, threads: usize) -> FhStats {
+        let mut cuts = enumerate_cuts(mig, &self.config.cut_config);
+        self.run_in_place_with_cuts_threads(mig, variant, &mut cuts, threads)
+    }
+
     /// Like [`FunctionalHashing::run_in_place`], but reusing a caller-held
     /// [`CutSet`] instead of enumerating from scratch. The cut set must
     /// describe `mig` (same graph the set was enumerated over, possibly
@@ -267,6 +278,19 @@ impl FunctionalHashing {
         variant: Variant,
         cuts: &mut CutSet,
     ) -> FhStats {
+        self.run_in_place_with_cuts_threads(mig, variant, cuts, 1)
+    }
+
+    /// [`FunctionalHashing::run_in_place_with_cuts`] with a worker-thread
+    /// count for the read-only candidate preparation (see
+    /// [`FunctionalHashing::run_in_place_threads`]).
+    pub fn run_in_place_with_cuts_threads(
+        &self,
+        mig: &mut Mig,
+        variant: Variant,
+        cuts: &mut CutSet,
+        threads: usize,
+    ) -> FhStats {
         // The engines record into the metric registry (the single source
         // of truth); the legacy stats struct is reconstructed from the
         // pass's scope delta, which is then published to the caller's
@@ -276,8 +300,8 @@ impl FunctionalHashing {
             Variant::TopDownDepth => inplace::top_down(self, mig, cuts, true, false),
             Variant::TopDownFfr => inplace::top_down(self, mig, cuts, false, true),
             Variant::TopDownFfrDepth => inplace::top_down(self, mig, cuts, true, true),
-            Variant::BottomUp => inplace::bottom_up(self, mig, cuts, false),
-            Variant::BottomUpFfr => inplace::bottom_up(self, mig, cuts, true),
+            Variant::BottomUp => inplace::bottom_up(self, mig, cuts, false, threads),
+            Variant::BottomUpFfr => inplace::bottom_up(self, mig, cuts, true, threads),
         });
         delta.publish();
         FhStats::from_delta(&delta)

@@ -41,8 +41,8 @@ use crate::common::{cut_is_fanout_legal, internal_nodes, select_best_cut, Replac
 use crate::{FhStats, FunctionalHashing, Variant};
 use cuts::{Cut, LocalCuts};
 use mig::{
-    run_scheduled_converge, CommitVerdict, FfrPartition, Mig, NodeId, PartitionStrategy,
-    ProposeEngine, RegionPartition, ShardConfig, Signal,
+    run_scheduled_converge, CommitVerdict, FfrPartition, Mig, NetworkOps, NodeId,
+    PartitionStrategy, ProposeEngine, RegionPartition, ShardConfig, Signal,
 };
 use std::collections::{HashMap, HashSet};
 use std::sync::Mutex;
@@ -215,16 +215,17 @@ impl ProposeEngine for CutEngine<'_> {
         i64::from(p.gain)
     }
 
-    fn commit(&self, mig: &mut Mig, prop: Proposal) -> CommitVerdict {
+    fn commit(&self, net: &mut dyn NetworkOps, prop: &Proposal) -> CommitVerdict {
         let ProposalKind::Cut {
             root,
             cut,
             repl,
             internal,
-        } = prop.kind
+        } = &prop.kind
         else {
             unreachable!("cut engine only emits cut proposals");
         };
+        let root = *root;
         // A clean footprint means the cone is structurally unchanged,
         // but fanout counts of internal nodes can grow without a dirty
         // entry (structural hashing inside an earlier commit can
@@ -233,12 +234,12 @@ impl ProposeEngine for CutEngine<'_> {
         // commits are not dirty-logged, so the depth-preserving bound
         // must be re-evaluated against live levels too.
         let depth_ok = !self.depth_preserving
-            || repl.estimated_level(&cut, |pos| mig.level(cut.leaves()[pos]))
-                <= mig.level(root) + self.engine.config().allowed_depth_increase;
-        if !mig.is_gate(root) || !cut_is_fanout_legal(mig, root, &internal) || !depth_ok {
+            || repl.estimated_level(cut, |pos| net.level(cut.leaves()[pos]))
+                <= net.level(root) + self.engine.config().allowed_depth_increase;
+        if !net.is_gate(root) || !cut_is_fanout_legal(&*net, root, internal) || !depth_ok {
             return CommitVerdict::Conflicted;
         }
-        let new_sig = repl.instantiate(mig, &cut, self.engine.database(), |pos| {
+        let new_sig = repl.instantiate(net, cut, self.engine.database(), |pos| {
             Signal::new(cut.leaves()[pos], false)
         });
         if new_sig.node() == root {
@@ -246,13 +247,23 @@ impl ProposeEngine for CutEngine<'_> {
             // template intermediates fall to the sweep).
             return CommitVerdict::Rejected;
         }
-        if mig.replace_node(root, new_sig) {
+        if net.replace_node(root, new_sig) {
             CommitVerdict::Applied { replacements: 1 }
         } else {
             // Cycle through shared logic: retract the speculative cone;
             // retrying would refuse again, so this is not a conflict.
-            mig.reclaim(new_sig.node());
+            net.reclaim(new_sig.node());
             CommitVerdict::Rejected
+        }
+    }
+
+    fn alloc_hint(&self, prop: &Proposal) -> usize {
+        // The template instantiation materializes at most the database
+        // network's gates; normalization transients stay within a
+        // handful of extra slots.
+        match &prop.kind {
+            ProposalKind::Cut { repl, .. } => repl.db_size as usize + 4,
+            ProposalKind::Region { .. } => unreachable!("cut engine only emits cut proposals"),
         }
     }
 }
@@ -262,6 +273,10 @@ impl ProposeEngine for CutEngine<'_> {
 struct RegionEngine<'e> {
     engine: &'e FunctionalHashing,
     variant: Variant,
+    /// Worker threads for the serial-engine passes the region engine
+    /// delegates to (their read-only candidate preparation fans out;
+    /// results are bit-identical at every count).
+    threads: usize,
 }
 
 impl ProposeEngine for RegionEngine<'_> {
@@ -353,16 +368,16 @@ impl ProposeEngine for RegionEngine<'_> {
         i64::from(p.gain)
     }
 
-    fn commit(&self, mig: &mut Mig, prop: Proposal) -> CommitVerdict {
+    fn commit(&self, net: &mut dyn NetworkOps, prop: &Proposal) -> CommitVerdict {
         let ProposalKind::Region {
             sub,
             inputs,
             boundary,
-        } = prop.kind
+        } = &prop.kind
         else {
             unreachable!("region engine only emits region proposals");
         };
-        if boundary.iter().any(|&b| !mig.is_gate(b)) {
+        if boundary.iter().any(|&b| !net.is_gate(b)) {
             return CommitVerdict::Conflicted;
         }
         // Instantiate the optimized region over the original inputs
@@ -378,7 +393,7 @@ impl ProposeEngine for RegionEngine<'_> {
                     .expect("fanin precedes gate in topo order")
                     .complement_if(s.is_complemented())
             });
-            imap[g as usize] = Some(mig.maj(fan[0], fan[1], fan[2]));
+            imap[g as usize] = Some(net.maj(fan[0], fan[1], fan[2]));
         }
         let new_outs: Vec<Signal> = sub
             .outputs()
@@ -394,17 +409,17 @@ impl ProposeEngine for RegionEngine<'_> {
             // Earlier reroutes of this very proposal may have merged `b`
             // away or collapsed parts of the speculative cone; skip what
             // no longer applies.
-            if !mig.is_gate(b) || s.node() == b || mig.is_dead(s.node()) {
+            if !net.is_gate(b) || s.node() == b || net.is_dead(s.node()) {
                 continue;
             }
-            if mig.replace_node(b, s) {
+            if net.replace_node(b, s) {
                 rerouted += 1;
             }
         }
         // Retract whatever speculative logic was not adopted.
         for s in new_outs {
-            if !mig.is_terminal(s.node()) && !mig.is_dead(s.node()) {
-                mig.reclaim(s.node());
+            if !net.is_terminal(s.node()) && !net.is_dead(s.node()) {
+                net.reclaim(s.node());
             }
         }
         if rerouted > 0 {
@@ -416,13 +431,24 @@ impl ProposeEngine for RegionEngine<'_> {
         }
     }
 
+    fn alloc_hint(&self, prop: &Proposal) -> usize {
+        // Worst case the whole optimized region re-materializes (no
+        // structural sharing with the live graph survived).
+        match &prop.kind {
+            ProposalKind::Region { sub, boundary, .. } => sub.num_gates() + boundary.len(),
+            ProposalKind::Cut { .. } => unreachable!("region engine only emits region proposals"),
+        }
+    }
+
     fn whole_graph_round(&self, mig: &mut Mig) -> Option<(u64, i64)> {
         // Degenerate single-shard round: extraction would only relabel
         // the whole graph (perturbing the candidate DP's tie-breaking
         // for no benefit) — run the serial engine directly. This also
         // makes small-graph sharded bottom-up bit-identical to the
         // serial path.
-        let stats = self.engine.run_in_place(mig, self.variant);
+        let stats = self
+            .engine
+            .run_in_place_threads(mig, self.variant, self.threads);
         Some((stats.replacements, stats.estimated_gain))
     }
 }
@@ -473,12 +499,16 @@ pub(crate) fn run_sharded(
             // input.
             cfg.guard = Some(gates_metric);
             let mut baseline = |m: &mut Mig| -> (u64, i64) {
-                let s = engine.run_in_place(m, variant);
+                let s = engine.run_in_place_threads(m, variant, threads);
                 (s.replacements, s.estimated_gain)
             };
             run_scheduled_converge(
                 mig,
-                &RegionEngine { engine, variant },
+                &RegionEngine {
+                    engine,
+                    variant,
+                    threads,
+                },
                 &cfg,
                 &mut serial,
                 Some(&mut baseline),

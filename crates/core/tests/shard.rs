@@ -95,7 +95,10 @@ fn sharded_is_bit_deterministic_per_thread_count() {
         let steps = rng.range(20, 120);
         let m = random_build(&mut rng, num_inputs, steps, 2);
         for v in Variant::ALL {
-            for threads in [2usize, 4] {
+            // @1 pins the degenerate case (the wave pipeline still runs,
+            // with one worker); @8 oversubscribes the container's cores,
+            // so wave-worker interleavings vary maximally between runs.
+            for threads in [1usize, 2, 4, 8] {
                 let mut first = m.clone();
                 engine().run_threads(&mut first, v, threads);
                 let mut second = m.clone();
@@ -107,6 +110,83 @@ fn sharded_is_bit_deterministic_per_thread_count() {
                 );
             }
         }
+    }
+}
+
+#[test]
+fn converge_chain_is_bit_identical_per_thread_count() {
+    // The chain-tower workload behind the sched/chain512 bench rows,
+    // scaled down: run the event-driven convergence driver to fixpoint
+    // at every thread count and require the identical netlist.
+    let mut m = Mig::new(6 * (3 + 2 * 64));
+    let mut next = 0usize;
+    let mut fresh = |m: &Mig| {
+        let s = m.input(next);
+        next += 1;
+        s
+    };
+    let mut tops = Vec::new();
+    for _ in 0..6 {
+        let (a, b, c) = (fresh(&m), fresh(&m), fresh(&m));
+        let x = m.xor(a, b);
+        let mut acc = m.xor(x, c);
+        for _ in 0..64 {
+            let (p, q) = (fresh(&m), fresh(&m));
+            acc = m.maj(acc, p, q);
+        }
+        tops.push(acc);
+    }
+    let mut top = m.maj(tops[0], tops[1], tops[2]);
+    top = m.maj(top, tops[3], tops[4]);
+    top = m.maj(top, tops[5], Signal::ZERO);
+    m.add_output(top);
+
+    let mut reference = m.clone();
+    let (stats, _) = engine().run_converge_threads(&mut reference, Variant::TopDown, 50, 1);
+    assert!(stats.replacements > 0);
+    let want = fingerprint(&reference);
+    for threads in [2usize, 4, 8] {
+        let mut opt = m.clone();
+        engine().run_converge_threads(&mut opt, Variant::TopDown, 50, threads);
+        assert_eq!(fingerprint(&opt), want, "@{threads}: diverged from @1");
+    }
+}
+
+#[test]
+fn stress_random_seeds_under_contention() {
+    // Dense random graphs whose wave footprints collide constantly,
+    // @8 workers on however few cores the machine has: function,
+    // structural invariants, the ≤-serial guarantee and run-to-run
+    // determinism must hold for every seed.
+    for seed in 0..12u64 {
+        let mut rng = Rng::new(0x5AAD_1000 + seed);
+        let num_inputs = rng.range(3, 6);
+        let steps = rng.range(200, 500);
+        let m = random_build(&mut rng, num_inputs, steps, 3);
+        let want = m.output_truth_tables();
+        let mut serial = m.clone();
+        engine().run_in_place(&mut serial, Variant::TopDown);
+        let mut opt = m.clone();
+        engine().run_threads(&mut opt, Variant::TopDown, 8);
+        assert_eq!(
+            opt.output_truth_tables(),
+            want,
+            "seed {seed}: function changed"
+        );
+        assert!(
+            opt.num_gates() <= serial.num_gates(),
+            "seed {seed}: sharded larger than serial ({} > {})",
+            opt.num_gates(),
+            serial.num_gates()
+        );
+        opt.debug_check();
+        let mut again = m.clone();
+        engine().run_threads(&mut again, Variant::TopDown, 8);
+        assert_eq!(
+            fingerprint(&opt),
+            fingerprint(&again),
+            "seed {seed}: nondeterministic @8"
+        );
     }
 }
 

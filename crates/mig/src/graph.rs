@@ -32,7 +32,7 @@ use std::sync::{Arc, Mutex};
 
 /// Tag bit distinguishing primary-output references from gate references
 /// in the per-node fanout lists.
-const OUT_FLAG: u32 = 1 << 31;
+pub(crate) const OUT_FLAG: u32 = 1 << 31;
 
 /// Sentinel fanout entry protecting a node referenced from the pending
 /// substitution stack of [`Mig::replace_node`]: a cascade step may kill
@@ -40,7 +40,7 @@ const OUT_FLAG: u32 = 1 << 31;
 /// keeps its cone alive until the pair is processed. Guards are transient
 /// (inserted at push, dropped at pop) and never survive a `replace_node`
 /// call.
-const GUARD: u32 = u32::MAX;
+pub(crate) const GUARD: u32 = u32::MAX;
 
 /// A position in a graph's structural-change history, taken with
 /// [`Mig::dirty_cursor`] and read back with [`Mig::dirty_since`].
@@ -122,39 +122,39 @@ pub fn normalize_maj(mut ops: [Signal; 3]) -> Normalized {
 pub struct Mig {
     /// Fanins per node; terminals (constant + inputs) and dead slots hold
     /// dummy entries.
-    fanins: Vec<[Signal; 3]>,
-    num_inputs: usize,
-    outputs: Vec<Signal>,
-    strash: HashMap<[Signal; 3], NodeId>,
+    pub(crate) fanins: Vec<[Signal; 3]>,
+    pub(crate) num_inputs: usize,
+    pub(crate) outputs: Vec<Signal>,
+    pub(crate) strash: HashMap<[Signal; 3], NodeId>,
     /// Fanout references per node: parent gate ids, plus `OUT_FLAG |
     /// output_index` entries for primary-output slots. The list length is
     /// the node's reference count.
-    fanouts: Vec<Vec<u32>>,
+    pub(crate) fanouts: Vec<Vec<u32>>,
     /// Back-pointers for O(1) fanout-entry removal: for gate `n` and
     /// fanin slot `k`, `fanout_pos[n][k]` is the index of `n`'s entry in
     /// `fanouts[fanins[n][k].node()]`. Kept consistent under swap-removal.
-    fanout_pos: Vec<[u32; 3]>,
+    pub(crate) fanout_pos: Vec<[u32; 3]>,
     /// Back-pointer per primary-output slot: index of the `OUT_FLAG | i`
     /// entry in the driver's fanout list.
-    out_pos: Vec<u32>,
+    pub(crate) out_pos: Vec<u32>,
     /// Dead-slot markers (freed gates awaiting reuse).
-    dead: Vec<bool>,
+    pub(crate) dead: Vec<bool>,
     /// Freed slots available for reuse by new gates.
-    free: Vec<NodeId>,
+    pub(crate) free: Vec<NodeId>,
     /// Per-slot reuse generation, bumped every time a gate slot is
     /// freed. A slot id alone cannot tell an original node from an
     /// unrelated one recycled into the same slot; consumers holding
     /// node references across rewrites (a persistent region partition)
     /// compare generations to detect recycling.
-    slot_gen: Vec<u32>,
+    pub(crate) slot_gen: Vec<u32>,
     /// Incrementally maintained levels (terminals 0, gates 1 + max fanin).
-    level: Vec<u32>,
+    pub(crate) level: Vec<u32>,
     /// Live (non-dead) gate count.
-    live_gates: usize,
+    pub(crate) live_gates: usize,
     /// Structurally changed node ids (created, rewired or killed) since
     /// the last [`Mig::drain_dirty`] — consumed by incremental analyses
     /// such as cut-set invalidation.
-    dirty: Vec<NodeId>,
+    pub(crate) dirty: Vec<NodeId>,
     /// Total number of dirty entries ever drained: the absolute position
     /// of `dirty[0]` in the graph's change history. Lets [`DirtyCursor`]s
     /// stay meaningful across drains (and detect when entries they still
@@ -382,7 +382,7 @@ impl Mig {
 
     /// Records a structural change to node `n`: feeds the dirty log and
     /// drops the cached topological order.
-    fn note_structural_change(&mut self, n: NodeId) {
+    pub(crate) fn note_structural_change(&mut self, n: NodeId) {
         self.dirty.push(n);
         *self.topo_cache.get_mut().unwrap() = None;
     }
@@ -780,7 +780,7 @@ impl Mig {
 
     /// Appends a fanout entry to `child`'s list, returning its index (the
     /// caller stores it as the entry's back-pointer).
-    fn push_fanout(&mut self, child: NodeId, entry: u32) -> u32 {
+    pub(crate) fn push_fanout(&mut self, child: NodeId, entry: u32) -> u32 {
         let list = &mut self.fanouts[child as usize];
         list.push(entry);
         (list.len() - 1) as u32
@@ -791,7 +791,7 @@ impl Mig {
     /// into the hole. High-fanout nodes (constants, shared inputs) would
     /// otherwise make entry removal — and thus `replace_node` — scale
     /// with the graph.
-    fn remove_fanout_at(&mut self, child: NodeId, pos: u32) {
+    pub(crate) fn remove_fanout_at(&mut self, child: NodeId, pos: u32) {
         let list = &mut self.fanouts[child as usize];
         list.swap_remove(pos as usize);
         if let Some(&moved) = list.get(pos as usize) {
@@ -813,7 +813,7 @@ impl Mig {
 
     /// Frees gate `n` (and, recursively, its fanin cone) if it has no
     /// references left.
-    fn kill_if_unreferenced(&mut self, n: NodeId) {
+    pub(crate) fn kill_if_unreferenced(&mut self, n: NodeId) {
         let mut stack = vec![n];
         while let Some(v) = stack.pop() {
             if self.is_terminal(v) || self.dead[v as usize] || !self.fanouts[v as usize].is_empty()
@@ -840,7 +840,7 @@ impl Mig {
     /// Recomputes the level of `p` and propagates changes through the
     /// transitive fanout (worklist; cost proportional to the affected
     /// region).
-    fn update_levels_from(&mut self, p: NodeId) {
+    pub(crate) fn update_levels_from(&mut self, p: NodeId) {
         let mut work = vec![p];
         while let Some(v) = work.pop() {
             if self.dead[v as usize] || self.is_terminal(v) {

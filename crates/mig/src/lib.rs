@@ -40,12 +40,15 @@
 
 mod ffr;
 mod graph;
+mod net;
 mod region;
 mod shard;
 mod signal;
+mod wave;
 
 pub use ffr::FfrPartition;
 pub use graph::{normalize_maj, DirtyCursor, Mig, Normalized};
+pub use net::NetworkOps;
 pub use region::{PartitionStrategy, RegionPartition, RegionView};
 pub use shard::{
     commit_proposals, run_scheduled_converge, run_scheduler, CommitVerdict, ProposeEngine,

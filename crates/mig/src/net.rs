@@ -1,0 +1,80 @@
+//! The engine-facing network mutation surface.
+//!
+//! [`NetworkOps`] is the exact set of operations a rewriting engine's
+//! *commit* path needs: structural reads plus the three mutators
+//! ([`NetworkOps::maj`], [`NetworkOps::replace_node`],
+//! [`NetworkOps::reclaim`]). Engines commit through `&mut dyn
+//! NetworkOps` instead of `&mut Mig`, which lets the wave-commit driver
+//! hand a worker thread a [`crate::wave::WaveSim`] — a write-isolated
+//! overlay over a frozen graph — while the serial paths keep handing the
+//! real [`Mig`]. The trait is deliberately small and object-safe: a
+//! commit that needs anything outside it (whole-graph traversal, the
+//! dirty log, output editing) is by construction not wave-parallel.
+
+use crate::{Mig, NodeId, Signal};
+
+/// The operations available to a rewriting engine's commit path.
+///
+/// Implemented by [`Mig`] (direct, serial mutation) and by the wave
+/// simulator (speculative, patch-producing mutation over a frozen
+/// graph). Semantics follow the [`Mig`] methods of the same names; the
+/// simulator additionally *escapes* — poisons itself and turns every
+/// later mutation into a no-op — when a mutation would leave its
+/// proposal's owned region, instead of panicking.
+pub trait NetworkOps {
+    /// Number of primary inputs.
+    fn num_inputs(&self) -> usize;
+    /// Whether `n` is a terminal (constant or primary input).
+    fn is_terminal(&self, n: NodeId) -> bool;
+    /// Whether `n` is a live majority gate.
+    fn is_gate(&self, n: NodeId) -> bool;
+    /// Whether slot `n` is a freed (dead) gate slot.
+    fn is_dead(&self, n: NodeId) -> bool;
+    /// The fanins of gate `n`.
+    fn fanins(&self, n: NodeId) -> [Signal; 3];
+    /// The level of node `n` (terminals 0, gates 1 + max fanin level).
+    fn level(&self, n: NodeId) -> u32;
+    /// The number of references to `n` (parent gates plus output slots).
+    fn fanout_count(&self, n: NodeId) -> u32;
+    /// Creates (or reuses) a majority gate `<abc>`.
+    fn maj(&mut self, a: Signal, b: Signal, c: Signal) -> Signal;
+    /// Substitutes gate `old` by the functionally equivalent signal
+    /// `new`; returns `false` (changing nothing) when refused.
+    fn replace_node(&mut self, old: NodeId, new: Signal) -> bool;
+    /// Frees `n` and its unreferenced fanin cone (retracts a
+    /// speculative cone).
+    fn reclaim(&mut self, n: NodeId);
+}
+
+impl NetworkOps for Mig {
+    fn num_inputs(&self) -> usize {
+        Mig::num_inputs(self)
+    }
+    fn is_terminal(&self, n: NodeId) -> bool {
+        Mig::is_terminal(self, n)
+    }
+    fn is_gate(&self, n: NodeId) -> bool {
+        Mig::is_gate(self, n)
+    }
+    fn is_dead(&self, n: NodeId) -> bool {
+        Mig::is_dead(self, n)
+    }
+    fn fanins(&self, n: NodeId) -> [Signal; 3] {
+        Mig::fanins(self, n)
+    }
+    fn level(&self, n: NodeId) -> u32 {
+        Mig::level(self, n)
+    }
+    fn fanout_count(&self, n: NodeId) -> u32 {
+        Mig::fanout_count(self, n)
+    }
+    fn maj(&mut self, a: Signal, b: Signal, c: Signal) -> Signal {
+        Mig::maj(self, a, b, c)
+    }
+    fn replace_node(&mut self, old: NodeId, new: Signal) -> bool {
+        Mig::replace_node(self, old, new)
+    }
+    fn reclaim(&mut self, n: NodeId) {
+        Mig::reclaim(self, n)
+    }
+}

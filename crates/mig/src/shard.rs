@@ -26,17 +26,23 @@
 //!    over the scheduled region list) call [`ProposeEngine::propose`]
 //!    read-only on a frozen graph; results land in per-region slots so
 //!    commit order is independent of scheduling.
-//! 4. **Commit in waves.** Proposals are grouped into *waves* of
-//!    pairwise-disjoint TFO-extended footprints (footprint plus its
-//!    fanout frontier), planned with an epoch-stamped scratch. Within a
-//!    wave the substitutions interleave conflict-free — no proposal can
-//!    invalidate another's analysis, so the per-proposal dirty-set scan
-//!    is skipped unless a commit's structural cascade escaped its own
-//!    extended footprint (checked exactly, via the dirty-log cursor).
-//!    Later waves run the conservative path: a proposal whose footprint
-//!    intersects anything dirtied earlier in the step is refused and its
-//!    region retries next step. [`ProposeEngine::commit`] still re-checks
-//!    its own legality against the live graph either way.
+//! 4. **Commit in waves, concurrently.** Proposals are grouped into
+//!    *waves* of pairwise-disjoint TFO-extended footprints (footprint
+//!    plus its fanout frontier), planned with an epoch-stamped scratch.
+//!    Within a wave, every proposal's commit runs **concurrently**
+//!    against a write-isolated overlay simulator ([`crate::wave`]) over
+//!    the re-frozen wave-start graph: each worker owns its proposal's
+//!    extended footprint plus a pre-reserved slot arena, and the
+//!    surviving patches are installed by parallel disjoint-region
+//!    writers, then reconciled (structural-hash edits, cross-region
+//!    reference edits, dirty log) serially in proposal order. A commit
+//!    whose cascade provably leaves its owned region *escapes* and
+//!    re-runs serially on the real graph after the wave — correctness
+//!    never depends on the overlay. Proposals of later waves whose
+//!    footprint intersects anything dirtied earlier in the step are
+//!    refused and their regions retry next step.
+//!    [`ProposeEngine::commit`] still re-checks its own legality against
+//!    the live network view either way.
 //!
 //! Steps repeat until the queue drains (no dirty region and no dirty
 //! node outside the partition); engines whose steps are not individually
@@ -46,10 +52,13 @@
 //! provided.
 //!
 //! For a fixed input graph, engine and thread count the resulting
-//! netlist is bit-deterministic: the queue order, the wave plan and the
-//! commit order never depend on worker scheduling.
+//! netlist is bit-deterministic: the queue order, the wave plan, the
+//! commit order, the per-proposal arenas and the patch reconciliation
+//! order never depend on worker scheduling — threads only decide *who*
+//! computes each pure simulation and *who* writes each disjoint region.
 
-use crate::{Mig, NodeId, RegionPartition};
+use crate::wave::{self, WavePatch};
+use crate::{Mig, NetworkOps, NodeId, RegionPartition, Signal};
 use std::collections::{BTreeMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -76,13 +85,17 @@ pub enum CommitVerdict {
 /// A rewriting engine pluggable into [`run_scheduler`].
 ///
 /// The engine analyzes regions read-only ([`ProposeEngine::propose`] runs
-/// concurrently on a frozen `&Mig`) and applies its proposals serially
-/// ([`ProposeEngine::commit`], which must re-check legality itself — the
-/// driver only guarantees that the proposal's footprint is structurally
-/// untouched within the current step).
+/// concurrently on a frozen `&Mig`) and applies its proposals through
+/// the [`NetworkOps`] surface ([`ProposeEngine::commit`], which must
+/// re-check legality itself — the driver only guarantees that the
+/// proposal's footprint is structurally untouched within the current
+/// step). During a commit wave the driver hands workers write-isolated
+/// simulators instead of the real graph, so commits of one wave run
+/// concurrently.
 pub trait ProposeEngine: Sync {
-    /// One proposed local rewrite (opaque to the driver).
-    type Proposal: Send;
+    /// One proposed local rewrite (opaque to the driver; shared across
+    /// wave workers during the concurrent commit phase).
+    type Proposal: Send + Sync;
     /// Read state shared by all workers while a partition is live (e.g.
     /// an FFR view of the graph). Use `()` when none is needed.
     type RoundState: Sync;
@@ -130,8 +143,21 @@ pub trait ProposeEngine: Sync {
     /// used as the retry priority of its region).
     fn gain(&self, proposal: &Self::Proposal) -> i64;
 
-    /// Re-checks the proposal against the live graph and applies it.
-    fn commit(&self, mig: &mut Mig, proposal: Self::Proposal) -> CommitVerdict;
+    /// Re-checks the proposal against the live network view and applies
+    /// it. `net` is the real graph on the serial paths and a
+    /// write-isolated wave simulator during concurrent wave commits —
+    /// identical semantics, so engines never need to know which.
+    fn commit(&self, net: &mut dyn NetworkOps, proposal: &Self::Proposal) -> CommitVerdict;
+
+    /// Upper estimate of the fresh gate slots this proposal's commit may
+    /// allocate (structural transients included). The driver reserves an
+    /// arena of this size (plus a safety margin) per proposal before
+    /// simulating a wave; underestimating is safe — the simulation
+    /// escapes to the serial fallback on arena overflow — but forfeits
+    /// that proposal's wave parallelism.
+    fn alloc_hint(&self, _proposal: &Self::Proposal) -> usize {
+        8
+    }
 
     /// Hook for steps whose partition degenerates to a single region.
     /// Engines whose single-region proposal would merely reproduce their
@@ -652,6 +678,7 @@ fn propose_and_commit<E: ProposeEngine>(
         Some(&mut sched.frontier),
         &mut sched.waves,
         changed,
+        cfg.threads,
     )
 }
 
@@ -676,21 +703,30 @@ pub fn commit_proposals<E: ProposeEngine>(
         None,
         &mut scratch,
         &mut changed,
+        1,
     )
 }
 
 /// Epoch-stamped per-node scratch shared by wave planning (which wave
-/// stamped a node's extended footprint) and escape detection (is a dirty
-/// node inside the committing proposal's own extension). Epochs advance
-/// per use, so the vectors are allocated once and never cleared.
+/// stamped a node's extended footprint) and the wave stamps handed to
+/// the overlay simulators (does a node belong to *some* proposal of the
+/// executing wave). Epochs advance per use, so the vectors are allocated
+/// once and never cleared.
+///
+/// Thread discipline: every mutation (epoch advance, restamp, growth)
+/// happens on the scheduling thread *between* waves; while wave workers
+/// run, the simulators hold only shared borrows of `own`, so reusing
+/// the scratch across waves and steps is race-free by construction.
 #[derive(Default)]
 struct WaveScratch {
     /// Wave planning: `plan[n] >= plan_base` means node `n` belongs to
     /// the extended footprint of a proposal in wave `plan[n] - plan_base`.
     plan: Vec<u32>,
     plan_base: u32,
-    /// Escape detection: `own[n] == own_epoch` marks `n` as inside the
-    /// currently committing proposal's extended footprint.
+    /// Wave stamps: `own[n] == own_epoch` marks `n` as inside the
+    /// executing wave's union of owned regions (extended footprints plus
+    /// reserved arenas). A simulator that reaches a stamped node it does
+    /// not own escapes — another worker may be rewriting it.
     own: Vec<u32>,
     own_epoch: u32,
 }
@@ -761,10 +797,64 @@ fn plan_waves(extended: &[Vec<NodeId>], scratch: &mut WaveScratch) -> Vec<u32> {
     waves
 }
 
-/// The wave-batched serial commit phase (see the module docs): wave 0
-/// members skip the per-proposal dirty scan until some commit's cascade
-/// escapes its own extended footprint; later waves (and everything after
-/// an escape) check their footprint against the accumulated step dirt.
+/// Records a refused proposal's footprint for retry.
+fn note_refused(
+    stale: &mut Option<&mut HashSet<NodeId>>,
+    frontier: &mut Option<&mut Vec<(NodeId, i64)>>,
+    footprint: &[NodeId],
+    gain: i64,
+) {
+    if let Some(stale) = stale.as_deref_mut() {
+        stale.extend(footprint.iter().copied());
+    }
+    if let Some(front) = frontier.as_deref_mut() {
+        front.extend(footprint.iter().map(|&n| (n, gain)));
+    }
+}
+
+/// Feeds one commit's dirt into the step-conflict set, the stale set,
+/// the invalidation list and the retry frontier.
+fn note_dirt(
+    step_dirty: &mut HashSet<NodeId>,
+    stale: &mut Option<&mut HashSet<NodeId>>,
+    frontier: &mut Option<&mut Vec<(NodeId, i64)>>,
+    changed: &mut Vec<NodeId>,
+    dirt: &[NodeId],
+    gain: i64,
+) {
+    for &n in dirt {
+        step_dirty.insert(n);
+        if let Some(stale) = stale.as_deref_mut() {
+            stale.insert(n);
+        }
+        changed.push(n);
+        if let Some(front) = frontier.as_deref_mut() {
+            front.push((n, gain));
+        }
+    }
+}
+
+/// The wave-batched commit phase (see the module docs). Per wave:
+///
+/// 1. refuse proposals whose footprint intersects dirt accumulated
+///    earlier in the step (their regions retry next step);
+/// 2. stamp the wave's owned regions and reserve per-proposal slot
+///    arenas, in proposal order;
+/// 3. run every commit **concurrently** against a write-isolated
+///    [`crate::wave::WaveSim`] over the re-frozen wave-start graph;
+/// 4. accept patches serially in proposal order — an escaped simulation
+///    or a fresh-strash-key collision between two patches demotes the
+///    later proposal to the serial fallback;
+/// 5. install the accepted patches with parallel disjoint-region
+///    writers, then reconcile and finalize them serially in proposal
+///    order (strash, boundary references, outputs, dirty log, freed
+///    slots, deferred kills, level ripples);
+/// 6. re-run the fallback proposals serially on the real graph.
+///
+/// Every stage is a pure function of (wave-start graph, proposal
+/// order), so the resulting netlist is bit-identical for every thread
+/// count.
+#[allow(clippy::too_many_arguments)]
 fn commit_waves<E: ProposeEngine>(
     mig: &mut Mig,
     engine: &E,
@@ -773,12 +863,12 @@ fn commit_waves<E: ProposeEngine>(
     mut frontier: Option<&mut Vec<(NodeId, i64)>>,
     scratch: &mut WaveScratch,
     changed: &mut Vec<NodeId>,
+    threads: usize,
 ) -> RoundOutcome {
     let mut outcome = RoundOutcome::default();
     if proposals.is_empty() {
         return outcome;
     }
-    let step_slots = mig.num_nodes();
     let extended: Vec<Vec<NodeId>> = proposals
         .iter()
         .map(|p| extended_footprint(mig, engine.footprint(p)))
@@ -786,108 +876,234 @@ fn commit_waves<E: ProposeEngine>(
     let waves = plan_waves(&extended, scratch);
     let num_waves = waves.iter().max().copied().unwrap_or(0) as usize + 1;
     outcome.waves = num_waves;
+    let mut by_wave: Vec<Vec<usize>> = vec![Vec::new(); num_waves];
+    for (i, &w) in waves.iter().enumerate() {
+        by_wave[w as usize].push(i);
+    }
     // Nodes touched earlier in this step; a proposal whose footprint
     // intersects it was analyzed against a graph that no longer exists.
     let mut step_dirty: HashSet<NodeId> = HashSet::new();
-    // Whether any cascade escaped its proposal's extended footprint in
-    // the current wave (forces the conservative scan for the rest of the
-    // wave).
-    let mut escaped = false;
-    let mut cursor = mig.dirty_cursor();
-    let mut order: Vec<usize> = (0..proposals.len()).collect();
-    order.sort_by_key(|&i| waves[i]);
-    let mut slots: Vec<Option<E::Proposal>> = proposals.into_iter().map(Some).collect();
-    let mut current_wave = 0u32;
-    let mut wave_span = Some(obs::trace::span_dyn(|| "commit:wave0".to_string()));
-    for i in order {
-        if waves[i] != current_wave {
-            current_wave = waves[i];
-            escaped = false;
-            // Close the previous wave's span before opening the next
-            // (an assignment would record Begin before End and cross).
-            let _ = wave_span.take();
-            wave_span = Some(obs::trace::span_dyn(|| {
-                format!("commit:wave{current_wave}")
-            }));
+    for (w, members) in by_wave.iter().enumerate() {
+        let _wave_span = obs::trace::span_dyn(|| format!("commit:wave{w}"));
+        // Driver conflict scan (vacuous for wave 0 of a fresh step).
+        let mut runnable: Vec<usize> = Vec::with_capacity(members.len());
+        for &i in members {
+            let fp = engine.footprint(&proposals[i]);
+            if fp.iter().any(|n| step_dirty.contains(n)) {
+                outcome.conflicted += 1;
+                note_refused(&mut stale, &mut frontier, fp, engine.gain(&proposals[i]));
+            } else {
+                runnable.push(i);
+            }
         }
-        let prop = slots[i].take().expect("each proposal committed once");
-        // Wave members are pairwise disjoint over extended footprints:
-        // dirt from earlier same-wave commits stays inside extensions
-        // this footprint cannot touch — unless a cascade escaped, which
-        // downgrades the rest of the wave (and every later wave) to the
-        // conservative footprint-vs-dirt scan.
-        let needs_scan = current_wave > 0 || escaped;
-        if needs_scan
-            && engine
-                .footprint(&prop)
-                .iter()
-                .any(|n| step_dirty.contains(n))
-        {
-            outcome.conflicted += 1;
-            let fp = engine.footprint(&prop);
-            if let Some(stale) = stale.as_deref_mut() {
-                stale.extend(fp.iter().copied());
-            }
-            if let Some(front) = frontier.as_deref_mut() {
-                let gain = engine.gain(&prop);
-                front.extend(fp.iter().map(|&n| (n, gain)));
-            }
+        obs::metrics::observe(obs::Metric::SchedWaveWidth, runnable.len() as u64);
+        if runnable.is_empty() {
             continue;
         }
-        let gain = engine.gain(&prop);
-        // The commit consumes the proposal; keep the footprint for the
-        // engine-side conflict verdict.
-        let footprint: Vec<NodeId> = engine.footprint(&prop).to_vec();
-        // Stamp this proposal's extension so its own dirt can be told
-        // apart from escaping cascades.
+        // Wave stamps: mark the union of all runnable regions, so each
+        // simulator can tell its own region from a sibling's.
         scratch.own_epoch = scratch.own_epoch.wrapping_add(1);
         if scratch.own_epoch == 0 {
             scratch.own.fill(0);
             scratch.own_epoch = 1;
         }
-        for &n in &extended[i] {
-            scratch.own[n as usize] = scratch.own_epoch;
+        let epoch = scratch.own_epoch;
+        // Per-proposal slot arenas, reserved in proposal order so slot
+        // assignment is deterministic; the margin over the engine's own
+        // estimate absorbs normalization transients.
+        let arenas: Vec<Vec<NodeId>> = runnable
+            .iter()
+            .map(|&i| wave::reserve_slots(mig, engine.alloc_hint(&proposals[i]) + 8))
+            .collect();
+        scratch.ensure(mig.num_nodes());
+        let owned: Vec<HashSet<NodeId>> = runnable
+            .iter()
+            .zip(&arenas)
+            .map(|(&i, arena)| extended[i].iter().chain(arena.iter()).copied().collect())
+            .collect();
+        for set in &owned {
+            for &n in set {
+                scratch.own[n as usize] = epoch;
+            }
         }
-        match engine.commit(mig, prop) {
-            CommitVerdict::Applied { replacements } => {
-                outcome.committed += 1;
-                outcome.replacements += replacements;
-                outcome.gain += gain;
-            }
-            CommitVerdict::Conflicted => {
-                outcome.conflicted += 1;
-                if let Some(stale) = stale.as_deref_mut() {
-                    stale.extend(footprint.iter().copied());
+        // Concurrent simulation: workers steal proposal indices and run
+        // the engine's commit against private overlays of the frozen
+        // wave-start graph; results land in per-proposal slots so
+        // nothing downstream depends on scheduling. Each simulation runs
+        // in its own metric scope — its recordings are published only if
+        // its patch is accepted (a fallback re-run records afresh).
+        type SimResult = (CommitVerdict, WavePatch, obs::Delta);
+        let slots: Vec<Mutex<Option<SimResult>>> =
+            runnable.iter().map(|_| Mutex::new(None)).collect();
+        {
+            let frozen: &Mig = mig;
+            let stamps: &[u32] = &scratch.own;
+            let next = AtomicUsize::new(0);
+            let workers = threads.max(1).min(runnable.len());
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let k = next.fetch_add(1, Ordering::Relaxed);
+                        if k >= runnable.len() {
+                            break;
+                        }
+                        let prop = &proposals[runnable[k]];
+                        let ((verdict, patch), delta) = obs::metrics::scoped(|| {
+                            let mut sim =
+                                wave::WaveSim::new(frozen, stamps, epoch, &owned[k], &arenas[k]);
+                            let v = engine.commit(&mut sim, prop);
+                            (v, sim.finish())
+                        });
+                        *slots[k].lock().unwrap() = Some((verdict, patch, delta));
+                    });
                 }
-                if let Some(front) = frontier.as_deref_mut() {
-                    front.extend(footprint.iter().map(|&n| (n, gain)));
-                }
-            }
-            CommitVerdict::Rejected => {}
+            });
         }
-        let dirt = mig
-            .dirty_since(cursor)
-            .expect("nothing drains inside a commit step")
-            .to_vec();
-        cursor = mig.dirty_cursor();
-        for n in dirt {
-            step_dirty.insert(n);
-            if let Some(stale) = stale.as_deref_mut() {
-                stale.insert(n);
+        let results: Vec<SimResult> = slots
+            .into_iter()
+            .map(|m| m.into_inner().unwrap().expect("every simulation ran"))
+            .collect();
+        // Acceptance scan, proposal order: escapes and fresh-key strash
+        // collisions (two proposals building the same new gate — the
+        // serial engine would have merged them) fall back.
+        let mut new_keys: HashSet<[Signal; 3]> = HashSet::new();
+        let mut accepted: Vec<usize> = Vec::new();
+        let mut is_accepted = vec![false; runnable.len()];
+        let mut fallback: Vec<usize> = Vec::new();
+        for (k, (_, patch, _)) in results.iter().enumerate() {
+            let collides = patch
+                .strash_add
+                .iter()
+                .any(|(key, _)| new_keys.contains(key));
+            if patch.escaped || collides {
+                fallback.push(k);
+            } else {
+                new_keys.extend(patch.strash_add.iter().map(|&(key, _)| key));
+                accepted.push(k);
+                is_accepted[k] = true;
             }
-            changed.push(n);
-            if let Some(front) = frontier.as_deref_mut() {
-                front.push((n, gain));
+        }
+        // Parallel apply: disjoint-region writers install every accepted
+        // patch's final node states.
+        let patch_refs: Vec<&WavePatch> = accepted.iter().map(|&k| &results[k].1).collect();
+        if !patch_refs.is_empty() {
+            wave::apply_patches(mig, &patch_refs, threads, w as u32);
+        }
+        // Serial reconciliation in proposal order: strash edits,
+        // boundary reference edits, outputs, dirty log, back-pointers.
+        for &k in &accepted {
+            let (verdict, patch, delta) = &results[k];
+            let gain = engine.gain(&proposals[runnable[k]]);
+            let cursor = mig.dirty_cursor();
+            wave::reconcile_patch(mig, patch);
+            match *verdict {
+                CommitVerdict::Applied { replacements } => {
+                    outcome.committed += 1;
+                    outcome.replacements += replacements;
+                    outcome.gain += gain;
+                }
+                CommitVerdict::Conflicted => {
+                    outcome.conflicted += 1;
+                    note_refused(
+                        &mut stale,
+                        &mut frontier,
+                        engine.footprint(&proposals[runnable[k]]),
+                        gain,
+                    );
+                }
+                CommitVerdict::Rejected => {}
             }
-            // Fresh slots (ids past the step start) can never alias a
-            // footprint of step-start nodes; only older slots outside
-            // this proposal's own extension count as escapes.
-            if (n as usize) < step_slots
-                && scratch.own.get(n as usize).copied() != Some(scratch.own_epoch)
+            delta.publish();
+            let dirt = mig
+                .dirty_since(cursor)
+                .expect("nothing drains inside a commit step")
+                .to_vec();
+            note_dirt(
+                &mut step_dirty,
+                &mut stale,
+                &mut frontier,
+                changed,
+                &dirt,
+                gain,
+            );
+        }
+        // Finalization after *all* reconciliations (deferred cross-patch
+        // kills need the fully reconciled reference counts): freed-slot
+        // recycling, foreign kills, level ripples past patch borders.
+        for &k in &accepted {
+            let gain = engine.gain(&proposals[runnable[k]]);
+            let cursor = mig.dirty_cursor();
+            wave::finalize_patch(mig, &results[k].1);
+            let dirt = mig
+                .dirty_since(cursor)
+                .expect("nothing drains inside a commit step")
+                .to_vec();
+            note_dirt(
+                &mut step_dirty,
+                &mut stale,
+                &mut frontier,
+                changed,
+                &dirt,
+                gain,
+            );
+        }
+        // Return unconsumed arena slots, newest reservation first, so
+        // the free list (and any trailing array growth) is restored for
+        // everything the wave never materialized.
+        for k in (0..runnable.len()).rev() {
+            let used = if is_accepted[k] {
+                results[k].1.arena_used
+            } else {
+                0
+            };
+            wave::return_slots(mig, &arenas[k][used..]);
+        }
+        // Serial fallback: escaped or demoted proposals re-run on the
+        // real graph — the historical serial commit path, now only for
+        // the provably-unsafe remainder.
+        obs::metrics::add(obs::Metric::SchedWaveFallbacks, fallback.len() as u64);
+        for &k in &fallback {
+            let prop = &proposals[runnable[k]];
+            let gain = engine.gain(prop);
+            if engine
+                .footprint(prop)
+                .iter()
+                .any(|n| step_dirty.contains(n))
             {
-                escaped = true;
+                outcome.conflicted += 1;
+                note_refused(&mut stale, &mut frontier, engine.footprint(prop), gain);
+                continue;
             }
+            let cursor = mig.dirty_cursor();
+            let (verdict, delta) = obs::metrics::scoped(|| engine.commit(&mut *mig, prop));
+            delta.publish();
+            match verdict {
+                CommitVerdict::Applied { replacements } => {
+                    outcome.committed += 1;
+                    outcome.replacements += replacements;
+                    outcome.gain += gain;
+                }
+                CommitVerdict::Conflicted => {
+                    outcome.conflicted += 1;
+                    note_refused(&mut stale, &mut frontier, engine.footprint(prop), gain);
+                }
+                CommitVerdict::Rejected => {}
+            }
+            let dirt = mig
+                .dirty_since(cursor)
+                .expect("nothing drains inside a commit step")
+                .to_vec();
+            note_dirt(
+                &mut step_dirty,
+                &mut stale,
+                &mut frontier,
+                changed,
+                &dirt,
+                gain,
+            );
         }
+        #[cfg(debug_assertions)]
+        mig.debug_check();
     }
     outcome
 }
@@ -975,21 +1191,23 @@ mod tests {
         footprint: Vec<NodeId>,
     }
 
-    /// Matches the pattern at `root` and returns the replacement signal.
-    fn redundant_and(mig: &Mig, root: NodeId) -> Option<Signal> {
-        if !mig.is_gate(root) {
+    /// Matches the pattern at `root` and returns the replacement signal
+    /// (over the [`NetworkOps`] view, so it also rechecks inside wave
+    /// simulations).
+    fn redundant_and(net: &dyn NetworkOps, root: NodeId) -> Option<Signal> {
+        if !net.is_gate(root) {
             return None;
         }
-        let ops = mig.fanins(root);
+        let ops = net.fanins(root);
         if ops[0] != Signal::ZERO {
             return None;
         }
         for (i, &inner) in ops.iter().enumerate().skip(1) {
-            if inner.is_complemented() || !mig.is_gate(inner.node()) {
+            if inner.is_complemented() || !net.is_gate(inner.node()) {
                 continue;
             }
             let other = ops[3 - i];
-            let inner_ops = mig.fanins(inner.node());
+            let inner_ops = net.fanins(inner.node());
             if inner_ops[0] == Signal::ZERO && inner_ops.contains(&other) {
                 return Some(inner);
             }
@@ -1036,12 +1254,12 @@ mod tests {
             1
         }
 
-        fn commit(&self, mig: &mut Mig, p: AndProposal) -> CommitVerdict {
+        fn commit(&self, net: &mut dyn NetworkOps, p: &AndProposal) -> CommitVerdict {
             // Live recheck: the pattern must still be present.
-            let Some(inner) = redundant_and(mig, p.root) else {
+            let Some(inner) = redundant_and(&*net, p.root) else {
                 return CommitVerdict::Conflicted;
             };
-            if mig.replace_node(p.root, inner) {
+            if net.replace_node(p.root, inner) {
                 CommitVerdict::Applied { replacements: 1 }
             } else {
                 CommitVerdict::Rejected
@@ -1240,6 +1458,97 @@ mod tests {
         );
         assert_eq!(m.output_truth_tables(), want, "function preserved");
         m.debug_check();
+    }
+
+    /// A commit whose cascade provably leaves its TFO-extended footprint
+    /// must escape its wave simulation and land through the serial
+    /// fallback — applied, not dropped, and bit-identical to a direct
+    /// serial `replace_node` on the same graph.
+    #[test]
+    fn escaped_cascade_falls_back_to_serial_application() {
+        struct CollapseEngine;
+        struct CollapseProposal {
+            root: NodeId,
+            repl: Signal,
+            footprint: Vec<NodeId>,
+        }
+        impl ProposeEngine for CollapseEngine {
+            type Proposal = CollapseProposal;
+            type RoundState = ();
+            fn partition(&self, mig: &Mig, max_regions: usize) -> (RegionPartition, ()) {
+                let p =
+                    RegionPartition::compute(mig, PartitionStrategy::LevelBands { max_regions });
+                (p, ())
+            }
+            fn propose(
+                &self,
+                _mig: &Mig,
+                _partition: &RegionPartition,
+                _state: &(),
+                _region: u32,
+            ) -> Vec<CollapseProposal> {
+                Vec::new()
+            }
+            fn footprint<'a>(&self, p: &'a CollapseProposal) -> &'a [NodeId] {
+                &p.footprint
+            }
+            fn gain(&self, _p: &CollapseProposal) -> i64 {
+                1
+            }
+            fn commit(&self, net: &mut dyn NetworkOps, p: &CollapseProposal) -> CommitVerdict {
+                if net.replace_node(p.root, p.repl) {
+                    CommitVerdict::Applied { replacements: 1 }
+                } else {
+                    CommitVerdict::Rejected
+                }
+            }
+        }
+
+        // The wave.rs escape construction: replacing `root` by `a`
+        // collapses `mid` (<a a !b> = a), which substitutes into `outer`
+        // — two fanout hops from the footprint, outside the extension.
+        let build = || {
+            let mut m = Mig::new(4);
+            let (a, b, c) = (m.input(0), m.input(1), m.input(2));
+            let inner = m.and(a, b);
+            let root = m.and(inner, b);
+            let mid = m.maj(root, a, !b);
+            let outer = m.maj(mid, c, a);
+            m.add_output(outer);
+            (m, root.node(), inner.node(), a)
+        };
+        let (mut m, root, inner, a) = build();
+        let prop = CollapseProposal {
+            root,
+            repl: a,
+            footprint: vec![root, inner],
+        };
+        let mut stale = HashSet::new();
+        let ((), delta) = obs::metrics::scoped(|| {
+            let outcome = commit_proposals(&mut m, &CollapseEngine, vec![prop], &mut stale);
+            assert_eq!(outcome.committed, 1, "escaped proposal still lands");
+            assert_eq!(outcome.conflicted, 0);
+        });
+        assert!(
+            delta.get(obs::Metric::SchedWaveFallbacks) >= 1,
+            "the cascade must have gone through the serial fallback"
+        );
+        m.debug_check();
+
+        let (mut serial, root, _, a) = build();
+        assert!(serial.replace_node(root, a));
+        let fp = |m: &Mig| {
+            (
+                m.num_nodes(),
+                m.gates().map(|g| (g, m.fanins(g))).collect::<Vec<_>>(),
+                m.outputs().to_vec(),
+            )
+        };
+        assert_eq!(
+            fp(&m),
+            fp(&serial),
+            "fallback diverged from serial semantics"
+        );
     }
 
     #[test]

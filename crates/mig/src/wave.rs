@@ -1,0 +1,1110 @@
+//! Concurrent wave application: the write-isolated overlay simulator and
+//! the serial reconciliation that turns its patches into real graph
+//! mutations.
+//!
+//! A commit wave is a set of proposals whose TFO-extended footprints are
+//! pairwise disjoint (planned by `shard::plan_waves`). Historically the
+//! wave was still *applied* from one thread because every substitution
+//! needed `&mut Mig`. This module removes that serial tail:
+//!
+//! 1. **Reserve.** The driver reserves per-proposal slot *arenas* from
+//!    the free list (growing the slot arrays with dead placeholders when
+//!    the list runs dry), so concurrent commits never race on slot
+//!    allocation.
+//! 2. **Simulate.** Each wave worker runs its engine's commit against a
+//!    [`WaveSim`]: a [`crate::NetworkOps`] implementation over the
+//!    *frozen* wave-start graph plus a private overlay. The simulator
+//!    mirrors [`Mig::replace_node`] exactly — structural hashing against
+//!    a strash view, cascade re-normalization, guard-protected pending
+//!    substitutions, recursive cone freeing, eager level maintenance —
+//!    but owns only the proposal's extended footprint and its arena.
+//!    Reference edits on *foreign* (unowned, unstamped) nodes become
+//!    boundary log entries; any mutation that would touch another
+//!    proposal's stamped region, rewire an unowned parent, or overflow
+//!    the arena **escapes**: the sim poisons itself and the driver
+//!    re-runs that proposal serially on the real graph after the wave.
+//! 3. **Apply.** Surviving patches write their final node states
+//!    (fanins, fanout list, dead flag, level) back concurrently —
+//!    per-patch node sets are disjoint by construction, so the writes
+//!    are data-race free by ownership, not by locking.
+//! 4. **Reconcile.** A serial pass per patch (proposal order) replays
+//!    the strash edits, the cross-region boundary reference log and the
+//!    output edits, repairs fanout back-pointers, feeds the dirty log,
+//!    then recycles freed slots and resolves deferred foreign kills
+//!    against real reference counts.
+//!
+//! Every stage is a pure function of (wave-start graph, proposal order),
+//! so the resulting netlist is bit-identical for every worker count.
+
+use crate::graph::OUT_FLAG;
+use crate::{normalize_maj, Mig, NodeId, Normalized, Signal};
+use std::collections::{HashMap, HashSet};
+
+/// One node's final overlay state, written back verbatim by
+/// [`apply_patches`].
+#[derive(Clone)]
+pub(crate) struct NodeState {
+    fanins: [Signal; 3],
+    /// Fanout entries by *value* (parent gate ids, `OUT_FLAG | i`
+    /// outputs). Positions are reassigned during reconciliation; a
+    /// normalized gate references a child in exactly one slot, so values
+    /// are unique per list and value-level edits are well defined.
+    fanouts: Vec<u32>,
+    dead: bool,
+    level: u32,
+}
+
+/// A reference edit on a node outside every proposal of the wave,
+/// replayed serially during reconciliation.
+#[derive(Clone, Copy)]
+pub(crate) enum BoundaryOp {
+    /// `entry` was appended to `child`'s fanout list.
+    Add { child: NodeId, entry: u32 },
+    /// `entry` was removed from `child`'s fanout list.
+    Del { child: NodeId, entry: u32 },
+}
+
+/// Everything one simulated commit wants to do to the real graph.
+#[derive(Default)]
+pub(crate) struct WavePatch {
+    /// Final overlay states in first-touch order (disjoint across the
+    /// wave's patches).
+    touched: Vec<(NodeId, NodeState)>,
+    /// Net strash edits (transients compressed out): deletions of
+    /// base-table keys, then insertions of new keys. The insertions are
+    /// read by the driver's acceptance scan — two proposals building the
+    /// same fresh gate collide here and the later one falls back.
+    strash_del: Vec<[Signal; 3]>,
+    pub(crate) strash_add: Vec<([Signal; 3], NodeId)>,
+    /// Reference edits on foreign nodes, in simulation order.
+    boundary: Vec<BoundaryOp>,
+    /// Primary-output rewrites, in simulation order.
+    outs: Vec<(u32, Signal)>,
+    /// The dirty-log feed, in the exact order the serial engine would
+    /// have produced.
+    dirty: Vec<NodeId>,
+    /// Owned nodes freed by the commit (slot generation bump + free-list
+    /// recycling during finalization).
+    freed: Vec<NodeId>,
+    /// Foreign nodes that lost references and may now be dangling; their
+    /// kill is deferred to finalization, where real reference counts are
+    /// available.
+    kill_candidates: Vec<NodeId>,
+    /// Owned nodes whose level changed: level ripples into unowned
+    /// parents are replayed from these seeds during finalization.
+    level_roots: Vec<NodeId>,
+    /// Net live-gate delta.
+    live_delta: i64,
+    /// Arena slots consumed (prefix of the reserved arena).
+    pub(crate) arena_used: usize,
+    /// The commit left its owned region; the driver discards the patch
+    /// and re-runs the proposal serially after the wave.
+    pub(crate) escaped: bool,
+}
+
+/// A write-isolated overlay over a frozen [`Mig`]: the `&mut dyn
+/// NetworkOps` handed to a wave worker's engine commit.
+pub(crate) struct WaveSim<'a> {
+    base: &'a Mig,
+    /// Wave-epoch stamps: `stamps[n] == epoch` means node `n` belongs to
+    /// *some* proposal of this wave (an extended footprint or a reserved
+    /// arena slot).
+    stamps: &'a [u32],
+    epoch: u32,
+    /// This proposal's own region: its extended footprint plus its
+    /// arena.
+    owned: &'a HashSet<NodeId>,
+    /// Pre-reserved slots for nodes this commit materializes.
+    arena: &'a [NodeId],
+    arena_next: usize,
+    /// Overlay node states, materialized on first touch.
+    st: HashMap<NodeId, NodeState>,
+    /// First-touch order of `st` keys.
+    touched: Vec<NodeId>,
+    /// Transient guard counts (the sim analogue of the `GUARD` fanout
+    /// entries protecting pending substitution signals); never stored in
+    /// overlay lists.
+    guards: HashMap<NodeId, u32>,
+    /// Strash overlay: `Some(n)` maps the key in this view, `None`
+    /// deletes a base mapping.
+    strash_view: HashMap<[Signal; 3], Option<NodeId>>,
+    /// Raw strash edit log (first-occurrence order recovers determinism
+    /// from the hash-map view).
+    strash_log: Vec<([Signal; 3], Option<NodeId>)>,
+    /// Net fanout-count drift of foreign nodes (for `fanout_count`
+    /// fidelity while boundary edits are pending).
+    foreign_refs: HashMap<NodeId, i32>,
+    /// Primary-output overlay plus its edit log.
+    out_view: HashMap<u32, Signal>,
+    boundary: Vec<BoundaryOp>,
+    outs: Vec<(u32, Signal)>,
+    dirty: Vec<NodeId>,
+    freed: Vec<NodeId>,
+    kill_candidates: Vec<NodeId>,
+    live_delta: i64,
+    escaped: bool,
+}
+
+impl<'a> WaveSim<'a> {
+    /// Builds the simulator for one proposal. `owned` must contain the
+    /// proposal's extended footprint and every `arena` slot; `stamps`
+    /// must mark the union of all same-wave regions with `epoch`.
+    pub(crate) fn new(
+        base: &'a Mig,
+        stamps: &'a [u32],
+        epoch: u32,
+        owned: &'a HashSet<NodeId>,
+        arena: &'a [NodeId],
+    ) -> Self {
+        WaveSim {
+            base,
+            stamps,
+            epoch,
+            owned,
+            arena,
+            arena_next: 0,
+            st: HashMap::new(),
+            touched: Vec::new(),
+            guards: HashMap::new(),
+            strash_view: HashMap::new(),
+            strash_log: Vec::new(),
+            foreign_refs: HashMap::new(),
+            out_view: HashMap::new(),
+            boundary: Vec::new(),
+            outs: Vec::new(),
+            dirty: Vec::new(),
+            freed: Vec::new(),
+            kill_candidates: Vec::new(),
+            live_delta: 0,
+            escaped: false,
+        }
+    }
+
+    /// Poisons the simulator: the commit needs a mutation outside its
+    /// owned region, so the proposal must re-run serially.
+    fn escape(&mut self) {
+        self.escaped = true;
+    }
+
+    fn owns(&self, n: NodeId) -> bool {
+        self.owned.contains(&n)
+    }
+
+    /// Stamped by this wave but owned by *another* proposal: touching it
+    /// concurrently is never safe.
+    fn foreign_stamped(&self, n: NodeId) -> bool {
+        self.stamps.get(n as usize).copied() == Some(self.epoch) && !self.owns(n)
+    }
+
+    fn dead_view(&self, n: NodeId) -> bool {
+        match self.st.get(&n) {
+            Some(s) => s.dead,
+            None => self.base.dead[n as usize],
+        }
+    }
+
+    fn fanins_raw(&self, n: NodeId) -> [Signal; 3] {
+        match self.st.get(&n) {
+            Some(s) => s.fanins,
+            None => self.base.fanins[n as usize],
+        }
+    }
+
+    fn level_view(&self, n: NodeId) -> u32 {
+        match self.st.get(&n) {
+            Some(s) => s.level,
+            None => self.base.level[n as usize],
+        }
+    }
+
+    fn is_gate_view(&self, n: NodeId) -> bool {
+        !self.base.is_terminal(n) && (n as usize) < self.base.fanins.len() && !self.dead_view(n)
+    }
+
+    /// Materializes (or returns) the overlay state of an owned node.
+    fn state_mut(&mut self, n: NodeId) -> &mut NodeState {
+        debug_assert!(self.owns(n), "overlay write to unowned node {n}");
+        if !self.st.contains_key(&n) {
+            self.touched.push(n);
+            self.st.insert(
+                n,
+                NodeState {
+                    fanins: self.base.fanins[n as usize],
+                    fanouts: self.base.fanouts[n as usize].clone(),
+                    dead: self.base.dead[n as usize],
+                    level: self.base.level[n as usize],
+                },
+            );
+        }
+        self.st.get_mut(&n).expect("just inserted")
+    }
+
+    /// A snapshot of `n`'s fanout entries in this view.
+    fn fanout_view(&self, n: NodeId) -> Vec<u32> {
+        match self.st.get(&n) {
+            Some(s) => s.fanouts.clone(),
+            None => self.base.fanouts[n as usize].clone(),
+        }
+    }
+
+    /// The view reference count of an *owned* node: overlay list length
+    /// plus transient guards.
+    fn refcount_view(&self, n: NodeId) -> usize {
+        let list = match self.st.get(&n) {
+            Some(s) => s.fanouts.len(),
+            None => self.base.fanouts[n as usize].len(),
+        };
+        list + self.guards.get(&n).copied().unwrap_or(0) as usize
+    }
+
+    fn guard(&mut self, n: NodeId) {
+        *self.guards.entry(n).or_insert(0) += 1;
+    }
+
+    fn unguard(&mut self, n: NodeId) {
+        let c = self
+            .guards
+            .get_mut(&n)
+            .expect("pending substitution guard present");
+        *c -= 1;
+        if *c == 0 {
+            self.guards.remove(&n);
+        }
+    }
+
+    /// Appends a reference `entry` to `child`'s list: overlay edit when
+    /// owned, boundary log when foreign, escape when another proposal's.
+    fn add_ref(&mut self, child: NodeId, entry: u32) {
+        if self.owns(child) {
+            self.state_mut(child).fanouts.push(entry);
+        } else if self.foreign_stamped(child) {
+            self.escape();
+        } else {
+            self.boundary.push(BoundaryOp::Add { child, entry });
+            *self.foreign_refs.entry(child).or_insert(0) += 1;
+        }
+    }
+
+    /// Removes the reference `entry` from `child`'s list (dual of
+    /// [`WaveSim::add_ref`]).
+    fn remove_ref(&mut self, child: NodeId, entry: u32) {
+        if self.owns(child) {
+            let list = &mut self.state_mut(child).fanouts;
+            let pos = list
+                .iter()
+                .position(|&e| e == entry)
+                .expect("removed reference present in view");
+            list.swap_remove(pos);
+        } else if self.foreign_stamped(child) {
+            self.escape();
+        } else {
+            self.boundary.push(BoundaryOp::Del { child, entry });
+            *self.foreign_refs.entry(child).or_insert(0) -= 1;
+        }
+    }
+
+    fn strash_lookup(&self, key: &[Signal; 3]) -> Option<NodeId> {
+        match self.strash_view.get(key) {
+            Some(&slot) => slot,
+            None => self.base.strash.get(key).copied(),
+        }
+    }
+
+    fn strash_set(&mut self, key: [Signal; 3], val: Option<NodeId>) {
+        self.strash_view.insert(key, val);
+        self.strash_log.push((key, val));
+    }
+
+    /// Mirror of `Mig::node_for_key` allocating from the arena (the
+    /// strash miss is the caller's responsibility).
+    fn node_for_key(&mut self, key: [Signal; 3]) -> NodeId {
+        debug_assert!(self.strash_lookup(&key).is_none());
+        if self.arena_next >= self.arena.len() {
+            self.escape();
+            return 0;
+        }
+        let n = self.arena[self.arena_next];
+        self.arena_next += 1;
+        debug_assert!(self.owns(n) && self.base.dead[n as usize]);
+        let level = 1 + key
+            .iter()
+            .map(|s| self.level_view(s.node()))
+            .max()
+            .unwrap_or(0);
+        self.touched.push(n);
+        self.st.insert(
+            n,
+            NodeState {
+                fanins: key,
+                fanouts: Vec::new(),
+                dead: false,
+                level,
+            },
+        );
+        self.strash_set(key, Some(n));
+        for s in key {
+            self.add_ref(s.node(), n);
+        }
+        self.live_delta += 1;
+        self.dirty.push(n);
+        n
+    }
+
+    /// Mirror of `Mig::depends_on` over the view (level-pruned DFS).
+    fn depends_on_view(&self, start: NodeId, target: NodeId) -> bool {
+        if start == target {
+            return true;
+        }
+        if self.level_view(start) <= self.level_view(target) {
+            return false;
+        }
+        let mut seen: HashSet<NodeId> = HashSet::new();
+        let mut stack = vec![start];
+        while let Some(v) = stack.pop() {
+            if self.base.is_terminal(v) || !seen.insert(v) {
+                continue;
+            }
+            for s in self.fanins_raw(v) {
+                let m = s.node();
+                if m == target {
+                    return true;
+                }
+                if self.level_view(m) > self.level_view(target) {
+                    stack.push(m);
+                }
+            }
+        }
+        false
+    }
+
+    /// Mirror of `Mig::kill_if_unreferenced`: recursively frees the
+    /// unreferenced part of `n`'s cone in the overlay; unowned nodes are
+    /// deferred to finalization (their real reference counts decide).
+    fn sim_kill_if_unref(&mut self, n: NodeId) {
+        let mut stack = vec![n];
+        while let Some(v) = stack.pop() {
+            if self.base.is_terminal(v) {
+                continue;
+            }
+            if !self.owns(v) {
+                self.kill_candidates.push(v);
+                continue;
+            }
+            if self.dead_view(v) || self.refcount_view(v) > 0 {
+                continue;
+            }
+            let key = self.fanins_raw(v);
+            debug_assert_eq!(self.strash_lookup(&key), Some(v));
+            self.strash_set(key, None);
+            let state = self.state_mut(v);
+            state.dead = true;
+            state.fanins = [Signal::ZERO; 3];
+            state.level = 0;
+            self.live_delta -= 1;
+            self.freed.push(v);
+            self.dirty.push(v);
+            for s in key {
+                self.remove_ref(s.node(), v);
+                stack.push(s.node());
+            }
+        }
+    }
+
+    /// Mirror of `Mig::update_levels_from` over the view: propagates
+    /// level changes through owned parents; ripples into unowned parents
+    /// are replayed during finalization from the recorded level roots.
+    fn update_levels_view(&mut self, p: NodeId) {
+        let mut work = vec![p];
+        while let Some(v) = work.pop() {
+            if self.base.is_terminal(v) || self.dead_view(v) || !self.owns(v) {
+                continue;
+            }
+            let nl = 1 + self
+                .fanins_raw(v)
+                .iter()
+                .map(|s| self.level_view(s.node()))
+                .max()
+                .unwrap_or(0);
+            if nl != self.level_view(v) {
+                self.state_mut(v).level = nl;
+                for f in self.fanout_view(v) {
+                    if f & OUT_FLAG == 0 {
+                        work.push(f);
+                    }
+                }
+            }
+        }
+    }
+
+    fn out_signal(&self, i: u32) -> Signal {
+        self.out_view
+            .get(&i)
+            .copied()
+            .unwrap_or(self.base.outputs[i as usize])
+    }
+
+    /// Mirror of `Mig::set_output`.
+    fn sim_set_output(&mut self, i: u32, s: Signal) {
+        let old = self.out_signal(i);
+        self.remove_ref(old.node(), OUT_FLAG | i);
+        self.out_view.insert(i, s);
+        self.outs.push((i, s));
+        self.add_ref(s.node(), OUT_FLAG | i);
+    }
+
+    /// Mirror of `Mig::replace_in_gate`.
+    fn sim_replace_in_gate(&mut self, p: NodeId, o: NodeId, n: Signal) -> Option<(NodeId, Signal)> {
+        let old_key = self.fanins_raw(p);
+        let mut ops = old_key;
+        for s in ops.iter_mut() {
+            if s.node() == o {
+                *s = n.complement_if(s.is_complemented());
+            }
+        }
+        match normalize_maj(ops) {
+            Normalized::Copy(s) => Some((p, s)),
+            Normalized::Node(key, compl) => {
+                if let Some(q) = self.strash_lookup(&key) {
+                    debug_assert_ne!(q, p, "substitution changed an operand");
+                    if self.foreign_stamped(q) {
+                        // Merging with a gate another proposal may be
+                        // rewiring concurrently: not decidable here.
+                        self.escape();
+                        return None;
+                    }
+                    return Some((p, Signal::new(q, compl)));
+                }
+                if compl {
+                    let r = self.node_for_key(key);
+                    if self.escaped {
+                        return None;
+                    }
+                    return Some((p, Signal::new(r, true)));
+                }
+                debug_assert_eq!(self.strash_lookup(&old_key), Some(p));
+                self.strash_set(old_key, None);
+                for s in old_key {
+                    self.remove_ref(s.node(), p);
+                }
+                self.state_mut(p).fanins = key;
+                self.strash_set(key, Some(p));
+                for s in key {
+                    self.add_ref(s.node(), p);
+                }
+                for s in old_key {
+                    self.sim_kill_if_unref(s.node());
+                }
+                self.dirty.push(p);
+                self.update_levels_view(p);
+                None
+            }
+        }
+    }
+
+    /// Mirror of `Mig::replace_node`. Escapes (returning `false`)
+    /// instead of mutating outside the owned region.
+    fn sim_replace_node(&mut self, old: NodeId, new: Signal) -> bool {
+        if self.escaped {
+            return false;
+        }
+        if !self.owns(old) || !self.is_gate_view(old) || self.dead_view(new.node()) {
+            self.escape();
+            return false;
+        }
+        if new.node() == old || self.depends_on_view(new.node(), old) {
+            return false;
+        }
+        let mut subst: Vec<(NodeId, Signal)> = vec![(old, new)];
+        self.guard(new.node());
+        while let Some((o, n)) = subst.pop() {
+            self.unguard(n.node());
+            if self.dead_view(o) {
+                self.sim_kill_if_unref(n.node());
+                if self.escaped {
+                    return false;
+                }
+                continue;
+            }
+            debug_assert!(!self.dead_view(n.node()));
+            let parents: Vec<u32> = self
+                .fanout_view(o)
+                .into_iter()
+                .filter(|f| f & OUT_FLAG == 0)
+                .collect();
+            for p in parents {
+                if self.dead_view(p) {
+                    continue;
+                }
+                if !self.owns(p) {
+                    // The cascade reached a parent outside the extended
+                    // footprint: exactly the serial-fallback condition.
+                    self.escape();
+                    return false;
+                }
+                if let Some(pair) = self.sim_replace_in_gate(p, o, n) {
+                    self.guard(pair.1.node());
+                    subst.push(pair);
+                }
+                if self.escaped {
+                    return false;
+                }
+            }
+            let out_refs: Vec<u32> = self
+                .fanout_view(o)
+                .into_iter()
+                .filter(|&f| f & OUT_FLAG != 0)
+                .collect();
+            for f in out_refs {
+                let i = f & !OUT_FLAG;
+                let cur = self.out_signal(i);
+                debug_assert_eq!(cur.node(), o);
+                self.sim_set_output(i, n.complement_if(cur.is_complemented()));
+            }
+            self.sim_kill_if_unref(o);
+            if self.escaped {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Closes the simulation into a patch. Escaped sims return an empty
+    /// patch flagged for the serial fallback.
+    pub(crate) fn finish(mut self) -> WavePatch {
+        if self.escaped {
+            return WavePatch {
+                escaped: true,
+                ..WavePatch::default()
+            };
+        }
+        debug_assert!(self.guards.is_empty(), "guards must not outlive a commit");
+        // Compress the strash log: last op per key, first-occurrence
+        // order, transients (adds later deleted, deletes of never-based
+        // keys) dropped against the base table.
+        let mut final_op: HashMap<[Signal; 3], Option<NodeId>> = HashMap::new();
+        let mut key_order: Vec<[Signal; 3]> = Vec::new();
+        for &(key, val) in &self.strash_log {
+            if final_op.insert(key, val).is_none() {
+                key_order.push(key);
+            }
+        }
+        let mut strash_del = Vec::new();
+        let mut strash_add = Vec::new();
+        for key in key_order {
+            let base_has = self.base.strash.get(&key).copied();
+            match final_op[&key] {
+                Some(n) if base_has != Some(n) => {
+                    debug_assert!(base_has.is_none(), "cross-proposal strash overwrite");
+                    strash_add.push((key, n));
+                }
+                None if base_has.is_some() => strash_del.push(key),
+                _ => {}
+            }
+        }
+        let mut touched = Vec::with_capacity(self.touched.len());
+        let mut level_roots = Vec::new();
+        for n in std::mem::take(&mut self.touched) {
+            let state = self
+                .st
+                .remove(&n)
+                .expect("touched nodes have overlay state");
+            if !state.dead
+                && !self.base.is_terminal(n)
+                && state.level != self.base.level[n as usize]
+            {
+                level_roots.push(n);
+            }
+            touched.push((n, state));
+        }
+        WavePatch {
+            touched,
+            strash_del,
+            strash_add,
+            boundary: self.boundary,
+            outs: self.outs,
+            dirty: self.dirty,
+            freed: self.freed,
+            kill_candidates: self.kill_candidates,
+            level_roots,
+            live_delta: self.live_delta,
+            arena_used: self.arena_next,
+            escaped: false,
+        }
+    }
+}
+
+impl crate::NetworkOps for WaveSim<'_> {
+    fn num_inputs(&self) -> usize {
+        self.base.num_inputs
+    }
+
+    fn is_terminal(&self, n: NodeId) -> bool {
+        self.base.is_terminal(n)
+    }
+
+    fn is_gate(&self, n: NodeId) -> bool {
+        !self.escaped && self.is_gate_view(n)
+    }
+
+    fn is_dead(&self, n: NodeId) -> bool {
+        self.escaped || self.dead_view(n)
+    }
+
+    fn fanins(&self, n: NodeId) -> [Signal; 3] {
+        if self.escaped {
+            return [Signal::ZERO; 3];
+        }
+        assert!(self.is_gate_view(n), "node {n} is not a gate");
+        self.fanins_raw(n)
+    }
+
+    fn level(&self, n: NodeId) -> u32 {
+        if self.escaped {
+            return 0;
+        }
+        self.level_view(n)
+    }
+
+    fn fanout_count(&self, n: NodeId) -> u32 {
+        if self.escaped {
+            return 0;
+        }
+        match self.st.get(&n) {
+            Some(s) => s.fanouts.len() as u32,
+            None => {
+                let base = self.base.fanouts[n as usize].len() as i32;
+                let drift = self.foreign_refs.get(&n).copied().unwrap_or(0);
+                (base + drift).max(0) as u32
+            }
+        }
+    }
+
+    fn maj(&mut self, a: Signal, b: Signal, c: Signal) -> Signal {
+        if self.escaped {
+            return Signal::ZERO;
+        }
+        match normalize_maj([a, b, c]) {
+            Normalized::Copy(s) => s,
+            Normalized::Node(key, compl) => {
+                if let Some(q) = self.strash_lookup(&key) {
+                    if self.foreign_stamped(q) {
+                        self.escape();
+                        return Signal::ZERO;
+                    }
+                    return Signal::new(q, compl);
+                }
+                let n = self.node_for_key(key);
+                if self.escaped {
+                    return Signal::ZERO;
+                }
+                Signal::new(n, compl)
+            }
+        }
+    }
+
+    fn replace_node(&mut self, old: NodeId, new: Signal) -> bool {
+        self.sim_replace_node(old, new)
+    }
+
+    fn reclaim(&mut self, n: NodeId) {
+        if self.escaped {
+            return;
+        }
+        self.sim_kill_if_unref(n);
+    }
+}
+
+/// Reserves `count` gate slots: free-list pops first, then growth with
+/// dead placeholder rows. Reservation order is the proposal order, so
+/// slot assignment is deterministic.
+pub(crate) fn reserve_slots(mig: &mut Mig, count: usize) -> Vec<NodeId> {
+    let mut slots = Vec::with_capacity(count);
+    for _ in 0..count {
+        match mig.free.pop() {
+            Some(s) => {
+                debug_assert!(mig.dead[s as usize]);
+                slots.push(s);
+            }
+            None => {
+                let s = mig.fanins.len() as NodeId;
+                mig.fanins.push([Signal::ZERO; 3]);
+                mig.fanouts.push(Vec::new());
+                mig.fanout_pos.push([0; 3]);
+                mig.dead.push(true);
+                mig.slot_gen.push(0);
+                mig.level.push(0);
+                slots.push(s);
+            }
+        }
+    }
+    slots
+}
+
+/// Returns unused reserved slots, newest first, so the free-list order
+/// is restored for the slots that were never consumed. A leftover that
+/// is a never-used placeholder at the very top of the slot arrays
+/// (generation 0, so it has no recycling history a stale cursor could
+/// alias) is popped off the arrays entirely instead — over-provisioned
+/// arenas must not permanently grow the graph.
+pub(crate) fn return_slots(mig: &mut Mig, leftovers: &[NodeId]) {
+    for &s in leftovers.iter().rev() {
+        debug_assert!(mig.dead[s as usize]);
+        if s as usize + 1 == mig.fanins.len() && mig.slot_gen[s as usize] == 0 {
+            mig.fanins.pop();
+            mig.fanouts.pop();
+            mig.fanout_pos.pop();
+            mig.dead.pop();
+            mig.slot_gen.pop();
+            mig.level.pop();
+        } else {
+            mig.free.push(s);
+        }
+    }
+}
+
+/// A raw pointer wrapper asserting that concurrent writers touch
+/// disjoint indices (guaranteed here by per-patch node ownership).
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Sync for SendPtr<T> {}
+unsafe impl<T> Send for SendPtr<T> {}
+impl<T> Copy for SendPtr<T> {}
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+/// Writes every patch's final node states into the graph, one worker
+/// per patch batch. Patches own disjoint node sets (extended footprints
+/// are pairwise disjoint and arenas are reserved per proposal), so the
+/// element writes never alias.
+pub(crate) fn apply_patches(mig: &mut Mig, patches: &[&WavePatch], threads: usize, wave: u32) {
+    #[cfg(debug_assertions)]
+    {
+        let mut seen: HashSet<NodeId> = HashSet::new();
+        for p in patches {
+            for &(n, _) in &p.touched {
+                assert!(seen.insert(n), "wave patches overlap on node {n}");
+            }
+        }
+    }
+    let fanins = SendPtr(mig.fanins.as_mut_ptr());
+    let fanouts = SendPtr(mig.fanouts.as_mut_ptr());
+    let dead = SendPtr(mig.dead.as_mut_ptr());
+    let level = SendPtr(mig.level.as_mut_ptr());
+    let n_slots = mig.fanins.len();
+    let workers = threads.max(1).min(patches.len().max(1));
+    obs::metrics::add(obs::Metric::SchedWaveWorkers, workers as u64);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let barrier = std::sync::Barrier::new(workers);
+    std::thread::scope(|scope| {
+        for m in 0..workers {
+            let next = &next;
+            let barrier = &barrier;
+            scope.spawn(move || {
+                // Capture the `SendPtr` wrappers whole (edition-2021
+                // disjoint capture would otherwise move the raw `.0`
+                // pointers, which are not `Send`).
+                let (fanins, fanouts, dead, level) = (fanins, fanouts, dead, level);
+                let _span = obs::trace::span_dyn(|| format!("commit:wave{wave}:worker{m}"));
+                barrier.wait();
+                loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= patches.len() {
+                        break;
+                    }
+                    for (n, state) in &patches[i].touched {
+                        let idx = *n as usize;
+                        assert!(idx < n_slots);
+                        // SAFETY: patches write pairwise-disjoint node
+                        // sets (asserted above in debug builds and
+                        // guaranteed by wave planning + arena
+                        // reservation), and every index is in bounds.
+                        unsafe {
+                            *fanins.0.add(idx) = state.fanins;
+                            *fanouts.0.add(idx) = state.fanouts.clone();
+                            *dead.0.add(idx) = state.dead;
+                            *level.0.add(idx) = state.level;
+                        }
+                    }
+                }
+            });
+        }
+    });
+}
+
+/// Removes `entry` from `child`'s fanout list by value. The moved-entry
+/// back-pointer repair is *lenient*: an entry whose gate no longer
+/// references `child` belongs to a dead gate awaiting its own boundary
+/// deletion, and is skipped (its back-pointers are garbage either way).
+fn boundary_remove(mig: &mut Mig, child: NodeId, entry: u32) {
+    let list = &mut mig.fanouts[child as usize];
+    let pos = list
+        .iter()
+        .position(|&e| e == entry)
+        .expect("boundary-removed reference present");
+    list.swap_remove(pos);
+    if let Some(&moved) = list.get(pos) {
+        if moved & OUT_FLAG != 0 {
+            mig.out_pos[(moved & !OUT_FLAG) as usize] = pos as u32;
+        } else if let Some(slot) = mig.fanins[moved as usize]
+            .iter()
+            .position(|s| s.node() == child)
+        {
+            mig.fanout_pos[moved as usize][slot] = pos as u32;
+        }
+    }
+}
+
+/// Serial reconciliation of one accepted patch (run per patch in
+/// proposal order, after [`apply_patches`]): strash edits, boundary
+/// reference edits, output rewrites, the dirty-log feed, the live-gate
+/// counter, and a wholesale back-pointer repair over the patch's
+/// surviving nodes.
+pub(crate) fn reconcile_patch(mig: &mut Mig, patch: &WavePatch) {
+    for key in &patch.strash_del {
+        let removed = mig.strash.remove(key);
+        debug_assert!(removed.is_some(), "strash deletion of unmapped key");
+    }
+    for &(key, n) in &patch.strash_add {
+        let prev = mig.strash.insert(key, n);
+        debug_assert!(prev.is_none(), "strash insertion collided");
+    }
+    for &op in &patch.boundary {
+        match op {
+            BoundaryOp::Del { child, entry } => boundary_remove(mig, child, entry),
+            BoundaryOp::Add { child, entry } => {
+                let pos = mig.push_fanout(child, entry);
+                if entry & OUT_FLAG != 0 {
+                    mig.out_pos[(entry & !OUT_FLAG) as usize] = pos;
+                } else if let Some(slot) = mig.fanins[entry as usize]
+                    .iter()
+                    .position(|s| s.node() == child)
+                {
+                    // Lenient: a gate created then killed within the
+                    // patch adds and later deletes this entry; its
+                    // zeroed fanins no longer name `child`.
+                    mig.fanout_pos[entry as usize][slot] = pos;
+                }
+            }
+        }
+    }
+    for &(i, s) in &patch.outs {
+        mig.outputs[i as usize] = s;
+    }
+    for &n in &patch.dirty {
+        mig.note_structural_change(n);
+    }
+    mig.live_gates = (mig.live_gates as i64 + patch.live_delta) as usize;
+    // Wholesale back-pointer repair: every entry position in a touched
+    // node's (freshly overwritten) fanout list is re-derived. Entries
+    // are live by construction — a same-wave proposal killing a gate
+    // that references another patch's node would have escaped.
+    for &(n, ref state) in &patch.touched {
+        if state.dead {
+            continue;
+        }
+        for pos in 0..mig.fanouts[n as usize].len() {
+            let e = mig.fanouts[n as usize][pos];
+            if e & OUT_FLAG != 0 {
+                mig.out_pos[(e & !OUT_FLAG) as usize] = pos as u32;
+            } else {
+                let slot = mig.fanins[e as usize]
+                    .iter()
+                    .position(|s| s.node() == n)
+                    .expect("fanout entry references its child");
+                mig.fanout_pos[e as usize][slot] = pos as u32;
+            }
+        }
+    }
+}
+
+/// Level recomputation seeded *above* `root`: `root`'s own level was
+/// installed by the apply phase, so the standard worklist (which stops
+/// on unchanged levels) must start from its fanout gates to push ripples
+/// into nodes outside the patch.
+fn update_levels_from_fanouts(mig: &mut Mig, root: NodeId) {
+    let mut work: Vec<NodeId> = mig.fanout_gates(root).collect();
+    while let Some(v) = work.pop() {
+        if mig.dead[v as usize] || mig.is_terminal(v) {
+            continue;
+        }
+        let nl = 1 + mig.fanins[v as usize]
+            .iter()
+            .map(|s| mig.level[s.node() as usize])
+            .max()
+            .unwrap_or(0);
+        if nl != mig.level[v as usize] {
+            mig.level[v as usize] = nl;
+            for i in 0..mig.fanouts[v as usize].len() {
+                let f = mig.fanouts[v as usize][i];
+                if f & OUT_FLAG == 0 {
+                    work.push(f);
+                }
+            }
+        }
+    }
+}
+
+/// Finalization of one patch (run per patch in proposal order, after
+/// every patch's [`reconcile_patch`]): recycles freed slots, resolves
+/// deferred foreign kills against real reference counts, and replays
+/// level ripples into nodes outside the patch.
+pub(crate) fn finalize_patch(mig: &mut Mig, patch: &WavePatch) {
+    for &n in &patch.freed {
+        debug_assert!(mig.dead[n as usize]);
+        mig.slot_gen[n as usize] = mig.slot_gen[n as usize].wrapping_add(1);
+        mig.free.push(n);
+    }
+    for &n in &patch.kill_candidates {
+        if !mig.is_terminal(n) && !mig.dead[n as usize] {
+            mig.kill_if_unreferenced(n);
+        }
+    }
+    for &n in &patch.level_roots {
+        if !mig.dead[n as usize] {
+            update_levels_from_fanouts(mig, n);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetworkOps;
+
+    /// Stamps + ownership for a single-proposal wave over `ext`.
+    fn solo_wave(
+        mig: &mut Mig,
+        ext: &[NodeId],
+        arena_size: usize,
+    ) -> (Vec<u32>, Vec<NodeId>, HashSet<NodeId>) {
+        let arena = reserve_slots(mig, arena_size);
+        let mut stamps = vec![0u32; mig.num_nodes()];
+        let mut owned: HashSet<NodeId> = ext.iter().copied().collect();
+        for &n in ext {
+            stamps[n as usize] = 1;
+        }
+        for &s in &arena {
+            stamps[s as usize] = 1;
+            owned.insert(s);
+        }
+        (stamps, arena, owned)
+    }
+
+    /// End-to-end: a simulated replace_node must reconcile into exactly
+    /// the graph the real replace_node produces (same function, same
+    /// structural invariants).
+    #[test]
+    fn simulated_replacement_reconciles_to_a_consistent_graph() {
+        let build = || {
+            let mut m = Mig::new(4);
+            let (a, b, c, d) = (m.input(0), m.input(1), m.input(2), m.input(3));
+            let inner = m.and(a, b);
+            let root = m.and(inner, b); // redundant: equals inner
+            let top = m.maj(root, c, d);
+            m.add_output(top);
+            (m, root.node(), inner.node(), top.node())
+        };
+        let (mut m, root, inner, top) = build();
+        let want = m.output_truth_tables();
+
+        // Extension: footprint {root, inner} plus fanout gates {top}.
+        let (stamps, arena, owned) = solo_wave(&mut m, &[root, inner, top], 4);
+        let frozen: &Mig = &m;
+        let mut sim = WaveSim::new(frozen, &stamps, 1, &owned, &arena);
+        assert!(sim.replace_node(root, Signal::new(inner, false)));
+        let patch = sim.finish();
+        assert!(!patch.escaped);
+
+        let patches = [&patch];
+        apply_patches(&mut m, &patches, 2, 0);
+        reconcile_patch(&mut m, &patch);
+        finalize_patch(&mut m, &patch);
+        let leftover = &arena[patch.arena_used..];
+        return_slots(&mut m, leftover);
+
+        m.debug_check();
+        assert!(m.is_dead(root));
+        assert_eq!(m.output_truth_tables(), want);
+
+        // The real serial engine reaches the same live netlist.
+        let (mut serial, root_s, inner_s, _) = build();
+        assert!(serial.replace_node(root_s, Signal::new(inner_s, false)));
+        let fp_w: Vec<_> = m.gates().map(|g| (g, m.fanins(g))).collect();
+        let fp_s: Vec<_> = serial.gates().map(|g| (g, serial.fanins(g))).collect();
+        assert_eq!(fp_w, fp_s);
+        assert_eq!(m.outputs(), serial.outputs());
+    }
+
+    /// A cascade that must rewire a parent outside the owned extension
+    /// escapes instead of mutating it.
+    #[test]
+    fn cascade_outside_extension_escapes() {
+        let mut m = Mig::new(4);
+        let (a, b, c) = (m.input(0), m.input(1), m.input(2));
+        let inner = m.and(a, b);
+        let root = m.and(inner, b);
+        let mid = m.maj(root, a, !b); // in extension (fanout of root)
+        let outer = m.maj(mid, c, a); // outside: cascade target
+        m.add_output(outer);
+        // Force a cascade: replacing root by `a` collapses `mid`
+        // (<a a !b> = a), which substitutes into `outer` — outside the
+        // owned region.
+        let ext = [root.node(), inner.node(), mid.node()];
+        let (stamps, arena, owned) = solo_wave(&mut m, &ext, 4);
+        let frozen: &Mig = &m;
+        let mut sim = WaveSim::new(frozen, &stamps, 1, &owned, &arena);
+        let _ = sim.replace_node(root.node(), a);
+        let patch = sim.finish();
+        assert!(patch.escaped, "outside cascade must escape");
+        return_slots(&mut m, &arena);
+        m.debug_check();
+    }
+
+    /// Arena exhaustion escapes instead of allocating globally.
+    #[test]
+    fn arena_overflow_escapes() {
+        let mut m = Mig::new(4);
+        let (a, b, c) = (m.input(0), m.input(1), m.input(2));
+        let g = m.maj(a, b, c);
+        m.add_output(g);
+        let (stamps, arena, owned) = solo_wave(&mut m, &[g.node()], 0);
+        let frozen: &Mig = &m;
+        let mut sim = WaveSim::new(frozen, &stamps, 1, &owned, &arena);
+        let s = sim.maj(a, !b, c); // needs a fresh node, arena empty
+        assert_eq!(s, Signal::ZERO);
+        assert!(sim.finish().escaped);
+    }
+
+    /// Touching another proposal's stamped node escapes.
+    #[test]
+    fn foreign_stamped_reference_escapes() {
+        let mut m = Mig::new(4);
+        let (a, b, c) = (m.input(0), m.input(1), m.input(2));
+        let mine = m.maj(a, b, c);
+        let theirs = m.maj(a, !b, c);
+        let top = m.maj(mine, theirs, a);
+        m.add_output(top);
+        let arena = reserve_slots(&mut m, 2);
+        let mut stamps = vec![0u32; m.num_nodes()];
+        // Both regions stamped with the wave epoch; only `mine`+`top`
+        // (and the arena) owned by this sim.
+        for n in [mine.node(), theirs.node(), top.node()] {
+            stamps[n as usize] = 7;
+        }
+        let mut owned: HashSet<NodeId> = [mine.node(), top.node()].into_iter().collect();
+        for &s in &arena {
+            stamps[s as usize] = 7;
+            owned.insert(s);
+        }
+        let frozen: &Mig = &m;
+        let mut sim = WaveSim::new(frozen, &stamps, 7, &owned, &arena);
+        // Rebuilding the exact foreign gate hits its strash entry.
+        let hit = sim.maj(a, !b, c);
+        assert_eq!(hit, Signal::ZERO);
+        assert!(sim.finish().escaped);
+        return_slots(&mut m, &arena);
+        m.debug_check();
+    }
+}

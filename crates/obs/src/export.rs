@@ -20,6 +20,7 @@ pub const JSONL_SCHEMA: &[(&str, &[&str])] = &[
     ("counter", &["name", "value"]),
     ("gauge", &["name", "value"]),
     ("hist", &["name", "count", "sum_ns"]),
+    ("vhist", &["name", "count", "sum"]),
 ];
 
 fn event_type(ph: Phase) -> &'static str {
@@ -83,6 +84,16 @@ pub fn metrics_jsonl(d: &Delta) -> String {
                         "{{\"type\":\"hist\",\"name\":\"{}\",\"count\":{n},\"sum_ns\":{}}}\n",
                         def.name,
                         d.hist_sum_ns(m)
+                    ));
+                }
+            }
+            Kind::Histogram => {
+                let n = d.hist_count(m);
+                if n != 0 {
+                    out.push_str(&format!(
+                        "{{\"type\":\"vhist\",\"name\":\"{}\",\"count\":{n},\"sum\":{}}}\n",
+                        def.name,
+                        d.hist_sum(m)
                     ));
                 }
             }
@@ -201,7 +212,7 @@ pub fn validate_jsonl(text: &str) -> Result<JsonlSummary, String> {
                     ts_ns: ts as u64,
                 });
             }
-            "counter" | "gauge" | "hist" => counters += 1,
+            "counter" | "gauge" | "hist" | "vhist" => counters += 1,
             _ => {}
         }
     }
@@ -238,6 +249,13 @@ pub fn derived_rates(d: &Delta, elapsed_s: f64) -> Vec<(String, f64)> {
         out.push((
             "cut_cache_hit_rate".into(),
             hits as f64 / (hits + misses) as f64,
+        ));
+    }
+    let workers = d.get(Metric::SchedWaveWorkers);
+    if workers != 0 {
+        out.push((
+            "commits_per_wave_worker".into(),
+            d.get(Metric::ShardCommitted) as f64 / workers as f64,
         ));
     }
     out

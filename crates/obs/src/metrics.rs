@@ -16,6 +16,16 @@ pub enum Kind {
     /// Duration histogram: total count, summed nanoseconds, and
     /// [`BUCKETS`] log2 buckets starting at 1 µs.
     DurationNs,
+    /// Value histogram: total count, summed values, and [`BUCKETS`]
+    /// log2 buckets starting at 1 (bucket `i` counts values `< 2^i`).
+    Histogram,
+}
+
+impl Kind {
+    /// Whether the kind lays out histogram slots (count, sum, buckets).
+    pub fn is_histogram(self) -> bool {
+        matches!(self, Kind::DurationNs | Kind::Histogram)
+    }
 }
 
 /// One row of the central metric table.
@@ -111,6 +121,12 @@ metrics_table! {
         "time spent inside SAT equivalence proofs";
     CecSimChecks => "cec.sim_checks", Counter, true,
         "random / exhaustive simulation equivalence checks";
+    SchedWaveWidth => "sched.wave_width", Histogram, true,
+        "runnable proposals per commit wave (parallelism exposed)";
+    SchedWaveWorkers => "sched.wave_workers", Counter, true,
+        "worker threads that applied commit-wave patches";
+    SchedWaveFallbacks => "sched.wave_fallbacks", Counter, true,
+        "proposals re-run serially after their simulation escaped";
 }
 
 /// Log2 duration buckets per histogram; bucket `i` counts durations
@@ -120,7 +136,7 @@ pub const BUCKETS: usize = 16;
 const fn slots_of(kind: Kind) -> usize {
     match kind {
         Kind::Counter | Kind::Gauge => 1,
-        Kind::DurationNs => 2 + BUCKETS,
+        Kind::DurationNs | Kind::Histogram => 2 + BUCKETS,
     }
 }
 
@@ -194,7 +210,7 @@ fn record(base: usize, vals: &[u64]) {
 /// Increments a counter.
 #[inline]
 pub fn add(m: Metric, n: u64) {
-    debug_assert!(m.def().kind != Kind::DurationNs);
+    debug_assert!(!m.def().kind.is_histogram());
     if n != 0 {
         record(m.slot(), &[n]);
     }
@@ -225,6 +241,24 @@ pub fn observe_ns(m: Metric, ns: u64) {
     let base = m.slot();
     record(base, &[1, ns]);
     record(base + 2 + bucket_of(ns), &[1]);
+}
+
+#[inline]
+fn value_bucket_of(v: u64) -> usize {
+    let mut b = 0;
+    while b + 1 < BUCKETS && v >= (1u64 << b) {
+        b += 1;
+    }
+    b
+}
+
+/// Records one observation into a value histogram (log2 buckets from 1).
+#[inline]
+pub fn observe(m: Metric, v: u64) {
+    debug_assert_eq!(m.def().kind, Kind::Histogram);
+    let base = m.slot();
+    record(base, &[1, v]);
+    record(base + 2 + value_bucket_of(v), &[1]);
 }
 
 /// RAII timer feeding a duration histogram on drop.
@@ -279,8 +313,15 @@ impl Delta {
 
     /// Histogram observation count.
     pub fn hist_count(&self, m: Metric) -> u64 {
-        debug_assert_eq!(m.def().kind, Kind::DurationNs);
+        debug_assert!(m.def().kind.is_histogram());
         self.slots[m.slot()]
+    }
+
+    /// Histogram summed values (nanoseconds for [`Kind::DurationNs`],
+    /// raw values for [`Kind::Histogram`]).
+    pub fn hist_sum(&self, m: Metric) -> u64 {
+        debug_assert!(m.def().kind.is_histogram());
+        self.slots[m.slot() + 1]
     }
 
     /// Histogram summed nanoseconds.
@@ -289,9 +330,10 @@ impl Delta {
         self.slots[m.slot() + 1]
     }
 
-    /// Histogram bucket counts (`BUCKETS` entries, log2 from 1 µs).
+    /// Histogram bucket counts (`BUCKETS` entries, log2 from 1 µs for
+    /// durations, log2 from 1 for value histograms).
     pub fn hist_buckets(&self, m: Metric) -> &[u64] {
-        debug_assert_eq!(m.def().kind, Kind::DurationNs);
+        debug_assert!(m.def().kind.is_histogram());
         let base = m.slot() + 2;
         &self.slots[base..base + BUCKETS]
     }
@@ -420,6 +462,17 @@ pub fn render_table(d: &Delta) -> String {
                     ));
                 }
             }
+            Kind::Histogram => {
+                let n = d.hist_count(m);
+                if n != 0 {
+                    let sum = d.hist_sum(m);
+                    out.push_str(&format!(
+                        "{:width$}  n={n} sum={sum} mean={:.2}\n",
+                        def.name,
+                        sum as f64 / n as f64,
+                    ));
+                }
+            }
         }
     }
     out
@@ -490,6 +543,24 @@ mod tests {
         let buckets = d.hist_buckets(Metric::CecSatNs);
         assert_eq!(buckets.iter().sum::<u64>(), 3);
         assert_eq!(buckets[0], 1);
+        assert_eq!(buckets[BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn value_histogram_buckets_accumulate() {
+        let (_, d) = scoped(|| {
+            observe(Metric::SchedWaveWidth, 0); // bucket 0 (< 1)
+            observe(Metric::SchedWaveWidth, 1); // bucket 1 (< 2)
+            observe(Metric::SchedWaveWidth, 8); // bucket 4 (< 16)
+            observe(Metric::SchedWaveWidth, u64::MAX); // overflow bucket
+        });
+        assert_eq!(d.hist_count(Metric::SchedWaveWidth), 4);
+        assert_eq!(d.hist_sum(Metric::SchedWaveWidth), u64::MAX.wrapping_add(9));
+        let buckets = d.hist_buckets(Metric::SchedWaveWidth);
+        assert_eq!(buckets.iter().sum::<u64>(), 4);
+        assert_eq!(buckets[0], 1);
+        assert_eq!(buckets[1], 1);
+        assert_eq!(buckets[4], 1);
         assert_eq!(buckets[BUCKETS - 1], 1);
     }
 

@@ -60,6 +60,23 @@ for f in benchmarks/full_adder.aag benchmarks/adder8.aag \
     ./target/release/trace_lint "$t"
 done
 
+echo "== generated-corpus smoke: compact pass on synthesized instances"
+# Two large-graph corpus instances synthesized on the fly (gen_bench):
+# deep stacked arithmetic (hyp) and control-dominated logic (ctrl),
+# through the convergence scheduler, a mid-pipeline compact and a
+# budgeted SAT equivalence check (random simulation always runs in
+# full; exit code 2 = counterexample fails CI here).
+GEN=./target/release/gen_bench
+for spec in hyp:24 ctrl:8:6:150:7; do
+    g="$TRACE_DIR/$(echo "$spec" | tr ':' '_').blif"
+    "$GEN" "$spec" "$g"
+    echo "-- migopt -i $g -p \"fhash!:B@4; compact; algebraic@4; cec:50000\""
+    "$MIGOPT" -q -i "$g" -p "fhash!:B@4; compact; algebraic@4; cec:50000"
+done
+
+echo "== production-corpus determinism + equivalence gate (>=100k gates)"
+./target/release/corpus_check
+
 echo "== tracing-off overhead gate (sched/chain512@1, bound 5%)"
 cargo run --release -q -p bench_harness --bin trace_overhead
 
@@ -93,5 +110,46 @@ else
     }
     echo "skip: only $CORES core(s) — speedup target waived, overhead bound ok (@4 = $M4 ns, @1 = $M1 ns)"
 fi
+
+echo "== large-corpus scale gate (fhash!/epfl_big@1 vs sched/mult_big@1, ns/gate)"
+# Per-gate convergence cost on the 4x-larger production instance must
+# stay within 2x of the medium instance's — superlinear blowup here
+# means the storage layer stopped scaling. Both terms are same-machine
+# @1 runs, so the ratio needs no core-count branch.
+ctx_of() {
+    grep -o "\"$1\": [0-9.]*" BENCH_micro.json | head -n 1 | sed 's/.*: //'
+}
+E1=$(mean_of "fhash!/epfl_big@1")
+EG=$(ctx_of "corpus.epfl_big_gates")
+MG=$(ctx_of "corpus.mult_big_gates")
+[ -n "$E1" ] && [ -n "$EG" ] && [ -n "$MG" ] || {
+    echo "missing epfl_big rows/context in BENCH_micro.json"; exit 1;
+}
+ENG=$(awk -v e="$E1" -v g="$EG" 'BEGIN { printf "%.0f", e / g }')
+MNG=$(awk -v m="$M1" -v g="$MG" 'BEGIN { printf "%.0f", m / g }')
+awk -v e="$ENG" -v m="$MNG" 'BEGIN { exit !(e <= 2.0 * m) }' || {
+    echo "FAIL: epfl_big@1 at $ENG ns/gate, past 2x mult_big@1 at $MNG ns/gate"
+    exit 1
+}
+echo "ok: epfl_big@1 = $ENG ns/gate <= 2x mult_big@1 = $MNG ns/gate"
+
+echo "== compacted-layout locality gate (walk ns/gate within 1.1x fresh)"
+# The renumbered post-churn graph must walk as fast as a freshly built
+# one: compaction is what keeps long-churning runs from chasing sparse
+# cache lines, so a regression here is a storage-layout bug even when
+# every timing row above still passes.
+WF=$(mean_of "mig/walk_epfl_big_fresh")
+WC=$(mean_of "mig/walk_epfl_big_compacted")
+CG=$(ctx_of "corpus.epfl_big_churned_gates")
+[ -n "$WF" ] && [ -n "$WC" ] && [ -n "$CG" ] || {
+    echo "missing walk_epfl_big rows/context in BENCH_micro.json"; exit 1;
+}
+FNG=$(awk -v w="$WF" -v g="$EG" 'BEGIN { printf "%.2f", w / g }')
+CNG=$(awk -v w="$WC" -v g="$CG" 'BEGIN { printf "%.2f", w / g }')
+awk -v f="$FNG" -v c="$CNG" 'BEGIN { exit !(c <= 1.1 * f) }' || {
+    echo "FAIL: compacted walk at $CNG ns/gate, past 1.1x fresh walk at $FNG ns/gate"
+    exit 1
+}
+echo "ok: compacted walk = $CNG ns/gate <= 1.1x fresh walk = $FNG ns/gate"
 
 echo "CI OK"

@@ -1,0 +1,40 @@
+//! Writes a generated corpus instance to a circuit file, so shell
+//! tooling (`ci.sh`, ad-hoc `migopt` runs) can drive the optimizer on
+//! synthesized large benchmarks without checking multi-megabyte circuits
+//! into the repository.
+//!
+//! The spec grammar is the `gen:` pseudo-path grammar of the table
+//! binaries ([`bench_harness::generate_spec`]); the output format
+//! follows the file extension (`.aag`, `.aig`, `.blif`).
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (spec, out) = match args.as_slice() {
+        [spec, out] => (spec.as_str(), out.as_str()),
+        _ => {
+            eprintln!(
+                "usage: gen_bench <spec> <out.{{aag,aig,blif}}>\n  \
+                 spec: [gen:]mult:W | hyp:W | ctrl:W:R:S[:SEED]"
+            );
+            std::process::exit(1);
+        }
+    };
+    let spec = spec.strip_prefix("gen:").unwrap_or(spec);
+    let m = match bench_harness::generate_spec(spec) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(e) = io::write_mig_path(out, &m) {
+        eprintln!("error: {out}: {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "{out}: {} gates, {}/{} i/o",
+        m.num_gates(),
+        m.num_inputs(),
+        m.num_outputs()
+    );
+}

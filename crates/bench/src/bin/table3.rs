@@ -5,7 +5,9 @@
 //! `--small` runs reduced bit-widths (seconds instead of minutes);
 //! `--no-validate` skips the random-simulation equivalence checks;
 //! `--from <file>` (repeatable) runs on external `.aag`/`.aig`/`.blif`
-//! circuits instead of the generated EPFL instances.
+//! circuits — or `gen:<spec>` pseudo-paths (`gen:mult:128`, `gen:hyp:96`,
+//! `gen:ctrl:32:16:3000`) synthesizing large-graph corpus instances —
+//! instead of the generated EPFL instances.
 //!
 //! Absolute sizes differ from the paper (our starting points are our own
 //! generators plus the reimplemented algebraic flow, not the EPFL "best

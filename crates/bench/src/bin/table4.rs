@@ -5,7 +5,9 @@
 //!
 //! `--small` runs reduced bit-widths; `--no-validate` skips equivalence
 //! checks; `--from <file>` (repeatable) runs on external
-//! `.aag`/`.aig`/`.blif` circuits instead of the generated instances.
+//! `.aag`/`.aig`/`.blif` circuits or `gen:<spec>` pseudo-paths
+//! (`gen:mult:128`, `gen:hyp:96`, `gen:ctrl:32:16:3000`) instead of the
+//! generated instances.
 
 use bench_harness::{
     geomean_ratio, load_external_benchmarks, run_benchmark, run_benchmark_mig, PAPER_VARIANTS,

@@ -132,8 +132,10 @@ pub fn run_benchmark_mig(name: &str, base: &Mig, validate: bool) -> BenchRow {
 
 /// Collects the `--from <file>` arguments of a table binary and loads
 /// each circuit (`.aag`, `.aig` or `.blif`) with its file stem as the
-/// display name. The algebraic starting-point script is applied so
-/// external rows go through the same pipeline as generated ones.
+/// display name. `gen:<spec>` pseudo-paths synthesize an instance of the
+/// large-graph corpus instead of reading a file (see [`generate_spec`]).
+/// The algebraic starting-point script is applied so external rows go
+/// through the same pipeline as generated ones.
 ///
 /// Exits the process with a message on unreadable or malformed files —
 /// these binaries are batch tools, not a library surface.
@@ -148,21 +150,57 @@ pub fn load_external_benchmarks(args: &[String]) -> Vec<(String, Mig)> {
             eprintln!("error: --from needs a file argument");
             std::process::exit(1);
         };
-        let raw = match io::read_mig_path(path) {
-            Ok(m) => m,
-            Err(e) => {
-                eprintln!("error: {path}: {e}");
-                std::process::exit(1);
+        let (name, raw) = if let Some(spec) = path.strip_prefix("gen:") {
+            match generate_spec(spec) {
+                Ok(m) => (path.replace(':', "_"), m),
+                Err(e) => {
+                    eprintln!("error: {path}: {e}");
+                    std::process::exit(1);
+                }
             }
+        } else {
+            let raw = match io::read_mig_path(path) {
+                Ok(m) => m,
+                Err(e) => {
+                    eprintln!("error: {path}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let name = std::path::Path::new(path)
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or(path)
+                .to_string();
+            (name, raw)
         };
-        let name = std::path::Path::new(path)
-            .file_stem()
-            .and_then(|s| s.to_str())
-            .unwrap_or(path)
-            .to_string();
         out.push((name, starting_point_from(&raw)));
     }
     out
+}
+
+/// Synthesizes a corpus instance from a `gen:` pseudo-path spec:
+/// `mult:W` (W-bit array multiplier), `hyp:W` (W-bit hypotenuse — deep
+/// stacked arithmetic) or `ctrl:W:R:S[:SEED]` (control-dominated random
+/// register file, W-bit words, R registers, S steps). All are
+/// AND-expanded like file-loaded circuits, so e.g. `gen:mult:128` is
+/// the >100k-gate production instance of the scaling benchmarks.
+pub fn generate_spec(spec: &str) -> Result<Mig, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let num = |s: &str| s.parse::<usize>().map_err(|_| format!("bad number {s:?}"));
+    let raw = match parts.as_slice() {
+        ["mult", w] => benchgen::multiplier(num(w)?),
+        ["hyp", w] => benchgen::hypotenuse(num(w)?),
+        ["ctrl", w, r, s] => benchgen::random_control(num(w)?, num(r)?, num(s)?, 1),
+        ["ctrl", w, r, s, seed] => {
+            benchgen::random_control(num(w)?, num(r)?, num(s)?, num(seed)? as u64)
+        }
+        _ => {
+            return Err(format!(
+                "unknown generator spec {spec:?} (try mult:W, hyp:W or ctrl:W:R:S[:SEED])"
+            ))
+        }
+    };
+    Ok(aig::to_mig(&aig::from_mig(&raw)))
 }
 
 /// Geometric mean of ratios (the paper's "average improvement
@@ -193,6 +231,17 @@ mod tests {
         assert!((geomean_ratio(&[(1.0, 2.0), (4.0, 2.0)]) - 1.0).abs() < 1e-12);
         assert!(geomean_ratio(&[(1.0, 2.0)]) < 1.0);
         assert_eq!(geomean_ratio(&[]), 1.0);
+    }
+
+    #[test]
+    fn generate_spec_parses_corpus_specs() {
+        assert!(generate_spec("mult:4").is_ok());
+        assert!(generate_spec("hyp:4").is_ok());
+        let m = generate_spec("ctrl:2:2:4").unwrap();
+        assert_eq!(m.num_inputs(), 4);
+        assert!(generate_spec("bogus:1").is_err());
+        assert!(generate_spec("mult:x").is_err());
+        assert!(generate_spec("ctrl:2").is_err());
     }
 
     #[test]

@@ -1,7 +1,35 @@
 //! Synthetic workloads shared between the micro-benchmarks and the CI
 //! tooling binaries (`trace_overhead`).
 
+use std::sync::OnceLock;
+
 use mig::{Mig, Signal};
+
+/// AND-expands a generated graph the way the benchmark front door does:
+/// round-trip through the AIG representation so every majority gate with
+/// a constant input becomes a two-input AND (the paper's starting-point
+/// normalization).
+fn and_expand(m: &Mig) -> Mig {
+    aig::to_mig(&aig::from_mig(m))
+}
+
+/// The AND-expanded EPFL-width multiplier (~44k gates): the medium
+/// instance behind the `sched/mult_big@N` rows. Generated once per
+/// process — benchmark iterations clone the cached graph instead of
+/// re-running the generator and the AIG round-trip.
+pub fn mult_big_and() -> &'static Mig {
+    static CACHE: OnceLock<Mig> = OnceLock::new();
+    CACHE.get_or_init(|| and_expand(&benchgen::mult_big()))
+}
+
+/// The production-scale corpus instance: a 128-bit array multiplier,
+/// AND-expanded to >100k gates. Drives the `fhash!/epfl_big@N` scaling
+/// rows and the `mig/compact_epfl_big` storage rows; cached once per
+/// process like [`mult_big_and`].
+pub fn epfl_big() -> &'static Mig {
+    static CACHE: OnceLock<Mig> = OnceLock::new();
+    CACHE.get_or_init(|| and_expand(&benchgen::multiplier(128)))
+}
 
 /// An unbalanced AND ripple chain over `n` inputs (depth `n - 1`): the
 /// depth script's worst case, rebalanced toward a log-depth tree by the

@@ -152,29 +152,10 @@ pub fn model_divisor(n: u128, d: u128, width: usize) -> (u128, u128) {
 /// Restoring square root: `width`-bit radicand (width even) →
 /// `width/2`-bit root (EPFL *Square-root*: width 128 → I/O 128/64).
 pub fn square_root(width: usize) -> Mig {
-    assert!(width.is_multiple_of(2), "radicand width must be even");
-    let half = width / 2;
-    let regw = half + 2;
     let mut m = Mig::new(width);
     let n = input_word(&m, 0, width);
-    let mut rem = zero_word(regw);
-    let mut root = zero_word(regw);
-    for i in (0..half).rev() {
-        // rem = (rem << 2) | next two radicand bits.
-        let mut t = shl_const(&rem, 2);
-        t[0] = n[2 * i];
-        t[1] = n[2 * i + 1];
-        // trial = (root << 2) | 01
-        let mut trial = shl_const(&root, 2);
-        trial[0] = Signal::ONE;
-        let (diff, borrow) = sub(&mut m, &t, &trial);
-        rem = mux_word(&mut m, borrow, &t, &diff);
-        // root = (root << 1) | !borrow
-        let mut r2 = shl_const(&root, 1);
-        r2[0] = !borrow;
-        root = r2;
-    }
-    for s in root.into_iter().take(half) {
+    let root = crate::words::sqrt_restoring(&mut m, &n);
+    for s in root {
         m.add_output(s);
     }
     m
@@ -194,6 +175,37 @@ pub fn model_square_root(n: u128) -> u128 {
         }
     }
     r
+}
+
+/// Hypotenuse `floor(sqrt(a² + b²))`: `width`-bit `a`, `b` →
+/// `width+1`-bit result. Two array squarers feed a ripple adder feeding
+/// the restoring square root — the deep-arithmetic instance of the
+/// large-graph corpus (EPFL *Hyp*-style: long carry chains stacked on
+/// multiplier cones). `hypotenuse(96)` is ≈190k gates before
+/// AND-expansion.
+pub fn hypotenuse(width: usize) -> Mig {
+    let mut m = Mig::new(2 * width);
+    let a = input_word(&m, 0, width);
+    let b = input_word(&m, width, width);
+    let sa = mul(&mut m, &a, &a.clone());
+    let sb = mul(&mut m, &b, &b.clone());
+    // a² + b² needs 2*width + 1 bits; pad the radicand to the next even
+    // width for the restoring root.
+    let (sum, carry) = add(&mut m, &sa, &sb, Signal::ZERO);
+    let mut radicand = sum;
+    radicand.push(carry);
+    radicand.push(Signal::ZERO);
+    debug_assert!(radicand.len().is_multiple_of(2));
+    let root = crate::words::sqrt_restoring(&mut m, &radicand);
+    for s in root {
+        m.add_output(s);
+    }
+    m
+}
+
+/// Reference model for [`hypotenuse`]: `floor(sqrt(a² + b²))`.
+pub fn model_hypotenuse(a: u128, b: u128) -> u128 {
+    model_square_root(a * a + b * b)
 }
 
 /// Fixed-point base-2 logarithm via normalization plus iterative
@@ -496,6 +508,23 @@ mod tests {
             assert_eq!(to_u128(&out), model_square_root(n), "sqrt({n})");
             assert_eq!(model_square_root(n), (n as f64).sqrt().floor() as u128);
         }
+    }
+
+    #[test]
+    fn hypotenuse_small_exhaustive() {
+        let w = 4;
+        let m = hypotenuse(w);
+        assert_eq!(m.num_inputs(), 2 * w);
+        assert_eq!(m.num_outputs(), w + 1);
+        for a in 0..16u128 {
+            for b in 0..16u128 {
+                let mut asn = bits_of(a, w);
+                asn.extend(bits_of(b, w));
+                let got = to_u128(&m.evaluate(&asn));
+                assert_eq!(got, model_hypotenuse(a, b), "hyp({a},{b})");
+            }
+        }
+        assert_eq!(model_hypotenuse(3, 4), 5);
     }
 
     #[test]

@@ -19,12 +19,14 @@
 //! assert_eq!(adder.num_outputs(), 129);
 //! ```
 
+mod control;
 mod epfl;
 mod gens;
 pub mod words;
 
+pub use control::{model_random_control, random_control};
 pub use epfl::EpflBenchmark;
 pub use gens::{
-    adder, divisor, log2, max4, model_divisor, model_log2, model_max4, model_sine,
-    model_square_root, mult_big, multiplier, sine, square, square_root,
+    adder, divisor, hypotenuse, log2, max4, model_divisor, model_hypotenuse, model_log2,
+    model_max4, model_sine, model_square_root, mult_big, multiplier, sine, square, square_root,
 };

@@ -123,6 +123,40 @@ pub fn mul(m: &mut Mig, a: &[Signal], b: &[Signal]) -> Word {
     acc
 }
 
+/// Restoring square root over an existing word: `n` (even width) →
+/// `n.len() / 2`-bit `floor(sqrt(n))`. The digit-by-digit loop the
+/// [`crate::square_root`] generator wraps; exposed here so composite
+/// generators (e.g. [`crate::hypotenuse`]) can take roots of internal
+/// buses.
+///
+/// # Panics
+///
+/// Panics if the radicand width is odd.
+pub fn sqrt_restoring(m: &mut Mig, n: &[Signal]) -> Word {
+    assert!(n.len().is_multiple_of(2), "radicand width must be even");
+    let half = n.len() / 2;
+    let regw = half + 2;
+    let mut rem = zero_word(regw);
+    let mut root = zero_word(regw);
+    for i in (0..half).rev() {
+        // rem = (rem << 2) | next two radicand bits.
+        let mut t = shl_const(&rem, 2);
+        t[0] = n[2 * i];
+        t[1] = n[2 * i + 1];
+        // trial = (root << 2) | 01
+        let mut trial = shl_const(&root, 2);
+        trial[0] = Signal::ONE;
+        let (diff, borrow) = sub(m, &t, &trial);
+        rem = mux_word(m, borrow, &t, &diff);
+        // root = (root << 1) | !borrow
+        let mut r2 = shl_const(&root, 1);
+        r2[0] = !borrow;
+        root = r2;
+    }
+    root.truncate(half);
+    root
+}
+
 /// Reduction OR over a word.
 pub fn or_reduce(m: &mut Mig, a: &[Signal]) -> Signal {
     let mut acc = Signal::ZERO;

@@ -24,6 +24,7 @@
 //! | `depth![@T]`      | depth sweeps repeated to the depth fixpoint |
 //! | `fhash:V[@N]`     | in-place functional hashing, V ∈ {T, TD, TF, TFD, B, BF}, sharded over N worker threads |
 //! | `fhash!:V[@N]`    | functional hashing repeated until no replacement fires |
+//! | `compact`         | renumber node slots densely in topological order ([`Mig::compact`]) |
 //! | `balance`         | AIG tree-height reduction round-trip |
 //! | `rewrite`         | DAG-aware AIG cut rewriting round-trip |
 //! | `cec[:budget]`    | SAT-prove equivalence against the *input* circuit |
@@ -95,6 +96,13 @@ pub enum Pass {
         /// Worker threads (`@N` suffix); `None` uses the pipeline default.
         threads: Option<usize>,
     },
+    /// Renumber node slots densely in topological order
+    /// ([`Mig::compact`]): squeezes out the dead slots left by in-place
+    /// rewriting so later passes walk dense, cache-friendly arrays.
+    /// Unlike `strash` it never changes the logic structure — node
+    /// *identities* change but the carried cut set is translated through
+    /// the renumbering map instead of being dropped.
+    Compact,
     /// AIG balancing round-trip (tree-height reduction).
     Balance,
     /// AIG DAG-aware cut rewriting round-trip.
@@ -149,6 +157,7 @@ impl fmt::Display for Pass {
                 }
                 Ok(())
             }
+            Pass::Compact => write!(f, "compact"),
             Pass::Balance => write!(f, "balance"),
             Pass::RewriteAig => write!(f, "rewrite"),
             Pass::Cec { budget: None } => write!(f, "cec"),
@@ -238,6 +247,7 @@ pub fn parse_pipeline(s: &str) -> Result<Vec<Pass>, PipelineParseError> {
             "depth!" => no_arg(Pass::DepthConverge {
                 threads: name_threads.take(),
             })?,
+            "compact" => no_arg(Pass::Compact)?,
             "balance" => no_arg(Pass::Balance)?,
             "rewrite" => no_arg(Pass::RewriteAig)?,
             "stats" => no_arg(Pass::Stats)?,
@@ -591,6 +601,27 @@ pub fn run_pipeline_jobs(
                         moves: NoteMoves::Replacements,
                     }
                 }
+                Pass::Compact => {
+                    // The carried cut set must first absorb every pending
+                    // structural change (its cursor reaches the log end),
+                    // then translate itself through the renumbering map —
+                    // same refresh → compact → remap protocol as the
+                    // scheduler's auto-compaction.
+                    let map = match &mut cut_cache {
+                        Some(cs) => {
+                            cs.refresh(&cur);
+                            let map = cur.compact();
+                            cs.remap(&cur, &map);
+                            map
+                        }
+                        None => cur.compact(),
+                    };
+                    Note::Text(if map.is_identity() {
+                        "layout already dense".to_string()
+                    } else {
+                        format!("{} -> {} slots", map.old_len(), map.new_len())
+                    })
+                }
                 Pass::Balance => {
                     cur = aig::to_mig(&aig::balance(&aig::from_mig(&cur)));
                     cut_cache = None;
@@ -677,6 +708,11 @@ pub fn run_pipeline_jobs(
             metrics: delta,
         });
     }
+    // Final storage-layout gauges: recorded outside any pass scope, so
+    // they land in the process registry and show up in the whole-run
+    // delta that `migopt --metrics` renders.
+    obs::metrics::addi(obs::Metric::MigBytesPerNode, cur.bytes_per_node() as i64);
+    obs::metrics::addi(obs::Metric::MigDeadSlotPct, cur.dead_slot_pct() as i64);
     Ok((cur, reports))
 }
 
@@ -832,6 +868,45 @@ mod tests {
         assert!(e.message.contains("duplicate @N"));
         let e = parse_pipeline("fhash@2:T@4").unwrap_err();
         assert!(e.message.contains("duplicate @N"));
+    }
+
+    #[test]
+    fn grammar_parses_compact() {
+        assert_eq!(parse_pipeline("compact").unwrap(), vec![Pass::Compact]);
+        assert_eq!(parse_pipeline("compact").unwrap()[0].to_string(), "compact");
+        let e = parse_pipeline("compact:4").unwrap_err();
+        assert!(e.message.contains("takes no argument"));
+        let e = parse_pipeline("compact@2").unwrap_err();
+        assert!(e.message.contains("takes no @N"));
+    }
+
+    #[test]
+    fn compact_pass_preserves_function_and_cut_cache() {
+        // Serial fhash leaves dead slots; a mid-pipeline compact must
+        // renumber them out without upsetting the carried cut set —
+        // the final result must match the same pipeline without the
+        // compact step, and stay SAT-provably equivalent.
+        let mut m = Mig::new(6);
+        let ins: Vec<mig::Signal> = m.inputs().collect();
+        let x = m.xor(ins[0], ins[1]);
+        let y = m.xor(x, ins[2]);
+        let z = m.xor(y, ins[3]);
+        let g = m.mux(ins[4], z, x);
+        let h = m.maj(g, y, ins[5]);
+        m.add_output(h);
+        m.add_output(z);
+        let with = parse_pipeline("fhash:TF; compact; fhash:T; cec").unwrap();
+        let (compacted, reports) = run_pipeline(&m, &with).unwrap();
+        assert!(reports[3].note.contains("equivalent"));
+        let without = parse_pipeline("fhash:TF; fhash:T").unwrap();
+        let (plain, _) = run_pipeline(&m, &without).unwrap();
+        assert_eq!(compacted.num_gates(), plain.num_gates());
+        assert_eq!(compacted.output_truth_tables(), plain.output_truth_tables());
+        // A pipeline *ending* in compact leaves a dense layout.
+        let tail = parse_pipeline("fhash:TF; fhash:T; compact").unwrap();
+        let (dense, _) = run_pipeline(&m, &tail).unwrap();
+        assert_eq!(dense.dead_slot_pct(), 0);
+        assert_eq!(dense.output_truth_tables(), plain.output_truth_tables());
     }
 
     #[test]

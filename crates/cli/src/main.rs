@@ -45,7 +45,7 @@ PASSES:
     strash  algebraic[:N][@T]  size  depth  size![@T]  depth![@T]
     fhash:{T,TD,TF,TFD,B,BF}[@N]
     fhash!:{T,TD,TF,TFD,B,BF}[@N] (repeat to convergence)
-    balance  rewrite  cec[:budget]  map[:k]  stats
+    compact  balance  rewrite  cec[:budget]  map[:k]  stats
 ";
 
 struct Args {

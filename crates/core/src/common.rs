@@ -39,11 +39,17 @@ impl Replacement {
         if m > 4 {
             return None;
         }
-        // Pad the cut function to 4 variables (extra variables vacuous).
-        let tt4 = cut
-            .truth_table_full()
-            .expand(4, &(0..m).collect::<Vec<_>>())
-            .as_u16();
+        // Pad the cut function to 4 variables (extra variables vacuous):
+        // the identity expansion just replicates the 2^m-bit block, so the
+        // padded table is built with shifts instead of heap-backed
+        // truth-table ops (this runs for every scored cut).
+        let mut tt4 = cut.truth_table() as u16;
+        if m < 4 {
+            tt4 &= ((1u32 << (1 << m)) - 1) as u16;
+            for i in m..4 {
+                tt4 |= tt4 << (1 << i);
+            }
+        }
         obs::metrics::add(obs::Metric::NpnCanonizations, 1);
         let (rep, t) = canon.canonize(tt4);
         let entry = db.get(rep)?;
@@ -137,11 +143,15 @@ pub(crate) fn select_best_cut(
 ) -> Option<ScoredCut> {
     let mut best: Option<(ScoredCut, u32)> = None;
     obs::metrics::add(obs::Metric::CutsScored, cut_list.len() as u64);
+    // Scratch buffers shared across the scored cuts: cones are tiny, so
+    // the dominant per-cut cost would otherwise be allocator traffic.
+    let mut internal: Vec<NodeId> = Vec::new();
+    let mut scratch: Vec<NodeId> = Vec::new();
     for cut in cut_list {
         if is_trivial(cut, v) {
             continue;
         }
-        let internal = internal_nodes(mig, v, cut);
+        cuts::cut_internal_nodes_into(mig, v, cut.leaves(), &mut internal, &mut scratch);
         // Fanout legality is the safety condition (no internal node may
         // be referenced from outside the cone); the region check is the
         // additional §IV-C restriction. On a fresh partition region-legal

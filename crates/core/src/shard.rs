@@ -126,6 +126,15 @@ impl ProposeEngine for CutEngine<'_> {
         }
     }
 
+    fn remap(&self, _map: &mig::CompactMap) {
+        // The carried lists are node-indexed: after a compaction every
+        // cached cut describes a renumbered (or vanished) slot. Drop
+        // them wholesale — the next propose re-enumerates from the
+        // dense graph, which is exactly the access pattern compaction
+        // exists to speed up.
+        self.carried.lock().unwrap().clear();
+    }
+
     /// Top-down proposals for one region: best legal database replacement
     /// per member gate, topmost first, with the region's earlier
     /// proposals' cones excluded (a worker's own proposals never

@@ -24,7 +24,7 @@
 //! local rewrite only the affected region is re-enumerated instead of the
 //! whole graph.
 
-use mig::{DirtyCursor, Mig, NodeId, Signal};
+use mig::{CompactMap, DirtyCursor, Mig, NodeId, Signal};
 
 /// Maximum supported cut width.
 pub const MAX_CUT_SIZE: usize = 6;
@@ -139,6 +139,41 @@ impl Cut {
         self.leaves[..self.len as usize]
             .binary_search(&n)
             .expect("leaf present")
+    }
+
+    /// Translates the cut across a slot renumbering ([`mig::Mig::compact`]).
+    /// Renumbering can reorder the leaves (they are kept sorted by id, and
+    /// gate ids permute), so the truth table's variables are permuted to
+    /// match and the signature is recomputed. `None` when a leaf's slot
+    /// was dead at compaction time — the cut no longer describes anything.
+    fn remap(&self, map: &CompactMap) -> Option<Cut> {
+        let k = self.len as usize;
+        // (new leaf id, old variable position), then sort by new id —
+        // injective on live slots, so the order is unambiguous.
+        let mut pairs = [(0 as NodeId, 0usize); MAX_CUT_SIZE];
+        for (i, &l) in self.leaves().iter().enumerate() {
+            pairs[i] = (map.remap(l)?, i);
+        }
+        pairs[..k].sort_unstable();
+        let mut leaves = [0 as NodeId; MAX_CUT_SIZE];
+        let mut new_pos = [0usize; MAX_CUT_SIZE]; // old variable -> new variable
+        let mut sign = 0u64;
+        for (j, &(n, i)) in pairs[..k].iter().enumerate() {
+            leaves[j] = n;
+            new_pos[i] = j;
+            sign |= 1 << (n % 64);
+        }
+        let tt = if k == 0 {
+            self.tt
+        } else {
+            expand_tt(self.tt, k, &new_pos[..k], k) & mask(k)
+        };
+        Some(Cut {
+            leaves,
+            len: self.len,
+            tt,
+            sign,
+        })
     }
 }
 
@@ -287,6 +322,50 @@ impl CutSet {
             }
         }
         &self.cuts[n as usize]
+    }
+
+    /// Migrates the set across a compaction ([`mig::Mig::compact`]):
+    /// every valid list moves to its node's new slot with leaves, truth
+    /// tables and signatures translated, so the enumeration work carried
+    /// in the set survives the renumbering instead of being rebuilt.
+    ///
+    /// Protocol: [`CutSet::refresh`] *before* compacting (the log's
+    /// history is in old numbering and compaction gaps it), then compact,
+    /// then `remap` — which re-anchors the cursor at the now-current log
+    /// position. Skipping the refresh is safe but wasteful: the gapped
+    /// cursor would invalidate the whole set on the next refresh.
+    pub fn remap(&mut self, mig: &Mig, map: &CompactMap) {
+        if map.is_identity() {
+            // Fixpoint compactions leave the graph (and its log)
+            // untouched; nothing moved.
+            return;
+        }
+        let n = map.new_len();
+        let mut cuts: Vec<Vec<Cut>> = vec![Vec::new(); n];
+        let mut valid = vec![false; n];
+        for old in 0..self.cuts.len().min(map.old_len()) {
+            if !self.valid[old] {
+                continue;
+            }
+            let Some(new) = map.remap(old as NodeId) else {
+                continue;
+            };
+            let list = std::mem::take(&mut self.cuts[old]);
+            // A valid list of a live node only references live cone
+            // nodes, so every leaf remaps; the fallback (drop the list,
+            // recompute on demand) is purely defensive.
+            if let Some(remapped) = list
+                .iter()
+                .map(|c| c.remap(map))
+                .collect::<Option<Vec<_>>>()
+            {
+                cuts[new as usize] = remapped;
+                valid[new as usize] = true;
+            }
+        }
+        self.cuts = cuts;
+        self.valid = valid;
+        self.cursor = mig.dirty_cursor();
     }
 
     /// Computes the cut list of one node from its (valid) fanin lists.
@@ -562,10 +641,29 @@ fn mask(vars: usize) -> u64 {
 /// terminals. Result is in descending id order (reverse topological).
 pub fn cut_internal_nodes(mig: &Mig, root: NodeId, leaves: &[NodeId]) -> Vec<NodeId> {
     let mut internal = Vec::new();
-    let mut stack = vec![root];
-    let mut seen = std::collections::HashSet::new();
+    let mut stack = Vec::new();
+    cut_internal_nodes_into(mig, root, leaves, &mut internal, &mut stack);
+    internal
+}
+
+/// [`cut_internal_nodes`] writing into caller-owned buffers, so hot loops
+/// that score thousands of cuts per node reuse one allocation instead of
+/// building a fresh vector (and visited set) per cut. `internal` is
+/// cleared first; `stack` is scratch space. Cut cones are small (a
+/// 4-feasible cut spans at most a handful of gates), so the visited check
+/// is a linear scan of `internal` itself — cheaper than hashing.
+pub fn cut_internal_nodes_into(
+    mig: &Mig,
+    root: NodeId,
+    leaves: &[NodeId],
+    internal: &mut Vec<NodeId>,
+    stack: &mut Vec<NodeId>,
+) {
+    internal.clear();
+    stack.clear();
+    stack.push(root);
     while let Some(n) = stack.pop() {
-        if leaves.contains(&n) || mig.is_terminal(n) || !seen.insert(n) {
+        if leaves.contains(&n) || mig.is_terminal(n) || internal.contains(&n) {
             continue;
         }
         internal.push(n);
@@ -574,7 +672,6 @@ pub fn cut_internal_nodes(mig: &Mig, root: NodeId, leaves: &[NodeId]) -> Vec<Nod
         }
     }
     internal.sort_unstable_by(|a, b| b.cmp(a));
-    internal
 }
 
 #[cfg(test)]
@@ -894,6 +991,51 @@ mod tests {
             "left region not invalidated"
         );
         assert!(!cs.valid[top.node() as usize], "fanout of rewrite is stale");
+    }
+
+    #[test]
+    fn remap_carries_cut_set_across_compaction() {
+        // Enumerate, rewrite in place (frees slots), refresh, compact,
+        // remap: every carried list must match a from-scratch enumeration
+        // of the compacted graph — including leaf order, permuted truth
+        // tables and recomputed signatures — and the re-anchored cursor
+        // must keep incremental refreshes alive (no gap fallback).
+        let mut m = Mig::new(5);
+        let ins: Vec<Signal> = m.inputs().collect();
+        let left = m.maj(ins[0], ins[1], ins[2]);
+        let right = m.xor(ins[3], ins[4]);
+        let mid = m.maj(left, right, ins[0]);
+        let top = m.maj(mid, left, !ins[4]);
+        m.add_output(top);
+        let cfg = CutConfig::default();
+        let mut cs = enumerate_cuts(&m, &cfg);
+        // Free a couple of slots so the compaction genuinely renumbers.
+        let fresh = m.maj(ins[3], !ins[4], ins[0]);
+        assert!(m.replace_node(right.node(), fresh));
+        m.sweep();
+        cs.refresh(&m);
+        let map = m.compact();
+        assert!(!map.is_identity(), "test premise: slots moved");
+        cs.remap(&m, &map);
+        let full = enumerate_cuts(&m, &cfg);
+        let mut carried_over = 0;
+        for g in m.gates() {
+            if cs.valid[g as usize] {
+                carried_over += 1;
+                assert_eq!(cs.of(g), full.of(g), "carried cuts of gate {g}");
+            }
+            assert_eq!(cs.of_updated(&m, g), full.of(g), "cuts of gate {g}");
+        }
+        assert!(carried_over > 0, "no enumeration work survived the remap");
+        // The cursor was re-anchored: a structural change after the
+        // compaction invalidates only its fanout, not the whole set.
+        let extra = m.maj(ins[0], ins[1], !ins[2]);
+        m.add_output(extra);
+        cs.refresh(&m);
+        let full = enumerate_cuts(&m, &cfg);
+        for g in m.gates() {
+            assert_eq!(cs.of_updated(&m, g), full.of(g), "post-remap refresh");
+        }
     }
 
     #[test]

@@ -1,0 +1,266 @@
+//! Inline small-list storage for per-node fanout references.
+//!
+//! The managed network keeps one fanout reference list per slot, touched
+//! on every `node_for_key`, `replace_node`, rewire and legality recheck.
+//! With `Vec<Vec<u32>>` each list is a separate heap allocation behind a
+//! pointer chase; the median MIG gate has fanout 1–3, so nearly every
+//! access pays a cache miss for at most three words of payload.
+//! [`FanoutList`] stores the first [`INLINE_FANOUTS`] entries inline in
+//! the slot array itself and spills to a boxed `Vec` only for
+//! high-fanout nodes (constants, shared subexpressions).
+//!
+//! Semantics mirror the `Vec` operations the graph code was written
+//! against: `push` appends and returns the entry's position,
+//! `swap_remove` moves the last entry into the hole — so the
+//! back-pointer repair protocol (`fanout_pos` / `out_pos`) carries over
+//! unchanged. Entries are yielded and addressed *by value*: positions
+//! [0, `INLINE_FANOUTS`) live inline, the rest at
+//! `spill[pos - INLINE_FANOUTS]`, and the spill length is kept exactly
+//! `len - INLINE_FANOUTS` whenever it is populated.
+
+/// Entries stored inline before spilling to the heap. Four covers the
+/// overwhelming majority of MIG fanouts while keeping the struct at 32
+/// bytes (two per cache line).
+pub const INLINE_FANOUTS: usize = 4;
+
+/// A fanout reference list: up to [`INLINE_FANOUTS`] entries inline,
+/// heap spill beyond that.
+#[derive(Debug, Default)]
+pub struct FanoutList {
+    len: u32,
+    inline: [u32; INLINE_FANOUTS],
+    // Boxed on purpose: an inline `Option<Vec>` is 24 bytes and would
+    // push the struct past 32; the extra indirection is only paid by the
+    // rare high-fanout nodes that spill at all.
+    #[allow(clippy::box_collection)]
+    spill: Option<Box<Vec<u32>>>,
+}
+
+impl FanoutList {
+    /// An empty list (no heap allocation).
+    pub fn new() -> Self {
+        FanoutList::default()
+    }
+
+    /// Builds a list from a slice of entries.
+    pub fn from_slice(entries: &[u32]) -> Self {
+        let mut l = FanoutList::new();
+        for &e in entries {
+            l.push(e);
+        }
+        l
+    }
+
+    /// Number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the list is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The entry at `pos` (by value; panics when out of bounds).
+    #[inline]
+    pub fn get(&self, pos: usize) -> u32 {
+        assert!(pos < self.len(), "fanout position {pos} out of bounds");
+        if pos < INLINE_FANOUTS {
+            self.inline[pos]
+        } else {
+            self.spill.as_ref().unwrap()[pos - INLINE_FANOUTS]
+        }
+    }
+
+    /// Overwrites the entry at `pos` (panics when out of bounds).
+    #[inline]
+    pub fn set(&mut self, pos: usize, v: u32) {
+        assert!(pos < self.len(), "fanout position {pos} out of bounds");
+        if pos < INLINE_FANOUTS {
+            self.inline[pos] = v;
+        } else {
+            self.spill.as_mut().unwrap()[pos - INLINE_FANOUTS] = v;
+        }
+    }
+
+    /// Appends an entry and returns its position.
+    #[inline]
+    pub fn push(&mut self, v: u32) -> u32 {
+        let pos = self.len();
+        if pos < INLINE_FANOUTS {
+            self.inline[pos] = v;
+        } else {
+            self.spill.get_or_insert_with(Default::default).push(v);
+        }
+        self.len += 1;
+        pos as u32
+    }
+
+    /// Removes the entry at `pos` by moving the last entry into the hole
+    /// (`Vec::swap_remove` semantics); returns the removed value.
+    #[inline]
+    pub fn swap_remove(&mut self, pos: usize) -> u32 {
+        let last = self.len() - 1;
+        let removed = self.get(pos);
+        if pos != last {
+            let moved = self.get(last);
+            self.set(pos, moved);
+        }
+        if last >= INLINE_FANOUTS {
+            self.spill.as_mut().unwrap().pop();
+        }
+        self.len -= 1;
+        removed
+    }
+
+    /// Position of the *last* entry equal to `needle`, scanning
+    /// backwards (spill first, then inline). Hand-rolled because the
+    /// two-segment iterator cannot implement `ExactSizeIterator`, which
+    /// `Iterator::rposition` requires.
+    pub fn rposition(&self, needle: u32) -> Option<usize> {
+        if let Some(spill) = &self.spill {
+            let tail = self.len().saturating_sub(INLINE_FANOUTS);
+            if let Some(i) = spill[..tail].iter().rposition(|&e| e == needle) {
+                return Some(INLINE_FANOUTS + i);
+            }
+        }
+        let head = self.len().min(INLINE_FANOUTS);
+        self.inline[..head].iter().rposition(|&e| e == needle)
+    }
+
+    /// Iterates the entries by value, in position order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        let head = &self.inline[..self.len().min(INLINE_FANOUTS)];
+        let tail: &[u32] = match &self.spill {
+            Some(s) => &s[..self.len() - INLINE_FANOUTS.min(self.len())],
+            None => &[],
+        };
+        head.iter().copied().chain(tail.iter().copied())
+    }
+
+    /// Copies the entries into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u32> {
+        self.iter().collect()
+    }
+
+    /// Removes all entries (keeps any spill capacity for reuse).
+    pub fn clear(&mut self) {
+        self.len = 0;
+        if let Some(s) = &mut self.spill {
+            s.clear();
+        }
+    }
+
+    /// Heap bytes owned by this list (the spill allocation), for the
+    /// memory gauges.
+    pub fn heap_bytes(&self) -> usize {
+        self.spill
+            .as_ref()
+            .map(|s| std::mem::size_of::<Vec<u32>>() + s.capacity() * 4)
+            .unwrap_or(0)
+    }
+}
+
+impl Clone for FanoutList {
+    fn clone(&self) -> Self {
+        FanoutList {
+            len: self.len,
+            inline: self.inline,
+            // Drop empty spill boxes instead of cloning their capacity:
+            // clones are fresh graphs, not in-place workspaces.
+            spill: match &self.spill {
+                Some(s) if !s.is_empty() => Some(s.clone()),
+                _ => None,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_returns_positions_across_the_spill_boundary() {
+        let mut l = FanoutList::new();
+        for i in 0..10u32 {
+            assert_eq!(l.push(100 + i), i);
+        }
+        assert_eq!(l.len(), 10);
+        assert_eq!(l.to_vec(), (100..110).collect::<Vec<u32>>());
+        for i in 0..10 {
+            assert_eq!(l.get(i), 100 + i as u32);
+        }
+    }
+
+    #[test]
+    fn swap_remove_matches_vec_semantics() {
+        for n in 1..12usize {
+            for pos in 0..n {
+                let mut l = FanoutList::new();
+                let mut v: Vec<u32> = Vec::new();
+                for i in 0..n as u32 {
+                    l.push(i * 7);
+                    v.push(i * 7);
+                }
+                assert_eq!(l.swap_remove(pos), v.swap_remove(pos));
+                assert_eq!(l.to_vec(), v, "n={n} pos={pos}");
+            }
+        }
+    }
+
+    #[test]
+    fn rposition_scans_backwards_over_both_segments() {
+        let mut l = FanoutList::new();
+        for e in [5, 9, 5, 1, 2, 5, 3] {
+            l.push(e);
+        }
+        assert_eq!(l.rposition(5), Some(5)); // in the spill segment
+        assert_eq!(l.rposition(9), Some(1)); // inline only
+        assert_eq!(l.rposition(42), None);
+        let mut short = FanoutList::from_slice(&[7, 8]);
+        assert_eq!(short.rposition(7), Some(0));
+        short.swap_remove(0);
+        assert_eq!(short.rposition(7), None);
+    }
+
+    #[test]
+    fn set_and_iter_cover_spill_entries() {
+        let mut l = FanoutList::from_slice(&[0, 1, 2, 3, 4, 5]);
+        l.set(5, 50);
+        l.set(0, 99);
+        assert_eq!(l.iter().collect::<Vec<_>>(), vec![99, 1, 2, 3, 4, 50]);
+    }
+
+    #[test]
+    fn shrink_back_into_inline_then_regrow() {
+        let mut l = FanoutList::from_slice(&[1, 2, 3, 4, 5, 6]);
+        while l.len() > 2 {
+            l.swap_remove(l.len() - 1);
+        }
+        assert_eq!(l.to_vec(), vec![1, 2]);
+        for e in [10, 11, 12, 13] {
+            l.push(e);
+        }
+        assert_eq!(l.len(), 6);
+        assert_eq!(l.to_vec(), vec![1, 2, 10, 11, 12, 13]);
+        // A clone of a shrunk list drops the empty spill box.
+        let mut shrunk = FanoutList::from_slice(&[1, 2, 3, 4, 5]);
+        shrunk.swap_remove(4);
+        let c = shrunk.clone();
+        assert_eq!(c.heap_bytes(), 0);
+        assert_eq!(c.to_vec(), shrunk.to_vec());
+    }
+
+    #[test]
+    fn clear_resets_but_from_slice_roundtrips() {
+        let mut l = FanoutList::from_slice(&[9; 7]);
+        l.clear();
+        assert!(l.is_empty());
+        assert_eq!(l.to_vec(), Vec::<u32>::new());
+        assert_eq!(l.push(3), 0);
+        assert_eq!(l.to_vec(), vec![3]);
+    }
+}

@@ -25,8 +25,9 @@
 //! [`Mig::topo_gates`]; [`Mig::gates`] only guarantees ascending slot
 //! order over live gates.
 
+use crate::fanout::FanoutList;
+use crate::fxhash::FxHashMap;
 use crate::{NodeId, Signal};
-use std::collections::HashMap;
 use std::fmt;
 use std::sync::{Arc, Mutex};
 
@@ -52,6 +53,64 @@ pub(crate) const GUARD: u32 = u32::MAX;
 /// the whole undrained log.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord)]
 pub struct DirtyCursor(u64);
+
+/// The old→new slot renumbering returned by [`Mig::compact`].
+///
+/// Terminals always map to themselves; live gates map to their
+/// topological position; freed slots map to nothing. Consumers holding
+/// node ids across a compaction translate them here — `None` means the
+/// slot no longer exists (it was dead at compaction time).
+#[derive(Debug, Clone)]
+pub struct CompactMap {
+    /// Old slot → new slot; [`CompactMap::GONE`] for freed slots. Empty
+    /// for the identity map.
+    map: Vec<NodeId>,
+    /// Slot count of the graph the map was taken from.
+    old_len: usize,
+    /// Slot count of the compacted graph (the range of the map).
+    new_len: usize,
+    identity: bool,
+}
+
+impl CompactMap {
+    /// Marker for slots that were dead at compaction time.
+    const GONE: NodeId = NodeId::MAX;
+
+    /// Whether the compaction was a no-op fixpoint (every slot kept its
+    /// id; nothing needs migrating).
+    pub fn is_identity(&self) -> bool {
+        self.identity
+    }
+
+    /// Slot count of the pre-compaction graph (the domain of the map).
+    pub fn old_len(&self) -> usize {
+        self.old_len
+    }
+
+    /// Slot count of the compacted graph (the range of the map);
+    /// consumers permuting node-indexed arrays size them with this.
+    pub fn new_len(&self) -> usize {
+        self.new_len
+    }
+
+    /// The new slot of old node `n`, or `None` when the slot was dead at
+    /// compaction time (or out of the old graph's range).
+    pub fn remap(&self, n: NodeId) -> Option<NodeId> {
+        if self.identity {
+            return ((n as usize) < self.old_len).then_some(n);
+        }
+        match self.map.get(n as usize) {
+            Some(&m) if m != Self::GONE => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Like [`CompactMap::remap`], preserving the complement bit.
+    pub fn remap_signal(&self, s: Signal) -> Option<Signal> {
+        self.remap(s.node())
+            .map(|n| Signal::new(n, s.is_complemented()))
+    }
+}
 
 /// Result of normalizing a majority operand triple.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -125,11 +184,12 @@ pub struct Mig {
     pub(crate) fanins: Vec<[Signal; 3]>,
     pub(crate) num_inputs: usize,
     pub(crate) outputs: Vec<Signal>,
-    pub(crate) strash: HashMap<[Signal; 3], NodeId>,
+    pub(crate) strash: FxHashMap<[Signal; 3], NodeId>,
     /// Fanout references per node: parent gate ids, plus `OUT_FLAG |
     /// output_index` entries for primary-output slots. The list length is
-    /// the node's reference count.
-    pub(crate) fanouts: Vec<Vec<u32>>,
+    /// the node's reference count. Stored inline-first ([`FanoutList`]):
+    /// typical fanouts need no heap allocation or pointer chase.
+    pub(crate) fanouts: Vec<FanoutList>,
     /// Back-pointers for O(1) fanout-entry removal: for gate `n` and
     /// fanin slot `k`, `fanout_pos[n][k]` is the index of `n`'s entry in
     /// `fanouts[fanins[n][k].node()]`. Kept consistent under swap-removal.
@@ -213,8 +273,8 @@ impl Mig {
             fanins: vec![[Signal::ZERO; 3]; n],
             num_inputs,
             outputs: Vec::new(),
-            strash: HashMap::new(),
-            fanouts: vec![Vec::new(); n],
+            strash: FxHashMap::default(),
+            fanouts: vec![FanoutList::new(); n],
             fanout_pos: vec![[0; 3]; n],
             out_pos: Vec::new(),
             dead: vec![false; n],
@@ -424,8 +484,8 @@ impl Mig {
     pub fn fanout_gates(&self, n: NodeId) -> impl Iterator<Item = NodeId> + '_ {
         self.fanouts[n as usize]
             .iter()
-            .filter(|&&f| f & OUT_FLAG == 0)
-            .map(|&f| f as NodeId)
+            .filter(|&f| f & OUT_FLAG == 0)
+            .map(|f| f as NodeId)
     }
 
     /// The number of references to `n` (parent gates plus output slots),
@@ -467,7 +527,7 @@ impl Mig {
             None => {
                 let slot = self.fanins.len() as NodeId;
                 self.fanins.push([Signal::ZERO; 3]);
-                self.fanouts.push(Vec::new());
+                self.fanouts.push(FanoutList::new());
                 self.fanout_pos.push([0; 3]);
                 self.dead.push(false);
                 self.slot_gen.push(0);
@@ -679,8 +739,7 @@ impl Mig {
             // Drop the guard that kept `n` alive while the pair was
             // pending (guards sit near the end of the list).
             let gpos = self.fanouts[n.node() as usize]
-                .iter()
-                .rposition(|&f| f == GUARD)
+                .rposition(GUARD)
                 .expect("pending substitution guard present");
             self.remove_fanout_at(n.node(), gpos as u32);
             if self.dead[o as usize] {
@@ -694,8 +753,7 @@ impl Mig {
             // are rewired and may contain nodes killed by cascades).
             let parents: Vec<u32> = self.fanouts[o as usize]
                 .iter()
-                .copied()
-                .filter(|f| f & OUT_FLAG == 0)
+                .filter(|&f| f & OUT_FLAG == 0)
                 .collect();
             for p in parents {
                 if self.dead[p as usize] {
@@ -710,7 +768,6 @@ impl Mig {
             // output references).
             let out_refs: Vec<u32> = self.fanouts[o as usize]
                 .iter()
-                .copied()
                 .filter(|&f| f & OUT_FLAG != 0 && f != GUARD)
                 .collect();
             for f in out_refs {
@@ -781,9 +838,7 @@ impl Mig {
     /// Appends a fanout entry to `child`'s list, returning its index (the
     /// caller stores it as the entry's back-pointer).
     pub(crate) fn push_fanout(&mut self, child: NodeId, entry: u32) -> u32 {
-        let list = &mut self.fanouts[child as usize];
-        list.push(entry);
-        (list.len() - 1) as u32
+        self.fanouts[child as usize].push(entry)
     }
 
     /// Removes the fanout entry at `pos` from `child`'s list in O(1)
@@ -794,7 +849,8 @@ impl Mig {
     pub(crate) fn remove_fanout_at(&mut self, child: NodeId, pos: u32) {
         let list = &mut self.fanouts[child as usize];
         list.swap_remove(pos as usize);
-        if let Some(&moved) = list.get(pos as usize) {
+        if (pos as usize) < list.len() {
+            let moved = list.get(pos as usize);
             if moved == GUARD {
                 // Guards are located by scanning; no back-pointer to fix.
             } else if moved & OUT_FLAG != 0 {
@@ -853,7 +909,7 @@ impl Mig {
                 .unwrap_or(0);
             if nl != self.level[v as usize] {
                 self.level[v as usize] = nl;
-                for &f in &self.fanouts[v as usize] {
+                for f in self.fanouts[v as usize].iter() {
                     if f & OUT_FLAG == 0 {
                         work.push(f);
                     }
@@ -928,9 +984,9 @@ impl Mig {
         for g in self.gates() {
             for (k, s) in self.fanins[g as usize].iter().enumerate() {
                 let pos = self.fanout_pos[g as usize][k] as usize;
-                assert_eq!(
-                    self.fanouts[s.node() as usize].get(pos),
-                    Some(&g),
+                let list = &self.fanouts[s.node() as usize];
+                assert!(
+                    pos < list.len() && list.get(pos) == g,
                     "back-pointer of gate {g} slot {k} stale"
                 );
             }
@@ -943,14 +999,14 @@ impl Mig {
             );
             refs[o.node() as usize].push(OUT_FLAG | i as u32);
             let pos = self.out_pos[i] as usize;
-            assert_eq!(
-                self.fanouts[o.node() as usize].get(pos),
-                Some(&(OUT_FLAG | i as u32)),
+            let list = &self.fanouts[o.node() as usize];
+            assert!(
+                pos < list.len() && list.get(pos) == OUT_FLAG | i as u32,
                 "back-pointer of output {i} stale"
             );
         }
         for (v, expected) in refs.iter_mut().enumerate() {
-            let mut got = self.fanouts[v].clone();
+            let mut got = self.fanouts[v].to_vec();
             expected.sort_unstable();
             got.sort_unstable();
             assert_eq!(*expected, got, "fanout list of node {v} inconsistent");
@@ -1088,6 +1144,154 @@ impl Mig {
             out.add_output(t);
         }
         out
+    }
+
+    /// Renumbers the node slots into topological order, squeezing out
+    /// dead slots, and returns the old→new [`CompactMap`].
+    ///
+    /// Free-list reuse scatters logically adjacent cones across the slot
+    /// space; after heavy rewriting, a topological walk ping-pongs
+    /// through memory. Compaction restores locality: live gates get
+    /// consecutive slots in topological order (terminals keep their
+    /// ids), every per-slot array is re-packed densely, and the free
+    /// list empties. The graph function, gate count, levels, outputs
+    /// (order and polarity) and per-slot reuse generations (under the
+    /// permutation) are all preserved; per-node fanout entry *order* is
+    /// preserved too, so the `fanout_pos`/`out_pos` back-pointers carry
+    /// over unchanged.
+    ///
+    /// Consumer migration protocol: anything holding node ids must
+    /// translate them through the returned map ([`CompactMap::remap`] /
+    /// [`CompactMap::remap_signal`]) — carried cut sets and persistent
+    /// region partitions have dedicated `remap` methods. The dirty log
+    /// is *not* translatable (its history is in old numbering), so
+    /// compaction leaves a deliberate gap: cursors taken before it
+    /// report `None` from [`Mig::dirty_since`], and migrated consumers
+    /// re-anchor at [`Mig::dirty_cursor`] after remapping. A graph that
+    /// is already compact (no dead slots, slot order topological) is a
+    /// fixpoint: nothing is touched, and the returned map is the
+    /// identity.
+    pub fn compact(&mut self) -> CompactMap {
+        let old_n = self.fanins.len();
+        let topo = self.topo_gates_shared();
+        if self.free.is_empty()
+            && topo
+                .iter()
+                .enumerate()
+                .all(|(i, &g)| g as usize == self.num_inputs + 1 + i)
+        {
+            return CompactMap {
+                map: Vec::new(),
+                old_len: old_n,
+                new_len: old_n,
+                identity: true,
+            };
+        }
+        let _span = obs::trace::span("compact");
+        let mut map = vec![CompactMap::GONE; old_n];
+        for (t, slot) in map.iter_mut().enumerate().take(self.num_inputs + 1) {
+            *slot = t as NodeId;
+        }
+        for (i, &g) in topo.iter().enumerate() {
+            map[g as usize] = (self.num_inputs + 1 + i) as NodeId;
+        }
+        let new_n = self.num_inputs + 1 + topo.len();
+        let remap_sig = |map: &[NodeId], s: Signal| {
+            let n = map[s.node() as usize];
+            debug_assert_ne!(n, CompactMap::GONE, "live reference to a dead slot");
+            Signal::new(n, s.is_complemented())
+        };
+        let mut fanins = vec![[Signal::ZERO; 3]; new_n];
+        let mut fanouts: Vec<FanoutList> = (0..new_n).map(|_| FanoutList::new()).collect();
+        let mut fanout_pos = vec![[0u32; 3]; new_n];
+        let mut slot_gen = vec![0u32; new_n];
+        let mut level = vec![0u32; new_n];
+        let mut strash = FxHashMap::default();
+        strash.reserve(topo.len());
+        for old in 0..old_n {
+            let new = map[old];
+            if new == CompactMap::GONE {
+                debug_assert!(self.fanouts[old].is_empty(), "dead slot with fanouts");
+                continue;
+            }
+            let new = new as usize;
+            // Entry order is preserved and only gate ids are rewritten,
+            // so positions recorded in back-pointers stay valid.
+            let mut list = std::mem::take(&mut self.fanouts[old]);
+            for pos in 0..list.len() {
+                let e = list.get(pos);
+                debug_assert_ne!(e, GUARD, "compact during a pending substitution");
+                if e & OUT_FLAG == 0 {
+                    list.set(pos, map[e as usize]);
+                }
+            }
+            fanouts[new] = list;
+            fanout_pos[new] = self.fanout_pos[old];
+            slot_gen[new] = self.slot_gen[old];
+            level[new] = self.level[old];
+            if old > self.num_inputs {
+                let key = self.fanins[old].map(|s| remap_sig(&map, s));
+                fanins[new] = key;
+                strash.insert(key, new as NodeId);
+            }
+        }
+        self.fanins = fanins;
+        self.fanouts = fanouts;
+        self.fanout_pos = fanout_pos;
+        self.slot_gen = slot_gen;
+        self.level = level;
+        self.strash = strash;
+        self.dead = vec![false; new_n];
+        self.free.clear();
+        let outputs = std::mem::take(&mut self.outputs);
+        self.outputs = outputs.into_iter().map(|s| remap_sig(&map, s)).collect();
+        // The log's history is in old numbering: leave a gap (the +1) so
+        // stale cursors fall back to a full re-scan instead of silently
+        // misreading renumbered entries.
+        self.dirty_base += self.dirty.len() as u64 + 1;
+        self.dirty.clear();
+        // Ascending slot order is topological again, by construction.
+        *self.topo_cache.get_mut().unwrap() = Some(Arc::new(
+            (self.num_inputs as u32 + 1..new_n as u32).collect(),
+        ));
+        #[cfg(debug_assertions)]
+        self.debug_check();
+        CompactMap {
+            map,
+            old_len: old_n,
+            new_len: new_n,
+            identity: false,
+        }
+    }
+
+    /// Approximate resident bytes of the graph's storage: the per-slot
+    /// arrays, fanout spill allocations, the strash table, outputs and
+    /// the dirty log. Used by the `mig.bytes_per_node` gauge.
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let per_slot = size_of::<[Signal; 3]>()  // fanins
+            + size_of::<FanoutList>()
+            + size_of::<[u32; 3]>()              // fanout_pos
+            + size_of::<bool>()
+            + 2 * size_of::<u32>(); // slot_gen + level
+        let spill: usize = self.fanouts.iter().map(|l| l.heap_bytes()).sum();
+        let strash = self.strash.capacity() * (size_of::<[Signal; 3]>() + size_of::<NodeId>() + 8);
+        self.fanins.len() * per_slot
+            + spill
+            + strash
+            + self.outputs.len() * (size_of::<Signal>() + size_of::<u32>())
+            + self.dirty.len() * size_of::<NodeId>()
+    }
+
+    /// Average storage bytes per node slot (see [`Mig::approx_bytes`]).
+    pub fn bytes_per_node(&self) -> u64 {
+        (self.approx_bytes() / self.fanins.len().max(1)) as u64
+    }
+
+    /// Percentage (0–100) of node slots that are dead (freed, awaiting
+    /// reuse) — the scheduler's compaction trigger.
+    pub fn dead_slot_pct(&self) -> u64 {
+        (self.free.len() * 100 / self.fanins.len().max(1)) as u64
     }
 
     /// Emits the graph in Graphviz DOT format (complemented edges dashed,
@@ -1635,5 +1839,127 @@ mod tests {
         let s = format!("{m}");
         assert!(s.contains("i/o = 2/1"));
         assert!(s.contains("gates = 1"));
+    }
+
+    /// A graph with plenty of churn: builds a layered network, then
+    /// collapses a scattering of gates so the slot arrays are riddled
+    /// with dead slots and recycled generations.
+    fn churned() -> Mig {
+        let mut m = Mig::new(6);
+        let ins: Vec<Signal> = m.inputs().collect();
+        let mut layer = ins.clone();
+        for round in 0..5 {
+            let mut next = Vec::new();
+            for i in 0..layer.len() {
+                let a = layer[i];
+                let b = layer[(i + 1) % layer.len()];
+                let c = ins[(i + round) % ins.len()];
+                next.push(m.maj(a, b, if round % 2 == 0 { !c } else { c }));
+            }
+            layer = next;
+        }
+        for (i, &s) in layer.iter().enumerate() {
+            if i % 2 == 0 {
+                m.add_output(s);
+            }
+        }
+        m.cleanup();
+        // Collapse every third gate onto its first fanin: frees cones,
+        // recycles slots, leaves holes everywhere.
+        let victims: Vec<NodeId> = m.gates().collect();
+        for (i, v) in victims.into_iter().enumerate() {
+            if i % 3 == 0 && m.is_gate(v) {
+                let keep = m.fanins(v)[1];
+                let _ = m.replace_node(v, keep);
+            }
+        }
+        m.sweep();
+        m
+    }
+
+    #[test]
+    fn compact_preserves_function_and_renumbers_densely() {
+        let mut m = churned();
+        assert!(m.dead_slot_pct() > 0, "test premise: holes to squeeze");
+        let want = m.output_truth_tables();
+        let gates_before = m.num_gates();
+        let levels_before: Vec<u32> = m.topo_gates().iter().map(|&g| m.level(g)).collect();
+        let old_gates: Vec<NodeId> = m.gates().collect();
+        let map = m.compact();
+        assert!(!map.is_identity());
+        m.debug_check();
+        assert_eq!(m.output_truth_tables(), want, "function changed");
+        assert_eq!(m.num_gates(), gates_before);
+        // Dense: every slot past the terminals is a live gate, numbered
+        // in topological order.
+        assert_eq!(m.num_nodes(), m.num_inputs() + 1 + m.num_gates());
+        assert_eq!(m.dead_slot_pct(), 0);
+        for (i, g) in m.gates().enumerate() {
+            assert_eq!(g as usize, m.num_inputs() + 1 + i);
+            for s in m.fanins(g) {
+                assert!(s.node() < g, "slot order is topological");
+            }
+        }
+        // The map translates every old live gate to its new slot with
+        // the level carried over; terminals are fixed points.
+        let levels_after: Vec<u32> = m.topo_gates().iter().map(|&g| m.level(g)).collect();
+        assert_eq!(levels_before, levels_after, "levels permuted, not lost");
+        for t in 0..=m.num_inputs() as NodeId {
+            assert_eq!(map.remap(t), Some(t));
+        }
+        for old in old_gates {
+            let new = map.remap(old).expect("live gate survives");
+            assert!(m.is_gate(new));
+        }
+        // The graph stays fully operational after compaction.
+        let g = m.gates().last().unwrap();
+        let repl = m.fanins(g)[1];
+        assert!(m.replace_node(g, repl));
+        m.sweep();
+        m.debug_check();
+    }
+
+    #[test]
+    fn compact_fixpoint_is_identity() {
+        let mut m = churned();
+        let first = m.compact();
+        assert!(!first.is_identity());
+        let fp = |m: &Mig| {
+            (
+                m.gates().map(|g| (g, m.fanins(g))).collect::<Vec<_>>(),
+                m.outputs().to_vec(),
+            )
+        };
+        let before = fp(&m);
+        let cursor = m.dirty_cursor();
+        let again = m.compact();
+        assert!(again.is_identity(), "compact graph is a fixpoint");
+        assert_eq!(again.old_len(), again.new_len());
+        assert_eq!(fp(&m), before, "fixpoint compaction touched the graph");
+        assert!(
+            m.dirty_since(cursor).is_some(),
+            "fixpoint compaction must not gap the dirty log"
+        );
+        assert_eq!(again.remap(3), Some(3));
+    }
+
+    #[test]
+    fn compact_gaps_the_dirty_log_for_stale_cursors() {
+        let mut m = churned();
+        let stale = m.dirty_cursor();
+        let map = m.compact();
+        assert!(!map.is_identity());
+        assert_eq!(
+            m.dirty_since(stale),
+            None,
+            "pre-compaction cursors must fall back to a full rebuild"
+        );
+        let fresh = m.dirty_cursor();
+        assert_eq!(m.dirty_since(fresh), Some(&[][..]));
+        // New structural changes feed the re-anchored cursor normally.
+        let g = m.gates().last().unwrap();
+        let repl = m.fanins(g)[0];
+        let _ = m.replace_node(g, repl);
+        assert!(!m.dirty_since(fresh).expect("no gap").is_empty());
     }
 }

@@ -38,7 +38,9 @@
 //! assert_eq!(m.num_gates(), 1);
 //! ```
 
+mod fanout;
 mod ffr;
+pub mod fxhash;
 mod graph;
 mod net;
 mod region;
@@ -46,8 +48,9 @@ mod shard;
 mod signal;
 mod wave;
 
+pub use fanout::{FanoutList, INLINE_FANOUTS};
 pub use ffr::FfrPartition;
-pub use graph::{normalize_maj, DirtyCursor, Mig, Normalized};
+pub use graph::{normalize_maj, CompactMap, DirtyCursor, Mig, Normalized};
 pub use net::NetworkOps;
 pub use region::{PartitionStrategy, RegionPartition, RegionView};
 pub use shard::{

@@ -57,8 +57,9 @@
 //! order never depend on worker scheduling — threads only decide *who*
 //! computes each pure simulation and *who* writes each disjoint region.
 
+use crate::fxhash::FxHashSet;
 use crate::wave::{self, WavePatch};
-use crate::{Mig, NetworkOps, NodeId, RegionPartition, Signal};
+use crate::{CompactMap, Mig, NetworkOps, NodeId, RegionPartition, Signal};
 use std::collections::{BTreeMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -122,6 +123,13 @@ pub trait ProposeEngine: Sync {
     /// step's commits structurally changed. Engines carrying analysis
     /// caches across steps (cut lists, …) stale them here.
     fn invalidate(&self, _mig: &Mig, _changed: &[NodeId]) {}
+
+    /// Renumbering hook, called after the driver compacts the graph
+    /// ([`crate::Mig::compact`]): every node id may have changed, so
+    /// engines carrying *node-indexed* caches must remap or drop them
+    /// here. The driver re-partitions unconditionally afterwards, so
+    /// partition-derived round state needs no migration.
+    fn remap(&self, _map: &CompactMap) {}
 
     /// Generates the proposals of one region, read-only. A worker's own
     /// proposals should not overlap (the driver would refuse the later
@@ -212,12 +220,21 @@ pub struct ShardConfig {
     /// partition). Until then the scheduler reuses the partition, so a
     /// step costs only the dirty regions.
     pub repartition_pct: u32,
+    /// Compaction threshold, in percent of slots on the free list: after
+    /// a step ends with the dead-slot density past this, the driver
+    /// renumbers the graph ([`crate::Mig::compact`]), remaps its pending
+    /// frontier, hands engines the remap ([`ProposeEngine::remap`]) and
+    /// forces a re-partition — so long-churning runs keep their slot
+    /// arrays dense instead of chasing ever-sparser cache lines. `0`
+    /// disables scheduler-driven compaction.
+    pub compact_pct: u32,
 }
 
 impl ShardConfig {
     /// Default tuning for `threads` workers (4 regions per thread,
     /// 12-gate region floor, 64-step backstop, no guard, 20% drift
-    /// threshold). The floor keeps a region wide enough for a full
+    /// threshold, 25% dead-slot compaction threshold). The floor keeps
+    /// a region wide enough for a full
     /// 4-feasible cut cone plus fanout context while letting graphs in
     /// the tens of gates still split into a handful of shards — small
     /// benchmarks keep exercising (and tracing) the parallel propose
@@ -230,6 +247,7 @@ impl ShardConfig {
             max_rounds: 64,
             guard: None,
             repartition_pct: 20,
+            compact_pct: 25,
         }
     }
 
@@ -614,6 +632,28 @@ fn run_scheduler_steps<E: ProposeEngine>(mig: &mut Mig, engine: &E, cfg: &ShardC
         if !changed.is_empty() {
             engine.invalidate(mig, &changed);
         }
+        // Between steps the graph is quiescent: when enough slots have
+        // died, renumber them out ([`Mig::compact`]) so the remaining
+        // steps (and every later pass) walk dense arrays. Deterministic:
+        // the trigger is a pure function of the graph state.
+        if cfg.compact_pct > 0 && mig.dead_slot_pct() >= u64::from(cfg.compact_pct) {
+            let _span = obs::trace::span("sched:compact");
+            let map = mig.compact();
+            if !map.is_identity() {
+                add(Metric::SchedCompactions, 1);
+                // Carry the pending frontier across the renumbering
+                // (dead slots drop out), hand engines the remap for
+                // their node-indexed caches, and force a fresh
+                // partition — region assignments are node-indexed too.
+                sched.frontier = sched
+                    .frontier
+                    .iter()
+                    .filter_map(|&(n, p)| map.remap(n).map(|m| (m, p)))
+                    .collect();
+                engine.remap(&map);
+                force_partition = true;
+            }
+        }
     }
     mig.sweep();
 }
@@ -815,7 +855,7 @@ fn note_refused(
 /// Feeds one commit's dirt into the step-conflict set, the stale set,
 /// the invalidation list and the retry frontier.
 fn note_dirt(
-    step_dirty: &mut HashSet<NodeId>,
+    step_dirty: &mut FxHashSet<NodeId>,
     stale: &mut Option<&mut HashSet<NodeId>>,
     frontier: &mut Option<&mut Vec<(NodeId, i64)>>,
     changed: &mut Vec<NodeId>,
@@ -882,7 +922,7 @@ fn commit_waves<E: ProposeEngine>(
     }
     // Nodes touched earlier in this step; a proposal whose footprint
     // intersects it was analyzed against a graph that no longer exists.
-    let mut step_dirty: HashSet<NodeId> = HashSet::new();
+    let mut step_dirty: FxHashSet<NodeId> = FxHashSet::default();
     for (w, members) in by_wave.iter().enumerate() {
         let _wave_span = obs::trace::span_dyn(|| format!("commit:wave{w}"));
         // Driver conflict scan (vacuous for wave 0 of a fresh step).
@@ -916,7 +956,7 @@ fn commit_waves<E: ProposeEngine>(
             .map(|&i| wave::reserve_slots(mig, engine.alloc_hint(&proposals[i]) + 8))
             .collect();
         scratch.ensure(mig.num_nodes());
-        let owned: Vec<HashSet<NodeId>> = runnable
+        let owned: Vec<FxHashSet<NodeId>> = runnable
             .iter()
             .zip(&arenas)
             .map(|(&i, arena)| extended[i].iter().chain(arena.iter()).copied().collect())
@@ -966,7 +1006,7 @@ fn commit_waves<E: ProposeEngine>(
         // Acceptance scan, proposal order: escapes and fresh-key strash
         // collisions (two proposals building the same new gate — the
         // serial engine would have merged them) fall back.
-        let mut new_keys: HashSet<[Signal; 3]> = HashSet::new();
+        let mut new_keys: FxHashSet<[Signal; 3]> = FxHashSet::default();
         let mut accepted: Vec<usize> = Vec::new();
         let mut is_accepted = vec![false; runnable.len()];
         let mut fallback: Vec<usize> = Vec::new();

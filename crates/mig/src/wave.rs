@@ -36,9 +36,10 @@
 //! Every stage is a pure function of (wave-start graph, proposal order),
 //! so the resulting netlist is bit-identical for every worker count.
 
+use crate::fanout::FanoutList;
+use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::graph::OUT_FLAG;
 use crate::{normalize_maj, Mig, NodeId, Normalized, Signal};
-use std::collections::{HashMap, HashSet};
 
 /// One node's final overlay state, written back verbatim by
 /// [`apply_patches`].
@@ -113,29 +114,29 @@ pub(crate) struct WaveSim<'a> {
     epoch: u32,
     /// This proposal's own region: its extended footprint plus its
     /// arena.
-    owned: &'a HashSet<NodeId>,
+    owned: &'a FxHashSet<NodeId>,
     /// Pre-reserved slots for nodes this commit materializes.
     arena: &'a [NodeId],
     arena_next: usize,
     /// Overlay node states, materialized on first touch.
-    st: HashMap<NodeId, NodeState>,
+    st: FxHashMap<NodeId, NodeState>,
     /// First-touch order of `st` keys.
     touched: Vec<NodeId>,
     /// Transient guard counts (the sim analogue of the `GUARD` fanout
     /// entries protecting pending substitution signals); never stored in
     /// overlay lists.
-    guards: HashMap<NodeId, u32>,
+    guards: FxHashMap<NodeId, u32>,
     /// Strash overlay: `Some(n)` maps the key in this view, `None`
     /// deletes a base mapping.
-    strash_view: HashMap<[Signal; 3], Option<NodeId>>,
+    strash_view: FxHashMap<[Signal; 3], Option<NodeId>>,
     /// Raw strash edit log (first-occurrence order recovers determinism
     /// from the hash-map view).
     strash_log: Vec<([Signal; 3], Option<NodeId>)>,
     /// Net fanout-count drift of foreign nodes (for `fanout_count`
     /// fidelity while boundary edits are pending).
-    foreign_refs: HashMap<NodeId, i32>,
+    foreign_refs: FxHashMap<NodeId, i32>,
     /// Primary-output overlay plus its edit log.
-    out_view: HashMap<u32, Signal>,
+    out_view: FxHashMap<u32, Signal>,
     boundary: Vec<BoundaryOp>,
     outs: Vec<(u32, Signal)>,
     dirty: Vec<NodeId>,
@@ -153,7 +154,7 @@ impl<'a> WaveSim<'a> {
         base: &'a Mig,
         stamps: &'a [u32],
         epoch: u32,
-        owned: &'a HashSet<NodeId>,
+        owned: &'a FxHashSet<NodeId>,
         arena: &'a [NodeId],
     ) -> Self {
         WaveSim {
@@ -163,13 +164,13 @@ impl<'a> WaveSim<'a> {
             owned,
             arena,
             arena_next: 0,
-            st: HashMap::new(),
+            st: FxHashMap::default(),
             touched: Vec::new(),
-            guards: HashMap::new(),
-            strash_view: HashMap::new(),
+            guards: FxHashMap::default(),
+            strash_view: FxHashMap::default(),
             strash_log: Vec::new(),
-            foreign_refs: HashMap::new(),
-            out_view: HashMap::new(),
+            foreign_refs: FxHashMap::default(),
+            out_view: FxHashMap::default(),
             boundary: Vec::new(),
             outs: Vec::new(),
             dirty: Vec::new(),
@@ -230,7 +231,7 @@ impl<'a> WaveSim<'a> {
                 n,
                 NodeState {
                     fanins: self.base.fanins[n as usize],
-                    fanouts: self.base.fanouts[n as usize].clone(),
+                    fanouts: self.base.fanouts[n as usize].to_vec(),
                     dead: self.base.dead[n as usize],
                     level: self.base.level[n as usize],
                 },
@@ -243,7 +244,7 @@ impl<'a> WaveSim<'a> {
     fn fanout_view(&self, n: NodeId) -> Vec<u32> {
         match self.st.get(&n) {
             Some(s) => s.fanouts.clone(),
-            None => self.base.fanouts[n as usize].clone(),
+            None => self.base.fanouts[n as usize].to_vec(),
         }
     }
 
@@ -358,7 +359,7 @@ impl<'a> WaveSim<'a> {
         if self.level_view(start) <= self.level_view(target) {
             return false;
         }
-        let mut seen: HashSet<NodeId> = HashSet::new();
+        let mut seen: FxHashSet<NodeId> = FxHashSet::default();
         let mut stack = vec![start];
         while let Some(v) = stack.pop() {
             if self.base.is_terminal(v) || !seen.insert(v) {
@@ -581,7 +582,7 @@ impl<'a> WaveSim<'a> {
         // Compress the strash log: last op per key, first-occurrence
         // order, transients (adds later deleted, deletes of never-based
         // keys) dropped against the base table.
-        let mut final_op: HashMap<[Signal; 3], Option<NodeId>> = HashMap::new();
+        let mut final_op: FxHashMap<[Signal; 3], Option<NodeId>> = FxHashMap::default();
         let mut key_order: Vec<[Signal; 3]> = Vec::new();
         for &(key, val) in &self.strash_log {
             if final_op.insert(key, val).is_none() {
@@ -728,7 +729,7 @@ pub(crate) fn reserve_slots(mig: &mut Mig, count: usize) -> Vec<NodeId> {
             None => {
                 let s = mig.fanins.len() as NodeId;
                 mig.fanins.push([Signal::ZERO; 3]);
-                mig.fanouts.push(Vec::new());
+                mig.fanouts.push(FanoutList::new());
                 mig.fanout_pos.push([0; 3]);
                 mig.dead.push(true);
                 mig.slot_gen.push(0);
@@ -781,7 +782,7 @@ impl<T> Clone for SendPtr<T> {
 pub(crate) fn apply_patches(mig: &mut Mig, patches: &[&WavePatch], threads: usize, wave: u32) {
     #[cfg(debug_assertions)]
     {
-        let mut seen: HashSet<NodeId> = HashSet::new();
+        let mut seen: FxHashSet<NodeId> = FxHashSet::default();
         for p in patches {
             for &(n, _) in &p.touched {
                 assert!(seen.insert(n), "wave patches overlap on node {n}");
@@ -822,7 +823,7 @@ pub(crate) fn apply_patches(mig: &mut Mig, patches: &[&WavePatch], threads: usiz
                         // reservation), and every index is in bounds.
                         unsafe {
                             *fanins.0.add(idx) = state.fanins;
-                            *fanouts.0.add(idx) = state.fanouts.clone();
+                            *fanouts.0.add(idx) = FanoutList::from_slice(&state.fanouts);
                             *dead.0.add(idx) = state.dead;
                             *level.0.add(idx) = state.level;
                         }
@@ -841,10 +842,11 @@ fn boundary_remove(mig: &mut Mig, child: NodeId, entry: u32) {
     let list = &mut mig.fanouts[child as usize];
     let pos = list
         .iter()
-        .position(|&e| e == entry)
+        .position(|e| e == entry)
         .expect("boundary-removed reference present");
     list.swap_remove(pos);
-    if let Some(&moved) = list.get(pos) {
+    if pos < list.len() {
+        let moved = list.get(pos);
         if moved & OUT_FLAG != 0 {
             mig.out_pos[(moved & !OUT_FLAG) as usize] = pos as u32;
         } else if let Some(slot) = mig.fanins[moved as usize]
@@ -905,7 +907,7 @@ pub(crate) fn reconcile_patch(mig: &mut Mig, patch: &WavePatch) {
             continue;
         }
         for pos in 0..mig.fanouts[n as usize].len() {
-            let e = mig.fanouts[n as usize][pos];
+            let e = mig.fanouts[n as usize].get(pos);
             if e & OUT_FLAG != 0 {
                 mig.out_pos[(e & !OUT_FLAG) as usize] = pos as u32;
             } else {
@@ -937,7 +939,7 @@ fn update_levels_from_fanouts(mig: &mut Mig, root: NodeId) {
         if nl != mig.level[v as usize] {
             mig.level[v as usize] = nl;
             for i in 0..mig.fanouts[v as usize].len() {
-                let f = mig.fanouts[v as usize][i];
+                let f = mig.fanouts[v as usize].get(i);
                 if f & OUT_FLAG == 0 {
                     work.push(f);
                 }
@@ -978,10 +980,10 @@ mod tests {
         mig: &mut Mig,
         ext: &[NodeId],
         arena_size: usize,
-    ) -> (Vec<u32>, Vec<NodeId>, HashSet<NodeId>) {
+    ) -> (Vec<u32>, Vec<NodeId>, FxHashSet<NodeId>) {
         let arena = reserve_slots(mig, arena_size);
         let mut stamps = vec![0u32; mig.num_nodes()];
-        let mut owned: HashSet<NodeId> = ext.iter().copied().collect();
+        let mut owned: FxHashSet<NodeId> = ext.iter().copied().collect();
         for &n in ext {
             stamps[n as usize] = 1;
         }
@@ -1093,7 +1095,7 @@ mod tests {
         for n in [mine.node(), theirs.node(), top.node()] {
             stamps[n as usize] = 7;
         }
-        let mut owned: HashSet<NodeId> = [mine.node(), top.node()].into_iter().collect();
+        let mut owned: FxHashSet<NodeId> = [mine.node(), top.node()].into_iter().collect();
         for &s in &arena {
             stamps[s as usize] = 7;
             owned.insert(s);

@@ -127,6 +127,12 @@ metrics_table! {
         "worker threads that applied commit-wave patches";
     SchedWaveFallbacks => "sched.wave_fallbacks", Counter, true,
         "proposals re-run serially after their simulation escaped";
+    SchedCompactions => "sched.compactions", Counter, true,
+        "slot-renumbering compactions triggered by dead-slot density";
+    MigBytesPerNode => "mig.bytes_per_node", Gauge, true,
+        "approximate storage bytes per node slot (recorded at report time)";
+    MigDeadSlotPct => "mig.dead_slot_pct", Gauge, true,
+        "percent of slots on the free list (recorded at report time)";
 }
 
 /// Log2 duration buckets per histogram; bucket `i` counts durations

@@ -8,6 +8,7 @@
 //! back onto concrete cut leaves.
 
 use crate::TruthTable;
+use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Maximum variable count supported by the exhaustive canonizer.
 pub const MAX_NPN_VARS: usize = 5;
@@ -247,12 +248,19 @@ pub fn npn_canonize(f: &TruthTable) -> NpnCanon {
 /// Fast exact NPN canonizer specialized for 4-variable functions stored as
 /// `u16` truth tables. Semantically identical to [`npn_canonize`] on the
 /// same function; roughly an order of magnitude faster thanks to
-/// precomputed index tables.
+/// precomputed index tables, and O(1) on repeat functions thanks to a
+/// lazily-filled memo over the full 2^16 function space.
 #[derive(Debug)]
 pub struct Npn4Canonizer {
     /// For each of the 384 (perm, input_neg) combinations: the minterm
     /// index map and the corresponding transform (output_neg = false).
     maps: Vec<([u16; 16], NpnTransform)>,
+    /// Memoized results, one slot per 16-bit function: packed as
+    /// `rep << 16 | map_index << 2 | output_neg << 1 | valid`. Filled on
+    /// first canonization of each function (256 KiB, but only the slots
+    /// of functions actually seen are ever touched). Shared-reference
+    /// safe: `canonize` is pure, so racing fills store identical values.
+    memo: Box<[AtomicU32]>,
 }
 
 impl Default for Npn4Canonizer {
@@ -287,30 +295,44 @@ impl Npn4Canonizer {
                 maps.push((map, t));
             }
         }
-        Npn4Canonizer { maps }
+        let memo = (0..1usize << 16).map(|_| AtomicU32::new(0)).collect();
+        Npn4Canonizer { maps, memo }
     }
 
     /// Canonizes a 16-bit truth table, returning the representative and the
     /// transform with `transform.apply(f) == representative`.
     pub fn canonize(&self, f: u16) -> (u16, NpnTransform) {
+        let packed = self.memo[f as usize].load(Ordering::Relaxed);
+        if packed & 1 == 1 {
+            let rep = (packed >> 16) as u16;
+            let mut t = self.maps[(packed as usize >> 2) & 0x1ff].1;
+            t.output_neg = packed & 2 != 0;
+            return (rep, t);
+        }
         let mut best = u16::MAX;
-        let mut best_t = NpnTransform::identity(4);
-        for (map, t) in &self.maps {
+        let mut best_idx = 0usize;
+        let mut out_neg = false;
+        for (idx, (map, _)) in self.maps.iter().enumerate() {
             let mut g: u16 = 0;
             for (j, &src) in map.iter().enumerate() {
                 g |= ((f >> src) & 1) << j;
             }
             if g < best {
                 best = g;
-                best_t = *t;
+                best_idx = idx;
+                out_neg = false;
             }
             let gneg = !g;
             if gneg < best {
                 best = gneg;
-                best_t = *t;
-                best_t.output_neg = true;
+                best_idx = idx;
+                out_neg = true;
             }
         }
+        let packed = u32::from(best) << 16 | (best_idx as u32) << 2 | u32::from(out_neg) << 1 | 1;
+        self.memo[f as usize].store(packed, Ordering::Relaxed);
+        let mut best_t = self.maps[best_idx].1;
+        best_t.output_neg = out_neg;
         (best, best_t)
     }
 }
@@ -408,6 +430,19 @@ mod tests {
             let slow = npn_canonize(&TruthTable::from_u16(f));
             assert_eq!(rep, slow.representative.as_u16(), "f = {f:04x}");
             assert_eq!(t.apply(&TruthTable::from_u16(f)).as_u16(), rep);
+        }
+    }
+
+    #[test]
+    fn memo_hit_matches_first_computation() {
+        // The second call is answered from the memo; it must reproduce
+        // the first (computed) result exactly, transform included.
+        let canon = Npn4Canonizer::new();
+        for f in [0x0000u16, 0xffff, 0x8000, 0x6996, 0xcafe, 0x1234, 0xaaaa] {
+            let first = canon.canonize(f);
+            let second = canon.canonize(f);
+            assert_eq!(first, second, "f = {f:04x}");
+            assert_eq!(second.1.apply(&TruthTable::from_u16(f)).as_u16(), second.0);
         }
     }
 

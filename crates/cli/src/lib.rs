@@ -50,6 +50,10 @@ use mig::Mig;
 use std::fmt;
 use std::time::Instant;
 
+pub mod daemon;
+pub mod report;
+pub mod service;
+
 /// One step of a `migopt` pipeline.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Pass {
@@ -495,11 +499,34 @@ pub fn run_pipeline_jobs(
     passes: &[Pass],
     default_threads: usize,
 ) -> Result<(Mig, Vec<PassReport>), PipelineError> {
+    run_pipeline_session(input, passes, default_threads, None, None)
+}
+
+/// [`run_pipeline_jobs`] with two seams for long-lived callers (the
+/// persistent-cache service and the `migd` daemon):
+///
+/// * `engine` — a shared, already-warm functional-hashing engine to use
+///   instead of a pipeline-local one. The engine is only read (its memo
+///   and signature tables fill through `&self` atomics), so concurrent
+///   pipelines may share it.
+/// * `on_pass` — called after each pass's report is finalized, for
+///   streaming per-pass progress to a client while the pipeline runs.
+///
+/// # Errors
+///
+/// [`PipelineError::NotEquivalent`] if a `cec` pass refutes equivalence.
+pub fn run_pipeline_session(
+    input: &Mig,
+    passes: &[Pass],
+    default_threads: usize,
+    engine: Option<&fhash::FunctionalHashing>,
+    mut on_pass: Option<&mut dyn FnMut(&PassReport)>,
+) -> Result<(Mig, Vec<PassReport>), PipelineError> {
     let default_threads = default_threads.max(1);
     let _pipeline_span = obs::trace::span("pipeline");
     let mut cur = input.clone();
     let mut reports = Vec::with_capacity(passes.len());
-    let mut engine: Option<fhash::FunctionalHashing> = None;
+    let mut owned_engine: Option<fhash::FunctionalHashing> = None;
     // Cut lists carried across fhash passes; `None` whenever the current
     // graph was rebuilt since the last enumeration.
     let mut cut_cache: Option<cuts::CutSet> = None;
@@ -567,8 +594,11 @@ pub fn run_pipeline_jobs(
                     }
                 }
                 Pass::Fhash { variant, threads } => {
-                    let e =
-                        engine.get_or_insert_with(fhash::FunctionalHashing::with_default_database);
+                    let e = match engine {
+                        Some(e) => e,
+                        None => owned_engine
+                            .get_or_insert_with(fhash::FunctionalHashing::with_default_database),
+                    };
                     let t = threads.unwrap_or(default_threads);
                     if t <= 1 {
                         let mut cs = cut_cache
@@ -589,8 +619,11 @@ pub fn run_pipeline_jobs(
                     }
                 }
                 Pass::FhashConverge { variant, threads } => {
-                    let e =
-                        engine.get_or_insert_with(fhash::FunctionalHashing::with_default_database);
+                    let e = match engine {
+                        Some(e) => e,
+                        None => owned_engine
+                            .get_or_insert_with(fhash::FunctionalHashing::with_default_database),
+                    };
                     let t = threads.unwrap_or(default_threads);
                     // Like the sharded pass: nothing in the converge
                     // driver drains the log, so the carried set stays
@@ -707,6 +740,9 @@ pub fn run_pipeline_jobs(
             note,
             metrics: delta,
         });
+        if let Some(cb) = on_pass.as_deref_mut() {
+            cb(reports.last().expect("just pushed"));
+        }
     }
     // Final storage-layout gauges: recorded outside any pass scope, so
     // they land in the process registry and show up in the whole-run

@@ -11,19 +11,29 @@
 //! `--json-report <file>` writes the per-pass reports (including each
 //! pass's nonzero metrics) as a JSON document.
 //!
-//! Exit codes: 0 success, 1 usage/parse/file errors, 2 equivalence
-//! failure (the `cec` pass found a counterexample).
+//! Warm-run surface: `--cache <file>` persists NPN canonization,
+//! cut-signature and whole-job results across invocations; `--serve`
+//! runs the same warm state as a unix-socket daemon, `--connect`
+//! submits a job to one, `--shutdown` stops it.
+//!
+//! Exit codes: 0 success, 1 usage/parse/file errors, 2 pipeline failure
+//! (the `cec` pass found a counterexample, or a daemon job failed).
 
+use cli::service::OptService;
 use cli::{parse_pipeline, run_pipeline_jobs, PassReport};
-use mig::Mig;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 const USAGE: &str = "\
 migopt: MIG optimization pipeline driver
 
 USAGE:
     migopt -i <input> [-p <pipeline>] [-o <output>] [-j <threads>] [--quiet]
-           [--trace <file>] [--metrics] [--json-report <file>]
+           [--trace <file>] [--metrics] [--json-report <file>] [--cache <file>]
+    migopt --serve <socket> [--cache <file>] [--workers <N>] [--quiet]
+    migopt --connect <socket> -i <input> [-p <pipeline>] [-o <output>]
+           [-j <threads>] [--trace <file>] [--quiet]
+    migopt --shutdown <socket>
 
 OPTIONS:
     -i, --input <file>     circuit to read (.aag, .aig or .blif)
@@ -36,9 +46,16 @@ OPTIONS:
     -q, --quiet            suppress per-pass reporting
         --trace <file>     record spans; .jsonl gets the JSONL event
                            stream, anything else Chrome trace-event JSON
-                           (open in Perfetto / chrome://tracing)
+                           (open in Perfetto / chrome://tracing); with
+                           --connect, captures the daemon's raw JSONL stream
         --metrics          print the metric-registry totals after the run
-        --json-report <file>  write per-pass reports as JSON
+        --json-report <file>  write per-pass reports + run metrics as JSON
+        --cache <file>     persistent optimization cache: load before the
+                           run, flush what the run learned afterwards
+        --serve <socket>   run as a daemon on a unix socket (migd protocol)
+        --workers <N>      daemon worker threads (with --serve; default: 2)
+        --connect <socket> submit the job to a running daemon
+        --shutdown <socket>  stop a running daemon
     -h, --help             show this help
 
 PASSES:
@@ -49,7 +66,7 @@ PASSES:
 ";
 
 struct Args {
-    input: String,
+    input: Option<String>,
     output: Option<String>,
     passes: String,
     threads: usize,
@@ -57,6 +74,11 @@ struct Args {
     trace: Option<String>,
     metrics: bool,
     json_report: Option<String>,
+    cache: Option<String>,
+    serve: Option<String>,
+    workers: usize,
+    connect: Option<String>,
+    shutdown: Option<String>,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -68,8 +90,21 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut trace = None;
     let mut metrics = false;
     let mut json_report = None;
+    let mut cache = None;
+    let mut serve = None;
+    let mut workers = 2usize;
+    let mut connect = None;
+    let mut shutdown = None;
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
+        let mut file_arg = |slot: &mut Option<String>| -> Result<(), String> {
+            *slot = Some(
+                it.next()
+                    .ok_or_else(|| format!("{arg} needs a file argument"))?
+                    .clone(),
+            );
+            Ok(())
+        };
         match arg.as_str() {
             "-j" | "--threads" => {
                 let t = it
@@ -80,20 +115,17 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                         format!("thread count must be a positive number, got {t:?}")
                     })?;
             }
-            "-i" | "--input" => {
-                input = Some(
-                    it.next()
-                        .ok_or_else(|| format!("{arg} needs a file argument"))?
-                        .clone(),
-                );
+            "--workers" => {
+                let t = it
+                    .next()
+                    .ok_or_else(|| format!("{arg} needs a worker count"))?;
+                workers =
+                    t.parse::<usize>().ok().filter(|&t| t >= 1).ok_or_else(|| {
+                        format!("worker count must be a positive number, got {t:?}")
+                    })?;
             }
-            "-o" | "--output" => {
-                output = Some(
-                    it.next()
-                        .ok_or_else(|| format!("{arg} needs a file argument"))?
-                        .clone(),
-                );
-            }
+            "-i" | "--input" => file_arg(&mut input)?,
+            "-o" | "--output" => file_arg(&mut output)?,
             "-p" | "--passes" => {
                 passes = Some(
                     it.next()
@@ -102,27 +134,29 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 );
             }
             "-q" | "--quiet" => quiet = true,
-            "--trace" => {
-                trace = Some(
-                    it.next()
-                        .ok_or_else(|| format!("{arg} needs a file argument"))?
-                        .clone(),
-                );
-            }
+            "--trace" => file_arg(&mut trace)?,
             "--metrics" => metrics = true,
-            "--json-report" => {
-                json_report = Some(
-                    it.next()
-                        .ok_or_else(|| format!("{arg} needs a file argument"))?
-                        .clone(),
-                );
-            }
+            "--json-report" => file_arg(&mut json_report)?,
+            "--cache" => file_arg(&mut cache)?,
+            "--serve" => file_arg(&mut serve)?,
+            "--connect" => file_arg(&mut connect)?,
+            "--shutdown" => file_arg(&mut shutdown)?,
             "-h" | "--help" => return Err(String::new()),
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
+    let modes = [serve.is_some(), connect.is_some(), shutdown.is_some()]
+        .iter()
+        .filter(|&&m| m)
+        .count();
+    if modes > 1 {
+        return Err("--serve, --connect and --shutdown are mutually exclusive".to_string());
+    }
+    if serve.is_none() && shutdown.is_none() && input.is_none() {
+        return Err("missing required -i <input>".to_string());
+    }
     Ok(Args {
-        input: input.ok_or("missing required -i <input>")?,
+        input,
         output,
         passes: passes.unwrap_or_else(|| "stats".to_string()),
         threads,
@@ -130,6 +164,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         trace,
         metrics,
         json_report,
+        cache,
+        serve,
+        workers,
+        connect,
+        shutdown,
     })
 }
 
@@ -151,90 +190,113 @@ fn print_report(r: &PassReport) {
     );
 }
 
-/// Renders the per-pass reports (plus the final circuit shape) as one
-/// JSON document. Each pass carries its nonzero metric values keyed by
-/// registry name; duration histograms expand to `.count` / `.sum_ns`.
-/// The emitter is hand-rolled against the same grammar `obs::json`
-/// parses, so reports round-trip without a serde dependency.
-fn json_report(input_path: &str, reports: &[PassReport], result: &Mig) -> String {
-    use obs::json::escape;
-    use std::fmt::Write;
-    let mut out = String::new();
-    let _ = write!(out, "{{\"input\":\"{}\",\"passes\":[", escape(input_path));
-    for (i, r) in reports.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        let _ = write!(
-            out,
-            "{{\"pass\":\"{}\",\"size_before\":{},\"size_after\":{},\
-             \"depth_before\":{},\"depth_after\":{},\"runtime_ns\":{},\
-             \"note\":\"{}\",\"metrics\":{{",
-            escape(&r.pass),
-            r.size_before,
-            r.size_after,
-            r.depth_before,
-            r.depth_after,
-            (r.runtime * 1e9) as u64,
-            escape(&r.note),
+/// `migopt --serve`: run the daemon until a shutdown request arrives,
+/// then flush the warm cache one final time.
+fn serve_mode(args: &Args, socket: &str) -> ExitCode {
+    let service = Arc::new(OptService::new(
+        args.cache.as_ref().map(std::path::PathBuf::from),
+    ));
+    let runner = Arc::new(cli::daemon::PipelineRunner::new(Arc::clone(&service)));
+    if !args.quiet {
+        println!(
+            "migd serving on {socket} ({} workers{})",
+            args.workers,
+            match &args.cache {
+                Some(c) => format!(", cache {c}"),
+                None => String::new(),
+            }
         );
-        let mut first = true;
-        let mut emit = |out: &mut String, name: &str, value: i64| {
-            if !first {
-                out.push(',');
-            }
-            first = false;
-            let _ = write!(out, "\"{name}\":{value}");
-        };
-        for &m in obs::metrics::ALL {
-            let def = m.def();
-            match def.kind {
-                obs::Kind::Counter => {
-                    let v = r.metrics.get(m);
-                    if v != 0 {
-                        emit(&mut out, def.name, v as i64);
-                    }
-                }
-                obs::Kind::Gauge => {
-                    let v = r.metrics.geti(m);
-                    if v != 0 {
-                        emit(&mut out, def.name, v);
-                    }
-                }
-                obs::Kind::DurationNs => {
-                    let n = r.metrics.hist_count(m);
-                    if n != 0 {
-                        emit(&mut out, &format!("{}.count", def.name), n as i64);
-                        emit(
-                            &mut out,
-                            &format!("{}.sum_ns", def.name),
-                            r.metrics.hist_sum_ns(m) as i64,
-                        );
-                    }
-                }
-                obs::Kind::Histogram => {
-                    let n = r.metrics.hist_count(m);
-                    if n != 0 {
-                        emit(&mut out, &format!("{}.count", def.name), n as i64);
-                        emit(
-                            &mut out,
-                            &format!("{}.sum", def.name),
-                            r.metrics.hist_sum(m) as i64,
-                        );
-                    }
-                }
-            }
-        }
-        out.push_str("}}");
     }
-    let _ = write!(
-        out,
-        "],\"size\":{},\"depth\":{}}}",
-        result.num_gates(),
-        result.depth()
-    );
-    out.push('\n');
-    out
+    if let Err(e) = migd::serve(std::path::Path::new(socket), args.workers, runner) {
+        eprintln!("error: {socket}: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = service.flush() {
+        eprintln!("error: cache flush failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// `migopt --connect`: serialize the input, submit it as one daemon
+/// job, stream the trace lines (optionally into `--trace`), write the
+/// result circuit.
+fn connect_mode(args: &Args, socket: &str) -> ExitCode {
+    let input_path = args.input.as_deref().expect("checked in parse_args");
+    let input = match io::read_mig_path(input_path) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {input_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let req = migd::JobRequest {
+        id: input_path.to_string(),
+        pipeline: args.passes.clone(),
+        threads: args.threads,
+        format: "blif".to_string(),
+        circuit: io::blif::Blif::from_mig(&input, "migopt").to_text(),
+    };
+    let mut stream = String::new();
+    let result = match migd::submit(std::path::Path::new(socket), &req, |line| {
+        stream.push_str(line);
+        stream.push('\n');
+    }) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {socket}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(path) = &args.trace {
+        if let Err(e) = std::fs::write(path, &stream) {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        if !args.quiet {
+            println!("trace written to {path} ({} lines)", stream.lines().count());
+        }
+    }
+    if !result.outcome.ok {
+        eprintln!("error: job failed: {}", result.outcome.error);
+        return ExitCode::from(2);
+    }
+    if !args.quiet {
+        println!(
+            "job {:<17} size = {}  depth = {}  {:.2} ms{}",
+            result.id,
+            result.outcome.size,
+            result.outcome.depth,
+            result.outcome.runtime_ns as f64 / 1e6,
+            if result.outcome.cached {
+                "  [cached]"
+            } else {
+                ""
+            }
+        );
+    }
+    if let Some(out) = &args.output {
+        let mig = match io::blif::Blif::parse(&result.outcome.circuit).and_then(|b| b.to_mig()) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("error: daemon returned unparsable circuit: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if let Err(e) = io::write_mig_path(out, &mig) {
+            eprintln!("error: {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        if !args.quiet {
+            println!(
+                "wrote {:<21} size = {}  depth = {}",
+                out,
+                mig.num_gates(),
+                mig.depth()
+            );
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -251,6 +313,22 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(socket) = &args.shutdown {
+        return match migd::shutdown(std::path::Path::new(socket)) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {socket}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if let Some(socket) = &args.serve {
+        return serve_mode(&args, socket);
+    }
+    if let Some(socket) = &args.connect {
+        return connect_mode(&args, socket);
+    }
+    let input_path = args.input.as_deref().expect("checked in parse_args");
     let passes = match parse_pipeline(&args.passes) {
         Ok(p) => p,
         Err(e) => {
@@ -258,17 +336,17 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let input = match io::read_mig_path(&args.input) {
+    let input = match io::read_mig_path(input_path) {
         Ok(m) => m,
         Err(e) => {
-            eprintln!("error: {}: {e}", args.input);
+            eprintln!("error: {input_path}: {e}");
             return ExitCode::FAILURE;
         }
     };
     if !args.quiet {
         println!(
             "read {:<22} i/o = {}/{}  size = {}  depth = {}",
-            args.input,
+            input_path,
             input.num_inputs(),
             input.num_outputs(),
             input.num_gates(),
@@ -279,13 +357,33 @@ fn main() -> ExitCode {
         obs::trace::start();
     }
     let run_start = obs::metrics::global_snapshot();
-    let (result, reports) = match run_pipeline_jobs(&input, &passes, args.threads) {
+    // With --cache the run goes through the service (cache load, the
+    // warm engine, result-tier lookup, flush); without it the plain
+    // pipeline driver avoids even loading the NPN database when no
+    // fhash pass needs it.
+    let service = args
+        .cache
+        .as_ref()
+        .map(|c| OptService::new(Some(std::path::PathBuf::from(c))));
+    let run = match &service {
+        Some(s) => s
+            .run_job(&input, &passes, args.threads, None)
+            .map(|(result, reports, _cached)| (result, reports)),
+        None => run_pipeline_jobs(&input, &passes, args.threads),
+    };
+    let (result, reports) = match run {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::from(2);
         }
     };
+    if let Some(s) = &service {
+        if let Err(e) = s.flush() {
+            eprintln!("error: cache flush failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     let run_delta = obs::metrics::global_snapshot().since(&run_start);
     if let Some(path) = &args.trace {
         let events = obs::trace::finish();
@@ -308,7 +406,8 @@ fn main() -> ExitCode {
         print!("{}", obs::metrics::render_table(&run_delta));
     }
     if let Some(path) = &args.json_report {
-        if let Err(e) = std::fs::write(path, json_report(&args.input, &reports, &result)) {
+        let doc = cli::report::json_report(input_path, &reports, &result, &run_delta);
+        if let Err(e) = std::fs::write(path, doc) {
             eprintln!("error: {path}: {e}");
             return ExitCode::FAILURE;
         }

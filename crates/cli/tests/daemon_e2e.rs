@@ -1,0 +1,342 @@
+//! End-to-end tests of the persistent optimization cache and the
+//! `migd` daemon: cold/warm bit-identity, result-tier hits, graceful
+//! cold starts from corrupt cache files, SAT-proved equivalence of
+//! daemon-served results, and per-job stream validation.
+
+use cli::daemon::PipelineRunner;
+use cli::service::OptService;
+use mig::{Mig, NodeId, Signal};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+/// Serializes the tests in this binary: they diff the process-wide
+/// metric registry through the daemon streams, and parallel tests would
+/// bleed counts into each other's jobs.
+fn lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    match LOCK.get_or_init(|| Mutex::new(())).lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn benchmarks_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../benchmarks")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("{name}_{}", std::process::id()))
+}
+
+fn sock(tag: &str) -> PathBuf {
+    // Unix socket paths are length-limited (~108 bytes) — stay short.
+    std::env::temp_dir().join(format!("mgd_{tag}_{}.sock", std::process::id()))
+}
+
+/// Exact-graph identity: slot count, every gate's id and fanins, and
+/// the output signals (`Mig` deliberately has no `PartialEq`).
+type Fingerprint = (usize, Vec<(NodeId, [Signal; 3])>, Vec<Signal>);
+
+fn fingerprint(m: &Mig) -> Fingerprint {
+    (
+        m.num_nodes(),
+        m.gates().map(|g| (g, m.fanins(g))).collect(),
+        m.outputs().to_vec(),
+    )
+}
+
+fn blif_job(id: &str, input: &Mig, pipeline: &str, threads: usize) -> migd::JobRequest {
+    migd::JobRequest {
+        id: id.to_string(),
+        pipeline: pipeline.to_string(),
+        threads,
+        format: "blif".to_string(),
+        circuit: io::blif::Blif::from_mig(input, "migopt").to_text(),
+    }
+}
+
+/// Spawns an in-process daemon and waits until it answers pings.
+fn start_daemon(
+    tag: &str,
+    workers: usize,
+    cache: Option<PathBuf>,
+) -> (PathBuf, std::thread::JoinHandle<()>) {
+    let socket = sock(tag);
+    let service = Arc::new(OptService::new(cache));
+    let runner = Arc::new(PipelineRunner::new(service));
+    let s = socket.clone();
+    let handle = std::thread::spawn(move || {
+        migd::serve(&s, workers, runner).expect("daemon serves");
+    });
+    for _ in 0..500 {
+        if migd::ping(&socket).unwrap_or(false) {
+            return (socket, handle);
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    panic!("daemon on {} never became ready", socket.display());
+}
+
+fn stop_daemon(socket: &Path, handle: std::thread::JoinHandle<()>) {
+    migd::shutdown(socket).expect("shutdown request");
+    handle.join().expect("daemon thread exits cleanly");
+    std::fs::remove_file(socket).ok();
+}
+
+/// Sums the values of one counter name across a captured job stream.
+fn stream_counter(stream: &str, name: &str) -> i64 {
+    stream
+        .lines()
+        .filter_map(|l| obs::json::parse(l).ok())
+        .filter(|v| {
+            v.get("type").and_then(obs::json::Value::as_str) == Some("counter")
+                && v.get("name").and_then(obs::json::Value::as_str) == Some(name)
+        })
+        .filter_map(|v| v.get("value").and_then(obs::json::Value::as_i64))
+        .sum()
+}
+
+fn submit_captured(socket: &Path, req: &migd::JobRequest) -> (migd::JobResult, String) {
+    let mut stream = String::new();
+    let result = migd::submit(socket, req, |line| {
+        stream.push_str(line);
+        stream.push('\n');
+    })
+    .expect("submit succeeds");
+    obs::export::validate_jsonl(&stream)
+        .unwrap_or_else(|e| panic!("job {} stream fails lint: {e}", req.id));
+    (result, stream)
+}
+
+#[test]
+fn service_warm_run_is_bit_identical_and_marked_cached() {
+    let _serial = lock();
+    let cache = tmp("svc_warm.cache");
+    std::fs::remove_file(&cache).ok();
+    let input = io::read_mig_path(benchmarks_dir().join("adder8.aag")).unwrap();
+    let passes = cli::parse_pipeline("strash; fhash!:TFD; size!; compact").unwrap();
+
+    let cold_svc = OptService::new(Some(cache.clone()));
+    let (cold, cold_reports, cold_cached) = cold_svc.run_job(&input, &passes, 1, None).unwrap();
+    assert!(!cold_cached, "first run must execute");
+    assert_eq!(cold_reports.len(), passes.len());
+    assert!(cold_svc.flush().unwrap() > 0, "flush persists entries");
+
+    // A fresh service over the same cache file answers from the result
+    // tier with the exact same graph.
+    let warm_svc = OptService::new(Some(cache.clone()));
+    let (warm, warm_reports, warm_cached) = warm_svc.run_job(&input, &passes, 1, None).unwrap();
+    assert!(warm_cached, "second run must be a result-tier hit");
+    assert_eq!(warm_reports.len(), 1, "hit collapses to a synthetic report");
+    assert_eq!(warm_reports[0].pass, "cached");
+    assert_eq!(fingerprint(&cold), fingerprint(&warm));
+    assert_eq!(
+        io::blif::Blif::from_mig(&cold, "m").to_text(),
+        io::blif::Blif::from_mig(&warm, "m").to_text(),
+        "written artifacts are byte-identical"
+    );
+    std::fs::remove_file(&cache).ok();
+}
+
+#[test]
+fn corrupt_cache_file_cold_starts_and_heals_on_flush() {
+    let _serial = lock();
+    let cache = tmp("svc_corrupt.cache");
+    let input = io::read_mig_path(benchmarks_dir().join("full_adder.aag")).unwrap();
+    let passes = cli::parse_pipeline("fhash!:T").unwrap();
+
+    // Seed a valid cache, then corrupt it three different ways; every
+    // variant must cold-start (no panic, no stale data) and count a
+    // rejection.
+    let seed_svc = OptService::new(Some(cache.clone()));
+    let (reference, _, _) = seed_svc.run_job(&input, &passes, 1, None).unwrap();
+    seed_svc.flush().unwrap();
+    let valid = std::fs::read(&cache).unwrap();
+
+    let corruptions: Vec<(&str, Vec<u8>)> = vec![
+        ("truncated", valid[..valid.len() / 2].to_vec()),
+        ("flipped payload byte", {
+            let mut b = valid.clone();
+            let last = b.len() - 1;
+            b[last] ^= 0x40;
+            b
+        }),
+        ("version bumped", {
+            let mut b = valid.clone();
+            b[8] = 0xEE; // first byte of the little-endian version word
+            b
+        }),
+    ];
+    for (what, bytes) in corruptions {
+        std::fs::write(&cache, &bytes).unwrap();
+        let before = obs::metrics::global_snapshot();
+        let svc = OptService::new(Some(cache.clone()));
+        let rejected = obs::metrics::global_snapshot()
+            .since(&before)
+            .get(obs::Metric::CacheRejected);
+        assert!(rejected > 0, "{what}: load must count a rejection");
+        let (result, _, cached) = svc.run_job(&input, &passes, 1, None).unwrap();
+        assert!(!cached, "{what}: nothing may survive to serve a hit");
+        assert_eq!(fingerprint(&result), fingerprint(&reference), "{what}");
+        // Flushing the recomputed state heals the file in place.
+        svc.flush().unwrap();
+        let healed = OptService::new(Some(cache.clone()));
+        let (_, _, warm) = healed.run_job(&input, &passes, 1, None).unwrap();
+        assert!(warm, "{what}: flush must rewrite a loadable file");
+    }
+    std::fs::remove_file(&cache).ok();
+}
+
+#[test]
+fn daemon_results_are_sat_equivalent_on_all_benchmarks() {
+    let _serial = lock();
+    let cache = tmp("dmn_sat.cache");
+    std::fs::remove_file(&cache).ok();
+    let (socket, handle) = start_daemon("sat", 2, Some(cache.clone()));
+    for name in ["full_adder.aag", "adder8.aag", "mult4.aig", "adder4.blif"] {
+        let input = io::read_mig_path(benchmarks_dir().join(name)).unwrap();
+        let req = blif_job(name, &input, "strash; fhash!:TFD; size!; compact", 2);
+        let (result, _stream) = submit_captured(&socket, &req);
+        assert!(result.outcome.ok, "{name}: {}", result.outcome.error);
+        let served = io::blif::Blif::parse(&result.outcome.circuit)
+            .unwrap()
+            .to_mig()
+            .unwrap();
+        assert_eq!(
+            cec::prove_equivalent(&input, &served, None),
+            cec::CecResult::Equivalent,
+            "{name}: daemon result must be SAT-equivalent to the input"
+        );
+    }
+    stop_daemon(&socket, handle);
+    std::fs::remove_file(&cache).ok();
+}
+
+#[test]
+fn repeat_jobs_hit_the_result_tier_and_warm_the_signature_table() {
+    let _serial = lock();
+    let (socket, handle) = start_daemon("warm", 1, None);
+    let input = io::read_mig_path(benchmarks_dir().join("adder8.aag")).unwrap();
+
+    // Same netlist twice through a cacheable pipeline: the repeat is a
+    // result-tier hit, bit-identical, and strictly gains cache hits.
+    let req = blif_job("r1", &input, "strash; fhash!:TFD", 1);
+    let (first, s1) = submit_captured(&socket, &req);
+    let req = migd::JobRequest {
+        id: "r2".into(),
+        ..req
+    };
+    let (second, s2) = submit_captured(&socket, &req);
+    assert!(first.outcome.ok && second.outcome.ok);
+    assert!(!first.outcome.cached && second.outcome.cached);
+    assert_eq!(
+        first.outcome.circuit, second.outcome.circuit,
+        "repeat job must return the byte-identical circuit"
+    );
+    assert!(
+        stream_counter(&s1, "cache.result_hits") == 0
+            && stream_counter(&s2, "cache.result_hits") == 1,
+        "second job's result hits must exceed the first's"
+    );
+
+    // A cec-carrying pipeline is never served from the result tier, so
+    // the proof reruns — but on a single worker the warm signature
+    // table answers every cut lookup that missed during job one. Use a
+    // netlist this daemon has not seen, so job one has fresh cuts.
+    let input = io::read_mig_path(benchmarks_dir().join("mult4.aig")).unwrap();
+    let req = blif_job("c1", &input, "strash; fhash!:TFD; cec", 1);
+    let (p1, s3) = submit_captured(&socket, &req);
+    let req = migd::JobRequest {
+        id: "c2".into(),
+        ..req
+    };
+    let (p2, s4) = submit_captured(&socket, &req);
+    assert!(p1.outcome.ok && p2.outcome.ok);
+    assert!(!p1.outcome.cached && !p2.outcome.cached);
+    assert!(
+        stream_counter(&s3, "cache.sig_misses") > 0,
+        "first cec job canonizes fresh cuts"
+    );
+    assert_eq!(
+        stream_counter(&s4, "cache.sig_misses"),
+        0,
+        "repeat cec job must be answered entirely from the signature table"
+    );
+    assert!(
+        stream_counter(&s4, "cache.sig_hits") >= stream_counter(&s3, "cache.sig_misses"),
+        "every first-job miss must return as a hit"
+    );
+    stop_daemon(&socket, handle);
+}
+
+#[test]
+fn concurrent_clients_on_the_same_netlist_get_identical_circuits() {
+    let _serial = lock();
+    let cache = tmp("dmn_conc.cache");
+    std::fs::remove_file(&cache).ok();
+    let (socket, handle) = start_daemon("conc", 2, Some(cache.clone()));
+    let input = io::read_mig_path(benchmarks_dir().join("adder8.aag")).unwrap();
+
+    let clients: Vec<_> = (0..2)
+        .map(|i| {
+            let socket = socket.clone();
+            let req = blif_job(&format!("cc{i}"), &input, "strash; fhash!:TFD; size!", 1);
+            std::thread::spawn(move || migd::submit(&socket, &req, |_| {}).expect("client submit"))
+        })
+        .collect();
+    let results: Vec<migd::JobResult> = clients
+        .into_iter()
+        .map(|c| c.join().expect("client thread"))
+        .collect();
+    assert!(results.iter().all(|r| r.outcome.ok));
+    assert_eq!(
+        results[0].outcome.circuit, results[1].outcome.circuit,
+        "racing clients must receive byte-identical circuits"
+    );
+    // Once both are done the record is installed: a third client is a
+    // guaranteed result-tier hit.
+    let req = blif_job("cc3", &input, "strash; fhash!:TFD; size!", 1);
+    let (third, _) = submit_captured(&socket, &req);
+    assert!(
+        third.outcome.cached,
+        "post-race job must hit the result tier"
+    );
+    assert_eq!(third.outcome.circuit, results[0].outcome.circuit);
+    stop_daemon(&socket, handle);
+    std::fs::remove_file(&cache).ok();
+}
+
+#[test]
+fn malformed_jobs_fail_without_wedging_the_worker() {
+    let _serial = lock();
+    let (socket, handle) = start_daemon("bad", 1, None);
+    let bad = migd::JobRequest {
+        id: "bad".into(),
+        pipeline: "fhash!:T".into(),
+        threads: 1,
+        format: "blif".into(),
+        circuit: "not a circuit".into(),
+    };
+    let result = migd::submit(&socket, &bad, |_| {}).unwrap();
+    assert!(!result.outcome.ok && result.outcome.error.contains("parse"));
+
+    let bad_pipeline = migd::JobRequest {
+        id: "badp".into(),
+        pipeline: "frobnicate".into(),
+        format: "blif".into(),
+        threads: 1,
+        circuit: io::blif::Blif::from_mig(
+            &io::read_mig_path(benchmarks_dir().join("adder4.blif")).unwrap(),
+            "m",
+        )
+        .to_text(),
+    };
+    let result = migd::submit(&socket, &bad_pipeline, |_| {}).unwrap();
+    assert!(!result.outcome.ok && result.outcome.error.contains("pipeline"));
+
+    // The worker survives both failures.
+    let input = io::read_mig_path(benchmarks_dir().join("full_adder.aag")).unwrap();
+    let (ok, _) = submit_captured(&socket, &blif_job("ok", &input, "fhash!:T", 1));
+    assert!(ok.outcome.ok);
+    stop_daemon(&socket, handle);
+}

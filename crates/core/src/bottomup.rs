@@ -134,9 +134,7 @@ pub(crate) fn candidate_cuts(
                 cut_is_region_legal(f, v, &internal)
             })
         })
-        .filter_map(|cut| {
-            Replacement::prepare(cut, engine.database(), engine.canonizer()).map(|r| (*cut, r))
-        })
+        .filter_map(|cut| Replacement::prepare(cut, engine).map(|r| (*cut, r)))
         .collect()
 }
 

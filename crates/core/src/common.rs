@@ -29,48 +29,46 @@ pub(crate) struct Replacement {
 
 impl Replacement {
     /// Prepares the replacement for a cut: pads the cut function to 4
-    /// variables, canonizes it, and looks up the minimum network.
+    /// variables and consults the engine's signature table; on a miss it
+    /// canonizes, looks up the minimum network and installs the result
+    /// so every later cut with the same signature — in this pass, a
+    /// later job, or (via the persistent cache file) a later process —
+    /// skips both steps.
     ///
     /// Returns `None` for trivial cuts (single leaf = the root itself is
     /// handled by the caller; the lookup itself always succeeds with a
     /// complete database).
-    pub fn prepare(cut: &Cut, db: &Database, canon: &Npn4Canonizer) -> Option<Replacement> {
-        let m = cut.len();
-        if m > 4 {
-            return None;
+    pub fn prepare(cut: &Cut, engine: &crate::FunctionalHashing) -> Option<Replacement> {
+        let tt4 = cut.signature4()?;
+        if let Some(rec) = engine.sig_table().get(tt4) {
+            obs::metrics::add(obs::Metric::CacheSigHits, 1);
+            return (!rec.no_entry).then(|| Replacement::from_record(&rec));
         }
-        // Pad the cut function to 4 variables (extra variables vacuous):
-        // the identity expansion just replicates the 2^m-bit block, so the
-        // padded table is built with shifts instead of heap-backed
-        // truth-table ops (this runs for every scored cut).
-        let mut tt4 = cut.truth_table() as u16;
-        if m < 4 {
-            tt4 &= ((1u32 << (1 << m)) - 1) as u16;
-            for i in m..4 {
-                tt4 |= tt4 << (1 << i);
-            }
-        }
+        obs::metrics::add(obs::Metric::CacheSigMisses, 1);
         obs::metrics::add(obs::Metric::NpnCanonizations, 1);
-        let (rep, t) = canon.canonize(tt4);
-        let entry = db.get(rep)?;
-        let inv = t.inverse();
+        let rec = compute_sig_record(tt4, engine.database(), engine.canonizer());
+        engine.sig_table().put(tt4, &rec);
+        (!rec.no_entry).then(|| Replacement::from_record(&rec))
+    }
+
+    /// Widens a signature-table record back into the working form.
+    fn from_record(rec: &fcache::SigRecord) -> Replacement {
         let mut input_map = [(0usize, false); 4];
         for (i, im) in input_map.iter_mut().enumerate() {
-            *im = (inv.perm(i), inv.input_negated(i));
+            *im = (rec.input_map[i].0 as usize, rec.input_map[i].1);
         }
-        let depths = entry.network.input_depths();
         let mut input_depths = [None; 4];
-        for (i, d) in depths.iter().enumerate() {
-            input_depths[i] = *d;
+        for (i, d) in input_depths.iter_mut().enumerate() {
+            *d = rec.input_depths[i].map(u32::from);
         }
-        Some(Replacement {
-            rep,
-            db_size: entry.size,
-            db_depth: entry.depth,
+        Replacement {
+            rep: rec.rep,
+            db_size: u32::from(rec.db_size),
+            db_depth: u32::from(rec.db_depth),
             input_map,
-            out_neg: inv.output_negated(),
+            out_neg: rec.out_neg,
             input_depths,
-        })
+        }
     }
 
     /// Estimates the level of the replacement root from per-leaf levels
@@ -114,6 +112,55 @@ impl Replacement {
             .network
             .instantiate(mig, &leaves)
             .complement_if(self.out_neg)
+    }
+}
+
+/// Computes the signature-table entry for a 4-padded cut function: the
+/// slow path behind [`Replacement::prepare`] and the load-time validator
+/// for persistent-cache entries (a stored record is installed only if it
+/// equals this recomputation).
+///
+/// Database networks are tiny (a handful of gates), so the narrowing to
+/// the record's `u8` fields is lossless; a record whose fields exceed
+/// the *packed* budget simply never persists ([`fcache::SigRecord::pack`]
+/// refuses), which degrades to recomputation, never to corruption.
+pub(crate) fn compute_sig_record(
+    tt4: u16,
+    db: &Database,
+    canon: &Npn4Canonizer,
+) -> fcache::SigRecord {
+    let (rep, t) = canon.canonize(tt4);
+    let inv = t.inverse();
+    let mut input_map = [(0u8, false); 4];
+    for (i, im) in input_map.iter_mut().enumerate() {
+        *im = (inv.perm(i) as u8, inv.input_negated(i));
+    }
+    let out_neg = inv.output_negated();
+    let Some(entry) = db.get(rep) else {
+        return fcache::SigRecord {
+            rep,
+            input_map,
+            out_neg,
+            db_size: 0,
+            db_depth: 0,
+            input_depths: [None; 4],
+            no_entry: true,
+        };
+    };
+    debug_assert!(entry.size <= u32::from(u8::MAX) && entry.depth <= u32::from(u8::MAX));
+    let depths = entry.network.input_depths();
+    let mut input_depths = [None; 4];
+    for (i, d) in depths.iter().enumerate() {
+        input_depths[i] = d.map(|v| v as u8);
+    }
+    fcache::SigRecord {
+        rep,
+        input_map,
+        out_neg,
+        db_size: entry.size as u8,
+        db_depth: entry.depth as u8,
+        input_depths,
+        no_entry: false,
     }
 }
 
@@ -167,7 +214,7 @@ pub(crate) fn select_best_cut(
                 continue;
             }
         }
-        let Some(repl) = Replacement::prepare(cut, engine.database(), engine.canonizer()) else {
+        let Some(repl) = Replacement::prepare(cut, engine) else {
             continue;
         };
         let gain = internal.len() as i32 - repl.db_size as i32;

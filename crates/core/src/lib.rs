@@ -181,6 +181,7 @@ impl FhStats {
 pub struct FunctionalHashing {
     db: Database,
     canon: Npn4Canonizer,
+    sig: fcache::SigTable,
     config: FhConfig,
 }
 
@@ -190,6 +191,7 @@ impl FunctionalHashing {
         FunctionalHashing {
             db,
             canon: Npn4Canonizer::new(),
+            sig: fcache::SigTable::new(),
             config,
         }
     }
@@ -213,6 +215,46 @@ impl FunctionalHashing {
     /// The engine's configuration.
     pub fn config(&self) -> &FhConfig {
         &self.config
+    }
+
+    /// The engine's cut-signature cache: one lock-free slot per 4-padded
+    /// cut function, holding the full canonize-plus-lookup result.
+    pub fn sig_table(&self) -> &fcache::SigTable {
+        &self.sig
+    }
+
+    /// Installs persisted cache state into this engine: NPN memo entries
+    /// (validated per entry by the canonizer) and signature records
+    /// (each installed only if it exactly equals its recomputation
+    /// against this engine's database — a stale or bit-rotted record can
+    /// therefore never change an optimization result, only fail to speed
+    /// one up). Bumps `cache.loaded` / `cache.rejected` accordingly.
+    pub fn warm_from_cache(&self, data: &fcache::CacheData) -> (usize, usize) {
+        let (mut loaded, mut rejected) = self.canon.import_memo(&data.npn);
+        for &(f, w) in &data.sig {
+            let stored = fcache::SigRecord::unpack(w);
+            let fresh = common::compute_sig_record(f, &self.db, &self.canon);
+            if stored == Some(fresh) {
+                self.sig.put(f, &fresh);
+                loaded += 1;
+            } else {
+                rejected += 1;
+            }
+        }
+        if loaded > 0 {
+            obs::metrics::add(obs::Metric::CacheLoaded, loaded as u64);
+        }
+        if rejected > 0 {
+            obs::metrics::add(obs::Metric::CacheRejected, rejected as u64);
+        }
+        (loaded, rejected)
+    }
+
+    /// Spills this engine's warm state (NPN memo + signature table) into
+    /// `data`, replacing its corresponding sections.
+    pub fn export_cache_into(&self, data: &mut fcache::CacheData) {
+        data.npn = self.canon.export_memo();
+        data.sig = self.sig.export();
     }
 
     /// Optimizes a copy of `mig` with the chosen variant; the result has

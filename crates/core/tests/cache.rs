@@ -1,0 +1,153 @@
+//! Persistent-cache invariants at the engine level: warming an engine
+//! from a spilled cache file must never change any optimization result —
+//! bit-identical netlists across variants and thread counts — and
+//! corrupted entries must be rejected without panicking.
+
+use fhash::{FunctionalHashing, Variant};
+use mig::{Mig, NodeId, Signal};
+use obs::Metric;
+use testrand::Rng;
+
+fn random_build(rng: &mut Rng, num_inputs: usize, num_steps: usize, outs: usize) -> Mig {
+    let mut m = Mig::new(num_inputs);
+    let mut sigs: Vec<Signal> = vec![Signal::ZERO];
+    for i in 0..num_inputs {
+        sigs.push(m.input(i));
+    }
+    for _ in 0..num_steps {
+        let pick = |sigs: &[Signal], rng: &mut Rng| {
+            sigs[rng.usize_below(sigs.len())].complement_if(rng.bool())
+        };
+        let (a, b, c) = (pick(&sigs, rng), pick(&sigs, rng), pick(&sigs, rng));
+        let g = m.maj(a, b, c);
+        sigs.push(g);
+    }
+    for k in 0..outs {
+        let s = sigs[sigs.len() - 1 - (k % sigs.len())];
+        m.add_output(s.complement_if(k % 2 == 1));
+    }
+    m
+}
+
+/// A structural identity: slot population, fanins of every live gate and
+/// the output signals (same shape as the sharding determinism tests).
+type Fingerprint = (usize, Vec<(NodeId, [Signal; 3])>, Vec<Signal>);
+
+fn fingerprint(m: &Mig) -> Fingerprint {
+    let gates = m.gates().map(|g| (g, m.fanins(g))).collect();
+    (m.num_nodes(), gates, m.outputs().to_vec())
+}
+
+#[test]
+fn warm_engine_is_bit_identical_to_cold() {
+    let mut rng = Rng::new(0xCAC4_0001);
+    let cases: Vec<Mig> = (0..8)
+        .map(|_| {
+            let num_inputs = rng.range(2, 7);
+            let steps = rng.range(20, 120);
+            random_build(&mut rng, num_inputs, steps, 2)
+        })
+        .collect();
+
+    // Cold pass: fresh engine, remember every netlist, spill the cache.
+    let cold = FunctionalHashing::with_default_database();
+    let mut want = Vec::new();
+    for (case, m) in cases.iter().enumerate() {
+        for v in Variant::ALL {
+            for threads in [1usize, 2, 4] {
+                let mut opt = m.clone();
+                cold.run_threads(&mut opt, v, threads);
+                want.push((case, v, threads, fingerprint(&opt)));
+            }
+        }
+    }
+    let mut data = fcache::CacheData::default();
+    cold.export_cache_into(&mut data);
+    assert!(!data.npn.is_empty() && !data.sig.is_empty());
+
+    // Warm pass: a fresh engine warmed from the spill (full round trip
+    // through the on-disk byte format) must reproduce every netlist
+    // exactly — cache warmth can speed decisions up but never alter them.
+    let data = fcache::from_bytes(&fcache::to_bytes(&data)).unwrap();
+    let warm = FunctionalHashing::with_default_database();
+    let ((loaded, rejected), delta) = obs::metrics::scoped(|| warm.warm_from_cache(&data));
+    assert_eq!(rejected, 0);
+    assert_eq!(loaded, data.npn.len() + data.sig.len());
+    assert_eq!(delta.get(Metric::CacheLoaded), loaded as u64);
+    assert_eq!(warm.sig_table().len(), data.sig.len());
+
+    // Every signature the cold pass saw is resident, so a (serial,
+    // same-thread — worker threads record metrics globally, not into the
+    // thread-local scope) warm run decides every scored cut from the
+    // cache without a single canonization.
+    let ((), d) = obs::metrics::scoped(|| {
+        warm.run(&cases[0], Variant::TopDown);
+    });
+    assert_eq!(d.get(Metric::CacheSigMisses), 0);
+    assert!(d.get(Metric::CacheSigHits) > 0);
+
+    let mut i = 0;
+    for m in cases.iter() {
+        for v in Variant::ALL {
+            for threads in [1usize, 2, 4] {
+                let (case, wv, wthreads, ref fp) = want[i];
+                i += 1;
+                let mut opt = m.clone();
+                warm.run_threads(&mut opt, v, threads);
+                assert_eq!(
+                    &fingerprint(&opt),
+                    fp,
+                    "case {case} variant {wv} @{wthreads}: warm diverged from cold"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn second_run_is_answered_from_the_signature_table() {
+    let mut rng = Rng::new(0xCAC4_0002);
+    let m = random_build(&mut rng, 5, 80, 2);
+    let engine = FunctionalHashing::with_default_database();
+    let ((), first) = obs::metrics::scoped(|| {
+        engine.run(&m, Variant::TopDown);
+    });
+    assert!(first.get(Metric::CacheSigMisses) > 0);
+    let ((), second) = obs::metrics::scoped(|| {
+        engine.run(&m, Variant::TopDown);
+    });
+    assert_eq!(second.get(Metric::CacheSigMisses), 0);
+    assert!(second.get(Metric::CacheSigHits) >= first.get(Metric::CacheSigMisses));
+    assert_eq!(second.get(Metric::NpnCanonizations), 0);
+}
+
+#[test]
+fn corrupt_cache_entries_are_rejected_without_panicking() {
+    let mut rng = Rng::new(0xCAC4_0003);
+    let m = random_build(&mut rng, 5, 60, 2);
+    let cold = FunctionalHashing::with_default_database();
+    let reference = cold.run(&m, Variant::TopDown);
+    let mut data = fcache::CacheData::default();
+    cold.export_cache_into(&mut data);
+
+    // Flip bits in half the signature records and half the memo words.
+    for (i, (_, w)) in data.sig.iter_mut().enumerate() {
+        if i % 2 == 0 {
+            *w ^= 1 << 17; // representative bit -> recomputation mismatch
+        }
+    }
+    for (i, (_, w)) in data.npn.iter_mut().enumerate() {
+        if i % 2 == 0 {
+            *w ^= 1 << 20; // representative bit -> transform check fails
+        }
+    }
+    let warm = FunctionalHashing::with_default_database();
+    let ((loaded, rejected), delta) = obs::metrics::scoped(|| warm.warm_from_cache(&data));
+    assert!(rejected >= data.sig.len() / 2);
+    assert!(loaded > 0);
+    assert_eq!(delta.get(Metric::CacheRejected), rejected as u64);
+
+    // The surviving half still never changes the result.
+    let opt = warm.run(&m, Variant::TopDown);
+    assert_eq!(fingerprint(&opt), fingerprint(&reference));
+}

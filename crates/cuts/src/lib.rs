@@ -89,6 +89,28 @@ impl Cut {
         truth::TruthTable::from_bits(self.len(), self.tt)
     }
 
+    /// The cut function padded to 4 variables (extra variables vacuous):
+    /// the identity expansion replicates the 2^m-bit block, so the
+    /// padded table is built with shifts instead of heap-backed
+    /// truth-table ops. This 16-bit signature is the key of the
+    /// functional-hashing engines' NPN memo and of the persistent
+    /// optimization cache, computed once here so every consumer agrees
+    /// on it. Returns `None` for cuts wider than 4 leaves.
+    pub fn signature4(&self) -> Option<u16> {
+        let m = self.len();
+        if m > 4 {
+            return None;
+        }
+        let mut tt4 = self.tt as u16;
+        if m < 4 {
+            tt4 &= ((1u32 << (1 << m)) - 1) as u16;
+            for i in m..4 {
+                tt4 |= tt4 << (1 << i);
+            }
+        }
+        Some(tt4)
+    }
+
     /// Whether `self`'s leaves are a subset of `other`'s (then `other` is
     /// dominated and can be dropped).
     pub fn dominates(&self, other: &Cut) -> bool {

@@ -21,6 +21,10 @@ pub const JSONL_SCHEMA: &[(&str, &[&str])] = &[
     ("gauge", &["name", "value"]),
     ("hist", &["name", "count", "sum_ns"]),
     ("vhist", &["name", "count", "sum"]),
+    // Terminal record of a streamed job (the `migd` daemon protocol):
+    // carries the job id and verdict, plus free-form payload fields
+    // (result circuit, runtime, cache counters).
+    ("result", &["name", "status"]),
 ];
 
 fn event_type(ph: Phase) -> &'static str {
@@ -212,7 +216,7 @@ pub fn validate_jsonl(text: &str) -> Result<JsonlSummary, String> {
                     ts_ns: ts as u64,
                 });
             }
-            "counter" | "gauge" | "hist" | "vhist" => counters += 1,
+            "counter" | "gauge" | "hist" | "vhist" | "result" => counters += 1,
             _ => {}
         }
     }
@@ -249,6 +253,22 @@ pub fn derived_rates(d: &Delta, elapsed_s: f64) -> Vec<(String, f64)> {
         out.push((
             "cut_cache_hit_rate".into(),
             hits as f64 / (hits + misses) as f64,
+        ));
+    }
+    let sig_hits = d.get(Metric::CacheSigHits);
+    let sig_misses = d.get(Metric::CacheSigMisses);
+    if sig_hits + sig_misses != 0 {
+        out.push((
+            "sig_cache_hit_rate".into(),
+            sig_hits as f64 / (sig_hits + sig_misses) as f64,
+        ));
+    }
+    let res_hits = d.get(Metric::CacheResultHits);
+    let res_misses = d.get(Metric::CacheResultMisses);
+    if res_hits + res_misses != 0 {
+        out.push((
+            "result_cache_hit_rate".into(),
+            res_hits as f64 / (res_hits + res_misses) as f64,
         ));
     }
     let workers = d.get(Metric::SchedWaveWorkers);

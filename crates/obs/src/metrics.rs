@@ -133,6 +133,25 @@ metrics_table! {
         "approximate storage bytes per node slot (recorded at report time)";
     MigDeadSlotPct => "mig.dead_slot_pct", Gauge, true,
         "percent of slots on the free list (recorded at report time)";
+
+    // Persistent optimization cache (crates/fcache): the signature tier
+    // answers per-cut canonization + replacement-score lookups, the
+    // result tier answers whole-job repeats; load/flush/reject track the
+    // on-disk cache file's lifecycle.
+    CacheSigHits => "cache.sig_hits", Counter, true,
+        "cut-signature lookups answered from the optimization cache";
+    CacheSigMisses => "cache.sig_misses", Counter, true,
+        "cut-signature lookups that computed and inserted a record";
+    CacheResultHits => "cache.result_hits", Counter, true,
+        "whole-job pipeline results reused from the cache";
+    CacheResultMisses => "cache.result_misses", Counter, true,
+        "cacheable whole-job lookups that had to run the pipeline";
+    CacheLoaded => "cache.loaded", Counter, true,
+        "cache entries validated and installed from disk";
+    CacheRejected => "cache.rejected", Counter, true,
+        "cache files or entries rejected at load / reuse time";
+    CacheFlushed => "cache.flushed", Counter, true,
+        "cache entries written back to the on-disk file";
 }
 
 /// Log2 duration buckets per histogram; bucket `i` counts durations

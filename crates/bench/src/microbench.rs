@@ -19,6 +19,28 @@ pub struct Measurement {
     pub mean_ns: f64,
     /// Fastest iteration, nanoseconds.
     pub min_ns: f64,
+    /// Host cores available when the row was measured (`Some` for `@N`
+    /// multi-thread rows). A `@4` row recorded on a 1-core host is not
+    /// comparable to one recorded on 8 cores; gates read this instead of
+    /// probing `nproc` at gate time, which can disagree with the host
+    /// that produced the numbers.
+    pub cores: Option<u32>,
+}
+
+impl Measurement {
+    /// Tags the row with the measuring host's core count (see
+    /// [`host_cores`]); use on `@N` rows so readers can tell whether the
+    /// thread count was actually backed by hardware.
+    #[must_use]
+    pub fn on_host_cores(mut self) -> Self {
+        self.cores = Some(host_cores());
+        self
+    }
+}
+
+/// Cores available to this process (1 if the query fails).
+pub fn host_cores() -> u32 {
+    std::thread::available_parallelism().map_or(1, |n| n.get() as u32)
 }
 
 /// Times `f`, choosing an iteration count that targets roughly 300 ms of
@@ -45,6 +67,7 @@ pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) -> Measurement {
         iters,
         mean_ns: total / f64::from(iters) * 1e9,
         min_ns: min * 1e9,
+        cores: None,
     };
     println!(
         "{:<44} {:>10} {:>12}   ({} iters)",
@@ -91,9 +114,12 @@ pub fn write_json_with_context(
         } else {
             ","
         };
+        let cores = m
+            .cores
+            .map_or(String::new(), |c| format!(", \"cores\": {c}"));
         s.push_str(&format!(
-            "  \"{}\": {{\"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"iters\": {}}}{}\n",
-            m.name, m.mean_ns, m.min_ns, m.iters, comma
+            "  \"{}\": {{\"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"iters\": {}{}}}{}\n",
+            m.name, m.mean_ns, m.min_ns, m.iters, cores, comma
         ));
     }
     if !context.is_empty() {

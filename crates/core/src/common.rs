@@ -5,7 +5,7 @@
 use cuts::{cut_internal_nodes, Cut};
 use mig::{FfrPartition, Mig, NodeId, Signal};
 use npndb::Database;
-use truth::Npn4Canonizer;
+use truth::{Npn4Canonizer, NpnTransform};
 
 /// A prepared cut replacement: everything needed to decide on and perform
 /// the substitution of a cut by its minimum representation.
@@ -130,6 +130,13 @@ pub(crate) fn compute_sig_record(
     canon: &Npn4Canonizer,
 ) -> fcache::SigRecord {
     let (rep, t) = canon.canonize(tt4);
+    sig_record_from(rep, &t, db)
+}
+
+/// Builds the signature-table record from an already-canonized function:
+/// the shared tail of [`compute_sig_record`] and the batched
+/// [`warm_sig_batch`] path.
+pub(crate) fn sig_record_from(rep: u16, t: &NpnTransform, db: &Database) -> fcache::SigRecord {
     let inv = t.inverse();
     let mut input_map = [(0u8, false); 4];
     for (i, im) in input_map.iter_mut().enumerate() {
@@ -161,6 +168,44 @@ pub(crate) fn compute_sig_record(
         db_depth: entry.depth as u8,
         input_depths,
         no_entry: false,
+    }
+}
+
+/// Batch-warms the engine's signature table for a set of candidate cut
+/// signatures: `keys` is deduplicated, already-cached keys are dropped,
+/// and the rest are canonized in one sorted pass over the lock-free NPN
+/// memo ([`Npn4Canonizer::canonize_batch`] probes in ascending order, so
+/// a region's worth of lookups walks the memo cache-linearly) before
+/// their records are computed and installed. Later
+/// [`Replacement::prepare`] calls for these keys then hit the warm table
+/// — the per-cut scoring loop does no canonization round-trips of its
+/// own. Both buffers are caller-owned scratch, reused across regions.
+pub(crate) fn warm_sig_batch(
+    engine: &crate::FunctionalHashing,
+    keys: &mut Vec<u16>,
+    canon_scratch: &mut Vec<(u16, u16, NpnTransform)>,
+) {
+    keys.sort_unstable();
+    keys.dedup();
+    let mut hits = 0u64;
+    keys.retain(|&k| {
+        let resident = engine.sig_table().get(k).is_some();
+        hits += u64::from(resident);
+        !resident
+    });
+    if hits > 0 {
+        obs::metrics::add(obs::Metric::CacheSigHits, hits);
+    }
+    if keys.is_empty() {
+        return;
+    }
+    obs::metrics::add(obs::Metric::CacheSigMisses, keys.len() as u64);
+    obs::metrics::add(obs::Metric::NpnCanonizations, keys.len() as u64);
+    engine.canonizer().canonize_batch(keys, canon_scratch);
+    let db = engine.database();
+    for &(tt4, rep, ref t) in canon_scratch.iter() {
+        let rec = sig_record_from(rep, t, db);
+        engine.sig_table().put(tt4, &rec);
     }
 }
 

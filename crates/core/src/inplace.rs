@@ -18,13 +18,14 @@
 //! ([`cuts::CutSet::refresh`]) and stale lists are recomputed on demand.
 
 use crate::bottomup::{candidate_cuts, gate_candidates, Build, Candidate};
-use crate::common::{select_best_cut, Replacement};
+use crate::common::{is_trivial, select_best_cut, warm_sig_batch, Replacement};
 use crate::FunctionalHashing;
 use cuts::{Cut, CutSet};
 use mig::{FfrPartition, Mig, NodeId, Signal};
 use obs::Metric;
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use truth::NpnTransform;
 
 /// Algorithm 1, in place: walk from the outputs, replace the best legal
 /// cut of each visited node by its minimum database network, recur on the
@@ -57,6 +58,9 @@ pub(crate) fn top_down(
             work.push(r);
         }
     }
+    // Signature-warming scratch, reused across all visited nodes.
+    let mut keys: Vec<u16> = Vec::new();
+    let mut canon_scratch: Vec<(u16, u16, NpnTransform)> = Vec::new();
     while let Some(v) = work.pop() {
         // `visited` and `work` key on slot ids. A slot freed by a later
         // replacement can be recycled for a fresh template node before
@@ -68,11 +72,20 @@ pub(crate) fn top_down(
             continue;
         }
         cuts.refresh(mig);
-        let list = cuts.of_updated(mig, v).to_vec();
-        let selected =
-            select_best_cut(engine, mig, v, &list, ffr.as_ref(), depth_preserving, |n| {
-                mig.level(n)
-            });
+        // The list is scored straight out of the arena (no copy); the
+        // node's candidate signatures are canonized as one batch so the
+        // scoring loop below only ever hits the warm signature table.
+        let list = cuts.of_updated(mig, v);
+        keys.clear();
+        for cut in list {
+            if !is_trivial(cut, v) {
+                keys.extend(cut.signature4());
+            }
+        }
+        warm_sig_batch(engine, &mut keys, &mut canon_scratch);
+        let selected = select_best_cut(engine, mig, v, list, ffr.as_ref(), depth_preserving, |n| {
+            mig.level(n)
+        });
         if let Some(sel) = selected {
             let new_sig = sel
                 .repl
@@ -121,7 +134,7 @@ fn prepare_cut_choices(
     engine: &FunctionalHashing,
     mig: &Mig,
     topo: &[NodeId],
-    lists: &[Vec<Cut>],
+    cuts: &CutSet,
     ffr: Option<&FfrPartition>,
     threads: usize,
 ) -> Vec<Vec<(Cut, Replacement)>> {
@@ -130,8 +143,7 @@ fn prepare_cut_choices(
     if threads <= 1 || n < threads * 2 {
         return topo
             .iter()
-            .zip(lists)
-            .map(|(&v, list)| candidate_cuts(engine, mig, list, ffr, v))
+            .map(|&v| candidate_cuts(engine, mig, cuts.of(v), ffr, v))
             .collect();
     }
     let mut slots: Vec<Vec<(Cut, Replacement)>> = vec![Vec::new(); n];
@@ -151,7 +163,8 @@ fn prepare_cut_choices(
                         if k >= n {
                             break;
                         }
-                        local.push((k, candidate_cuts(engine, mig, &lists[k], ffr, topo[k])));
+                        let v = topo[k];
+                        local.push((k, candidate_cuts(engine, mig, cuts.of(v), ffr, v)));
                     });
                     (local, delta)
                 })
@@ -190,14 +203,25 @@ pub(crate) fn bottom_up(
         .map(|&c| f64::from(c.max(1)))
         .collect();
     let topo = mig.topo_gates();
-    // Cut lists for every pass gate, up front. `of_updated` recomputes
-    // lists a carried-over cut set still holds as stale; mid-pass appends
-    // never invalidate them (see `prepare_cut_choices`).
-    let lists: Vec<Vec<Cut>> = topo
-        .iter()
-        .map(|&v| cuts.of_updated(mig, v).to_vec())
-        .collect();
-    let choices = prepare_cut_choices(engine, mig, &topo, &lists, ffr.as_ref(), threads);
+    // Validate every pass gate's cut list up front. `of_updated`
+    // recomputes lists a carried-over cut set still holds as stale;
+    // mid-pass appends never invalidate them (see `prepare_cut_choices`),
+    // so the workers read the lists straight out of the shared arena —
+    // no per-gate copies. While the lists are hot, every candidate
+    // signature is canonized in one sorted batch, so the preparation
+    // workers below only ever hit the warm signature table.
+    let mut keys: Vec<u16> = Vec::new();
+    for &v in &topo {
+        let list = cuts.of_updated(mig, v);
+        for cut in list {
+            if !is_trivial(cut, v) {
+                keys.extend(cut.signature4());
+            }
+        }
+    }
+    let mut canon_scratch: Vec<(u16, u16, NpnTransform)> = Vec::new();
+    warm_sig_batch(engine, &mut keys, &mut canon_scratch);
+    let choices = prepare_cut_choices(engine, mig, &topo, cuts, ffr.as_ref(), threads);
     let mut cand: Vec<Vec<Candidate>> = vec![Vec::new(); mig.num_nodes()];
     // Terminals: a single zero-cost candidate (Algorithm 2, line 3).
     cand[0].push(Candidate {

@@ -15,6 +15,27 @@
 //! the NPN database. Per-node cut lists are bounded (priority cuts, see
 //! paper ref \[11\]) and dominated cuts are filtered.
 //!
+//! # Storage: the cut arena
+//!
+//! Cut lists live in a [`CutArena`]: one contiguous `Vec<Cut>` pool plus a
+//! per-node `(offset, len, stamp)` range table. `Cut` is a flat `Copy`
+//! value (inline leaf array, packed truth table, bloom signature), so the
+//! pool *is* the contiguous leaves/truth-table lane — a node's cuts are
+//! one cache-friendly slice, and a graph-wide enumeration is a single
+//! growing buffer instead of one heap allocation per node.
+//!
+//! Validity is epoch-stamped: a range is live iff its stamp equals the
+//! arena epoch, so whole-set invalidation is an epoch bump plus an O(1)
+//! pool clear — no per-node writes. Dropped and replaced ranges leave dead
+//! slots in the pool; when more than half the pool is dead the arena
+//! compacts in place (a stable slide of the live ranges, using a reusable
+//! index scratch — no allocation in steady state).
+//!
+//! All recomputation funnels through caller-owned [`CutScratch`] buffers
+//! and the fused [`merge_gate_cuts_into`] kernel, so the steady-state
+//! propose path (enumerate → merge → filter → store) performs zero heap
+//! allocations once the buffers are warm.
+//!
 //! The [`CutSet`] supports *incremental invalidation* for in-place
 //! rewriting: [`CutSet::refresh`] peeks the graph's structural-change log
 //! through its own [`mig::DirtyCursor`] (never draining it, so the
@@ -120,43 +141,62 @@ impl Cut {
         self.leaves().iter().all(|l| other.leaves().contains(l))
     }
 
-    /// Merges the leaf sets of three cuts if the union stays within `k`;
-    /// the truth table is filled in by the enumerator.
-    fn merge_leaves(a: &Cut, b: &Cut, c: &Cut, k: usize) -> Option<Cut> {
+    /// Merges two sorted leaf sets if the union stays within `k`; the
+    /// truth table is left empty for the enumerator to fill in. A
+    /// two-pointer walk over the sorted arrays — the kernel composes two
+    /// of these per surviving combination instead of re-inserting every
+    /// leaf of all three cuts per combination.
+    fn union2(a: &Cut, b: &Cut, k: usize) -> Option<Cut> {
         let mut leaves = [0 as NodeId; MAX_CUT_SIZE];
-        let mut len = 0usize;
-        {
-            let mut push = |n: NodeId| -> bool {
-                match leaves[..len].binary_search(&n) {
-                    Ok(_) => true,
-                    Err(pos) => {
-                        if len == k {
-                            return false;
-                        }
-                        leaves.copy_within(pos..len, pos + 1);
-                        leaves[pos] = n;
-                        len += 1;
-                        true
+        let (la, lb) = (a.len as usize, b.len as usize);
+        let (mut i, mut j, mut len) = (0usize, 0usize, 0usize);
+        while i < la || j < lb {
+            let n = match (i < la, j < lb) {
+                (true, true) => match a.leaves[i].cmp(&b.leaves[j]) {
+                    core::cmp::Ordering::Less => {
+                        let n = a.leaves[i];
+                        i += 1;
+                        n
                     }
+                    core::cmp::Ordering::Greater => {
+                        let n = b.leaves[j];
+                        j += 1;
+                        n
+                    }
+                    core::cmp::Ordering::Equal => {
+                        let n = a.leaves[i];
+                        i += 1;
+                        j += 1;
+                        n
+                    }
+                },
+                (true, false) => {
+                    let n = a.leaves[i];
+                    i += 1;
+                    n
+                }
+                _ => {
+                    let n = b.leaves[j];
+                    j += 1;
+                    n
                 }
             };
-            for cut in [a, b, c] {
-                for &l in cut.leaves() {
-                    if !push(l) {
-                        return None;
-                    }
-                }
+            if len == k {
+                return None;
             }
+            leaves[len] = n;
+            len += 1;
         }
         Some(Cut {
             leaves,
             len: len as u8,
             tt: 0,
-            sign: a.sign | b.sign | c.sign,
+            sign: a.sign | b.sign,
         })
     }
 
     /// Position of leaf `n` within this cut.
+    #[cfg(test)]
     fn leaf_pos(&self, n: NodeId) -> usize {
         self.leaves[..self.len as usize]
             .binary_search(&n)
@@ -202,19 +242,31 @@ impl Cut {
 /// Expands `tt` over `sub_vars` variables onto a larger variable space
 /// using a position map (`map[i]` = variable index in the target space).
 fn expand_tt(tt: u64, sub_vars: usize, map: &[usize], target_vars: usize) -> u64 {
+    // Word-parallel: OR the full-width minterm mask of every set source
+    // entry instead of assembling the result bit by bit. `VAR[p]` is the
+    // truth table of variable `p` over the widest space; a minterm's mask
+    // is the AND of each mapped variable's table (or its complement).
+    const VAR: [u64; 6] = [
+        0xAAAA_AAAA_AAAA_AAAA,
+        0xCCCC_CCCC_CCCC_CCCC,
+        0xF0F0_F0F0_F0F0_F0F0,
+        0xFF00_FF00_FF00_FF00,
+        0xFFFF_0000_FFFF_0000,
+        0xFFFF_FFFF_0000_0000,
+    ];
+    let full = mask(target_vars);
     let mut out = 0u64;
-    for j in 0..1usize << target_vars {
-        let mut src = 0usize;
-        for (i, &m) in map.iter().take(sub_vars).enumerate() {
-            if (j >> m) & 1 == 1 {
-                src |= 1 << i;
+    for s in 0..1usize << sub_vars {
+        if (tt >> s) & 1 == 1 {
+            let mut m = full;
+            for (i, &p) in map.iter().take(sub_vars).enumerate() {
+                let v = VAR[p];
+                m &= if (s >> i) & 1 == 1 { v } else { !v };
             }
-        }
-        if (tt >> src) & 1 == 1 {
-            out |= 1 << j;
+            out |= m;
         }
     }
-    out
+    out & full
 }
 
 /// Configuration for cut enumeration.
@@ -235,12 +287,217 @@ impl Default for CutConfig {
     }
 }
 
+/// Stamp value no live epoch ever takes (epochs start at 1), so
+/// zero-initialized ranges are born stale.
+const STALE: u32 = 0;
+
+/// A node's slice of the arena pool, valid while `stamp` matches the
+/// arena epoch.
+#[derive(Debug, Clone, Copy, Default)]
+struct CutRange {
+    off: u32,
+    len: u32,
+    stamp: u32,
+}
+
+/// Arena-backed cut storage: one contiguous pool of [`Cut`]s shared by
+/// every node, with per-node ranges and epoch-stamped invalidation.
+///
+/// Replacing a node's list appends the new cuts at the pool tail and
+/// retires the old range (its slots become dead); when dead slots
+/// outnumber live ones the pool is compacted in place. Whole-arena
+/// invalidation is an epoch bump + `pool.clear()` — O(1), no per-node
+/// traffic — which is what makes [`LocalCuts`] stores cheap to recycle
+/// across rounds.
+#[derive(Debug, Default)]
+struct CutArena {
+    pool: Vec<Cut>,
+    ranges: Vec<CutRange>,
+    /// Current validity epoch; ranges stamped with it are live.
+    epoch: u32,
+    /// Pool slots belonging to retired ranges (compaction trigger).
+    dead: usize,
+    /// Reusable index buffer for in-place compaction.
+    live_scratch: Vec<u32>,
+    /// Capacity already accounted to the `cuts.arena_bytes` gauge. The
+    /// gauge grows monotonically with reserved capacity (summed over
+    /// arenas as they grow); shrink/drop is not reported, so scoped
+    /// metric deltas see real reservation cost instead of netting to 0.
+    reported_bytes: usize,
+}
+
+impl CutArena {
+    fn new() -> Self {
+        CutArena {
+            epoch: 1,
+            ..Default::default()
+        }
+    }
+
+    fn ensure_len(&mut self, n: usize) {
+        if self.ranges.len() < n {
+            self.ranges.resize(n, CutRange::default());
+            self.note_capacity();
+        }
+    }
+
+    fn is_valid(&self, n: NodeId) -> bool {
+        self.ranges
+            .get(n as usize)
+            .is_some_and(|r| r.stamp == self.epoch)
+    }
+
+    /// The stored list of `n`; empty for stale or out-of-range nodes
+    /// (a stale range's pool slots may already be gone).
+    fn get(&self, n: NodeId) -> &[Cut] {
+        match self.ranges.get(n as usize) {
+            Some(r) if r.stamp == self.epoch => {
+                &self.pool[r.off as usize..(r.off + r.len) as usize]
+            }
+            _ => &[],
+        }
+    }
+
+    /// Stores `cuts` as node `n`'s list (appended at the pool tail).
+    fn set(&mut self, n: NodeId, cuts: &[Cut]) {
+        self.ensure_len(n as usize + 1);
+        let old = self.ranges[n as usize];
+        if old.stamp == self.epoch {
+            self.dead += old.len as usize;
+        }
+        let off = self.pool.len();
+        self.pool.extend_from_slice(cuts);
+        self.ranges[n as usize] = CutRange {
+            off: off as u32,
+            len: cuts.len() as u32,
+            stamp: self.epoch,
+        };
+        self.maybe_compact();
+        self.note_capacity();
+    }
+
+    /// Retires node `n`'s list (its pool slots become dead).
+    fn invalidate(&mut self, n: NodeId) {
+        if let Some(r) = self.ranges.get_mut(n as usize) {
+            if r.stamp == self.epoch {
+                self.dead += r.len as usize;
+                r.stamp = STALE;
+            }
+        }
+    }
+
+    /// Retires every list: epoch bump + pool clear, no per-node writes.
+    fn invalidate_all(&mut self) {
+        self.pool.clear();
+        self.dead = 0;
+        if self.epoch == u32::MAX {
+            // Epoch wrap: old stamps could collide with recycled epochs,
+            // so reset them all once per 2^32 invalidations.
+            for r in &mut self.ranges {
+                r.stamp = STALE;
+            }
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
+        }
+    }
+
+    /// Marks every node in `0..n` valid with an empty list (full
+    /// enumeration seeds dead slots this way, mirroring the nested-Vec
+    /// behavior of serving them an empty — but valid — list).
+    fn mark_all_valid_empty(&mut self, n: usize) {
+        self.invalidate_all();
+        self.ensure_len(n);
+        let stamp = self.epoch;
+        for r in &mut self.ranges[..n] {
+            *r = CutRange {
+                off: 0,
+                len: 0,
+                stamp,
+            };
+        }
+    }
+
+    /// Slides live ranges down over dead pool slots when more than half
+    /// the pool is dead. Stable in-place gather: live ranges sorted by
+    /// offset keep their relative order, so every `copy_within` moves
+    /// data leftward only. The index buffer is reused across calls.
+    fn maybe_compact(&mut self) {
+        if self.pool.len() < 256 || self.dead * 2 <= self.pool.len() {
+            return;
+        }
+        let CutArena {
+            pool,
+            ranges,
+            epoch,
+            live_scratch,
+            ..
+        } = self;
+        live_scratch.clear();
+        for (i, r) in ranges.iter().enumerate() {
+            if r.stamp == *epoch && r.len > 0 {
+                live_scratch.push(i as u32);
+            }
+        }
+        live_scratch.sort_unstable_by_key(|&i| ranges[i as usize].off);
+        let mut w = 0usize;
+        for &i in live_scratch.iter() {
+            let r = &mut ranges[i as usize];
+            let (off, len) = (r.off as usize, r.len as usize);
+            pool.copy_within(off..off + len, w);
+            r.off = w as u32;
+            w += len;
+        }
+        pool.truncate(w);
+        self.dead = 0;
+    }
+
+    /// Publishes capacity growth to the `cuts.arena_bytes` gauge.
+    fn note_capacity(&mut self) {
+        let bytes = self.pool.capacity() * std::mem::size_of::<Cut>()
+            + self.ranges.capacity() * std::mem::size_of::<CutRange>()
+            + self.live_scratch.capacity() * std::mem::size_of::<u32>();
+        if bytes > self.reported_bytes {
+            obs::metrics::addi(
+                obs::Metric::CutsArenaBytes,
+                (bytes - self.reported_bytes) as i64,
+            );
+            self.reported_bytes = bytes;
+        }
+    }
+}
+
+/// Reusable working memory for cut recomputation: the merge kernel's
+/// output list and the invalidation/recursion stack. Owned by [`CutSet`]
+/// and [`LocalCuts`] (one per store, so sharded workers each carry their
+/// own), warmed on first use and reused allocation-free afterwards.
+#[derive(Debug, Default)]
+pub struct CutScratch {
+    /// Merge kernel output, swapped into the arena per node.
+    out: Vec<Cut>,
+    /// Traversal stack shared by miss-walks and invalidation.
+    stack: Vec<NodeId>,
+    /// Whether the buffers have served a previous walk.
+    warm: bool,
+}
+
+impl CutScratch {
+    /// Counts warm reuse (one tick per recomputation walk served by
+    /// already-allocated buffers) into `cuts.scratch_reuse`.
+    fn note_use(&mut self) {
+        if self.warm {
+            obs::metrics::add(obs::Metric::CutsScratchReuse, 1);
+        } else {
+            self.warm = true;
+        }
+    }
+}
+
 /// All cuts of every node of an MIG, with per-node invalidation.
 #[derive(Debug)]
 pub struct CutSet {
-    cuts: Vec<Vec<Cut>>,
-    /// Whether `cuts[n]` reflects the current graph structure.
-    valid: Vec<bool>,
+    arena: CutArena,
+    scratch: CutScratch,
     config: CutConfig,
     num_inputs: usize,
     /// Position in the graph's structural-change log up to which this
@@ -254,8 +511,13 @@ impl CutSet {
     /// Only meaningful while `n`'s list is up to date — after in-place
     /// rewrites, use [`CutSet::refresh`] + [`CutSet::of_updated`].
     pub fn of(&self, n: NodeId) -> &[Cut] {
-        debug_assert!(self.valid[n as usize], "stale cut list for node {n}");
-        &self.cuts[n as usize]
+        debug_assert!(self.arena.is_valid(n), "stale cut list for node {n}");
+        self.arena.get(n)
+    }
+
+    /// Whether `n`'s list reflects the current graph structure.
+    pub fn is_valid(&self, n: NodeId) -> bool {
+        self.arena.is_valid(n)
     }
 
     /// The set's position in the graph's structural-change log (the
@@ -274,11 +536,7 @@ impl CutSet {
     /// this set still needed were drained away by another consumer, the
     /// whole set is conservatively invalidated.
     pub fn refresh(&mut self, mig: &Mig) {
-        let n = mig.num_nodes();
-        if self.cuts.len() < n {
-            self.cuts.resize(n, Vec::new());
-            self.valid.resize(n, false);
-        }
+        self.arena.ensure_len(mig.num_nodes());
         // Time only refreshes with pending dirt: the common no-op call
         // (clean log, one slice check) must stay free of clock reads.
         let pending = !mig.dirty_since(self.cursor).is_some_and(|d| d.is_empty());
@@ -286,26 +544,30 @@ impl CutSet {
             obs::metrics::add(obs::Metric::CutsRefreshes, 1);
             obs::metrics::timer(obs::Metric::CutsRefreshNs)
         });
-        let mut stack: Vec<NodeId> = match mig.dirty_since(self.cursor) {
-            Some(dirty) => dirty.to_vec(),
+        let CutSet {
+            arena,
+            scratch,
+            cursor,
+            ..
+        } = self;
+        let stack = &mut scratch.stack;
+        stack.clear();
+        match mig.dirty_since(*cursor) {
+            Some(dirty) => stack.extend_from_slice(dirty),
             None => {
                 // The log was truncated under us: the incremental feed
                 // has a gap, so nothing can be trusted.
-                for (v, list) in self.valid.iter_mut().zip(&mut self.cuts) {
-                    *v = false;
-                    list.clear();
-                }
-                self.cursor = mig.dirty_cursor();
+                arena.invalidate_all();
+                *cursor = mig.dirty_cursor();
                 return;
             }
-        };
-        self.cursor = mig.dirty_cursor();
+        }
+        *cursor = mig.dirty_cursor();
         while let Some(v) = stack.pop() {
-            if !self.valid[v as usize] {
+            if !arena.is_valid(v) {
                 continue; // this node's fanout was already invalidated
             }
-            self.valid[v as usize] = false;
-            self.cuts[v as usize].clear();
+            arena.invalidate(v);
             for p in mig.fanout_gates(v) {
                 stack.push(p);
             }
@@ -315,13 +577,23 @@ impl CutSet {
     /// The cuts of `n`, recomputing the list (and, recursively, any stale
     /// fanin lists) if a rewrite invalidated it.
     pub fn of_updated(&mut self, mig: &Mig, n: NodeId) -> &[Cut] {
-        if self.valid[n as usize] {
+        if self.arena.is_valid(n) {
             obs::metrics::add(obs::Metric::CutsCacheHits, 1);
         } else {
             obs::metrics::add(obs::Metric::CutsCacheMisses, 1);
-            let mut stack = vec![n];
+            let CutSet {
+                arena,
+                scratch,
+                config,
+                num_inputs,
+                ..
+            } = self;
+            scratch.note_use();
+            let CutScratch { out, stack, .. } = scratch;
+            stack.clear();
+            stack.push(n);
             while let Some(&v) = stack.last() {
-                if self.valid[v as usize] {
+                if arena.is_valid(v) {
                     stack.pop();
                     continue;
                 }
@@ -329,7 +601,7 @@ impl CutSet {
                 if mig.is_gate(v) {
                     for s in mig.fanins(v) {
                         let m = s.node();
-                        if !self.valid[m as usize] {
+                        if !arena.is_valid(m) {
                             ready = false;
                             stack.push(m);
                         }
@@ -339,11 +611,11 @@ impl CutSet {
                     continue;
                 }
                 stack.pop();
-                self.cuts[v as usize] = self.compute_node(mig, v);
-                self.valid[v as usize] = true;
+                compute_node_into(mig, v, config, *num_inputs, arena, out);
+                arena.set(v, out);
             }
         }
-        &self.cuts[n as usize]
+        self.arena.get(n)
     }
 
     /// Migrates the set across a compaction ([`mig::Mig::compact`]):
@@ -362,69 +634,114 @@ impl CutSet {
             // untouched; nothing moved.
             return;
         }
+        let arena = &mut self.arena;
         let n = map.new_len();
-        let mut cuts: Vec<Vec<Cut>> = vec![Vec::new(); n];
-        let mut valid = vec![false; n];
-        for old in 0..self.cuts.len().min(map.old_len()) {
-            if !self.valid[old] {
+        let mut ranges = vec![CutRange::default(); n];
+        let mut pool: Vec<Cut> = Vec::with_capacity(arena.pool.len().saturating_sub(arena.dead));
+        'node: for old in 0..arena.ranges.len().min(map.old_len()) {
+            if !arena.is_valid(old as NodeId) {
                 continue;
             }
             let Some(new) = map.remap(old as NodeId) else {
                 continue;
             };
-            let list = std::mem::take(&mut self.cuts[old]);
             // A valid list of a live node only references live cone
             // nodes, so every leaf remaps; the fallback (drop the list,
             // recompute on demand) is purely defensive.
-            if let Some(remapped) = list
-                .iter()
-                .map(|c| c.remap(map))
-                .collect::<Option<Vec<_>>>()
-            {
-                cuts[new as usize] = remapped;
-                valid[new as usize] = true;
+            let off = pool.len();
+            for c in arena.get(old as NodeId) {
+                match c.remap(map) {
+                    Some(rc) => pool.push(rc),
+                    None => {
+                        pool.truncate(off);
+                        continue 'node;
+                    }
+                }
             }
+            ranges[new as usize] = CutRange {
+                off: off as u32,
+                len: (pool.len() - off) as u32,
+                stamp: 1,
+            };
         }
-        self.cuts = cuts;
-        self.valid = valid;
+        arena.pool = pool;
+        arena.ranges = ranges;
+        arena.epoch = 1;
+        arena.dead = 0;
+        arena.note_capacity();
         self.cursor = mig.dirty_cursor();
-    }
-
-    /// Computes the cut list of one node from its (valid) fanin lists.
-    fn compute_node(&self, mig: &Mig, v: NodeId) -> Vec<Cut> {
-        if v == 0 {
-            return vec![Cut::constant()];
-        }
-        if (v as usize) <= self.num_inputs {
-            return vec![Cut::trivial(v)];
-        }
-        if !mig.is_gate(v) {
-            return Vec::new(); // dead slot
-        }
-        let fanins = mig.fanins(v);
-        let lists = fanins.map(|s| self.cuts[s.node() as usize].as_slice());
-        merge_gate_cuts(v, fanins, lists, &self.config)
     }
 }
 
-/// Computes the cut list of gate `v` from its three fanin cut lists:
-/// merged leaf sets within the width bound, truth tables composed through
-/// the fanin polarities, dominance-filtered, priority-bounded, trivial
-/// cut first. Shared by the global [`CutSet`] enumeration and the
-/// shard-local [`LocalCuts`] refresh so the two can never drift.
-fn merge_gate_cuts(
+/// Computes node `v`'s cut list into `out` from its (valid) fanin lists
+/// in `arena`.
+fn compute_node_into(
+    mig: &Mig,
+    v: NodeId,
+    config: &CutConfig,
+    num_inputs: usize,
+    arena: &CutArena,
+    out: &mut Vec<Cut>,
+) {
+    out.clear();
+    if v == 0 {
+        out.push(Cut::constant());
+        return;
+    }
+    if (v as usize) <= num_inputs {
+        out.push(Cut::trivial(v));
+        return;
+    }
+    if !mig.is_gate(v) {
+        return; // dead slot: valid, empty list
+    }
+    let fanins = mig.fanins(v);
+    let lists = fanins.map(|s| arena.get(s.node()));
+    merge_gate_cuts_into(v, fanins, lists, config, out);
+}
+
+/// Fused cut-merge kernel: computes the cut list of gate `v` from its
+/// three fanin cut lists into caller-owned `out` — merged leaf sets
+/// within the width bound, truth tables composed through the fanin
+/// polarities, dominance-filtered, priority-bounded, trivial cut first.
+/// Shared by the global [`CutSet`] enumeration and the shard-local
+/// [`LocalCuts`] refresh so the two can never drift.
+///
+/// Allocation-free in steady state: permutation maps are stack arrays,
+/// dominance filtering works in place on `out`, and the priority sort is
+/// a stable insertion sort by leaf count (`slice::sort_by_key` allocates
+/// for lists past 20 entries; unstable sorting would perturb tie order
+/// and break bit-identity with the historical enumeration). The caller
+/// reuses `out` across nodes, so its capacity warms once.
+pub fn merge_gate_cuts_into(
     v: NodeId,
     fanins: [Signal; 3],
     lists: [&[Cut]; 3],
     config: &CutConfig,
-) -> Vec<Cut> {
+    out: &mut Vec<Cut>,
+) {
+    out.clear();
     let k = config.cut_size;
+    let k32 = k as u32;
     let [fa, fb, fc] = fanins;
-    let mut res: Vec<Cut> = Vec::new();
     for ca in lists[0] {
         for cb in lists[1] {
+            // Bloom prune: the signature union's popcount lower-bounds the
+            // distinct-leaf count (collisions only lose bits), so popcount
+            // past `k` proves infeasibility without touching the leaves —
+            // and the a∪b union is hoisted so the inner loop never redoes
+            // the pair merge per c-cut.
+            if (ca.sign | cb.sign).count_ones() > k32 {
+                continue;
+            }
+            let Some(ab) = Cut::union2(ca, cb, k) else {
+                continue;
+            };
             'next: for cc in lists[2] {
-                let Some(mut merged) = Cut::merge_leaves(ca, cb, cc, k) else {
+                if (ab.sign | cc.sign).count_ones() > k32 {
+                    continue;
+                }
+                let Some(mut merged) = Cut::union2(&ab, cc, k) else {
                     continue;
                 };
                 // Truth table: expand each child's function onto the
@@ -433,9 +750,23 @@ fn merge_gate_cuts(
                 let mut words = [0u64; 3];
                 let children: [(&Cut, Signal); 3] = [(ca, fa), (cb, fb), (cc, fc)];
                 for (w, (cut, sig)) in words.iter_mut().zip(children) {
-                    let map: Vec<usize> =
-                        cut.leaves().iter().map(|&l| merged.leaf_pos(l)).collect();
-                    let mut t = expand_tt(cut.tt, cut.len(), &map, tv);
+                    let mut t = if cut.len() == tv {
+                        // Same width means the same (sorted) leaf set: the
+                        // permutation is the identity.
+                        cut.tt
+                    } else {
+                        // Two-pointer walk: the child's leaves are a sorted
+                        // subset of the merged leaves.
+                        let mut map = [0usize; MAX_CUT_SIZE];
+                        let mut pos = 0usize;
+                        for (i, &l) in cut.leaves().iter().enumerate() {
+                            while merged.leaves[pos] != l {
+                                pos += 1;
+                            }
+                            map[i] = pos;
+                        }
+                        expand_tt(cut.tt, cut.len(), &map[..cut.len()], tv)
+                    };
                     if sig.is_complemented() {
                         t = !t;
                     }
@@ -444,22 +775,28 @@ fn merge_gate_cuts(
                 merged.tt = ((words[0] & words[1]) | (words[0] & words[2]) | (words[1] & words[2]))
                     & mask(tv);
                 // Dominance filtering.
-                for existing in &res {
+                for existing in out.iter() {
                     if existing.dominates(&merged) {
                         continue 'next;
                     }
                 }
-                res.retain(|e| !merged.dominates(e));
-                res.push(merged);
+                out.retain(|e| !merged.dominates(e));
+                out.push(merged);
             }
         }
     }
-    // Priority: fewer leaves first; stable beyond that.
-    res.sort_by_key(|c| c.len);
-    res.truncate(config.max_cuts.saturating_sub(1));
+    // Priority: fewer leaves first; stable beyond that (insertion sort —
+    // adjacent swaps under strict comparison preserve tie order).
+    for i in 1..out.len() {
+        let mut j = i;
+        while j > 0 && out[j - 1].len > out[j].len {
+            out.swap(j - 1, j);
+            j -= 1;
+        }
+    }
+    out.truncate(config.max_cuts.saturating_sub(1));
     // The trivial cut is always available (needed by parents).
-    res.insert(0, Cut::trivial(v));
-    res
+    out.insert(0, Cut::trivial(v));
 }
 
 /// Shard-local cut refresh for parallel proposal workers: computes cut
@@ -479,17 +816,14 @@ fn merge_gate_cuts(
 /// rounds, calling [`LocalCuts::invalidate`] with the nodes the previous
 /// round's commits dirtied (the same transitive-fanout staleness rule as
 /// [`CutSet::refresh`]) instead of re-enumerating the region from
-/// scratch.
+/// scratch. Storage is the same arena + scratch pair as [`CutSet`], so a
+/// carried store performs no steady-state allocations either.
 #[derive(Debug)]
 pub struct LocalCuts {
     config: CutConfig,
     floor_level: u32,
-    /// Memoized lists, indexed by node slot (`None` = not yet computed).
-    /// Sized by the whole graph for O(1) indexed lookup, but `None` is
-    /// the all-zero niche, so the allocation is a lazily-committed
-    /// `calloc` — only the pages of slots a region actually visits are
-    /// ever touched.
-    lists: Vec<Option<Vec<Cut>>>,
+    arena: CutArena,
+    scratch: CutScratch,
 }
 
 impl LocalCuts {
@@ -499,7 +833,8 @@ impl LocalCuts {
         LocalCuts {
             config,
             floor_level,
-            lists: Vec::new(),
+            arena: CutArena::new(),
+            scratch: CutScratch::default(),
         }
     }
 
@@ -510,29 +845,24 @@ impl LocalCuts {
         self.floor_level
     }
 
-    fn ensure_len(&mut self, n: usize) {
-        if self.lists.len() < n {
-            self.lists.resize(n, None);
-        }
-    }
-
     /// Drops the memoized lists of `dirty` nodes and their transitive
     /// fanout (computed against the live graph), so a store can be
     /// carried across rewriting rounds. Mirrors [`CutSet::refresh`]; the
     /// walk stops at never-computed nodes, whose dependents are
     /// necessarily uncomputed too (a list is only memoized once all its
-    /// fanin lists are).
+    /// fanin lists are). The traversal stack is the store's own scratch,
+    /// reused across calls — no per-invalidation allocation.
     pub fn invalidate(&mut self, mig: &Mig, dirty: impl IntoIterator<Item = NodeId>) {
-        self.ensure_len(mig.num_nodes());
-        let mut stack: Vec<NodeId> = dirty.into_iter().collect();
+        self.arena.ensure_len(mig.num_nodes());
+        let LocalCuts { arena, scratch, .. } = self;
+        let stack = &mut scratch.stack;
+        stack.clear();
+        stack.extend(dirty);
         while let Some(v) = stack.pop() {
-            let Some(slot) = self.lists.get_mut(v as usize) else {
-                continue;
-            };
-            if slot.is_none() {
+            if !arena.is_valid(v) {
                 continue; // never computed, or fanout already invalidated
             }
-            *slot = None;
+            arena.invalidate(v);
             for p in mig.fanout_gates(v) {
                 stack.push(p);
             }
@@ -542,26 +872,35 @@ impl LocalCuts {
     /// The cut list of `n`, computing (and memoizing) it and any missing
     /// fanin lists above the horizon.
     pub fn of(&mut self, mig: &Mig, n: NodeId) -> &[Cut] {
-        self.ensure_len(mig.num_nodes());
-        if self.lists[n as usize].is_some() {
+        self.arena.ensure_len(mig.num_nodes());
+        if self.arena.is_valid(n) {
             obs::metrics::add(obs::Metric::CutsCacheHits, 1);
         } else {
             obs::metrics::add(obs::Metric::CutsCacheMisses, 1);
-            let mut stack = vec![n];
+            let LocalCuts {
+                arena,
+                scratch,
+                config,
+                floor_level,
+            } = self;
+            scratch.note_use();
+            let CutScratch { out, stack, .. } = scratch;
+            stack.clear();
+            stack.push(n);
             while let Some(&v) = stack.last() {
-                if self.lists[v as usize].is_some() {
+                if arena.is_valid(v) {
                     stack.pop();
                     continue;
                 }
-                if let Some(list) = self.leaf_list(mig, v) {
-                    self.lists[v as usize] = Some(list);
+                if leaf_list_into(mig, v, *floor_level, out) {
+                    arena.set(v, out);
                     stack.pop();
                     continue;
                 }
                 let mut ready = true;
                 for s in mig.fanins(v) {
                     let m = s.node();
-                    if self.lists[m as usize].is_none() {
+                    if !arena.is_valid(m) {
                         ready = false;
                         stack.push(m);
                     }
@@ -571,35 +910,36 @@ impl LocalCuts {
                 }
                 stack.pop();
                 let fanins = mig.fanins(v);
-                let lists = fanins.map(|s| {
-                    self.lists[s.node() as usize]
-                        .as_deref()
-                        .expect("fanin list computed")
-                });
-                let list = merge_gate_cuts(v, fanins, lists, &self.config);
-                self.lists[v as usize] = Some(list);
+                let lists = fanins.map(|s| arena.get(s.node()));
+                merge_gate_cuts_into(v, fanins, lists, config, out);
+                arena.set(v, out);
             }
         }
-        self.lists[n as usize].as_deref().expect("just computed")
+        self.arena.get(n)
     }
+}
 
-    /// The fixed list of `v` when it needs no fanin recursion: terminals,
-    /// dead slots and gates at or below the leaf horizon.
-    fn leaf_list(&self, mig: &Mig, v: NodeId) -> Option<Vec<Cut>> {
-        if v == 0 {
-            return Some(vec![Cut::constant()]);
-        }
-        if mig.is_terminal(v) {
-            return Some(vec![Cut::trivial(v)]);
-        }
-        if !mig.is_gate(v) {
-            return Some(Vec::new()); // dead slot
-        }
-        if mig.level(v) < self.floor_level {
-            return Some(vec![Cut::trivial(v)]);
-        }
-        None
+/// Writes the fixed list of `v` into `out` when it needs no fanin
+/// recursion — terminals, dead slots and gates at or below the leaf
+/// horizon — returning whether `v` was such a leaf.
+fn leaf_list_into(mig: &Mig, v: NodeId, floor_level: u32, out: &mut Vec<Cut>) -> bool {
+    out.clear();
+    if v == 0 {
+        out.push(Cut::constant());
+        return true;
     }
+    if mig.is_terminal(v) {
+        out.push(Cut::trivial(v));
+        return true;
+    }
+    if !mig.is_gate(v) {
+        return true; // dead slot: valid, empty list
+    }
+    if mig.level(v) < floor_level {
+        out.push(Cut::trivial(v));
+        return true;
+    }
+    false
 }
 
 /// Enumerates all k-feasible cuts of `mig` under `config`.
@@ -631,21 +971,32 @@ pub fn enumerate_cuts(mig: &Mig, config: &CutConfig) -> CutSet {
     );
     let n = mig.num_nodes();
     let mut set = CutSet {
-        cuts: vec![Vec::new(); n],
-        valid: vec![true; n],
+        arena: CutArena::new(),
+        scratch: CutScratch::default(),
         config: *config,
         num_inputs: mig.num_inputs(),
         // Pending log entries predate this enumeration; the set is
         // consistent with the graph as of now.
         cursor: mig.dirty_cursor(),
     };
-    set.cuts[0] = vec![Cut::constant()];
+    let CutSet {
+        arena,
+        scratch,
+        config,
+        ..
+    } = &mut set;
+    arena.mark_all_valid_empty(n);
+    scratch.note_use();
+    arena.set(0, &[Cut::constant()]);
     for i in 0..mig.num_inputs() {
         let node = mig.input(i).node();
-        set.cuts[node as usize] = vec![Cut::trivial(node)];
+        arena.set(node, &[Cut::trivial(node)]);
     }
     for g in mig.topo_gates() {
-        set.cuts[g as usize] = set.compute_node(mig, g);
+        let fanins = mig.fanins(g);
+        let lists = fanins.map(|s| arena.get(s.node()));
+        merge_gate_cuts_into(g, fanins, lists, config, &mut scratch.out);
+        arena.set(g, &scratch.out);
     }
     set
 }
@@ -1008,11 +1359,8 @@ mod tests {
         assert!(m.replace_node(right.node(), fresh));
         cs.refresh(&m);
         // The untouched region's cuts are still valid and served as-is.
-        assert!(
-            cs.valid[left.node() as usize],
-            "left region not invalidated"
-        );
-        assert!(!cs.valid[top.node() as usize], "fanout of rewrite is stale");
+        assert!(cs.is_valid(left.node()), "left region not invalidated");
+        assert!(!cs.is_valid(top.node()), "fanout of rewrite is stale");
     }
 
     #[test]
@@ -1042,7 +1390,7 @@ mod tests {
         let full = enumerate_cuts(&m, &cfg);
         let mut carried_over = 0;
         for g in m.gates() {
-            if cs.valid[g as usize] {
+            if cs.is_valid(g) {
                 carried_over += 1;
                 assert_eq!(cs.of(g), full.of(g), "carried cuts of gate {g}");
             }
@@ -1149,5 +1497,274 @@ mod tests {
         let out = expand_tt(and2, 2, &[2, 0], 3);
         // Result should be x2 & x0 over 3 vars: minterms 5, 7.
         assert_eq!(out, 0b1010_0000);
+    }
+}
+
+/// Differential oracle: the historical nested-Vec enumeration, kept
+/// verbatim so the arena-backed kernels can be checked bit-for-bit
+/// against it on random graphs (identical cut order, truth tables and
+/// signatures — the fused kernel must not even perturb sort ties).
+#[cfg(test)]
+mod differential {
+    use super::*;
+
+    /// The historical three-way sorted-insert leaf merge (pre pair-hoist).
+    fn ref_merge_leaves(a: &Cut, b: &Cut, c: &Cut, k: usize) -> Option<Cut> {
+        let mut leaves = [0 as NodeId; MAX_CUT_SIZE];
+        let mut len = 0usize;
+        {
+            let mut push = |n: NodeId| -> bool {
+                match leaves[..len].binary_search(&n) {
+                    Ok(_) => true,
+                    Err(pos) => {
+                        if len == k {
+                            return false;
+                        }
+                        leaves.copy_within(pos..len, pos + 1);
+                        leaves[pos] = n;
+                        len += 1;
+                        true
+                    }
+                }
+            };
+            for cut in [a, b, c] {
+                for &l in cut.leaves() {
+                    if !push(l) {
+                        return None;
+                    }
+                }
+            }
+        }
+        Some(Cut {
+            leaves,
+            len: len as u8,
+            tt: 0,
+            sign: a.sign | b.sign | c.sign,
+        })
+    }
+
+    fn ref_merge_gate_cuts(
+        v: NodeId,
+        fanins: [Signal; 3],
+        lists: [&[Cut]; 3],
+        config: &CutConfig,
+    ) -> Vec<Cut> {
+        let k = config.cut_size;
+        let [fa, fb, fc] = fanins;
+        let mut res: Vec<Cut> = Vec::new();
+        for ca in lists[0] {
+            for cb in lists[1] {
+                'next: for cc in lists[2] {
+                    let Some(mut merged) = ref_merge_leaves(ca, cb, cc, k) else {
+                        continue;
+                    };
+                    let tv = merged.len();
+                    let mut words = [0u64; 3];
+                    let children: [(&Cut, Signal); 3] = [(ca, fa), (cb, fb), (cc, fc)];
+                    for (w, (cut, sig)) in words.iter_mut().zip(children) {
+                        let map: Vec<usize> =
+                            cut.leaves().iter().map(|&l| merged.leaf_pos(l)).collect();
+                        let mut t = expand_tt(cut.tt, cut.len(), &map, tv);
+                        if sig.is_complemented() {
+                            t = !t;
+                        }
+                        *w = t & mask(tv);
+                    }
+                    merged.tt =
+                        ((words[0] & words[1]) | (words[0] & words[2]) | (words[1] & words[2]))
+                            & mask(tv);
+                    for existing in &res {
+                        if existing.dominates(&merged) {
+                            continue 'next;
+                        }
+                    }
+                    res.retain(|e| !merged.dominates(e));
+                    res.push(merged);
+                }
+            }
+        }
+        res.sort_by_key(|c| c.len);
+        res.truncate(config.max_cuts.saturating_sub(1));
+        res.insert(0, Cut::trivial(v));
+        res
+    }
+
+    /// From-scratch enumeration into per-node `Vec`s (the pre-arena
+    /// storage layout), used as the comparison baseline.
+    fn ref_enumerate(mig: &Mig, config: &CutConfig) -> Vec<Vec<Cut>> {
+        let n = mig.num_nodes();
+        let mut cuts: Vec<Vec<Cut>> = vec![Vec::new(); n];
+        cuts[0] = vec![Cut::constant()];
+        for i in 0..mig.num_inputs() {
+            let node = mig.input(i).node();
+            cuts[node as usize] = vec![Cut::trivial(node)];
+        }
+        for g in mig.topo_gates() {
+            let fanins = mig.fanins(g);
+            let lists = fanins.map(|s| cuts[s.node() as usize].clone());
+            let borrowed = [
+                lists[0].as_slice(),
+                lists[1].as_slice(),
+                lists[2].as_slice(),
+            ];
+            cuts[g as usize] = ref_merge_gate_cuts(g, fanins, borrowed, config);
+        }
+        cuts
+    }
+
+    fn xorshift(s: &mut u64) -> u64 {
+        *s ^= *s << 13;
+        *s ^= *s >> 7;
+        *s ^= *s << 17;
+        *s
+    }
+
+    /// Deterministic random MIG: `gates` majority gates over random
+    /// (possibly complemented) earlier signals.
+    fn random_mig(seed: u64, inputs: usize, gates: usize) -> Mig {
+        let mut s = seed.max(1);
+        let mut m = Mig::new(inputs);
+        let mut pool: Vec<Signal> = (0..inputs).map(|i| m.input(i)).collect();
+        for _ in 0..gates {
+            let pick = |s: &mut u64, pool: &[Signal]| {
+                let sig = pool[(xorshift(s) as usize) % pool.len()];
+                if xorshift(s) & 1 == 1 {
+                    !sig
+                } else {
+                    sig
+                }
+            };
+            let a = pick(&mut s, &pool);
+            let b = pick(&mut s, &pool);
+            let c = pick(&mut s, &pool);
+            pool.push(m.maj(a, b, c));
+        }
+        let out = *pool.last().unwrap();
+        m.add_output(out);
+        m
+    }
+
+    #[test]
+    fn arena_enumeration_matches_nested_vec_reference() {
+        for seed in [1u64, 7, 42, 1234, 99991] {
+            let m = random_mig(seed, 8, 60);
+            let cfg = CutConfig::default();
+            let arena = enumerate_cuts(&m, &cfg);
+            let reference = ref_enumerate(&m, &cfg);
+            for g in m.gates() {
+                assert_eq!(
+                    arena.of(g),
+                    reference[g as usize].as_slice(),
+                    "seed {seed}, gate {g}: cut list diverged from reference"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn local_cuts_match_nested_vec_reference() {
+        for seed in [3u64, 17, 2026] {
+            let m = random_mig(seed, 6, 40);
+            let cfg = CutConfig::default();
+            let reference = ref_enumerate(&m, &cfg);
+            let mut local = LocalCuts::new(cfg, 0);
+            // Walk in reverse topological order so the miss-walk exercises
+            // deep recursion through the arena.
+            let gates: Vec<NodeId> = m.gates().collect();
+            for &g in gates.iter().rev() {
+                assert_eq!(
+                    local.of(&m, g),
+                    reference[g as usize].as_slice(),
+                    "seed {seed}, gate {g}: local list diverged from reference"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn post_compact_remap_matches_reference() {
+        for seed in [5u64, 88, 4096] {
+            let mut m = random_mig(seed, 8, 50);
+            let cfg = CutConfig::default();
+            let _ = m.drain_dirty();
+            let mut cs = enumerate_cuts(&m, &cfg);
+            // Rewrite a mid-graph gate so slots die and compaction moves ids.
+            let gates: Vec<NodeId> = m.gates().collect();
+            let victim = gates[gates.len() / 2];
+            let ins: Vec<Signal> = m.inputs().collect();
+            let fresh = m.maj(ins[0], !ins[1], ins[2]);
+            if m.replace_node(victim, fresh) {
+                m.sweep();
+            }
+            cs.refresh(&m);
+            let map = m.compact();
+            cs.remap(&m, &map);
+            let reference = ref_enumerate(&m, &cfg);
+            for g in m.gates() {
+                if cs.is_valid(g) {
+                    assert_eq!(
+                        cs.of(g),
+                        reference[g as usize].as_slice(),
+                        "seed {seed}, gate {g}: carried list diverged post-remap"
+                    );
+                }
+                assert_eq!(
+                    cs.of_updated(&m, g),
+                    reference[g as usize].as_slice(),
+                    "seed {seed}, gate {g}: updated list diverged post-remap"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_rewrites_compact_arena_without_drift() {
+        // Many rewrite/refresh rounds on one store: the pool accumulates
+        // dead ranges and crosses the in-place compaction threshold
+        // repeatedly; every round must still agree with the oracle.
+        let mut m = random_mig(31337, 8, 120);
+        let cfg = CutConfig::default();
+        let _ = m.drain_dirty();
+        let mut cs = enumerate_cuts(&m, &cfg);
+        let mut s = 0xdead_beefu64;
+        for round in 0..25 {
+            let gates: Vec<NodeId> = m.gates().collect();
+            let victim = gates[(xorshift(&mut s) as usize) % gates.len()];
+            let ins: Vec<Signal> = m.inputs().collect();
+            let a = ins[(xorshift(&mut s) as usize) % ins.len()];
+            let b = ins[(xorshift(&mut s) as usize) % ins.len()];
+            let c = ins[(xorshift(&mut s) as usize) % ins.len()];
+            let fresh = m.maj(a, !b, c);
+            if fresh.node() != victim {
+                let _ = m.replace_node(victim, fresh);
+            }
+            cs.refresh(&m);
+            let reference = ref_enumerate(&m, &cfg);
+            for g in m.gates() {
+                assert_eq!(
+                    cs.of_updated(&m, g),
+                    reference[g as usize].as_slice(),
+                    "round {round}, gate {g}: arena drifted from reference"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_merge_kernel_matches_reference_kernel() {
+        let m = random_mig(777, 8, 80);
+        let cfg = CutConfig::default();
+        let reference = ref_enumerate(&m, &cfg);
+        let mut out = Vec::new();
+        for g in m.gates() {
+            let fanins = m.fanins(g);
+            let lists = fanins.map(|sg| reference[sg.node() as usize].as_slice());
+            merge_gate_cuts_into(g, fanins, lists, &cfg, &mut out);
+            assert_eq!(
+                out.as_slice(),
+                reference[g as usize].as_slice(),
+                "gate {g}: fused kernel diverged from reference kernel"
+            );
+        }
     }
 }

@@ -1,0 +1,98 @@
+//! Allocation-regression smoke for the cut kernels: once a store's
+//! buffers are warm, the steady-state propose-side loop — invalidate a
+//! rewritten region, re-enumerate its cut lists out of the arena — must
+//! perform zero heap allocations. A counting global allocator makes any
+//! regression (a stray `to_vec`, an allocating sort, a fresh traversal
+//! stack) fail loudly instead of silently costing 10% on the bench.
+
+use cuts::{CutConfig, LocalCuts};
+use mig::{Mig, NodeId, Signal};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn xorshift(s: &mut u64) -> u64 {
+    *s ^= *s << 13;
+    *s ^= *s >> 7;
+    *s ^= *s << 17;
+    *s
+}
+
+fn random_mig(seed: u64, inputs: usize, gates: usize) -> Mig {
+    let mut s = seed.max(1);
+    let mut m = Mig::new(inputs);
+    let mut pool: Vec<Signal> = (0..inputs).map(|i| m.input(i)).collect();
+    for _ in 0..gates {
+        let pick = |s: &mut u64, pool: &[Signal]| {
+            let sig = pool[(xorshift(s) as usize) % pool.len()];
+            if xorshift(s) & 1 == 1 {
+                !sig
+            } else {
+                sig
+            }
+        };
+        let a = pick(&mut s, &pool);
+        let b = pick(&mut s, &pool);
+        let c = pick(&mut s, &pool);
+        pool.push(m.maj(a, b, c));
+    }
+    let out = *pool.last().unwrap();
+    m.add_output(out);
+    m
+}
+
+#[test]
+fn steady_state_cut_recomputation_does_not_allocate() {
+    let m = random_mig(0xA110C, 10, 220);
+    let gates: Vec<NodeId> = m.gates().collect();
+    let mut local = LocalCuts::new(CutConfig::default(), 0);
+
+    // One full cycle: invalidate everything, re-enumerate everything.
+    // Repeats exercise the arena's append + in-place compaction path.
+    let cycle = |local: &mut LocalCuts| {
+        local.invalidate(&m, gates.iter().copied());
+        for &g in &gates {
+            assert!(!local.of(&m, g).is_empty());
+        }
+    };
+
+    // Warm-up: grows the arena pool, range table, scratch buffers and
+    // the per-node capacity high-water marks.
+    for _ in 0..3 {
+        cycle(&mut local);
+    }
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..10 {
+        cycle(&mut local);
+    }
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state cut recomputation allocated {} times over 10 cycles",
+        after - before
+    );
+}

@@ -976,6 +976,7 @@ fn commit_waves<E: ProposeEngine>(
         let slots: Vec<Mutex<Option<SimResult>>> =
             runnable.iter().map(|_| Mutex::new(None)).collect();
         {
+            let _sim_span = obs::trace::span("commit:sim");
             let frozen: &Mig = mig;
             let stamps: &[u32] = &scratch.own;
             let next = AtomicUsize::new(0);
@@ -1031,6 +1032,7 @@ fn commit_waves<E: ProposeEngine>(
         }
         // Serial reconciliation in proposal order: strash edits,
         // boundary reference edits, outputs, dirty log, back-pointers.
+        let _reconcile_span = obs::trace::span("commit:reconcile");
         for &k in &accepted {
             let (verdict, patch, delta) = &results[k];
             let gain = engine.gain(&proposals[runnable[k]]);
@@ -1070,6 +1072,8 @@ fn commit_waves<E: ProposeEngine>(
         // Finalization after *all* reconciliations (deferred cross-patch
         // kills need the fully reconciled reference counts): freed-slot
         // recycling, foreign kills, level ripples past patch borders.
+        drop(_reconcile_span);
+        let _finalize_span = obs::trace::span("commit:finalize");
         for &k in &accepted {
             let gain = engine.gain(&proposals[runnable[k]]);
             let cursor = mig.dirty_cursor();

@@ -838,12 +838,32 @@ pub(crate) fn apply_patches(mig: &mut Mig, patches: &[&WavePatch], threads: usiz
 /// back-pointer repair is *lenient*: an entry whose gate no longer
 /// references `child` belongs to a dead gate awaiting its own boundary
 /// deletion, and is skipped (its back-pointers are garbage either way).
+///
+/// Position lookup goes through the entry's own back-pointers first
+/// (`out_pos` / `fanout_pos`), verified against the list before use —
+/// `child` is a cut leaf, and leaves are routinely high-fanout nodes
+/// (a primary input can feed thousands of gates), so the by-value scan
+/// this replaces dominated whole-wave reconciliation at production
+/// scale. The scan remains as the fallback for stale pointers (arena
+/// gates never had theirs installed; apply rewrote the gate's fanins).
 fn boundary_remove(mig: &mut Mig, child: NodeId, entry: u32) {
+    let list = &mig.fanouts[child as usize];
+    let verified = |p: u32| {
+        let p = p as usize;
+        (p < list.len() && list.get(p) == entry).then_some(p)
+    };
+    let pos = if entry & OUT_FLAG != 0 {
+        verified(mig.out_pos[(entry & !OUT_FLAG) as usize])
+    } else {
+        let back = &mig.fanout_pos[entry as usize];
+        (0..3).find_map(|k| verified(back[k]))
+    };
+    let pos = pos.unwrap_or_else(|| {
+        list.iter()
+            .position(|e| e == entry)
+            .expect("boundary-removed reference present")
+    });
     let list = &mut mig.fanouts[child as usize];
-    let pos = list
-        .iter()
-        .position(|e| e == entry)
-        .expect("boundary-removed reference present");
     list.swap_remove(pos);
     if pos < list.len() {
         let moved = list.get(pos);

@@ -109,6 +109,10 @@ metrics_table! {
         "cut-list lookups answered from a valid cached list";
     CutsCacheMisses => "cuts.cache_misses", Counter, true,
         "cut-list lookups that had to recompute the list";
+    CutsArenaBytes => "cuts.arena_bytes", Gauge, true,
+        "bytes reserved by arena-backed cut pools (summed over arenas as they grow)";
+    CutsScratchReuse => "cuts.scratch_reuse", Counter, true,
+        "cut recomputations served from an already-warm reusable scratch buffer";
     NpnCanonizations => "npn.canonizations", Counter, true,
         "NPN canonizations of 4-input cut functions";
     CutsScored => "fhash.cuts_scored", Counter, true,

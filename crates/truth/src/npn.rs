@@ -336,6 +336,24 @@ impl Npn4Canonizer {
         (best, best_t)
     }
 
+    /// Canonizes a batch of 16-bit truth tables in one pass over the
+    /// memo: `keys` is sorted and deduplicated in place (ascending probe
+    /// order, so consecutive memo probes touch adjacent cache lines
+    /// instead of bouncing across the 256 KiB table), and one
+    /// `(function, representative, transform)` triple per distinct key
+    /// is appended to `out`. Result-identical to calling
+    /// [`Npn4Canonizer::canonize`] per key; both buffers are
+    /// caller-owned so region-sized batches recycle their capacity.
+    pub fn canonize_batch(&self, keys: &mut Vec<u16>, out: &mut Vec<(u16, u16, NpnTransform)>) {
+        out.clear();
+        keys.sort_unstable();
+        keys.dedup();
+        for &f in keys.iter() {
+            let (rep, t) = self.canonize(f);
+            out.push((f, rep, t));
+        }
+    }
+
     /// Number of memo slots filled so far.
     pub fn memo_len(&self) -> usize {
         self.memo
@@ -587,6 +605,32 @@ mod tests {
         assert!(conflicting.is_empty());
         assert_eq!(canon.import_memo(&[(f, packed)]), (1, 0)); // agreeing re-import
         assert_eq!(canon.canonize(f), resident);
+    }
+
+    #[test]
+    fn batched_canonization_matches_single_over_all_tt4s() {
+        // Full sweep: batching all 65536 functions (shuffled, with
+        // duplicates) must reproduce single-call canonization exactly —
+        // representative and transform — and dedup to one triple each.
+        let canon = Npn4Canonizer::new();
+        let mut keys: Vec<u16> = (0..=u16::MAX).rev().collect();
+        keys.extend([0x6996u16, 0xcafe, 0x0000]); // duplicates
+        let mut out = Vec::new();
+        canon.canonize_batch(&mut keys, &mut out);
+        assert_eq!(out.len(), 1 << 16);
+        let single = Npn4Canonizer::new();
+        for (i, &(f, rep, t)) in out.iter().enumerate() {
+            assert_eq!(f as usize, i, "keys not sorted/deduped");
+            let (srep, st) = single.canonize(f);
+            assert_eq!((rep, t), (srep, st), "f = {f:04x}");
+        }
+        // Batch on a warm memo (every slot filled) still agrees.
+        let mut again: Vec<u16> = vec![0x1234, 0x1234, 0xffff];
+        canon.canonize_batch(&mut again, &mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].0, 0x1234);
+        assert_eq!(out[1].0, 0xffff);
+        assert_eq!(out[0].1, single.canonize(0x1234).0);
     }
 
     #[test]
